@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the protected-memory machine: the
+//! critical-operation hot path, the XOR3 micro-program and checking
+//! passes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc_core::{BlockGeometry, ProcessingCrossbar, ProtectedMemory};
+use pimecc_xbar::LineSet;
+
+fn machine(n: usize, m: usize) -> ProtectedMemory {
+    ProtectedMemory::new(BlockGeometry::new(n, m).expect("geom")).expect("machine")
+}
+
+fn bench_critical_ops(c: &mut Criterion) {
+    c.bench_function("machine/critical_nor_row_parallel_90x90", |b| {
+        let mut pm = machine(90, 15);
+        b.iter(|| {
+            pm.exec_init_rows(&[3], &LineSet::All).expect("init");
+            pm.exec_nor_rows(&[0, 1], 3, &LineSet::All).expect("nor");
+            black_box(pm.stats().critical_ops)
+        })
+    });
+}
+
+fn bench_xor3(c: &mut Criterion) {
+    c.bench_function("machine/xor3_microprogram_68_lanes", |b| {
+        let mut pc = ProcessingCrossbar::new(68);
+        let a = vec![true; 68];
+        let x = vec![false; 68];
+        let y = vec![true; 68];
+        b.iter(|| black_box(pc.compute_xor3(&a, &x, &y).expect("xor3")))
+    });
+}
+
+fn bench_checks(c: &mut Criterion) {
+    c.bench_function("machine/check_block_row_90x90", |b| {
+        let mut pm = machine(90, 15);
+        b.iter(|| black_box(pm.check_block_row(2).expect("check")))
+    });
+    c.bench_function("machine/check_all_with_one_fault_90x90", |b| {
+        let mut pm = machine(90, 15);
+        b.iter(|| {
+            pm.inject_fault(10, 20);
+            black_box(pm.check_all().expect("check"))
+        })
+    });
+    c.bench_function("machine/verify_consistency_90x90", |b| {
+        let pm = machine(90, 15);
+        b.iter(|| black_box(pm.verify_consistency().is_ok()))
+    });
+}
+
+criterion_group!(benches, bench_critical_ops, bench_xor3, bench_checks);
+criterion_main!(benches);

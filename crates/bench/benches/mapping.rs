@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the Table I pipeline: circuit
+//! generation, NOR lowering, SIMPLER mapping and ECC scheduling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc_netlist::generators::Benchmark;
+use pimecc_simpler::{map, map_auto, schedule_with_ecc, EccConfig, MapperConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("netlist/generate_adder", |b| {
+        b.iter(|| black_box(Benchmark::Adder.build()))
+    });
+    c.bench_function("netlist/generate_dec", |b| b.iter(|| black_box(Benchmark::Dec.build())));
+    c.bench_function("netlist/lower_adder_to_nor", |b| {
+        let nl = Benchmark::Adder.build().netlist;
+        b.iter(|| black_box(nl.to_nor()))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let adder = Benchmark::Adder.build().netlist.to_nor();
+    let dec = Benchmark::Dec.build().netlist.to_nor();
+    c.bench_function("simpler/map_adder_1020", |b| {
+        b.iter(|| black_box(map(&adder, &MapperConfig { row_size: 1020 }).expect("maps")))
+    });
+    c.bench_function("simpler/map_dec_1020", |b| {
+        b.iter(|| black_box(map(&dec, &MapperConfig { row_size: 1020 }).expect("maps")))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let (program, _) =
+        map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
+    let cfg = EccConfig::default();
+    c.bench_function("ecc/schedule_dec", |b| {
+        b.iter(|| black_box(schedule_with_ecc(&program, &cfg)))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let (program, _) =
+        map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
+    let inputs = vec![true; 8];
+    c.bench_function("simpler/execute_dec_on_crossbar", |b| {
+        b.iter(|| black_box(program.execute(&inputs).expect("legal program")))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_mapping, bench_schedule, bench_execution);
+criterion_main!(benches);

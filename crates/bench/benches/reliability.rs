@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the reliability engine (Figure 6
+//! machinery): the closed-form sweep, the per-block codec hot path, and
+//! Monte-Carlo trial throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc_core::{BlockGeometry, DiagonalCode};
+use pimecc_reliability::{MonteCarlo, ReliabilityModel, SoftErrorRate};
+use pimecc_xbar::BitGrid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_closed_form_sweep(c: &mut Criterion) {
+    let model = ReliabilityModel::paper().expect("model");
+    c.bench_function("fig6/closed_form_sweep_33pts", |b| {
+        b.iter(|| black_box(model.sensitivity(4)))
+    });
+    c.bench_function("fig6/single_point_flash", |b| {
+        b.iter(|| black_box(model.point(SoftErrorRate::flash_like())))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let geom = BlockGeometry::new(15, 15).expect("geom");
+    let code = DiagonalCode::new(geom);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut block = BitGrid::new(15, 15);
+    for r in 0..15 {
+        for col in 0..15 {
+            block.set(r, col, rng.gen());
+        }
+    }
+    let (lead, counter) = code.encode(&block);
+
+    c.bench_function("codec/encode_15x15", |b| b.iter(|| black_box(code.encode(&block))));
+    c.bench_function("codec/syndrome_clean_15x15", |b| {
+        b.iter(|| black_box(code.syndrome(&block, &lead, &counter)))
+    });
+    c.bench_function("codec/correct_single_error_15x15", |b| {
+        b.iter(|| {
+            let mut corrupted = block.clone();
+            corrupted.flip(7, 3);
+            let mut l = lead.clone();
+            let mut k = counter.clone();
+            black_box(code.correct(&mut corrupted, &mut l, &mut k))
+        })
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let model = ReliabilityModel::paper().expect("model");
+    let ser = SoftErrorRate::from_fit_per_bit(1e5);
+    let mc = MonteCarlo::new(99);
+    c.bench_function("monte_carlo/1000_block_trials_4_threads", |b| {
+        b.iter(|| black_box(mc.block_failure_rate(&model, ser, 1_000, 4)))
+    });
+}
+
+criterion_group!(benches, bench_closed_form_sweep, bench_codec, bench_monte_carlo);
+criterion_main!(benches);

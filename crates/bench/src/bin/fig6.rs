@@ -1,0 +1,77 @@
+//! Regenerates the paper's Figure 6: 1 GB memory MTTF vs memristor soft
+//! error rate, baseline (no ECC) vs the proposed diagonal ECC.
+//!
+//! Usage: `cargo run -p pimecc-bench --bin fig6 [--csv] [--monte-carlo]`
+//!
+//! `--monte-carlo` additionally cross-validates the closed-form per-block
+//! failure probability against fault-injection trials through the actual
+//! decoder at three high-SER points (where failures are frequent enough to
+//! sample).
+
+use pimecc_reliability::{MonteCarlo, ReliabilityModel, SoftErrorRate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let monte_carlo = args.iter().any(|a| a == "--monte-carlo");
+
+    let model = ReliabilityModel::paper().expect("paper model");
+    let points = model.sensitivity(4);
+
+    if csv {
+        println!("ser_fit_per_bit,baseline_mttf_hours,proposed_mttf_hours,improvement");
+        for p in &points {
+            println!(
+                "{:.6e},{:.6e},{:.6e},{:.6e}",
+                p.ser.fit_per_bit(),
+                p.baseline_mttf_hours,
+                p.proposed_mttf_hours,
+                p.improvement()
+            );
+        }
+    } else {
+        println!("Figure 6 — 1 GB memory MTTF (hours) vs memristor SER (FIT/bit)\n");
+        println!(
+            "{:>14} {:>16} {:>16} {:>12}",
+            "SER (FIT/bit)", "Baseline MTTF", "Proposed MTTF", "Improvement"
+        );
+        for p in &points {
+            println!(
+                "{:>14.3e} {:>16.4e} {:>16.4e} {:>12.4e}",
+                p.ser.fit_per_bit(),
+                p.baseline_mttf_hours,
+                p.proposed_mttf_hours,
+                p.improvement()
+            );
+        }
+        let flash = model.point(SoftErrorRate::flash_like());
+        println!();
+        println!(
+            "headline at 1e-3 FIT/bit (Flash-like): improvement {:.3e} (paper: over 3e8)",
+            flash.improvement()
+        );
+    }
+
+    if monte_carlo {
+        println!();
+        println!("Monte-Carlo validation of per-block failure probability:");
+        println!(
+            "{:>14} {:>14} {:>14} {:>10} {:>8}",
+            "SER (FIT/bit)", "analytical", "monte-carlo", "ci95", "agree"
+        );
+        let mc = MonteCarlo::new(0xF16_6);
+        for fit in [3e4, 1e5, 3e5] {
+            let ser = SoftErrorRate::from_fit_per_bit(fit);
+            let analytical = model.block_failure_probability(ser);
+            let result = mc.block_failure_rate(&model, ser, 20_000, 8);
+            println!(
+                "{:>14.3e} {:>14.6e} {:>14.6e} {:>10.2e} {:>8}",
+                fit,
+                analytical,
+                result.estimate,
+                result.confidence_95,
+                result.contains(analytical)
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Refresh-vs-ECC study (ours, beyond the paper): the paper's §II-B notes
+//! that periodic refresh (prior work) addresses accumulated drift but not
+//! abrupt upsets, and that refresh "can still be used in conjunction with
+//! the mechanism proposed in this paper". This binary quantifies the
+//! combination with the two-population drift model.
+//!
+//! Usage: `cargo run -p pimecc-bench --release --bin refresh`
+
+use pimecc_reliability::{DriftModel, ReliabilityModel};
+
+fn main() {
+    // Abrupt population at 1e-4 FIT/bit; drift population averaging 1e-3
+    // FIT/bit when refreshed daily, accelerating linearly (alpha = 1).
+    let drift = DriftModel::new(1e-4, 1e-3, 24.0, 1.0);
+    let model = ReliabilityModel::paper().expect("model");
+
+    println!("1 GB memory MTTF (hours) vs refresh period — drift + abrupt populations\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}",
+        "refresh (h)", "no protection", "refresh only", "ECC only", "refresh + ECC"
+    );
+    for refresh_hours in [1.0, 3.0, 6.0, 12.0, 24.0] {
+        let [bare, refresh_only, ecc_only, both] = drift.mttf_matrix(&model, refresh_hours);
+        println!(
+            "{:>12} {:>14.4e} {:>14.4e} {:>14.4e} {:>14.4e}",
+            refresh_hours, bare, refresh_only, ecc_only, both
+        );
+    }
+    println!();
+    println!("shape: refresh alone saturates at the abrupt-upset floor; the diagonal");
+    println!("ECC multiplies MTTF at every refresh period, and the combination");
+    println!("dominates both — the paper's \"used in conjunction\" claim, quantified.");
+}

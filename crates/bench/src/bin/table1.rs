@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table I (latency in clock cycles).
+//!
+//! Usage: `cargo run -p pimecc-bench --bin table1 [--csv]`
+//!
+//! Left block: this reproduction (regenerated EPFL-style circuits mapped
+//! with our SIMPLER implementation and scheduled with the ECC extension).
+//! Right block ("P.*"): the paper's reported values. Absolute cycle counts
+//! differ because the circuits are regenerated from specification; the
+//! comparison targets are the overhead *shape* and the PC counts.
+
+use pimecc_bench::{geomean_overhead_pct, render_table1, table1, table1_csv, table1_fixed_pool};
+use pimecc_simpler::EccConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    // `--pcs K` evaluates with a fixed pool of K processing crossbars
+    // (stalls allowed) instead of the paper's no-starvation convention.
+    let fixed_pcs = args
+        .iter()
+        .position(|a| a == "--pcs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let rows = match fixed_pcs {
+        Some(k) => table1_fixed_pool(&EccConfig { num_pcs: k, ..EccConfig::default() }),
+        None => table1(&EccConfig::default()),
+    };
+    if csv {
+        print!("{}", table1_csv(&rows));
+        return;
+    }
+    match fixed_pcs {
+        Some(k) => println!("Table I — latency (clock cycles), fixed pool of {k} PCs, ours vs paper\n"),
+        None => println!("Table I — latency (clock cycles), ours vs paper\n"),
+    }
+    print!("{}", render_table1(&rows));
+    println!();
+    println!(
+        "geomean overhead: {:.2}% (paper: 26.23%); max PC: {} (paper: 8)",
+        geomean_overhead_pct(&rows),
+        rows.iter().map(|r| r.min_pcs).max().unwrap_or(0)
+    );
+}

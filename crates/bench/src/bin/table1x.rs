@@ -1,0 +1,36 @@
+//! Extended Table I (ours, beyond the paper): the latency analysis applied
+//! to multiplier-class EPFL-style workloads the paper does not evaluate.
+//!
+//! Usage: `cargo run -p pimecc-bench --release --bin table1x`
+
+use pimecc_netlist::generators::ExtraBenchmark;
+use pimecc_simpler::{map_auto, min_processing_crossbars, schedule_with_ecc, EccConfig};
+
+fn main() {
+    let cfg = EccConfig::default();
+    println!("Extended Table I — multiplier-class workloads (no paper reference)\n");
+    println!(
+        "{:<10} {:>8} {:>7} {:>9} {:>9} {:>8} {:>4}",
+        "bench", "gates", "row", "baseline", "proposed", "ovh(%)", "PC"
+    );
+    for e in ExtraBenchmark::ALL {
+        let nor = e.build().netlist.to_nor();
+        let (program, row) = map_auto(&nor, 1020).expect("maps");
+        let report =
+            schedule_with_ecc(&program, &EccConfig { num_pcs: 16, ..cfg });
+        let pcs = min_processing_crossbars(&program, &cfg, 16);
+        println!(
+            "{:<10} {:>8} {:>7} {:>9} {:>9} {:>8.2} {:>4}",
+            e.name(),
+            nor.num_gates(),
+            row,
+            report.baseline_cycles,
+            report.total_cycles,
+            report.overhead_pct(),
+            pcs
+        );
+    }
+    println!();
+    println!("expected profile: multipliers are adder-chain-dominated with moderate");
+    println!("output density, landing between sin (<1%) and adder (~13%).");
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table II (memristor/transistor counts) for the
+//! case study n = 1020, m = 15, k = 3.
+//!
+//! Usage: `cargo run -p pimecc-bench --bin table2 [n m k]`
+
+use pimecc_core::AreaModel;
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let model = match args.as_slice() {
+        [n, m, k] => AreaModel::new(*n, *m, *k).expect("valid geometry"),
+        _ => AreaModel::paper().expect("paper geometry"),
+    };
+    println!(
+        "Table II — device counts (n={}, m={}, k={})\n",
+        model.n(),
+        model.m(),
+        model.k()
+    );
+    print!("{model}");
+    println!();
+    println!(
+        "paper totals: 1.25e6 memristors, 7.55e4 transistors; ours: {:.3e} / {:.3e}",
+        model.total_memristors() as f64,
+        model.total_transistors() as f64
+    );
+    println!(
+        "memristor overhead over bare data array: {:.1}%",
+        model.memristor_overhead_fraction() * 100.0
+    );
+}

@@ -1,0 +1,75 @@
+//! Regression pins for the regenerated artifacts: the exact numbers
+//! printed by the `table1`, `table2` and `fig6` binaries. These are
+//! deterministic (seeded generators, closed-form math), so any drift
+//! signals an unintended change to a generator, the mapper, the scheduler
+//! or the reliability model.
+
+use pimecc_bench::{geomean_overhead_pct, table1, table1_fixed_pool};
+use pimecc_core::AreaModel;
+use pimecc_reliability::{ReliabilityModel, SoftErrorRate};
+use pimecc_simpler::EccConfig;
+
+#[test]
+fn table1_is_pinned() {
+    let rows = table1(&EccConfig::default());
+    let expect: &[(&str, u64, u64, usize)] = &[
+        ("adder", 2172, 2463, 3),
+        ("arbiter", 6285, 6576, 4),
+        ("bar", 2956, 3245, 4),
+        ("cavlc", 4548, 4603, 1),
+        ("ctrl", 1114, 1199, 1),
+        ("dec", 385, 930, 7),
+        ("int2float", 148, 195, 6),
+        ("max", 3711, 4004, 4),
+        ("priority", 1394, 1443, 2),
+        ("sin", 21612, 21695, 2),
+        ("voter", 15928, 15963, 1),
+    ];
+    for (row, &(name, base, prop, pcs)) in rows.iter().zip(expect) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.baseline, base, "{name} baseline");
+        assert_eq!(row.proposed, prop, "{name} proposed");
+        assert_eq!(row.min_pcs, pcs, "{name} PCs");
+    }
+    let geomean = geomean_overhead_pct(&rows);
+    assert!((geomean - 15.91).abs() < 0.05, "geomean {geomean:.2}");
+}
+
+#[test]
+fn table1_fixed_pool_geomean_is_pinned() {
+    let rows = table1_fixed_pool(&EccConfig::default());
+    let geomean = geomean_overhead_pct(&rows);
+    assert!((geomean - 25.22).abs() < 0.05, "geomean {geomean:.2}");
+    // dec stalls hard at k=3.
+    let dec = rows.iter().find(|r| r.name == "dec").expect("dec row");
+    assert_eq!(dec.proposed, 1875);
+}
+
+#[test]
+fn table2_is_pinned_exactly() {
+    let a = AreaModel::paper().expect("model");
+    let mem: Vec<u64> = a.rows().iter().map(|r| r.memristors).collect();
+    let tr: Vec<u64> = a.rows().iter().map(|r| r.transistors).collect();
+    assert_eq!(mem, vec![1_040_400, 138_720, 67_320, 2_040, 0, 0]);
+    assert_eq!(tr, vec![0, 0, 0, 0, 61_200, 14_280]);
+}
+
+#[test]
+fn fig6_headline_is_pinned() {
+    let model = ReliabilityModel::paper().expect("model");
+    let p = model.point(SoftErrorRate::flash_like());
+    // 3.3616e8 at 1e-3 FIT/bit; allow a ppm of float slack.
+    let gain = p.improvement();
+    assert!((gain / 3.3616e8 - 1.0).abs() < 1e-3, "gain {gain:.4e}");
+    assert!((p.baseline_mttf_hours / 1.2883e2 - 1.0).abs() < 1e-3);
+    assert!((p.proposed_mttf_hours / 4.3306e10 - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn fig6_curve_endpoints_are_pinned() {
+    let model = ReliabilityModel::paper().expect("model");
+    let low = model.point(SoftErrorRate::from_fit_per_bit(1e-5));
+    assert!((low.proposed_mttf_hours / 4.3306e14 - 1.0).abs() < 1e-3);
+    let high = model.point(SoftErrorRate::from_fit_per_bit(1e3));
+    assert!((high.improvement() - 1.0).abs() < 1e-6, "saturation plateau");
+}

@@ -1,0 +1,226 @@
+//! Device-count area model — the paper's Table II.
+//!
+//! The paper reports memristor and transistor counts for the proposed
+//! architecture at `n = 1020`, `m = 15`, `k = 3` processing crossbars.
+//! Layout-level area is explicitly left to future work there, and here.
+
+use crate::cmem::{CheckMemory, ProcessingCrossbar};
+use crate::geometry::BlockGeometry;
+use crate::shifter;
+use crate::Result;
+
+/// One row of the device-count table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaRow {
+    /// Component name as printed in the paper.
+    pub unit: &'static str,
+    /// Memristor count.
+    pub memristors: u64,
+    /// Transistor count.
+    pub transistors: u64,
+    /// The closed-form expression from Table II.
+    pub expression: &'static str,
+}
+
+/// The Table II device-count model.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::AreaModel;
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let a = AreaModel::paper()?; // n=1020, m=15, k=3
+/// assert_eq!(a.total_memristors(), 1_248_480);
+/// assert_eq!(a.total_transistors(), 75_480);
+/// // Check-bit storage overhead over the raw data array:
+/// assert!((a.memristor_overhead_fraction() - 0.20) < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    geom: BlockGeometry,
+    /// Processing crossbars per diagonal family.
+    k: usize,
+}
+
+impl AreaModel {
+    /// Builds the model for an `n×n` crossbar, `m×m` blocks and `k`
+    /// processing crossbars.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn new(n: usize, m: usize, k: usize) -> Result<Self> {
+        Ok(AreaModel { geom: BlockGeometry::new(n, m)?, k })
+    }
+
+    /// The paper's case study: `n = 1020`, `m = 15`, `k = 3`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for API symmetry with
+    /// [`AreaModel::new`].
+    pub fn paper() -> Result<Self> {
+        Self::new(1020, 15, 3)
+    }
+
+    /// Crossbar dimension.
+    pub fn n(&self) -> usize {
+        self.geom.n()
+    }
+
+    /// Block dimension.
+    pub fn m(&self) -> usize {
+        self.geom.m()
+    }
+
+    /// Processing crossbars per family.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// All rows of Table II, in the paper's order.
+    pub fn rows(&self) -> Vec<AreaRow> {
+        let n = self.geom.n() as u64;
+        let k = self.k as u64;
+        vec![
+            AreaRow {
+                unit: "Data (MEM)",
+                memristors: n * n,
+                transistors: 0,
+                expression: "n x n",
+            },
+            AreaRow {
+                unit: "Check-Bits",
+                memristors: CheckMemory::new(self.geom).memristor_count(),
+                transistors: 0,
+                expression: "2 x m x (n/m)^2",
+            },
+            AreaRow {
+                unit: "Processing XBs",
+                memristors: ProcessingCrossbar::memristor_count(self.geom.n(), self.k),
+                transistors: 0,
+                expression: "2 x 11 x k x n",
+            },
+            AreaRow {
+                unit: "Checking XB",
+                memristors: 2 * n,
+                transistors: 0,
+                expression: "2 x n",
+            },
+            AreaRow {
+                unit: "Shifters",
+                memristors: 0,
+                transistors: shifter::transistor_count(self.geom.n(), self.geom.m()),
+                expression: "4 x n x m",
+            },
+            AreaRow {
+                unit: "Connection Unit",
+                memristors: 0,
+                transistors: 2 * n * (k + 4),
+                expression: "2 x n x (k + 4)",
+            },
+        ]
+    }
+
+    /// Total memristors across all components.
+    pub fn total_memristors(&self) -> u64 {
+        self.rows().iter().map(|r| r.memristors).sum()
+    }
+
+    /// Total transistors across all components.
+    pub fn total_transistors(&self) -> u64 {
+        self.rows().iter().map(|r| r.transistors).sum()
+    }
+
+    /// Extra memristors relative to the bare data array (storage
+    /// overhead of the mechanism).
+    pub fn memristor_overhead_fraction(&self) -> f64 {
+        let data = (self.geom.n() * self.geom.n()) as f64;
+        (self.total_memristors() as f64 - data) / data
+    }
+}
+
+impl std::fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12}   {}",
+            "Unit", "# Memristor", "# Transistor", "Expression"
+        )?;
+        for row in self.rows() {
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>12}   {}",
+                row.unit, row.memristors, row.transistors, row.expression
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12}",
+            "Total",
+            self.total_memristors(),
+            self.total_transistors()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every count of the paper's Table II, exactly.
+    #[test]
+    fn paper_table2_counts() {
+        let a = AreaModel::paper().unwrap();
+        let rows = a.rows();
+        assert_eq!(rows[0].memristors, 1_040_400); // 1.04e6
+        assert_eq!(rows[1].memristors, 138_720); // 1.39e5
+        assert_eq!(rows[2].memristors, 67_320); // 6.73e4
+        assert_eq!(rows[3].memristors, 2_040); // 2.04e3
+        assert_eq!(rows[4].transistors, 61_200); // 6.12e4
+        assert_eq!(rows[5].transistors, 14_280); // 1.43e4
+        assert_eq!(a.total_memristors(), 1_248_480); // 1.25e6
+        assert_eq!(a.total_transistors(), 75_480); // 7.55e4
+    }
+
+    #[test]
+    fn overhead_fraction_is_about_twenty_percent() {
+        let a = AreaModel::paper().unwrap();
+        let f = a.memristor_overhead_fraction();
+        assert!(f > 0.15 && f < 0.25, "got {f}");
+    }
+
+    #[test]
+    fn scaling_with_k() {
+        let a3 = AreaModel::new(1020, 15, 3).unwrap();
+        let a8 = AreaModel::new(1020, 15, 8).unwrap();
+        assert!(a8.total_memristors() > a3.total_memristors());
+        assert_eq!(
+            a8.rows()[2].memristors - a3.rows()[2].memristors,
+            2 * 11 * 5 * 1020
+        );
+    }
+
+    #[test]
+    fn smaller_blocks_cost_more_check_bits() {
+        let coarse = AreaModel::new(1020, 15, 3).unwrap();
+        let fine = AreaModel::new(1020, 5, 3).unwrap();
+        assert!(fine.rows()[1].memristors > coarse.rows()[1].memristors);
+    }
+
+    #[test]
+    fn display_renders_full_table() {
+        let s = AreaModel::paper().unwrap().to_string();
+        assert!(s.contains("Check-Bits"));
+        assert!(s.contains("Connection Unit"));
+        assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn invalid_geometry_propagates() {
+        assert!(AreaModel::new(1000, 4, 3).is_err());
+    }
+}

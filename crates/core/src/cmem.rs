@@ -1,0 +1,349 @@
+//! The Check Memory (CMEM): per-diagonal check-bit crossbars and the
+//! processing crossbars that run the XOR3 micro-program.
+//!
+//! Paper §IV-A: the CMEM is split into `m` check-bit crossbars per diagonal
+//! family — crossbar `i` of dimension `(n/m)×(n/m)` holds the check-bit of
+//! diagonal `i` for every block — plus dedicated *processing crossbars*
+//! that compute `check ⊕ old ⊕ new` as two 4-NOR XNOR stages (8 MAGIC NORs
+//! total), and a *checking crossbar* used to compare syndromes to zero.
+
+use crate::geometry::BlockGeometry;
+use crate::shifter::Family;
+use pimecc_xbar::{BitGrid, Crossbar, LineSet, XbarError};
+
+/// The check-bit store: `2·m` planes of `(n/m)×(n/m)` bits.
+///
+/// Plane `d` of a family holds, at `(block_row, block_col)`, the parity of
+/// diagonal `d` of that block.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::{BlockGeometry, CheckMemory};
+/// use pimecc_core::shifter::Family;
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let geom = BlockGeometry::new(9, 3)?;
+/// let mut cmem = CheckMemory::new(geom);
+/// cmem.xor_bit(Family::Leading, 2, 0, 1, true);
+/// assert!(cmem.bit(Family::Leading, 2, 0, 1));
+/// assert_eq!(cmem.memristor_count(), 2 * 3 * 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckMemory {
+    geom: BlockGeometry,
+    leading: Vec<BitGrid>,
+    counter: Vec<BitGrid>,
+}
+
+impl CheckMemory {
+    /// Creates an all-zero check memory for `geom` (consistent with an
+    /// all-zero MEM).
+    pub fn new(geom: BlockGeometry) -> Self {
+        let b = geom.blocks_per_side();
+        CheckMemory {
+            geom,
+            leading: (0..geom.m()).map(|_| BitGrid::new(b, b)).collect(),
+            counter: (0..geom.m()).map(|_| BitGrid::new(b, b)).collect(),
+        }
+    }
+
+    /// The geometry this CMEM serves.
+    pub fn geometry(&self) -> &BlockGeometry {
+        &self.geom
+    }
+
+    fn plane(&self, family: Family, d: usize) -> &BitGrid {
+        match family {
+            Family::Leading => &self.leading[d],
+            Family::Counter => &self.counter[d],
+        }
+    }
+
+    fn plane_mut(&mut self, family: Family, d: usize) -> &mut BitGrid {
+        match family {
+            Family::Leading => &mut self.leading[d],
+            Family::Counter => &mut self.counter[d],
+        }
+    }
+
+    /// Reads the check-bit of diagonal `d` of block `(block_row,
+    /// block_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-range indices.
+    pub fn bit(&self, family: Family, d: usize, block_row: usize, block_col: usize) -> bool {
+        self.plane(family, d).get(block_row, block_col)
+    }
+
+    /// Writes a check-bit directly (bulk loading / test setup).
+    pub fn set_bit(
+        &mut self,
+        family: Family,
+        d: usize,
+        block_row: usize,
+        block_col: usize,
+        value: bool,
+    ) {
+        self.plane_mut(family, d).set(block_row, block_col, value);
+    }
+
+    /// XORs `delta` into a check-bit — the continuous-update primitive
+    /// (`check ⊕= old ⊕ new`).
+    pub fn xor_bit(
+        &mut self,
+        family: Family,
+        d: usize,
+        block_row: usize,
+        block_col: usize,
+        delta: bool,
+    ) {
+        if delta {
+            self.plane_mut(family, d).flip(block_row, block_col);
+        }
+    }
+
+    /// Flips a check-bit unconditionally — the soft-error primitive for
+    /// faults striking the CMEM itself.
+    pub fn inject_fault(&mut self, family: Family, d: usize, block_row: usize, block_col: usize) {
+        self.plane_mut(family, d).flip(block_row, block_col);
+    }
+
+    /// All m check-bits of one family for one block, indexed by diagonal.
+    pub fn block_checks(&self, family: Family, block_row: usize, block_col: usize) -> Vec<bool> {
+        (0..self.geom.m()).map(|d| self.bit(family, d, block_row, block_col)).collect()
+    }
+
+    /// Overwrites the check-bits of one block from parity vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length differs from `m`.
+    pub fn store_block_checks(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        lead: &[bool],
+        counter: &[bool],
+    ) {
+        let m = self.geom.m();
+        assert_eq!(lead.len(), m, "leading parity length");
+        assert_eq!(counter.len(), m, "counter parity length");
+        for d in 0..m {
+            self.set_bit(Family::Leading, d, block_row, block_col, lead[d]);
+            self.set_bit(Family::Counter, d, block_row, block_col, counter[d]);
+        }
+    }
+
+    /// Total memristor count of the check-bit crossbars (Table II:
+    /// `2·m·(n/m)²`).
+    pub fn memristor_count(&self) -> u64 {
+        let b = self.geom.blocks_per_side() as u64;
+        2 * self.geom.m() as u64 * b * b
+    }
+}
+
+/// A processing crossbar: the 11-cell-deep MAGIC array that evaluates
+/// `XOR3(check, old, new)` lane-parallel in 8 NOR operations.
+///
+/// Lane layout (one column per lane):
+///
+/// | row | content                 |
+/// |-----|-------------------------|
+/// | 0–2 | inputs `a`, `b`, `c`    |
+/// | 3–6 | XNOR(a,b) temporaries   |
+/// | 7–10| XNOR(t,c) temporaries   |
+///
+/// Row 10 holds the result, which equals `a ⊕ b ⊕ c` because
+/// `XNOR(XNOR(a,b),c) = a ⊕ b ⊕ c`.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::ProcessingCrossbar;
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let mut pc = ProcessingCrossbar::new(4);
+/// let out = pc.compute_xor3(
+///     &[true, true, false, false],
+///     &[true, false, true, false],
+///     &[true, false, false, true],
+/// )?;
+/// assert_eq!(out, vec![true, true, true, true]);
+/// assert_eq!(pc.nor_cycles_per_xor3(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessingCrossbar {
+    xb: Crossbar,
+}
+
+/// Rows of the lane layout.
+const ROWS: usize = 11;
+
+impl ProcessingCrossbar {
+    /// Creates a processing crossbar with `lanes` parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        ProcessingCrossbar { xb: Crossbar::new(ROWS, lanes) }
+    }
+
+    /// Number of parallel lanes.
+    pub fn lanes(&self) -> usize {
+        self.xb.cols()
+    }
+
+    /// The XOR3 micro-program length in MAGIC NOR cycles — 8, matching the
+    /// paper §IV-A.2.
+    pub fn nor_cycles_per_xor3(&self) -> u64 {
+        8
+    }
+
+    /// Memristor count for `k` such crossbars per family serving an
+    /// n-cell-wide MEM (Table II: `2·11·k·n`).
+    pub fn memristor_count(n: usize, k: usize) -> u64 {
+        2 * ROWS as u64 * k as u64 * n as u64
+    }
+
+    /// Runs the 8-NOR XOR3 micro-program on three lane vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAGIC legality violations (impossible for in-range
+    /// inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input slices are longer than the lane count.
+    pub fn compute_xor3(
+        &mut self,
+        a: &[bool],
+        b: &[bool],
+        c: &[bool],
+    ) -> Result<Vec<bool>, XbarError> {
+        let lanes = self.lanes();
+        assert!(a.len() <= lanes && b.len() == a.len() && c.len() == a.len(), "lane overflow");
+        let width = a.len();
+        let sel: LineSet = (0..width).collect();
+        // Load inputs (data arrives over the shifters / connection unit).
+        for i in 0..width {
+            self.xb.write_bit(0, i, a[i]);
+            self.xb.write_bit(1, i, b[i]);
+            self.xb.write_bit(2, i, c[i]);
+        }
+        // Arm all temporaries in one parallel init.
+        self.xb.exec_init_cols(&[3, 4, 5, 6, 7, 8, 9, 10], &sel)?;
+        // XNOR(a, b): x=NOR(a,b); y=NOR(a,x); z=NOR(b,x); t=NOR(y,z).
+        self.xb.exec_nor_cols(&[0, 1], 3, &sel)?;
+        self.xb.exec_nor_cols(&[0, 3], 4, &sel)?;
+        self.xb.exec_nor_cols(&[1, 3], 5, &sel)?;
+        self.xb.exec_nor_cols(&[4, 5], 6, &sel)?;
+        // XNOR(t, c): same shape one level down.
+        self.xb.exec_nor_cols(&[6, 2], 7, &sel)?;
+        self.xb.exec_nor_cols(&[6, 7], 8, &sel)?;
+        self.xb.exec_nor_cols(&[2, 7], 9, &sel)?;
+        self.xb.exec_nor_cols(&[8, 9], 10, &sel)?;
+        Ok((0..width).map(|i| self.xb.bit(10, i)).collect())
+    }
+
+    /// Total NOR cycles executed so far (to confirm the 8-per-XOR3 cost).
+    pub fn nor_cycles_total(&self) -> u64 {
+        self.xb.stats().nor_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor3_truth_table_exhaustive() {
+        let mut pc = ProcessingCrossbar::new(8);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for v in 0..8 {
+            a.push(v & 1 != 0);
+            b.push(v & 2 != 0);
+            c.push(v & 4 != 0);
+        }
+        let out = pc.compute_xor3(&a, &b, &c).unwrap();
+        for v in 0..8usize {
+            let want = (v.count_ones() % 2) == 1;
+            assert_eq!(out[v], want, "pattern {v:03b}");
+        }
+    }
+
+    #[test]
+    fn xor3_costs_exactly_eight_nors() {
+        let mut pc = ProcessingCrossbar::new(4);
+        pc.compute_xor3(&[true; 4], &[false; 4], &[true; 4]).unwrap();
+        assert_eq!(pc.nor_cycles_total(), 8);
+        pc.compute_xor3(&[false; 4], &[false; 4], &[false; 4]).unwrap();
+        assert_eq!(pc.nor_cycles_total(), 16);
+    }
+
+    #[test]
+    fn xor3_reusable_across_invocations() {
+        let mut pc = ProcessingCrossbar::new(2);
+        for _ in 0..5 {
+            let out = pc.compute_xor3(&[true, false], &[true, true], &[true, false]).unwrap();
+            assert_eq!(out, vec![true, true]); // 1^1^1 = 1, 0^1^0 = 1
+        }
+    }
+
+    #[test]
+    fn processing_crossbar_count_matches_table2() {
+        // Table II: processing XBs = 2 x 11 x k x n = 67,320 for k=3,
+        // n=1020 (printed as 6.73e4).
+        assert_eq!(ProcessingCrossbar::memristor_count(1020, 3), 67_320);
+    }
+
+    #[test]
+    fn check_memory_round_trips_bits() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        let mut cmem = CheckMemory::new(geom);
+        cmem.set_bit(Family::Counter, 1, 2, 0, true);
+        assert!(cmem.bit(Family::Counter, 1, 2, 0));
+        cmem.xor_bit(Family::Counter, 1, 2, 0, true);
+        assert!(!cmem.bit(Family::Counter, 1, 2, 0));
+        cmem.xor_bit(Family::Counter, 1, 2, 0, false);
+        assert!(!cmem.bit(Family::Counter, 1, 2, 0));
+    }
+
+    #[test]
+    fn block_checks_pack_by_diagonal() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        let mut cmem = CheckMemory::new(geom);
+        cmem.store_block_checks(1, 2, &[true, false, true], &[false, true, false]);
+        assert_eq!(cmem.block_checks(Family::Leading, 1, 2), vec![true, false, true]);
+        assert_eq!(cmem.block_checks(Family::Counter, 1, 2), vec![false, true, false]);
+        // Other blocks untouched.
+        assert_eq!(cmem.block_checks(Family::Leading, 0, 0), vec![false; 3]);
+    }
+
+    #[test]
+    fn fault_injection_flips_check_bits() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        let mut cmem = CheckMemory::new(geom);
+        cmem.inject_fault(Family::Leading, 0, 0, 0);
+        assert!(cmem.bit(Family::Leading, 0, 0, 0));
+        cmem.inject_fault(Family::Leading, 0, 0, 0);
+        assert!(!cmem.bit(Family::Leading, 0, 0, 0));
+    }
+
+    #[test]
+    fn memristor_count_matches_paper() {
+        // Table II: check-bits = 2 x m x (n/m)^2 = 138,720 for n=1020, m=15
+        // (printed as 1.39e5).
+        let geom = BlockGeometry::paper();
+        assert_eq!(CheckMemory::new(geom).memristor_count(), 138_720);
+    }
+}

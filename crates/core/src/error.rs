@@ -1,0 +1,120 @@
+//! Error type of the core ECC crate.
+
+use pimecc_xbar::XbarError;
+use std::fmt;
+
+/// Errors raised by the diagonal-ECC architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Geometry constraint violated: `n` must be a positive multiple of `m`.
+    DimensionNotDivisible {
+        /// Crossbar dimension.
+        n: usize,
+        /// Block dimension.
+        m: usize,
+    },
+    /// Geometry constraint violated: `m` must be odd (otherwise two
+    /// wrap-around diagonals can intersect twice and single errors are not
+    /// uniquely locatable — paper §III footnote 1).
+    BlockDimensionEven {
+        /// Block dimension.
+        m: usize,
+    },
+    /// Geometry constraint violated: `m` must be at least 3.
+    BlockDimensionTooSmall {
+        /// Block dimension.
+        m: usize,
+    },
+    /// An index exceeded the crossbar dimensions.
+    OutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Crossbar dimension.
+        n: usize,
+    },
+    /// A block contains more than one error; the per-block code is only
+    /// single-error-correcting.
+    Uncorrectable {
+        /// Block row index.
+        block_row: usize,
+        /// Block column index.
+        block_col: usize,
+    },
+    /// An underlying MAGIC operation was illegal.
+    Xbar(XbarError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionNotDivisible { n, m } => {
+                write!(f, "crossbar dimension {n} is not a multiple of block dimension {m}")
+            }
+            CoreError::BlockDimensionEven { m } => {
+                write!(f, "block dimension {m} must be odd for unique diagonal intersection")
+            }
+            CoreError::BlockDimensionTooSmall { m } => {
+                write!(f, "block dimension {m} must be at least 3")
+            }
+            CoreError::OutOfBounds { row, col, n } => {
+                write!(f, "cell ({row}, {col}) out of bounds for {n}x{n} crossbar")
+            }
+            CoreError::Uncorrectable { block_row, block_col } => {
+                write!(f, "block ({block_row}, {block_col}) has an uncorrectable error pattern")
+            }
+            CoreError::Xbar(e) => write!(f, "crossbar operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Xbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XbarError> for CoreError {
+    fn from(e: XbarError) -> Self {
+        CoreError::Xbar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let cases = vec![
+            CoreError::DimensionNotDivisible { n: 10, m: 3 },
+            CoreError::BlockDimensionEven { m: 4 },
+            CoreError::BlockDimensionTooSmall { m: 1 },
+            CoreError::OutOfBounds { row: 9, col: 9, n: 5 },
+            CoreError::Uncorrectable { block_row: 1, block_col: 2 },
+            CoreError::Xbar(XbarError::NoInputs),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn xbar_error_converts_and_sources() {
+        use std::error::Error;
+        let e: CoreError = XbarError::NoInputs.into();
+        assert!(e.source().is_some());
+        let e2 = CoreError::BlockDimensionEven { m: 2 };
+        assert!(e2.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,285 @@
+//! Diagonal index arithmetic for the blocked crossbar.
+//!
+//! The n×n MEM is divided into an imaginary grid of m×m blocks (m odd).
+//! Within a block, every cell `(r, c)` lies on exactly one *leading*
+//! wrap-around diagonal `ℓ = (r + c) mod m` (bottom-left to top-right) and
+//! one *counter* diagonal `κ = (r − c) mod m` (bottom-right to top-left).
+//! Because `m` is odd, 2 is invertible modulo `m`, so the pair `(ℓ, κ)`
+//! identifies the cell uniquely:
+//!
+//! ```text
+//! r = (ℓ + κ) · 2⁻¹ mod m,    c = (ℓ − κ) · 2⁻¹ mod m
+//! ```
+//!
+//! This is the paper's footnote-1 requirement and the foundation of its
+//! single-error correction: a flipped bit leaves a signature on exactly one
+//! leading and one counter diagonal, whose intersection is the bit.
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// The blocked-crossbar geometry: crossbar dimension `n`, block dimension
+/// `m`, and the modular arithmetic connecting cells to diagonals.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::BlockGeometry;
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let g = BlockGeometry::new(1020, 15)?; // the paper's configuration
+/// assert_eq!(g.blocks_per_side(), 68);
+/// let (lead, counter) = g.diagonals(7, 11);
+/// assert_eq!(g.locate(lead, counter), (7, 11));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockGeometry {
+    n: usize,
+    m: usize,
+    /// Multiplicative inverse of 2 modulo `m` (= (m+1)/2 for odd m).
+    inv2: usize,
+}
+
+impl BlockGeometry {
+    /// Creates a geometry for an `n×n` crossbar with `m×m` blocks.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BlockDimensionTooSmall`] if `m < 3`;
+    /// * [`CoreError::BlockDimensionEven`] if `m` is even;
+    /// * [`CoreError::DimensionNotDivisible`] if `n` is zero or not a
+    ///   multiple of `m`.
+    pub fn new(n: usize, m: usize) -> Result<Self> {
+        if m < 3 {
+            return Err(CoreError::BlockDimensionTooSmall { m });
+        }
+        if m % 2 == 0 {
+            return Err(CoreError::BlockDimensionEven { m });
+        }
+        if n == 0 || n % m != 0 {
+            return Err(CoreError::DimensionNotDivisible { n, m });
+        }
+        Ok(BlockGeometry { n, m, inv2: (m + 1) / 2 })
+    }
+
+    /// The paper's configuration: `n = 1020`, `m = 15`.
+    pub fn paper() -> Self {
+        Self::new(1020, 15).expect("paper configuration is valid")
+    }
+
+    /// Crossbar dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block dimension `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of blocks along one side (`n / m`).
+    pub fn blocks_per_side(&self) -> usize {
+        self.n / self.m
+    }
+
+    /// Total number of blocks (`(n/m)²`).
+    pub fn block_count(&self) -> usize {
+        self.blocks_per_side() * self.blocks_per_side()
+    }
+
+    /// The block `(block_row, block_col)` containing global cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of bounds.
+    pub fn block_of(&self, r: usize, c: usize) -> (usize, usize) {
+        debug_assert!(r < self.n && c < self.n);
+        (r / self.m, c / self.m)
+    }
+
+    /// Block-local coordinates of global cell `(r, c)`.
+    pub fn local_of(&self, r: usize, c: usize) -> (usize, usize) {
+        debug_assert!(r < self.n && c < self.n);
+        (r % self.m, c % self.m)
+    }
+
+    /// Leading diagonal index of a *block-local* cell: `(r + c) mod m`.
+    pub fn leading(&self, local_r: usize, local_c: usize) -> usize {
+        debug_assert!(local_r < self.m && local_c < self.m);
+        (local_r + local_c) % self.m
+    }
+
+    /// Counter diagonal index of a *block-local* cell: `(r − c) mod m`.
+    pub fn counter(&self, local_r: usize, local_c: usize) -> usize {
+        debug_assert!(local_r < self.m && local_c < self.m);
+        (local_r + self.m - local_c) % self.m
+    }
+
+    /// Both diagonal indices of a *global* cell, `(leading, counter)`.
+    pub fn diagonals(&self, r: usize, c: usize) -> (usize, usize) {
+        let (lr, lc) = self.local_of(r, c);
+        (self.leading(lr, lc), self.counter(lr, lc))
+    }
+
+    /// Inverts [`BlockGeometry::leading`]/[`BlockGeometry::counter`]:
+    /// the unique block-local cell lying on leading diagonal `lead` and
+    /// counter diagonal `counter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either index is ≥ `m`.
+    pub fn locate(&self, lead: usize, counter: usize) -> (usize, usize) {
+        debug_assert!(lead < self.m && counter < self.m);
+        let r = (lead + counter) * self.inv2 % self.m;
+        let c = (lead + self.m - counter) * self.inv2 % self.m;
+        (r, c)
+    }
+
+    /// Iterates over the block-local cells of leading diagonal `lead`.
+    pub fn leading_cells(&self, lead: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let m = self.m;
+        (0..m).map(move |r| (r, (lead + m - r) % m))
+    }
+
+    /// Iterates over the block-local cells of counter diagonal `counter`.
+    pub fn counter_cells(&self, counter: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let m = self.m;
+        (0..m).map(move |r| (r, (r + m - counter) % m))
+    }
+
+    /// Validates that a global coordinate pair is in bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] when either index is ≥ `n`.
+    pub fn check_bounds(&self, r: usize, c: usize) -> Result<()> {
+        if r >= self.n || c >= self.n {
+            Err(CoreError::OutOfBounds { row: r, col: c, n: self.n })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let g = BlockGeometry::paper();
+        assert_eq!(g.n(), 1020);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.blocks_per_side(), 68);
+        assert_eq!(g.block_count(), 68 * 68);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_geometries() {
+        assert!(matches!(
+            BlockGeometry::new(10, 2),
+            Err(CoreError::BlockDimensionTooSmall { m: 2 })
+        ));
+        assert!(matches!(BlockGeometry::new(12, 4), Err(CoreError::BlockDimensionEven { m: 4 })));
+        assert!(matches!(
+            BlockGeometry::new(10, 3),
+            Err(CoreError::DimensionNotDivisible { n: 10, m: 3 })
+        ));
+        assert!(matches!(
+            BlockGeometry::new(0, 3),
+            Err(CoreError::DimensionNotDivisible { n: 0, m: 3 })
+        ));
+        assert!(BlockGeometry::new(9, 3).is_ok());
+    }
+
+    #[test]
+    fn diagonals_round_trip_for_every_cell() {
+        for m in [3usize, 5, 7, 15] {
+            let g = BlockGeometry::new(m * 2, m).unwrap();
+            for r in 0..m {
+                for c in 0..m {
+                    let (l, k) = (g.leading(r, c), g.counter(r, c));
+                    assert_eq!(g.locate(l, k), (r, c), "m={m} cell ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_pairs_are_unique_within_a_block() {
+        let g = BlockGeometry::new(15, 15).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..15 {
+            for c in 0..15 {
+                assert!(seen.insert(g.diagonals(r, c)), "duplicate at ({r},{c})");
+            }
+        }
+        assert_eq!(seen.len(), 225);
+    }
+
+    #[test]
+    fn even_m_would_break_uniqueness() {
+        // Demonstrate the footnote-1 failure mode directly: with m = 4 the
+        // map (r+c, r-c) mod m collides — e.g. (0,0) and (2,2).
+        let m = 4usize;
+        let diag = |r: usize, c: usize| ((r + c) % m, (r + m - c) % m);
+        assert_eq!(diag(0, 0), diag(2, 2));
+    }
+
+    #[test]
+    fn each_diagonal_has_m_cells_hitting_every_row_once() {
+        let g = BlockGeometry::new(15, 5).unwrap();
+        for d in 0..5 {
+            let lead: Vec<_> = g.leading_cells(d).collect();
+            assert_eq!(lead.len(), 5);
+            let rows: std::collections::HashSet<_> = lead.iter().map(|&(r, _)| r).collect();
+            let cols: std::collections::HashSet<_> = lead.iter().map(|&(_, c)| c).collect();
+            assert_eq!(rows.len(), 5, "one cell per row");
+            assert_eq!(cols.len(), 5, "one cell per column");
+            for &(r, c) in &lead {
+                assert_eq!(g.leading(r, c), d);
+            }
+            let counter: Vec<_> = g.counter_cells(d).collect();
+            for &(r, c) in &counter {
+                assert_eq!(g.counter(r, c), d);
+            }
+        }
+    }
+
+    #[test]
+    fn row_parallel_write_touches_each_diagonal_once() {
+        // The paper's central claim: a column write across all rows of a
+        // block touches every leading diagonal at most once (same for
+        // counter). Verify per block.
+        let g = BlockGeometry::new(45, 9).unwrap();
+        for col in 0..45 {
+            for block_row in 0..5 {
+                let mut leads = std::collections::HashSet::new();
+                let mut counters = std::collections::HashSet::new();
+                for local_r in 0..9 {
+                    let r = block_row * 9 + local_r;
+                    let (l, k) = g.diagonals(r, col);
+                    assert!(leads.insert(l), "lead diag {l} hit twice in col {col}");
+                    assert!(counters.insert(k), "counter diag {k} hit twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_and_local_coordinates() {
+        let g = BlockGeometry::new(30, 15).unwrap();
+        assert_eq!(g.block_of(16, 2), (1, 0));
+        assert_eq!(g.local_of(16, 2), (1, 2));
+        assert_eq!(g.block_of(0, 29), (0, 1));
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let g = BlockGeometry::new(9, 3).unwrap();
+        assert!(g.check_bounds(8, 8).is_ok());
+        assert!(matches!(g.check_bounds(9, 0), Err(CoreError::OutOfBounds { .. })));
+    }
+}

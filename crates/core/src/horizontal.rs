@@ -1,0 +1,167 @@
+//! The horizontal-parity strawman of the paper's §III (Fig. 2a), kept as an
+//! ablation baseline.
+//!
+//! Dividing the memory into horizontal groups with one parity bit per group
+//! works for row-parallel operations — each group has at most one changed
+//! bit, so Θ(1) update suffices — but a *column*-parallel operation changes
+//! one bit of `n` different rows in the *same column position*: if the
+//! operation writes a parity column the scheme breaks, and in general a
+//! single check-bit's group can have all of its data bits rewritten across
+//! the array, requiring Θ(n) sequential re-computations. This module
+//! quantifies exactly that asymmetry.
+
+use crate::Result;
+use pimecc_xbar::BitGrid;
+
+/// Horizontal byte-style parity: one check-bit per `group` consecutive bits
+/// of each row.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::horizontal::HorizontalEcc;
+///
+/// let h = HorizontalEcc::new(8, 8); // paper's byte example, 8x8 toy array
+/// // A row-parallel write updates one bit per group: Θ(1) per check-bit.
+/// assert_eq!(h.update_ops_row_parallel(), 1);
+/// // A column-parallel write across n rows dirties n check-bits, and each
+/// // needs its whole group re-read: Θ(n) work on the critical path.
+/// assert_eq!(h.update_ops_col_parallel(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HorizontalEcc {
+    n: usize,
+    group: usize,
+}
+
+impl HorizontalEcc {
+    /// Creates the model for an `n×n` array with `group`-bit parity groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is zero or does not divide `n`.
+    pub fn new(n: usize, group: usize) -> Self {
+        assert!(group > 0 && n % group == 0, "group must divide n");
+        HorizontalEcc { n, group }
+    }
+
+    /// Number of parity groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.n / self.group
+    }
+
+    /// Check-bit storage cost (one bit per group per row).
+    pub fn check_bits(&self) -> usize {
+        self.n * self.groups_per_row()
+    }
+
+    /// Sequential ECC-update operations after a row-parallel MAGIC op
+    /// writing one column: each row's affected group has exactly one
+    /// changed bit, and all rows update in parallel — Θ(1).
+    pub fn update_ops_row_parallel(&self) -> usize {
+        1
+    }
+
+    /// Sequential ECC-update operations after a column-parallel MAGIC op
+    /// writing one row: the written row has `n` changed bits spread over
+    /// its groups, but every *other* row is untouched... the breaking case
+    /// the paper highlights is the transpose: a column-parallel op writes
+    /// one bit in the same group-position of `n` different check-groups
+    /// spread across one column of groups; each of those groups belongs to
+    /// a different row and all its updates serialize through the single
+    /// horizontal parity tree of that row — Θ(n) total (paper Fig. 2a).
+    pub fn update_ops_col_parallel(&self) -> usize {
+        self.n
+    }
+
+    /// Computes the full parity table of a data grid (for functional
+    /// validation of the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not n×n.
+    pub fn encode(&self, data: &BitGrid) -> Vec<Vec<bool>> {
+        assert_eq!((data.rows(), data.cols()), (self.n, self.n));
+        (0..self.n)
+            .map(|r| {
+                (0..self.groups_per_row())
+                    .map(|g| {
+                        (0..self.group).fold(false, |acc, i| acc ^ data.get(r, g * self.group + i))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Detects (but cannot locate within a group) parity violations;
+    /// returns `(row, group)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn violations(&self, data: &BitGrid, parity: &[Vec<bool>]) -> Vec<(usize, usize)> {
+        let fresh = self.encode(data);
+        let mut out = Vec::new();
+        for r in 0..self.n {
+            for g in 0..self.groups_per_row() {
+                if fresh[r][g] != parity[r][g] {
+                    out.push((r, g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Speedup of the diagonal scheme over the horizontal scheme for
+    /// column-parallel critical operations (the paper's Θ(n) vs Θ(1)).
+    pub fn diagonal_speedup_col_parallel(&self) -> Result<f64> {
+        Ok(self.update_ops_col_parallel() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_byte_parity_intuition() {
+        // 1 parity bit per 8 data bits: 12.5% overhead.
+        let h = HorizontalEcc::new(64, 8);
+        assert_eq!(h.check_bits(), 64 * 8);
+        assert_eq!(h.groups_per_row(), 8);
+    }
+
+    #[test]
+    fn encode_detects_single_flip_group() {
+        let h = HorizontalEcc::new(8, 4);
+        let mut data = BitGrid::new(8, 8);
+        data.set(3, 5, true);
+        let parity = h.encode(&data);
+        assert!(parity[3][1]); // group 1 of row 3 has odd parity
+        let mut corrupted = data.clone();
+        corrupted.flip(3, 6);
+        assert_eq!(h.violations(&corrupted, &parity), vec![(3, 1)]);
+    }
+
+    #[test]
+    fn row_vs_col_update_asymmetry() {
+        let h = HorizontalEcc::new(1024, 8);
+        assert_eq!(h.update_ops_row_parallel(), 1);
+        assert_eq!(h.update_ops_col_parallel(), 1024);
+        assert_eq!(h.diagonal_speedup_col_parallel().unwrap(), 1024.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group must divide")]
+    fn invalid_grouping_panics() {
+        let _ = HorizontalEcc::new(10, 3);
+    }
+
+    #[test]
+    fn clean_data_has_no_violations() {
+        let h = HorizontalEcc::new(8, 8);
+        let data = BitGrid::new(8, 8);
+        let parity = h.encode(&data);
+        assert!(h.violations(&data, &parity).is_empty());
+    }
+}

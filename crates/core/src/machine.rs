@@ -1,0 +1,902 @@
+//! The integrated protected memory: a MAGIC crossbar (MEM) whose writes to
+//! ECC-covered blocks transparently maintain the diagonal check-bits in the
+//! CMEM, with fault injection, per-block checking and correction.
+//!
+//! The machine reproduces the paper's critical-operation protocol (§IV):
+//!
+//! 1. cancel the old data's effect on the check-bits,
+//! 2. perform the MAGIC operation in the MEM,
+//! 3. add the new data's effect on the check-bits,
+//!
+//! where steps 1 and 3 are XOR3 updates executed in processing crossbars
+//! fed through the barrel shifters. Functionally the two XORs collapse to
+//! `check ⊕= old ⊕ new` per touched diagonal; the cycle cost of the full
+//! protocol is tracked in [`MachineStats`].
+//!
+//! Coverage is per *block*: function inputs and outputs live in covered
+//! blocks (checked and continuously updated); intermediate scratch blocks
+//! can be marked uncovered, matching the paper's model where only function
+//! inputs/outputs are protected.
+
+use crate::cmem::CheckMemory;
+use crate::code::{DiagonalCode, ErrorLocation};
+use crate::error::CoreError;
+use crate::geometry::BlockGeometry;
+use crate::shifter::Family;
+use crate::Result;
+use pimecc_xbar::{BitGrid, Crossbar, LineSet};
+
+/// Cycle/event accounting for the protected memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MachineStats {
+    /// MEM-side clock cycles (gates, inits, transfers).
+    pub mem_cycles: u64,
+    /// MEM cycles that were data transfers to/from the CMEM datapath.
+    pub transfer_cycles: u64,
+    /// XOR3 micro-programs executed in processing crossbars (8 NORs each).
+    pub pc_xor3_ops: u64,
+    /// Critical operations executed (writes into covered blocks).
+    pub critical_ops: u64,
+    /// Block checks performed.
+    pub blocks_checked: u64,
+    /// Errors corrected (data or check-bit).
+    pub errors_corrected: u64,
+    /// Uncorrectable (multi-error) blocks encountered.
+    pub errors_uncorrectable: u64,
+}
+
+/// Outcome summary of a checking pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckReport {
+    /// Blocks examined.
+    pub checked: usize,
+    /// Single errors corrected (data or check-bits).
+    pub corrected: usize,
+    /// Blocks left with detected-but-uncorrectable patterns.
+    pub uncorrectable: usize,
+}
+
+/// A MAGIC crossbar with continuously maintained diagonal ECC.
+///
+/// See the crate-level example. All `exec_*` methods mirror the raw
+/// [`Crossbar`] API; criticality (whether the ECC must be updated) is
+/// decided automatically from the coverage map of the written cells.
+#[derive(Debug, Clone)]
+pub struct ProtectedMemory {
+    geom: BlockGeometry,
+    code: DiagonalCode,
+    mem: Crossbar,
+    cmem: CheckMemory,
+    /// Coverage per block, indexed `[block_row * bps + block_col]`.
+    covered: Vec<bool>,
+    /// When set, every critical operation first ECC-checks the blocks it
+    /// is about to overwrite (closes the §III false-positive window at the
+    /// price of a check per write — the "locally decodable codes" future
+    /// work of the paper, realized with the hardware already present).
+    check_on_critical: bool,
+    stats: MachineStats,
+}
+
+impl ProtectedMemory {
+    /// Creates an all-zero protected memory (data and check-bits
+    /// consistent), with every block covered.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`BlockGeometry`]; the `Result`
+    /// reserves room for configuration validation.
+    pub fn new(geom: BlockGeometry) -> Result<Self> {
+        Ok(ProtectedMemory {
+            geom,
+            code: DiagonalCode::new(geom),
+            mem: Crossbar::new(geom.n(), geom.n()),
+            cmem: CheckMemory::new(geom),
+            covered: vec![true; geom.block_count()],
+            check_on_critical: false,
+            stats: MachineStats::default(),
+        })
+    }
+
+    /// Enables or disables the pre-write ECC check of critical
+    /// operations. Off by default (the paper's configuration, which
+    /// accepts the rare false positive documented in its §III).
+    pub fn set_check_on_critical(&mut self, enabled: bool) {
+        self.check_on_critical = enabled;
+    }
+
+    /// Whether pre-write checking is enabled.
+    pub fn check_on_critical(&self) -> bool {
+        self.check_on_critical
+    }
+
+    /// ECC-checks the distinct covered blocks containing `cells` (the
+    /// pre-write verification pass).
+    fn precheck_blocks(&mut self, cells: &[(usize, usize)]) -> Result<()> {
+        let mut blocks: Vec<(usize, usize)> =
+            cells.iter().map(|&(r, c)| self.geom.block_of(r, c)).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for (br, bc) in blocks {
+            if self.covered[self.block_index(br, bc)] {
+                self.check_block(br, bc)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &BlockGeometry {
+        &self.geom
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Read-only view of the underlying MEM crossbar.
+    pub fn mem(&self) -> &Crossbar {
+        &self.mem
+    }
+
+    /// Read-only view of the CMEM.
+    pub fn cmem(&self) -> &CheckMemory {
+        &self.cmem
+    }
+
+    /// Reads one data bit (observability helper, zero cycles).
+    pub fn bit(&self, r: usize, c: usize) -> bool {
+        self.mem.bit(r, c)
+    }
+
+    fn block_index(&self, block_row: usize, block_col: usize) -> usize {
+        block_row * self.geom.blocks_per_side() + block_col
+    }
+
+    /// Marks a block as ECC-covered or as uncovered scratch. Newly covering
+    /// a block re-encodes its check-bits so the invariant holds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if the block indices are out of range.
+    pub fn set_block_covered(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        covered: bool,
+    ) -> Result<()> {
+        let bps = self.geom.blocks_per_side();
+        if block_row >= bps || block_col >= bps {
+            return Err(CoreError::OutOfBounds {
+                row: block_row * self.geom.m(),
+                col: block_col * self.geom.m(),
+                n: self.geom.n(),
+            });
+        }
+        let idx = self.block_index(block_row, block_col);
+        if covered && !self.covered[idx] {
+            // Re-encode on coverage entry (a write-with-ECC sweep).
+            let block = self.extract_block(block_row, block_col);
+            let (l, k) = self.code.encode(&block);
+            self.cmem.store_block_checks(block_row, block_col, &l, &k);
+            self.stats.mem_cycles += self.geom.m() as u64; // m row reads
+            self.stats.transfer_cycles += self.geom.m() as u64;
+        }
+        self.covered[idx] = covered;
+        Ok(())
+    }
+
+    /// Whether a block is ECC-covered.
+    pub fn block_covered(&self, block_row: usize, block_col: usize) -> bool {
+        self.covered[self.block_index(block_row, block_col)]
+    }
+
+    fn is_cell_covered(&self, r: usize, c: usize) -> bool {
+        let (br, bc) = self.geom.block_of(r, c);
+        self.covered[self.block_index(br, bc)]
+    }
+
+    fn extract_block(&self, block_row: usize, block_col: usize) -> BitGrid {
+        let m = self.geom.m();
+        let mut g = BitGrid::new(m, m);
+        for r in 0..m {
+            for c in 0..m {
+                g.set(r, c, self.mem.bit(block_row * m + r, block_col * m + c));
+            }
+        }
+        g
+    }
+
+    /// Bulk-loads a full data grid, recomputing every covered block's
+    /// check-bits (the "ECC computed along write" path of a conventional
+    /// memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not n×n.
+    pub fn load_grid(&mut self, data: &BitGrid) {
+        let n = self.geom.n();
+        assert_eq!((data.rows(), data.cols()), (n, n), "grid must be {n}x{n}");
+        for r in 0..n {
+            let row = data.row(r);
+            self.mem.write_row(r, &row);
+        }
+        self.stats.mem_cycles += n as u64;
+        let bps = self.geom.blocks_per_side();
+        for br in 0..bps {
+            for bc in 0..bps {
+                if self.covered[self.block_index(br, bc)] {
+                    let block = self.extract_block(br, bc);
+                    let (l, k) = self.code.encode(&block);
+                    self.cmem.store_block_checks(br, bc, &l, &k);
+                }
+            }
+        }
+    }
+
+    /// Applies the continuous ECC update for a set of written cells, given
+    /// their prior values. Cells in uncovered blocks are skipped.
+    fn update_checks(&mut self, cells: &[(usize, usize, bool)]) {
+        let mut any_covered = false;
+        for &(r, c, old) in cells {
+            if !self.is_cell_covered(r, c) {
+                continue;
+            }
+            any_covered = true;
+            let new = self.mem.bit(r, c);
+            if old != new {
+                let (br, bc) = self.geom.block_of(r, c);
+                let (lr, lc) = self.geom.local_of(r, c);
+                self.cmem.xor_bit(Family::Leading, self.geom.leading(lr, lc), br, bc, true);
+                self.cmem.xor_bit(Family::Counter, self.geom.counter(lr, lc), br, bc, true);
+            }
+        }
+        if any_covered {
+            // Critical-operation protocol cost: old transfer + new transfer
+            // on the MEM; two XOR3 programs (leading + counter) in a PC.
+            self.stats.critical_ops += 1;
+            self.stats.mem_cycles += 2;
+            self.stats.transfer_cycles += 2;
+            self.stats.pc_xor3_ops += 2;
+        }
+    }
+
+    /// Row-parallel MAGIC NOR (see [`Crossbar::exec_nor_rows`]); maintains
+    /// ECC for covered blocks automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
+    pub fn exec_nor_rows(&mut self, in_cols: &[usize], out_col: usize, rows: &LineSet) -> Result<()> {
+        let idx = rows.indices(self.mem.rows());
+        if self.check_on_critical {
+            let cells: Vec<(usize, usize)> = idx.iter().map(|&r| (r, out_col)).collect();
+            self.precheck_blocks(&cells)?;
+        }
+        let old: Vec<(usize, usize, bool)> =
+            idx.iter().map(|&r| (r, out_col, self.mem.bit(r, out_col))).collect();
+        self.mem.exec_nor_rows(in_cols, out_col, rows)?;
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
+    /// Column-parallel MAGIC NOR with automatic ECC maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
+    pub fn exec_nor_cols(&mut self, in_rows: &[usize], out_row: usize, cols: &LineSet) -> Result<()> {
+        let idx = cols.indices(self.mem.cols());
+        if self.check_on_critical {
+            let cells: Vec<(usize, usize)> = idx.iter().map(|&c| (out_row, c)).collect();
+            self.precheck_blocks(&cells)?;
+        }
+        let old: Vec<(usize, usize, bool)> =
+            idx.iter().map(|&c| (out_row, c, self.mem.bit(out_row, c))).collect();
+        self.mem.exec_nor_cols(in_rows, out_row, cols)?;
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
+    /// Row-parallel initialization with automatic ECC maintenance (the
+    /// paper's footnote 3 notes block resets could update ECC directly; the
+    /// net effect is identical).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
+    pub fn exec_init_rows(&mut self, cols: &[usize], rows: &LineSet) -> Result<()> {
+        let idx = rows.indices(self.mem.rows());
+        if self.check_on_critical {
+            let mut cells = Vec::with_capacity(idx.len() * cols.len());
+            for &r in &idx {
+                for &c in cols {
+                    cells.push((r, c));
+                }
+            }
+            self.precheck_blocks(&cells)?;
+        }
+        let mut old = Vec::with_capacity(idx.len() * cols.len());
+        for &r in &idx {
+            for &c in cols {
+                old.push((r, c, self.mem.bit(r, c)));
+            }
+        }
+        self.mem.exec_init_rows(cols, rows)?;
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
+    /// Column-parallel initialization with automatic ECC maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
+    pub fn exec_init_cols(&mut self, rows: &[usize], cols: &LineSet) -> Result<()> {
+        let idx = cols.indices(self.mem.cols());
+        if self.check_on_critical {
+            let mut cells = Vec::with_capacity(idx.len() * rows.len());
+            for &c in &idx {
+                for &r in rows {
+                    cells.push((r, c));
+                }
+            }
+            self.precheck_blocks(&cells)?;
+        }
+        let mut old = Vec::with_capacity(idx.len() * rows.len());
+        for &c in &idx {
+            for &r in rows {
+                old.push((r, c, self.mem.bit(r, c)));
+            }
+        }
+        self.mem.exec_init_cols(rows, cols)?;
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
+    /// Resets an entire block to LRS (all ones) and writes its check-bits
+    /// *directly* instead of running the XOR3 protocol per cell — the
+    /// paper's footnote 3 fast path ("when resetting an entire block then
+    /// the block's ECC can also be reset directly"). Costs m init cycles
+    /// on the MEM plus one CMEM write, versus m·m critical-op protocols.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] on bad block indices; MAGIC errors are
+    /// impossible for an init.
+    pub fn reset_block(&mut self, block_row: usize, block_col: usize) -> Result<()> {
+        let bps = self.geom.blocks_per_side();
+        if block_row >= bps || block_col >= bps {
+            return Err(CoreError::OutOfBounds {
+                row: block_row * self.geom.m(),
+                col: block_col * self.geom.m(),
+                n: self.geom.n(),
+            });
+        }
+        let m = self.geom.m();
+        let cols: Vec<usize> = (block_col * m..(block_col + 1) * m).collect();
+        // m parallel row-inits sweep the block (one per row of the block).
+        for r in block_row * m..(block_row + 1) * m {
+            self.mem.exec_init_rows(&cols, &LineSet::One(r))?;
+        }
+        self.stats.mem_cycles += m as u64;
+        if self.covered[self.block_index(block_row, block_col)] {
+            // All-ones block: every diagonal holds m ones, and m is odd,
+            // so every parity bit is 1.
+            let ones = vec![true; m];
+            self.cmem.store_block_checks(block_row, block_col, &ones, &ones);
+            self.stats.transfer_cycles += 1;
+        }
+        Ok(())
+    }
+
+    /// Flips a data memristor without the controller noticing — a soft
+    /// error.
+    pub fn inject_fault(&mut self, r: usize, c: usize) {
+        self.mem.flip_bit(r, c);
+    }
+
+    /// Flips a check-bit memristor — a soft error striking the CMEM.
+    pub fn inject_check_fault(
+        &mut self,
+        family: Family,
+        d: usize,
+        block_row: usize,
+        block_col: usize,
+    ) {
+        self.cmem.inject_fault(family, d, block_row, block_col);
+    }
+
+    /// Checks (and repairs) one covered block. Returns what was found.
+    /// Uncovered blocks report [`ErrorLocation::None`] without inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] on bad block indices.
+    pub fn check_block(&mut self, block_row: usize, block_col: usize) -> Result<ErrorLocation> {
+        let bps = self.geom.blocks_per_side();
+        if block_row >= bps || block_col >= bps {
+            return Err(CoreError::OutOfBounds {
+                row: block_row * self.geom.m(),
+                col: block_col * self.geom.m(),
+                n: self.geom.n(),
+            });
+        }
+        if !self.covered[self.block_index(block_row, block_col)] {
+            return Ok(ErrorLocation::None);
+        }
+        let m = self.geom.m();
+        let mut block = self.extract_block(block_row, block_col);
+        let mut lead = self.cmem.block_checks(Family::Leading, block_row, block_col);
+        let mut counter = self.cmem.block_checks(Family::Counter, block_row, block_col);
+        let loc = self.code.correct(&mut block, &mut lead, &mut counter);
+        self.stats.blocks_checked += 1;
+        match loc {
+            ErrorLocation::None => {}
+            ErrorLocation::Uncorrectable => self.stats.errors_uncorrectable += 1,
+            ErrorLocation::Data { local_row, local_col } => {
+                // Drive the corrected value back into the MEM.
+                let (r, c) = (block_row * m + local_row, block_col * m + local_col);
+                self.mem.write_bit(r, c, block.get(local_row, local_col));
+                self.stats.mem_cycles += 1;
+                self.stats.errors_corrected += 1;
+            }
+            ErrorLocation::LeadingCheck { .. } | ErrorLocation::CounterCheck { .. } => {
+                self.cmem.store_block_checks(block_row, block_col, &lead, &counter);
+                self.stats.errors_corrected += 1;
+            }
+        }
+        Ok(loc)
+    }
+
+    /// Checks a whole row of blocks — the paper's pre-execution input check
+    /// (§IV: the row is copied into the CMEM datapath in m MAGIC NOT
+    /// cycles, reduced by XOR3 trees, and compared in the checking
+    /// crossbar).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] on a bad block-row index.
+    pub fn check_block_row(&mut self, block_row: usize) -> Result<CheckReport> {
+        let bps = self.geom.blocks_per_side();
+        if block_row >= bps {
+            return Err(CoreError::OutOfBounds { row: block_row * self.geom.m(), col: 0, n: self.geom.n() });
+        }
+        // m copy cycles move the block-row through the shifters.
+        self.stats.mem_cycles += self.geom.m() as u64;
+        self.stats.transfer_cycles += self.geom.m() as u64;
+        // XOR3 reduction per family: ceil tree over m copied rows.
+        let mut ops = self.geom.m();
+        let mut xor3 = 0u64;
+        while ops > 1 {
+            let stage = ops.div_ceil(3);
+            xor3 += stage as u64;
+            ops = stage;
+        }
+        self.stats.pc_xor3_ops += 2 * xor3;
+        let mut report = CheckReport::default();
+        for bc in 0..bps {
+            let loc = self.check_block(block_row, bc)?;
+            report.checked += 1;
+            match loc {
+                ErrorLocation::None => {}
+                ErrorLocation::Uncorrectable => report.uncorrectable += 1,
+                _ => report.corrected += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Transpose of [`ProtectedMemory::check_block_row`]: checks a whole
+    /// column of blocks, the pre-execution input check for
+    /// *column-parallel* functions (the paper's §IV "row (column)"
+    /// symmetry, enabled by the per-family barrel shifters).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] on a bad block-column index.
+    pub fn check_block_col(&mut self, block_col: usize) -> Result<CheckReport> {
+        let bps = self.geom.blocks_per_side();
+        if block_col >= bps {
+            return Err(CoreError::OutOfBounds { row: 0, col: block_col * self.geom.m(), n: self.geom.n() });
+        }
+        // m copy cycles move the block-column through the shifters.
+        self.stats.mem_cycles += self.geom.m() as u64;
+        self.stats.transfer_cycles += self.geom.m() as u64;
+        let mut ops = self.geom.m();
+        let mut xor3 = 0u64;
+        while ops > 1 {
+            let stage = ops.div_ceil(3);
+            xor3 += stage as u64;
+            ops = stage;
+        }
+        self.stats.pc_xor3_ops += 2 * xor3;
+        let mut report = CheckReport::default();
+        for br in 0..bps {
+            let loc = self.check_block(br, block_col)?;
+            report.checked += 1;
+            match loc {
+                ErrorLocation::None => {}
+                ErrorLocation::Uncorrectable => report.uncorrectable += 1,
+                _ => report.corrected += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// The periodic full-memory check: every covered block is verified and
+    /// single errors repaired.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; mirrors [`ProtectedMemory::check_block_row`].
+    pub fn check_all(&mut self) -> Result<CheckReport> {
+        let mut total = CheckReport::default();
+        for br in 0..self.geom.blocks_per_side() {
+            let r = self.check_block_row(br)?;
+            total.checked += r.checked;
+            total.corrected += r.corrected;
+            total.uncorrectable += r.uncorrectable;
+        }
+        Ok(total)
+    }
+
+    /// Scrub: re-encodes every covered block's check-bits from the current
+    /// data — the write-with-ECC sweep a refresh cycle performs. Unlike
+    /// [`ProtectedMemory::check_all`] this does not *correct* anything; it
+    /// re-bases the code on whatever the data now holds, clearing any
+    /// stale parity left by the §III false-positive window.
+    pub fn scrub(&mut self) {
+        let bps = self.geom.blocks_per_side();
+        for br in 0..bps {
+            for bc in 0..bps {
+                if !self.covered[self.block_index(br, bc)] {
+                    continue;
+                }
+                let block = self.extract_block(br, bc);
+                let (l, k) = self.code.encode(&block);
+                self.cmem.store_block_checks(br, bc, &l, &k);
+            }
+        }
+        // Cost: every row is read and re-encoded once.
+        self.stats.mem_cycles += self.geom.n() as u64;
+        self.stats.transfer_cycles += self.geom.n() as u64;
+    }
+
+    /// Test oracle: recomputes every covered block's parity from the data
+    /// and compares to the stored check-bits, at zero model cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent block.
+    pub fn verify_consistency(&self) -> std::result::Result<(), String> {
+        let bps = self.geom.blocks_per_side();
+        for br in 0..bps {
+            for bc in 0..bps {
+                if !self.covered[self.block_index(br, bc)] {
+                    continue;
+                }
+                let block = self.extract_block(br, bc);
+                let (l, k) = self.code.encode(&block);
+                if l != self.cmem.block_checks(Family::Leading, br, bc) {
+                    return Err(format!("block ({br},{bc}) leading checks inconsistent"));
+                }
+                if k != self.cmem.block_checks(Family::Counter, br, bc) {
+                    return Err(format!("block ({br},{bc}) counter checks inconsistent"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: usize, m: usize) -> ProtectedMemory {
+        ProtectedMemory::new(BlockGeometry::new(n, m).unwrap()).unwrap()
+    }
+
+    fn random_grid(n: usize, seed: u64) -> BitGrid {
+        let mut g = BitGrid::new(n, n);
+        let mut s = seed | 1;
+        for r in 0..n {
+            for c in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                g.set(r, c, s >> 63 != 0);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn fresh_machine_is_consistent() {
+        let pm = machine(9, 3);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn load_grid_establishes_consistency() {
+        let mut pm = machine(15, 5);
+        pm.load_grid(&random_grid(15, 7));
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn row_parallel_nor_maintains_checks() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 1));
+        pm.exec_init_rows(&[4], &LineSet::All).unwrap();
+        pm.exec_nor_rows(&[0, 1], 4, &LineSet::All).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+        assert!(pm.stats().critical_ops >= 2);
+    }
+
+    #[test]
+    fn col_parallel_nor_maintains_checks() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 2));
+        pm.exec_init_cols(&[5], &LineSet::All).unwrap();
+        pm.exec_nor_cols(&[0, 2], 5, &LineSet::All).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn mixed_op_sequence_stays_consistent() {
+        let mut pm = machine(15, 5);
+        pm.load_grid(&random_grid(15, 3));
+        for step in 0..10 {
+            let col = 5 + step % 5;
+            pm.exec_init_rows(&[col], &LineSet::All).unwrap();
+            pm.exec_nor_rows(&[step % 3, 3 + step % 2], col, &LineSet::All).unwrap();
+            let row = 10 + step % 5;
+            pm.exec_init_cols(&[row], &LineSet::Range(0..15)).unwrap();
+            pm.exec_nor_cols(&[step % 4, 5], row, &LineSet::Range(0..15)).unwrap();
+            assert!(pm.verify_consistency().is_ok(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn single_data_fault_is_corrected_by_check_all() {
+        let mut pm = machine(15, 5);
+        pm.load_grid(&random_grid(15, 4));
+        let before = pm.bit(7, 11);
+        pm.inject_fault(7, 11);
+        assert_eq!(pm.bit(7, 11), !before);
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 1);
+        assert_eq!(report.uncorrectable, 0);
+        assert_eq!(pm.bit(7, 11), before, "data restored");
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn single_check_bit_fault_is_corrected() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 5));
+        pm.inject_check_fault(Family::Counter, 1, 2, 0);
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 1);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn faults_in_different_blocks_all_corrected() {
+        let mut pm = machine(15, 5);
+        pm.load_grid(&random_grid(15, 6));
+        pm.inject_fault(0, 0); // block (0,0)
+        pm.inject_fault(7, 12); // block (1,2)
+        pm.inject_fault(14, 3); // block (2,0)
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 3);
+        assert_eq!(report.uncorrectable, 0);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn double_fault_in_one_block_is_reported_uncorrectable() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 8));
+        pm.inject_fault(0, 0);
+        pm.inject_fault(1, 2); // same block (0,0), general position
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.uncorrectable, 1);
+        assert_eq!(pm.stats().errors_uncorrectable, 1);
+    }
+
+    #[test]
+    fn uncovered_scratch_blocks_skip_ecc() {
+        let mut pm = machine(9, 3);
+        pm.set_block_covered(1, 1, false).unwrap();
+        let criticals_before = pm.stats().critical_ops;
+        // Operate entirely inside the scratch block (rows 3..6, cols 3..6).
+        pm.exec_init_rows(&[4], &LineSet::Range(3..6)).unwrap();
+        pm.exec_nor_rows(&[3, 5], 4, &LineSet::Range(3..6)).unwrap();
+        assert_eq!(pm.stats().critical_ops, criticals_before, "scratch ops are non-critical");
+        // A fault there is invisible to checks (by design).
+        pm.inject_fault(4, 4);
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 0);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn recovering_coverage_reencodes() {
+        let mut pm = machine(9, 3);
+        pm.set_block_covered(0, 0, false).unwrap();
+        pm.exec_init_rows(&[1], &LineSet::Range(0..3)).unwrap(); // scratch write
+        pm.set_block_covered(0, 0, true).unwrap(); // re-encode happens here
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn mixed_covered_uncovered_write_updates_only_covered() {
+        let mut pm = machine(9, 3);
+        pm.set_block_covered(0, 0, false).unwrap();
+        // Column 1 crosses blocks (0,0) [uncovered], (1,0), (2,0) [covered].
+        pm.exec_init_rows(&[1], &LineSet::All).unwrap();
+        pm.exec_nor_rows(&[0, 2], 1, &LineSet::All).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn check_block_col_transposes_check_block_row() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 12));
+        pm.inject_fault(4, 1); // block (1, 0)
+        let report = pm.check_block_col(0).unwrap();
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.corrected, 1);
+        assert!(pm.verify_consistency().is_ok());
+        assert!(matches!(pm.check_block_col(5), Err(CoreError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn check_block_row_reports_and_costs() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 11));
+        pm.inject_fault(1, 4); // block (0,1)
+        let cycles_before = pm.stats().mem_cycles;
+        let report = pm.check_block_row(0).unwrap();
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.corrected, 1);
+        // m copy cycles plus one corrective write.
+        assert_eq!(pm.stats().mem_cycles - cycles_before, 3 + 1);
+    }
+
+    #[test]
+    fn critical_op_cost_model() {
+        let mut pm = machine(9, 3);
+        let s0 = *pm.stats();
+        pm.exec_init_rows(&[0], &LineSet::All).unwrap();
+        let s1 = *pm.stats();
+        // 1 gate cycle + 2 transfers; 2 XOR3s (leading + counter).
+        assert_eq!(s1.mem_cycles - s0.mem_cycles, 3);
+        assert_eq!(s1.transfer_cycles - s0.transfer_cycles, 2);
+        assert_eq!(s1.pc_xor3_ops - s0.pc_xor3_ops, 2);
+        assert_eq!(s1.critical_ops - s0.critical_ops, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_block_indices_error() {
+        let mut pm = machine(9, 3);
+        assert!(matches!(pm.check_block(5, 0), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(pm.set_block_covered(0, 9, true), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(pm.check_block_row(3), Err(CoreError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn check_on_critical_closes_the_false_positive_window() {
+        // Same scenario as `fault_then_critical_overwrite_leaves_stale_
+        // parity`, but with pre-write checking: the fault is corrected
+        // BEFORE the overwrite cancels its effect, so no false positive
+        // ever forms and no data is silently wrong.
+        let mut pm = machine(9, 3);
+        let grid = random_grid(9, 13);
+        pm.load_grid(&grid);
+        pm.set_check_on_critical(true);
+        assert!(pm.check_on_critical());
+        pm.inject_fault(0, 0);
+        pm.exec_init_rows(&[0], &LineSet::One(0)).unwrap();
+        // Parity never went stale...
+        assert!(pm.verify_consistency().is_ok());
+        // ...the fault was corrected by the pre-write check...
+        assert_eq!(pm.stats().errors_corrected, 1);
+        // ...and a subsequent full check finds nothing left to fix.
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 0);
+        assert_eq!(report.uncorrectable, 0);
+        // Every untouched cell still matches the loaded data.
+        for r in 0..9 {
+            for c in 0..9 {
+                if (r, c) != (0, 0) {
+                    assert_eq!(pm.bit(r, c), grid.get(r, c), "({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precheck_costs_cycles_but_full_width_ops_still_work() {
+        let mut pm = machine(9, 3);
+        pm.set_check_on_critical(true);
+        pm.exec_init_rows(&[4], &LineSet::All).unwrap();
+        pm.exec_nor_rows(&[0, 1], 4, &LineSet::All).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+        // The init + nor each prechecked the 3 blocks of column 4's block
+        // column.
+        assert_eq!(pm.stats().blocks_checked, 6);
+    }
+
+    #[test]
+    fn reset_block_fast_path_is_consistent_and_cheap() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 17));
+        let cycles_before = pm.stats().mem_cycles;
+        let criticals_before = pm.stats().critical_ops;
+        pm.reset_block(1, 2).unwrap();
+        // m init cycles, zero critical-op protocols.
+        assert_eq!(pm.stats().mem_cycles - cycles_before, 3);
+        assert_eq!(pm.stats().critical_ops, criticals_before);
+        // Block is all ones and the direct ECC write is consistent.
+        for r in 3..6 {
+            for c in 6..9 {
+                assert!(pm.bit(r, c), "({r},{c})");
+            }
+        }
+        assert!(pm.verify_consistency().is_ok());
+        assert!(matches!(pm.reset_block(9, 0), Err(CoreError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn reset_block_on_uncovered_block_skips_cmem() {
+        let mut pm = machine(9, 3);
+        pm.set_block_covered(0, 0, false).unwrap();
+        pm.reset_block(0, 0).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn scrub_rebases_stale_parity_without_correcting() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 21));
+        // Create a stale-parity state via the false-positive window.
+        pm.inject_fault(0, 0);
+        pm.exec_init_rows(&[0], &LineSet::One(0)).unwrap();
+        assert!(pm.verify_consistency().is_err());
+        let corrected_before = pm.stats().errors_corrected;
+        pm.scrub();
+        assert!(pm.verify_consistency().is_ok());
+        assert_eq!(pm.stats().errors_corrected, corrected_before, "scrub corrects nothing");
+        // And a subsequent check finds a clean memory.
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected + report.uncorrectable, 0);
+    }
+
+    #[test]
+    fn fault_then_critical_overwrite_leaves_stale_parity() {
+        // The paper's documented false-positive window (§III): a fault that
+        // is overwritten before any check leaves the checks believing the
+        // *pre-fault* value was cancelled. The machine reproduces that
+        // behaviour faithfully: consistency is momentarily broken and the
+        // next check mis-attributes the error.
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 13));
+        pm.inject_fault(0, 0);
+        // Overwrite cell (0,0) via an init (critical): cancel uses the
+        // faulty old value.
+        pm.exec_init_rows(&[0], &LineSet::One(0)).unwrap();
+        // The block parity is now stale even though data is fine.
+        assert!(pm.verify_consistency().is_err());
+        let report = pm.check_all().unwrap();
+        // The checker "corrects" something (a false positive), after which
+        // the ECC is self-consistent again.
+        assert_eq!(report.corrected, 1);
+        assert!(pm.verify_consistency().is_ok());
+    }
+}

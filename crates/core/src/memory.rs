@@ -1,0 +1,236 @@
+//! A multi-crossbar memory: the 1 GB array of the paper's Figure 6 setup,
+//! built from independent [`ProtectedMemory`] crossbars with a global
+//! address space and a periodic full-memory check.
+//!
+//! The mMPU organization the paper assumes divides the memory into banks
+//! of crossbars; reliability composes multiplicatively because blocks and
+//! crossbars are independent. This wrapper provides the executable
+//! counterpart: linear bit addressing across crossbars, global fault
+//! injection, and an all-crossbars checking pass.
+
+use crate::geometry::BlockGeometry;
+use crate::machine::{CheckReport, ProtectedMemory};
+use crate::Result;
+
+/// A bank of `count` independent n×n protected crossbars with a linear
+/// bit address space of `count · n²` bits.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::{BlockGeometry, MemoryArray};
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let geom = BlockGeometry::new(30, 15)?;
+/// let mut mem = MemoryArray::new(geom, 4)?;
+/// assert_eq!(mem.capacity_bits(), 4 * 30 * 30);
+/// mem.inject_fault_at(1800); // lands in crossbar 2
+/// let report = mem.check_all()?;
+/// assert_eq!(report.corrected, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryArray {
+    geom: BlockGeometry,
+    crossbars: Vec<ProtectedMemory>,
+}
+
+impl MemoryArray {
+    /// Creates `count` zeroed crossbars of geometry `geom`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(geom: BlockGeometry, count: usize) -> Result<Self> {
+        assert!(count > 0, "need at least one crossbar");
+        let crossbars = (0..count)
+            .map(|_| ProtectedMemory::new(geom))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MemoryArray { geom, crossbars })
+    }
+
+    /// Sizes an array to hold at least `bits` data bits (the Figure 6
+    /// construction: 1 GB = `8·2³⁰` bits of n×n crossbars).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn with_capacity_bits(geom: BlockGeometry, bits: u64) -> Result<Self> {
+        assert!(bits > 0, "capacity must be positive");
+        let per = (geom.n() * geom.n()) as u64;
+        Self::new(geom, bits.div_ceil(per) as usize)
+    }
+
+    /// Number of crossbars.
+    pub fn crossbar_count(&self) -> usize {
+        self.crossbars.len()
+    }
+
+    /// Total data capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.crossbars.len() * self.geom.n() * self.geom.n()
+    }
+
+    /// The shared crossbar geometry.
+    pub fn geometry(&self) -> &BlockGeometry {
+        &self.geom
+    }
+
+    /// Borrow of one crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn crossbar(&self, index: usize) -> &ProtectedMemory {
+        &self.crossbars[index]
+    }
+
+    /// Mutable borrow of one crossbar (for running computations on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn crossbar_mut(&mut self, index: usize) -> &mut ProtectedMemory {
+        &mut self.crossbars[index]
+    }
+
+    /// Decomposes a linear bit address into `(crossbar, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond [`MemoryArray::capacity_bits`].
+    pub fn locate(&self, address: usize) -> (usize, usize, usize) {
+        assert!(address < self.capacity_bits(), "address out of range");
+        let n = self.geom.n();
+        let per = n * n;
+        (address / per, (address % per) / n, address % n)
+    }
+
+    /// Reads the bit at a linear address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn bit_at(&self, address: usize) -> bool {
+        let (x, r, c) = self.locate(address);
+        self.crossbars[x].bit(r, c)
+    }
+
+    /// Injects a soft error at a linear address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn inject_fault_at(&mut self, address: usize) {
+        let (x, r, c) = self.locate(address);
+        self.crossbars[x].inject_fault(r, c);
+    }
+
+    /// The periodic full-memory check of the paper's §V-A model: every
+    /// covered block of every crossbar is verified and repaired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-crossbar check errors (none in practice).
+    pub fn check_all(&mut self) -> Result<CheckReport> {
+        let mut total = CheckReport::default();
+        for xb in &mut self.crossbars {
+            let r = xb.check_all()?;
+            total.checked += r.checked;
+            total.corrected += r.corrected;
+            total.uncorrectable += r.uncorrectable;
+        }
+        Ok(total)
+    }
+
+    /// True when every crossbar's check-bits match its data.
+    pub fn verify_consistency(&self) -> std::result::Result<(), String> {
+        for (i, xb) in self.crossbars.iter().enumerate() {
+            xb.verify_consistency().map_err(|e| format!("crossbar {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> MemoryArray {
+        MemoryArray::new(BlockGeometry::new(15, 5).unwrap(), 3).unwrap()
+    }
+
+    #[test]
+    fn capacity_and_layout() {
+        let mem = array();
+        assert_eq!(mem.crossbar_count(), 3);
+        assert_eq!(mem.capacity_bits(), 3 * 225);
+        assert_eq!(mem.locate(0), (0, 0, 0));
+        assert_eq!(mem.locate(224), (0, 14, 14));
+        assert_eq!(mem.locate(225), (1, 0, 0));
+        assert_eq!(mem.locate(3 * 225 - 1), (2, 14, 14));
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let geom = BlockGeometry::new(15, 5).unwrap();
+        let mem = MemoryArray::with_capacity_bits(geom, 500).unwrap();
+        assert_eq!(mem.crossbar_count(), 3); // ceil(500 / 225)
+    }
+
+    #[test]
+    fn faults_across_crossbars_all_corrected() {
+        let mut mem = array();
+        mem.inject_fault_at(7);
+        mem.inject_fault_at(300);
+        mem.inject_fault_at(600);
+        assert!(mem.bit_at(7));
+        let report = mem.check_all().unwrap();
+        assert_eq!(report.corrected, 3);
+        assert_eq!(report.uncorrectable, 0);
+        assert!(!mem.bit_at(7), "restored to zero");
+        assert!(mem.verify_consistency().is_ok());
+        assert_eq!(report.checked, 3 * 9);
+    }
+
+    #[test]
+    fn per_crossbar_isolation() {
+        let mut mem = array();
+        // Two faults in the SAME block of crossbar 0: uncorrectable there,
+        // but crossbar 1 corrects its single fault independently.
+        mem.inject_fault_at(0);
+        mem.inject_fault_at(16); // (1,1) same 5x5 block as (0,0)
+        mem.inject_fault_at(225);
+        let report = mem.check_all().unwrap();
+        assert_eq!(report.uncorrectable, 1);
+        assert_eq!(report.corrected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "address out of range")]
+    fn out_of_range_address_panics() {
+        let mem = array();
+        let _ = mem.bit_at(mem.capacity_bits());
+    }
+
+    #[test]
+    fn computation_on_one_crossbar_keeps_array_consistent() {
+        use pimecc_xbar::LineSet;
+        let mut mem = array();
+        let xb = mem.crossbar_mut(1);
+        xb.exec_init_rows(&[2], &LineSet::All).unwrap();
+        xb.exec_nor_rows(&[0, 1], 2, &LineSet::All).unwrap();
+        assert!(mem.verify_consistency().is_ok());
+        assert!(mem.crossbar(1).stats().critical_ops > 0);
+        assert_eq!(mem.crossbar(0).stats().critical_ops, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Barrel shifters emulating diagonal wiring between the MEM and the CMEM.
+//!
+//! Physical diagonal wires are infeasible in a crossbar (memristors have two
+//! terminals), so the paper routes data between the MEM's wordlines/bitlines
+//! and the CMEM's per-diagonal crossbars through barrel shifters (Fig. 5):
+//! each m-bit block segment of a transferred line is rotated by the line's
+//! block-local index, which lands every bit in the lane of its diagonal.
+//!
+//! This module is the functional model of that rerouting plus the Table II
+//! transistor count (`4·n·m`).
+
+use crate::geometry::BlockGeometry;
+
+/// Which diagonal family a shifter bank serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Leading diagonals: `(row + col) mod m`.
+    Leading,
+    /// Counter diagonals: `(row − col) mod m`.
+    Counter,
+}
+
+/// Whether the transferred line is a MEM row (wordline) or column
+/// (bitline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// A wordline: the block-local *row* index is fixed.
+    Row,
+    /// A bitline: the block-local *column* index is fixed.
+    Col,
+}
+
+/// Routes one MEM line (length n) to per-diagonal lanes.
+///
+/// `fixed_local` is the line's block-local index (`row % m` for a wordline,
+/// `col % m` for a bitline). The result is indexed `[diagonal][block]`:
+/// entry `[d][b]` is the data bit of block `b` along the line that lies on
+/// diagonal `d` of `family`.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of `geom.m()` times the block
+/// count along the line, or `fixed_local >= m`.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_core::geometry::BlockGeometry;
+/// use pimecc_core::shifter::{align_line, Axis, Family};
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let geom = BlockGeometry::new(9, 3)?;
+/// // Row 1 of the crossbar (block-local row 1): bit at column 2 lies on
+/// // leading diagonal (1 + 2) % 3 = 0 of block 0.
+/// let mut row = vec![false; 9];
+/// row[2] = true;
+/// let lanes = align_line(&row, 1, &geom, Family::Leading, Axis::Row);
+/// assert!(lanes[0][0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn align_line(
+    bits: &[bool],
+    fixed_local: usize,
+    geom: &BlockGeometry,
+    family: Family,
+    axis: Axis,
+) -> Vec<Vec<bool>> {
+    let m = geom.m();
+    assert!(fixed_local < m, "fixed local index {fixed_local} out of block range {m}");
+    assert_eq!(bits.len() % m, 0, "line length must be a multiple of m");
+    let blocks = bits.len() / m;
+    let mut out = vec![vec![false; blocks]; m];
+    for (d, lane) in out.iter_mut().enumerate() {
+        let offset = source_offset(d, fixed_local, m, family, axis);
+        for (b, slot) in lane.iter_mut().enumerate() {
+            *slot = bits[b * m + offset];
+        }
+    }
+    out
+}
+
+/// The inverse routing: scatters per-diagonal lanes back into line order
+/// (used when corrected data is driven back into the MEM).
+///
+/// # Panics
+///
+/// Panics if lane dimensions are inconsistent with `geom`.
+pub fn scatter_line(
+    lanes: &[Vec<bool>],
+    fixed_local: usize,
+    geom: &BlockGeometry,
+    family: Family,
+    axis: Axis,
+) -> Vec<bool> {
+    let m = geom.m();
+    assert_eq!(lanes.len(), m, "need one lane per diagonal");
+    let blocks = lanes.first().map_or(0, |l| l.len());
+    assert!(lanes.iter().all(|l| l.len() == blocks), "ragged lanes");
+    let mut out = vec![false; blocks * m];
+    for (d, lane) in lanes.iter().enumerate() {
+        let offset = source_offset(d, fixed_local, m, family, axis);
+        for (b, &v) in lane.iter().enumerate() {
+            out[b * m + offset] = v;
+        }
+    }
+    out
+}
+
+/// The block-local varying index that lies on diagonal `d`, given the fixed
+/// index of the transferred line. This is the rotation the barrel shifter
+/// implements.
+fn source_offset(d: usize, fixed: usize, m: usize, family: Family, axis: Axis) -> usize {
+    match (family, axis) {
+        // leading: (i + j) % m = d
+        (Family::Leading, Axis::Row) | (Family::Leading, Axis::Col) => (d + m - fixed) % m,
+        // counter: (i - j) % m = d, row fixes i -> j = i - d
+        (Family::Counter, Axis::Row) => (fixed + m - d) % m,
+        // counter: column fixes j -> i = d + j
+        (Family::Counter, Axis::Col) => (d + fixed) % m,
+    }
+}
+
+/// Transistor count of the shifter banks for an n×n crossbar with m×m
+/// blocks (paper Table II: `4·n·m`).
+pub fn transistor_count(n: usize, m: usize) -> u64 {
+    4 * n as u64 * m as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every bit of every row/column must land in the lane of exactly the
+    /// diagonal the geometry assigns it.
+    #[test]
+    fn row_alignment_agrees_with_geometry() {
+        let geom = BlockGeometry::new(15, 5).unwrap();
+        for r in 0..15 {
+            for c in 0..15 {
+                let mut row = vec![false; 15];
+                row[c] = true;
+                let (lead, counter) = geom.diagonals(r, c);
+                let (_, bc) = geom.block_of(r, c);
+                let ll = align_line(&row, r % 5, &geom, Family::Leading, Axis::Row);
+                let cl = align_line(&row, r % 5, &geom, Family::Counter, Axis::Row);
+                for d in 0..5 {
+                    for b in 0..3 {
+                        assert_eq!(ll[d][b], d == lead && b == bc, "lead r={r} c={c} d={d} b={b}");
+                        assert_eq!(cl[d][b], d == counter && b == bc, "ctr r={r} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_alignment_agrees_with_geometry() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        for c in 0..9 {
+            for r in 0..9 {
+                let mut col = vec![false; 9];
+                col[r] = true;
+                let (lead, counter) = geom.diagonals(r, c);
+                let (br, _) = geom.block_of(r, c);
+                let ll = align_line(&col, c % 3, &geom, Family::Leading, Axis::Col);
+                let cl = align_line(&col, c % 3, &geom, Family::Counter, Axis::Col);
+                for d in 0..3 {
+                    for b in 0..3 {
+                        assert_eq!(ll[d][b], d == lead && b == br, "lead r={r} c={c}");
+                        assert_eq!(cl[d][b], d == counter && b == br, "ctr r={r} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_inverts_align() {
+        let geom = BlockGeometry::new(15, 5).unwrap();
+        let line: Vec<bool> = (0..15).map(|i| i % 3 == 0 || i % 7 == 1).collect();
+        for fixed in 0..5 {
+            for family in [Family::Leading, Family::Counter] {
+                for axis in [Axis::Row, Axis::Col] {
+                    let lanes = align_line(&line, fixed, &geom, family, axis);
+                    let back = scatter_line(&lanes, fixed, &geom, family, axis);
+                    assert_eq!(back, line, "{family:?} {axis:?} fixed={fixed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_is_a_permutation_per_block() {
+        // Each lane entry [d][b] must draw from a distinct source column of
+        // block b — the shifter only reroutes, never duplicates.
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        for fixed in 0..3 {
+            let mut sources = std::collections::HashSet::new();
+            for d in 0..3 {
+                let mut probe = vec![false; 9];
+                // Find which position lane [d][0] reads by probing.
+                for c in 0..3 {
+                    probe.iter_mut().for_each(|b| *b = false);
+                    probe[c] = true;
+                    let lanes = align_line(&probe, fixed, &geom, Family::Leading, Axis::Row);
+                    if lanes[d][0] {
+                        sources.insert(c);
+                    }
+                }
+            }
+            assert_eq!(sources.len(), 3, "fixed={fixed}: lanes must cover all columns");
+        }
+    }
+
+    #[test]
+    fn transistor_count_matches_table2() {
+        // Paper Table II: shifters = 4 x n x m = 61,200 for n=1020, m=15
+        // (printed as 6.12e4).
+        assert_eq!(transistor_count(1020, 15), 61_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of m")]
+    fn misaligned_line_length_panics() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        let _ = align_line(&[false; 10], 0, &geom, Family::Leading, Axis::Row);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the diagonal ECC core: single-error correction
+//! must be exact for *any* data pattern, any geometry, any error position;
+//! consistency must survive arbitrary operation sequences.
+
+use pimecc_core::shifter::{align_line, scatter_line, Axis, Family};
+use pimecc_core::{BlockGeometry, DiagonalCode, ErrorLocation, ProtectedMemory};
+use pimecc_xbar::{BitGrid, LineSet};
+use proptest::prelude::*;
+
+/// Arbitrary valid geometry: odd m in {3,5,7,9}, n a small multiple of m.
+fn geometry_strategy() -> impl Strategy<Value = BlockGeometry> {
+    (prop_oneof![Just(3usize), Just(5), Just(7), Just(9)], 1usize..4).prop_map(|(m, mult)| {
+        BlockGeometry::new(m * mult, m).expect("valid by construction")
+    })
+}
+
+fn grid_strategy(n: usize) -> impl Strategy<Value = BitGrid> {
+    proptest::collection::vec(any::<bool>(), n * n).prop_map(move |bits| {
+        let mut g = BitGrid::new(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                g.set(r, c, bits[r * n + c]);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_single_data_error_is_exactly_corrected(
+        geom in geometry_strategy(),
+        seed in any::<u64>(),
+        err_pos in (0usize..10_000, 0usize..10_000),
+    ) {
+        let m = geom.m();
+        let code = DiagonalCode::new(BlockGeometry::new(m, m).expect("block geom"));
+        // Random m×m block from the seed.
+        let mut block = BitGrid::new(m, m);
+        let mut s = seed | 1;
+        for r in 0..m {
+            for c in 0..m {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                block.set(r, c, s >> 63 != 0);
+            }
+        }
+        let (mut lead, mut counter) = code.encode(&block);
+        let (er, ec) = (err_pos.0 % m, err_pos.1 % m);
+        let reference = block.clone();
+        block.flip(er, ec);
+        let loc = code.correct(&mut block, &mut lead, &mut counter);
+        prop_assert_eq!(loc, ErrorLocation::Data { local_row: er, local_col: ec });
+        prop_assert_eq!(block.diff(&reference), vec![]);
+    }
+
+    #[test]
+    fn shifter_roundtrip_any_line(
+        geom in geometry_strategy(),
+        seed in any::<u64>(),
+        fixed in 0usize..9,
+    ) {
+        let n = geom.n();
+        let fixed = fixed % geom.m();
+        let mut line = vec![false; n];
+        let mut s = seed | 1;
+        for b in line.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = s >> 63 != 0;
+        }
+        for family in [Family::Leading, Family::Counter] {
+            for axis in [Axis::Row, Axis::Col] {
+                let lanes = align_line(&line, fixed, &geom, family, axis);
+                prop_assert_eq!(scatter_line(&lanes, fixed, &geom, family, axis), line.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn machine_consistency_survives_random_op_sequences(
+        grid_and_ops in (geometry_strategy()).prop_flat_map(|geom| {
+            let n = geom.n();
+            (
+                Just(geom),
+                grid_strategy(n),
+                proptest::collection::vec((0usize..100, 0usize..100, 0usize..100), 1..12),
+            )
+        })
+    ) {
+        let (geom, grid, ops) = grid_and_ops;
+        let n = geom.n();
+        let mut pm = ProtectedMemory::new(geom).expect("machine");
+        pm.load_grid(&grid);
+        for (a, b, o) in ops {
+            let (ia, ib, out) = (a % n, b % n, o % n);
+            if ia == out || ib == out {
+                continue;
+            }
+            if a % 2 == 0 {
+                pm.exec_init_rows(&[out], &LineSet::All).expect("init");
+                pm.exec_nor_rows(&[ia, ib], out, &LineSet::All).expect("nor");
+            } else {
+                pm.exec_init_cols(&[out], &LineSet::All).expect("init");
+                pm.exec_nor_cols(&[ia, ib], out, &LineSet::All).expect("nor");
+            }
+            prop_assert!(pm.verify_consistency().is_ok());
+        }
+    }
+
+    #[test]
+    fn machine_corrects_any_single_fault_after_ops(
+        geom in geometry_strategy(),
+        seed in any::<u64>(),
+        fault in (0usize..10_000, 0usize..10_000),
+    ) {
+        let n = geom.n();
+        let mut pm = ProtectedMemory::new(geom).expect("machine");
+        // Deterministic load pattern.
+        let mut g = BitGrid::new(n, n);
+        let mut s = seed | 1;
+        for r in 0..n {
+            for c in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                g.set(r, c, s >> 63 != 0);
+            }
+        }
+        pm.load_grid(&g);
+        let (fr, fc) = (fault.0 % n, fault.1 % n);
+        let before = pm.bit(fr, fc);
+        pm.inject_fault(fr, fc);
+        let report = pm.check_all().expect("check");
+        prop_assert_eq!(report.corrected, 1);
+        prop_assert_eq!(report.uncorrectable, 0);
+        prop_assert_eq!(pm.bit(fr, fc), before);
+        prop_assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn faults_in_distinct_blocks_all_corrected(
+        geom in geometry_strategy(),
+        picks in proptest::collection::vec((0usize..10_000, 0usize..10_000), 1..6),
+    ) {
+        let n = geom.n();
+        let mut pm = ProtectedMemory::new(geom).expect("machine");
+        // Choose at most one fault per block.
+        let mut used = std::collections::HashSet::new();
+        let mut injected = 0usize;
+        for (a, b) in picks {
+            let (r, c) = (a % n, b % n);
+            let blk = geom.block_of(r, c);
+            if used.insert(blk) {
+                pm.inject_fault(r, c);
+                injected += 1;
+            }
+        }
+        let report = pm.check_all().expect("check");
+        prop_assert_eq!(report.corrected, injected);
+        prop_assert_eq!(report.uncorrectable, 0);
+        prop_assert!(pm.verify_consistency().is_ok());
+    }
+}

@@ -1,0 +1,40 @@
+//! Prints the size profile (I/O arity, gate count, NOR-lowered gate count)
+//! of every generated benchmark circuit — handy when comparing against the
+//! original EPFL suite's statistics.
+//!
+//! Run with: `cargo run -p pimecc-netlist --release --example sizes`
+
+fn main() {
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>10} {:>7}",
+        "bench", "in", "out", "gates", "nor_gates", "depth"
+    );
+    for b in pimecc_netlist::generators::Benchmark::ALL {
+        let c = b.build();
+        let s = c.netlist.stats();
+        let nor = c.netlist.to_nor();
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>10} {:>7}",
+            b.name(),
+            s.inputs,
+            s.outputs,
+            s.gates,
+            nor.num_gates(),
+            s.depth
+        );
+    }
+    for e in pimecc_netlist::generators::ExtraBenchmark::ALL {
+        let c = e.build();
+        let s = c.netlist.stats();
+        let nor = c.netlist.to_nor();
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>10} {:>7}",
+            e.name(),
+            s.inputs,
+            s.outputs,
+            s.gates,
+            nor.num_gates(),
+            s.depth
+        );
+    }
+}

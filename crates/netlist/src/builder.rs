@@ -1,0 +1,439 @@
+//! Incremental netlist construction with structural hashing and local
+//! simplification.
+
+use crate::gate::{Gate, NodeId};
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// Builds a [`Netlist`] gate by gate.
+///
+/// The builder performs the standard light-weight optimizations of an EDA
+/// front end so generated circuits don't carry dead weight into mapping:
+///
+/// * **structural hashing** — an identical gate over identical operands is
+///   created once and shared;
+/// * **constant folding** — gates with constant operands reduce immediately;
+/// * **local identities** — `NOT NOT x = x`, `x AND x = x`, `x XOR x = 0`,
+///   commutative operand canonicalization, and friends.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let a = b.and(x, x);
+/// assert_eq!(a, x); // x AND x folds to x
+/// let n1 = b.not(x);
+/// let n2 = b.not(n1);
+/// assert_eq!(n2, x); // double negation folds
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    nodes: Vec<Gate>,
+    num_inputs: usize,
+    outputs: Vec<NodeId>,
+    dedup: HashMap<Gate, NodeId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes created so far (sources included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(gate);
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    fn const_of(&self, id: NodeId) -> Option<bool> {
+        match self.nodes[id.index()] {
+            Gate::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Declares the next primary input and returns its node.
+    pub fn input(&mut self) -> NodeId {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        self.push(Gate::Input(idx))
+    }
+
+    /// Declares `n` primary inputs and returns their nodes in order.
+    pub fn inputs(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// The constant node for `value`.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Marks `node` as the next primary output.
+    pub fn output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Marks many outputs at once, preserving order.
+    pub fn output_all<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I) {
+        self.outputs.extend(nodes);
+    }
+
+    /// Logical NOT with double-negation and constant folding.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        if let Some(c) = self.const_of(a) {
+            return self.constant(!c);
+        }
+        if let Gate::Not(inner) = self.nodes[a.index()] {
+            return inner;
+        }
+        self.push(Gate::Not(a))
+    }
+
+    /// Two-input AND with folding (`x·x = x`, `x·0 = 0`, `x·1 = x`,
+    /// `x·¬x = 0`).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return a;
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(false);
+        }
+        self.push(Gate::And(a, b))
+    }
+
+    /// Two-input OR with folding.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return a;
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(true);
+        }
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Two-input NOR with folding (`NOR(x,x) = ¬x`, `NOR(x,1) = 0`,
+    /// `NOR(x,0) = ¬x`, `NOR(x,¬x) = 0`). Emitted as a native gate so the
+    /// MAGIC lowering maps it to a single NOR.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return self.not(a);
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(false),
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(false);
+        }
+        self.push(Gate::Nor(a, b))
+    }
+
+    /// Two-input NAND with folding.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return self.not(a);
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(true),
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(true);
+        }
+        self.push(Gate::Nand(a, b))
+    }
+
+    /// Two-input XOR with folding (`x⊕x = 0`, `x⊕0 = x`, `x⊕1 = ¬x`,
+    /// `x⊕¬x = 1`).
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return self.constant(false);
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(true);
+        }
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Two-input XNOR with folding.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = canonical(a, b);
+        if a == b {
+            return self.constant(true);
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if self.complementary(a, b) {
+            return self.constant(false);
+        }
+        self.push(Gate::Xnor(a, b))
+    }
+
+    /// Multiplexer `sel ? hi : lo` with folding (constant select, equal
+    /// branches).
+    pub fn mux(&mut self, sel: NodeId, hi: NodeId, lo: NodeId) -> NodeId {
+        if hi == lo {
+            return hi;
+        }
+        match self.const_of(sel) {
+            Some(true) => return hi,
+            Some(false) => return lo,
+            None => {}
+        }
+        match (self.const_of(hi), self.const_of(lo)) {
+            (Some(true), Some(false)) => return sel,
+            (Some(false), Some(true)) => return self.not(sel),
+            (Some(true), None) => return self.or(sel, lo),
+            (Some(false), None) => {
+                let ns = self.not(sel);
+                return self.and(ns, lo);
+            }
+            (None, Some(false)) => return self.and(sel, hi),
+            (None, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or(ns, hi);
+            }
+            _ => {}
+        }
+        self.push(Gate::Mux { sel, hi, lo })
+    }
+
+    /// Three-input majority with constant folding.
+    pub fn maj(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        let mut ids = [a, b, c];
+        ids.sort();
+        let [a, b, c] = ids;
+        if a == b {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        // Fold any constant operand: MAJ(1,b,c)=OR(b,c), MAJ(0,b,c)=AND(b,c).
+        for (i, id) in ids.iter().enumerate() {
+            if let Some(v) = self.const_of(*id) {
+                let (x, y) = match i {
+                    0 => (b, c),
+                    1 => (a, c),
+                    _ => (a, b),
+                };
+                return if v { self.or(x, y) } else { self.and(x, y) };
+            }
+        }
+        self.push(Gate::Maj(a, b, c))
+    }
+
+    /// True when one operand is the direct negation of the other.
+    fn complementary(&self, a: NodeId, b: NodeId) -> bool {
+        matches!(self.nodes[a.index()], Gate::Not(x) if x == b)
+            || matches!(self.nodes[b.index()], Gate::Not(x) if x == a)
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no outputs were declared — an output-less netlist is
+    /// always a construction bug.
+    pub fn finish(self) -> Netlist {
+        assert!(!self.outputs.is_empty(), "netlist has no outputs");
+        let nl = Netlist {
+            nodes: self.nodes,
+            num_inputs: self.num_inputs,
+            outputs: self.outputs,
+        };
+        debug_assert_eq!(nl.validate(), Ok(()));
+        nl
+    }
+}
+
+/// Canonical operand order for commutative gates (enables hash-consing of
+/// `f(a,b)` with `f(b,a)`).
+fn canonical(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g1 = b.and(x, y);
+        let g2 = b.and(y, x); // commuted
+        assert_eq!(g1, g2);
+        assert_eq!(b.len(), 3); // two inputs + one AND
+    }
+
+    #[test]
+    fn constant_folding_and() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        assert_eq!(b.and(x, one), x);
+        let f = b.and(x, zero);
+        assert_eq!(b.const_of(f), Some(false));
+    }
+
+    #[test]
+    fn constant_folding_or_xor() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        assert_eq!(b.or(x, zero), x);
+        let t = b.or(x, one);
+        assert_eq!(b.const_of(t), Some(true));
+        assert_eq!(b.xor(x, zero), x);
+        let nx = b.not(x);
+        assert_eq!(b.xor(x, one), nx);
+        let z = b.xor(x, x);
+        assert_eq!(b.const_of(z), Some(false));
+    }
+
+    #[test]
+    fn complement_identities() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let nx = b.not(x);
+        let a = b.and(x, nx);
+        assert_eq!(b.const_of(a), Some(false));
+        let o = b.or(x, nx);
+        assert_eq!(b.const_of(o), Some(true));
+        let e = b.xor(x, nx);
+        assert_eq!(b.const_of(e), Some(true));
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let nx = b.not(x);
+        assert_eq!(b.not(nx), x);
+    }
+
+    #[test]
+    fn mux_foldings() {
+        let mut b = NetlistBuilder::new();
+        let s = b.input();
+        let x = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        assert_eq!(b.mux(s, x, x), x);
+        assert_eq!(b.mux(one, x, s), x);
+        assert_eq!(b.mux(zero, x, s), s);
+        assert_eq!(b.mux(s, one, zero), s);
+        let ns = b.not(s);
+        assert_eq!(b.mux(s, zero, one), ns);
+    }
+
+    #[test]
+    fn maj_foldings() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let or_xy = b.or(x, y);
+        assert_eq!(b.maj(x, y, one), or_xy);
+        let and_xy = b.and(x, y);
+        assert_eq!(b.maj(x, y, zero), and_xy);
+        assert_eq!(b.maj(x, x, y), x);
+    }
+
+    #[test]
+    fn nor_nand_build_on_or_and() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let n = b.nor(x, y);
+        b.output(n);
+        let m = b.nand(x, y);
+        b.output(m);
+        let nl = b.finish();
+        assert_eq!(nl.eval(&[false, false]), vec![true, true]);
+        assert_eq!(nl.eval(&[true, true]), vec![false, false]);
+        assert_eq!(nl.eval(&[true, false]), vec![false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outputs")]
+    fn finish_without_outputs_panics() {
+        let mut b = NetlistBuilder::new();
+        b.input();
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn inputs_helper_allocates_in_order() {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(4);
+        assert_eq!(ins.len(), 4);
+        let out = b.or(ins[0], ins[3]);
+        b.output(out);
+        let nl = b.finish();
+        assert_eq!(nl.eval(&[false, false, false, true]), vec![true]);
+        assert_eq!(nl.eval(&[false, true, true, false]), vec![false]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz DOT export for netlist visualization.
+//!
+//! Small circuits (decoders, codec fragments, lowering outputs) are much
+//! easier to review as graphs; `dot -Tsvg` renders the output of
+//! [`write_dot`] directly.
+
+use crate::gate::Gate;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Serializes a netlist as a Graphviz digraph. Inputs are boxes, outputs
+/// are double circles, gates are labelled ellipses; inverted semantics
+/// (NOT, NOR, NAND, XNOR) render with a dot suffix like schematic bubbles.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::{dot::write_dot, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let g = b.nor(x, y);
+/// b.output(g);
+/// let text = write_dot(&b.finish(), "nor2");
+/// assert!(text.starts_with("digraph nor2"));
+/// assert!(text.contains("NOR"));
+/// ```
+pub fn write_dot(netlist: &Netlist, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for (i, gate) in netlist.nodes().iter().enumerate() {
+        let (label, shape) = match gate {
+            Gate::Input(k) => (format!("x{k}"), "box"),
+            Gate::Const(c) => (format!("{}", *c as u8), "plaintext"),
+            Gate::Not(_) => ("NOT".to_string(), "ellipse"),
+            Gate::And(..) => ("AND".to_string(), "ellipse"),
+            Gate::Or(..) => ("OR".to_string(), "ellipse"),
+            Gate::Nor(..) => ("NOR".to_string(), "ellipse"),
+            Gate::Nand(..) => ("NAND".to_string(), "ellipse"),
+            Gate::Xor(..) => ("XOR".to_string(), "ellipse"),
+            Gate::Xnor(..) => ("XNOR".to_string(), "ellipse"),
+            Gate::Mux { .. } => ("MUX".to_string(), "trapezium"),
+            Gate::Maj(..) => ("MAJ".to_string(), "ellipse"),
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+        for (slot, op) in gate.operands().iter().enumerate() {
+            let attr = match (gate, slot) {
+                (Gate::Mux { .. }, 0) => " [label=\"sel\"]",
+                _ => "",
+            };
+            let _ = writeln!(out, "  n{} -> n{i}{attr};", op.index());
+        }
+    }
+    for (k, o) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  y{k} [label=\"y{k}\", shape=doublecircle];");
+        let _ = writeln!(out, "  n{} -> y{k};", o.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.input();
+        let g1 = b.xor(x, y);
+        let g2 = b.mux(s, g1, x);
+        b.output(g2);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let nl = sample();
+        let text = write_dot(&nl, "sample");
+        assert!(text.starts_with("digraph sample {"));
+        assert!(text.trim_end().ends_with('}'));
+        // One node line per netlist node plus one per output.
+        let node_lines = text.lines().filter(|l| l.contains("shape=")).count();
+        assert_eq!(node_lines, nl.nodes().len() + nl.num_outputs());
+        // One edge per operand reference plus one per output.
+        let edge_lines = text.lines().filter(|l| l.contains("->")).count();
+        let operand_edges: usize =
+            nl.nodes().iter().map(|g| g.operands().len()).sum();
+        assert_eq!(edge_lines, operand_edges + nl.num_outputs());
+    }
+
+    #[test]
+    fn mux_select_edge_is_labelled() {
+        let text = write_dot(&sample(), "m");
+        assert!(text.contains("[label=\"sel\"]"));
+    }
+
+    #[test]
+    fn identifiers_are_graphviz_safe() {
+        let text = write_dot(&sample(), "g");
+        for line in text.lines() {
+            assert!(!line.contains(".."), "no weird tokens: {line}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Combinational equivalence checking between netlists.
+//!
+//! Used throughout the workspace to validate transformations (NOR
+//! lowering, BLIF round-trips, generator refactors): exhaustive for small
+//! input counts, seeded random simulation above that, and a miter
+//! construction for integration with external SAT-based flows.
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Proven equal on every input valuation (exhaustive).
+    Equivalent,
+    /// No mismatch found across the sampled valuations (statistical).
+    ProbablyEquivalent {
+        /// Number of random vectors simulated.
+        samples: usize,
+    },
+    /// A concrete counterexample.
+    Mismatch {
+        /// The differing input valuation.
+        inputs: Vec<bool>,
+        /// First differing output index.
+        output: usize,
+    },
+}
+
+impl Equivalence {
+    /// True unless a counterexample was found.
+    pub fn holds(&self) -> bool {
+        !matches!(self, Equivalence::Mismatch { .. })
+    }
+}
+
+/// Compares two netlists with the same I/O arity: exhaustively when the
+/// input count is at most `exhaustive_limit`, otherwise with `samples`
+/// seeded random vectors.
+///
+/// # Panics
+///
+/// Panics if the two netlists disagree on input or output arity.
+pub fn check_equivalence(
+    a: &Netlist,
+    b: &Netlist,
+    exhaustive_limit: usize,
+    samples: usize,
+    seed: u64,
+) -> Equivalence {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output arity mismatch");
+    let n = a.num_inputs();
+    if n <= exhaustive_limit && n < usize::BITS as usize {
+        for v in 0..1usize << n {
+            let inputs: Vec<bool> = (0..n).map(|i| v >> i & 1 != 0).collect();
+            if let Some(output) = first_diff(a, b, &inputs) {
+                return Equivalence::Mismatch { inputs, output };
+            }
+        }
+        return Equivalence::Equivalent;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        if let Some(output) = first_diff(a, b, &inputs) {
+            return Equivalence::Mismatch { inputs, output };
+        }
+    }
+    Equivalence::ProbablyEquivalent { samples }
+}
+
+fn first_diff(a: &Netlist, b: &Netlist, inputs: &[bool]) -> Option<usize> {
+    let va = a.eval(inputs);
+    let vb = b.eval(inputs);
+    va.iter().zip(&vb).position(|(x, y)| x != y)
+}
+
+/// Builds the *miter* of two netlists: a single-output circuit that is 1
+/// iff the two disagree on some output for the given inputs. Feeding the
+/// miter to a SAT-capable flow proves equivalence; here it is also handy
+/// as a self-test artifact.
+///
+/// # Panics
+///
+/// Panics if the arities disagree.
+pub fn miter(a: &Netlist, b: &Netlist) -> Netlist {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output arity mismatch");
+    let mut builder = NetlistBuilder::new();
+    let inputs = builder.inputs(a.num_inputs());
+    let outs_a = clone_into(a, &mut builder, &inputs);
+    let outs_b = clone_into(b, &mut builder, &inputs);
+    let mut any = builder.constant(false);
+    for (x, y) in outs_a.into_iter().zip(outs_b) {
+        let d = builder.xor(x, y);
+        any = builder.or(any, d);
+    }
+    builder.output(any);
+    builder.finish()
+}
+
+/// Re-elaborates `source` into `builder`, substituting `inputs` for its
+/// primary inputs; returns the mapped output nodes.
+fn clone_into(
+    source: &Netlist,
+    builder: &mut NetlistBuilder,
+    inputs: &[crate::gate::NodeId],
+) -> Vec<crate::gate::NodeId> {
+    use crate::gate::Gate;
+    let mut map = Vec::with_capacity(source.nodes().len());
+    for gate in source.nodes() {
+        let node = match *gate {
+            Gate::Input(i) => inputs[i],
+            Gate::Const(c) => builder.constant(c),
+            Gate::Not(a) => builder.not(map[a.index()]),
+            Gate::And(a, b) => builder.and(map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => builder.or(map[a.index()], map[b.index()]),
+            Gate::Nor(a, b) => builder.nor(map[a.index()], map[b.index()]),
+            Gate::Nand(a, b) => builder.nand(map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => builder.xor(map[a.index()], map[b.index()]),
+            Gate::Xnor(a, b) => builder.xnor(map[a.index()], map[b.index()]),
+            Gate::Mux { sel, hi, lo } => {
+                builder.mux(map[sel.index()], map[hi.index()], map[lo.index()])
+            }
+            Gate::Maj(a, b, c) => {
+                builder.maj(map[a.index()], map[b.index()], map[c.index()])
+            }
+        };
+        map.push(node);
+    }
+    source.outputs().iter().map(|o| map[o.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_gate() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.xor(x, y);
+        b.output(g);
+        b.finish()
+    }
+
+    fn xor_via_nors() -> Netlist {
+        // x^y = NOR(NOR(x, NOR(x,y)), NOR(y, NOR(x,y)))... via builder ops.
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let t = b.nor(x, y);
+        let u = b.nor(x, t);
+        let v = b.nor(y, t);
+        let g = b.nor(u, v);
+        let out = b.not(g);
+        b.output(out);
+        b.finish()
+    }
+
+    fn and_gate() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.and(x, y);
+        b.output(g);
+        b.finish()
+    }
+
+    #[test]
+    fn equivalent_structures_prove_exhaustively() {
+        let v = check_equivalence(&xor_gate(), &xor_via_nors(), 16, 0, 0);
+        assert_eq!(v, Equivalence::Equivalent);
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn mismatch_produces_a_counterexample() {
+        let v = check_equivalence(&xor_gate(), &and_gate(), 16, 0, 0);
+        let Equivalence::Mismatch { inputs, output } = v else {
+            panic!("expected mismatch, got {v:?}");
+        };
+        assert_eq!(output, 0);
+        // The counterexample must actually differ.
+        assert_ne!(xor_gate().eval(&inputs), and_gate().eval(&inputs));
+    }
+
+    #[test]
+    fn sampling_mode_for_wide_circuits() {
+        use crate::generators::Benchmark;
+        let a = Benchmark::Adder.build().netlist;
+        let b = Benchmark::Adder.build().netlist;
+        let v = check_equivalence(&a, &b, 16, 25, 7);
+        assert_eq!(v, Equivalence::ProbablyEquivalent { samples: 25 });
+    }
+
+    #[test]
+    fn miter_is_constant_zero_for_equivalent_circuits() {
+        let m = miter(&xor_gate(), &xor_via_nors());
+        for v in 0..4usize {
+            let inputs: Vec<bool> = (0..2).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(m.eval(&inputs), vec![false], "v={v}");
+        }
+    }
+
+    #[test]
+    fn miter_fires_exactly_on_disagreements() {
+        let m = miter(&xor_gate(), &and_gate());
+        for v in 0..4usize {
+            let inputs: Vec<bool> = (0..2).map(|i| v >> i & 1 != 0).collect();
+            let differ = xor_gate().eval(&inputs) != and_gate().eval(&inputs);
+            assert_eq!(m.eval(&inputs), vec![differ], "v={v}");
+        }
+    }
+
+    #[test]
+    fn nor_lowering_equivalence_via_miter_sampling() {
+        use crate::generators::Benchmark;
+        // Rebuild the dec benchmark's NOR form as a Netlist-level clone by
+        // checking the generated netlist against itself through a miter.
+        let a = Benchmark::Int2float.build().netlist;
+        let m = miter(&a, &a);
+        // Self-miter is constant 0 for every vector.
+        for v in [0usize, 1, 77, 2047] {
+            let inputs: Vec<bool> = (0..11).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(m.eval(&inputs), vec![false]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        b.output(x);
+        let one_in = b.finish();
+        let _ = check_equivalence(&one_in, &xor_gate(), 4, 0, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Gate types and node identifiers of the netlist IR.
+
+/// Index of a node inside a [`crate::Netlist`].
+///
+/// Nodes are numbered in construction order, which the builder guarantees to
+/// be a topological order (a gate's operands always have smaller ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The position of this node in the netlist's node array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A combinational gate (or source) in the netlist IR.
+///
+/// The gate set covers everything the benchmark generators need; the
+/// NOR-only lowering in [`crate::nor`] decomposes each into MAGIC-native
+/// NOR/NOT gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// External primary input number `usize`.
+    Input(usize),
+    /// Constant `0`/`1`.
+    Const(bool),
+    /// Logical negation.
+    Not(NodeId),
+    /// Two-input AND.
+    And(NodeId, NodeId),
+    /// Two-input OR.
+    Or(NodeId, NodeId),
+    /// Two-input NOR.
+    Nor(NodeId, NodeId),
+    /// Two-input NAND.
+    Nand(NodeId, NodeId),
+    /// Two-input XOR.
+    Xor(NodeId, NodeId),
+    /// Two-input XNOR.
+    Xnor(NodeId, NodeId),
+    /// Multiplexer: `sel ? hi : lo`.
+    Mux {
+        /// Select signal.
+        sel: NodeId,
+        /// Value when `sel` is 1.
+        hi: NodeId,
+        /// Value when `sel` is 0.
+        lo: NodeId,
+    },
+    /// Three-input majority.
+    Maj(NodeId, NodeId, NodeId),
+}
+
+impl Gate {
+    /// The operands of this gate, in a fixed order.
+    pub fn operands(&self) -> Vec<NodeId> {
+        match *self {
+            Gate::Input(_) | Gate::Const(_) => vec![],
+            Gate::Not(a) => vec![a],
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Xnor(a, b) => vec![a, b],
+            Gate::Mux { sel, hi, lo } => vec![sel, hi, lo],
+            Gate::Maj(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Evaluates the gate given a resolver for operand values.
+    pub fn eval(&self, value: impl Fn(NodeId) -> bool, inputs: &[bool]) -> bool {
+        match *self {
+            Gate::Input(i) => inputs[i],
+            Gate::Const(c) => c,
+            Gate::Not(a) => !value(a),
+            Gate::And(a, b) => value(a) & value(b),
+            Gate::Or(a, b) => value(a) | value(b),
+            Gate::Nor(a, b) => !(value(a) | value(b)),
+            Gate::Nand(a, b) => !(value(a) & value(b)),
+            Gate::Xor(a, b) => value(a) ^ value(b),
+            Gate::Xnor(a, b) => !(value(a) ^ value(b)),
+            Gate::Mux { sel, hi, lo } => {
+                if value(sel) {
+                    value(hi)
+                } else {
+                    value(lo)
+                }
+            }
+            Gate::Maj(a, b, c) => {
+                let (a, b, c) = (value(a), value(b), value(c));
+                (a & b) | (a & c) | (b & c)
+            }
+        }
+    }
+
+    /// True for `Input`/`Const` nodes, which carry no logic.
+    pub fn is_source(&self) -> bool {
+        matches!(self, Gate::Input(_) | Gate::Const(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn operands_match_arity() {
+        assert!(Gate::Input(3).operands().is_empty());
+        assert!(Gate::Const(true).operands().is_empty());
+        assert_eq!(Gate::Not(id(1)).operands().len(), 1);
+        assert_eq!(Gate::Xor(id(1), id(2)).operands().len(), 2);
+        assert_eq!(Gate::Mux { sel: id(0), hi: id(1), lo: id(2) }.operands().len(), 3);
+        assert_eq!(Gate::Maj(id(0), id(1), id(2)).operands().len(), 3);
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let vals = [false, true];
+        for a in vals {
+            for b in vals {
+                let v = |n: NodeId| if n == id(0) { a } else { b };
+                assert_eq!(Gate::And(id(0), id(1)).eval(v, &[]), a & b);
+                assert_eq!(Gate::Or(id(0), id(1)).eval(v, &[]), a | b);
+                assert_eq!(Gate::Nor(id(0), id(1)).eval(v, &[]), !(a | b));
+                assert_eq!(Gate::Nand(id(0), id(1)).eval(v, &[]), !(a & b));
+                assert_eq!(Gate::Xor(id(0), id(1)).eval(v, &[]), a ^ b);
+                assert_eq!(Gate::Xnor(id(0), id(1)).eval(v, &[]), !(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn eval_mux_and_maj() {
+        let vals = [false, true];
+        for s in vals {
+            for h in vals {
+                for l in vals {
+                    let v = |n: NodeId| match n.index() {
+                        0 => s,
+                        1 => h,
+                        _ => l,
+                    };
+                    let got = Gate::Mux { sel: id(0), hi: id(1), lo: id(2) }.eval(v, &[]);
+                    assert_eq!(got, if s { h } else { l });
+                    let maj = Gate::Maj(id(0), id(1), id(2)).eval(v, &[]);
+                    assert_eq!(maj, (s as u8 + h as u8 + l as u8) >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_sources() {
+        let v = |_: NodeId| unreachable!();
+        assert!(Gate::Const(true).eval(v, &[]));
+        assert!(Gate::Input(1).eval(|_| false, &[false, true]));
+        assert!(Gate::Input(0).is_source());
+        assert!(!Gate::Not(id(0)).is_source());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(id(7).to_string(), "n7");
+        assert_eq!(id(7).index(), 7);
+    }
+}

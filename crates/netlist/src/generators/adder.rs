@@ -1,0 +1,72 @@
+//! `adder`: 128-bit ripple-carry adder (256 inputs, 129 outputs).
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Datapath width in bits.
+pub const WIDTH: usize = 128;
+
+/// Builds the adder benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let x = Word::input(&mut b, WIDTH);
+    let y = Word::input(&mut b, WIDTH);
+    let (sum, carry) = words::add(&mut b, &x, &y);
+    b.output_all(sum.bits().iter().copied());
+    b.output(carry);
+    Circuit {
+        name: "adder",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let x = from_bits(&inputs[..WIDTH]);
+    let y = from_bits(&inputs[WIDTH..2 * WIDTH]);
+    let (sum, carry) = x.overflowing_add(y);
+    let mut out = to_bits(sum, WIDTH);
+    out.push(carry);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape_matches_paper_style() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 256);
+        assert_eq!(c.netlist.num_outputs(), 129);
+    }
+
+    #[test]
+    fn random_additions_match() {
+        build().validate_sample(50, 1).unwrap();
+    }
+
+    #[test]
+    fn carry_chain_corner_cases() {
+        let c = build();
+        // all-ones + 1 -> zero with carry out
+        let mut inputs = vec![true; WIDTH];
+        inputs.extend(to_bits(1, WIDTH));
+        let out = c.netlist.eval(&inputs);
+        assert!(out[..WIDTH].iter().all(|&b| !b));
+        assert!(out[WIDTH]);
+        // zero + zero
+        let inputs = vec![false; 2 * WIDTH];
+        let out = c.netlist.eval(&inputs);
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn gate_count_is_linear_in_width() {
+        let s = build().netlist.stats();
+        // ~3 gates per bit (2 xor + 1 maj), well under 8/bit.
+        assert!(s.gates >= 2 * WIDTH && s.gates <= 8 * WIDTH, "{s}");
+        assert!(s.depth >= WIDTH / 2, "ripple chain must be deep, got {s}");
+    }
+}

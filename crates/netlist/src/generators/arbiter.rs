@@ -1,0 +1,146 @@
+//! `arbiter`: round-robin arbiter over 128 requestors (135 inputs,
+//! 129 outputs).
+//!
+//! Inputs are 128 request lines plus a 7-bit priority pointer; the grant
+//! goes to the first active requestor at or after the pointer, wrapping
+//! around. Structure: rotate requests right by the pointer (log shifter),
+//! fixed-priority select, rotate the one-hot grant back — the classic
+//! programmable-priority-encoder construction, which is also why the EPFL
+//! original is mux-dominated.
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Number of requestors.
+pub const REQUESTORS: usize = 128;
+/// Pointer width (`log2(REQUESTORS)`).
+pub const PTR_BITS: usize = 7;
+
+fn rotate_right(b: &mut NetlistBuilder, word: &Word, amount: &[crate::NodeId]) -> Word {
+    let w = word.width();
+    let mut current = word.clone();
+    for (stage, &sel) in amount.iter().enumerate() {
+        let k = 1usize << stage;
+        let rotated =
+            Word::from_bits((0..w).map(|i| current.bit((i + k) % w)).collect());
+        current = words::mux(b, sel, &rotated, &current);
+    }
+    current
+}
+
+fn rotate_left(b: &mut NetlistBuilder, word: &Word, amount: &[crate::NodeId]) -> Word {
+    let w = word.width();
+    let mut current = word.clone();
+    for (stage, &sel) in amount.iter().enumerate() {
+        let k = 1usize << stage;
+        let rotated =
+            Word::from_bits((0..w).map(|i| current.bit((i + w - k) % w)).collect());
+        current = words::mux(b, sel, &rotated, &current);
+    }
+    current
+}
+
+/// Builds the arbiter benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let requests = Word::input(&mut b, REQUESTORS);
+    let pointer: Vec<_> = (0..PTR_BITS).map(|_| b.input()).collect();
+
+    // Rotate so the pointer's requestor lands at index 0.
+    let rotated = rotate_right(&mut b, &requests, &pointer);
+
+    // Fixed-priority selection of the lowest set bit.
+    let mut grant_bits = Vec::with_capacity(REQUESTORS);
+    let mut any_before = b.constant(false);
+    for i in 0..REQUESTORS {
+        let not_before = b.not(any_before);
+        let g = b.and(rotated.bit(i), not_before);
+        grant_bits.push(g);
+        any_before = b.or(any_before, rotated.bit(i));
+    }
+    let grants_rot = Word::from_bits(grant_bits);
+    let valid = any_before;
+
+    // Rotate the one-hot grant back to requestor numbering.
+    let grants = rotate_left(&mut b, &grants_rot, &pointer);
+    b.output_all(grants.bits().iter().copied());
+    b.output(valid);
+    Circuit { name: "arbiter", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let requests = &inputs[..REQUESTORS];
+    let pointer = from_bits(&inputs[REQUESTORS..REQUESTORS + PTR_BITS]) as usize;
+    let mut out = vec![false; REQUESTORS + 1];
+    for k in 0..REQUESTORS {
+        let i = (pointer + k) % REQUESTORS;
+        if requests[i] {
+            out[i] = true;
+            out[REQUESTORS] = true;
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 135);
+        assert_eq!(c.netlist.num_outputs(), 129);
+    }
+
+    #[test]
+    fn random_arbitrations_match() {
+        build().validate_sample(40, 3).unwrap();
+    }
+
+    #[test]
+    fn no_requests_means_no_grant() {
+        let c = build();
+        let inputs = vec![false; REQUESTORS + PTR_BITS];
+        let out = c.netlist.eval(&inputs);
+        assert!(out.iter().all(|&b| !b), "idle arbiter grants nothing");
+    }
+
+    #[test]
+    fn pointer_wraps_around() {
+        let c = build();
+        // Only requestor 3 active; pointer at 100 -> wraps to grant 3.
+        let mut inputs = vec![false; REQUESTORS + PTR_BITS];
+        inputs[3] = true;
+        for i in 0..PTR_BITS {
+            inputs[REQUESTORS + i] = 100usize >> i & 1 != 0;
+        }
+        let out = c.netlist.eval(&inputs);
+        assert!(out[3]);
+        assert!(out[REQUESTORS], "valid");
+        assert_eq!(out[..REQUESTORS].iter().filter(|&&g| g).count(), 1, "one-hot");
+    }
+
+    #[test]
+    fn grant_is_always_one_hot_and_to_a_requestor() {
+        let c = build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use rand::Rng;
+        use rand::SeedableRng;
+        for _ in 0..20 {
+            let inputs: Vec<bool> =
+                (0..REQUESTORS + PTR_BITS).map(|_| rng.gen()).collect();
+            let out = c.netlist.eval(&inputs);
+            let grants: Vec<usize> =
+                (0..REQUESTORS).filter(|&i| out[i]).collect();
+            if out[REQUESTORS] {
+                assert_eq!(grants.len(), 1);
+                assert!(inputs[grants[0]], "granted line must be requesting");
+            } else {
+                assert!(grants.is_empty());
+            }
+        }
+    }
+}

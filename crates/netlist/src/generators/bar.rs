@@ -1,0 +1,81 @@
+//! `bar`: 128-bit barrel shifter — rotate left by a 7-bit amount
+//! (135 inputs, 128 outputs, log-shifter structure).
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Data width (power of two so every rotate amount is valid).
+pub const WIDTH: usize = 128;
+/// Shift-amount width (`log2(WIDTH)`).
+pub const SHIFT_BITS: usize = 7;
+
+/// Builds the barrel-shifter benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let data = Word::input(&mut b, WIDTH);
+    let amount: Vec<_> = (0..SHIFT_BITS).map(|_| b.input()).collect();
+    let mut current = data;
+    for (stage, &sel) in amount.iter().enumerate() {
+        let k = 1usize << stage;
+        let rotated = Word::from_bits(
+            (0..WIDTH).map(|i| current.bit((i + WIDTH - k) % WIDTH)).collect(),
+        );
+        current = words::mux(&mut b, sel, &rotated, &current);
+    }
+    b.output_all(current.bits().iter().copied());
+    Circuit { name: "bar", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let data = from_bits(&inputs[..WIDTH]);
+    let amount = from_bits(&inputs[WIDTH..WIDTH + SHIFT_BITS]) as u32;
+    to_bits(data.rotate_left(amount), WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 135);
+        assert_eq!(c.netlist.num_outputs(), 128);
+    }
+
+    #[test]
+    fn random_rotations_match() {
+        build().validate_sample(40, 2).unwrap();
+    }
+
+    #[test]
+    fn rotate_by_zero_is_identity() {
+        let c = build();
+        let mut inputs = to_bits(0x1234_5678_9ABC_DEF0, WIDTH);
+        inputs.extend(std::iter::repeat(false).take(SHIFT_BITS));
+        let out = c.netlist.eval(&inputs);
+        assert_eq!(from_bits(&out), 0x1234_5678_9ABC_DEF0);
+    }
+
+    #[test]
+    fn rotate_each_power_of_two() {
+        let c = build();
+        let value = 1u128; // single set bit walks around
+        for stage in 0..SHIFT_BITS {
+            let amt = 1usize << stage;
+            let mut inputs = to_bits(value, WIDTH);
+            inputs.extend((0..SHIFT_BITS).map(|i| amt >> i & 1 != 0));
+            let out = c.netlist.eval(&inputs);
+            assert_eq!(from_bits(&out), 1u128 << amt, "amount {amt}");
+        }
+    }
+
+    #[test]
+    fn is_log_depth_mux_network() {
+        let s = build().netlist.stats();
+        // 7 mux stages, each a couple of levels deep after lowering to mux.
+        assert!(s.depth <= 3 * SHIFT_BITS, "log shifter should be shallow: {s}");
+        assert!(s.gates >= WIDTH * SHIFT_BITS / 2, "needs ~a mux per bit per stage: {s}");
+    }
+}

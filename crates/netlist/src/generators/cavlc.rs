@@ -1,0 +1,81 @@
+//! `cavlc`: random-logic block shaped like the EPFL CAVLC coefficient-token
+//! decoder (10 inputs, 11 outputs).
+//!
+//! The original is H.264 table-lookup logic; we regenerate an equivalent
+//! profile by Shannon-synthesizing seeded sparse truth tables (density 0.3),
+//! which yields mux-tree logic of comparable size and output/gate ratio.
+
+use super::Circuit;
+use crate::builder::NetlistBuilder;
+use crate::synth::{synthesize_table, TruthTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of inputs.
+pub const INPUTS: usize = 10;
+/// Number of outputs.
+pub const OUTPUTS: usize = 11;
+/// Fixed seed: the benchmark must be identical across runs.
+const SEED: u64 = 0xCA51C;
+/// Fraction of true minterms per output.
+const DENSITY: f64 = 0.3;
+
+fn tables() -> Vec<TruthTable> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..OUTPUTS).map(|_| TruthTable::random(INPUTS, DENSITY, &mut rng)).collect()
+}
+
+/// Builds the cavlc benchmark.
+pub fn build() -> Circuit {
+    let tabs = tables();
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(INPUTS);
+    let outs = synthesize_table(&mut b, &ins, &tabs);
+    b.output_all(outs);
+    let reference = move |inputs: &[bool]| {
+        let v = inputs
+            .iter()
+            .take(INPUTS)
+            .enumerate()
+            .fold(0usize, |acc, (i, &bit)| acc | (bit as usize) << i);
+        tabs.iter().map(|t| t.value(v)).collect()
+    };
+    Circuit { name: "cavlc", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 10);
+        assert_eq!(c.netlist.num_outputs(), 11);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_with_tables() {
+        let c = build();
+        for v in 0..1usize << INPUTS {
+            let inputs: Vec<bool> = (0..INPUTS).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "valuation {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = build();
+        let b = build();
+        assert_eq!(a.netlist.stats(), b.netlist.stats());
+        let inputs = vec![true; INPUTS];
+        assert_eq!(a.netlist.eval(&inputs), b.netlist.eval(&inputs));
+    }
+
+    #[test]
+    fn size_is_in_the_epfl_ballpark() {
+        let s = build().netlist.stats();
+        // EPFL cavlc is ~700 gates; random tables land within a small factor.
+        assert!(s.gates > 100 && s.gates < 4000, "{s}");
+    }
+}

@@ -1,0 +1,68 @@
+//! `ctrl`: random-logic controller block (7 inputs, 26 outputs).
+//!
+//! Shaped like the EPFL `ctrl` decode logic: many sparse outputs over a few
+//! inputs. Regenerated from seeded sparse truth tables (density 0.15).
+
+use super::Circuit;
+use crate::builder::NetlistBuilder;
+use crate::synth::{synthesize_table, TruthTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of inputs.
+pub const INPUTS: usize = 7;
+/// Number of outputs.
+pub const OUTPUTS: usize = 26;
+const SEED: u64 = 0xC7A1;
+const DENSITY: f64 = 0.15;
+
+fn tables() -> Vec<TruthTable> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..OUTPUTS).map(|_| TruthTable::random(INPUTS, DENSITY, &mut rng)).collect()
+}
+
+/// Builds the ctrl benchmark.
+pub fn build() -> Circuit {
+    let tabs = tables();
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(INPUTS);
+    let outs = synthesize_table(&mut b, &ins, &tabs);
+    b.output_all(outs);
+    let reference = move |inputs: &[bool]| {
+        let v = inputs
+            .iter()
+            .take(INPUTS)
+            .enumerate()
+            .fold(0usize, |acc, (i, &bit)| acc | (bit as usize) << i);
+        tabs.iter().map(|t| t.value(v)).collect()
+    };
+    Circuit { name: "ctrl", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 7);
+        assert_eq!(c.netlist.num_outputs(), 26);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_with_tables() {
+        let c = build();
+        for v in 0..1usize << INPUTS {
+            let inputs: Vec<bool> = (0..INPUTS).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "valuation {v}");
+        }
+    }
+
+    #[test]
+    fn is_small_and_output_dense() {
+        let s = build().netlist.stats();
+        assert!(s.gates < 1500, "ctrl is a small block: {s}");
+        assert!(s.outputs as f64 / s.gates as f64 > 0.02, "{s}");
+    }
+}

@@ -1,0 +1,88 @@
+//! `dec`: 8→256 one-hot decoder (8 inputs, 256 outputs).
+//!
+//! Built as two 4→16 half-decoders whose outputs are AND-combined — the
+//! standard two-level construction, yielding the same output-dense profile
+//! that makes `dec` the worst case of the paper's Table I (nearly every
+//! gate writes a primary output).
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::gate::NodeId;
+
+/// Address width.
+pub const ADDR_BITS: usize = 8;
+/// Number of one-hot outputs.
+pub const OUTPUTS: usize = 256;
+
+fn half_decoder(b: &mut NetlistBuilder, addr: &[NodeId]) -> Vec<NodeId> {
+    let n = addr.len();
+    let lits: Vec<(NodeId, NodeId)> = addr.iter().map(|&a| (b.not(a), a)).collect();
+    (0..1usize << n)
+        .map(|v| {
+            let mut acc = if v & 1 != 0 { lits[0].1 } else { lits[0].0 };
+            for (i, lit) in lits.iter().enumerate().skip(1) {
+                let l = if v >> i & 1 != 0 { lit.1 } else { lit.0 };
+                acc = b.and(acc, l);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Builds the decoder benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let addr: Vec<_> = (0..ADDR_BITS).map(|_| b.input()).collect();
+    let lo = half_decoder(&mut b, &addr[..4]);
+    let hi = half_decoder(&mut b, &addr[4..]);
+    for h in &hi {
+        for l in &lo {
+            let out = b.and(*h, *l);
+            b.output(out);
+        }
+    }
+    Circuit { name: "dec", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let addr = from_bits(&inputs[..ADDR_BITS]) as usize;
+    let mut out = vec![false; OUTPUTS];
+    out[addr] = true;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 8);
+        assert_eq!(c.netlist.num_outputs(), 256);
+    }
+
+    #[test]
+    fn exhaustive_all_256_addresses() {
+        let c = build();
+        for addr in 0..OUTPUTS {
+            let inputs: Vec<bool> = (0..ADDR_BITS).map(|i| addr >> i & 1 != 0).collect();
+            let out = c.netlist.eval(&inputs);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == addr, "address {addr}, output {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_output_dense() {
+        // The property that drives the paper's 205.8% overhead: the ratio
+        // of outputs to total gates is high.
+        let c = build();
+        let s = c.netlist.stats();
+        assert!(
+            s.outputs as f64 / s.gates as f64 > 0.5,
+            "dec must be output-dense: {s}"
+        );
+    }
+}

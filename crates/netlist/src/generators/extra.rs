@@ -1,0 +1,211 @@
+//! Extra benchmark circuits beyond the paper's Table I set.
+//!
+//! The EPFL suite contains further arithmetic workloads (`mult`, `square`,
+//! `log2`, ...) that the paper does not evaluate; we regenerate three of
+//! them so the ECC scheduler can be stressed on multiplier-class circuits
+//! — much larger, adder-chain-dominated, output-moderate profiles that sit
+//! between `sin` and `adder` in criticality density.
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::synth::{synthesize_table, TruthTable};
+use crate::words::{self, Word};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Extra benchmarks (not part of the paper's Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtraBenchmark {
+    /// 32×32 → 64-bit shift-add multiplier.
+    Mult,
+    /// 24-bit squarer (multiplier with shared operand).
+    Square,
+    /// Control-logic-heavy random block (12 → 40), mem_ctrl-like profile.
+    LogicMix,
+}
+
+impl ExtraBenchmark {
+    /// All extra benchmarks.
+    pub const ALL: [ExtraBenchmark; 3] =
+        [ExtraBenchmark::Mult, ExtraBenchmark::Square, ExtraBenchmark::LogicMix];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtraBenchmark::Mult => "mult",
+            ExtraBenchmark::Square => "square",
+            ExtraBenchmark::LogicMix => "logicmix",
+        }
+    }
+
+    /// Generates the circuit.
+    pub fn build(self) -> Circuit {
+        match self {
+            ExtraBenchmark::Mult => build_mult(),
+            ExtraBenchmark::Square => build_square(),
+            ExtraBenchmark::LogicMix => build_logicmix(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExtraBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shift-add product of an `xw`-bit and a `yw`-bit word, `xw + yw` bits
+/// wide.
+fn multiplier(b: &mut NetlistBuilder, x: &Word, y: &Word) -> Word {
+    let (xw, yw) = (x.width(), y.width());
+    let out_w = xw + yw;
+    let zero = b.constant(false);
+    // Zero-extend x to the product width once.
+    let x_ext = Word::from_bits(
+        x.bits().iter().copied().chain(std::iter::repeat(zero).take(out_w - xw)).collect(),
+    );
+    let mut acc = Word::constant(b, 0, out_w);
+    for i in 0..yw {
+        // Partial product: x gated by y[i], shifted left i (pure rewiring).
+        let shifted = x_ext.shift_left(i, zero);
+        let gated = Word::from_bits(
+            shifted.bits().iter().map(|&bit| b.and(bit, y.bit(i))).collect(),
+        );
+        let (sum, _carry) = words::add(b, &acc, &gated);
+        acc = sum;
+    }
+    acc
+}
+
+const MULT_W: usize = 32;
+
+fn build_mult() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let x = Word::input(&mut b, MULT_W);
+    let y = Word::input(&mut b, MULT_W);
+    let p = multiplier(&mut b, &x, &y);
+    b.output_all(p.bits().iter().copied());
+    Circuit {
+        name: "mult",
+        netlist: b.finish(),
+        reference: Box::new(|inputs| {
+            let x = from_bits(&inputs[..MULT_W]);
+            let y = from_bits(&inputs[MULT_W..2 * MULT_W]);
+            to_bits(x * y, 2 * MULT_W)
+        }),
+    }
+}
+
+const SQ_W: usize = 24;
+
+fn build_square() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let x = Word::input(&mut b, SQ_W);
+    let p = multiplier(&mut b, &x, &x.clone());
+    b.output_all(p.bits().iter().copied());
+    Circuit {
+        name: "square",
+        netlist: b.finish(),
+        reference: Box::new(|inputs| {
+            let x = from_bits(&inputs[..SQ_W]);
+            to_bits(x * x, 2 * SQ_W)
+        }),
+    }
+}
+
+const MIX_IN: usize = 12;
+const MIX_OUT: usize = 40;
+
+fn build_logicmix() -> Circuit {
+    let mut rng = StdRng::seed_from_u64(0x10C1);
+    let tabs: Vec<TruthTable> =
+        (0..MIX_OUT).map(|_| TruthTable::random(MIX_IN, 0.25, &mut rng)).collect();
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(MIX_IN);
+    let outs = synthesize_table(&mut b, &ins, &tabs);
+    b.output_all(outs);
+    let reference = move |inputs: &[bool]| {
+        let v = inputs
+            .iter()
+            .take(MIX_IN)
+            .enumerate()
+            .fold(0usize, |acc, (i, &bit)| acc | (bit as usize) << i);
+        tabs.iter().map(|t| t.value(v)).collect()
+    };
+    Circuit { name: "logicmix", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mult_shape_and_correctness() {
+        let c = ExtraBenchmark::Mult.build();
+        assert_eq!(c.netlist.num_inputs(), 64);
+        assert_eq!(c.netlist.num_outputs(), 64);
+        c.validate_sample(15, 31).unwrap();
+    }
+
+    #[test]
+    fn mult_corner_cases() {
+        let c = ExtraBenchmark::Mult.build();
+        let eval = |x: u128, y: u128| {
+            let mut inputs = to_bits(x, MULT_W);
+            inputs.extend(to_bits(y, MULT_W));
+            from_bits(&c.netlist.eval(&inputs))
+        };
+        assert_eq!(eval(0, 12345), 0);
+        assert_eq!(eval(1, 12345), 12345);
+        assert_eq!(eval(0xFFFF_FFFF, 0xFFFF_FFFF), 0xFFFF_FFFF * 0xFFFF_FFFF);
+        assert_eq!(eval(1 << 31, 2), 1 << 32);
+    }
+
+    #[test]
+    fn square_matches_self_product() {
+        let c = ExtraBenchmark::Square.build();
+        assert_eq!(c.netlist.num_inputs(), 24);
+        assert_eq!(c.netlist.num_outputs(), 48);
+        c.validate_sample(15, 32).unwrap();
+        let mut inputs = to_bits(0xABCDEF, SQ_W);
+        inputs.truncate(SQ_W);
+        let got = from_bits(&c.netlist.eval(&inputs));
+        assert_eq!(got, 0xABCDEFu128 * 0xABCDEF);
+    }
+
+    #[test]
+    fn logicmix_exhaustive() {
+        let c = ExtraBenchmark::LogicMix.build();
+        assert_eq!(c.netlist.num_inputs(), 12);
+        assert_eq!(c.netlist.num_outputs(), 40);
+        // 4096 valuations is cheap enough to do exhaustively.
+        for v in 0..1usize << MIX_IN {
+            let inputs: Vec<bool> = (0..MIX_IN).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "v={v}");
+        }
+    }
+
+    #[test]
+    fn extras_lower_to_nor_correctly() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for e in ExtraBenchmark::ALL {
+            let c = e.build();
+            let nor = c.netlist.to_nor();
+            assert_eq!(nor.validate(), Ok(()), "{e}");
+            for _ in 0..3 {
+                let inputs: Vec<bool> =
+                    (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
+                assert_eq!(nor.eval(&inputs), c.netlist.eval(&inputs), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ExtraBenchmark::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(ExtraBenchmark::Mult.to_string(), "mult");
+    }
+}

@@ -1,0 +1,109 @@
+//! `int2float`: 11-bit unsigned integer to compact 7-bit float
+//! (11 inputs, 7 outputs).
+//!
+//! Format: `out[6:3]` = 4-bit exponent `e` (position of the leading one,
+//! 0–10; all-zero input encodes as 0), `out[2:0]` = the 3 bits immediately
+//! below the leading one (zero-padded, truncated). Structure: priority
+//! detection of the MSB plus a one-hot-selected mantissa mux — the same
+//! normalize-and-round shape as the EPFL original.
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+
+/// Input width.
+pub const IN_BITS: usize = 11;
+/// Output width (4-bit exponent + 3-bit mantissa).
+pub const OUT_BITS: usize = 7;
+
+/// Software specification shared by the reference model and tests.
+pub fn spec(x: u32) -> u32 {
+    if x == 0 {
+        return 0;
+    }
+    let e = 31 - x.leading_zeros(); // position of leading one, 0..=10
+    let m = if e >= 3 { (x >> (e - 3)) & 0x7 } else { (x << (3 - e)) & 0x7 };
+    (e << 3) | m
+}
+
+/// Builds the int2float benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let x: Vec<_> = (0..IN_BITS).map(|_| b.input()).collect();
+
+    // One-hot leading-one detection, scanning from the MSB down.
+    let mut seen = b.constant(false);
+    let mut lead = vec![b.constant(false); IN_BITS];
+    for i in (0..IN_BITS).rev() {
+        let not_seen = b.not(seen);
+        lead[i] = b.and(x[i], not_seen);
+        seen = b.or(seen, x[i]);
+    }
+
+    // Exponent: binary encode of the one-hot leading position.
+    let mut exp = vec![b.constant(false); 4];
+    for (i, &l) in lead.iter().enumerate() {
+        for (j, e) in exp.iter_mut().enumerate() {
+            if i >> j & 1 != 0 {
+                *e = b.or(*e, l);
+            }
+        }
+    }
+
+    // Mantissa: for each leading position e, the source bits are
+    // x[e-1], x[e-2], x[e-3] (zero when the index underflows).
+    let zero = b.constant(false);
+    let mut man = vec![zero; 3];
+    for (e, &l) in lead.iter().enumerate() {
+        for (k, m) in man.iter_mut().enumerate() {
+            // mantissa bit k (k=0 is LSB) comes from x[e-3+k]
+            let src_index = e as isize - 3 + k as isize;
+            if src_index >= 0 {
+                let term = b.and(l, x[src_index as usize]);
+                *m = b.or(*m, term);
+            }
+        }
+    }
+
+    b.output_all(man);
+    b.output_all(exp);
+    Circuit { name: "int2float", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let x = from_bits(&inputs[..IN_BITS]) as u32;
+    let f = spec(x);
+    (0..OUT_BITS).map(|i| f >> i & 1 != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 11);
+        assert_eq!(c.netlist.num_outputs(), 7);
+    }
+
+    #[test]
+    fn exhaustive_all_2048_inputs() {
+        let c = build();
+        for v in 0..1u32 << IN_BITS {
+            let inputs: Vec<bool> = (0..IN_BITS).map(|i| v >> i & 1 != 0).collect();
+            let out = c.netlist.eval(&inputs);
+            let got = from_bits(&out) as u32;
+            assert_eq!(got, spec(v), "input {v}");
+        }
+    }
+
+    #[test]
+    fn spec_examples() {
+        assert_eq!(spec(0), 0);
+        assert_eq!(spec(1), 0); // e = 0, m = 0 (denormal collapse)
+        assert_eq!(spec(0b11), 1 << 3 | 0b100); // e=1, fraction bit promoted
+        assert_eq!(spec(0b1000), 3 << 3); // e=3, m=000
+        assert_eq!(spec(0b1011), 3 << 3 | 0b011);
+        assert_eq!(spec(0b111_1111_1111), 10 << 3 | 0b111);
+    }
+}

@@ -1,0 +1,109 @@
+//! `max`: maximum of four 128-bit unsigned words plus the 2-bit argmax
+//! index (512 inputs, 130 outputs).
+//!
+//! Tournament structure: two leaf comparators feed a final comparator;
+//! ties resolve to the lower index, matching the reference model.
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Word width.
+pub const WIDTH: usize = 128;
+/// Number of candidate words.
+pub const WORDS: usize = 4;
+
+/// Builds the max benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let w: Vec<Word> = (0..WORDS).map(|_| Word::input(&mut b, WIDTH)).collect();
+
+    // Leaf 0: max(w0, w1). `lt` is strict, so ties pick the lower index.
+    let l0 = words::lt(&mut b, &w[0], &w[1]); // w0 < w1
+    let m01 = words::mux(&mut b, l0, &w[1], &w[0]);
+    // Leaf 1: max(w2, w3).
+    let l1 = words::lt(&mut b, &w[2], &w[3]);
+    let m23 = words::mux(&mut b, l1, &w[3], &w[2]);
+    // Root: max(m01, m23).
+    let l2 = words::lt(&mut b, &m01, &m23);
+    let maximum = words::mux(&mut b, l2, &m23, &m01);
+
+    // index bit0 = which element won inside the winning pair,
+    // index bit1 = which pair won.
+    let idx0 = b.mux(l2, l1, l0);
+    let idx1 = l2;
+
+    b.output_all(maximum.bits().iter().copied());
+    b.output(idx0);
+    b.output(idx1);
+    Circuit { name: "max", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let vals: Vec<u128> =
+        (0..WORDS).map(|i| from_bits(&inputs[i * WIDTH..(i + 1) * WIDTH])).collect();
+    // Strictly-greater comparison: first occurrence of the maximum wins.
+    let mut best = 0usize;
+    for i in 1..WORDS {
+        if vals[i] > vals[best] {
+            best = i;
+        }
+    }
+    let mut out: Vec<bool> = (0..WIDTH).map(|i| vals[best] >> i & 1 != 0).collect();
+    out.push(best & 1 != 0);
+    out.push(best & 2 != 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::to_bits;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 512);
+        assert_eq!(c.netlist.num_outputs(), 130);
+    }
+
+    #[test]
+    fn random_tournaments_match() {
+        build().validate_sample(30, 5).unwrap();
+    }
+
+    fn eval_max(c: &Circuit, vals: [u128; 4]) -> (u128, usize) {
+        let mut inputs = Vec::new();
+        for v in vals {
+            inputs.extend(to_bits(v, WIDTH));
+        }
+        let out = c.netlist.eval(&inputs);
+        let m = from_bits(&out[..WIDTH]);
+        let idx = out[WIDTH] as usize | (out[WIDTH + 1] as usize) << 1;
+        (m, idx)
+    }
+
+    #[test]
+    fn each_position_can_win() {
+        let c = build();
+        assert_eq!(eval_max(&c, [9, 1, 2, 3]), (9, 0));
+        assert_eq!(eval_max(&c, [1, 9, 2, 3]), (9, 1));
+        assert_eq!(eval_max(&c, [1, 2, 9, 3]), (9, 2));
+        assert_eq!(eval_max(&c, [1, 2, 3, 9]), (9, 3));
+    }
+
+    #[test]
+    fn ties_pick_the_lowest_index() {
+        let c = build();
+        assert_eq!(eval_max(&c, [7, 7, 7, 7]), (7, 0));
+        assert_eq!(eval_max(&c, [1, 7, 7, 2]), (7, 1));
+        assert_eq!(eval_max(&c, [1, 2, 7, 7]), (7, 2));
+    }
+
+    #[test]
+    fn handles_extreme_values() {
+        let c = build();
+        assert_eq!(eval_max(&c, [u128::MAX, 0, u128::MAX - 1, 5]), (u128::MAX, 0));
+        assert_eq!(eval_max(&c, [0, 0, 0, 0]), (0, 0));
+    }
+}

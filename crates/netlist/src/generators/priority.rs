@@ -1,0 +1,100 @@
+//! `priority`: 128-bit priority encoder (128 inputs, 8 outputs — 7-bit
+//! index of the lowest-numbered active line plus a valid flag).
+
+use super::Circuit;
+use crate::builder::NetlistBuilder;
+
+/// Number of request lines.
+pub const LINES: usize = 128;
+/// Encoded index width.
+pub const INDEX_BITS: usize = 7;
+
+/// Builds the priority-encoder benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let lines: Vec<_> = (0..LINES).map(|_| b.input()).collect();
+
+    // first[i] = lines[i] AND nothing-before; computed with a scan chain.
+    let mut any_before = b.constant(false);
+    let mut index = vec![b.constant(false); INDEX_BITS];
+    for (i, &line) in lines.iter().enumerate() {
+        let not_before = b.not(any_before);
+        let first = b.and(line, not_before);
+        for (j, idx) in index.iter_mut().enumerate() {
+            if i >> j & 1 != 0 {
+                *idx = b.or(*idx, first);
+            }
+        }
+        any_before = b.or(any_before, line);
+    }
+    b.output_all(index);
+    b.output(any_before);
+    Circuit { name: "priority", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; INDEX_BITS + 1];
+    if let Some(first) = inputs.iter().position(|&b| b) {
+        for (j, bit) in out.iter_mut().take(INDEX_BITS).enumerate() {
+            *bit = first >> j & 1 != 0;
+        }
+        out[INDEX_BITS] = true;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::from_bits;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 128);
+        assert_eq!(c.netlist.num_outputs(), 8);
+    }
+
+    #[test]
+    fn random_inputs_match_reference() {
+        build().validate_sample(40, 4).unwrap();
+    }
+
+    #[test]
+    fn single_line_encodes_its_index() {
+        let c = build();
+        for i in [0usize, 1, 63, 64, 127] {
+            let mut inputs = vec![false; LINES];
+            inputs[i] = true;
+            let out = c.netlist.eval(&inputs);
+            assert_eq!(from_bits(&out[..INDEX_BITS]) as usize, i);
+            assert!(out[INDEX_BITS]);
+        }
+    }
+
+    #[test]
+    fn lower_index_wins() {
+        let c = build();
+        let mut inputs = vec![false; LINES];
+        inputs[100] = true;
+        inputs[5] = true;
+        let out = c.netlist.eval(&inputs);
+        assert_eq!(from_bits(&out[..INDEX_BITS]), 5);
+    }
+
+    #[test]
+    fn idle_encoder_reports_invalid() {
+        let c = build();
+        let out = c.netlist.eval(&vec![false; LINES]);
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn is_output_sparse() {
+        let s = build().netlist.stats();
+        assert!(
+            (s.outputs as f64) / (s.gates as f64) < 0.05,
+            "priority is output-sparse: {s}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! `sin`: fixed-point CORDIC sine (24 inputs, 25 outputs).
+//!
+//! The input is an unsigned Q0.24 angle `z ∈ [0, 1)` radians; the output is
+//! the Q1.24 sine truncated to 25 bits. Twenty rotation-mode CORDIC
+//! iterations run on a 27-bit two's-complement datapath; each iteration is a
+//! pair of conditional add/subtract chains plus a constant-rotation of the
+//! residual angle — deep, narrow logic with very few primary outputs,
+//! exactly the profile that gives `sin` its ~1% ECC overhead in the paper's
+//! Table I.
+//!
+//! The software reference implements the *identical* wrap-around fixed-point
+//! algorithm, so netlist and reference agree bit-exactly.
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Input angle width (Q0.24).
+pub const IN_BITS: usize = 24;
+/// Output width (Q1.24).
+pub const OUT_BITS: usize = 25;
+/// Internal datapath width (1 sign + 2 integer + 24 fraction bits).
+const W: usize = 27;
+/// CORDIC iterations.
+const ITER: usize = 20;
+
+/// `round(atan(2^-i) * 2^24)` for `i = 0..20`.
+const ATAN_TABLE: [i64; ITER] = [
+    13176795, 7778716, 4110060, 2086331, 1047214, 524117, 262123, 131069,
+    65536, 32768, 16384, 8192, 4096, 2048, 1024, 512, 256, 128, 64, 32,
+];
+/// `round(2^24 / prod sqrt(1 + 2^-2i))` — the CORDIC gain compensation.
+const K_INV: i64 = 10188014;
+
+/// Sign-extends the low `W` bits of `v` into an `i64`.
+fn wrap(v: i64) -> i64 {
+    (v << (64 - W)) >> (64 - W)
+}
+
+/// The bit-exact software specification: Q0.24 angle in, Q1.24 sine out.
+pub fn spec(theta: u32) -> u32 {
+    let mut x = K_INV;
+    let mut y = 0i64;
+    let mut z = theta as i64;
+    for (i, &atan) in ATAN_TABLE.iter().enumerate() {
+        let (xs, ys) = (x >> i, y >> i);
+        if z >= 0 {
+            (x, y, z) = (wrap(x - ys), wrap(y + xs), wrap(z - atan));
+        } else {
+            (x, y, z) = (wrap(x + ys), wrap(y - xs), wrap(z + atan));
+        }
+    }
+    (y as u32) & ((1 << OUT_BITS) - 1)
+}
+
+/// Builds the sin benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let theta = Word::input(&mut b, IN_BITS);
+    let zero = b.constant(false);
+
+    // Zero-extend the angle into the 27-bit datapath.
+    let mut z = Word::from_bits(
+        theta.bits().iter().copied().chain(std::iter::repeat(zero).take(W - IN_BITS)).collect(),
+    );
+    let mut x = Word::constant(&mut b, K_INV as u128, W);
+    let mut y = Word::constant(&mut b, 0, W);
+
+    for (i, &atan) in ATAN_TABLE.iter().enumerate() {
+        let xs = x.shift_right_arith(i);
+        let ys = y.shift_right_arith(i);
+        let z_neg = z.msb();
+        let z_nonneg = b.not(z_neg);
+        // z >= 0: x -= y>>i, y += x>>i, z -= atan.
+        x = words::add_sub(&mut b, &x, &ys, z_nonneg);
+        y = words::add_sub(&mut b, &y, &xs, z_neg);
+        let rot = Word::constant(&mut b, atan as u128, W);
+        z = words::add_sub(&mut b, &z, &rot, z_nonneg);
+    }
+
+    b.output_all(y.bits().iter().take(OUT_BITS).copied());
+    Circuit { name: "sin", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let theta = from_bits(&inputs[..IN_BITS]) as u32;
+    let s = spec(theta);
+    (0..OUT_BITS).map(|i| s >> i & 1 != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 24);
+        assert_eq!(c.netlist.num_outputs(), 25);
+    }
+
+    #[test]
+    fn random_angles_match_reference() {
+        build().validate_sample(25, 8).unwrap();
+    }
+
+    /// Sign-extends a 25-bit two's-complement value.
+    fn as_signed(v: u32) -> i64 {
+        ((v as i64) << (64 - OUT_BITS)) >> (64 - OUT_BITS)
+    }
+
+    #[test]
+    fn spec_approximates_real_sine() {
+        // The CORDIC result must track f64 sin within a few ulps of Q24.
+        for theta in [0u32, 1 << 20, 1 << 22, 1 << 23, (1 << 24) - 1] {
+            let angle = theta as f64 / (1u64 << 24) as f64;
+            let want = (angle.sin() * (1u64 << 24) as f64).round() as i64;
+            let got = as_signed(spec(theta));
+            assert!(
+                (got - want).abs() <= 64,
+                "theta={theta}: got {got}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_angle_gives_zero_sine() {
+        let c = build();
+        let out = c.netlist.eval(&vec![false; IN_BITS]);
+        let got = as_signed(from_bits(&out) as u32);
+        assert!(got.abs() <= 64, "sin(0) ~ 0, got {got}");
+    }
+
+    #[test]
+    fn is_deep_and_output_sparse() {
+        let s = build().netlist.stats();
+        assert!(s.depth > 100, "20 chained ripple adders are deep: {s}");
+        assert!(
+            (s.outputs as f64) / (s.gates as f64) < 0.02,
+            "sin is output-sparse: {s}"
+        );
+    }
+}

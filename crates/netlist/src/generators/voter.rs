@@ -1,0 +1,120 @@
+//! `voter`: 1001-input majority function (1001 inputs, 1 output).
+//!
+//! Structure: a carry-save (3:2 compressor) population-count tree reduces
+//! the 1001 single-bit votes to one 10-bit count, followed by a constant
+//! comparison `count >= 501` — the same adder-tree profile as the EPFL
+//! original, with a single primary output at the very end.
+
+use super::Circuit;
+use crate::builder::NetlistBuilder;
+use crate::gate::NodeId;
+use crate::words::{self, Word};
+
+/// Number of voters (odd, so majority is never a tie).
+pub const VOTERS: usize = 1001;
+/// Votes needed to win.
+pub const THRESHOLD: usize = VOTERS / 2 + 1;
+/// Bits needed to count to `VOTERS`.
+const COUNT_BITS: usize = 10;
+
+/// Builds the voter benchmark.
+pub fn build() -> Circuit {
+    let mut b = NetlistBuilder::new();
+    let votes: Vec<NodeId> = (0..VOTERS).map(|_| b.input()).collect();
+
+    // Carry-save reduction: per-weight buckets of single-bit signals.
+    let mut buckets: Vec<Vec<NodeId>> = vec![votes];
+    let mut weight = 0;
+    while weight < buckets.len() {
+        while buckets[weight].len() >= 3 {
+            let a = buckets[weight].pop().expect("len>=3");
+            let x = buckets[weight].pop().expect("len>=3");
+            let c = buckets[weight].pop().expect("len>=3");
+            // Full adder: sum stays at this weight, carry moves up.
+            let s1 = b.xor(a, x);
+            let sum = b.xor(s1, c);
+            let carry = b.maj(a, x, c);
+            buckets[weight].insert(0, sum);
+            if buckets.len() == weight + 1 {
+                buckets.push(Vec::new());
+            }
+            buckets[weight + 1].push(carry);
+        }
+        if buckets[weight].len() == 2 {
+            // Half adder clears the bucket to a single bit.
+            let a = buckets[weight].pop().expect("len==2");
+            let x = buckets[weight].pop().expect("len==2");
+            let sum = b.xor(a, x);
+            let carry = b.and(a, x);
+            buckets[weight].push(sum);
+            if buckets.len() == weight + 1 {
+                buckets.push(Vec::new());
+            }
+            buckets[weight + 1].push(carry);
+        }
+        weight += 1;
+    }
+    let zero = b.constant(false);
+    let count = Word::from_bits(
+        (0..COUNT_BITS)
+            .map(|w| buckets.get(w).and_then(|v| v.first()).copied().unwrap_or(zero))
+            .collect(),
+    );
+
+    // majority <=> count >= THRESHOLD <=> !(count < THRESHOLD)
+    let threshold = Word::constant(&mut b, THRESHOLD as u128, COUNT_BITS);
+    let below = words::lt(&mut b, &count, &threshold);
+    let majority = b.not(below);
+    b.output(majority);
+    Circuit { name: "voter", netlist: b.finish(), reference: Box::new(reference) }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let ones = inputs.iter().filter(|&&v| v).count();
+    vec![ones >= THRESHOLD]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 1001);
+        assert_eq!(c.netlist.num_outputs(), 1);
+    }
+
+    #[test]
+    fn random_votes_match_reference() {
+        build().validate_sample(20, 6).unwrap();
+    }
+
+    #[test]
+    fn threshold_edge_exactly() {
+        let c = build();
+        // Exactly THRESHOLD-1 ones: minority.
+        let mut inputs = vec![false; VOTERS];
+        for v in inputs.iter_mut().take(THRESHOLD - 1) {
+            *v = true;
+        }
+        assert_eq!(c.netlist.eval(&inputs), vec![false]);
+        // One more vote tips it.
+        inputs[THRESHOLD - 1] = true;
+        assert_eq!(c.netlist.eval(&inputs), vec![true]);
+    }
+
+    #[test]
+    fn unanimous_cases() {
+        let c = build();
+        assert_eq!(c.netlist.eval(&vec![false; VOTERS]), vec![false]);
+        assert_eq!(c.netlist.eval(&vec![true; VOTERS]), vec![true]);
+    }
+
+    #[test]
+    fn is_extremely_output_sparse() {
+        let s = build().netlist.stats();
+        assert_eq!(s.outputs, 1);
+        assert!(s.gates > 1000, "popcount tree is big: {s}");
+    }
+}

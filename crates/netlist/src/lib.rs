@@ -1,0 +1,58 @@
+//! Gate-level netlist IR, NOR-only lowering and EPFL-style benchmark
+//! circuit generators.
+//!
+//! The DAC'21 paper evaluates its ECC mechanism by mapping the EPFL
+//! combinational benchmark suite onto a MAGIC crossbar row with the SIMPLER
+//! tool. This crate provides everything upstream of that mapping:
+//!
+//! * a compact netlist IR ([`Netlist`], [`Gate`]) built through a
+//!   hash-consing, constant-folding [`NetlistBuilder`];
+//! * word-level construction helpers ([`words::Word`]) for datapath circuits
+//!   (adders, comparators, shifters, CORDIC);
+//! * truth-table (Shannon) synthesis for random-logic blocks
+//!   ([`synth::synthesize_table`]);
+//! * lowering to a NOR/NOT-only netlist ([`nor::NorNetlist`]) — the gate set
+//!   MAGIC executes natively;
+//! * structural generators for the eleven benchmark circuits of the paper's
+//!   Table I ([`generators`]), each paired with a software reference model
+//!   so every netlist is validated bit-exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc_netlist::{NetlistBuilder, generators::Benchmark};
+//!
+//! // Build a half adder by hand...
+//! let mut b = NetlistBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let sum = b.xor(x, y);
+//! let carry = b.and(x, y);
+//! b.output(sum);
+//! b.output(carry);
+//! let nl = b.finish();
+//! assert_eq!(nl.eval(&[true, true]), vec![false, true]);
+//!
+//! // ...or generate a full benchmark circuit and lower it to NOR-only form.
+//! let circuit = Benchmark::Dec.build();
+//! let nor = circuit.netlist.to_nor();
+//! assert_eq!(nor.num_outputs(), 256);
+//! ```
+
+pub mod aiger;
+pub mod blif;
+pub mod builder;
+pub mod dot;
+pub mod equiv;
+pub mod gate;
+pub mod generators;
+pub mod netlist;
+pub mod nor;
+pub mod synth;
+pub mod words;
+
+pub use builder::NetlistBuilder;
+pub use gate::{Gate, NodeId};
+pub use netlist::{Netlist, NetlistStats};
+pub use nor::{NorGate, NorNetlist, NorSource};
+pub use synth::TruthTable;

@@ -1,0 +1,278 @@
+//! The immutable netlist produced by [`crate::NetlistBuilder`].
+
+use crate::gate::{Gate, NodeId};
+use crate::nor::NorNetlist;
+use std::collections::HashMap;
+
+/// An immutable combinational netlist in topological node order.
+///
+/// Construct through [`crate::NetlistBuilder`]; evaluate with
+/// [`Netlist::eval`]; lower to the MAGIC-native gate set with
+/// [`Netlist::to_nor`].
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let a = b.input();
+/// let n = b.not(a);
+/// b.output(n);
+/// let nl = b.finish();
+/// assert_eq!(nl.eval(&[false]), vec![true]);
+/// assert_eq!(nl.num_inputs(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) nodes: Vec<Gate>,
+    pub(crate) num_inputs: usize,
+    pub(crate) outputs: Vec<NodeId>,
+}
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Logic gates (excludes `Input`/`Const` sources).
+    pub gates: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Longest input-to-output path measured in gates.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} gates, {} inputs, {} outputs, depth {}",
+            self.gates, self.inputs, self.outputs, self.depth
+        )
+    }
+}
+
+impl Netlist {
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The output nodes, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All nodes in topological order (operands precede users).
+    pub fn nodes(&self) -> &[Gate] {
+        &self.nodes
+    }
+
+    /// The gate at `id`.
+    pub fn gate(&self, id: NodeId) -> &Gate {
+        &self.nodes[id.index()]
+    }
+
+    /// Evaluates the netlist on `inputs`, returning one bool per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.eval_all(inputs);
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Evaluates every node, returning the full value vector indexed by
+    /// [`NodeId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval_all(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        for (i, gate) in self.nodes.iter().enumerate() {
+            values[i] = gate.eval(|n| values[n.index()], inputs);
+        }
+        values
+    }
+
+    /// Per-gate fanout counts (number of gate references to each node;
+    /// output references are *not* counted).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.nodes.len()];
+        for gate in &self.nodes {
+            for op in gate.operands() {
+                fo[op.index()] += 1;
+            }
+        }
+        fo
+    }
+
+    /// Summary statistics (gate count, IO arity, logic depth).
+    pub fn stats(&self) -> NetlistStats {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max_depth = 0;
+        let mut gates = 0;
+        for (i, gate) in self.nodes.iter().enumerate() {
+            if gate.is_source() {
+                continue;
+            }
+            gates += 1;
+            let d = gate
+                .operands()
+                .iter()
+                .map(|op| depth[op.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            depth[i] = d;
+            max_depth = max_depth.max(d);
+        }
+        NetlistStats {
+            gates,
+            inputs: self.num_inputs,
+            outputs: self.outputs.len(),
+            depth: max_depth,
+        }
+    }
+
+    /// Per-kind gate histogram keyed by a short mnemonic (`"and"`, `"xor"`,
+    /// ...).
+    pub fn gate_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut h = HashMap::new();
+        for gate in &self.nodes {
+            let key = match gate {
+                Gate::Input(_) | Gate::Const(_) => continue,
+                Gate::Not(_) => "not",
+                Gate::And(..) => "and",
+                Gate::Or(..) => "or",
+                Gate::Nor(..) => "nor",
+                Gate::Nand(..) => "nand",
+                Gate::Xor(..) => "xor",
+                Gate::Xnor(..) => "xnor",
+                Gate::Mux { .. } => "mux",
+                Gate::Maj(..) => "maj",
+            };
+            *h.entry(key).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Checks structural invariants: topological operand order and
+    /// in-bounds references. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, gate) in self.nodes.iter().enumerate() {
+            for op in gate.operands() {
+                if op.index() >= self.nodes.len() {
+                    return Err(format!("node {i} references out-of-bounds {op}"));
+                }
+                if op.index() >= i {
+                    return Err(format!("node {i} references non-preceding {op}"));
+                }
+            }
+            if let Gate::Input(k) = gate {
+                if *k >= self.num_inputs {
+                    return Err(format!("node {i} is input {k} but only {} inputs", self.num_inputs));
+                }
+            }
+        }
+        for out in &self.outputs {
+            if out.index() >= self.nodes.len() {
+                return Err(format!("output references out-of-bounds {out}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the netlist to NOR/NOT-only form for MAGIC execution.
+    pub fn to_nor(&self) -> NorNetlist {
+        NorNetlist::from_netlist(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.input();
+        let x = b.input();
+        let cin = b.input();
+        let s1 = b.xor(a, x);
+        let sum = b.xor(s1, cin);
+        let carry = b.maj(a, x, cin);
+        b.output(sum);
+        b.output(carry);
+        b.finish()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for v in 0..8u32 {
+            let a = v & 1 != 0;
+            let x = v & 2 != 0;
+            let c = v & 4 != 0;
+            let got = nl.eval(&[a, x, c]);
+            let total = a as u32 + x as u32 + c as u32;
+            assert_eq!(got[0], total & 1 != 0, "sum for {v:03b}");
+            assert_eq!(got[1], total >= 2, "carry for {v:03b}");
+        }
+    }
+
+    #[test]
+    fn stats_count_gates_and_depth() {
+        let nl = full_adder();
+        let s = nl.stats();
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 3); // xor, xor, maj
+        assert_eq!(s.depth, 2); // xor -> xor
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert_eq!(full_adder().validate(), Ok(()));
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let nl = full_adder();
+        // Each input feeds the first xor and/or maj.
+        let fo = nl.fanout_counts();
+        // input a: xor + maj = 2
+        assert_eq!(fo[0], 2);
+        // s1 feeds sum xor only.
+        let s1_idx = 3; // inputs occupy 0..3
+        assert_eq!(fo[s1_idx], 1);
+    }
+
+    #[test]
+    fn gate_histogram_counts_kinds() {
+        let h = full_adder().gate_histogram();
+        assert_eq!(h.get("xor"), Some(&2));
+        assert_eq!(h.get("maj"), Some(&1));
+        assert_eq!(h.get("and"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn eval_rejects_wrong_arity() {
+        full_adder().eval(&[true]);
+    }
+
+    #[test]
+    fn stats_display_nonempty() {
+        assert!(!full_adder().stats().to_string().is_empty());
+    }
+}

@@ -1,0 +1,542 @@
+//! Lowering to the MAGIC-native gate set: multi-input NOR (and its 1-input
+//! special case, NOT).
+//!
+//! MAGIC executes k-input NOR gates natively inside a crossbar row or
+//! column; every other gate must be decomposed. The decompositions used here
+//! are the textbook ones (and the XNOR-in-4-NORs construction that gives the
+//! paper its 8-NOR XOR3):
+//!
+//! | gate        | NOR form                                   | gates |
+//! |-------------|--------------------------------------------|-------|
+//! | NOT a       | NOR(a)                                     | 1     |
+//! | OR(a,b)     | NOT(NOR(a,b))                              | 2     |
+//! | AND(a,b)    | NOR(¬a, ¬b)                                | 1 (+2)|
+//! | NAND(a,b)   | NOT(AND(a,b))                              | 2 (+2)|
+//! | XNOR(a,b)   | NOR(NOR(a,x), NOR(b,x)), x = NOR(a,b)      | 4     |
+//! | XOR(a,b)    | NOT(XNOR(a,b))                             | 5     |
+//! | MUX(s,h,l)  | NOT(NOR(AND(s,h), AND(¬s,l)))              | ≤6    |
+//! | MAJ(a,b,c)  | NOT(NOR(ab, ac, bc))                       | ≤8    |
+//!
+//! Inverters are hash-consed so a signal is complemented at most once.
+
+use crate::gate::Gate;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// A signal feeding a NOR gate: either a primary input or the output of an
+/// earlier NOR gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NorSource {
+    /// Primary input number.
+    Input(usize),
+    /// Output of gate number (index into [`NorNetlist::gates`]).
+    Gate(usize),
+}
+
+/// One k-input NOR gate (k = 1 is a NOT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NorGate {
+    /// The gate's input signals (at least one).
+    pub inputs: Vec<NorSource>,
+}
+
+/// A netlist whose every gate is a NOR — the form SIMPLER maps onto a
+/// crossbar row.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let g = b.xor(x, y);
+/// b.output(g);
+/// let nor = b.finish().to_nor();
+/// assert_eq!(nor.num_gates(), 5); // XOR costs 5 NORs
+/// assert_eq!(nor.eval(&[true, false]), vec![true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NorNetlist {
+    num_inputs: usize,
+    gates: Vec<NorGate>,
+    outputs: Vec<NorSource>,
+}
+
+impl NorNetlist {
+    /// Lowers `netlist` to NOR-only form. Prefer [`Netlist::to_nor`].
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        Lowering::new(netlist.num_inputs()).run(netlist)
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of NOR gates (1-input NOTs included).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[NorGate] {
+        &self.gates
+    }
+
+    /// The output signals in declaration order.
+    pub fn outputs(&self) -> &[NorSource] {
+        &self.outputs
+    }
+
+    /// Fanout count per gate (references from other gates and from the
+    /// output list combined).
+    pub fn fanouts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.gates.len()];
+        for g in &self.gates {
+            for &s in &g.inputs {
+                if let NorSource::Gate(i) = s {
+                    fo[i] += 1;
+                }
+            }
+        }
+        for &s in &self.outputs {
+            if let NorSource::Gate(i) = s {
+                fo[i] += 1;
+            }
+        }
+        fo
+    }
+
+    /// Evaluates the NOR netlist on `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.eval_all(inputs);
+        self.outputs.iter().map(|s| resolve(*s, inputs, &values)).collect()
+    }
+
+    /// Evaluates every gate, returning the per-gate value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval_all(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let any = g.inputs.iter().any(|&s| resolve(s, inputs, &values));
+            values.push(!any);
+        }
+        values
+    }
+
+    /// Structural validation: every gate references only inputs or earlier
+    /// gates, and has at least one input.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.inputs.is_empty() {
+                return Err(format!("gate {i} has no inputs"));
+            }
+            for &s in &g.inputs {
+                match s {
+                    NorSource::Input(k) if k >= self.num_inputs => {
+                        return Err(format!("gate {i} reads undefined input {k}"));
+                    }
+                    NorSource::Gate(j) if j >= i => {
+                        return Err(format!("gate {i} reads non-preceding gate {j}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for &s in &self.outputs {
+            if let NorSource::Gate(j) = s {
+                if j >= self.gates.len() {
+                    return Err(format!("output reads undefined gate {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Set of gate indices whose values are primary outputs. These are the
+    /// *ECC-critical* writes of the DAC'21 paper: the data that must be
+    /// covered by check-bits once the function completes.
+    pub fn output_gate_set(&self) -> Vec<bool> {
+        let mut is_out = vec![false; self.gates.len()];
+        for &s in &self.outputs {
+            if let NorSource::Gate(i) = s {
+                is_out[i] = true;
+            }
+        }
+        is_out
+    }
+}
+
+fn resolve(s: NorSource, inputs: &[bool], values: &[bool]) -> bool {
+    match s {
+        NorSource::Input(i) => inputs[i],
+        NorSource::Gate(g) => values[g],
+    }
+}
+
+/// Working state of the Netlist→NOR lowering.
+struct Lowering {
+    gates: Vec<NorGate>,
+    /// Cache of inverters: source → gate index of its NOT.
+    inverters: HashMap<NorSource, usize>,
+    num_inputs: usize,
+    const_cache: Option<(NorSource, NorSource)>, // (zero, one)
+}
+
+impl Lowering {
+    fn new(num_inputs: usize) -> Self {
+        Lowering { gates: Vec::new(), inverters: HashMap::new(), num_inputs, const_cache: None }
+    }
+
+    fn emit(&mut self, inputs: Vec<NorSource>) -> NorSource {
+        self.gates.push(NorGate { inputs });
+        NorSource::Gate(self.gates.len() - 1)
+    }
+
+    fn inv(&mut self, s: NorSource) -> NorSource {
+        if let Some(&g) = self.inverters.get(&s) {
+            return NorSource::Gate(g);
+        }
+        let out = self.emit(vec![s]);
+        let NorSource::Gate(g) = out else { unreachable!() };
+        self.inverters.insert(s, g);
+        if let NorSource::Gate(g2) = s {
+            // NOT(out) is s itself; reuse it instead of a third inverter.
+            self.inverters.entry(out).or_insert(g2);
+        }
+        out
+    }
+
+    fn consts(&mut self) -> (NorSource, NorSource) {
+        if let Some(c) = self.const_cache {
+            return c;
+        }
+        assert!(self.num_inputs > 0, "cannot synthesize constants without inputs");
+        let x = NorSource::Input(0);
+        let nx = self.inv(x);
+        let zero = self.emit(vec![x, nx]); // NOR(x, ¬x) = 0
+        let one = self.inv(zero);
+        self.const_cache = Some((zero, one));
+        (zero, one)
+    }
+
+    fn and(&mut self, a: NorSource, b: NorSource) -> NorSource {
+        let na = self.inv(a);
+        let nb = self.inv(b);
+        self.emit(vec![na, nb])
+    }
+
+    fn or(&mut self, a: NorSource, b: NorSource) -> NorSource {
+        let n = self.emit(vec![a, b]);
+        self.inv(n)
+    }
+
+    fn xnor(&mut self, a: NorSource, b: NorSource) -> NorSource {
+        let x = self.emit(vec![a, b]);
+        let y = self.emit(vec![a, x]);
+        let z = self.emit(vec![b, x]);
+        self.emit(vec![y, z])
+    }
+
+    fn run(mut self, netlist: &Netlist) -> NorNetlist {
+        let mut map: Vec<NorSource> = Vec::with_capacity(netlist.nodes().len());
+        for gate in netlist.nodes() {
+            let src = match *gate {
+                Gate::Input(i) => NorSource::Input(i),
+                Gate::Const(c) => {
+                    let (zero, one) = self.consts();
+                    if c {
+                        one
+                    } else {
+                        zero
+                    }
+                }
+                Gate::Not(a) => self.inv(map[a.index()]),
+                Gate::Nor(a, b) => self.emit(vec![map[a.index()], map[b.index()]]),
+                Gate::Or(a, b) => self.or(map[a.index()], map[b.index()]),
+                Gate::And(a, b) => self.and(map[a.index()], map[b.index()]),
+                Gate::Nand(a, b) => {
+                    let x = self.and(map[a.index()], map[b.index()]);
+                    self.inv(x)
+                }
+                Gate::Xnor(a, b) => self.xnor(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => {
+                    let x = self.xnor(map[a.index()], map[b.index()]);
+                    self.inv(x)
+                }
+                Gate::Mux { sel, hi, lo } => {
+                    let s = map[sel.index()];
+                    let h = map[hi.index()];
+                    let l = map[lo.index()];
+                    let ns = self.inv(s);
+                    let u = {
+                        let nh = self.inv(h);
+                        self.emit(vec![ns, nh]) // AND(s, h)
+                    };
+                    let v = {
+                        let nl = self.inv(l);
+                        self.emit(vec![s, nl]) // AND(¬s, l)
+                    };
+                    let w = self.emit(vec![u, v]);
+                    self.inv(w) // OR(u, v)
+                }
+                Gate::Maj(a, b, c) => {
+                    let (a, b, c) = (map[a.index()], map[b.index()], map[c.index()]);
+                    let ab = self.and(a, b);
+                    let ac = self.and(a, c);
+                    let bc = self.and(b, c);
+                    let n = self.emit(vec![ab, ac, bc]);
+                    self.inv(n)
+                }
+            };
+            map.push(src);
+        }
+        let outputs = netlist.outputs().iter().map(|o| map[o.index()]).collect();
+        let out = NorNetlist { num_inputs: self.num_inputs, gates: self.gates, outputs };
+        let out = out.prune_dead();
+        debug_assert_eq!(out.validate(), Ok(()));
+        out
+    }
+}
+
+impl NorNetlist {
+    /// Removes gates not reachable from any output (dead logic left behind
+    /// by inverter-cache shortcuts during lowering), compacting indices.
+    pub fn prune_dead(&self) -> NorNetlist {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<usize> = self
+            .outputs
+            .iter()
+            .filter_map(|s| match s {
+                NorSource::Gate(i) => Some(*i),
+                NorSource::Input(_) => None,
+            })
+            .collect();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut live[i], true) {
+                continue;
+            }
+            for &s in &self.gates[i].inputs {
+                if let NorSource::Gate(j) = s {
+                    stack.push(j);
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; self.gates.len()];
+        let mut gates = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        for (i, gate) in self.gates.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            remap[i] = gates.len();
+            gates.push(NorGate {
+                inputs: gate
+                    .inputs
+                    .iter()
+                    .map(|&s| match s {
+                        NorSource::Gate(j) => NorSource::Gate(remap[j]),
+                        input => input,
+                    })
+                    .collect(),
+            });
+        }
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|&s| match s {
+                NorSource::Gate(j) => NorSource::Gate(remap[j]),
+                input => input,
+            })
+            .collect();
+        NorNetlist { num_inputs: self.num_inputs, gates, outputs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    /// Exhaustively compares netlist and NOR-lowered evaluation for a small
+    /// circuit.
+    fn assert_equivalent(netlist: &Netlist) {
+        let nor = netlist.to_nor();
+        assert_eq!(nor.validate(), Ok(()));
+        let n = netlist.num_inputs();
+        assert!(n <= 16, "exhaustive check limited to 16 inputs");
+        for v in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(
+                netlist.eval(&inputs),
+                nor.eval(&inputs),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_two_input_gates_lower_correctly() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let gates = [
+            b.and(x, y),
+            b.or(x, y),
+            b.nor(x, y),
+            b.nand(x, y),
+            b.xor(x, y),
+            b.xnor(x, y),
+        ];
+        b.output_all(gates);
+        assert_equivalent(&b.finish());
+    }
+
+    #[test]
+    fn mux_and_maj_lower_correctly() {
+        let mut b = NetlistBuilder::new();
+        let s = b.input();
+        let h = b.input();
+        let l = b.input();
+        let m = b.mux(s, h, l);
+        let j = b.maj(s, h, l);
+        b.output(m);
+        b.output(j);
+        assert_equivalent(&b.finish());
+    }
+
+    #[test]
+    fn constants_lower_correctly() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        // Keep the constants alive through non-foldable paths: output them.
+        b.output(one);
+        b.output(zero);
+        b.output(x);
+        assert_equivalent(&b.finish());
+    }
+
+    #[test]
+    fn xor_costs_five_nors_and_xnor_four() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.xnor(x, y);
+        b.output(g);
+        assert_eq!(b.finish().to_nor().num_gates(), 4);
+
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.xor(x, y);
+        b.output(g);
+        assert_eq!(b.finish().to_nor().num_gates(), 5);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        // Both ANDs need ¬x; lowering must create it once.
+        let g1 = b.and(x, y);
+        let g2 = b.and(x, z);
+        b.output(g1);
+        b.output(g2);
+        let nor = b.finish().to_nor();
+        // gates: ¬x, ¬y, AND1, ¬z, AND2 = 5 (not 6).
+        assert_eq!(nor.num_gates(), 5);
+        assert_equivalent(&{
+            let mut b = NetlistBuilder::new();
+            let x = b.input();
+            let y = b.input();
+            let z = b.input();
+            let g1 = b.and(x, y);
+            let g2 = b.and(x, z);
+            b.output(g1);
+            b.output(g2);
+            b.finish()
+        });
+    }
+
+    #[test]
+    fn ripple_adder_equivalence() {
+        // 3-bit adder exercising deep sharing.
+        let mut b = NetlistBuilder::new();
+        let a: Vec<_> = (0..3).map(|_| b.input()).collect();
+        let x: Vec<_> = (0..3).map(|_| b.input()).collect();
+        let mut carry = b.constant(false);
+        for i in 0..3 {
+            let s1 = b.xor(a[i], x[i]);
+            let sum = b.xor(s1, carry);
+            let c = b.maj(a[i], x[i], carry);
+            b.output(sum);
+            carry = c;
+        }
+        b.output(carry);
+        assert_equivalent(&b.finish());
+    }
+
+    #[test]
+    fn fanouts_count_gate_and_output_references() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let n = b.nor(x, y);
+        b.output(n);
+        let nor = b.finish().to_nor();
+        let fo = nor.fanouts();
+        // Final gate has fanout 1 (the output).
+        assert_eq!(*fo.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn output_gate_set_marks_outputs_only() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.and(x, y);
+        b.output(g);
+        let nor = b.finish().to_nor();
+        let set = nor.output_gate_set();
+        assert_eq!(set.iter().filter(|&&v| v).count(), 1);
+        assert!(set[nor.num_gates() - 1]);
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference() {
+        let broken = NorNetlist {
+            num_inputs: 1,
+            gates: vec![NorGate { inputs: vec![NorSource::Gate(1)] }],
+            outputs: vec![NorSource::Gate(0)],
+        };
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_gate() {
+        let broken = NorNetlist {
+            num_inputs: 1,
+            gates: vec![NorGate { inputs: vec![] }],
+            outputs: vec![NorSource::Gate(0)],
+        };
+        assert!(broken.validate().is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Truth-table synthesis via recursive Shannon decomposition.
+//!
+//! The `cavlc` and `ctrl` benchmarks of the EPFL suite are random-looking
+//! control logic; we regenerate equivalents by synthesizing circuits from
+//! (seeded) truth tables. Decomposition is the classic
+//! `f = MUX(x, f|x=1, f|x=0)` recursion with memoization on sub-table
+//! contents, so shared subfunctions across outputs elaborate once.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A complete truth table over `num_inputs` variables.
+///
+/// Bit `v` of the table is the function value at input valuation `v`, where
+/// input `i` contributes bit `i` of `v`.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::TruthTable;
+///
+/// // XOR of two variables: true at valuations 01 and 10.
+/// let tt = TruthTable::from_fn(2, |v| (v & 1) ^ (v >> 1 & 1) == 1);
+/// assert!(tt.value(0b01));
+/// assert!(!tt.value(0b11));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_inputs: usize,
+    /// `2^num_inputs` bits packed into words.
+    bits: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Builds a table by evaluating `f` at every valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 20` (tables get enormous).
+    pub fn from_fn(num_inputs: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        assert!(num_inputs <= 20, "truth table too large");
+        let size = 1usize << num_inputs;
+        let mut bits = vec![0u64; size.div_ceil(64)];
+        for v in 0..size {
+            if f(v) {
+                bits[v / 64] |= 1 << (v % 64);
+            }
+        }
+        TruthTable { num_inputs, bits }
+    }
+
+    /// A random table where each entry is true with probability `density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 20` or `density` is outside `[0, 1]`.
+    pub fn random<R: Rng + ?Sized>(num_inputs: usize, density: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        Self::from_fn(num_inputs, |_| rng.gen_bool(density))
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The function value at valuation `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= 2^num_inputs`.
+    pub fn value(&self, v: usize) -> bool {
+        assert!(v < 1usize << self.num_inputs, "valuation out of range");
+        self.bits[v / 64] >> (v % 64) & 1 != 0
+    }
+
+    /// Number of true entries.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `Some(c)` if the table is the constant `c`.
+    fn as_const(&self) -> Option<bool> {
+        let ones = self.count_ones();
+        if ones == 0 {
+            Some(false)
+        } else if ones == 1usize << self.num_inputs {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Cofactors on the top variable: `(f|top=0, f|top=1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-variable table.
+    fn cofactors(&self) -> (TruthTable, TruthTable) {
+        assert!(self.num_inputs > 0, "cannot cofactor a constant");
+        let k = self.num_inputs - 1;
+        let half = 1usize << k;
+        let lo = TruthTable::from_fn(k, |v| self.value(v));
+        let hi = TruthTable::from_fn(k, |v| self.value(v + half));
+        (lo, hi)
+    }
+}
+
+/// Shannon-synthesizes one truth table over the given input nodes.
+///
+/// Shared sub-functions (including across repeated calls with the same
+/// `Synthesizer`) elaborate to shared gates.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::{NetlistBuilder, TruthTable};
+/// use pimecc_netlist::synth::Synthesizer;
+///
+/// let mut b = NetlistBuilder::new();
+/// let ins = b.inputs(3);
+/// let tt = TruthTable::from_fn(3, |v| v.count_ones() % 2 == 1); // parity
+/// let mut s = Synthesizer::new();
+/// let out = s.synthesize(&mut b, &ins, &tt);
+/// b.output(out);
+/// let nl = b.finish();
+/// assert_eq!(nl.eval(&[true, true, false]), vec![false]);
+/// assert_eq!(nl.eval(&[true, true, true]), vec![true]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Synthesizer {
+    /// Keyed by (the input nodes the sub-table ranges over, the table):
+    /// the same table over different signals is a different function.
+    memo: HashMap<(Vec<NodeId>, TruthTable), NodeId>,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with an empty sharing cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elaborates `table` over `inputs[..table.num_inputs()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer input nodes than table variables are supplied.
+    pub fn synthesize(
+        &mut self,
+        b: &mut NetlistBuilder,
+        inputs: &[NodeId],
+        table: &TruthTable,
+    ) -> NodeId {
+        assert!(
+            inputs.len() >= table.num_inputs(),
+            "need {} input nodes, got {}",
+            table.num_inputs(),
+            inputs.len()
+        );
+        self.synth_rec(b, inputs, table)
+    }
+
+    fn synth_rec(&mut self, b: &mut NetlistBuilder, inputs: &[NodeId], t: &TruthTable) -> NodeId {
+        if let Some(c) = t.as_const() {
+            return b.constant(c);
+        }
+        let key = (inputs[..t.num_inputs()].to_vec(), t.clone());
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        let (lo, hi) = t.cofactors();
+        let top = inputs[t.num_inputs() - 1];
+        let lo_node = self.synth_rec(b, inputs, &lo);
+        let hi_node = self.synth_rec(b, inputs, &hi);
+        let out = b.mux(top, hi_node, lo_node);
+        self.memo.insert(key, out);
+        out
+    }
+}
+
+/// Convenience wrapper synthesizing several output tables with shared logic.
+///
+/// # Panics
+///
+/// Panics if any table's variable count exceeds `inputs.len()`.
+pub fn synthesize_table(
+    b: &mut NetlistBuilder,
+    inputs: &[NodeId],
+    tables: &[TruthTable],
+) -> Vec<NodeId> {
+    let mut s = Synthesizer::new();
+    tables.iter().map(|t| s.synthesize(b, inputs, t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_table(tt: &TruthTable) {
+        let n = tt.num_inputs();
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(n);
+        let out = synthesize_table(&mut b, &ins, std::slice::from_ref(tt));
+        b.output(out[0]);
+        let nl = b.finish();
+        for v in 0..1usize << n {
+            let inputs: Vec<bool> = (0..n).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(nl.eval(&inputs)[0], tt.value(v), "valuation {v:b}");
+        }
+    }
+
+    #[test]
+    fn synthesizes_constants() {
+        check_table(&TruthTable::from_fn(3, |_| false));
+        check_table(&TruthTable::from_fn(3, |_| true));
+    }
+
+    #[test]
+    fn synthesizes_projections_and_parity() {
+        check_table(&TruthTable::from_fn(4, |v| v & 1 != 0));
+        check_table(&TruthTable::from_fn(4, |v| v >> 3 & 1 != 0));
+        check_table(&TruthTable::from_fn(5, |v| v.count_ones() % 2 == 0));
+    }
+
+    #[test]
+    fn synthesizes_random_tables_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 1..=8 {
+            for density in [0.1, 0.5, 0.9] {
+                check_table(&TruthTable::random(n, density, &mut rng));
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_across_outputs_reduces_gates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = TruthTable::random(6, 0.5, &mut rng);
+        // Duplicate output: second synthesis must be free.
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(6);
+        let outs = synthesize_table(&mut b, &ins, &[t.clone(), t.clone()]);
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn count_ones_and_value() {
+        let tt = TruthTable::from_fn(2, |v| v == 3);
+        assert_eq!(tt.count_ones(), 1);
+        assert!(tt.value(3));
+        assert!(!tt.value(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn value_out_of_range_panics() {
+        TruthTable::from_fn(2, |_| false).value(4);
+    }
+
+    #[test]
+    fn random_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(TruthTable::random(6, 0.0, &mut rng).count_ones(), 0);
+        assert_eq!(TruthTable::random(6, 1.0, &mut rng).count_ones(), 64);
+    }
+}

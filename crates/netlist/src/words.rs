@@ -1,0 +1,356 @@
+//! Word-level construction helpers: multi-bit buses over the bit-level
+//! builder.
+//!
+//! Datapath generators (adder, max, sin, ...) are far clearer when written
+//! against little-endian bit vectors with ripple-carry arithmetic than
+//! against individual gates. Everything here elaborates straight into the
+//! [`NetlistBuilder`], so the resulting circuits are ordinary netlists.
+
+use crate::builder::NetlistBuilder;
+use crate::gate::NodeId;
+
+/// A little-endian bus of netlist bits (`bits[0]` is the LSB).
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::NetlistBuilder;
+/// use pimecc_netlist::words::{self, Word};
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = Word::input(&mut b, 8);
+/// let y = Word::input(&mut b, 8);
+/// let (sum, carry) = words::add(&mut b, &x, &y);
+/// b.output_all(sum.bits().iter().copied());
+/// b.output(carry);
+/// let nl = b.finish();
+/// // 200 + 100 = 300 = 256 + 44 -> sum 44, carry 1
+/// let mut inputs = Vec::new();
+/// inputs.extend((0..8).map(|i| 200u32 >> i & 1 != 0));
+/// inputs.extend((0..8).map(|i| 100u32 >> i & 1 != 0));
+/// let out = nl.eval(&inputs);
+/// let sum_val: u32 = (0..8).map(|i| (out[i] as u32) << i).sum();
+/// assert_eq!(sum_val, 44);
+/// assert!(out[8]); // carry out
+/// ```
+#[derive(Debug, Clone)]
+pub struct Word(Vec<NodeId>);
+
+impl Word {
+    /// Wraps an explicit little-endian bit vector.
+    pub fn from_bits(bits: Vec<NodeId>) -> Self {
+        Word(bits)
+    }
+
+    /// Declares `width` fresh primary inputs (LSB first).
+    pub fn input(b: &mut NetlistBuilder, width: usize) -> Self {
+        Word((0..width).map(|_| b.input()).collect())
+    }
+
+    /// A constant word holding the low `width` bits of `value`.
+    pub fn constant(b: &mut NetlistBuilder, value: u128, width: usize) -> Self {
+        Word((0..width).map(|i| b.constant(value >> i & 1 != 0)).collect())
+    }
+
+    /// Bus width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The `i`-th bit (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> NodeId {
+        self.0[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty word.
+    pub fn msb(&self) -> NodeId {
+        *self.0.last().expect("empty word")
+    }
+
+    /// All bits, LSB first.
+    pub fn bits(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// A sub-range of bits as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Word {
+        Word(self.0[range].to_vec())
+    }
+
+    /// Arithmetic shift right by a constant (sign bit replicated) — pure
+    /// rewiring, zero gates.
+    pub fn shift_right_arith(&self, k: usize) -> Word {
+        let w = self.width();
+        let msb = self.msb();
+        Word((0..w).map(|i| if i + k < w { self.0[i + k] } else { msb }).collect())
+    }
+
+    /// Logical shift left by a constant, filling with `zero` — rewiring
+    /// only.
+    pub fn shift_left(&self, k: usize, zero: NodeId) -> Word {
+        let w = self.width();
+        Word((0..w).map(|i| if i >= k { self.0[i - k] } else { zero }).collect())
+    }
+}
+
+/// Ripple-carry addition; returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn add(b: &mut NetlistBuilder, x: &Word, y: &Word) -> (Word, NodeId) {
+    assert_eq!(x.width(), y.width(), "width mismatch");
+    let mut carry = b.constant(false);
+    let mut bits = Vec::with_capacity(x.width());
+    for i in 0..x.width() {
+        let s1 = b.xor(x.bit(i), y.bit(i));
+        let sum = b.xor(s1, carry);
+        carry = b.maj(x.bit(i), y.bit(i), carry);
+        bits.push(sum);
+    }
+    (Word(bits), carry)
+}
+
+/// Ripple-borrow subtraction `x - y`; returns `(difference, borrow_out)`
+/// (borrow is 1 iff `x < y` for unsigned operands).
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn sub(b: &mut NetlistBuilder, x: &Word, y: &Word) -> (Word, NodeId) {
+    assert_eq!(x.width(), y.width(), "width mismatch");
+    // x - y = x + ¬y + 1; borrow_out = ¬carry_out.
+    let mut carry = b.constant(true);
+    let mut bits = Vec::with_capacity(x.width());
+    for i in 0..x.width() {
+        let ny = b.not(y.bit(i));
+        let s1 = b.xor(x.bit(i), ny);
+        let sum = b.xor(s1, carry);
+        carry = b.maj(x.bit(i), ny, carry);
+        bits.push(sum);
+    }
+    let borrow = b.not(carry);
+    (Word(bits), borrow)
+}
+
+/// Conditional add/subtract: `sel ? x - y : x + y` in a single ripple chain
+/// (the CORDIC workhorse). Returns only the result word.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn add_sub(b: &mut NetlistBuilder, x: &Word, y: &Word, sel_subtract: NodeId) -> Word {
+    assert_eq!(x.width(), y.width(), "width mismatch");
+    let mut carry = sel_subtract; // +1 when subtracting (two's complement)
+    let mut bits = Vec::with_capacity(x.width());
+    for i in 0..x.width() {
+        let yi = b.xor(y.bit(i), sel_subtract);
+        let s1 = b.xor(x.bit(i), yi);
+        let sum = b.xor(s1, carry);
+        carry = b.maj(x.bit(i), yi, carry);
+        bits.push(sum);
+    }
+    Word(bits)
+}
+
+/// Bitwise word mux `sel ? hi : lo`.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn mux(b: &mut NetlistBuilder, sel: NodeId, hi: &Word, lo: &Word) -> Word {
+    assert_eq!(hi.width(), lo.width(), "width mismatch");
+    Word((0..hi.width()).map(|i| b.mux(sel, hi.bit(i), lo.bit(i))).collect())
+}
+
+/// Unsigned `x < y` via the subtractor borrow.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn lt(b: &mut NetlistBuilder, x: &Word, y: &Word) -> NodeId {
+    let (_, borrow) = sub(b, x, y);
+    borrow
+}
+
+/// Word equality (AND-reduce of per-bit XNOR).
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn eq(b: &mut NetlistBuilder, x: &Word, y: &Word) -> NodeId {
+    assert_eq!(x.width(), y.width(), "width mismatch");
+    let mut acc = b.constant(true);
+    for i in 0..x.width() {
+        let e = b.xnor(x.bit(i), y.bit(i));
+        acc = b.and(acc, e);
+    }
+    acc
+}
+
+/// OR-reduce over all bits.
+pub fn any(b: &mut NetlistBuilder, x: &Word) -> NodeId {
+    let mut acc = b.constant(false);
+    for i in 0..x.width() {
+        acc = b.or(acc, x.bit(i));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a circuit with one or two word inputs and numeric outputs.
+    fn eval_words(nl: &crate::Netlist, vals: &[(u128, usize)]) -> Vec<bool> {
+        let mut inputs = Vec::new();
+        for &(v, w) in vals {
+            inputs.extend((0..w).map(|i| v >> i & 1 != 0));
+        }
+        nl.eval(&inputs)
+    }
+
+    fn to_u128(bits: &[bool]) -> u128 {
+        bits.iter().rev().fold(0, |acc, &b| (acc << 1) | b as u128)
+    }
+
+    #[test]
+    fn add_matches_integer_addition() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 16);
+        let y = Word::input(&mut b, 16);
+        let (s, c) = add(&mut b, &x, &y);
+        b.output_all(s.bits().iter().copied());
+        b.output(c);
+        let nl = b.finish();
+        for (xv, yv) in [(0u128, 0u128), (1, 1), (65535, 1), (12345, 54321), (65535, 65535)] {
+            let out = eval_words(&nl, &[(xv, 16), (yv, 16)]);
+            let total = xv + yv;
+            assert_eq!(to_u128(&out[0..16]), total & 0xFFFF, "{xv}+{yv}");
+            assert_eq!(out[16], total > 0xFFFF, "carry of {xv}+{yv}");
+        }
+    }
+
+    #[test]
+    fn sub_matches_integer_subtraction() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 12);
+        let y = Word::input(&mut b, 12);
+        let (d, borrow) = sub(&mut b, &x, &y);
+        b.output_all(d.bits().iter().copied());
+        b.output(borrow);
+        let nl = b.finish();
+        for (xv, yv) in [(0u128, 0u128), (5, 3), (3, 5), (4095, 4095), (0, 1)] {
+            let out = eval_words(&nl, &[(xv, 12), (yv, 12)]);
+            assert_eq!(to_u128(&out[0..12]), xv.wrapping_sub(yv) & 0xFFF, "{xv}-{yv}");
+            assert_eq!(out[12], xv < yv, "borrow of {xv}-{yv}");
+        }
+    }
+
+    #[test]
+    fn add_sub_selects_operation() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 8);
+        let y = Word::input(&mut b, 8);
+        let sel = b.input();
+        let r = add_sub(&mut b, &x, &y, sel);
+        b.output_all(r.bits().iter().copied());
+        let nl = b.finish();
+        for (xv, yv) in [(10u128, 3u128), (3, 10), (255, 255), (0, 0)] {
+            for s in [false, true] {
+                let mut inputs = Vec::new();
+                inputs.extend((0..8).map(|i| xv >> i & 1 != 0));
+                inputs.extend((0..8).map(|i| yv >> i & 1 != 0));
+                inputs.push(s);
+                let out = nl.eval(&inputs);
+                let want = if s { xv.wrapping_sub(yv) } else { xv + yv } & 0xFF;
+                assert_eq!(to_u128(&out), want, "x={xv} y={yv} sub={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_and_equality() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 8);
+        let y = Word::input(&mut b, 8);
+        let l = lt(&mut b, &x, &y);
+        let e = eq(&mut b, &x, &y);
+        b.output(l);
+        b.output(e);
+        let nl = b.finish();
+        for (xv, yv) in [(1u128, 2u128), (2, 1), (7, 7), (0, 255), (255, 0)] {
+            let out = eval_words(&nl, &[(xv, 8), (yv, 8)]);
+            assert_eq!(out[0], xv < yv, "{xv}<{yv}");
+            assert_eq!(out[1], xv == yv, "{xv}=={yv}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_words() {
+        let mut b = NetlistBuilder::new();
+        let s = b.input();
+        let x = Word::input(&mut b, 4);
+        let y = Word::input(&mut b, 4);
+        let m = mux(&mut b, s, &x, &y);
+        b.output_all(m.bits().iter().copied());
+        let nl = b.finish();
+        let mut inputs = vec![true];
+        inputs.extend((0..4).map(|i| 0b1010u32 >> i & 1 != 0));
+        inputs.extend((0..4).map(|i| 0b0101u32 >> i & 1 != 0));
+        assert_eq!(to_u128(&nl.eval(&inputs)), 0b1010);
+        inputs[0] = false;
+        assert_eq!(to_u128(&nl.eval(&inputs)), 0b0101);
+    }
+
+    #[test]
+    fn shifts_are_pure_rewiring() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 8);
+        let zero = b.constant(false);
+        let before = b.len();
+        let sr = x.shift_right_arith(2);
+        let sl = x.shift_left(3, zero);
+        assert_eq!(b.len(), before, "no gates created");
+        b.output_all(sr.bits().iter().copied());
+        b.output_all(sl.bits().iter().copied());
+        let nl = b.finish();
+        // x = 0b1000_0110 (signed msb=1)
+        let out = eval_words(&nl, &[(0b1000_0110, 8)]);
+        assert_eq!(to_u128(&out[0..8]), 0b1110_0001, "asr by 2 replicates sign");
+        assert_eq!(to_u128(&out[8..16]), 0b0011_0000, "shl by 3 fills zeros");
+    }
+
+    #[test]
+    fn any_reduces_or() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 5);
+        let a = any(&mut b, &x);
+        b.output(a);
+        let nl = b.finish();
+        assert_eq!(eval_words(&nl, &[(0, 5)]), vec![false]);
+        assert_eq!(eval_words(&nl, &[(8, 5)]), vec![true]);
+    }
+
+    #[test]
+    fn slice_and_accessors() {
+        let mut b = NetlistBuilder::new();
+        let x = Word::input(&mut b, 8);
+        let hi = x.slice(4..8);
+        assert_eq!(hi.width(), 4);
+        assert_eq!(hi.bit(0), x.bit(4));
+        assert_eq!(x.msb(), x.bit(7));
+    }
+}

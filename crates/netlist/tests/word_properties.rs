@@ -1,0 +1,122 @@
+//! Property-based tests for the word-level construction helpers: the
+//! elaborated circuits must agree with native integer arithmetic for any
+//! width and any operands.
+
+use pimecc_netlist::words::{self, Word};
+use pimecc_netlist::NetlistBuilder;
+use proptest::prelude::*;
+
+fn bits_of(v: u128, w: usize) -> Vec<bool> {
+    (0..w).map(|i| v >> i & 1 != 0).collect()
+}
+
+fn val_of(bits: &[bool]) -> u128 {
+    bits.iter().rev().fold(0, |acc, &b| (acc << 1) | b as u128)
+}
+
+fn mask(w: usize) -> u128 {
+    if w == 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_integers(w in 1usize..64, x in any::<u64>(), y in any::<u64>()) {
+        let (x, y) = (x as u128 & mask(w), y as u128 & mask(w));
+        let mut b = NetlistBuilder::new();
+        let xs = Word::input(&mut b, w);
+        let ys = Word::input(&mut b, w);
+        let (sum, carry) = words::add(&mut b, &xs, &ys);
+        b.output_all(sum.bits().iter().copied());
+        b.output(carry);
+        let nl = b.finish();
+        let mut inputs = bits_of(x, w);
+        inputs.extend(bits_of(y, w));
+        let out = nl.eval(&inputs);
+        prop_assert_eq!(val_of(&out[..w]), (x + y) & mask(w));
+        prop_assert_eq!(out[w], (x + y) >> w != 0);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_subtraction(w in 1usize..64, x in any::<u64>(), y in any::<u64>()) {
+        let (x, y) = (x as u128 & mask(w), y as u128 & mask(w));
+        let mut b = NetlistBuilder::new();
+        let xs = Word::input(&mut b, w);
+        let ys = Word::input(&mut b, w);
+        let (diff, borrow) = words::sub(&mut b, &xs, &ys);
+        b.output_all(diff.bits().iter().copied());
+        b.output(borrow);
+        let nl = b.finish();
+        let mut inputs = bits_of(x, w);
+        inputs.extend(bits_of(y, w));
+        let out = nl.eval(&inputs);
+        prop_assert_eq!(val_of(&out[..w]), x.wrapping_sub(y) & mask(w));
+        prop_assert_eq!(out[w], x < y);
+    }
+
+    #[test]
+    fn add_sub_selects(w in 1usize..48, x in any::<u64>(), y in any::<u64>(), sel in any::<bool>()) {
+        let (x, y) = (x as u128 & mask(w), y as u128 & mask(w));
+        let mut b = NetlistBuilder::new();
+        let xs = Word::input(&mut b, w);
+        let ys = Word::input(&mut b, w);
+        let s = b.input();
+        let r = words::add_sub(&mut b, &xs, &ys, s);
+        b.output_all(r.bits().iter().copied());
+        let nl = b.finish();
+        let mut inputs = bits_of(x, w);
+        inputs.extend(bits_of(y, w));
+        inputs.push(sel);
+        let out = nl.eval(&inputs);
+        let want = if sel { x.wrapping_sub(y) } else { x + y } & mask(w);
+        prop_assert_eq!(val_of(&out), want);
+    }
+
+    #[test]
+    fn lt_and_eq_match(w in 1usize..48, x in any::<u64>(), y in any::<u64>()) {
+        let (x, y) = (x as u128 & mask(w), y as u128 & mask(w));
+        let mut b = NetlistBuilder::new();
+        let xs = Word::input(&mut b, w);
+        let ys = Word::input(&mut b, w);
+        let lt = words::lt(&mut b, &xs, &ys);
+        let eq = words::eq(&mut b, &xs, &ys);
+        b.output(lt);
+        b.output(eq);
+        let nl = b.finish();
+        let mut inputs = bits_of(x, w);
+        inputs.extend(bits_of(y, w));
+        let out = nl.eval(&inputs);
+        prop_assert_eq!(out[0], x < y);
+        prop_assert_eq!(out[1], x == y);
+    }
+
+    #[test]
+    fn shifts_match_integer_shifts(w in 2usize..64, x in any::<u64>(), k in 0usize..8) {
+        let k = k % w;
+        let x = x as u128 & mask(w);
+        let mut b = NetlistBuilder::new();
+        let xs = Word::input(&mut b, w);
+        let zero = b.constant(false);
+        let sl = xs.shift_left(k, zero);
+        let sr = xs.shift_right_arith(k);
+        b.output_all(sl.bits().iter().copied());
+        b.output_all(sr.bits().iter().copied());
+        let nl = b.finish();
+        let out = nl.eval(&bits_of(x, w));
+        prop_assert_eq!(val_of(&out[..w]), (x << k) & mask(w));
+        // Arithmetic right shift with sign replication.
+        let sign = x >> (w - 1) & 1 != 0;
+        let mut want = x >> k;
+        if sign {
+            for i in (w - k)..w {
+                want |= 1 << i;
+            }
+        }
+        prop_assert_eq!(val_of(&out[w..]), want);
+    }
+}

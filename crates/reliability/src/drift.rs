@@ -1,0 +1,170 @@
+//! Drift-plus-refresh soft-error model.
+//!
+//! The paper's §II-B distinguishes two soft-error populations: *abrupt*
+//! upsets (ion strikes, environmental) with a constant rate, and
+//! *accumulating* state drift (oxygen-vacancy diffusion) whose hazard
+//! grows with time since the cell was last restored. Prior work (Tosson
+//! et al., the paper's reference 6) counters drift with periodic refresh; the paper
+//! notes refresh "can still be used in conjunction with the mechanism
+//! proposed in this paper" — refresh bounds the drift population while the
+//! diagonal ECC catches both the abrupt population and the drift tail
+//! between refreshes.
+//!
+//! This module quantifies that combination: it converts a drift hazard
+//! with refresh period `t_r` into an *effective* constant SER over the ECC
+//! check window, which then feeds the standard [`ReliabilityModel`].
+
+use crate::mttf::ReliabilityModel;
+use crate::ser::SoftErrorRate;
+
+/// A two-population soft-error source: constant abrupt rate plus a drift
+/// hazard that accumulates as a power law of time since refresh.
+///
+/// The drift hazard is `h(t) = λ_d · (α+1) · (t/t₀)^α / t₀` scaled so that
+/// the expected number of drift faults over one reference period `t₀`
+/// equals `λ_d · t₀ / 10⁹` — i.e. `λ_d` is the drift population's average
+/// FIT/bit when refreshed every `t₀` hours. `α > 0` makes drift
+/// super-linear: refreshing twice as often removes *more* than half the
+/// drift faults.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_reliability::drift::DriftModel;
+///
+/// let d = DriftModel::new(1e-4, 1e-3, 24.0, 1.0);
+/// // Refreshing at the reference period leaves the full drift rate...
+/// let slow = d.effective_ser(24.0).fit_per_bit();
+/// // ...refreshing 4x more often suppresses drift quadratically (α=1).
+/// let fast = d.effective_ser(6.0).fit_per_bit();
+/// assert!(fast < slow);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    abrupt_fit: f64,
+    drift_fit_at_ref: f64,
+    ref_period_hours: f64,
+    alpha: f64,
+}
+
+impl DriftModel {
+    /// Creates a model.
+    ///
+    /// * `abrupt_fit` — constant abrupt-upset rate (FIT/bit);
+    /// * `drift_fit_at_ref` — average drift rate (FIT/bit) when refreshed
+    ///   every `ref_period_hours`;
+    /// * `alpha` — drift acceleration exponent (0 = drift behaves like a
+    ///   constant rate; 1 = hazard grows linearly with time since
+    ///   refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite parameters, or a non-positive
+    /// reference period.
+    pub fn new(abrupt_fit: f64, drift_fit_at_ref: f64, ref_period_hours: f64, alpha: f64) -> Self {
+        assert!(abrupt_fit.is_finite() && abrupt_fit >= 0.0, "abrupt rate must be >= 0");
+        assert!(
+            drift_fit_at_ref.is_finite() && drift_fit_at_ref >= 0.0,
+            "drift rate must be >= 0"
+        );
+        assert!(
+            ref_period_hours.is_finite() && ref_period_hours > 0.0,
+            "reference period must be positive"
+        );
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        DriftModel { abrupt_fit, drift_fit_at_ref, ref_period_hours, alpha }
+    }
+
+    /// Average drift FIT/bit when refreshing every `refresh_hours`: the
+    /// power-law hazard integrates to
+    /// `λ_d · (t_r/t₀)^α` faults per `t_r`-window (normalized per hour).
+    pub fn drift_fit(&self, refresh_hours: f64) -> f64 {
+        assert!(refresh_hours.is_finite() && refresh_hours > 0.0, "period must be positive");
+        self.drift_fit_at_ref * (refresh_hours / self.ref_period_hours).powf(self.alpha)
+    }
+
+    /// The effective constant SER seen by the ECC when refresh runs every
+    /// `refresh_hours`.
+    pub fn effective_ser(&self, refresh_hours: f64) -> SoftErrorRate {
+        SoftErrorRate::from_fit_per_bit(self.abrupt_fit + self.drift_fit(refresh_hours))
+    }
+
+    /// The abrupt-population floor that refresh alone can never remove.
+    pub fn abrupt_ser(&self) -> SoftErrorRate {
+        SoftErrorRate::from_fit_per_bit(self.abrupt_fit)
+    }
+
+    /// MTTF of `model`'s memory for four designs at a given refresh
+    /// period: `(no protection, refresh only, ECC only, refresh + ECC)`.
+    /// "Refresh only" still suffers the abrupt population; "ECC only"
+    /// faces the unrefreshed drift rate at the ECC's own check period.
+    pub fn mttf_matrix(&self, model: &ReliabilityModel, refresh_hours: f64) -> [f64; 4] {
+        let full = self.effective_ser(refresh_hours);
+        let unrefreshed = self.effective_ser(model.check_period_hours().max(refresh_hours));
+        let bare = model.mttf_hours(model.baseline_failure_probability(unrefreshed));
+        let refresh_only = model.mttf_hours(model.baseline_failure_probability(full));
+        let ecc_only = model.mttf_hours(model.proposed_failure_probability(unrefreshed));
+        let both = model.mttf_hours(model.proposed_failure_probability(full));
+        [bare, refresh_only, ecc_only, both]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DriftModel {
+        DriftModel::new(1e-4, 1e-3, 24.0, 1.0)
+    }
+
+    #[test]
+    fn effective_rate_at_reference_period() {
+        let d = model();
+        let fit = d.effective_ser(24.0).fit_per_bit();
+        assert!((fit - 1.1e-3).abs() < 1e-12, "abrupt + drift at t0: {fit}");
+    }
+
+    #[test]
+    fn faster_refresh_suppresses_drift_superlinearly() {
+        let d = model();
+        // alpha = 1: halving the period quarters... no — drift_fit scales
+        // as (t/t0)^1, so halving the period halves the drift rate.
+        let full = d.drift_fit(24.0);
+        let half = d.drift_fit(12.0);
+        assert!((half - full / 2.0).abs() < 1e-15);
+        // With alpha = 2 the same halving cuts drift 4x.
+        let d2 = DriftModel::new(0.0, 1e-3, 24.0, 2.0);
+        assert!((d2.drift_fit(12.0) - d2.drift_fit(24.0) / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn refresh_cannot_beat_the_abrupt_floor() {
+        let d = model();
+        let tiny = d.effective_ser(1e-3).fit_per_bit();
+        assert!(tiny >= d.abrupt_ser().fit_per_bit());
+        assert!(tiny < 1.001e-4 + 1e-9);
+    }
+
+    #[test]
+    fn combined_design_dominates_the_matrix() {
+        let d = model();
+        let rm = ReliabilityModel::paper().unwrap();
+        let [bare, refresh_only, ecc_only, both] = d.mttf_matrix(&rm, 6.0);
+        assert!(refresh_only > bare, "refresh helps the baseline");
+        assert!(ecc_only > bare, "ECC helps the baseline");
+        assert!(both > refresh_only, "ECC adds on top of refresh");
+        assert!(both > ecc_only, "refresh adds on top of ECC");
+    }
+
+    #[test]
+    fn alpha_zero_makes_refresh_useless() {
+        let d = DriftModel::new(1e-4, 1e-3, 24.0, 0.0);
+        assert_eq!(d.drift_fit(1.0), d.drift_fit(24.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = model().drift_fit(0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Reliability analytics for the diagonal-ECC mechanism: the soft-error
+//! model, the closed-form MTTF sensitivity analysis behind the paper's
+//! Figure 6, and a Monte-Carlo fault-injection engine that cross-validates
+//! the closed form against the executable machine.
+//!
+//! # Model (paper §V-A)
+//!
+//! Memristor soft errors are uniform, independent, with a constant soft
+//! error rate λ in FIT/bit (1 FIT = one failure per 10⁹ device-hours).
+//! Full-memory ECC checks run every `T` hours, so the worst-case exposure
+//! window of any bit is `T`; the per-bit flip probability within a window
+//! is `p = 1 − exp(−λT/10⁹)`.
+//!
+//! *Baseline* (no ECC): the memory fails if **any** bit flips.
+//! *Proposed*: each m×m block corrects one error, so a block fails only
+//! with ≥ 2 flips; blocks and crossbars are independent.
+//! `MTTF = T / P(failure in T)` in hours (equivalently `10⁹ / FIT`).
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc_reliability::{ReliabilityModel, SoftErrorRate};
+//!
+//! # fn main() -> Result<(), pimecc_core::CoreError> {
+//! let model = ReliabilityModel::paper()?; // 1 GB, n=1020, m=15, T=24h
+//! let flash = SoftErrorRate::from_fit_per_bit(1e-3);
+//! let gain = model.improvement(flash);
+//! assert!(gain > 3.0e8, "paper: over 3e8, got {gain:.3e}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod drift;
+pub mod monte_carlo;
+pub mod mttf;
+pub mod ser;
+
+pub use drift::DriftModel;
+pub use monte_carlo::{BlockTrialOutcome, MonteCarlo, MonteCarloResult};
+pub use mttf::{MttfPoint, ReliabilityModel};
+pub use ser::SoftErrorRate;

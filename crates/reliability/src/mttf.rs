@@ -1,0 +1,329 @@
+//! The closed-form MTTF model of the paper's Figure 6 sensitivity
+//! analysis.
+//!
+//! All probability accumulation happens in log space: at the low-SER end
+//! of the sweep the memory failure probability is ~10⁻¹⁴ per window, which
+//! would vanish in direct products.
+
+use crate::ser::SoftErrorRate;
+use pimecc_core::BlockGeometry;
+
+/// One point of the Figure 6 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttfPoint {
+    /// Memristor soft error rate.
+    pub ser: SoftErrorRate,
+    /// Baseline (no ECC) memory MTTF in hours.
+    pub baseline_mttf_hours: f64,
+    /// Proposed diagonal-ECC memory MTTF in hours.
+    pub proposed_mttf_hours: f64,
+}
+
+impl MttfPoint {
+    /// MTTF improvement factor of the proposed scheme.
+    pub fn improvement(&self) -> f64 {
+        self.proposed_mttf_hours / self.baseline_mttf_hours
+    }
+}
+
+/// The paper's reliability model: a memory of `capacity_bits` built from
+/// n×n crossbars with per-block single-error correction, fully checked
+/// every `check_period_hours`.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_reliability::{ReliabilityModel, SoftErrorRate};
+///
+/// # fn main() -> Result<(), pimecc_core::CoreError> {
+/// let model = ReliabilityModel::paper()?;
+/// let point = model.point(SoftErrorRate::flash_like());
+/// assert!(point.improvement() > 3.0e8); // the paper's headline
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityModel {
+    geom: BlockGeometry,
+    capacity_bits: u64,
+    check_period_hours: f64,
+    include_check_bits: bool,
+}
+
+impl ReliabilityModel {
+    /// Builds a model.
+    ///
+    /// `include_check_bits` decides whether the 2m check-bit memristors of
+    /// each block are themselves counted as error sites (physically true;
+    /// the paper's §V-A analysis counts only the m² data bits, which is the
+    /// default here for fidelity — the difference is under 15%).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits` is zero or `check_period_hours` is not
+    /// positive.
+    pub fn new(
+        geom: BlockGeometry,
+        capacity_bits: u64,
+        check_period_hours: f64,
+        include_check_bits: bool,
+    ) -> Self {
+        assert!(capacity_bits > 0, "capacity must be positive");
+        assert!(
+            check_period_hours.is_finite() && check_period_hours > 0.0,
+            "check period must be positive"
+        );
+        ReliabilityModel { geom, capacity_bits, check_period_hours, include_check_bits }
+    }
+
+    /// The paper's configuration: 1 GB memory, n = 1020, m = 15, T = 24 h,
+    /// data-bits-only blocks.
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; mirrors [`BlockGeometry::new`].
+    pub fn paper() -> pimecc_core::Result<Self> {
+        Ok(Self::new(BlockGeometry::new(1020, 15)?, 8 * (1 << 30), 24.0, false))
+    }
+
+    /// Returns a copy that counts check-bit memristors as error sites.
+    pub fn with_check_bits_counted(mut self) -> Self {
+        self.include_check_bits = true;
+        self
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &BlockGeometry {
+        &self.geom
+    }
+
+    /// The ECC check period `T` in hours.
+    pub fn check_period_hours(&self) -> f64 {
+        self.check_period_hours
+    }
+
+    /// Number of n×n crossbars forming the memory (rounded up).
+    pub fn crossbar_count(&self) -> u64 {
+        let per = (self.geom.n() * self.geom.n()) as u64;
+        self.capacity_bits.div_ceil(per)
+    }
+
+    /// Total number of m×m blocks across the memory.
+    pub fn block_count(&self) -> u64 {
+        self.crossbar_count() * self.geom.block_count() as u64
+    }
+
+    /// Error sites per block under the configured counting rule.
+    pub fn bits_per_block(&self) -> u64 {
+        let m = self.geom.m() as u64;
+        if self.include_check_bits {
+            m * m + 2 * m
+        } else {
+            m * m
+        }
+    }
+
+    /// `ln P(block has ≤ 1 error)` for per-bit probability `p` — the
+    /// binomial zero-or-one-error term, computed stably.
+    fn ln_block_success(&self, p: f64) -> f64 {
+        let b = self.bits_per_block() as f64;
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        // P = (1-p)^B + B·p·(1-p)^(B-1) = (1-p)^(B-1) · (1 + (B-1)·p).
+        // Both factors go through ln_1p so the ~p² net effect survives the
+        // cancellation between the two ~(B·p)-sized terms.
+        let q = b - 1.0;
+        q * (-p).ln_1p() + (q * p).ln_1p()
+    }
+
+    /// Failure probability of the whole memory within one check window,
+    /// with the proposed per-block SEC ECC.
+    pub fn proposed_failure_probability(&self, ser: SoftErrorRate) -> f64 {
+        let p = ser.flip_probability(self.check_period_hours);
+        let ln_success = self.block_count() as f64 * self.ln_block_success(p);
+        -ln_success.exp_m1()
+    }
+
+    /// Failure probability of the baseline (no ECC) memory within one
+    /// window: any flipped bit is silent data corruption.
+    pub fn baseline_failure_probability(&self, ser: SoftErrorRate) -> f64 {
+        let p = ser.flip_probability(self.check_period_hours);
+        if p >= 1.0 {
+            return 1.0;
+        }
+        let ln_success = self.capacity_bits as f64 * (-p).ln_1p();
+        -ln_success.exp_m1()
+    }
+
+    /// Converts a window failure probability to MTTF in hours
+    /// (`MTTF = T / P`, equivalently `10⁹ / FIT`).
+    pub fn mttf_hours(&self, failure_probability: f64) -> f64 {
+        self.check_period_hours / failure_probability
+    }
+
+    /// Memory failure rate in FIT (`P · 10⁹ / T`).
+    pub fn failure_rate_fit(&self, failure_probability: f64) -> f64 {
+        failure_probability * 1e9 / self.check_period_hours
+    }
+
+    /// Computes one Figure 6 point.
+    pub fn point(&self, ser: SoftErrorRate) -> MttfPoint {
+        MttfPoint {
+            ser,
+            baseline_mttf_hours: self.mttf_hours(self.baseline_failure_probability(ser)),
+            proposed_mttf_hours: self.mttf_hours(self.proposed_failure_probability(ser)),
+        }
+    }
+
+    /// MTTF improvement factor at `ser`.
+    pub fn improvement(&self, ser: SoftErrorRate) -> f64 {
+        self.point(ser).improvement()
+    }
+
+    /// The full Figure 6 sweep.
+    pub fn sensitivity(&self, points_per_decade: usize) -> Vec<MttfPoint> {
+        SoftErrorRate::figure6_sweep(points_per_decade)
+            .into_iter()
+            .map(|s| self.point(s))
+            .collect()
+    }
+
+    /// Analytical probability that a *single block* fails (≥ 2 errors) in
+    /// one window — the quantity the Monte-Carlo engine validates.
+    pub fn block_failure_probability(&self, ser: SoftErrorRate) -> f64 {
+        let p = ser.flip_probability(self.check_period_hours);
+        -self.ln_block_success(p).exp_m1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ReliabilityModel {
+        ReliabilityModel::paper().unwrap()
+    }
+
+    #[test]
+    fn paper_configuration_counts() {
+        let m = model();
+        // 1 GB / (1020*1020) bits per crossbar = 8256 crossbars.
+        assert_eq!(m.crossbar_count(), 8257);
+        assert_eq!(m.block_count(), 8257 * 68 * 68);
+        assert_eq!(m.bits_per_block(), 225);
+        assert_eq!(m.with_check_bits_counted().bits_per_block(), 255);
+    }
+
+    #[test]
+    fn headline_improvement_exceeds_3e8_at_flash_ser() {
+        // Paper §V-A: "for a memristor SER of 1e-3 FIT/bit ... improvement
+        // in MTTF by a factor of over 3e8".
+        let gain = model().improvement(SoftErrorRate::flash_like());
+        assert!(gain > 3.0e8, "got {gain:.3e}");
+        assert!(gain < 3.0e9, "sanity upper bound, got {gain:.3e}");
+    }
+
+    #[test]
+    fn improvement_is_over_eight_orders_of_magnitude_in_the_flat_region() {
+        // Paper abstract: "over eight orders of magnitude" improvement.
+        let gain = model().improvement(SoftErrorRate::from_fit_per_bit(1e-4));
+        assert!(gain > 1.0e8, "got {gain:.3e}");
+    }
+
+    #[test]
+    fn baseline_mttf_at_flash_ser_is_days_scale() {
+        let m = model();
+        let p = m.baseline_failure_probability(SoftErrorRate::flash_like());
+        let mttf = m.mttf_hours(p);
+        // ~0.2 expected flips per day over 8.6e9 bits -> MTTF ~ 100-150 h.
+        assert!(mttf > 50.0 && mttf < 500.0, "got {mttf}");
+    }
+
+    #[test]
+    fn curves_decrease_monotonically_with_ser() {
+        // Non-increasing everywhere; strictly decreasing until both curves
+        // saturate at MTTF = T (every window fails).
+        let pts = model().sensitivity(2);
+        for w in pts.windows(2) {
+            assert!(w[1].baseline_mttf_hours <= w[0].baseline_mttf_hours);
+            assert!(w[1].proposed_mttf_hours <= w[0].proposed_mttf_hours);
+            if w[0].ser.fit_per_bit() < 1.0 {
+                assert!(w[1].proposed_mttf_hours < w[0].proposed_mttf_hours);
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_always_beats_baseline() {
+        for p in model().sensitivity(2) {
+            assert!(
+                p.proposed_mttf_hours >= p.baseline_mttf_hours,
+                "at {}: {p:?}",
+                p.ser
+            );
+            // Strictly better until the saturation plateau.
+            if p.ser.fit_per_bit() < 1e2 {
+                assert!(p.improvement() > 1.0, "at {}: {p:?}", p.ser);
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_shrinks_at_extreme_ser() {
+        // With ~1 error per block per window the SEC code saturates.
+        let m = model();
+        let low = m.improvement(SoftErrorRate::from_fit_per_bit(1e-3));
+        let high = m.improvement(SoftErrorRate::from_fit_per_bit(1e3));
+        assert!(low / high > 1e3, "low {low:.3e} vs high {high:.3e}");
+    }
+
+    #[test]
+    fn counting_check_bits_degrades_proposed_slightly() {
+        let without = model();
+        let with = model().with_check_bits_counted();
+        let s = SoftErrorRate::flash_like();
+        let a = without.proposed_failure_probability(s);
+        let b = with.proposed_failure_probability(s);
+        assert!(b > a, "more error sites, more failures");
+        assert!(b / a < 1.5, "but under ~30%: {}", b / a);
+    }
+
+    #[test]
+    fn failure_rate_fit_roundtrip() {
+        let m = model();
+        let p = 1e-6;
+        let fit = m.failure_rate_fit(p);
+        assert!((1e9 / fit - m.mttf_hours(p)).abs() / m.mttf_hours(p) < 1e-12);
+    }
+
+    #[test]
+    fn log_space_is_stable_at_the_sweep_extremes() {
+        let m = model();
+        let tiny = m.proposed_failure_probability(SoftErrorRate::from_fit_per_bit(1e-5));
+        assert!(tiny > 0.0, "must not underflow to zero");
+        assert!(tiny < 1e-10);
+        let huge = m.proposed_failure_probability(SoftErrorRate::from_fit_per_bit(1e3));
+        assert!(huge > 0.0 && huge <= 1.0);
+    }
+
+    #[test]
+    fn block_failure_probability_matches_direct_binomial_at_moderate_p() {
+        let m = model();
+        // Pick an SER where p is large enough that the naive formula keeps
+        // ~6 significant digits through its cancellation.
+        let ser = SoftErrorRate::from_fit_per_bit(1e4);
+        let p = ser.flip_probability(24.0);
+        let b = 225.0f64;
+        let direct = 1.0 - ((1.0 - p).powf(b) + b * p * (1.0 - p).powf(b - 1.0));
+        let ln_based = m.block_failure_probability(ser);
+        assert!((direct - ln_based).abs() / direct < 1e-6, "{direct} vs {ln_based}");
+    }
+}

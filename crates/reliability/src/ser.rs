@@ -1,0 +1,132 @@
+//! The soft-error-rate abstraction: FIT/bit and its conversion to per-bit
+//! flip probabilities over an exposure window.
+
+/// A memristor soft error rate in FIT per bit (failures per 10⁹
+/// device-hours).
+///
+/// # Example
+///
+/// ```
+/// use pimecc_reliability::SoftErrorRate;
+///
+/// let ser = SoftErrorRate::flash_like(); // ~1e-3 FIT/bit, paper's anchor
+/// let p = ser.flip_probability(24.0);
+/// assert!(p > 0.0 && p < 1e-10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SoftErrorRate {
+    fit_per_bit: f64,
+}
+
+impl SoftErrorRate {
+    /// Creates a rate from FIT/bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fit` is negative or non-finite.
+    pub fn from_fit_per_bit(fit: f64) -> Self {
+        assert!(fit.is_finite() && fit >= 0.0, "FIT rate must be non-negative, got {fit}");
+        SoftErrorRate { fit_per_bit: fit }
+    }
+
+    /// The paper's reference point: Flash-memory-like SER of 10⁻³ FIT/bit.
+    pub fn flash_like() -> Self {
+        Self::from_fit_per_bit(1e-3)
+    }
+
+    /// The rate in FIT/bit.
+    pub fn fit_per_bit(&self) -> f64 {
+        self.fit_per_bit
+    }
+
+    /// Probability that one specific bit flips within `hours` hours:
+    /// `1 − exp(−λ·hours/10⁹)` (exponential arrival model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative or non-finite.
+    pub fn flip_probability(&self, hours: f64) -> f64 {
+        assert!(hours.is_finite() && hours >= 0.0, "window must be non-negative");
+        -(-self.fit_per_bit * hours / 1e9).exp_m1()
+    }
+
+    /// The logarithmically spaced sweep of the paper's Figure 6 x-axis:
+    /// `10^-5 .. 10^3` FIT/bit, `points_per_decade` samples per decade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_decade` is zero.
+    pub fn figure6_sweep(points_per_decade: usize) -> Vec<SoftErrorRate> {
+        assert!(points_per_decade > 0, "need at least one point per decade");
+        let decades = 8; // -5 ..= 3
+        let total = decades * points_per_decade;
+        (0..=total)
+            .map(|i| {
+                let exp = -5.0 + i as f64 / points_per_decade as f64;
+                SoftErrorRate::from_fit_per_bit(10f64.powf(exp))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for SoftErrorRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} FIT/bit", self.fit_per_bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_flips() {
+        let ser = SoftErrorRate::from_fit_per_bit(0.0);
+        assert_eq!(ser.flip_probability(1e6), 0.0);
+    }
+
+    #[test]
+    fn probability_matches_linear_approximation_for_tiny_rates() {
+        // p ≈ λT/1e9 for small arguments.
+        let ser = SoftErrorRate::from_fit_per_bit(1e-3);
+        let p = ser.flip_probability(24.0);
+        let approx = 1e-3 * 24.0 / 1e9;
+        assert!((p - approx).abs() / approx < 1e-6, "p={p}, approx={approx}");
+    }
+
+    #[test]
+    fn probability_saturates_for_huge_rates() {
+        let ser = SoftErrorRate::from_fit_per_bit(1e12);
+        let p = ser.flip_probability(1e6);
+        assert!(p > 0.999999);
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_rate_and_time() {
+        let lo = SoftErrorRate::from_fit_per_bit(1e-3).flip_probability(24.0);
+        let hi = SoftErrorRate::from_fit_per_bit(1e-2).flip_probability(24.0);
+        assert!(hi > lo);
+        let longer = SoftErrorRate::from_fit_per_bit(1e-3).flip_probability(240.0);
+        assert!(longer > lo);
+    }
+
+    #[test]
+    fn figure6_sweep_spans_the_paper_axis() {
+        let sweep = SoftErrorRate::figure6_sweep(4);
+        assert_eq!(sweep.len(), 33);
+        assert!((sweep[0].fit_per_bit() - 1e-5).abs() / 1e-5 < 1e-9);
+        assert!((sweep.last().unwrap().fit_per_bit() - 1e3).abs() / 1e3 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = SoftErrorRate::from_fit_per_bit(-1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert!(SoftErrorRate::flash_like().to_string().contains("FIT/bit"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Cell-usage heuristic and execution ordering (the "SIMPLER sort").
+//!
+//! SIMPLER orders gate execution so that the number of simultaneously live
+//! intermediate values stays small, generalizing Sethi–Ullman register
+//! labelling to NOR DAGs: a gate's *cell usage* (CU) estimates how many row
+//! cells its evaluation needs at peak, and a depth-first traversal that
+//! visits heavier children first realizes (approximately) that peak.
+
+use pimecc_netlist::{NorNetlist, NorSource};
+
+/// Computes the cell-usage label of every gate.
+///
+/// For a gate with gate-operands `g_1..g_k` (primary inputs occupy dedicated
+/// cells and are excluded) whose labels sorted descending are `l_1 ≥ ... ≥
+/// l_k`, the label is `max(max_i(l_i + i - 1), k + 1)` — the classic
+/// Sethi–Ullman recurrence plus one cell for the gate's own output, with a
+/// floor of 1 for gates fed only by primary inputs.
+pub fn cell_usage(nor: &NorNetlist) -> Vec<u64> {
+    let mut cu = vec![0u64; nor.num_gates()];
+    for (i, gate) in nor.gates().iter().enumerate() {
+        let mut child_labels: Vec<u64> = gate
+            .inputs
+            .iter()
+            .filter_map(|s| match s {
+                NorSource::Gate(j) => Some(cu[*j]),
+                NorSource::Input(_) => None,
+            })
+            .collect();
+        child_labels.sort_unstable_by(|a, b| b.cmp(a));
+        let k = child_labels.len() as u64;
+        let seq = child_labels
+            .iter()
+            .enumerate()
+            .map(|(idx, &l)| l + idx as u64)
+            .max()
+            .unwrap_or(0);
+        cu[i] = seq.max(k + 1).max(1);
+    }
+    cu
+}
+
+/// Produces a topological execution order (gate indices) by iterative
+/// post-order DFS from the outputs, visiting children in descending CU
+/// order, and starting from the heaviest output cone first.
+pub fn execution_order(nor: &NorNetlist, cu: &[u64]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(nor.num_gates());
+    let mut visited = vec![false; nor.num_gates()];
+
+    let mut roots: Vec<usize> = nor
+        .outputs()
+        .iter()
+        .filter_map(|s| match s {
+            NorSource::Gate(i) => Some(*i),
+            NorSource::Input(_) => None,
+        })
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.sort_by(|&a, &b| cu[b].cmp(&cu[a]).then(a.cmp(&b)));
+
+    // Iterative DFS with an explicit (node, expanded) stack: deep chains
+    // (CORDIC, ripple carries) overflow the call stack otherwise.
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for root in roots {
+        if visited[root] {
+            continue;
+        }
+        stack.push((root, false));
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+                continue;
+            }
+            if visited[node] {
+                continue;
+            }
+            visited[node] = true;
+            stack.push((node, true));
+            let mut children: Vec<usize> = nor.gates()[node]
+                .inputs
+                .iter()
+                .filter_map(|s| match s {
+                    NorSource::Gate(j) if !visited[*j] => Some(*j),
+                    _ => None,
+                })
+                .collect();
+            children.sort_unstable();
+            children.dedup();
+            // Push lighter children first so heavier ones pop (run) first.
+            children.sort_by(|&a, &b| cu[a].cmp(&cu[b]).then(b.cmp(&a)));
+            for c in children {
+                stack.push((c, false));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), nor.num_gates().min(order.len()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimecc_netlist::NetlistBuilder;
+
+    fn chain(len: usize) -> NorNetlist {
+        let mut b = NetlistBuilder::new();
+        let mut x = b.input();
+        let y = b.input();
+        for _ in 0..len {
+            x = b.nor(x, y);
+        }
+        b.output(x);
+        b.finish().to_nor()
+    }
+
+    #[test]
+    fn chain_has_constant_cell_usage() {
+        let nor = chain(10);
+        let cu = cell_usage(&nor);
+        // A NOR chain re-uses one live value: CU stays small (== 2: the
+        // child's value plus the new output).
+        assert!(cu.iter().all(|&c| c <= 2), "{cu:?}");
+    }
+
+    #[test]
+    fn balanced_tree_usage_grows_logarithmically() {
+        // Balanced 16-leaf NOR tree: CU ~ depth + 1.
+        let mut b = NetlistBuilder::new();
+        let leaves: Vec<_> = (0..16).map(|_| b.input()).collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|p| b.nor(p[0], p[1])).collect();
+        }
+        b.output(layer[0]);
+        let nor = b.finish().to_nor();
+        let cu = cell_usage(&nor);
+        let root_cu = *cu.last().unwrap();
+        assert!(root_cu >= 4 && root_cu <= 6, "root CU {root_cu}");
+    }
+
+    #[test]
+    fn order_is_topological_and_complete() {
+        let nor = {
+            let mut b = NetlistBuilder::new();
+            let x = b.input();
+            let y = b.input();
+            let g1 = b.xor(x, y);
+            let g2 = b.and(g1, x);
+            let g3 = b.or(g1, g2);
+            b.output(g3);
+            b.output(g2);
+            b.finish().to_nor()
+        };
+        let cu = cell_usage(&nor);
+        let order = execution_order(&nor, &cu);
+        assert_eq!(order.len(), nor.num_gates());
+        let mut pos = vec![usize::MAX; nor.num_gates()];
+        for (p, &g) in order.iter().enumerate() {
+            pos[g] = p;
+        }
+        for (i, gate) in nor.gates().iter().enumerate() {
+            for s in &gate.inputs {
+                if let pimecc_netlist::NorSource::Gate(j) = s {
+                    assert!(pos[*j] < pos[i], "gate {i} before operand {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_handles_deep_chains_without_overflow() {
+        let nor = chain(50_000);
+        let cu = cell_usage(&nor);
+        let order = execution_order(&nor, &cu);
+        assert_eq!(order.len(), 50_000);
+    }
+
+    #[test]
+    fn dead_gates_do_not_appear_in_order() {
+        // prune_dead already removes unreachable gates, so order covers all.
+        let nor = chain(5);
+        let cu = cell_usage(&nor);
+        assert_eq!(execution_order(&nor, &cu).len(), nor.num_gates());
+    }
+}

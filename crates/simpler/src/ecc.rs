@@ -1,0 +1,353 @@
+//! The DAC'21 ECC-aware schedule extension of SIMPLER.
+//!
+//! Reproduces the paper's adapted tool (§V-B): after SIMPLER produces the
+//! micro-op sequence, a greedy scheduler threads in the ECC work and adds
+//! cycles whenever the MEM or the CMEM resources are unavailable:
+//!
+//! * **Input check** — before execution, the row of blocks holding the
+//!   function's inputs is verified: `m` MAGIC NOT copy cycles (MEM busy)
+//!   followed by an XOR3 reduction tree plus syndrome comparison inside the
+//!   CMEM (processing crossbars busy, MEM free).
+//! * **Critical operations** — every gate writing a primary output adds two
+//!   MEM-busy transfer cycles (old value out before the gate, new value out
+//!   after it) and reserves a processing crossbar which computes
+//!   `check ⊕ old ⊕ new` for *both* the leading- and counter-diagonal
+//!   check-bits (two 8-NOR XOR3 programs back to back) and then performs two
+//!   write-backs serialized on the CMEM write port. If every processing
+//!   crossbar is busy when a critical gate is due, the MEM stalls.
+//!
+//! The reported `PC (#)` of Table I is the smallest number of processing
+//! crossbars for which the latency equals the unbounded-PC latency.
+
+use crate::mapper::{Program, Step};
+
+/// Parameters of the ECC schedule model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccConfig {
+    /// Block dimension `m` (must be odd in the architecture; 15 in the
+    /// paper).
+    pub m: usize,
+    /// Number of processing crossbars `k` available to the scheduler.
+    pub num_pcs: usize,
+    /// Cycles per XOR3 micro-program (8 MAGIC NORs in the paper).
+    pub xor3_cycles: u64,
+    /// Whether the pre-execution input ECC check is performed.
+    pub check_inputs: bool,
+    /// Processing-crossbar forwarding (paper footnote 3): when enabled
+    /// (the paper's design), back-to-back updates to the same block
+    /// forward in-flight check-bits between PCs; when disabled, a critical
+    /// op stalls until the previous update of its block has written back.
+    pub pc_forwarding: bool,
+}
+
+impl Default for EccConfig {
+    /// The paper's operating point: `m = 15`, `k = 3`, 8-cycle XOR3,
+    /// input checking on, PC forwarding on.
+    fn default() -> Self {
+        EccConfig { m: 15, num_pcs: 3, xor3_cycles: 8, check_inputs: true, pc_forwarding: true }
+    }
+}
+
+/// Outcome of scheduling one program with ECC maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccReport {
+    /// SIMPLER latency without ECC (clock cycles).
+    pub baseline_cycles: u64,
+    /// Latency with the ECC mechanism (clock cycles).
+    pub total_cycles: u64,
+    /// Cycles the MEM spent stalled waiting for a processing crossbar.
+    pub mem_stall_cycles: u64,
+    /// MEM-busy cycles added by data transfers (input-check copies plus
+    /// old/new transfers of critical operations).
+    pub transfer_cycles: u64,
+    /// Number of critical operations scheduled.
+    pub critical_ops: usize,
+    /// Cycles spent draining the CMEM pipeline after the last MEM op.
+    pub drain_cycles: u64,
+}
+
+impl EccReport {
+    /// Latency overhead versus baseline, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            return 0.0;
+        }
+        (self.total_cycles as f64 / self.baseline_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+/// Latency of the CMEM-side input-check reduction for one row of blocks:
+/// an XOR3 tree over `m` copied rows, a syndrome XOR against the stored
+/// parity, and a checking-crossbar comparison. Processing crossbars execute
+/// tree stages `k` ops at a time.
+fn check_tree_latency(cfg: &EccConfig) -> u64 {
+    let mut ops = cfg.m; // vectors to reduce
+    let mut latency = 0u64;
+    while ops > 1 {
+        let stage_gates = ops.div_ceil(3); // XOR3 fan-in of 3
+        latency += (stage_gates.div_ceil(cfg.num_pcs) as u64) * cfg.xor3_cycles;
+        ops = stage_gates;
+    }
+    // Syndrome = computed parity XOR stored parity, then compare-to-zero in
+    // the checking crossbar and controller sensing.
+    latency + cfg.xor3_cycles + 2
+}
+
+/// Schedules `program` under the ECC mechanism and reports the latency
+/// breakdown.
+///
+/// # Panics
+///
+/// Panics if `cfg.num_pcs == 0` or `cfg.m == 0`.
+pub fn schedule_with_ecc(program: &Program, cfg: &EccConfig) -> EccReport {
+    assert!(cfg.num_pcs > 0, "need at least one processing crossbar");
+    assert!(cfg.m > 0, "block dimension must be positive");
+    let baseline = program.cycles();
+
+    let mut mem_t: u64 = 0;
+    let mut transfer: u64 = 0;
+    let mut stall: u64 = 0;
+    // Per-PC next-free time.
+    let mut pc_free = vec![0u64; cfg.num_pcs];
+    // The CMEM write port serializes check-bit write-backs.
+    let mut wb_port_free: u64 = 0;
+
+    if cfg.check_inputs {
+        // m copy cycles occupy the MEM; the reduction occupies only the
+        // processing crossbars the tree's widest stage needs (the check is
+        // read-only, so the write port stays free).
+        mem_t += cfg.m as u64;
+        transfer += cfg.m as u64;
+        let check_done = mem_t + check_tree_latency(cfg);
+        let reserved = cfg.num_pcs.min(cfg.m.div_ceil(3));
+        for t in pc_free.iter_mut().take(reserved) {
+            *t = check_done;
+        }
+    }
+
+    // Without forwarding, per-block-column in-flight updates serialize:
+    // block column of a write = output cell / m.
+    let mut block_busy: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+
+    for step in &program.steps {
+        match step {
+            Step::Init { .. } | Step::Gate { critical: false, .. } => mem_t += 1,
+            Step::Gate { critical: true, output, .. } => {
+                // Old-value transfer needs a free processing crossbar.
+                let (pc, &free_at) = pc_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("num_pcs > 0");
+                let mut ready = free_at;
+                let block = output / cfg.m;
+                if !cfg.pc_forwarding {
+                    if let Some(&busy_until) = block_busy.get(&block) {
+                        ready = ready.max(busy_until);
+                    }
+                }
+                if ready > mem_t {
+                    stall += ready - mem_t;
+                    mem_t = ready;
+                }
+                // MEM: old copy, the gate itself, new copy.
+                mem_t += 3;
+                transfer += 2;
+                // PC: two XOR3 programs (leading + counter diagonals) start
+                // once the new value arrives, then two serialized
+                // write-backs on the CMEM port.
+                let compute_done = mem_t + 2 * cfg.xor3_cycles;
+                let wb1 = compute_done.max(wb_port_free) + 1;
+                let wb2 = wb1 + 1;
+                wb_port_free = wb2;
+                pc_free[pc] = wb2;
+                if !cfg.pc_forwarding {
+                    block_busy.insert(block, wb2);
+                }
+            }
+        }
+    }
+
+    let pipeline_done = pc_free.iter().copied().max().unwrap_or(0).max(mem_t);
+    EccReport {
+        baseline_cycles: baseline,
+        total_cycles: pipeline_done,
+        mem_stall_cycles: stall,
+        transfer_cycles: transfer,
+        critical_ops: program.critical_count(),
+        drain_cycles: pipeline_done - mem_t,
+    }
+}
+
+/// Finds the smallest number of processing crossbars whose latency matches
+/// the effectively-unbounded configuration (`upper_bound` PCs), mirroring
+/// the paper's "PC (#)" column.
+///
+/// # Panics
+///
+/// Panics if `upper_bound == 0`.
+pub fn min_processing_crossbars(program: &Program, base: &EccConfig, upper_bound: usize) -> usize {
+    assert!(upper_bound > 0, "upper bound must be positive");
+    let unbounded = schedule_with_ecc(
+        program,
+        &EccConfig { num_pcs: upper_bound, ..*base },
+    )
+    .total_cycles;
+    for k in 1..=upper_bound {
+        let t = schedule_with_ecc(program, &EccConfig { num_pcs: k, ..*base }).total_cycles;
+        if t == unbounded {
+            return k;
+        }
+    }
+    upper_bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapperConfig};
+    use pimecc_netlist::NetlistBuilder;
+
+    /// A chain of `len` NORs ending in one output (one critical op).
+    fn chain_program(len: usize) -> Program {
+        let mut b = NetlistBuilder::new();
+        let mut x = b.input();
+        let y = b.input();
+        for _ in 0..len {
+            x = b.nor(x, y);
+        }
+        b.output(x);
+        map(&b.finish().to_nor(), &MapperConfig { row_size: 16 }).unwrap()
+    }
+
+    /// A one-level circuit where every gate is an output (all critical).
+    fn dense_program(outputs: usize) -> Program {
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<_> = (0..8).map(|_| b.input()).collect();
+        for i in 0..outputs {
+            let g = b.nor(ins[i % 8], ins[(i / 8 + 1) % 8]);
+            b.output(g);
+        }
+        map(&b.finish().to_nor(), &MapperConfig { row_size: 1020 }).unwrap()
+    }
+
+    #[test]
+    fn no_criticals_and_no_check_means_no_overhead() {
+        // A program with zero critical ops (output is a direct input) would
+        // be degenerate; instead verify the check-off path on a chain: only
+        // the single final critical op adds cycles.
+        let p = chain_program(50);
+        let cfg = EccConfig { check_inputs: false, ..EccConfig::default() };
+        let r = schedule_with_ecc(&p, &cfg);
+        assert_eq!(r.critical_ops, 1);
+        // 2 transfer cycles + pipeline drain for the single critical op.
+        assert_eq!(r.transfer_cycles, 2);
+        assert_eq!(r.mem_stall_cycles, 0);
+        assert!(r.total_cycles >= r.baseline_cycles + 2);
+    }
+
+    #[test]
+    fn input_check_adds_m_mem_cycles() {
+        let p = chain_program(50);
+        let off = schedule_with_ecc(&p, &EccConfig { check_inputs: false, ..Default::default() });
+        let on = schedule_with_ecc(&p, &EccConfig::default());
+        // The chain is long enough that the check pipeline fully overlaps:
+        // exactly m extra MEM cycles appear.
+        assert_eq!(on.total_cycles - off.total_cycles, 15);
+    }
+
+    #[test]
+    fn dense_outputs_stall_with_few_pcs() {
+        let p = dense_program(64);
+        let one = schedule_with_ecc(&p, &EccConfig { num_pcs: 1, ..Default::default() });
+        let many = schedule_with_ecc(&p, &EccConfig { num_pcs: 16, ..Default::default() });
+        assert!(one.mem_stall_cycles > 0, "1 PC must stall on 64 criticals");
+        assert!(one.total_cycles > many.total_cycles);
+        assert_eq!(many.mem_stall_cycles, 0, "16 PCs never stall here");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_pc_count() {
+        let p = dense_program(64);
+        let mut last = u64::MAX;
+        for k in 1..=10 {
+            let t = schedule_with_ecc(&p, &EccConfig { num_pcs: k, ..Default::default() })
+                .total_cycles;
+            assert!(t <= last, "k={k}: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn min_pcs_is_stable_and_small_for_sparse_outputs() {
+        let p = chain_program(100);
+        let k = min_processing_crossbars(&p, &EccConfig::default(), 16);
+        assert_eq!(k, 1, "a single critical op needs one PC");
+    }
+
+    #[test]
+    fn min_pcs_grows_for_dense_outputs() {
+        let p = dense_program(128);
+        let k = min_processing_crossbars(&p, &EccConfig::default(), 16);
+        assert!(k > 1, "back-to-back criticals need pipelining, got {k}");
+        assert!(k <= 16);
+    }
+
+    #[test]
+    fn disabling_forwarding_serializes_same_block_updates() {
+        // All 64 outputs of the dense program land in the low cells of the
+        // row — the same handful of block columns — so without forwarding
+        // every update waits for the previous write-back.
+        let p = dense_program(64);
+        let fwd = schedule_with_ecc(&p, &EccConfig { num_pcs: 8, ..Default::default() });
+        let no_fwd = schedule_with_ecc(
+            &p,
+            &EccConfig { num_pcs: 8, pc_forwarding: false, ..Default::default() },
+        );
+        assert!(
+            no_fwd.total_cycles > fwd.total_cycles,
+            "serialization must cost cycles: {} vs {}",
+            no_fwd.total_cycles,
+            fwd.total_cycles
+        );
+        assert!(no_fwd.mem_stall_cycles > fwd.mem_stall_cycles);
+    }
+
+    #[test]
+    fn forwarding_is_a_no_op_for_sparse_outputs() {
+        let p = chain_program(100);
+        let fwd = schedule_with_ecc(&p, &EccConfig::default());
+        let no_fwd = schedule_with_ecc(
+            &p,
+            &EccConfig { pc_forwarding: false, ..Default::default() },
+        );
+        assert_eq!(fwd.total_cycles, no_fwd.total_cycles, "one critical op cannot conflict");
+    }
+
+    #[test]
+    fn overhead_pct_math() {
+        let r = EccReport {
+            baseline_cycles: 100,
+            total_cycles: 126,
+            mem_stall_cycles: 0,
+            transfer_cycles: 0,
+            critical_ops: 0,
+            drain_cycles: 0,
+        };
+        assert!((r.overhead_pct() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_tree_latency_shrinks_with_more_pcs() {
+        let slow = check_tree_latency(&EccConfig { num_pcs: 1, ..Default::default() });
+        let fast = check_tree_latency(&EccConfig { num_pcs: 8, ..Default::default() });
+        assert!(slow > fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_pcs_panics() {
+        let p = chain_program(5);
+        let _ = schedule_with_ecc(&p, &EccConfig { num_pcs: 0, ..Default::default() });
+    }
+}

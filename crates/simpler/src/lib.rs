@@ -1,0 +1,43 @@
+//! Reimplementation of the SIMPLER MAGIC single-row mapper (Ben-Hur et al.,
+//! TCAD 2020) plus the DAC'21 paper's ECC-aware scheduling extension.
+//!
+//! SIMPLER maps an arbitrary NOR-only netlist onto a *single row* of a
+//! memristive crossbar: every gate output is allocated to a cell of the
+//! row, cells are recycled once all the fanouts of their value have
+//! executed (after a re-initialization cycle), and the execution order is
+//! chosen with a Sethi–Ullman-style *cell usage* heuristic so the live set
+//! stays small. Because MAGIC executes the same row-gate across all rows in
+//! parallel, a mapped program is simultaneously a SIMD program over the
+//! whole crossbar.
+//!
+//! The ECC extension reproduces the adapted scheduler of the DAC'21 paper:
+//! before a function executes, the blocks holding its inputs are ECC-checked
+//! (m MAGIC copy cycles plus an XOR3 tree in the check memory); every
+//! *critical* operation — a gate whose result is a primary output, i.e.
+//! data that must be covered by check-bits — additionally transfers its old
+//! and new values through the barrel shifters into a processing crossbar,
+//! which recomputes the leading- and counter-diagonal check-bits as
+//! `check ⊕ old ⊕ new` (two 8-NOR XOR3s) and writes them back.
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc_netlist::generators::Benchmark;
+//! use pimecc_simpler::{map_auto, EccConfig, schedule_with_ecc};
+//!
+//! let nor = Benchmark::Dec.build().netlist.to_nor();
+//! let (program, row) = map_auto(&nor, 1020).expect("mappable");
+//! assert_eq!(row, 1020);
+//! let report = schedule_with_ecc(&program, &EccConfig::default());
+//! assert!(report.total_cycles > report.baseline_cycles);
+//! ```
+
+pub mod cu;
+pub mod ecc;
+pub mod listing;
+pub mod mapper;
+
+pub use cu::{cell_usage, execution_order};
+pub use ecc::{min_processing_crossbars, schedule_with_ecc, EccConfig, EccReport};
+pub use listing::{parse_listing, write_listing, ParseListingError};
+pub use mapper::{map, map_auto, MapError, MapperConfig, Program, Step};

@@ -1,0 +1,244 @@
+//! Human-readable micro-op listings of mapped programs.
+//!
+//! SIMPLER outputs are dense and painful to debug by eye; the listing
+//! format prints one micro-operation per line with its cycle number, the
+//! participating cells, and ECC criticality — the in-memory analogue of a
+//! disassembly. A parser is provided so listings round-trip (useful for
+//! golden-file tests and for hand-editing schedules in experiments).
+
+use crate::mapper::{Program, Step};
+use std::fmt::Write as _;
+
+/// Renders a program as a text listing.
+///
+/// Format, one step per line:
+///
+/// ```text
+/// ; program row_size=16 inputs=2 outputs=c5
+///     0: init c2 c3 c4
+///     1: nor  c0 c1 -> c2
+///     2: nor! c2 c0 -> c3      ; '!' marks an ECC-critical write
+/// ```
+pub fn write_listing(program: &Program) -> String {
+    let mut out = String::new();
+    let outputs: Vec<String> =
+        program.output_cells.iter().map(|c| format!("c{c}")).collect();
+    let _ = writeln!(
+        out,
+        "; program row_size={} inputs={} outputs={}",
+        program.row_size,
+        program.num_inputs,
+        outputs.join(" ")
+    );
+    for (cycle, step) in program.steps.iter().enumerate() {
+        match step {
+            Step::Init { cells } => {
+                let cells: Vec<String> = cells.iter().map(|c| format!("c{c}")).collect();
+                let _ = writeln!(out, "{cycle:>5}: init {}", cells.join(" "));
+            }
+            Step::Gate { inputs, output, critical, .. } => {
+                let ins: Vec<String> = inputs.iter().map(|c| format!("c{c}")).collect();
+                let marker = if *critical { "!" } else { " " };
+                let _ = writeln!(out, "{cycle:>5}: nor{marker} {} -> c{output}", ins.join(" "));
+            }
+        }
+    }
+    out
+}
+
+/// Errors raised while parsing a listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseListingError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseListingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "listing line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseListingError {}
+
+fn parse_cell(token: &str, line: usize) -> Result<usize, ParseListingError> {
+    token
+        .strip_prefix('c')
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseListingError { line, reason: format!("bad cell token '{token}'") })
+}
+
+/// Parses a listing back into a [`Program`]. The `gate` indices of parsed
+/// steps are sequential (original netlist indices are not preserved in the
+/// text form).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_listing(text: &str) -> Result<Program, ParseListingError> {
+    let mut row_size = 0usize;
+    let mut num_inputs = 0usize;
+    let mut output_cells = Vec::new();
+    let mut steps = Vec::new();
+    let mut gate_counter = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("; program ") {
+            let mut in_outputs = false;
+            for field in header.split_whitespace() {
+                if let Some(v) = field.strip_prefix("row_size=") {
+                    in_outputs = false;
+                    row_size = v.parse().map_err(|_| ParseListingError {
+                        line: line_no,
+                        reason: "bad row_size".into(),
+                    })?;
+                } else if let Some(v) = field.strip_prefix("inputs=") {
+                    in_outputs = false;
+                    num_inputs = v.parse().map_err(|_| ParseListingError {
+                        line: line_no,
+                        reason: "bad inputs".into(),
+                    })?;
+                } else if let Some(v) = field.strip_prefix("outputs=") {
+                    in_outputs = true;
+                    output_cells.push(parse_cell(v, line_no)?);
+                } else if in_outputs {
+                    output_cells.push(parse_cell(field, line_no)?);
+                }
+            }
+            continue;
+        }
+        if line.starts_with(';') {
+            continue;
+        }
+        // Strip trailing comment.
+        let line = line.split(';').next().unwrap_or("").trim();
+        let body = match line.split_once(':') {
+            Some((_, b)) => b.trim(),
+            None => {
+                // Output cells continuation tokens from the header line
+                // (already consumed) or garbage.
+                if let Ok(cell) = parse_cell(line, line_no) {
+                    output_cells.push(cell);
+                    continue;
+                }
+                return Err(ParseListingError {
+                    line: line_no,
+                    reason: format!("expected 'cycle: op', got '{line}'"),
+                });
+            }
+        };
+        let mut tokens = body.split_whitespace();
+        match tokens.next() {
+            Some("init") => {
+                let cells = tokens
+                    .map(|t| parse_cell(t, line_no))
+                    .collect::<Result<Vec<_>, _>>()?;
+                steps.push(Step::Init { cells });
+            }
+            Some(op @ ("nor" | "nor!")) => {
+                let toks: Vec<&str> = tokens.collect();
+                let arrow = toks.iter().position(|&t| t == "->").ok_or_else(|| {
+                    ParseListingError { line: line_no, reason: "missing '->'".into() }
+                })?;
+                let inputs = toks[..arrow]
+                    .iter()
+                    .map(|t| parse_cell(t, line_no))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let output = parse_cell(
+                    toks.get(arrow + 1).ok_or_else(|| ParseListingError {
+                        line: line_no,
+                        reason: "missing output cell".into(),
+                    })?,
+                    line_no,
+                )?;
+                steps.push(Step::Gate {
+                    gate: gate_counter,
+                    inputs,
+                    output,
+                    critical: op == "nor!",
+                });
+                gate_counter += 1;
+            }
+            other => {
+                return Err(ParseListingError {
+                    line: line_no,
+                    reason: format!("unknown op {other:?}"),
+                })
+            }
+        }
+    }
+    let peak_live = row_size; // conservative; the text form loses this
+    Ok(Program { row_size, num_inputs, steps, output_cells, peak_live })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map, MapperConfig};
+    use pimecc_netlist::NetlistBuilder;
+
+    fn program() -> Program {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g1 = b.xor(x, y);
+        let g2 = b.and(g1, x);
+        b.output(g2);
+        b.output(g1);
+        map(&b.finish().to_nor(), &MapperConfig { row_size: 16 }).expect("maps")
+    }
+
+    #[test]
+    fn listing_mentions_criticals_and_header() {
+        let p = program();
+        let text = write_listing(&p);
+        assert!(text.starts_with("; program row_size=16 inputs=2"));
+        assert!(text.contains("nor!"), "critical marker present:\n{text}");
+        assert_eq!(text.lines().count(), p.steps.len() + 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let p = program();
+        let text = write_listing(&p);
+        let q = parse_listing(&text).expect("parses");
+        assert_eq!(q.row_size, p.row_size);
+        assert_eq!(q.num_inputs, p.num_inputs);
+        assert_eq!(q.output_cells, p.output_cells);
+        assert_eq!(q.steps.len(), p.steps.len());
+        for v in 0..4u32 {
+            let inputs: Vec<bool> = (0..2).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(
+                q.execute(&inputs).expect("legal"),
+                p.execute(&inputs).expect("legal"),
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_criticality() {
+        let p = program();
+        let q = parse_listing(&write_listing(&p)).expect("parses");
+        assert_eq!(q.critical_count(), p.critical_count());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_listing("; program row_size=4 inputs=1 outputs=c0\n 0: frobnicate c1\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err2 = parse_listing("; program row_size=4 inputs=1 outputs=c0\n 0: nor c0 c1\n")
+            .unwrap_err();
+        assert!(err2.reason.contains("->"));
+        let err3 = parse_listing("; program row_size=x inputs=1 outputs=c0\n").unwrap_err();
+        assert!(err3.reason.contains("row_size"));
+    }
+}

@@ -1,0 +1,419 @@
+//! The SIMPLER single-row mapper: cell allocation, recycling and batched
+//! re-initialization.
+
+use crate::cu::{cell_usage, execution_order};
+use pimecc_netlist::{NorNetlist, NorSource};
+use pimecc_xbar::{Crossbar, LineSet, XbarError};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Mapper parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapperConfig {
+    /// Number of cells in the crossbar row the function is mapped onto.
+    pub row_size: usize,
+}
+
+impl Default for MapperConfig {
+    /// The paper's crossbar width, `n = 1020`.
+    fn default() -> Self {
+        MapperConfig { row_size: 1020 }
+    }
+}
+
+/// Mapping failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The live set exceeded the row at some point: the function does not
+    /// fit a row of this size under the chosen order.
+    RowOverflow {
+        /// Configured row size.
+        row_size: usize,
+        /// Cells permanently pinned (inputs + outputs produced so far) when
+        /// the overflow happened.
+        pinned: usize,
+    },
+    /// More primary inputs than row cells.
+    TooManyInputs {
+        /// Number of function inputs.
+        inputs: usize,
+        /// Configured row size.
+        row_size: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::RowOverflow { row_size, pinned } => write!(
+                f,
+                "function does not fit a {row_size}-cell row ({pinned} cells pinned at overflow)"
+            ),
+            MapError::TooManyInputs { inputs, row_size } => {
+                write!(f, "{inputs} inputs exceed the {row_size}-cell row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// One single-cycle micro-operation of a mapped program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Parallel re-initialization (SET to LRS) of the listed cells.
+    Init {
+        /// Cells initialized this cycle.
+        cells: Vec<usize>,
+    },
+    /// One MAGIC NOR gate executed in the row.
+    Gate {
+        /// Index of the NOR gate in the source netlist.
+        gate: usize,
+        /// Cells holding the gate's operands.
+        inputs: Vec<usize>,
+        /// Cell receiving the result.
+        output: usize,
+        /// True if the result is a primary output — the ECC-critical case.
+        critical: bool,
+    },
+}
+
+/// A SIMPLER-mapped program: a straight-line sequence of single-cycle
+/// micro-operations over one crossbar row.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::NetlistBuilder;
+/// use pimecc_simpler::{map, MapperConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let g = b.nor(x, y);
+/// b.output(g);
+/// let program = map(&b.finish().to_nor(), &MapperConfig { row_size: 8 })?;
+/// assert_eq!(program.execute(&[true, false])?, vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Row width the program was mapped for.
+    pub row_size: usize,
+    /// Number of primary inputs (stored in cells `0..num_inputs`).
+    pub num_inputs: usize,
+    /// The micro-operation sequence; each step costs one clock cycle.
+    pub steps: Vec<Step>,
+    /// Cell of each primary output, in netlist output order.
+    pub output_cells: Vec<usize>,
+    /// Peak number of simultaneously live cells (inputs + intermediates +
+    /// outputs) observed during allocation.
+    pub peak_live: usize,
+}
+
+impl Program {
+    /// Total latency in clock cycles (= number of steps).
+    pub fn cycles(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// Number of NOR-gate cycles.
+    pub fn gate_cycles(&self) -> u64 {
+        self.steps.iter().filter(|s| matches!(s, Step::Gate { .. })).count() as u64
+    }
+
+    /// Number of batched initialization cycles.
+    pub fn init_cycles(&self) -> u64 {
+        self.steps.iter().filter(|s| matches!(s, Step::Init { .. })).count() as u64
+    }
+
+    /// Number of ECC-critical gate operations (writes of primary outputs).
+    pub fn critical_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Gate { critical: true, .. }))
+            .count()
+    }
+
+    /// Executes the program on a strict-mode MAGIC crossbar row and returns
+    /// the primary outputs. All non-input cells start with pseudo-random
+    /// garbage, so missing initializations are caught by the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any MAGIC legality violation ([`XbarError`]) — a correct
+    /// mapping never triggers one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs`.
+    pub fn execute(&self, inputs: &[bool]) -> Result<Vec<bool>, XbarError> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut xb = Crossbar::new(1, self.row_size);
+        // Garbage-fill: deterministic pattern, not all-zero.
+        for c in 0..self.row_size {
+            xb.write_bit(0, c, c % 3 == 1);
+        }
+        for (i, &v) in inputs.iter().enumerate() {
+            xb.write_bit(0, i, v);
+        }
+        for step in &self.steps {
+            match step {
+                Step::Init { cells } => xb.exec_init_rows(cells, &LineSet::One(0))?,
+                Step::Gate { inputs, output, .. } => {
+                    xb.exec_nor_rows(inputs, *output, &LineSet::One(0))?
+                }
+            }
+        }
+        Ok(self.output_cells.iter().map(|&c| xb.bit(0, c)).collect())
+    }
+}
+
+/// Maps a NOR netlist onto a single crossbar row.
+///
+/// # Errors
+///
+/// [`MapError::TooManyInputs`] if the inputs alone exceed the row;
+/// [`MapError::RowOverflow`] if the live set cannot fit at some point.
+pub fn map(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
+    let row = cfg.row_size;
+    let n_in = nor.num_inputs();
+    if n_in >= row {
+        return Err(MapError::TooManyInputs { inputs: n_in, row_size: row });
+    }
+    let cu = cell_usage(nor);
+    let order = execution_order(nor, &cu);
+    let is_output = nor.output_gate_set();
+    let mut fanout = nor.fanouts();
+
+    // Cell pools. Inputs pin cells 0..n_in forever.
+    let mut clean: VecDeque<usize> = VecDeque::new();
+    let mut dirty: VecDeque<usize> = (n_in..row).collect();
+    let mut cell_of = vec![usize::MAX; nor.num_gates()];
+    let mut live = n_in; // cells currently holding meaningful values
+    let mut peak_live = n_in;
+    let mut steps = Vec::with_capacity(order.len());
+
+    for &g in &order {
+        // Acquire an armed (initialized) cell for the output.
+        let out_cell = match clean.pop_front() {
+            Some(c) => c,
+            None => {
+                if dirty.is_empty() {
+                    return Err(MapError::RowOverflow { row_size: row, pinned: live });
+                }
+                // One batched init cycle arms every reclaimable cell.
+                let cells: Vec<usize> = dirty.drain(..).collect();
+                steps.push(Step::Init { cells: cells.clone() });
+                clean.extend(cells);
+                clean.pop_front().expect("just refilled")
+            }
+        };
+        cell_of[g] = out_cell;
+        live += 1;
+        peak_live = peak_live.max(live);
+
+        let input_cells: Vec<usize> = nor.gates()[g]
+            .inputs
+            .iter()
+            .map(|s| match s {
+                NorSource::Input(i) => *i,
+                NorSource::Gate(j) => cell_of[*j],
+            })
+            .collect();
+        debug_assert!(input_cells.iter().all(|&c| c != usize::MAX));
+        steps.push(Step::Gate {
+            gate: g,
+            inputs: input_cells,
+            output: out_cell,
+            critical: is_output[g],
+        });
+
+        // Release operand cells whose last consumer just ran (outputs are
+        // pinned by their extra fanout entry from the output list).
+        for s in &nor.gates()[g].inputs {
+            if let NorSource::Gate(j) = s {
+                fanout[*j] -= 1;
+                if fanout[*j] == 0 {
+                    dirty.push_back(cell_of[*j]);
+                    live -= 1;
+                }
+            }
+        }
+    }
+
+    let output_cells = nor
+        .outputs()
+        .iter()
+        .map(|s| match s {
+            NorSource::Input(i) => *i,
+            NorSource::Gate(j) => cell_of[*j],
+        })
+        .collect();
+
+    Ok(Program { row_size: row, num_inputs: n_in, steps, output_cells, peak_live })
+}
+
+/// Maps with automatic row widening: starts at `base_row` and doubles until
+/// the function fits (capped at 16 doublings).
+///
+/// Returns the program and the row size that succeeded.
+///
+/// # Errors
+///
+/// Returns the final [`MapError`] if even the largest attempted row fails.
+pub fn map_auto(nor: &NorNetlist, base_row: usize) -> Result<(Program, usize), MapError> {
+    let mut row = base_row;
+    let mut last_err = None;
+    for _ in 0..16 {
+        match map(nor, &MapperConfig { row_size: row }) {
+            Ok(p) => return Ok((p, row)),
+            Err(e) => {
+                last_err = Some(e);
+                row *= 2;
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimecc_netlist::generators::Benchmark;
+    use pimecc_netlist::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_netlist() -> NorNetlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let g1 = b.xor(x, y);
+        let g2 = b.and(g1, z);
+        let g3 = b.or(g1, g2);
+        b.output(g3);
+        b.output(g2);
+        b.finish().to_nor()
+    }
+
+    #[test]
+    fn maps_and_executes_small_netlist_exhaustively() {
+        let nor = small_netlist();
+        let p = map(&nor, &MapperConfig { row_size: 16 }).unwrap();
+        for v in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(p.execute(&inputs).unwrap(), nor.eval(&inputs), "v={v}");
+        }
+    }
+
+    #[test]
+    fn cycles_are_gates_plus_inits() {
+        let nor = small_netlist();
+        let p = map(&nor, &MapperConfig { row_size: 16 }).unwrap();
+        assert_eq!(p.cycles(), p.gate_cycles() + p.init_cycles());
+        assert_eq!(p.gate_cycles() as usize, nor.num_gates());
+    }
+
+    #[test]
+    fn critical_count_equals_output_gates() {
+        let nor = small_netlist();
+        let p = map(&nor, &MapperConfig { row_size: 16 }).unwrap();
+        assert_eq!(p.critical_count(), 2);
+    }
+
+    #[test]
+    fn tight_row_forces_reuse_but_stays_correct() {
+        // A chain with tiny live set mapped into a minimal row: cell
+        // recycling plus init batching must kick in.
+        let mut b = NetlistBuilder::new();
+        let mut x = b.input();
+        let y = b.input();
+        for _ in 0..100 {
+            x = b.nor(x, y);
+        }
+        b.output(x);
+        let nor = b.finish().to_nor();
+        let p = map(&nor, &MapperConfig { row_size: 6 }).unwrap();
+        assert!(p.init_cycles() > 0, "reuse requires init cycles");
+        for (xv, yv) in [(false, false), (true, false), (false, true), (true, true)] {
+            assert_eq!(p.execute(&[xv, yv]).unwrap(), nor.eval(&[xv, yv]));
+        }
+    }
+
+    #[test]
+    fn overflow_reported_for_impossible_row() {
+        let nor = Benchmark::Adder.build().netlist.to_nor();
+        // 256 inputs cannot fit in a 100-cell row at all.
+        assert!(matches!(
+            map(&nor, &MapperConfig { row_size: 100 }),
+            Err(MapError::TooManyInputs { .. })
+        ));
+        // 258 cells fit the inputs but not the computation.
+        assert!(matches!(
+            map(&nor, &MapperConfig { row_size: 258 }),
+            Err(MapError::RowOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn map_auto_widens_until_fit() {
+        let nor = Benchmark::Adder.build().netlist.to_nor();
+        let (p, row) = map_auto(&nor, 258).unwrap();
+        assert!(row > 258);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+        assert_eq!(p.execute(&inputs).unwrap(), nor.eval(&inputs));
+    }
+
+    #[test]
+    fn every_benchmark_maps_and_validates_at_1020_or_wider() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bench in Benchmark::ALL {
+            let nor = bench.build().netlist.to_nor();
+            let (p, row) = map_auto(&nor, 1020).unwrap_or_else(|e| panic!("{bench}: {e}"));
+            assert!(row <= 8160, "{bench} needed row {row}");
+            assert!(p.peak_live <= row, "{bench}");
+            for _ in 0..3 {
+                let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+                assert_eq!(
+                    p.execute(&inputs).unwrap(),
+                    nor.eval(&inputs),
+                    "{bench} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_live_is_bounded_by_heuristic_quality() {
+        // The CU-guided order must keep a 64-leaf balanced tree's live set
+        // logarithmic, not linear.
+        let mut b = NetlistBuilder::new();
+        let leaves: Vec<_> = (0..64).map(|_| b.input()).collect();
+        let mut layer = leaves;
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|p| b.nor(p[0], p[1])).collect();
+        }
+        b.output(layer[0]);
+        let nor = b.finish().to_nor();
+        let p = map(&nor, &MapperConfig { row_size: 128 }).unwrap();
+        assert!(
+            p.peak_live <= 64 + 10,
+            "tree live set should be ~log: {}",
+            p.peak_live
+        );
+    }
+
+    #[test]
+    fn display_of_map_errors() {
+        let e1 = MapError::RowOverflow { row_size: 10, pinned: 9 }.to_string();
+        assert!(e1.contains("10-cell"));
+        let e2 = MapError::TooManyInputs { inputs: 20, row_size: 10 }.to_string();
+        assert!(e2.contains("20 inputs"));
+    }
+}

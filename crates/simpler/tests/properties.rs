@@ -1,0 +1,115 @@
+//! Property-based tests for the SIMPLER mapper: for *any* random DAG the
+//! mapped single-row program must compute exactly what the netlist
+//! computes, within the row budget, under strict MAGIC legality.
+
+use pimecc_netlist::{NetlistBuilder, NorNetlist};
+use pimecc_simpler::{cell_usage, execution_order, map, schedule_with_ecc, EccConfig, MapperConfig};
+use proptest::prelude::*;
+
+/// Builds a random combinational netlist from a compact recipe: a list of
+/// (kind, operand picks) items over the growing node set.
+fn random_netlist(num_inputs: usize, recipe: &[(u8, usize, usize, usize)]) -> NorNetlist {
+    let mut b = NetlistBuilder::new();
+    let mut pool: Vec<_> = (0..num_inputs).map(|_| b.input()).collect();
+    for &(kind, x, y, z) in recipe {
+        let a = pool[x % pool.len()];
+        let c = pool[y % pool.len()];
+        let d = pool[z % pool.len()];
+        let node = match kind % 7 {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nor(a, c),
+            4 => b.not(a),
+            5 => b.mux(a, c, d),
+            _ => b.maj(a, c, d),
+        };
+        pool.push(node);
+    }
+    // Outputs: the last few distinct nodes (they may fold to inputs or
+    // constants; pick gate-backed ones if possible, else whatever's last).
+    let take = pool.len().min(4);
+    let mut outs: Vec<_> = pool[pool.len() - take..].to_vec();
+    outs.dedup();
+    for o in outs {
+        b.output(o);
+    }
+    b.finish().to_nor()
+}
+
+fn recipe_strategy() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize, usize)>)> {
+    (2usize..6).prop_flat_map(|inputs| {
+        (
+            Just(inputs),
+            proptest::collection::vec(
+                (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+                1..60,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapped_program_computes_the_netlist(
+        (inputs, recipe) in recipe_strategy(),
+        stimuli in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let nor = random_netlist(inputs, &recipe);
+        // Generous row: inputs + all gates would fit with no reuse.
+        let row = inputs + nor.num_gates() + 4;
+        let program = map(&nor, &MapperConfig { row_size: row }).expect("generous row maps");
+        for s in &stimuli {
+            let input_bits: Vec<bool> = (0..inputs).map(|i| s >> i & 1 != 0).collect();
+            let got = program.execute(&input_bits).expect("strict-mode legal");
+            prop_assert_eq!(got, nor.eval(&input_bits));
+        }
+    }
+
+    #[test]
+    fn tight_rows_still_compute_correctly_when_they_map(
+        (inputs, recipe) in recipe_strategy(),
+        stimulus in any::<u64>(),
+    ) {
+        let nor = random_netlist(inputs, &recipe);
+        let cu = cell_usage(&nor);
+        let order = execution_order(&nor, &cu);
+        prop_assert_eq!(order.len(), nor.num_gates());
+        // Row barely above the heuristic's own estimate: may fail to map
+        // (that's allowed), but if it maps it must be correct.
+        let estimate = inputs
+            + nor.outputs().len()
+            + cu.iter().copied().max().unwrap_or(1) as usize
+            + 2;
+        if let Ok(program) = map(&nor, &MapperConfig { row_size: estimate }) {
+            prop_assert!(program.peak_live <= estimate);
+            let input_bits: Vec<bool> = (0..inputs).map(|i| stimulus >> i & 1 != 0).collect();
+            let got = program.execute(&input_bits).expect("strict-mode legal");
+            prop_assert_eq!(got, nor.eval(&input_bits));
+        }
+    }
+
+    #[test]
+    fn ecc_schedule_invariants_hold_for_any_program(
+        (inputs, recipe) in recipe_strategy(),
+        k in 1usize..9,
+    ) {
+        let nor = random_netlist(inputs, &recipe);
+        let row = inputs + nor.num_gates() + 4;
+        let program = map(&nor, &MapperConfig { row_size: row }).expect("maps");
+        let cfg = EccConfig { num_pcs: k, ..EccConfig::default() };
+        let r = schedule_with_ecc(&program, &cfg);
+        // ECC never makes things faster, and the accounting must be sane.
+        prop_assert!(r.total_cycles >= r.baseline_cycles);
+        prop_assert_eq!(r.critical_ops, program.critical_count());
+        prop_assert!(r.transfer_cycles >= 2 * r.critical_ops as u64);
+        // More PCs never hurt.
+        let more = schedule_with_ecc(
+            &program,
+            &EccConfig { num_pcs: k + 1, ..EccConfig::default() },
+        );
+        prop_assert!(more.total_cycles <= r.total_cycles);
+    }
+}

@@ -1,0 +1,357 @@
+//! Dense two-dimensional bit matrix used as the backing store of a crossbar.
+//!
+//! Rows are packed into `u64` words (row-major, each row starting on a word
+//! boundary) so that whole-row operations — the common case for MAGIC
+//! row-parallel gates, fault scans and parity sweeps — run a word at a time.
+
+/// A dense `rows × cols` bit matrix.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::BitGrid;
+///
+/// let mut g = BitGrid::new(3, 70);
+/// g.set(2, 69, true);
+/// assert!(g.get(2, 69));
+/// assert_eq!(g.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitGrid {
+    rows: usize,
+    cols: usize,
+    /// Words per row (`ceil(cols / 64)`).
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    /// Creates an all-zero grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "BitGrid dimensions must be non-zero");
+        let stride = cols.div_ceil(64);
+        BitGrid { rows, cols, stride, words: vec![0; rows * stride] }
+    }
+
+    /// Creates a grid with every bit set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: bool) -> Self {
+        let mut g = Self::new(rows, cols);
+        if value {
+            g.fill(true);
+        }
+        g
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn index(&self, r: usize, c: usize) -> (usize, u64) {
+        debug_assert!(r < self.rows && c < self.cols, "bit index out of bounds");
+        (r * self.stride + c / 64, 1u64 << (c % 64))
+    }
+
+    /// Reads the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        let (w, mask) = self.index(r, c);
+        self.words[w] & mask != 0
+    }
+
+    /// Writes the bit at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        let (w, mask) = self.index(r, c);
+        if value {
+            self.words[w] |= mask;
+        } else {
+            self.words[w] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `(r, c)` and returns its new value.
+    #[inline]
+    pub fn flip(&mut self, r: usize, c: usize) -> bool {
+        let (w, mask) = self.index(r, c);
+        self.words[w] ^= mask;
+        self.words[w] & mask != 0
+    }
+
+    /// Sets every bit in the grid to `value`.
+    pub fn fill(&mut self, value: bool) {
+        let word = if value { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = word;
+        }
+        if value {
+            self.clear_row_slack();
+        }
+    }
+
+    /// Zeroes the unused high bits of each row's final word so that
+    /// word-level scans (`count_ones`, iterators) never see slack bits.
+    fn clear_row_slack(&mut self) {
+        let rem = self.cols % 64;
+        if rem == 0 {
+            return;
+        }
+        let mask = (1u64 << rem) - 1;
+        for r in 0..self.rows {
+            self.words[r * self.stride + self.stride - 1] &= mask;
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns the whole row `r` as a `Vec<bool>` of length `cols`.
+    pub fn row(&self, r: usize) -> Vec<bool> {
+        (0..self.cols).map(|c| self.get(r, c)).collect()
+    }
+
+    /// Returns the whole column `c` as a `Vec<bool>` of length `rows`.
+    pub fn col(&self, c: usize) -> Vec<bool> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Overwrites row `r` from a slice of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != cols`.
+    pub fn set_row(&mut self, r: usize, bits: &[bool]) {
+        assert_eq!(bits.len(), self.cols, "row length mismatch");
+        for (c, &b) in bits.iter().enumerate() {
+            self.set(r, c, b);
+        }
+    }
+
+    /// Overwrites column `c` from a slice of bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows`.
+    pub fn set_col(&mut self, c: usize, bits: &[bool]) {
+        assert_eq!(bits.len(), self.rows, "column length mismatch");
+        for (r, &b) in bits.iter().enumerate() {
+            self.set(r, c, b);
+        }
+    }
+
+    /// XORs row `other_row` of `other` into row `r` of `self`, word-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn xor_row_from(&mut self, r: usize, other: &BitGrid, other_row: usize) {
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        let dst = r * self.stride;
+        let src = other_row * other.stride;
+        for i in 0..self.stride {
+            self.words[dst + i] ^= other.words[src + i];
+        }
+    }
+
+    /// Iterates over the coordinates of every set bit, row-major.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { grid: self, r: 0, c: 0 }
+    }
+
+    /// Returns the coordinates `(r, c)` of every bit that differs from
+    /// `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn diff(&self, other: &BitGrid) -> Vec<(usize, usize)> {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "dimension mismatch"
+        );
+        let mut out = Vec::new();
+        for r in 0..self.rows {
+            for w in 0..self.stride {
+                let mut delta = self.words[r * self.stride + w] ^ other.words[r * other.stride + w];
+                while delta != 0 {
+                    let bit = delta.trailing_zeros() as usize;
+                    let c = w * 64 + bit;
+                    if c < self.cols {
+                        out.push((r, c));
+                    }
+                    delta &= delta - 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for BitGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitGrid({}x{}, {} ones)", self.rows, self.cols, self.count_ones())?;
+        if self.rows <= 16 && self.cols <= 64 {
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    write!(f, "{}", if self.get(r, c) { '1' } else { '.' })?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over set-bit coordinates produced by [`BitGrid::iter_ones`].
+pub struct IterOnes<'a> {
+    grid: &'a BitGrid,
+    r: usize,
+    c: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.r < self.grid.rows {
+            while self.c < self.grid.cols {
+                let (r, c) = (self.r, self.c);
+                self.c += 1;
+                if self.grid.get(r, c) {
+                    return Some((r, c));
+                }
+            }
+            self.c = 0;
+            self.r += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_zero() {
+        let g = BitGrid::new(5, 130);
+        assert_eq!(g.count_ones(), 0);
+        assert_eq!(g.rows(), 5);
+        assert_eq!(g.cols(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = BitGrid::new(0, 4);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut g = BitGrid::new(2, 129);
+        for c in [0, 1, 63, 64, 65, 127, 128] {
+            g.set(1, c, true);
+            assert!(g.get(1, c), "col {c}");
+            assert!(!g.get(0, c), "row 0 untouched at col {c}");
+        }
+        assert_eq!(g.count_ones(), 7);
+    }
+
+    #[test]
+    fn flip_toggles_and_reports() {
+        let mut g = BitGrid::new(1, 10);
+        assert!(g.flip(0, 3));
+        assert!(!g.flip(0, 3));
+        assert_eq!(g.count_ones(), 0);
+    }
+
+    #[test]
+    fn fill_true_respects_slack_bits() {
+        let mut g = BitGrid::new(3, 70);
+        g.fill(true);
+        assert_eq!(g.count_ones(), 3 * 70);
+        g.fill(false);
+        assert_eq!(g.count_ones(), 0);
+    }
+
+    #[test]
+    fn filled_constructor() {
+        let g = BitGrid::filled(4, 4, true);
+        assert_eq!(g.count_ones(), 16);
+        let z = BitGrid::filled(4, 4, false);
+        assert_eq!(z.count_ones(), 0);
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let mut g = BitGrid::new(3, 3);
+        g.set(0, 1, true);
+        g.set(2, 1, true);
+        assert_eq!(g.row(0), vec![false, true, false]);
+        assert_eq!(g.col(1), vec![true, false, true]);
+    }
+
+    #[test]
+    fn set_row_and_set_col() {
+        let mut g = BitGrid::new(2, 3);
+        g.set_row(0, &[true, false, true]);
+        g.set_col(2, &[false, true]);
+        assert_eq!(g.row(0), vec![true, false, false]);
+        assert_eq!(g.row(1), vec![false, false, true]);
+    }
+
+    #[test]
+    fn xor_row_from_other_grid() {
+        let mut a = BitGrid::new(1, 100);
+        let mut b = BitGrid::new(2, 100);
+        a.set(0, 5, true);
+        b.set(1, 5, true);
+        b.set(1, 99, true);
+        a.xor_row_from(0, &b, 1);
+        assert!(!a.get(0, 5));
+        assert!(a.get(0, 99));
+    }
+
+    #[test]
+    fn diff_reports_mismatches() {
+        let mut a = BitGrid::new(2, 65);
+        let b = BitGrid::new(2, 65);
+        a.set(0, 64, true);
+        a.set(1, 0, true);
+        assert_eq!(a.diff(&b), vec![(0, 64), (1, 0)]);
+    }
+
+    #[test]
+    fn iter_ones_row_major() {
+        let mut g = BitGrid::new(2, 3);
+        g.set(1, 0, true);
+        g.set(0, 2, true);
+        let ones: Vec<_> = g.iter_ones().collect();
+        assert_eq!(ones, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let g = BitGrid::new(2, 2);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

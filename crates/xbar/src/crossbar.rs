@@ -1,0 +1,525 @@
+//! The memristive crossbar array with MAGIC stateful-logic execution.
+
+use crate::bitgrid::BitGrid;
+use crate::error::XbarError;
+use crate::lineset::LineSet;
+use crate::stats::{OpKind, Stats};
+use crate::Result;
+
+/// A memristor crossbar array supporting MAGIC NOR/NOT stateful logic.
+///
+/// Logical convention (matching the MAGIC papers): a memristor in the Low
+/// Resistive State (LRS) stores logic `1`, the High Resistive State (HRS)
+/// stores logic `0`. A MAGIC NOR gate drives an *output* memristor that was
+/// previously initialized to LRS; the output switches to HRS iff any input
+/// stores `1`.
+///
+/// Row-parallel gates (`exec_*_rows`) place inputs and output in named
+/// *columns* and execute the gate simultaneously in every selected row.
+/// Column-parallel gates are the transpose. Either way each issued operation
+/// costs exactly one clock cycle.
+///
+/// # Strict mode
+///
+/// Real MAGIC execution requires output memristors to be initialized to LRS
+/// immediately before the gate; forgetting this is the classic mapping bug.
+/// In strict mode (the default) the simulator tracks an `initialized` flag
+/// per cell and rejects gates whose outputs are stale with
+/// [`XbarError::OutputNotInitialized`]. Conventional writes clear the flag;
+/// [`Crossbar::exec_init_rows`]/[`Crossbar::exec_init_cols`] set it.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{Crossbar, LineSet};
+///
+/// # fn main() -> Result<(), pimecc_xbar::XbarError> {
+/// let mut xb = Crossbar::new(2, 3);
+/// xb.write_row(0, &[true, false, false]);
+/// xb.write_row(1, &[false, false, false]);
+/// xb.exec_init_rows(&[2], &LineSet::All)?;
+/// xb.exec_nor_rows(&[0, 1], 2, &LineSet::All)?;
+/// assert_eq!(xb.bit(0, 2), false); // NOR(1, 0)
+/// assert_eq!(xb.bit(1, 2), true);  // NOR(0, 0)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    bits: BitGrid,
+    /// Cells initialized to LRS and not yet consumed as a gate output.
+    armed: BitGrid,
+    strict: bool,
+    stats: Stats,
+}
+
+impl Crossbar {
+    /// Creates a crossbar of `rows × cols` memristors, all in HRS (logic 0),
+    /// with strict MAGIC legality checking enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Crossbar {
+            bits: BitGrid::new(rows, cols),
+            armed: BitGrid::new(rows, cols),
+            strict: true,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Number of rows (wordlines).
+    pub fn rows(&self) -> usize {
+        self.bits.rows()
+    }
+
+    /// Number of columns (bitlines).
+    pub fn cols(&self) -> usize {
+        self.bits.cols()
+    }
+
+    /// Enables or disables strict MAGIC legality checking.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Whether strict MAGIC legality checking is enabled.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Accumulated cycle/operation statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters to zero (state is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+    }
+
+    /// Reads the logical value of cell `(r, c)` without consuming a cycle
+    /// (an observability helper, not a sensed read — see
+    /// [`Crossbar::exec_read_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if out of bounds.
+    pub fn bit(&self, r: usize, c: usize) -> bool {
+        self.bits.get(r, c)
+    }
+
+    /// Directly sets cell `(r, c)` without consuming a cycle. Used for test
+    /// setup and fault injection; marks the cell un-armed.
+    pub fn write_bit(&mut self, r: usize, c: usize, value: bool) {
+        self.bits.set(r, c, value);
+        self.armed.set(r, c, false);
+    }
+
+    /// Flips cell `(r, c)` in place — the soft-error primitive. Returns the
+    /// new value. Does not consume a cycle and does not change arming, since
+    /// a soft error is invisible to the controller.
+    pub fn flip_bit(&mut self, r: usize, c: usize) -> bool {
+        self.bits.flip(r, c)
+    }
+
+    /// Zero-cycle whole-row view.
+    pub fn row(&self, r: usize) -> Vec<bool> {
+        self.bits.row(r)
+    }
+
+    /// Zero-cycle whole-column view.
+    pub fn col(&self, c: usize) -> Vec<bool> {
+        self.bits.col(c)
+    }
+
+    /// Zero-cycle whole-row store (test setup / initial data load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != cols`.
+    pub fn write_row(&mut self, r: usize, bits: &[bool]) {
+        self.bits.set_row(r, bits);
+        for c in 0..self.cols() {
+            self.armed.set(r, c, false);
+        }
+    }
+
+    /// Zero-cycle whole-column store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows`.
+    pub fn write_col(&mut self, c: usize, bits: &[bool]) {
+        self.bits.set_col(c, bits);
+        for r in 0..self.rows() {
+            self.armed.set(r, c, false);
+        }
+    }
+
+    /// Borrow of the underlying bit matrix (for analyses like parity sweeps).
+    pub fn grid(&self) -> &BitGrid {
+        &self.bits
+    }
+
+    /// Bills one NOR-gate cycle driven by this array without touching its
+    /// own cells — inter-array transfers (see [`crate::transfer`]) execute
+    /// their gate on the destination but consume a cycle of the driving
+    /// array's lines.
+    pub(crate) fn charge_transfer_cycle(&mut self, cells: u64) {
+        self.stats.record(OpKind::Nor, cells);
+    }
+
+    fn check_col(&self, c: usize) -> Result<()> {
+        if c >= self.cols() {
+            Err(XbarError::ColOutOfBounds { index: c, cols: self.cols() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_row(&self, r: usize) -> Result<()> {
+        if r >= self.rows() {
+            Err(XbarError::RowOutOfBounds { index: r, rows: self.rows() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Executes a MAGIC NOR in parallel over the selected `rows`: for each
+    /// selected row `r`, `cell(r, out_col) <- NOR of cell(r, c)` for every
+    /// `c` in `in_cols`. One clock cycle.
+    ///
+    /// A single-element `in_cols` is a MAGIC NOT.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::NoInputs`] if `in_cols` is empty.
+    /// * [`XbarError::ColOutOfBounds`]/[`XbarError::RowOutOfBounds`] on bad
+    ///   indices.
+    /// * [`XbarError::InputOutputOverlap`] if `out_col` is also an input.
+    /// * [`XbarError::OutputNotInitialized`] in strict mode if any selected
+    ///   output cell is not armed.
+    pub fn exec_nor_rows(&mut self, in_cols: &[usize], out_col: usize, rows: &LineSet) -> Result<()> {
+        if in_cols.is_empty() {
+            return Err(XbarError::NoInputs);
+        }
+        for &c in in_cols {
+            self.check_col(c)?;
+            if c == out_col {
+                return Err(XbarError::InputOutputOverlap { line: c });
+            }
+        }
+        self.check_col(out_col)?;
+        let idx = rows.indices(self.rows());
+        for &r in &idx {
+            self.check_row(r)?;
+        }
+        if self.strict {
+            for &r in &idx {
+                if !self.armed.get(r, out_col) {
+                    return Err(XbarError::OutputNotInitialized { row: r, col: out_col });
+                }
+            }
+        }
+        for &r in &idx {
+            let any = in_cols.iter().any(|&c| self.bits.get(r, c));
+            // MAGIC: output armed at LRS(1); any '1' input discharges it.
+            self.bits.set(r, out_col, !any);
+            self.armed.set(r, out_col, false);
+        }
+        self.stats.record(OpKind::Nor, idx.len() as u64);
+        Ok(())
+    }
+
+    /// Column-parallel transpose of [`Crossbar::exec_nor_rows`]: for each
+    /// selected column `c`, `cell(out_row, c) <- NOR of cell(r, c)` for `r`
+    /// in `in_rows`. One clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Crossbar::exec_nor_rows`].
+    pub fn exec_nor_cols(&mut self, in_rows: &[usize], out_row: usize, cols: &LineSet) -> Result<()> {
+        if in_rows.is_empty() {
+            return Err(XbarError::NoInputs);
+        }
+        for &r in in_rows {
+            self.check_row(r)?;
+            if r == out_row {
+                return Err(XbarError::InputOutputOverlap { line: r });
+            }
+        }
+        self.check_row(out_row)?;
+        let idx = cols.indices(self.cols());
+        for &c in &idx {
+            self.check_col(c)?;
+        }
+        if self.strict {
+            for &c in &idx {
+                if !self.armed.get(out_row, c) {
+                    return Err(XbarError::OutputNotInitialized { row: out_row, col: c });
+                }
+            }
+        }
+        for &c in &idx {
+            let any = in_rows.iter().any(|&r| self.bits.get(r, c));
+            self.bits.set(out_row, c, !any);
+            self.armed.set(out_row, c, false);
+        }
+        self.stats.record(OpKind::Nor, idx.len() as u64);
+        Ok(())
+    }
+
+    /// Initializes (`SET` to LRS, logic 1) the cells at the intersection of
+    /// `cols` and the selected `rows`, arming them as MAGIC outputs. One
+    /// clock cycle regardless of how many cells are set — initialization of
+    /// many cells sharing line voltages is a single parallel operation.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds errors as in [`Crossbar::exec_nor_rows`].
+    pub fn exec_init_rows(&mut self, cols: &[usize], rows: &LineSet) -> Result<()> {
+        for &c in cols {
+            self.check_col(c)?;
+        }
+        let idx = rows.indices(self.rows());
+        for &r in &idx {
+            self.check_row(r)?;
+        }
+        for &r in &idx {
+            for &c in cols {
+                self.bits.set(r, c, true);
+                self.armed.set(r, c, true);
+            }
+        }
+        self.stats.record(OpKind::Init, (idx.len() * cols.len()) as u64);
+        Ok(())
+    }
+
+    /// Column-parallel transpose of [`Crossbar::exec_init_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds errors as in [`Crossbar::exec_nor_cols`].
+    pub fn exec_init_cols(&mut self, rows: &[usize], cols: &LineSet) -> Result<()> {
+        for &r in rows {
+            self.check_row(r)?;
+        }
+        let idx = cols.indices(self.cols());
+        for &c in &idx {
+            self.check_col(c)?;
+        }
+        for &c in &idx {
+            for &r in rows {
+                self.bits.set(r, c, true);
+                self.armed.set(r, c, true);
+            }
+        }
+        self.stats.record(OpKind::Init, (idx.len() * rows.len()) as u64);
+        Ok(())
+    }
+
+    /// Sensed read of a whole row through the bitline sense amplifiers. One
+    /// clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::RowOutOfBounds`] on a bad index.
+    pub fn exec_read_row(&mut self, r: usize) -> Result<Vec<bool>> {
+        self.check_row(r)?;
+        self.stats.record(OpKind::Read, self.cols() as u64);
+        Ok(self.bits.row(r))
+    }
+
+    /// Driven write of a whole row. One clock cycle. Written cells are
+    /// un-armed.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::RowOutOfBounds`] on a bad index;
+    /// [`XbarError::ShapeMismatch`] if `bits.len() != cols`.
+    pub fn exec_write_row(&mut self, r: usize, bits: &[bool]) -> Result<()> {
+        self.check_row(r)?;
+        if bits.len() != self.cols() {
+            return Err(XbarError::ShapeMismatch { expected: self.cols(), actual: bits.len() });
+        }
+        self.write_row(r, bits);
+        self.stats.record(OpKind::Write, self.cols() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed_xb(rows: usize, cols: usize) -> Crossbar {
+        let mut xb = Crossbar::new(rows, cols);
+        xb.set_strict(false);
+        xb
+    }
+
+    #[test]
+    fn nor_truth_table_single_row() {
+        for (a, b, want) in [
+            (false, false, true),
+            (false, true, false),
+            (true, false, false),
+            (true, true, false),
+        ] {
+            let mut xb = Crossbar::new(1, 3);
+            xb.write_bit(0, 0, a);
+            xb.write_bit(0, 1, b);
+            xb.exec_init_rows(&[2], &LineSet::One(0)).unwrap();
+            xb.exec_nor_rows(&[0, 1], 2, &LineSet::One(0)).unwrap();
+            assert_eq!(xb.bit(0, 2), want, "NOR({a},{b})");
+        }
+    }
+
+    #[test]
+    fn not_is_single_input_nor() {
+        let mut xb = Crossbar::new(2, 2);
+        xb.write_bit(0, 0, true);
+        xb.write_bit(1, 0, false);
+        xb.exec_init_rows(&[1], &LineSet::All).unwrap();
+        xb.exec_nor_rows(&[0], 1, &LineSet::All).unwrap();
+        assert!(!xb.bit(0, 1));
+        assert!(xb.bit(1, 1));
+    }
+
+    #[test]
+    fn row_parallelism_applies_same_gate_everywhere() {
+        let n = 64;
+        let mut xb = armed_xb(n, 3);
+        for r in 0..n {
+            xb.write_bit(r, 0, r % 2 == 0);
+            xb.write_bit(r, 1, r % 3 == 0);
+        }
+        xb.exec_init_rows(&[2], &LineSet::All).unwrap();
+        xb.exec_nor_rows(&[0, 1], 2, &LineSet::All).unwrap();
+        for r in 0..n {
+            let want = !((r % 2 == 0) || (r % 3 == 0));
+            assert_eq!(xb.bit(r, 2), want, "row {r}");
+        }
+        // The whole sweep costs exactly 2 cycles: init + gate.
+        assert_eq!(xb.stats().cycles, 2);
+    }
+
+    #[test]
+    fn column_parallel_nor() {
+        let mut xb = Crossbar::new(3, 4);
+        xb.write_row(0, &[true, false, true, false]);
+        xb.write_row(1, &[false, false, true, true]);
+        xb.exec_init_cols(&[2], &LineSet::All).unwrap();
+        xb.exec_nor_cols(&[0, 1], 2, &LineSet::All).unwrap();
+        assert_eq!(xb.row(2), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unarmed_output() {
+        let mut xb = Crossbar::new(1, 3);
+        let err = xb.exec_nor_rows(&[0, 1], 2, &LineSet::One(0)).unwrap_err();
+        assert_eq!(err, XbarError::OutputNotInitialized { row: 0, col: 2 });
+    }
+
+    #[test]
+    fn strict_mode_rejects_double_drive() {
+        let mut xb = Crossbar::new(1, 4);
+        xb.exec_init_rows(&[2], &LineSet::One(0)).unwrap();
+        xb.exec_nor_rows(&[0, 1], 2, &LineSet::One(0)).unwrap();
+        // Output no longer armed; a second gate into the same cell must fail.
+        let err = xb.exec_nor_rows(&[0, 3], 2, &LineSet::One(0)).unwrap_err();
+        assert!(matches!(err, XbarError::OutputNotInitialized { .. }));
+    }
+
+    #[test]
+    fn conventional_write_disarms() {
+        let mut xb = Crossbar::new(1, 2);
+        xb.exec_init_rows(&[1], &LineSet::One(0)).unwrap();
+        xb.exec_write_row(0, &[true, true]).unwrap();
+        let err = xb.exec_nor_rows(&[0], 1, &LineSet::One(0)).unwrap_err();
+        assert!(matches!(err, XbarError::OutputNotInitialized { .. }));
+    }
+
+    #[test]
+    fn input_output_overlap_rejected() {
+        let mut xb = armed_xb(1, 3);
+        let err = xb.exec_nor_rows(&[0, 2], 2, &LineSet::One(0)).unwrap_err();
+        assert_eq!(err, XbarError::InputOutputOverlap { line: 2 });
+    }
+
+    #[test]
+    fn no_inputs_rejected() {
+        let mut xb = armed_xb(1, 3);
+        assert_eq!(xb.exec_nor_rows(&[], 2, &LineSet::One(0)).unwrap_err(), XbarError::NoInputs);
+        assert_eq!(xb.exec_nor_cols(&[], 0, &LineSet::One(0)).unwrap_err(), XbarError::NoInputs);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut xb = armed_xb(2, 2);
+        assert!(matches!(
+            xb.exec_nor_rows(&[0], 5, &LineSet::One(0)),
+            Err(XbarError::ColOutOfBounds { index: 5, cols: 2 })
+        ));
+        assert!(matches!(
+            xb.exec_nor_rows(&[0], 1, &LineSet::One(7)),
+            Err(XbarError::RowOutOfBounds { index: 7, rows: 2 })
+        ));
+        assert!(matches!(xb.exec_read_row(9), Err(XbarError::RowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn read_and_write_rows_cost_cycles() {
+        let mut xb = Crossbar::new(2, 3);
+        xb.exec_write_row(0, &[true, false, true]).unwrap();
+        let row = xb.exec_read_row(0).unwrap();
+        assert_eq!(row, vec![true, false, true]);
+        assert_eq!(xb.stats().read_cycles, 1);
+        assert_eq!(xb.stats().write_cycles, 1);
+        assert_eq!(xb.stats().cycles, 2);
+    }
+
+    #[test]
+    fn write_row_shape_mismatch() {
+        let mut xb = Crossbar::new(1, 3);
+        assert!(matches!(
+            xb.exec_write_row(0, &[true]),
+            Err(XbarError::ShapeMismatch { expected: 3, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn flip_bit_models_soft_error_invisibly() {
+        let mut xb = Crossbar::new(1, 2);
+        xb.exec_init_rows(&[1], &LineSet::One(0)).unwrap();
+        let cycles_before = xb.stats().cycles;
+        xb.flip_bit(0, 1);
+        assert_eq!(xb.stats().cycles, cycles_before, "faults are free");
+        // The cell stays armed: the controller cannot see the fault, so a
+        // pending gate will still fire (now with a corrupted initial state).
+        xb.exec_nor_rows(&[0], 1, &LineSet::One(0)).unwrap();
+    }
+
+    #[test]
+    fn init_cols_arms_cells() {
+        let mut xb = Crossbar::new(3, 3);
+        xb.write_row(0, &[true, false, false]);
+        xb.exec_init_cols(&[1], &LineSet::All).unwrap();
+        xb.exec_nor_cols(&[0], 1, &LineSet::All).unwrap();
+        assert_eq!(xb.row(1), vec![false, true, true]);
+    }
+
+    #[test]
+    fn explicit_lineset_touches_only_selected_rows() {
+        let mut xb = Crossbar::new(4, 2);
+        xb.exec_init_rows(&[1], &LineSet::Explicit(vec![1, 3])).unwrap();
+        xb.exec_nor_rows(&[0], 1, &LineSet::Explicit(vec![1, 3])).unwrap();
+        // Rows 0 and 2 untouched (still 0), rows 1 and 3 got NOT(0) = 1.
+        assert!(!xb.bit(0, 1));
+        assert!(xb.bit(1, 1));
+        assert!(!xb.bit(2, 1));
+        assert!(xb.bit(3, 1));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for crossbar operations.
+
+use std::fmt;
+
+/// Errors raised by illegal crossbar or MAGIC operations.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{Crossbar, LineSet, XbarError};
+///
+/// let mut xb = Crossbar::new(2, 2);
+/// // Strict mode (default) rejects a NOR whose output was never initialized.
+/// let err = xb.exec_nor_rows(&[0], 1, &LineSet::All).unwrap_err();
+/// assert!(matches!(err, XbarError::OutputNotInitialized { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XbarError {
+    /// A row index was at or beyond the crossbar's row count.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the crossbar.
+        rows: usize,
+    },
+    /// A column index was at or beyond the crossbar's column count.
+    ColOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of columns in the crossbar.
+        cols: usize,
+    },
+    /// A MAGIC gate would drive an output memristor that has not been
+    /// initialized to LRS since it was last written (strict mode only).
+    OutputNotInitialized {
+        /// Row of the offending output cell.
+        row: usize,
+        /// Column of the offending output cell.
+        col: usize,
+    },
+    /// A gate listed the same cell as both an input and its output.
+    InputOutputOverlap {
+        /// The line index (column for row-parallel ops, row for
+        /// column-parallel ops) that appears on both sides.
+        line: usize,
+    },
+    /// A gate was issued with no input lines.
+    NoInputs,
+    /// Two crossbars involved in a transfer have incompatible shapes.
+    ShapeMismatch {
+        /// Length expected by the destination.
+        expected: usize,
+        /// Length provided by the source.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::RowOutOfBounds { index, rows } => {
+                write!(f, "row index {index} out of bounds for crossbar with {rows} rows")
+            }
+            XbarError::ColOutOfBounds { index, cols } => {
+                write!(f, "column index {index} out of bounds for crossbar with {cols} columns")
+            }
+            XbarError::OutputNotInitialized { row, col } => {
+                write!(f, "MAGIC output memristor ({row}, {col}) not initialized to LRS")
+            }
+            XbarError::InputOutputOverlap { line } => {
+                write!(f, "line {line} used as both gate input and output")
+            }
+            XbarError::NoInputs => write!(f, "MAGIC gate issued with no inputs"),
+            XbarError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected length {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<XbarError> = vec![
+            XbarError::RowOutOfBounds { index: 9, rows: 4 },
+            XbarError::ColOutOfBounds { index: 9, cols: 4 },
+            XbarError::OutputNotInitialized { row: 1, col: 2 },
+            XbarError::InputOutputOverlap { line: 3 },
+            XbarError::NoInputs,
+            XbarError::ShapeMismatch { expected: 8, actual: 4 },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XbarError>();
+    }
+}

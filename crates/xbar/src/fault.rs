@@ -1,0 +1,184 @@
+//! Soft-error injection for crossbar simulations.
+//!
+//! Soft errors in memristors (state drift, ion strikes, environmental upsets)
+//! are modelled as independent Bernoulli bit flips: each cell flips with
+//! probability `p` over the simulated exposure window. For the tiny
+//! per-bit probabilities typical of FIT-scale rates, the injector skips
+//! between flips geometrically instead of sampling every cell.
+
+use crate::crossbar::Crossbar;
+use rand::Rng;
+
+/// A record of one injected soft error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultRecord {
+    /// Row of the flipped cell.
+    pub row: usize,
+    /// Column of the flipped cell.
+    pub col: usize,
+}
+
+/// Injects uniformly distributed independent bit flips into a [`Crossbar`].
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{Crossbar, FaultInjector};
+/// use rand::SeedableRng;
+///
+/// let mut xb = Crossbar::new(64, 64);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let injector = FaultInjector::new(0.01);
+/// let faults = injector.inject(&mut xb, &mut rng);
+/// // Every flipped cell now reads 1 (flipped from the all-zero state).
+/// assert_eq!(faults.len(), xb.grid().count_ones());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    p: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with per-bit flip probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        FaultInjector { p }
+    }
+
+    /// Per-bit flip probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Flips each cell of `xb` independently with probability `p`, returning
+    /// the coordinates of every flip. Uses geometric skipping, so the cost is
+    /// proportional to the number of flips, not the number of cells.
+    pub fn inject<R: Rng + ?Sized>(&self, xb: &mut Crossbar, rng: &mut R) -> Vec<FaultRecord> {
+        let cols = xb.cols();
+        let total = xb.rows() * cols;
+        let mut out = Vec::new();
+        for idx in sample_indices(self.p, total, rng) {
+            let (r, c) = (idx / cols, idx % cols);
+            xb.flip_bit(r, c);
+            out.push(FaultRecord { row: r, col: c });
+        }
+        out
+    }
+
+    /// Samples how many of `total` independent cells flip, without touching
+    /// any crossbar — the cheap path for pure reliability Monte Carlo.
+    pub fn sample_flip_positions<R: Rng + ?Sized>(&self, total: usize, rng: &mut R) -> Vec<usize> {
+        sample_indices(self.p, total, rng)
+    }
+}
+
+/// Returns sorted indices in `0..total`, each included independently with
+/// probability `p`, via geometric gap sampling.
+fn sample_indices<R: Rng + ?Sized>(p: f64, total: usize, rng: &mut R) -> Vec<usize> {
+    let mut out = Vec::new();
+    if p <= 0.0 || total == 0 {
+        return out;
+    }
+    if p >= 1.0 {
+        out.extend(0..total);
+        return out;
+    }
+    // Geometric skipping: the gap until the next success of a Bernoulli(p)
+    // process is floor(ln(U) / ln(1-p)).
+    let ln_q = (1.0 - p).ln();
+    let mut i = 0usize;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / ln_q).floor();
+        if !gap.is_finite() || gap >= (total - i) as f64 {
+            break;
+        }
+        i += gap as usize;
+        out.push(i);
+        i += 1;
+        if i >= total {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let mut xb = Crossbar::new(32, 32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let faults = FaultInjector::new(0.0).inject(&mut xb, &mut rng);
+        assert!(faults.is_empty());
+        assert_eq!(xb.grid().count_ones(), 0);
+    }
+
+    #[test]
+    fn unit_probability_flips_everything() {
+        let mut xb = Crossbar::new(8, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let faults = FaultInjector::new(1.0).inject(&mut xb, &mut rng);
+        assert_eq!(faults.len(), 64);
+        assert_eq!(xb.grid().count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = FaultInjector::new(1.5);
+    }
+
+    #[test]
+    fn flip_count_matches_binomial_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = 0.01;
+        let total = 100_000;
+        let trials = 50;
+        let mut sum = 0usize;
+        for _ in 0..trials {
+            sum += FaultInjector::new(p).sample_flip_positions(total, &mut rng).len();
+        }
+        let mean = sum as f64 / trials as f64;
+        let expect = p * total as f64; // 1000
+        // 5-sigma band for a binomial mean over 50 trials (sigma ~ 4.4).
+        assert!((mean - expect).abs() < 25.0, "mean {mean} vs expected {expect}");
+    }
+
+    #[test]
+    fn sampled_indices_are_sorted_unique_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = FaultInjector::new(0.1).sample_flip_positions(1000, &mut rng);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1], "sorted and unique");
+        }
+        assert!(idx.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn inject_records_match_state_change() {
+        let mut xb = Crossbar::new(16, 16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let faults = FaultInjector::new(0.05).inject(&mut xb, &mut rng);
+        for f in &faults {
+            assert!(xb.bit(f.row, f.col), "flip from 0 reads 1");
+        }
+        assert_eq!(faults.len(), xb.grid().count_ones());
+    }
+
+    #[test]
+    fn tiny_probability_is_cheap_and_usually_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 1e-12 over 1e6 cells: expect ~1e-6 flips; must return instantly.
+        let idx = FaultInjector::new(1e-12).sample_flip_positions(1_000_000, &mut rng);
+        assert!(idx.len() <= 1);
+    }
+}

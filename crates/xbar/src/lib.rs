@@ -1,0 +1,56 @@
+//! Memristive crossbar array and MAGIC stateful-logic simulator.
+//!
+//! This crate is the device-level substrate of the `pimecc` workspace. It
+//! models a memristor crossbar array (`[Crossbar]`) at the *functional*
+//! abstraction used by the DAC'21 paper this workspace reproduces: every
+//! memristor stores one logical bit (LRS = logic `1`, HRS = logic `0`), and
+//! computation is performed with MAGIC stateful logic — NOR/NOT gates whose
+//! inputs and output are memristors of the same row (or column), executed in
+//! parallel across all selected rows (columns) in a single clock cycle.
+//!
+//! The simulator tracks:
+//!
+//! * logical state of every cell ([`BitGrid`]),
+//! * MAGIC legality — an output memristor must be initialized to LRS before a
+//!   gate drives it (strict mode, see [`Crossbar::set_strict`]),
+//! * cycle and per-operation-kind statistics ([`Stats`]),
+//! * injected soft errors ([`fault`]).
+//!
+//! # Example
+//!
+//! Compute `NOR` of two columns across every row of a crossbar in one cycle:
+//!
+//! ```
+//! use pimecc_xbar::{Crossbar, LineSet};
+//!
+//! # fn main() -> Result<(), pimecc_xbar::XbarError> {
+//! let mut xb = Crossbar::new(4, 8);
+//! xb.write_bit(0, 0, true);
+//! xb.write_bit(1, 1, true);
+//! // MAGIC requires the output column to be initialized to logic 1 first.
+//! xb.exec_init_rows(&[2], &LineSet::All)?;
+//! xb.exec_nor_rows(&[0, 1], 2, &LineSet::All)?;
+//! assert!(!xb.bit(0, 2)); // 1 NOR 0 = 0
+//! assert!(xb.bit(2, 2)); // 0 NOR 0 = 1
+//! assert_eq!(xb.stats().cycles, 2); // one init cycle + one gate cycle
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitgrid;
+pub mod crossbar;
+pub mod error;
+pub mod fault;
+pub mod lineset;
+pub mod stats;
+pub mod transfer;
+
+pub use bitgrid::BitGrid;
+pub use crossbar::Crossbar;
+pub use error::XbarError;
+pub use fault::{FaultInjector, FaultRecord};
+pub use lineset::LineSet;
+pub use stats::{OpKind, Stats};
+
+/// Crate-wide result alias for fallible crossbar operations.
+pub type Result<T> = std::result::Result<T, XbarError>;

@@ -1,0 +1,136 @@
+//! Selection of the rows (or columns) that participate in a parallel MAGIC
+//! operation.
+
+/// Which wordlines (or bitlines) a parallel MAGIC operation is applied to.
+///
+/// MAGIC applies the *same* gate simultaneously to every selected line in a
+/// single clock cycle; the selection is made by the controller driving the
+/// line voltages. `LineSet` mirrors that: `All` selects every line, `One`
+/// selects a single line (a plain sequential gate), `Range` a contiguous
+/// band and `Explicit` an arbitrary subset.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::LineSet;
+///
+/// assert_eq!(LineSet::All.indices(4), vec![0, 1, 2, 3]);
+/// assert_eq!(LineSet::One(2).indices(4), vec![2]);
+/// assert_eq!(LineSet::Range(1..3).indices(4), vec![1, 2]);
+/// assert_eq!(LineSet::Explicit(vec![3, 0]).indices(4), vec![3, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineSet {
+    /// Every line of the crossbar.
+    All,
+    /// A single line.
+    One(usize),
+    /// A half-open contiguous range of lines.
+    Range(std::ops::Range<usize>),
+    /// An arbitrary set of lines (order preserved, duplicates allowed but
+    /// pointless).
+    Explicit(Vec<usize>),
+}
+
+impl LineSet {
+    /// Materializes the selected indices given the crossbar's line count.
+    ///
+    /// Out-of-range indices are *not* filtered here; bounds are validated by
+    /// the executing crossbar so the error can carry context.
+    pub fn indices(&self, line_count: usize) -> Vec<usize> {
+        match self {
+            LineSet::All => (0..line_count).collect(),
+            LineSet::One(i) => vec![*i],
+            LineSet::Range(r) => r.clone().collect(),
+            LineSet::Explicit(v) => v.clone(),
+        }
+    }
+
+    /// Number of selected lines given the crossbar's line count.
+    pub fn len(&self, line_count: usize) -> usize {
+        match self {
+            LineSet::All => line_count,
+            LineSet::One(_) => 1,
+            LineSet::Range(r) => r.len(),
+            LineSet::Explicit(v) => v.len(),
+        }
+    }
+
+    /// True if the selection is empty for a crossbar with `line_count` lines.
+    pub fn is_empty(&self, line_count: usize) -> bool {
+        self.len(line_count) == 0
+    }
+
+    /// Largest index selected, if any (used for bounds validation).
+    pub fn max_index(&self, line_count: usize) -> Option<usize> {
+        match self {
+            LineSet::All => line_count.checked_sub(1),
+            LineSet::One(i) => Some(*i),
+            LineSet::Range(r) => r.end.checked_sub(1).filter(|_| !r.is_empty()),
+            LineSet::Explicit(v) => v.iter().copied().max(),
+        }
+    }
+}
+
+impl From<usize> for LineSet {
+    fn from(i: usize) -> Self {
+        LineSet::One(i)
+    }
+}
+
+impl From<std::ops::Range<usize>> for LineSet {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        LineSet::Range(r)
+    }
+}
+
+impl From<Vec<usize>> for LineSet {
+    fn from(v: Vec<usize>) -> Self {
+        LineSet::Explicit(v)
+    }
+}
+
+impl FromIterator<usize> for LineSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        LineSet::Explicit(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everything() {
+        assert_eq!(LineSet::All.indices(3), vec![0, 1, 2]);
+        assert_eq!(LineSet::All.len(3), 3);
+        assert_eq!(LineSet::All.max_index(3), Some(2));
+        assert!(LineSet::All.is_empty(0));
+    }
+
+    #[test]
+    fn one_and_from_usize() {
+        let ls: LineSet = 7usize.into();
+        assert_eq!(ls.indices(10), vec![7]);
+        assert_eq!(ls.max_index(10), Some(7));
+    }
+
+    #[test]
+    fn range_selection() {
+        let ls: LineSet = (2..5).into();
+        assert_eq!(ls.indices(10), vec![2, 3, 4]);
+        assert_eq!(ls.len(10), 3);
+        assert_eq!(ls.max_index(10), Some(4));
+        let empty: LineSet = (3..3).into();
+        assert!(empty.is_empty(10));
+        assert_eq!(empty.max_index(10), None);
+    }
+
+    #[test]
+    fn explicit_and_collect() {
+        let ls: LineSet = vec![4, 1].into();
+        assert_eq!(ls.indices(10), vec![4, 1]);
+        let collected: LineSet = [0usize, 9].into_iter().collect();
+        assert_eq!(collected.max_index(10), Some(9));
+    }
+}

@@ -1,0 +1,144 @@
+//! Cycle and operation accounting for crossbar simulation.
+
+/// The kinds of single-cycle operations a MAGIC crossbar controller issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Parallel NOR gate (includes 1-input NOR, i.e. NOT).
+    Nor,
+    /// Initialization of output memristors to LRS.
+    Init,
+    /// Conventional read through the sense amplifiers.
+    Read,
+    /// Conventional write through the drivers.
+    Write,
+}
+
+/// Running counters for a crossbar: total cycles plus per-kind breakdowns.
+///
+/// Every `exec_*` call on a [`crate::Crossbar`] costs exactly one clock
+/// cycle, matching the abstraction of SIMPLER and of the paper's Table I.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{Crossbar, LineSet};
+///
+/// # fn main() -> Result<(), pimecc_xbar::XbarError> {
+/// let mut xb = Crossbar::new(2, 4);
+/// xb.exec_init_rows(&[3], &LineSet::All)?;
+/// xb.exec_nor_rows(&[0, 1], 3, &LineSet::All)?;
+/// assert_eq!(xb.stats().init_cycles, 1);
+/// assert_eq!(xb.stats().nor_cycles, 1);
+/// assert_eq!(xb.stats().nor_gates, 2); // one gate per selected row
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Total clock cycles consumed.
+    pub cycles: u64,
+    /// Cycles spent on NOR/NOT gates.
+    pub nor_cycles: u64,
+    /// Cycles spent initializing cells to LRS.
+    pub init_cycles: u64,
+    /// Cycles spent on conventional reads.
+    pub read_cycles: u64,
+    /// Cycles spent on conventional writes.
+    pub write_cycles: u64,
+    /// Total individual NOR gates executed (one per selected line per op,
+    /// weighted by nothing else); a proxy for switching energy.
+    pub nor_gates: u64,
+    /// Total individual cells initialized.
+    pub cells_initialized: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a single-cycle operation of `kind` touching `cells` cells.
+    pub(crate) fn record(&mut self, kind: OpKind, cells: u64) {
+        self.cycles += 1;
+        match kind {
+            OpKind::Nor => {
+                self.nor_cycles += 1;
+                self.nor_gates += cells;
+            }
+            OpKind::Init => {
+                self.init_cycles += 1;
+                self.cells_initialized += cells;
+            }
+            OpKind::Read => self.read_cycles += 1,
+            OpKind::Write => self.write_cycles += 1,
+        }
+    }
+
+    /// Adds another stats block into this one (useful when aggregating over
+    /// multiple crossbars of one memory).
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.nor_cycles += other.nor_cycles;
+        self.init_cycles += other.init_cycles;
+        self.read_cycles += other.read_cycles;
+        self.write_cycles += other.write_cycles;
+        self.nor_gates += other.nor_gates;
+        self.cells_initialized += other.cells_initialized;
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cycles (nor {}, init {}, read {}, write {}); {} gates, {} cells init",
+            self.cycles,
+            self.nor_cycles,
+            self.init_cycles,
+            self.read_cycles,
+            self.write_cycles,
+            self.nor_gates,
+            self.cells_initialized
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_kind() {
+        let mut s = Stats::new();
+        s.record(OpKind::Nor, 5);
+        s.record(OpKind::Nor, 3);
+        s.record(OpKind::Init, 10);
+        s.record(OpKind::Read, 0);
+        s.record(OpKind::Write, 0);
+        assert_eq!(s.cycles, 5);
+        assert_eq!(s.nor_cycles, 2);
+        assert_eq!(s.nor_gates, 8);
+        assert_eq!(s.init_cycles, 1);
+        assert_eq!(s.cells_initialized, 10);
+        assert_eq!(s.read_cycles, 1);
+        assert_eq!(s.write_cycles, 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Stats::new();
+        a.record(OpKind::Nor, 2);
+        let mut b = Stats::new();
+        b.record(OpKind::Init, 4);
+        a.merge(&b);
+        assert_eq!(a.cycles, 2);
+        assert_eq!(a.nor_gates, 2);
+        assert_eq!(a.cells_initialized, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Stats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Inter-crossbar data movement with MAGIC NOT semantics.
+//!
+//! The DAC'21 architecture moves data between the MEM and the CMEM's
+//! processing crossbars "with MAGIC NOT" through the barrel shifters —
+//! electrically a stateful-logic gate whose inputs sit in one array and
+//! whose outputs sit in another, sharing line voltages through the
+//! connection fabric. Functionally: the destination cells (initialized to
+//! LRS) receive the *complement* of the source cells, one clock cycle for
+//! a whole line. Two chained transfers restore polarity; controllers
+//! usually track polarity instead and fold it into the XOR3 programs.
+
+use crate::crossbar::Crossbar;
+use crate::error::XbarError;
+use crate::Result;
+
+/// Copies the complement of row `src_row` of `src` into row `dst_row` of
+/// `dst` (MAGIC NOT transfer). The destination row must be armed
+/// (initialized) first; this function performs the init itself, so the
+/// complete transfer costs **two** cycles: one init on `dst`, one gate.
+///
+/// `width` cells are moved starting at column 0 of both arrays.
+///
+/// # Errors
+///
+/// * [`XbarError::RowOutOfBounds`] for bad row indices;
+/// * [`XbarError::ShapeMismatch`] if `width` exceeds either array.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{transfer, Crossbar};
+///
+/// # fn main() -> Result<(), pimecc_xbar::XbarError> {
+/// let mut mem = Crossbar::new(2, 4);
+/// let mut pc = Crossbar::new(3, 4);
+/// mem.write_row(0, &[true, false, true, false]);
+/// transfer::not_row(&mut mem, 0, &mut pc, 2, 4)?;
+/// assert_eq!(pc.row(2), vec![false, true, false, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn not_row(
+    src: &mut Crossbar,
+    src_row: usize,
+    dst: &mut Crossbar,
+    dst_row: usize,
+    width: usize,
+) -> Result<()> {
+    if src_row >= src.rows() {
+        return Err(XbarError::RowOutOfBounds { index: src_row, rows: src.rows() });
+    }
+    if dst_row >= dst.rows() {
+        return Err(XbarError::RowOutOfBounds { index: dst_row, rows: dst.rows() });
+    }
+    if width > src.cols() || width > dst.cols() {
+        return Err(XbarError::ShapeMismatch {
+            expected: width,
+            actual: src.cols().min(dst.cols()),
+        });
+    }
+    // Arm the destination cells (one parallel init cycle on dst).
+    let cols: Vec<usize> = (0..width).collect();
+    dst.exec_init_rows(&cols, &crate::LineSet::One(dst_row))?;
+    // The gate cycle: bill it on the source array (the driver of the
+    // shared lines), mirroring how the paper charges MEM cycles for
+    // MEM->CMEM moves.
+    let values: Vec<bool> = (0..width).map(|c| !src.bit(src_row, c)).collect();
+    for (c, v) in values.into_iter().enumerate() {
+        dst.write_bit(dst_row, c, v);
+    }
+    src.charge_transfer_cycle(width as u64);
+    Ok(())
+}
+
+/// Copies the complement of a permuted row: destination column `i`
+/// receives `NOT src[perm[i]]` — the shifter-in-the-path variant used for
+/// diagonal alignment.
+///
+/// # Errors
+///
+/// As [`not_row`], plus [`XbarError::ColOutOfBounds`] for a permutation
+/// entry beyond the source width.
+pub fn not_row_permuted(
+    src: &mut Crossbar,
+    src_row: usize,
+    dst: &mut Crossbar,
+    dst_row: usize,
+    perm: &[usize],
+) -> Result<()> {
+    if src_row >= src.rows() {
+        return Err(XbarError::RowOutOfBounds { index: src_row, rows: src.rows() });
+    }
+    if dst_row >= dst.rows() {
+        return Err(XbarError::RowOutOfBounds { index: dst_row, rows: dst.rows() });
+    }
+    if perm.len() > dst.cols() {
+        return Err(XbarError::ShapeMismatch { expected: perm.len(), actual: dst.cols() });
+    }
+    for &p in perm {
+        if p >= src.cols() {
+            return Err(XbarError::ColOutOfBounds { index: p, cols: src.cols() });
+        }
+    }
+    let cols: Vec<usize> = (0..perm.len()).collect();
+    dst.exec_init_rows(&cols, &crate::LineSet::One(dst_row))?;
+    let values: Vec<bool> = perm.iter().map(|&p| !src.bit(src_row, p)).collect();
+    for (c, v) in values.into_iter().enumerate() {
+        dst.write_bit(dst_row, c, v);
+    }
+    src.charge_transfer_cycle(perm.len() as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_inverts_and_costs_two_cycles() {
+        let mut mem = Crossbar::new(1, 8);
+        let mut pc = Crossbar::new(11, 8);
+        mem.write_row(0, &[true, true, false, false, true, false, true, false]);
+        not_row(&mut mem, 0, &mut pc, 0, 8).unwrap();
+        assert_eq!(
+            pc.row(0),
+            vec![false, false, true, true, false, true, false, true]
+        );
+        assert_eq!(pc.stats().init_cycles, 1);
+        assert_eq!(mem.stats().nor_cycles, 1, "gate cycle billed on the driver");
+    }
+
+    #[test]
+    fn double_transfer_restores_polarity() {
+        let mut a = Crossbar::new(1, 4);
+        let mut b = Crossbar::new(1, 4);
+        let mut c = Crossbar::new(1, 4);
+        a.write_row(0, &[true, false, false, true]);
+        not_row(&mut a, 0, &mut b, 0, 4).unwrap();
+        not_row(&mut b, 0, &mut c, 0, 4).unwrap();
+        assert_eq!(c.row(0), a.row(0));
+    }
+
+    #[test]
+    fn partial_width_leaves_tail_untouched() {
+        let mut a = Crossbar::new(1, 8);
+        let mut b = Crossbar::new(1, 8);
+        a.write_row(0, &[true; 8]);
+        b.write_bit(0, 7, true);
+        not_row(&mut a, 0, &mut b, 0, 4).unwrap();
+        assert_eq!(b.row(0), vec![false, false, false, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn permuted_transfer_applies_rotation() {
+        let mut a = Crossbar::new(1, 6);
+        let mut b = Crossbar::new(1, 6);
+        a.write_row(0, &[true, false, false, false, false, false]);
+        // Rotate left by 2 within the 6-wide group, with inversion.
+        let perm: Vec<usize> = (0..6).map(|i| (i + 2) % 6).collect();
+        not_row_permuted(&mut a, 0, &mut b, 0, &perm).unwrap();
+        // dst[4] reads src[(4+2)%6] = src[0] = 1 -> inverted 0; everything
+        // else reads 0 -> 1.
+        assert_eq!(b.row(0), vec![true, true, true, true, false, true]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut a = Crossbar::new(1, 4);
+        let mut b = Crossbar::new(1, 4);
+        assert!(matches!(
+            not_row(&mut a, 5, &mut b, 0, 4),
+            Err(XbarError::RowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            not_row(&mut a, 0, &mut b, 9, 4),
+            Err(XbarError::RowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            not_row(&mut a, 0, &mut b, 0, 9),
+            Err(XbarError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            not_row_permuted(&mut a, 0, &mut b, 0, &[0, 9]),
+            Err(XbarError::ColOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the crossbar substrate: the MAGIC simulator must
+//! agree with a plain software model of NOR on arbitrary data, and the
+//! `BitGrid` must behave like a set of coordinates.
+
+use pimecc_xbar::{BitGrid, Crossbar, FaultInjector, LineSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn nor_rows_matches_software_model(
+        rows in 1usize..24,
+        data in proptest::collection::vec(any::<bool>(), 24 * 8),
+        in_a in 0usize..6,
+        in_b in 0usize..6,
+    ) {
+        let cols = 8;
+        let out_col = 7;
+        let mut xb = Crossbar::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols - 1 {
+                xb.write_bit(r, c, data[r * cols + c]);
+            }
+        }
+        xb.exec_init_rows(&[out_col], &LineSet::All).unwrap();
+        xb.exec_nor_rows(&[in_a, in_b], out_col, &LineSet::All).unwrap();
+        for r in 0..rows {
+            let want = !(data[r * cols + in_a] | data[r * cols + in_b]);
+            prop_assert_eq!(xb.bit(r, out_col), want);
+        }
+    }
+
+    #[test]
+    fn nor_cols_is_transpose_of_nor_rows(
+        n in 2usize..16,
+        data in proptest::collection::vec(any::<bool>(), 16 * 16),
+    ) {
+        // Run the same logical computation row-wise on M and column-wise on
+        // M^T; results must be transposes of each other.
+        let mut row_xb = Crossbar::new(n, n + 1);
+        let mut col_xb = Crossbar::new(n + 1, n);
+        for r in 0..n {
+            for c in 0..n {
+                let bit = data[r * 16 + c];
+                row_xb.write_bit(r, c, bit);
+                col_xb.write_bit(c, r, bit);
+            }
+        }
+        let inputs: Vec<usize> = (0..n).collect();
+        row_xb.exec_init_rows(&[n], &LineSet::All).unwrap();
+        row_xb.exec_nor_rows(&inputs, n, &LineSet::All).unwrap();
+        col_xb.exec_init_cols(&[n], &LineSet::All).unwrap();
+        col_xb.exec_nor_cols(&inputs, n, &LineSet::All).unwrap();
+        for r in 0..n {
+            prop_assert_eq!(row_xb.bit(r, n), col_xb.bit(n, r));
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_operation_count(ops in 1usize..40) {
+        let mut xb = Crossbar::new(4, 4);
+        xb.set_strict(false);
+        for i in 0..ops {
+            match i % 3 {
+                0 => xb.exec_init_rows(&[3], &LineSet::All).unwrap(),
+                1 => xb.exec_nor_rows(&[0, 1], 3, &LineSet::All).unwrap(),
+                _ => { xb.exec_read_row(0).unwrap(); }
+            }
+        }
+        prop_assert_eq!(xb.stats().cycles, ops as u64);
+    }
+
+    #[test]
+    fn bitgrid_diff_is_symmetric_and_exact(
+        coords_a in proptest::collection::btree_set((0usize..12, 0usize..70), 0..20),
+        coords_b in proptest::collection::btree_set((0usize..12, 0usize..70), 0..20),
+    ) {
+        let mut a = BitGrid::new(12, 70);
+        let mut b = BitGrid::new(12, 70);
+        for &(r, c) in &coords_a { a.set(r, c, true); }
+        for &(r, c) in &coords_b { b.set(r, c, true); }
+        let d1 = a.diff(&b);
+        let d2 = b.diff(&a);
+        prop_assert_eq!(&d1, &d2);
+        let sym: std::collections::BTreeSet<_> =
+            coords_a.symmetric_difference(&coords_b).copied().collect();
+        let got: std::collections::BTreeSet<_> = d1.into_iter().collect();
+        prop_assert_eq!(got, sym);
+    }
+
+    #[test]
+    fn fault_injection_flip_count_equals_record_count(p in 0.0f64..0.3, seed in 0u64..1000) {
+        let mut xb = Crossbar::new(32, 32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = FaultInjector::new(p).inject(&mut xb, &mut rng);
+        prop_assert_eq!(faults.len(), xb.grid().count_ones());
+    }
+
+    #[test]
+    fn double_injection_with_same_plan_reverts(seed in 0u64..1000) {
+        // Flipping the exact same cells twice restores the original state.
+        let mut xb = Crossbar::new(16, 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = FaultInjector::new(0.2).inject(&mut xb, &mut rng);
+        for f in &faults {
+            xb.flip_bit(f.row, f.col);
+        }
+        prop_assert_eq!(xb.grid().count_ones(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Map every EPFL-style benchmark circuit with SIMPLER, validate the
+//! mapped program against the circuit's reference model on a real MAGIC
+//! crossbar simulation, and print the Table I latency summary.
+//!
+//! Run with: `cargo run --release --example benchmark_mapping`
+
+use pimecc::netlist::generators::Benchmark;
+use pimecc::simpler::{map_auto, min_processing_crossbars, schedule_with_ecc, EccConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    println!(
+        "{:<10} {:>7} {:>7} {:>6} {:>9} {:>9} {:>8} {:>4} {:>6}",
+        "bench", "gates", "row", "peak", "baseline", "proposed", "ovh(%)", "PC", "valid"
+    );
+    let mut logsum = 0.0;
+    for b in Benchmark::ALL {
+        let circuit = b.build();
+        let nor = circuit.netlist.to_nor();
+        let (program, row) = map_auto(&nor, 1020)?;
+
+        // Validate: run the mapped program on the crossbar simulator and
+        // compare with the circuit's software reference model.
+        let mut valid = true;
+        for _ in 0..3 {
+            let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+            if program.execute(&inputs)? != (circuit.reference)(&inputs) {
+                valid = false;
+            }
+        }
+
+        let report = schedule_with_ecc(&program, &EccConfig::default());
+        let pcs = min_processing_crossbars(&program, &EccConfig::default(), 16);
+        logsum += (report.total_cycles as f64 / report.baseline_cycles as f64).ln();
+        println!(
+            "{:<10} {:>7} {:>7} {:>6} {:>9} {:>9} {:>8.2} {:>4} {:>6}",
+            b.name(),
+            nor.num_gates(),
+            row,
+            program.peak_live,
+            report.baseline_cycles,
+            report.total_cycles,
+            report.overhead_pct(),
+            pcs,
+            valid
+        );
+    }
+    println!(
+        "\ngeomean overhead {:.2}% (paper: 26.23%)",
+        ((logsum / 11.0f64).exp() - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a protected memory, compute with MAGIC, survive a
+//! soft error.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pimecc::core::{BlockGeometry, ProtectedMemory};
+use pimecc::xbar::{BitGrid, LineSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small crossbar: 45x45 memristors in 15x15 ECC blocks (the paper
+    // uses n = 1020; everything here scales).
+    let geom = BlockGeometry::new(45, 15)?;
+    let mut pm = ProtectedMemory::new(geom)?;
+    println!(
+        "protected memory: {}x{} MEM, {} blocks, m = {}",
+        geom.n(),
+        geom.n(),
+        geom.block_count(),
+        geom.m()
+    );
+
+    // Load data: columns 0 and 1 hold operand bits for every row. The
+    // load path computes all check-bits, like ECC-on-write in a DRAM.
+    let mut data = BitGrid::new(geom.n(), geom.n());
+    for r in 0..geom.n() {
+        data.set(r, 0, r % 3 == 0);
+        data.set(r, 1, r % 5 == 0);
+    }
+    pm.load_grid(&data);
+    println!("loaded operands; ECC consistent = {}", pm.verify_consistency().is_ok());
+
+    // Compute NOR(col0, col1) -> col2 across ALL rows in two cycles; the
+    // machine updates the diagonal check-bits automatically.
+    pm.exec_init_rows(&[2], &LineSet::All)?;
+    pm.exec_nor_rows(&[0, 1], 2, &LineSet::All)?;
+    println!(
+        "after row-parallel NOR: {} critical ops, {} XOR3 programs, consistent = {}",
+        pm.stats().critical_ops,
+        pm.stats().pc_xor3_ops,
+        pm.verify_consistency().is_ok()
+    );
+
+    // A soft error strikes the result column...
+    let victim = (7, 2);
+    let good = pm.bit(victim.0, victim.1);
+    pm.inject_fault(victim.0, victim.1);
+    println!(
+        "injected soft error at {victim:?}: {} -> {}",
+        good,
+        pm.bit(victim.0, victim.1)
+    );
+
+    // ...and the periodic check finds and repairs it.
+    let report = pm.check_all()?;
+    println!(
+        "periodic check: {} blocks checked, {} corrected, {} uncorrectable, value restored = {}",
+        report.checked,
+        report.corrected,
+        report.uncorrectable,
+        pm.bit(victim.0, victim.1) == good
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! `pimecc` — command-line front end for the SIMPLER/ECC flow.
+//!
+//! ```text
+//! pimecc map <circuit.(blif|aag)> [--row N]        map to a crossbar row, print the listing
+//! pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]
+//!                                                  ECC latency report for the mapped circuit
+//! pimecc convert <circuit.(blif|aag)> <blif|aag>   convert between formats (stdout)
+//! pimecc bench <name>                              generate a built-in benchmark as BLIF (stdout)
+//! pimecc area [n m k]                              device-count table (paper Table II)
+//! ```
+//!
+//! Exit code 0 on success, 1 on bad usage, 2 on processing errors.
+
+use pimecc::core::AreaModel;
+use pimecc::netlist::aiger::{parse_aag, write_aag};
+use pimecc::netlist::blif::{parse_blif, write_blif};
+use pimecc::netlist::generators::Benchmark;
+use pimecc::netlist::Netlist;
+use pimecc::simpler::{
+    map_auto, min_processing_crossbars, schedule_with_ecc, write_listing, EccConfig,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pimecc map <circuit.(blif|aag)> [--row N]\n  pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]\n  pimecc convert <circuit.(blif|aag)> <blif|aag>\n  pimecc bench <name>\n  pimecc area [n m k]"
+    );
+    ExitCode::from(1)
+}
+
+fn load_circuit(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".aag") {
+        parse_aag(&text).map_err(|e| format!("parsing {path}: {e}"))
+    } else {
+        parse_blif(&text).map_err(|e| format!("parsing {path}: {e}"))
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("map: missing circuit path")?;
+    let netlist = load_circuit(path)?;
+    let nor = netlist.to_nor();
+    let base_row = flag_value(args, "--row").unwrap_or(1020);
+    let (program, row) =
+        map_auto(&nor, base_row).map_err(|e| format!("mapping failed: {e}"))?;
+    eprintln!(
+        "mapped {} gates into a {}-cell row: {} cycles ({} gate + {} init), peak live {}",
+        nor.num_gates(),
+        row,
+        program.cycles(),
+        program.gate_cycles(),
+        program.init_cycles(),
+        program.peak_live
+    );
+    print!("{}", write_listing(&program));
+    Ok(())
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("schedule: missing circuit path")?;
+    let netlist = load_circuit(path)?;
+    let nor = netlist.to_nor();
+    let (program, row) =
+        map_auto(&nor, flag_value(args, "--row").unwrap_or(1020)).map_err(|e| e.to_string())?;
+    let cfg = EccConfig {
+        num_pcs: flag_value(args, "--pcs").unwrap_or(3),
+        m: flag_value(args, "--m").unwrap_or(15),
+        check_inputs: !args.iter().any(|a| a == "--no-check"),
+        ..EccConfig::default()
+    };
+    let report = schedule_with_ecc(&program, &cfg);
+    let pcs = min_processing_crossbars(&program, &cfg, 16);
+    println!("circuit:        {path}");
+    println!("row size:       {row}");
+    println!("baseline:       {} cycles", report.baseline_cycles);
+    println!("with ECC:       {} cycles (k = {})", report.total_cycles, cfg.num_pcs);
+    println!("overhead:       {:.2}%", report.overhead_pct());
+    println!("critical ops:   {}", report.critical_ops);
+    println!("MEM stalls:     {}", report.mem_stall_cycles);
+    println!("transfers:      {}", report.transfer_cycles);
+    println!("min PCs (knee): {pcs}");
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("convert: missing circuit path")?;
+    let target = args.get(1).map(String::as_str).ok_or("convert: missing target format")?;
+    let netlist = load_circuit(path)?;
+    match target {
+        "blif" => print!("{}", write_blif(&netlist, "converted")),
+        "aag" => print!("{}", write_aag(&netlist)),
+        other => return Err(format!("unknown target format '{other}' (use blif or aag)")),
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("bench: missing benchmark name")?;
+    let bench = Benchmark::ALL
+        .iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+            format!("unknown benchmark '{name}'; available: {}", names.join(", "))
+        })?;
+    let circuit = bench.build();
+    print!("{}", write_blif(&circuit.netlist, bench.name()));
+    Ok(())
+}
+
+fn cmd_area(args: &[String]) -> Result<(), String> {
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let model = match nums.as_slice() {
+        [n, m, k] => AreaModel::new(*n, *m, *k).map_err(|e| e.to_string())?,
+        [] => AreaModel::paper().map_err(|e| e.to_string())?,
+        _ => return Err("area takes zero or three arguments (n m k)".into()),
+    };
+    print!("{model}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "map" => cmd_map(rest),
+        "schedule" => cmd_schedule(rest),
+        "convert" => cmd_convert(rest),
+        "bench" => cmd_bench(rest),
+        "area" => cmd_area(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

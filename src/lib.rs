@@ -1,0 +1,46 @@
+//! `pimecc` — a reproduction of *"Efficient Error-Correcting-Code Mechanism
+//! for High-Throughput Memristive Processing-in-Memory"* (Leitersdorf,
+//! Perach, Ronen, Kvatinsky — DAC 2021).
+//!
+//! The paper maintains ECC check-bits along the *wrap-around diagonals* of
+//! m×m blocks of a MAGIC crossbar array, so that row-parallel and
+//! column-parallel stateful-logic operations each touch at most one data
+//! bit per check-bit — enabling continuous, Θ(1), in-memory ECC updates
+//! through barrel shifters and pipelined XOR3 processing crossbars.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`xbar`] — memristive crossbar + MAGIC stateful-logic simulator;
+//! * [`netlist`] — gate IR, NOR lowering, EPFL-style benchmark generators;
+//! * [`simpler`] — the SIMPLER single-row mapper + ECC schedule extension;
+//! * [`core`] — the diagonal ECC codec, CMEM architecture, protected
+//!   memory machine and area model;
+//! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pimecc::core::{BlockGeometry, ProtectedMemory};
+//! use pimecc::xbar::LineSet;
+//!
+//! # fn main() -> Result<(), pimecc::core::CoreError> {
+//! let mut pm = ProtectedMemory::new(BlockGeometry::new(30, 15)?)?;
+//! pm.exec_init_rows(&[4], &LineSet::All)?;
+//! pm.exec_nor_rows(&[0, 1], 4, &LineSet::All)?;
+//! pm.inject_fault(3, 4);
+//! assert_eq!(pm.check_all()?.corrected, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub mod runner;
+
+pub use pimecc_core as core;
+pub use pimecc_netlist as netlist;
+pub use pimecc_reliability as reliability;
+pub use pimecc_simpler as simpler;
+pub use pimecc_xbar as xbar;
+pub use runner::{ProtectedRunner, RunOutcome};

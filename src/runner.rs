@@ -1,0 +1,257 @@
+//! End-to-end execution of SIMPLER-mapped programs on the ECC-protected
+//! memory — the full paper flow in one call.
+//!
+//! [`ProtectedRunner`] owns a [`ProtectedMemory`] and executes a mapped
+//! [`Program`] on one of its rows:
+//!
+//! 1. the function inputs are loaded into the row (ECC computed on write);
+//! 2. the blocks holding the row are ECC-checked — the paper's
+//!    pre-execution input check, which repairs any soft error that struck
+//!    the inputs since they were written;
+//! 3. every program step executes with the machine's automatic check-bit
+//!    maintenance (critical-operation protocol);
+//! 4. outputs are read back, and the ECC is left consistent for the next
+//!    function.
+
+use pimecc_core::{BlockGeometry, CheckReport, CoreError, ProtectedMemory};
+use pimecc_simpler::{Program, Step};
+use pimecc_xbar::{BitGrid, LineSet};
+
+/// Outcome of one protected program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The program's primary outputs.
+    pub outputs: Vec<bool>,
+    /// Result of the pre-execution input check.
+    pub input_check: CheckReport,
+    /// Critical operations the machine performed for this run.
+    pub critical_ops: u64,
+}
+
+/// Executes mapped programs on rows of an ECC-protected crossbar.
+///
+/// # Example
+///
+/// ```
+/// use pimecc::runner::ProtectedRunner;
+/// use pimecc::netlist::NetlistBuilder;
+/// use pimecc::simpler::{map, MapperConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let g = b.xor(x, y);
+/// b.output(g);
+/// let program = map(&b.finish().to_nor(), &MapperConfig { row_size: 30 })?;
+///
+/// let mut runner = ProtectedRunner::new(30, 3)?;
+/// let out = runner.run(&program, 0, &[true, false])?;
+/// assert_eq!(out.outputs, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProtectedRunner {
+    memory: ProtectedMemory,
+}
+
+impl ProtectedRunner {
+    /// Creates a runner over a fresh `n×n` protected crossbar with `m×m`
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn new(n: usize, m: usize) -> Result<Self, CoreError> {
+        Ok(ProtectedRunner { memory: ProtectedMemory::new(BlockGeometry::new(n, m)?)? })
+    }
+
+    /// Wraps an existing protected memory.
+    pub fn from_memory(memory: ProtectedMemory) -> Self {
+        ProtectedRunner { memory }
+    }
+
+    /// Read access to the underlying machine (stats, consistency checks).
+    pub fn memory(&self) -> &ProtectedMemory {
+        &self.memory
+    }
+
+    /// Consumes the runner, returning the machine.
+    pub fn into_memory(self) -> ProtectedMemory {
+        self.memory
+    }
+
+    /// Injects a soft error (forwarded to the machine, for campaigns).
+    pub fn inject_fault(&mut self, r: usize, c: usize) {
+        self.memory.inject_fault(r, c);
+    }
+
+    fn check_fit(&self, program: &Program, row: usize) -> Result<(), CoreError> {
+        let n = self.memory.geometry().n();
+        if program.row_size > n || row >= n {
+            return Err(CoreError::OutOfBounds { row, col: program.row_size, n });
+        }
+        Ok(())
+    }
+
+    /// Loads the function inputs into cells `0..num_inputs` of `row`
+    /// through the write-with-ECC path, zeroing the rest of the memory.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if the program is wider than the
+    /// crossbar or `row` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != program.num_inputs`.
+    pub fn load_inputs(
+        &mut self,
+        program: &Program,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<(), CoreError> {
+        assert_eq!(inputs.len(), program.num_inputs, "input arity mismatch");
+        self.check_fit(program, row)?;
+        let n = self.memory.geometry().n();
+        let mut grid = BitGrid::new(n, n);
+        for (i, &v) in inputs.iter().enumerate() {
+            grid.set(row, i, v);
+        }
+        self.memory.load_grid(&grid);
+        Ok(())
+    }
+
+    /// Executes a previously loaded program: pre-execution input check of
+    /// the block-row, the program steps under continuous ECC maintenance,
+    /// then output readback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds and MAGIC legality errors.
+    pub fn execute(&mut self, program: &Program, row: usize) -> Result<RunOutcome, CoreError> {
+        self.check_fit(program, row)?;
+        let block_row = row / self.memory.geometry().m();
+        let input_check = self.memory.check_block_row(block_row)?;
+
+        let criticals_before = self.memory.stats().critical_ops;
+        for step in &program.steps {
+            match step {
+                Step::Init { cells } => {
+                    self.memory.exec_init_rows(cells, &LineSet::One(row))?
+                }
+                Step::Gate { inputs, output, .. } => {
+                    self.memory.exec_nor_rows(inputs, *output, &LineSet::One(row))?
+                }
+            }
+        }
+        let outputs =
+            program.output_cells.iter().map(|&c| self.memory.bit(row, c)).collect();
+        Ok(RunOutcome {
+            outputs,
+            input_check,
+            critical_ops: self.memory.stats().critical_ops - criticals_before,
+        })
+    }
+
+    /// Convenience: [`ProtectedRunner::load_inputs`] followed by
+    /// [`ProtectedRunner::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds and MAGIC legality errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != program.num_inputs`.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<RunOutcome, CoreError> {
+        self.load_inputs(program, row, inputs)?;
+        self.execute(program, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimecc_netlist::NetlistBuilder;
+    use pimecc_simpler::{map, MapperConfig};
+
+    fn small_program() -> (Program, pimecc_netlist::Netlist) {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(3);
+        let g1 = b.xor(ins[0], ins[1]);
+        let g2 = b.mux(ins[2], g1, ins[0]);
+        b.output(g1);
+        b.output(g2);
+        let nl = b.finish();
+        let p = map(&nl.to_nor(), &MapperConfig { row_size: 30 }).expect("maps");
+        (p, nl)
+    }
+
+    #[test]
+    fn runs_exhaustively_correct() {
+        let (p, nl) = small_program();
+        let mut runner = ProtectedRunner::new(30, 3).expect("runner");
+        for v in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+            let out = runner.run(&p, 0, &inputs).expect("runs");
+            assert_eq!(out.outputs, nl.eval(&inputs), "v={v}");
+            assert!(runner.memory().verify_consistency().is_ok());
+        }
+    }
+
+    #[test]
+    fn any_row_works() {
+        let (p, nl) = small_program();
+        let mut runner = ProtectedRunner::new(30, 5).expect("runner");
+        let inputs = [true, false, true];
+        for row in [0usize, 7, 29] {
+            let out = runner.run(&p, row, &inputs).expect("runs");
+            assert_eq!(out.outputs, nl.eval(&inputs), "row {row}");
+        }
+    }
+
+    #[test]
+    fn input_fault_is_repaired_by_the_precheck() {
+        let (p, nl) = small_program();
+        let inputs = [true, true, false];
+        for victim in 0..3 {
+            let mut runner = ProtectedRunner::new(30, 3).expect("runner");
+            runner.load_inputs(&p, 0, &inputs).expect("loads");
+            // A soft error strikes input cell `victim` before execution...
+            runner.inject_fault(0, victim);
+            let out = runner.execute(&p, 0).expect("runs");
+            // ...the pre-execution check repairs it, so the result is
+            // computed from the intended inputs.
+            assert_eq!(out.input_check.corrected, 1, "victim {victim}");
+            assert_eq!(out.outputs, nl.eval(&inputs), "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_no_corrections() {
+        let (p, nl) = small_program();
+        let mut runner = ProtectedRunner::new(30, 3).expect("runner");
+        let inputs = [true, true, false];
+        let clean = runner.run(&p, 0, &inputs).expect("runs");
+        assert_eq!(clean.input_check.corrected, 0);
+        assert_eq!(clean.outputs, nl.eval(&inputs));
+        assert!(clean.critical_ops >= 2);
+    }
+
+    #[test]
+    fn oversized_program_is_rejected() {
+        let (p, _) = small_program(); // row_size 30
+        let mut runner = ProtectedRunner::new(9, 3).expect("runner");
+        assert!(matches!(
+            runner.run(&p, 0, &[false, false, false]),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Interop integration tests: BLIF round-trips through the mapper,
+//! listing round-trips through the crossbar executor, the equivalence
+//! checker guarding the whole transformation chain, and the protected
+//! runner on a real benchmark.
+
+use pimecc::netlist::blif::{parse_blif, write_blif};
+use pimecc::netlist::equiv::{check_equivalence, Equivalence};
+use pimecc::netlist::generators::{Benchmark, ExtraBenchmark};
+use pimecc::simpler::{map, map_auto, parse_listing, write_listing, MapperConfig};
+use pimecc::ProtectedRunner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn blif_export_import_then_map_and_execute() {
+    // dec exported to BLIF, re-imported, mapped with SIMPLER, executed on
+    // the crossbar simulator — the full external-tool interchange loop.
+    let original = Benchmark::Dec.build();
+    let text = write_blif(&original.netlist, "dec");
+    let imported = parse_blif(&text).expect("re-imports");
+    let verdict = check_equivalence(&original.netlist, &imported, 8, 0, 0);
+    assert_eq!(verdict, Equivalence::Equivalent, "BLIF round trip is lossless");
+
+    let (program, _) = map_auto(&imported.to_nor(), 1020).expect("maps");
+    for addr in [0usize, 1, 128, 255] {
+        let inputs: Vec<bool> = (0..8).map(|i| addr >> i & 1 != 0).collect();
+        let out = program.execute(&inputs).expect("legal program");
+        assert_eq!(out, (original.reference)(&inputs), "addr {addr}");
+    }
+}
+
+#[test]
+fn listing_round_trip_for_every_benchmark() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for b in Benchmark::ALL {
+        let nor = b.build().netlist.to_nor();
+        let (program, _) = map_auto(&nor, 1020).expect("maps");
+        let text = write_listing(&program);
+        let parsed = parse_listing(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
+        assert_eq!(parsed.steps.len(), program.steps.len(), "{b}");
+        assert_eq!(parsed.critical_count(), program.critical_count(), "{b}");
+        let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+        assert_eq!(
+            parsed.execute(&inputs).expect("legal"),
+            program.execute(&inputs).expect("legal"),
+            "{b}"
+        );
+    }
+}
+
+#[test]
+fn equivalence_checker_guards_nor_lowering_of_extras() {
+    for e in ExtraBenchmark::ALL {
+        let c = e.build();
+        // The NOR form evaluated through a rebuilt Netlist facade: compare
+        // by direct sampling (NorNetlist has its own eval).
+        let nor = c.netlist.to_nor();
+        let mut rng = StdRng::seed_from_u64(e as u64 + 9);
+        for _ in 0..5 {
+            let inputs: Vec<bool> = (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
+            assert_eq!(nor.eval(&inputs), c.netlist.eval(&inputs), "{e}");
+        }
+    }
+}
+
+#[test]
+fn protected_runner_executes_int2float_with_fault_recovery() {
+    // A complete paper-flow run of a real Table I benchmark inside the
+    // ECC-protected memory, including a pre-execution input repair.
+    let circuit = Benchmark::Int2float.build();
+    let nor = circuit.netlist.to_nor();
+    let program = map(&nor, &MapperConfig { row_size: 255 }).expect("fits a 255-cell row");
+    let mut runner = ProtectedRunner::new(255, 5).expect("runner");
+
+    for x in [0u32, 1, 0b100_0000_0000, 0x7FF] {
+        let inputs: Vec<bool> = (0..11).map(|i| x >> i & 1 != 0).collect();
+        runner.load_inputs(&program, 0, &inputs).expect("loads");
+        // Strike one input bit.
+        runner.inject_fault(0, (x as usize) % 11);
+        let out = runner.execute(&program, 0).expect("runs");
+        assert_eq!(out.input_check.corrected, 1, "x={x}");
+        assert_eq!(out.outputs, (circuit.reference)(&inputs), "x={x}");
+        assert!(runner.memory().verify_consistency().is_ok());
+    }
+}
+
+#[test]
+fn memory_array_hosts_simd_computation_with_faults() {
+    use pimecc::core::{BlockGeometry, MemoryArray};
+    use pimecc::xbar::LineSet;
+    let geom = BlockGeometry::new(30, 3).expect("geom");
+    let mut array = MemoryArray::new(geom, 2).expect("array");
+
+    // Crossbar 0 computes; crossbar 1 sits idle with a latent fault.
+    array.inject_fault_at(30 * 30 + 17);
+    let xb = array.crossbar_mut(0);
+    xb.exec_init_rows(&[5], &LineSet::All).expect("init");
+    xb.exec_nor_rows(&[0, 1], 5, &LineSet::All).expect("nor");
+
+    let report = array.check_all().expect("check");
+    assert_eq!(report.corrected, 1);
+    assert!(array.verify_consistency().is_ok());
+}
+
+#[test]
+fn energy_accounting_tracks_machine_activity() {
+    use pimecc::core::{BlockGeometry, EnergyModel, ProtectedMemory};
+    use pimecc::xbar::LineSet;
+    let mut pm = ProtectedMemory::new(BlockGeometry::new(30, 3).expect("geom")).expect("pm");
+    let model = EnergyModel::default();
+    let before = model.of_stats(pm.stats(), 10).total_fj();
+    pm.exec_init_rows(&[2], &LineSet::All).expect("init");
+    pm.exec_nor_rows(&[0, 1], 2, &LineSet::All).expect("nor");
+    let after = model.of_stats(pm.stats(), 10);
+    assert!(after.total_fj() > before);
+    assert!(after.ecc_fraction() > 0.5, "XOR3 energy dominates: {after:?}");
+}
