@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for batched device execution: the serial
+//! `ProtectedRunner` loop versus `PimDevice::run_batch` at batch sizes
+//! 1 / 8 / 64 — the wall-clock side of the ~k× MEM-cycle amortization.
+
+#![allow(deprecated)] // the serial baseline is the deprecated runner
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc::device::PimDevice;
+use pimecc::ProtectedRunner;
+use pimecc_netlist::generators::Benchmark;
+use pimecc_simpler::{map, MapperConfig};
+
+const N: usize = 255;
+const M: usize = 5;
+
+fn requests(k: usize) -> Vec<Vec<bool>> {
+    (0..k)
+        .map(|i| (0..11).map(|b| (i * 37) >> b & 1 != 0).collect())
+        .collect()
+}
+
+fn bench_serial_runner(c: &mut Criterion) {
+    let nor = Benchmark::Int2float.build().netlist.to_nor();
+    let program = map(&nor, &MapperConfig { row_size: N }).expect("maps");
+    for k in [1usize, 8, 64] {
+        let reqs = requests(k);
+        c.bench_function(&format!("batch/serial_runner_x{k}"), |b| {
+            let mut runner = ProtectedRunner::new(N, M).expect("runner");
+            b.iter(|| {
+                for req in &reqs {
+                    black_box(runner.run(&program, 0, req).expect("runs"));
+                }
+            })
+        });
+    }
+}
+
+fn bench_device_batch(c: &mut Criterion) {
+    let nor = Benchmark::Int2float.build().netlist.to_nor();
+    for k in [1usize, 8, 64] {
+        let reqs = requests(k);
+        c.bench_function(&format!("batch/device_run_batch_x{k}"), |b| {
+            let mut device = PimDevice::new(N, M).expect("device");
+            let program = device.compile(&nor).expect("compiles");
+            b.iter(|| black_box(device.run_batch(&program, &reqs).expect("runs")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_serial_runner, bench_device_batch);
+criterion_main!(benches);

@@ -9,7 +9,9 @@ fn bench_generation(c: &mut Criterion) {
     c.bench_function("netlist/generate_adder", |b| {
         b.iter(|| black_box(Benchmark::Adder.build()))
     });
-    c.bench_function("netlist/generate_dec", |b| b.iter(|| black_box(Benchmark::Dec.build())));
+    c.bench_function("netlist/generate_dec", |b| {
+        b.iter(|| black_box(Benchmark::Dec.build()))
+    });
     c.bench_function("netlist/lower_adder_to_nor", |b| {
         let nl = Benchmark::Adder.build().netlist;
         b.iter(|| black_box(nl.to_nor()))
@@ -28,8 +30,7 @@ fn bench_mapping(c: &mut Criterion) {
 }
 
 fn bench_schedule(c: &mut Criterion) {
-    let (program, _) =
-        map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
+    let (program, _) = map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
     let cfg = EccConfig::default();
     c.bench_function("ecc/schedule_dec", |b| {
         b.iter(|| black_box(schedule_with_ecc(&program, &cfg)))
@@ -37,13 +38,18 @@ fn bench_schedule(c: &mut Criterion) {
 }
 
 fn bench_execution(c: &mut Criterion) {
-    let (program, _) =
-        map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
+    let (program, _) = map_auto(&Benchmark::Dec.build().netlist.to_nor(), 1020).expect("dec maps");
     let inputs = vec![true; 8];
     c.bench_function("simpler/execute_dec_on_crossbar", |b| {
         b.iter(|| black_box(program.execute(&inputs).expect("legal program")))
     });
 }
 
-criterion_group!(benches, bench_generation, bench_mapping, bench_schedule, bench_execution);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_mapping,
+    bench_schedule,
+    bench_execution
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn bench_codec(c: &mut Criterion) {
     }
     let (lead, counter) = code.encode(&block);
 
-    c.bench_function("codec/encode_15x15", |b| b.iter(|| black_box(code.encode(&block))));
+    c.bench_function("codec/encode_15x15", |b| {
+        b.iter(|| black_box(code.encode(&block)))
+    });
     c.bench_function("codec/syndrome_clean_15x15", |b| {
         b.iter(|| black_box(code.syndrome(&block, &lead, &counter)))
     });
@@ -55,5 +57,10 @@ fn bench_monte_carlo(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_closed_form_sweep, bench_codec, bench_monte_carlo);
+criterion_group!(
+    benches,
+    bench_closed_form_sweep,
+    bench_codec,
+    bench_monte_carlo
+);
 criterion_main!(benches);

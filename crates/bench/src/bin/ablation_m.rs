@@ -37,7 +37,10 @@ fn main() {
         let storage = check_bits as f64 / (1020.0 * 1020.0);
         let model = ReliabilityModel::new(geom, 8 * (1 << 30), 24.0, false);
         let gain = model.improvement(flash);
-        let cfg = EccConfig { m, ..EccConfig::default() };
+        let cfg = EccConfig {
+            m,
+            ..EccConfig::default()
+        };
         let adder_ovh = schedule_with_ecc(&adder, &cfg).overhead_pct();
         let dec_ovh = schedule_with_ecc(&dec, &cfg).overhead_pct();
         println!(

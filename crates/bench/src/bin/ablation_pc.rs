@@ -13,7 +13,12 @@ fn main() {
     let picks = [Benchmark::Dec, Benchmark::Adder, Benchmark::Sin];
     let programs: Vec<_> = picks
         .iter()
-        .map(|&b| (b.name(), map_auto(&b.build().netlist.to_nor(), 1020).expect("maps").0))
+        .map(|&b| {
+            (
+                b.name(),
+                map_auto(&b.build().netlist.to_nor(), 1020).expect("maps").0,
+            )
+        })
         .collect();
 
     println!("Ablation: processing crossbar count k (m=15)\n");
@@ -25,7 +30,10 @@ fn main() {
     for k in 1..=10 {
         print!("{:>3}", k);
         for (_, p) in &programs {
-            let cfg = EccConfig { num_pcs: k, ..EccConfig::default() };
+            let cfg = EccConfig {
+                num_pcs: k,
+                ..EccConfig::default()
+            };
             print!(" {:>10}", schedule_with_ecc(p, &cfg).total_cycles);
         }
         println!();

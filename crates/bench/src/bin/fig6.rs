@@ -59,7 +59,7 @@ fn main() {
             "{:>14} {:>14} {:>14} {:>10} {:>8}",
             "SER (FIT/bit)", "analytical", "monte-carlo", "ci95", "agree"
         );
-        let mc = MonteCarlo::new(0xF16_6);
+        let mc = MonteCarlo::new(0xF166);
         for fit in [3e4, 1e5, 3e5] {
             let ser = SoftErrorRate::from_fit_per_bit(fit);
             let analytical = model.block_failure_probability(ser);

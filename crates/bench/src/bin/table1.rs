@@ -22,7 +22,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok());
     let rows = match fixed_pcs {
-        Some(k) => table1_fixed_pool(&EccConfig { num_pcs: k, ..EccConfig::default() }),
+        Some(k) => table1_fixed_pool(&EccConfig {
+            num_pcs: k,
+            ..EccConfig::default()
+        }),
         None => table1(&EccConfig::default()),
     };
     if csv {
@@ -30,7 +33,9 @@ fn main() {
         return;
     }
     match fixed_pcs {
-        Some(k) => println!("Table I — latency (clock cycles), fixed pool of {k} PCs, ours vs paper\n"),
+        Some(k) => {
+            println!("Table I — latency (clock cycles), fixed pool of {k} PCs, ours vs paper\n")
+        }
         None => println!("Table I — latency (clock cycles), ours vs paper\n"),
     }
     print!("{}", render_table1(&rows));

@@ -16,8 +16,7 @@ fn main() {
     for e in ExtraBenchmark::ALL {
         let nor = e.build().netlist.to_nor();
         let (program, row) = map_auto(&nor, 1020).expect("maps");
-        let report =
-            schedule_with_ecc(&program, &EccConfig { num_pcs: 16, ..cfg });
+        let report = schedule_with_ecc(&program, &EccConfig { num_pcs: 16, ..cfg });
         let pcs = min_processing_crossbars(&program, &cfg, 16);
         println!(
             "{:<10} {:>8} {:>7} {:>9} {:>9} {:>8.2} {:>4}",

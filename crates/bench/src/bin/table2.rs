@@ -6,8 +6,10 @@
 use pimecc_core::AreaModel;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let model = match args.as_slice() {
         [n, m, k] => AreaModel::new(*n, *m, *k).expect("valid geometry"),
         _ => AreaModel::paper().expect("paper geometry"),

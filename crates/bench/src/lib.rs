@@ -4,8 +4,63 @@
 //! `ablation_pc` binaries print the artifacts; this library holds the logic
 //! so integration tests can assert on the same numbers the binaries show.
 
+use pimecc::device::PimDevice;
 use pimecc_netlist::generators::Benchmark;
 use pimecc_simpler::{map_auto, min_processing_crossbars, schedule_with_ecc, EccConfig};
+
+/// One point of the batch-amortization curve: a `batch`-deep
+/// [`PimDevice::run_batch`] of one benchmark on a fresh device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPoint {
+    /// Requests packed into the batch.
+    pub batch: usize,
+    /// MEM cycles the whole batch consumed.
+    pub mem_cycles: u64,
+    /// MEM cycles per request — the amortized latency.
+    pub mem_cycles_per_request: f64,
+    /// Gate evaluations per MEM cycle — the throughput figure.
+    pub gate_evals_per_mem_cycle: f64,
+}
+
+/// Measures the batch-amortization curve of `bench` on an `n×n` device
+/// with `m×m` blocks, one fresh device per point so the deltas are
+/// comparable.
+///
+/// # Panics
+///
+/// Panics if the benchmark does not fit an `n`-cell row, a batch exceeds
+/// `n`, or the geometry is invalid — misconfigurations, not runtime
+/// conditions.
+pub fn batch_amortization(
+    bench: Benchmark,
+    n: usize,
+    m: usize,
+    batch_sizes: &[usize],
+) -> Vec<BatchPoint> {
+    let circuit = bench.build();
+    let nor = circuit.netlist.to_nor();
+    batch_sizes
+        .iter()
+        .map(|&k| {
+            let mut device = PimDevice::new(n, m).expect("valid geometry");
+            let program = device.compile(&nor).expect("benchmark fits the device row");
+            let requests: Vec<Vec<bool>> = (0..k)
+                .map(|i| {
+                    (0..program.num_inputs())
+                        .map(|b| (i * 37) >> (b % 11) & 1 != 0)
+                        .collect()
+                })
+                .collect();
+            let outcome = device.run_batch(&program, &requests).expect("batch fits");
+            BatchPoint {
+                batch: k,
+                mem_cycles: outcome.stats.mem_cycles,
+                mem_cycles_per_request: outcome.mem_cycles_per_request(),
+                gate_evals_per_mem_cycle: outcome.gate_evals_per_mem_cycle(),
+            }
+        })
+        .collect()
+}
 
 /// One row of the regenerated Table I.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +119,13 @@ pub const PAPER_GEOMEAN_OVERHEAD_PCT: f64 = 26.23;
 pub fn table1_row(bench: Benchmark, cfg: &EccConfig) -> Table1Row {
     let nor = bench.build().netlist.to_nor();
     let (program, row_size) = map_auto(&nor, 1020).expect("benchmark must map");
-    let report = schedule_with_ecc(&program, &EccConfig { num_pcs: 16, ..*cfg });
+    let report = schedule_with_ecc(
+        &program,
+        &EccConfig {
+            num_pcs: 16,
+            ..*cfg
+        },
+    );
     let min_pcs = min_processing_crossbars(&program, cfg, 16);
     Table1Row {
         name: bench.name(),
@@ -126,7 +187,16 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:<10} {:>6} {:>9} {:>9} {:>9} {:>4} | {:>9} {:>9} {:>9} {:>4}",
-        "Benchmark", "row", "Baseline", "Proposed", "Ovh(%)", "PC", "P.Base", "P.Prop", "P.Ovh(%)", "P.PC"
+        "Benchmark",
+        "row",
+        "Baseline",
+        "Proposed",
+        "Ovh(%)",
+        "PC",
+        "P.Base",
+        "P.Prop",
+        "P.Ovh(%)",
+        "P.PC"
     );
     for r in rows {
         let (pb, pp, po, ppc) = paper_table1(r.name).unwrap_or((0, 0, 0.0, 0));
@@ -209,6 +279,20 @@ mod tests {
         assert!(row.min_pcs >= 4, "{row:?}");
         let sin = table1_row(Benchmark::Sin, &EccConfig::default());
         assert!(sin.overhead_pct < 2.0, "{sin:?}");
+    }
+
+    #[test]
+    fn batch_amortization_curve_shows_the_kx_win() {
+        let points = batch_amortization(Benchmark::Int2float, 255, 5, &[1, 8, 64]);
+        assert_eq!(points.len(), 3);
+        let single = points[0];
+        let deep = points[2];
+        // Each step executes once per batch: 64 requests stay under twice
+        // the single-request cycle count...
+        assert!(deep.mem_cycles < 2 * single.mem_cycles, "{points:?}");
+        // ...so the per-request latency collapses and throughput scales.
+        assert!(deep.mem_cycles_per_request * 8.0 < single.mem_cycles_per_request);
+        assert!(deep.gate_evals_per_mem_cycle > 8.0 * single.gate_evals_per_mem_cycle);
     }
 
     #[test]

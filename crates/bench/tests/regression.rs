@@ -16,8 +16,11 @@ fn table1_is_pinned() {
         ("adder", 2172, 2463, 3),
         ("arbiter", 6285, 6576, 4),
         ("bar", 2956, 3245, 4),
-        ("cavlc", 4548, 4603, 1),
-        ("ctrl", 1114, 1199, 1),
+        // cavlc and ctrl are synthesized from seeded random truth tables,
+        // so their pins are tied to the workspace PRNG stream (see the
+        // in-tree `rand` crate).
+        ("cavlc", 4589, 4644, 1),
+        ("ctrl", 1139, 1224, 1),
         ("dec", 385, 930, 7),
         ("int2float", 148, 195, 6),
         ("max", 3711, 4004, 4),
@@ -71,5 +74,8 @@ fn fig6_curve_endpoints_are_pinned() {
     let low = model.point(SoftErrorRate::from_fit_per_bit(1e-5));
     assert!((low.proposed_mttf_hours / 4.3306e14 - 1.0).abs() < 1e-3);
     let high = model.point(SoftErrorRate::from_fit_per_bit(1e3));
-    assert!((high.improvement() - 1.0).abs() < 1e-6, "saturation plateau");
+    assert!(
+        (high.improvement() - 1.0).abs() < 1e-6,
+        "saturation plateau"
+    );
 }

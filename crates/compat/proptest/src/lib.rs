@@ -1,0 +1,415 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The workspace builds without network access, so this in-tree crate
+//! provides the subset of the proptest API its test suites use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! [`any`], [`Just`], [`prop_oneof!`], range strategies, tuple strategies
+//! and the [`collection`] module (`vec`, `btree_set`).
+//!
+//! Semantic differences from real proptest, deliberate for size:
+//!
+//! * cases are sampled from a deterministic per-test RNG (seeded from the
+//!   test's module path and name), so failures reproduce across runs;
+//! * there is **no shrinking** — a failing case panics with the assert's
+//!   own message;
+//! * `prop_assert!`/`prop_assert_eq!` forward to `assert!`/`assert_eq!`.
+
+use rand::rngs::StdRng;
+use rand::{Random, Rng, SampleRange, SeedableRng};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Per-test configuration (subset: number of cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, sized for simulation-heavy
+    /// properties.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one property, derived from its fully qualified
+/// name so every test draws an independent, reproducible stream.
+pub fn seeded_rng(test_path: &str) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_path.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produces a dependent strategy from each value and samples it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A type-erased strategy handle.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice among equally weighted alternatives (see
+/// [`prop_oneof!`]).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Builds a union over `alternatives`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy behind [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Random> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Uniform values of the whole domain of `T`.
+pub fn any<T: Random>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// Collection strategies (subset: `vec`, `btree_set`).
+pub mod collection {
+    use super::*;
+
+    /// Number-of-elements specification: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `elem` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            // Duplicates shrink the set below the drawn length; proptest
+            // retries, this stand-in accepts the smaller set.
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of values from `elem` with *up to* `size` elements.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, Union,
+    };
+}
+
+/// Defines property tests: each function runs `config.cases` times with
+/// fresh samples of its `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::seeded_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Boolean property assertion (no shrinking: forwards to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality property assertion (no shrinking: forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_collections_sample_in_bounds() {
+        let mut rng = crate::seeded_rng("self_test");
+        let s = (0usize..10, crate::any::<bool>());
+        for _ in 0..100 {
+            let (n, _b) = crate::Strategy::sample(&s, &mut rng);
+            assert!(n < 10);
+        }
+        let v = crate::collection::vec(crate::any::<u8>(), 3..7);
+        for _ in 0..50 {
+            let got = crate::Strategy::sample(&v, &mut rng);
+            assert!((3..7).contains(&got.len()));
+        }
+        let set = crate::collection::btree_set((0usize..4, 0usize..4), 0..20);
+        for _ in 0..50 {
+            let got = crate::Strategy::sample(&set, &mut rng);
+            assert!(got.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_oneof_compose() {
+        let mut rng = crate::seeded_rng("compose");
+        let s = prop_oneof![Just(3usize), Just(5), Just(7)]
+            .prop_flat_map(|m| (Just(m), 1usize..4))
+            .prop_map(|(m, k)| m * k);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&s, &mut rng);
+            assert!((3..=21).contains(&v));
+            assert!([3, 5, 7].iter().any(|f| v % f == 0));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..50, (a, b) in (any::<bool>(), 0u64..9)) {
+            prop_assert!(x < 50);
+            prop_assert!(b < 9);
+            prop_assert_eq!(a, a);
+        }
+    }
+}

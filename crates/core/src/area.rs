@@ -53,7 +53,10 @@ impl AreaModel {
     ///
     /// Propagates geometry validation errors.
     pub fn new(n: usize, m: usize, k: usize) -> Result<Self> {
-        Ok(AreaModel { geom: BlockGeometry::new(n, m)?, k })
+        Ok(AreaModel {
+            geom: BlockGeometry::new(n, m)?,
+            k,
+        })
     }
 
     /// The paper's case study: `n = 1020`, `m = 15`, `k = 3`.

@@ -114,7 +114,9 @@ impl CheckMemory {
 
     /// All m check-bits of one family for one block, indexed by diagonal.
     pub fn block_checks(&self, family: Family, block_row: usize, block_col: usize) -> Vec<bool> {
-        (0..self.geom.m()).map(|d| self.bit(family, d, block_row, block_col)).collect()
+        (0..self.geom.m())
+            .map(|d| self.bit(family, d, block_row, block_col))
+            .collect()
     }
 
     /// Overwrites the check-bits of one block from parity vectors.
@@ -192,7 +194,9 @@ impl ProcessingCrossbar {
     ///
     /// Panics if `lanes == 0`.
     pub fn new(lanes: usize) -> Self {
-        ProcessingCrossbar { xb: Crossbar::new(ROWS, lanes) }
+        ProcessingCrossbar {
+            xb: Crossbar::new(ROWS, lanes),
+        }
     }
 
     /// Number of parallel lanes.
@@ -229,7 +233,10 @@ impl ProcessingCrossbar {
         c: &[bool],
     ) -> Result<Vec<bool>, XbarError> {
         let lanes = self.lanes();
-        assert!(a.len() <= lanes && b.len() == a.len() && c.len() == a.len(), "lane overflow");
+        assert!(
+            a.len() <= lanes && b.len() == a.len() && c.len() == a.len(),
+            "lane overflow"
+        );
         let width = a.len();
         let sel: LineSet = (0..width).collect();
         // Load inputs (data arrives over the shifters / connection unit).
@@ -284,9 +291,11 @@ mod tests {
     #[test]
     fn xor3_costs_exactly_eight_nors() {
         let mut pc = ProcessingCrossbar::new(4);
-        pc.compute_xor3(&[true; 4], &[false; 4], &[true; 4]).unwrap();
+        pc.compute_xor3(&[true; 4], &[false; 4], &[true; 4])
+            .unwrap();
         assert_eq!(pc.nor_cycles_total(), 8);
-        pc.compute_xor3(&[false; 4], &[false; 4], &[false; 4]).unwrap();
+        pc.compute_xor3(&[false; 4], &[false; 4], &[false; 4])
+            .unwrap();
         assert_eq!(pc.nor_cycles_total(), 16);
     }
 
@@ -294,7 +303,9 @@ mod tests {
     fn xor3_reusable_across_invocations() {
         let mut pc = ProcessingCrossbar::new(2);
         for _ in 0..5 {
-            let out = pc.compute_xor3(&[true, false], &[true, true], &[true, false]).unwrap();
+            let out = pc
+                .compute_xor3(&[true, false], &[true, true], &[true, false])
+                .unwrap();
             assert_eq!(out, vec![true, true]); // 1^1^1 = 1, 0^1^0 = 1
         }
     }
@@ -323,8 +334,14 @@ mod tests {
         let geom = BlockGeometry::new(9, 3).unwrap();
         let mut cmem = CheckMemory::new(geom);
         cmem.store_block_checks(1, 2, &[true, false, true], &[false, true, false]);
-        assert_eq!(cmem.block_checks(Family::Leading, 1, 2), vec![true, false, true]);
-        assert_eq!(cmem.block_checks(Family::Counter, 1, 2), vec![false, true, false]);
+        assert_eq!(
+            cmem.block_checks(Family::Leading, 1, 2),
+            vec![true, false, true]
+        );
+        assert_eq!(
+            cmem.block_checks(Family::Counter, 1, 2),
+            vec![false, true, false]
+        );
         // Other blocks untouched.
         assert_eq!(cmem.block_checks(Family::Leading, 0, 0), vec![false; 3]);
     }

@@ -31,7 +31,10 @@ impl Syndrome {
             ([], []) => ErrorLocation::None,
             ([l], [k]) => {
                 let (r, c) = geom.locate(*l, *k);
-                ErrorLocation::Data { local_row: r, local_col: c }
+                ErrorLocation::Data {
+                    local_row: r,
+                    local_col: c,
+                }
             }
             ([l], []) => ErrorLocation::LeadingCheck { diagonal: *l },
             ([], [k]) => ErrorLocation::CounterCheck { diagonal: *k },
@@ -114,7 +117,11 @@ impl DiagonalCode {
     /// Panics if `block` is not m×m.
     pub fn encode(&self, block: &BitGrid) -> (Vec<bool>, Vec<bool>) {
         let m = self.geom.m();
-        assert_eq!((block.rows(), block.cols()), (m, m), "block must be {m}x{m}");
+        assert_eq!(
+            (block.rows(), block.cols()),
+            (m, m),
+            "block must be {m}x{m}"
+        );
         let mut lead = vec![false; m];
         let mut counter = vec![false; m];
         for r in 0..m {
@@ -178,7 +185,10 @@ impl DiagonalCode {
         let loc = self.syndrome(block, lead, counter).decode(&self.geom);
         match loc {
             ErrorLocation::None | ErrorLocation::Uncorrectable => {}
-            ErrorLocation::Data { local_row, local_col } => {
+            ErrorLocation::Data {
+                local_row,
+                local_col,
+            } => {
                 block.flip(local_row, local_col);
             }
             ErrorLocation::LeadingCheck { diagonal } => lead[diagonal] ^= true,
@@ -203,7 +213,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         for r in 0..m {
             for c in 0..m {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 g.set(r, c, state >> 63 != 0);
             }
         }
@@ -235,7 +247,10 @@ mod tests {
                     let syn = code.syndrome(&corrupted, &l, &k);
                     assert_eq!(
                         syn.decode(&geom),
-                        ErrorLocation::Data { local_row: r, local_col: c },
+                        ErrorLocation::Data {
+                            local_row: r,
+                            local_col: c
+                        },
                         "m={m} flip ({r},{c})"
                     );
                 }
@@ -256,11 +271,17 @@ mod tests {
             let mut lf = l.clone();
             lf[d] ^= true;
             let syn = code.syndrome(&block, &lf, &k);
-            assert_eq!(syn.decode(code.geometry()), ErrorLocation::LeadingCheck { diagonal: d });
+            assert_eq!(
+                syn.decode(code.geometry()),
+                ErrorLocation::LeadingCheck { diagonal: d }
+            );
             let mut kf = k.clone();
             kf[d] ^= true;
             let syn = code.syndrome(&block, &l, &kf);
-            assert_eq!(syn.decode(code.geometry()), ErrorLocation::CounterCheck { diagonal: d });
+            assert_eq!(
+                syn.decode(code.geometry()),
+                ErrorLocation::CounterCheck { diagonal: d }
+            );
         }
     }
 
@@ -273,7 +294,13 @@ mod tests {
         let mut corrupted = block.clone();
         corrupted.flip(8, 2);
         let loc = code.correct(&mut corrupted, &mut l, &mut k);
-        assert_eq!(loc, ErrorLocation::Data { local_row: 8, local_col: 2 });
+        assert_eq!(
+            loc,
+            ErrorLocation::Data {
+                local_row: 8,
+                local_col: 2
+            }
+        );
         assert_eq!(corrupted.diff(&block), vec![]);
     }
 
@@ -329,7 +356,12 @@ mod tests {
         let mut block = pattern(9, 3);
         let (mut l, mut k) = code.encode(&block);
         // Apply a sequence of writes, maintaining checks incrementally.
-        let writes = [(0usize, 0usize, true), (4, 7, false), (8, 8, true), (4, 7, true)];
+        let writes = [
+            (0usize, 0usize, true),
+            (4, 7, false),
+            (8, 8, true),
+            (4, 7, true),
+        ];
         for &(r, c, v) in &writes {
             let old = block.get(r, c);
             code.update(r, c, old, v, &mut l, &mut k);

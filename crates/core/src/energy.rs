@@ -90,8 +90,8 @@ impl EnergyModel {
     /// hides this behind pipelined processing crossbars; energy cannot.)
     pub fn critical_op_overhead_factor(&self, lanes: usize) -> f64 {
         let plain = self.nor_gate_fj * lanes as f64;
-        let ecc = 2.0 * lanes as f64 * self.transfer_bit_fj
-            + 2.0 * lanes as f64 * self.xor3_lane_fj;
+        let ecc =
+            2.0 * lanes as f64 * self.transfer_bit_fj + 2.0 * lanes as f64 * self.xor3_lane_fj;
         (plain + ecc) / plain
     }
 }
@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn breakdown_components_sum() {
-        let b = EnergyBreakdown { mem_fj: 1.0, transfer_fj: 2.0, cmem_fj: 3.0 };
+        let b = EnergyBreakdown {
+            mem_fj: 1.0,
+            transfer_fj: 2.0,
+            cmem_fj: 3.0,
+        };
         assert_eq!(b.total_fj(), 6.0);
         assert!((b.ecc_fraction() - 5.0 / 6.0).abs() < 1e-12);
     }

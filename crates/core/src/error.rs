@@ -50,10 +50,16 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::DimensionNotDivisible { n, m } => {
-                write!(f, "crossbar dimension {n} is not a multiple of block dimension {m}")
+                write!(
+                    f,
+                    "crossbar dimension {n} is not a multiple of block dimension {m}"
+                )
             }
             CoreError::BlockDimensionEven { m } => {
-                write!(f, "block dimension {m} must be odd for unique diagonal intersection")
+                write!(
+                    f,
+                    "block dimension {m} must be odd for unique diagonal intersection"
+                )
             }
             CoreError::BlockDimensionTooSmall { m } => {
                 write!(f, "block dimension {m} must be at least 3")
@@ -61,8 +67,14 @@ impl fmt::Display for CoreError {
             CoreError::OutOfBounds { row, col, n } => {
                 write!(f, "cell ({row}, {col}) out of bounds for {n}x{n} crossbar")
             }
-            CoreError::Uncorrectable { block_row, block_col } => {
-                write!(f, "block ({block_row}, {block_col}) has an uncorrectable error pattern")
+            CoreError::Uncorrectable {
+                block_row,
+                block_col,
+            } => {
+                write!(
+                    f,
+                    "block ({block_row}, {block_col}) has an uncorrectable error pattern"
+                )
             }
             CoreError::Xbar(e) => write!(f, "crossbar operation failed: {e}"),
         }
@@ -94,8 +106,15 @@ mod tests {
             CoreError::DimensionNotDivisible { n: 10, m: 3 },
             CoreError::BlockDimensionEven { m: 4 },
             CoreError::BlockDimensionTooSmall { m: 1 },
-            CoreError::OutOfBounds { row: 9, col: 9, n: 5 },
-            CoreError::Uncorrectable { block_row: 1, block_col: 2 },
+            CoreError::OutOfBounds {
+                row: 9,
+                col: 9,
+                n: 5,
+            },
+            CoreError::Uncorrectable {
+                block_row: 1,
+                block_col: 2,
+            },
             CoreError::Xbar(XbarError::NoInputs),
         ];
         for c in cases {

@@ -61,7 +61,11 @@ impl BlockGeometry {
         if n == 0 || n % m != 0 {
             return Err(CoreError::DimensionNotDivisible { n, m });
         }
-        Ok(BlockGeometry { n, m, inv2: (m + 1) / 2 })
+        Ok(BlockGeometry {
+            n,
+            m,
+            inv2: (m + 1) / 2,
+        })
     }
 
     /// The paper's configuration: `n = 1020`, `m = 15`.
@@ -156,7 +160,11 @@ impl BlockGeometry {
     /// [`CoreError::OutOfBounds`] when either index is ≥ `n`.
     pub fn check_bounds(&self, r: usize, c: usize) -> Result<()> {
         if r >= self.n || c >= self.n {
-            Err(CoreError::OutOfBounds { row: r, col: c, n: self.n })
+            Err(CoreError::OutOfBounds {
+                row: r,
+                col: c,
+                n: self.n,
+            })
         } else {
             Ok(())
         }
@@ -182,7 +190,10 @@ mod tests {
             BlockGeometry::new(10, 2),
             Err(CoreError::BlockDimensionTooSmall { m: 2 })
         ));
-        assert!(matches!(BlockGeometry::new(12, 4), Err(CoreError::BlockDimensionEven { m: 4 })));
+        assert!(matches!(
+            BlockGeometry::new(12, 4),
+            Err(CoreError::BlockDimensionEven { m: 4 })
+        ));
         assert!(matches!(
             BlockGeometry::new(10, 3),
             Err(CoreError::DimensionNotDivisible { n: 10, m: 3 })
@@ -280,6 +291,9 @@ mod tests {
     fn bounds_checking() {
         let g = BlockGeometry::new(9, 3).unwrap();
         assert!(g.check_bounds(8, 8).is_ok());
-        assert!(matches!(g.check_bounds(9, 0), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(
+            g.check_bounds(9, 0),
+            Err(CoreError::OutOfBounds { .. })
+        ));
     }
 }

@@ -45,6 +45,30 @@ pub struct MachineStats {
     pub errors_uncorrectable: u64,
 }
 
+impl std::ops::Sub for MachineStats {
+    type Output = MachineStats;
+
+    /// Saturating per-counter difference — `after - before` yields the
+    /// stats of everything that happened between two snapshots, which is
+    /// how batched executions report their own share of the machine's
+    /// activity.
+    fn sub(self, earlier: MachineStats) -> MachineStats {
+        MachineStats {
+            mem_cycles: self.mem_cycles.saturating_sub(earlier.mem_cycles),
+            transfer_cycles: self.transfer_cycles.saturating_sub(earlier.transfer_cycles),
+            pc_xor3_ops: self.pc_xor3_ops.saturating_sub(earlier.pc_xor3_ops),
+            critical_ops: self.critical_ops.saturating_sub(earlier.critical_ops),
+            blocks_checked: self.blocks_checked.saturating_sub(earlier.blocks_checked),
+            errors_corrected: self
+                .errors_corrected
+                .saturating_sub(earlier.errors_corrected),
+            errors_uncorrectable: self
+                .errors_uncorrectable
+                .saturating_sub(earlier.errors_uncorrectable),
+        }
+    }
+}
+
 /// Outcome summary of a checking pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CheckReport {
@@ -54,6 +78,15 @@ pub struct CheckReport {
     pub corrected: usize,
     /// Blocks left with detected-but-uncorrectable patterns.
     pub uncorrectable: usize,
+}
+
+impl std::ops::AddAssign for CheckReport {
+    /// Folds another pass's counts into this report.
+    fn add_assign(&mut self, other: CheckReport) {
+        self.checked += other.checked;
+        self.corrected += other.corrected;
+        self.uncorrectable += other.uncorrectable;
+    }
 }
 
 /// A MAGIC crossbar with continuously maintained diagonal ECC.
@@ -112,8 +145,10 @@ impl ProtectedMemory {
     /// ECC-checks the distinct covered blocks containing `cells` (the
     /// pre-write verification pass).
     fn precheck_blocks(&mut self, cells: &[(usize, usize)]) -> Result<()> {
-        let mut blocks: Vec<(usize, usize)> =
-            cells.iter().map(|&(r, c)| self.geom.block_of(r, c)).collect();
+        let mut blocks: Vec<(usize, usize)> = cells
+            .iter()
+            .map(|&(r, c)| self.geom.block_of(r, c))
+            .collect();
         blocks.sort_unstable();
         blocks.dedup();
         for (br, bc) in blocks {
@@ -234,6 +269,53 @@ impl ProtectedMemory {
         }
     }
 
+    /// Writes the given `(column, value)` pairs into one row through the
+    /// conventional write-with-ECC path, leaving every other cell of the
+    /// memory untouched — the per-request load primitive of batched
+    /// execution, where many requests occupy distinct rows of the same
+    /// crossbar. One driven-row MEM cycle plus the critical-operation
+    /// protocol for the touched covered blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if `row` or any column is out of range.
+    pub fn write_row_cells(&mut self, row: usize, cells: &[(usize, bool)]) -> Result<()> {
+        let n = self.geom.n();
+        if row >= n {
+            return Err(CoreError::OutOfBounds { row, col: 0, n });
+        }
+        if let Some(&(col, _)) = cells.iter().find(|&&(c, _)| c >= n) {
+            return Err(CoreError::OutOfBounds { row, col, n });
+        }
+        if cells.is_empty() {
+            return Ok(());
+        }
+        // Deduplicate columns (last value wins): the old-value snapshot is
+        // taken once per physical cell, so a duplicate entry must not XOR
+        // the same diagonal twice and corrupt the parity.
+        let mut unique: Vec<(usize, bool)> = Vec::with_capacity(cells.len());
+        for &(c, v) in cells {
+            match unique.iter_mut().find(|(uc, _)| *uc == c) {
+                Some(entry) => entry.1 = v,
+                None => unique.push((c, v)),
+            }
+        }
+        if self.check_on_critical {
+            let coords: Vec<(usize, usize)> = unique.iter().map(|&(c, _)| (row, c)).collect();
+            self.precheck_blocks(&coords)?;
+        }
+        let old: Vec<(usize, usize, bool)> = unique
+            .iter()
+            .map(|&(c, _)| (row, c, self.mem.bit(row, c)))
+            .collect();
+        for &(c, v) in &unique {
+            self.mem.write_bit(row, c, v);
+        }
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
     /// Applies the continuous ECC update for a set of written cells, given
     /// their prior values. Cells in uncovered blocks are skipped.
     fn update_checks(&mut self, cells: &[(usize, usize, bool)]) {
@@ -247,8 +329,10 @@ impl ProtectedMemory {
             if old != new {
                 let (br, bc) = self.geom.block_of(r, c);
                 let (lr, lc) = self.geom.local_of(r, c);
-                self.cmem.xor_bit(Family::Leading, self.geom.leading(lr, lc), br, bc, true);
-                self.cmem.xor_bit(Family::Counter, self.geom.counter(lr, lc), br, bc, true);
+                self.cmem
+                    .xor_bit(Family::Leading, self.geom.leading(lr, lc), br, bc, true);
+                self.cmem
+                    .xor_bit(Family::Counter, self.geom.counter(lr, lc), br, bc, true);
             }
         }
         if any_covered {
@@ -267,14 +351,21 @@ impl ProtectedMemory {
     /// # Errors
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
-    pub fn exec_nor_rows(&mut self, in_cols: &[usize], out_col: usize, rows: &LineSet) -> Result<()> {
+    pub fn exec_nor_rows(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+    ) -> Result<()> {
         let idx = rows.indices(self.mem.rows());
         if self.check_on_critical {
             let cells: Vec<(usize, usize)> = idx.iter().map(|&r| (r, out_col)).collect();
             self.precheck_blocks(&cells)?;
         }
-        let old: Vec<(usize, usize, bool)> =
-            idx.iter().map(|&r| (r, out_col, self.mem.bit(r, out_col))).collect();
+        let old: Vec<(usize, usize, bool)> = idx
+            .iter()
+            .map(|&r| (r, out_col, self.mem.bit(r, out_col)))
+            .collect();
         self.mem.exec_nor_rows(in_cols, out_col, rows)?;
         self.stats.mem_cycles += 1;
         self.update_checks(&old);
@@ -286,14 +377,21 @@ impl ProtectedMemory {
     /// # Errors
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
-    pub fn exec_nor_cols(&mut self, in_rows: &[usize], out_row: usize, cols: &LineSet) -> Result<()> {
+    pub fn exec_nor_cols(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+    ) -> Result<()> {
         let idx = cols.indices(self.mem.cols());
         if self.check_on_critical {
             let cells: Vec<(usize, usize)> = idx.iter().map(|&c| (out_row, c)).collect();
             self.precheck_blocks(&cells)?;
         }
-        let old: Vec<(usize, usize, bool)> =
-            idx.iter().map(|&c| (out_row, c, self.mem.bit(out_row, c))).collect();
+        let old: Vec<(usize, usize, bool)> = idx
+            .iter()
+            .map(|&c| (out_row, c, self.mem.bit(out_row, c)))
+            .collect();
         self.mem.exec_nor_cols(in_rows, out_row, cols)?;
         self.stats.mem_cycles += 1;
         self.update_checks(&old);
@@ -388,7 +486,8 @@ impl ProtectedMemory {
             // All-ones block: every diagonal holds m ones, and m is odd,
             // so every parity bit is 1.
             let ones = vec![true; m];
-            self.cmem.store_block_checks(block_row, block_col, &ones, &ones);
+            self.cmem
+                .store_block_checks(block_row, block_col, &ones, &ones);
             self.stats.transfer_cycles += 1;
         }
         Ok(())
@@ -431,14 +530,21 @@ impl ProtectedMemory {
         }
         let m = self.geom.m();
         let mut block = self.extract_block(block_row, block_col);
-        let mut lead = self.cmem.block_checks(Family::Leading, block_row, block_col);
-        let mut counter = self.cmem.block_checks(Family::Counter, block_row, block_col);
+        let mut lead = self
+            .cmem
+            .block_checks(Family::Leading, block_row, block_col);
+        let mut counter = self
+            .cmem
+            .block_checks(Family::Counter, block_row, block_col);
         let loc = self.code.correct(&mut block, &mut lead, &mut counter);
         self.stats.blocks_checked += 1;
         match loc {
             ErrorLocation::None => {}
             ErrorLocation::Uncorrectable => self.stats.errors_uncorrectable += 1,
-            ErrorLocation::Data { local_row, local_col } => {
+            ErrorLocation::Data {
+                local_row,
+                local_col,
+            } => {
                 // Drive the corrected value back into the MEM.
                 let (r, c) = (block_row * m + local_row, block_col * m + local_col);
                 self.mem.write_bit(r, c, block.get(local_row, local_col));
@@ -446,7 +552,8 @@ impl ProtectedMemory {
                 self.stats.errors_corrected += 1;
             }
             ErrorLocation::LeadingCheck { .. } | ErrorLocation::CounterCheck { .. } => {
-                self.cmem.store_block_checks(block_row, block_col, &lead, &counter);
+                self.cmem
+                    .store_block_checks(block_row, block_col, &lead, &counter);
                 self.stats.errors_corrected += 1;
             }
         }
@@ -464,7 +571,11 @@ impl ProtectedMemory {
     pub fn check_block_row(&mut self, block_row: usize) -> Result<CheckReport> {
         let bps = self.geom.blocks_per_side();
         if block_row >= bps {
-            return Err(CoreError::OutOfBounds { row: block_row * self.geom.m(), col: 0, n: self.geom.n() });
+            return Err(CoreError::OutOfBounds {
+                row: block_row * self.geom.m(),
+                col: 0,
+                n: self.geom.n(),
+            });
         }
         // m copy cycles move the block-row through the shifters.
         self.stats.mem_cycles += self.geom.m() as u64;
@@ -502,7 +613,11 @@ impl ProtectedMemory {
     pub fn check_block_col(&mut self, block_col: usize) -> Result<CheckReport> {
         let bps = self.geom.blocks_per_side();
         if block_col >= bps {
-            return Err(CoreError::OutOfBounds { row: 0, col: block_col * self.geom.m(), n: self.geom.n() });
+            return Err(CoreError::OutOfBounds {
+                row: 0,
+                col: block_col * self.geom.m(),
+                n: self.geom.n(),
+            });
         }
         // m copy cycles move the block-column through the shifters.
         self.stats.mem_cycles += self.geom.m() as u64;
@@ -537,10 +652,7 @@ impl ProtectedMemory {
     pub fn check_all(&mut self) -> Result<CheckReport> {
         let mut total = CheckReport::default();
         for br in 0..self.geom.blocks_per_side() {
-            let r = self.check_block_row(br)?;
-            total.checked += r.checked;
-            total.corrected += r.corrected;
-            total.uncorrectable += r.uncorrectable;
+            total += self.check_block_row(br)?;
         }
         Ok(total)
     }
@@ -607,7 +719,9 @@ mod tests {
         let mut s = seed | 1;
         for r in 0..n {
             for c in 0..n {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 g.set(r, c, s >> 63 != 0);
             }
         }
@@ -653,10 +767,12 @@ mod tests {
         for step in 0..10 {
             let col = 5 + step % 5;
             pm.exec_init_rows(&[col], &LineSet::All).unwrap();
-            pm.exec_nor_rows(&[step % 3, 3 + step % 2], col, &LineSet::All).unwrap();
+            pm.exec_nor_rows(&[step % 3, 3 + step % 2], col, &LineSet::All)
+                .unwrap();
             let row = 10 + step % 5;
             pm.exec_init_cols(&[row], &LineSet::Range(0..15)).unwrap();
-            pm.exec_nor_cols(&[step % 4, 5], row, &LineSet::Range(0..15)).unwrap();
+            pm.exec_nor_cols(&[step % 4, 5], row, &LineSet::Range(0..15))
+                .unwrap();
             assert!(pm.verify_consistency().is_ok(), "step {step}");
         }
     }
@@ -717,7 +833,11 @@ mod tests {
         // Operate entirely inside the scratch block (rows 3..6, cols 3..6).
         pm.exec_init_rows(&[4], &LineSet::Range(3..6)).unwrap();
         pm.exec_nor_rows(&[3, 5], 4, &LineSet::Range(3..6)).unwrap();
-        assert_eq!(pm.stats().critical_ops, criticals_before, "scratch ops are non-critical");
+        assert_eq!(
+            pm.stats().critical_ops,
+            criticals_before,
+            "scratch ops are non-critical"
+        );
         // A fault there is invisible to checks (by design).
         pm.inject_fault(4, 4);
         let report = pm.check_all().unwrap();
@@ -753,7 +873,10 @@ mod tests {
         assert_eq!(report.checked, 3);
         assert_eq!(report.corrected, 1);
         assert!(pm.verify_consistency().is_ok());
-        assert!(matches!(pm.check_block_col(5), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(
+            pm.check_block_col(5),
+            Err(CoreError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -785,9 +908,18 @@ mod tests {
     #[test]
     fn out_of_bounds_block_indices_error() {
         let mut pm = machine(9, 3);
-        assert!(matches!(pm.check_block(5, 0), Err(CoreError::OutOfBounds { .. })));
-        assert!(matches!(pm.set_block_covered(0, 9, true), Err(CoreError::OutOfBounds { .. })));
-        assert!(matches!(pm.check_block_row(3), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(
+            pm.check_block(5, 0),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.set_block_covered(0, 9, true),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.check_block_row(3),
+            Err(CoreError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -850,7 +982,10 @@ mod tests {
             }
         }
         assert!(pm.verify_consistency().is_ok());
-        assert!(matches!(pm.reset_block(9, 0), Err(CoreError::OutOfBounds { .. })));
+        assert!(matches!(
+            pm.reset_block(9, 0),
+            Err(CoreError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -872,10 +1007,108 @@ mod tests {
         let corrected_before = pm.stats().errors_corrected;
         pm.scrub();
         assert!(pm.verify_consistency().is_ok());
-        assert_eq!(pm.stats().errors_corrected, corrected_before, "scrub corrects nothing");
+        assert_eq!(
+            pm.stats().errors_corrected,
+            corrected_before,
+            "scrub corrects nothing"
+        );
         // And a subsequent check finds a clean memory.
         let report = pm.check_all().unwrap();
         assert_eq!(report.corrected + report.uncorrectable, 0);
+    }
+
+    #[test]
+    fn write_row_cells_is_non_destructive_and_consistent() {
+        let mut pm = machine(15, 5);
+        let grid = random_grid(15, 19);
+        pm.load_grid(&grid);
+        pm.write_row_cells(7, &[(0, true), (1, false), (13, true)])
+            .unwrap();
+        assert!(pm.bit(7, 0) && !pm.bit(7, 1) && pm.bit(7, 13));
+        // Every untouched cell keeps its loaded value.
+        for r in 0..15 {
+            for c in 0..15 {
+                if r != 7 || ![0, 1, 13].contains(&c) {
+                    assert_eq!(pm.bit(r, c), grid.get(r, c), "({r},{c})");
+                }
+            }
+        }
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn write_row_cells_costs_one_mem_cycle_plus_protocol() {
+        let mut pm = machine(9, 3);
+        let before = *pm.stats();
+        pm.write_row_cells(0, &[(0, true), (5, true)]).unwrap();
+        let delta = *pm.stats() - before;
+        // 1 row write + 2 protocol transfers billed to the MEM.
+        assert_eq!(delta.mem_cycles, 3);
+        assert_eq!(delta.critical_ops, 1);
+        assert!(pm.verify_consistency().is_ok());
+        // Writing the values already present changes nothing and is free of
+        // XOR3 work beyond the protocol bookkeeping.
+        let before = *pm.stats();
+        pm.write_row_cells(0, &[(0, true)]).unwrap();
+        assert_eq!((*pm.stats() - before).critical_ops, 1);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn write_row_cells_tolerates_duplicate_columns() {
+        let mut pm = machine(9, 3);
+        // Same column listed twice (and with conflicting values): the last
+        // value wins and the parity is updated exactly once.
+        pm.write_row_cells(0, &[(3, false), (3, true), (3, true)])
+            .unwrap();
+        assert!(pm.bit(0, 3));
+        assert!(pm.verify_consistency().is_ok());
+        // A subsequent check finds nothing to "correct".
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected + report.uncorrectable, 0);
+        assert!(pm.bit(0, 3), "data not clobbered by a false positive");
+    }
+
+    #[test]
+    fn write_row_cells_bounds_and_empty() {
+        let mut pm = machine(9, 3);
+        assert!(matches!(
+            pm.write_row_cells(9, &[(0, true)]),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.write_row_cells(0, &[(9, true)]),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        let before = *pm.stats();
+        pm.write_row_cells(0, &[]).unwrap();
+        assert_eq!(
+            *pm.stats() - before,
+            MachineStats::default(),
+            "empty write is free"
+        );
+    }
+
+    #[test]
+    fn stats_delta_subtracts_per_counter() {
+        let a = MachineStats {
+            mem_cycles: 10,
+            critical_ops: 4,
+            ..Default::default()
+        };
+        let b = MachineStats {
+            mem_cycles: 3,
+            critical_ops: 1,
+            ..Default::default()
+        };
+        let d = a - b;
+        assert_eq!(d.mem_cycles, 7);
+        assert_eq!(d.critical_ops, 3);
+        assert_eq!(
+            b - a,
+            MachineStats::default(),
+            "saturates instead of wrapping"
+        );
     }
 
     #[test]

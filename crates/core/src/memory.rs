@@ -144,10 +144,7 @@ impl MemoryArray {
     pub fn check_all(&mut self) -> Result<CheckReport> {
         let mut total = CheckReport::default();
         for xb in &mut self.crossbars {
-            let r = xb.check_all()?;
-            total.checked += r.checked;
-            total.corrected += r.corrected;
-            total.uncorrectable += r.uncorrectable;
+            total += xb.check_all()?;
         }
         Ok(total)
     }
@@ -155,7 +152,8 @@ impl MemoryArray {
     /// True when every crossbar's check-bits match its data.
     pub fn verify_consistency(&self) -> std::result::Result<(), String> {
         for (i, xb) in self.crossbars.iter().enumerate() {
-            xb.verify_consistency().map_err(|e| format!("crossbar {i}: {e}"))?;
+            xb.verify_consistency()
+                .map_err(|e| format!("crossbar {i}: {e}"))?;
         }
         Ok(())
     }

@@ -67,7 +67,10 @@ pub fn align_line(
     axis: Axis,
 ) -> Vec<Vec<bool>> {
     let m = geom.m();
-    assert!(fixed_local < m, "fixed local index {fixed_local} out of block range {m}");
+    assert!(
+        fixed_local < m,
+        "fixed local index {fixed_local} out of block range {m}"
+    );
     assert_eq!(bits.len() % m, 0, "line length must be a multiple of m");
     let blocks = bits.len() / m;
     let mut out = vec![vec![false; blocks]; m];
@@ -146,7 +149,11 @@ mod tests {
                 let cl = align_line(&row, r % 5, &geom, Family::Counter, Axis::Row);
                 for d in 0..5 {
                     for b in 0..3 {
-                        assert_eq!(ll[d][b], d == lead && b == bc, "lead r={r} c={c} d={d} b={b}");
+                        assert_eq!(
+                            ll[d][b],
+                            d == lead && b == bc,
+                            "lead r={r} c={c} d={d} b={b}"
+                        );
                         assert_eq!(cl[d][b], d == counter && b == bc, "ctr r={r} c={c}");
                     }
                 }
@@ -209,7 +216,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(sources.len(), 3, "fixed={fixed}: lanes must cover all columns");
+            assert_eq!(
+                sources.len(),
+                3,
+                "fixed={fixed}: lanes must cover all columns"
+            );
         }
     }
 

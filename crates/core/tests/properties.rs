@@ -9,9 +9,11 @@ use proptest::prelude::*;
 
 /// Arbitrary valid geometry: odd m in {3,5,7,9}, n a small multiple of m.
 fn geometry_strategy() -> impl Strategy<Value = BlockGeometry> {
-    (prop_oneof![Just(3usize), Just(5), Just(7), Just(9)], 1usize..4).prop_map(|(m, mult)| {
-        BlockGeometry::new(m * mult, m).expect("valid by construction")
-    })
+    (
+        prop_oneof![Just(3usize), Just(5), Just(7), Just(9)],
+        1usize..4,
+    )
+        .prop_map(|(m, mult)| BlockGeometry::new(m * mult, m).expect("valid by construction"))
 }
 
 fn grid_strategy(n: usize) -> impl Strategy<Value = BitGrid> {

@@ -66,7 +66,10 @@ impl fmt::Display for AigError {
                 write!(f, "literal {literal} exceeds max variable {max_var}")
             }
             AigError::BadAndOutput { literal } => {
-                write!(f, "and output literal {literal} must be a fresh even literal")
+                write!(
+                    f,
+                    "and output literal {literal} must be a fresh even literal"
+                )
             }
             AigError::UndefinedVariable { variable } => {
                 write!(f, "variable {variable} is never defined")
@@ -98,9 +101,9 @@ impl std::error::Error for AigError {}
 /// ```
 pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| AigError::BadHeader { found: String::new() })?;
+    let (_, header) = lines.next().ok_or_else(|| AigError::BadHeader {
+        found: String::new(),
+    })?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     let nums: Vec<u64> = fields
         .iter()
@@ -108,10 +111,17 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
         .filter_map(|t| t.parse().ok())
         .collect();
     if fields.first() != Some(&"aag") || nums.len() != 5 {
-        return Err(AigError::BadHeader { found: header.to_string() });
+        return Err(AigError::BadHeader {
+            found: header.to_string(),
+        });
     }
-    let (max_var, num_in, num_latch, num_out, num_and) =
-        (nums[0], nums[1] as usize, nums[2] as usize, nums[3] as usize, nums[4] as usize);
+    let (max_var, num_in, num_latch, num_out, num_and) = (
+        nums[0],
+        nums[1] as usize,
+        nums[2] as usize,
+        nums[3] as usize,
+        nums[4] as usize,
+    );
     if num_latch != 0 {
         return Err(AigError::HasLatches { latches: num_latch });
     }
@@ -122,7 +132,7 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
     nodes[0] = Some(b.constant(false));
 
     let read_numbers = |expected: usize,
-                            lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
+                        lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
      -> Result<Vec<(usize, Vec<u64>)>, AigError> {
         let mut out = Vec::with_capacity(expected);
         while out.len() < expected {
@@ -136,8 +146,7 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
             if line.is_empty() {
                 continue;
             }
-            let vals: Result<Vec<u64>, _> =
-                line.split_whitespace().map(str::parse).collect();
+            let vals: Result<Vec<u64>, _> = line.split_whitespace().map(str::parse).collect();
             match vals {
                 Ok(v) => out.push((i + 1, v)),
                 Err(_) => {
@@ -159,10 +168,16 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
     let input_lines = read_numbers(num_in, &mut lines)?;
     for (line, vals) in &input_lines {
         let [lit] = vals.as_slice() else {
-            return Err(AigError::BadLine { line: *line, reason: "input needs 1 literal".into() });
+            return Err(AigError::BadLine {
+                line: *line,
+                reason: "input needs 1 literal".into(),
+            });
         };
         if lit % 2 != 0 || lit / 2 > max_var {
-            return Err(AigError::LiteralOutOfRange { literal: *lit, max_var });
+            return Err(AigError::LiteralOutOfRange {
+                literal: *lit,
+                max_var,
+            });
         }
         let node = b.input();
         nodes[(lit / 2) as usize] = Some(node);
@@ -175,11 +190,17 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
     let and_lines = read_numbers(num_and, &mut lines)?;
     for (line, vals) in &and_lines {
         let [lhs, rhs0, rhs1] = vals.as_slice() else {
-            return Err(AigError::BadLine { line: *line, reason: "and needs 3 literals".into() });
+            return Err(AigError::BadLine {
+                line: *line,
+                reason: "and needs 3 literals".into(),
+            });
         };
         for lit in [lhs, rhs0, rhs1] {
             if lit / 2 > max_var {
-                return Err(AigError::LiteralOutOfRange { literal: *lit, max_var });
+                return Err(AigError::LiteralOutOfRange {
+                    literal: *lit,
+                    max_var,
+                });
             }
         }
         if lhs % 2 != 0 || nodes[(lhs / 2) as usize].is_some() {
@@ -193,10 +214,16 @@ pub fn parse_aag(text: &str) -> Result<Netlist, AigError> {
 
     for (line, vals) in &output_lines {
         let [lit] = vals.as_slice() else {
-            return Err(AigError::BadLine { line: *line, reason: "output needs 1 literal".into() });
+            return Err(AigError::BadLine {
+                line: *line,
+                reason: "output needs 1 literal".into(),
+            });
         };
         if lit / 2 > max_var {
-            return Err(AigError::LiteralOutOfRange { literal: *lit, max_var });
+            return Err(AigError::LiteralOutOfRange {
+                literal: *lit,
+                max_var,
+            });
         }
         let node = literal_node(&mut b, &nodes, *lit)?;
         b.output(node);
@@ -211,7 +238,9 @@ fn literal_node(
     literal: u64,
 ) -> Result<NodeId, AigError> {
     let var = (literal / 2) as usize;
-    let node = nodes[var].ok_or(AigError::UndefinedVariable { variable: var as u64 })?;
+    let node = nodes[var].ok_or(AigError::UndefinedVariable {
+        variable: var as u64,
+    })?;
     Ok(if literal % 2 == 1 { b.not(node) } else { node })
 }
 
@@ -255,9 +284,7 @@ pub fn write_aag(netlist: &Netlist) -> String {
             Gate::Const(c) => c as u64, // 0 = false, 1 = true
             Gate::Not(a) => lits[a.index()] ^ 1,
             Gate::And(a, c) => fresh_and(lits[a.index()], lits[c.index()], &mut ands),
-            Gate::Or(a, c) => {
-                fresh_and(lits[a.index()] ^ 1, lits[c.index()] ^ 1, &mut ands) ^ 1
-            }
+            Gate::Or(a, c) => fresh_and(lits[a.index()] ^ 1, lits[c.index()] ^ 1, &mut ands) ^ 1,
             Gate::Nor(a, c) => fresh_and(lits[a.index()] ^ 1, lits[c.index()] ^ 1, &mut ands),
             Gate::Nand(a, c) => fresh_and(lits[a.index()], lits[c.index()], &mut ands) ^ 1,
             Gate::Xor(a, c) => {
@@ -341,7 +368,10 @@ mod tests {
             parse_aag("aag 3 1 1 1 0\n2\n4 2\n2\n"),
             Err(AigError::HasLatches { latches: 1 })
         ));
-        assert!(matches!(parse_aag("nonsense"), Err(AigError::BadHeader { .. })));
+        assert!(matches!(
+            parse_aag("nonsense"),
+            Err(AigError::BadHeader { .. })
+        ));
         assert!(matches!(parse_aag(""), Err(AigError::BadHeader { .. })));
     }
 
@@ -370,8 +400,14 @@ mod tests {
         for e in [
             AigError::BadHeader { found: "x".into() },
             AigError::HasLatches { latches: 2 },
-            AigError::BadLine { line: 3, reason: "r".into() },
-            AigError::LiteralOutOfRange { literal: 9, max_var: 3 },
+            AigError::BadLine {
+                line: 3,
+                reason: "r".into(),
+            },
+            AigError::LiteralOutOfRange {
+                literal: 9,
+                max_var: 3,
+            },
             AigError::BadAndOutput { literal: 7 },
             AigError::UndefinedVariable { variable: 4 },
         ] {
@@ -407,15 +443,19 @@ mod tests {
     #[test]
     fn round_trip_benchmarks_by_sampling() {
         let mut rng = StdRng::seed_from_u64(321);
-        for bench in [Benchmark::Dec, Benchmark::Int2float, Benchmark::Ctrl, Benchmark::Adder] {
+        for bench in [
+            Benchmark::Dec,
+            Benchmark::Int2float,
+            Benchmark::Ctrl,
+            Benchmark::Adder,
+        ] {
             let c = bench.build();
             let round =
                 parse_aag(&write_aag(&c.netlist)).unwrap_or_else(|e| panic!("{bench}: {e}"));
             assert_eq!(round.num_inputs(), c.netlist.num_inputs(), "{bench}");
             assert_eq!(round.num_outputs(), c.netlist.num_outputs(), "{bench}");
             for _ in 0..5 {
-                let inputs: Vec<bool> =
-                    (0..round.num_inputs()).map(|_| rng.gen()).collect();
+                let inputs: Vec<bool> = (0..round.num_inputs()).map(|_| rng.gen()).collect();
                 assert_eq!(round.eval(&inputs), c.netlist.eval(&inputs), "{bench}");
             }
         }

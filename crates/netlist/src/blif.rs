@@ -164,8 +164,8 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
     let mut current_output: Option<String> = None;
 
     let finish_block = |cur: &mut Option<NamesBlock>,
-                            out: &mut Option<String>,
-                            blocks: &mut HashMap<String, NamesBlock>|
+                        out: &mut Option<String>,
+                        blocks: &mut HashMap<String, NamesBlock>|
      -> Result<(), BlifError> {
         if let (Some(block), Some(name)) = (cur.take(), out.take()) {
             if blocks.insert(name.clone(), block).is_some() {
@@ -196,12 +196,19 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
                         })
                     }
                 };
-                current = Some(NamesBlock { inputs: ins, rows: Vec::new(), line: line_no });
+                current = Some(NamesBlock {
+                    inputs: ins,
+                    rows: Vec::new(),
+                    line: line_no,
+                });
                 current_output = Some(output);
             }
             ".end" => break,
             ".latch" | ".subckt" | ".gate" | ".mlatch" | ".clock" => {
-                return Err(BlifError::Unsupported { directive: head.to_string(), line: line_no })
+                return Err(BlifError::Unsupported {
+                    directive: head.to_string(),
+                    line: line_no,
+                })
             }
             _ if head.starts_with('.') => {
                 // Other dot-directives (e.g. .default_input_arrival) are
@@ -258,7 +265,12 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
     }
     finish_block(&mut current, &mut current_output, &mut blocks)?;
     let name = model.ok_or(BlifError::MissingModel)?;
-    Ok(RawModel { name, inputs, outputs, blocks })
+    Ok(RawModel {
+        name,
+        inputs,
+        outputs,
+        blocks,
+    })
 }
 
 /// Elaborates the raw model into a netlist: resolves signal dependencies
@@ -370,7 +382,11 @@ fn synthesize_cover(
     let input_nodes: Vec<NodeId> = block
         .inputs
         .iter()
-        .map(|n| env.get(n).copied().ok_or_else(|| BlifError::UndefinedSignal { name: n.clone() }))
+        .map(|n| {
+            env.get(n)
+                .copied()
+                .ok_or_else(|| BlifError::UndefinedSignal { name: n.clone() })
+        })
         .collect::<Result<_, _>>()?;
     Ok(synth.synthesize(b, &input_nodes, &table))
 }
@@ -409,8 +425,9 @@ pub fn write_blif(netlist: &Netlist, model_name: &str) -> String {
     let _ = writeln!(out, ".model {model_name}");
     let input_names: Vec<String> = (0..netlist.num_inputs()).map(|i| format!("x{i}")).collect();
     let _ = writeln!(out, ".inputs {}", input_names.join(" "));
-    let output_names: Vec<String> =
-        (0..netlist.num_outputs()).map(|i| format!("y{i}")).collect();
+    let output_names: Vec<String> = (0..netlist.num_outputs())
+        .map(|i| format!("y{i}"))
+        .collect();
     let _ = writeln!(out, ".outputs {}", output_names.join(" "));
 
     for (idx, gate) in netlist.nodes().iter().enumerate() {
@@ -496,10 +513,9 @@ mod tests {
 
     #[test]
     fn parse_dont_cares_and_multi_row() {
-        let nl = parse_blif(
-            ".model t\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n-11 1\n.end",
-        )
-        .expect("parses");
+        let nl =
+            parse_blif(".model t\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n-11 1\n.end")
+                .expect("parses");
         // y = a OR (b AND c)
         for v in 0..8usize {
             let ins: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
@@ -509,10 +525,9 @@ mod tests {
 
     #[test]
     fn parse_constants() {
-        let nl = parse_blif(
-            ".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end",
-        )
-        .expect("parses");
+        let nl =
+            parse_blif(".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end")
+                .expect("parses");
         assert_eq!(nl.eval(&[false]), vec![true, false]);
     }
 
@@ -540,7 +555,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(parse_blif(".inputs a\n.outputs y\n").unwrap_err(), BlifError::MissingModel);
+        assert_eq!(
+            parse_blif(".inputs a\n.outputs y\n").unwrap_err(),
+            BlifError::MissingModel
+        );
         assert!(matches!(
             parse_blif(".model t\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end"),
             Err(BlifError::Unsupported { .. })
@@ -571,12 +589,21 @@ mod tests {
     fn error_display_is_informative() {
         let errs: Vec<BlifError> = vec![
             BlifError::MissingModel,
-            BlifError::Unsupported { directive: ".latch".into(), line: 3 },
-            BlifError::BadCover { reason: "x".into(), line: 9 },
+            BlifError::Unsupported {
+                directive: ".latch".into(),
+                line: 3,
+            },
+            BlifError::BadCover {
+                reason: "x".into(),
+                line: 9,
+            },
             BlifError::UndefinedSignal { name: "q".into() },
             BlifError::Redefined { name: "q".into() },
             BlifError::CombinationalLoop { name: "q".into() },
-            BlifError::TooManyInputs { name: "q".into(), inputs: 20 },
+            BlifError::TooManyInputs {
+                name: "q".into(),
+                inputs: 20,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -621,8 +648,7 @@ mod tests {
             assert_eq!(back.num_inputs(), circuit.netlist.num_inputs());
             assert_eq!(back.num_outputs(), circuit.netlist.num_outputs());
             for _ in 0..5 {
-                let ins: Vec<bool> =
-                    (0..back.num_inputs()).map(|_| rng.gen()).collect();
+                let ins: Vec<bool> = (0..back.num_inputs()).map(|_| rng.gen()).collect();
                 assert_eq!(back.eval(&ins), circuit.netlist.eval(&ins), "{bench}");
             }
         }

@@ -89,8 +89,7 @@ mod tests {
         assert_eq!(node_lines, nl.nodes().len() + nl.num_outputs());
         // One edge per operand reference plus one per output.
         let edge_lines = text.lines().filter(|l| l.contains("->")).count();
-        let operand_edges: usize =
-            nl.nodes().iter().map(|g| g.operands().len()).sum();
+        let operand_edges: usize = nl.nodes().iter().map(|g| g.operands().len()).sum();
         assert_eq!(edge_lines, operand_edges + nl.num_outputs());
     }
 

@@ -125,9 +125,7 @@ fn clone_into(
             Gate::Mux { sel, hi, lo } => {
                 builder.mux(map[sel.index()], map[hi.index()], map[lo.index()])
             }
-            Gate::Maj(a, b, c) => {
-                builder.maj(map[a.index()], map[b.index()], map[c.index()])
-            }
+            Gate::Maj(a, b, c) => builder.maj(map[a.index()], map[b.index()], map[c.index()]),
         };
         map.push(node);
     }

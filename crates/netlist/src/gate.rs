@@ -122,7 +122,16 @@ mod tests {
         assert!(Gate::Const(true).operands().is_empty());
         assert_eq!(Gate::Not(id(1)).operands().len(), 1);
         assert_eq!(Gate::Xor(id(1), id(2)).operands().len(), 2);
-        assert_eq!(Gate::Mux { sel: id(0), hi: id(1), lo: id(2) }.operands().len(), 3);
+        assert_eq!(
+            Gate::Mux {
+                sel: id(0),
+                hi: id(1),
+                lo: id(2)
+            }
+            .operands()
+            .len(),
+            3
+        );
         assert_eq!(Gate::Maj(id(0), id(1), id(2)).operands().len(), 3);
     }
 
@@ -153,7 +162,12 @@ mod tests {
                         1 => h,
                         _ => l,
                     };
-                    let got = Gate::Mux { sel: id(0), hi: id(1), lo: id(2) }.eval(v, &[]);
+                    let got = Gate::Mux {
+                        sel: id(0),
+                        hi: id(1),
+                        lo: id(2),
+                    }
+                    .eval(v, &[]);
                     assert_eq!(got, if s { h } else { l });
                     let maj = Gate::Maj(id(0), id(1), id(2)).eval(v, &[]);
                     assert_eq!(maj, (s as u8 + h as u8 + l as u8) >= 2);

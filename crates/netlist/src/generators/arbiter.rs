@@ -22,8 +22,7 @@ fn rotate_right(b: &mut NetlistBuilder, word: &Word, amount: &[crate::NodeId]) -
     let mut current = word.clone();
     for (stage, &sel) in amount.iter().enumerate() {
         let k = 1usize << stage;
-        let rotated =
-            Word::from_bits((0..w).map(|i| current.bit((i + k) % w)).collect());
+        let rotated = Word::from_bits((0..w).map(|i| current.bit((i + k) % w)).collect());
         current = words::mux(b, sel, &rotated, &current);
     }
     current
@@ -34,8 +33,7 @@ fn rotate_left(b: &mut NetlistBuilder, word: &Word, amount: &[crate::NodeId]) ->
     let mut current = word.clone();
     for (stage, &sel) in amount.iter().enumerate() {
         let k = 1usize << stage;
-        let rotated =
-            Word::from_bits((0..w).map(|i| current.bit((i + w - k) % w)).collect());
+        let rotated = Word::from_bits((0..w).map(|i| current.bit((i + w - k) % w)).collect());
         current = words::mux(b, sel, &rotated, &current);
     }
     current
@@ -66,7 +64,11 @@ pub fn build() -> Circuit {
     let grants = rotate_left(&mut b, &grants_rot, &pointer);
     b.output_all(grants.bits().iter().copied());
     b.output(valid);
-    Circuit { name: "arbiter", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "arbiter",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {
@@ -120,7 +122,11 @@ mod tests {
         let out = c.netlist.eval(&inputs);
         assert!(out[3]);
         assert!(out[REQUESTORS], "valid");
-        assert_eq!(out[..REQUESTORS].iter().filter(|&&g| g).count(), 1, "one-hot");
+        assert_eq!(
+            out[..REQUESTORS].iter().filter(|&&g| g).count(),
+            1,
+            "one-hot"
+        );
     }
 
     #[test]
@@ -130,11 +136,9 @@ mod tests {
         use rand::Rng;
         use rand::SeedableRng;
         for _ in 0..20 {
-            let inputs: Vec<bool> =
-                (0..REQUESTORS + PTR_BITS).map(|_| rng.gen()).collect();
+            let inputs: Vec<bool> = (0..REQUESTORS + PTR_BITS).map(|_| rng.gen()).collect();
             let out = c.netlist.eval(&inputs);
-            let grants: Vec<usize> =
-                (0..REQUESTORS).filter(|&i| out[i]).collect();
+            let grants: Vec<usize> = (0..REQUESTORS).filter(|&i| out[i]).collect();
             if out[REQUESTORS] {
                 assert_eq!(grants.len(), 1);
                 assert!(inputs[grants[0]], "granted line must be requesting");

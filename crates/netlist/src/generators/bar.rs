@@ -19,12 +19,18 @@ pub fn build() -> Circuit {
     for (stage, &sel) in amount.iter().enumerate() {
         let k = 1usize << stage;
         let rotated = Word::from_bits(
-            (0..WIDTH).map(|i| current.bit((i + WIDTH - k) % WIDTH)).collect(),
+            (0..WIDTH)
+                .map(|i| current.bit((i + WIDTH - k) % WIDTH))
+                .collect(),
         );
         current = words::mux(&mut b, sel, &rotated, &current);
     }
     b.output_all(current.bits().iter().copied());
-    Circuit { name: "bar", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "bar",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {
@@ -53,7 +59,7 @@ mod tests {
     fn rotate_by_zero_is_identity() {
         let c = build();
         let mut inputs = to_bits(0x1234_5678_9ABC_DEF0, WIDTH);
-        inputs.extend(std::iter::repeat(false).take(SHIFT_BITS));
+        inputs.extend(std::iter::repeat_n(false, SHIFT_BITS));
         let out = c.netlist.eval(&inputs);
         assert_eq!(from_bits(&out), 0x1234_5678_9ABC_DEF0);
     }
@@ -75,7 +81,13 @@ mod tests {
     fn is_log_depth_mux_network() {
         let s = build().netlist.stats();
         // 7 mux stages, each a couple of levels deep after lowering to mux.
-        assert!(s.depth <= 3 * SHIFT_BITS, "log shifter should be shallow: {s}");
-        assert!(s.gates >= WIDTH * SHIFT_BITS / 2, "needs ~a mux per bit per stage: {s}");
+        assert!(
+            s.depth <= 3 * SHIFT_BITS,
+            "log shifter should be shallow: {s}"
+        );
+        assert!(
+            s.gates >= WIDTH * SHIFT_BITS / 2,
+            "needs ~a mux per bit per stage: {s}"
+        );
     }
 }

@@ -18,7 +18,9 @@ const DENSITY: f64 = 0.15;
 
 fn tables() -> Vec<TruthTable> {
     let mut rng = StdRng::seed_from_u64(SEED);
-    (0..OUTPUTS).map(|_| TruthTable::random(INPUTS, DENSITY, &mut rng)).collect()
+    (0..OUTPUTS)
+        .map(|_| TruthTable::random(INPUTS, DENSITY, &mut rng))
+        .collect()
 }
 
 /// Builds the ctrl benchmark.
@@ -36,7 +38,11 @@ pub fn build() -> Circuit {
             .fold(0usize, |acc, (i, &bit)| acc | (bit as usize) << i);
         tabs.iter().map(|t| t.value(v)).collect()
     };
-    Circuit { name: "ctrl", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "ctrl",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 #[cfg(test)]
@@ -55,7 +61,11 @@ mod tests {
         let c = build();
         for v in 0..1usize << INPUTS {
             let inputs: Vec<bool> = (0..INPUTS).map(|i| v >> i & 1 != 0).collect();
-            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "valuation {v}");
+            assert_eq!(
+                c.netlist.eval(&inputs),
+                (c.reference)(&inputs),
+                "valuation {v}"
+            );
         }
     }
 

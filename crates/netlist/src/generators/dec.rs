@@ -41,7 +41,11 @@ pub fn build() -> Circuit {
             b.output(out);
         }
     }
-    Circuit { name: "dec", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "dec",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {

@@ -26,8 +26,11 @@ pub enum ExtraBenchmark {
 
 impl ExtraBenchmark {
     /// All extra benchmarks.
-    pub const ALL: [ExtraBenchmark; 3] =
-        [ExtraBenchmark::Mult, ExtraBenchmark::Square, ExtraBenchmark::LogicMix];
+    pub const ALL: [ExtraBenchmark; 3] = [
+        ExtraBenchmark::Mult,
+        ExtraBenchmark::Square,
+        ExtraBenchmark::LogicMix,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -62,14 +65,22 @@ fn multiplier(b: &mut NetlistBuilder, x: &Word, y: &Word) -> Word {
     let zero = b.constant(false);
     // Zero-extend x to the product width once.
     let x_ext = Word::from_bits(
-        x.bits().iter().copied().chain(std::iter::repeat(zero).take(out_w - xw)).collect(),
+        x.bits()
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(zero, out_w - xw))
+            .collect(),
     );
     let mut acc = Word::constant(b, 0, out_w);
     for i in 0..yw {
         // Partial product: x gated by y[i], shifted left i (pure rewiring).
         let shifted = x_ext.shift_left(i, zero);
         let gated = Word::from_bits(
-            shifted.bits().iter().map(|&bit| b.and(bit, y.bit(i))).collect(),
+            shifted
+                .bits()
+                .iter()
+                .map(|&bit| b.and(bit, y.bit(i)))
+                .collect(),
         );
         let (sum, _carry) = words::add(b, &acc, &gated);
         acc = sum;
@@ -118,8 +129,9 @@ const MIX_OUT: usize = 40;
 
 fn build_logicmix() -> Circuit {
     let mut rng = StdRng::seed_from_u64(0x10C1);
-    let tabs: Vec<TruthTable> =
-        (0..MIX_OUT).map(|_| TruthTable::random(MIX_IN, 0.25, &mut rng)).collect();
+    let tabs: Vec<TruthTable> = (0..MIX_OUT)
+        .map(|_| TruthTable::random(MIX_IN, 0.25, &mut rng))
+        .collect();
     let mut b = NetlistBuilder::new();
     let ins = b.inputs(MIX_IN);
     let outs = synthesize_table(&mut b, &ins, &tabs);
@@ -132,7 +144,11 @@ fn build_logicmix() -> Circuit {
             .fold(0usize, |acc, (i, &bit)| acc | (bit as usize) << i);
         tabs.iter().map(|t| t.value(v)).collect()
     };
-    Circuit { name: "logicmix", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "logicmix",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +210,7 @@ mod tests {
             let nor = c.netlist.to_nor();
             assert_eq!(nor.validate(), Ok(()), "{e}");
             for _ in 0..3 {
-                let inputs: Vec<bool> =
-                    (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
+                let inputs: Vec<bool> = (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
                 assert_eq!(nor.eval(&inputs), c.netlist.eval(&inputs), "{e}");
             }
         }

@@ -21,7 +21,11 @@ pub fn spec(x: u32) -> u32 {
         return 0;
     }
     let e = 31 - x.leading_zeros(); // position of leading one, 0..=10
-    let m = if e >= 3 { (x >> (e - 3)) & 0x7 } else { (x << (3 - e)) & 0x7 };
+    let m = if e >= 3 {
+        (x >> (e - 3)) & 0x7
+    } else {
+        (x << (3 - e)) & 0x7
+    };
     (e << 3) | m
 }
 
@@ -32,7 +36,8 @@ pub fn build() -> Circuit {
 
     // One-hot leading-one detection, scanning from the MSB down.
     let mut seen = b.constant(false);
-    let mut lead = vec![b.constant(false); IN_BITS];
+    let zero = b.constant(false);
+    let mut lead = [zero; IN_BITS];
     for i in (0..IN_BITS).rev() {
         let not_seen = b.not(seen);
         lead[i] = b.and(x[i], not_seen);
@@ -66,7 +71,11 @@ pub fn build() -> Circuit {
 
     b.output_all(man);
     b.output_all(exp);
-    Circuit { name: "int2float", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "int2float",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {

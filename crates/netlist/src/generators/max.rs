@@ -36,12 +36,17 @@ pub fn build() -> Circuit {
     b.output_all(maximum.bits().iter().copied());
     b.output(idx0);
     b.output(idx1);
-    Circuit { name: "max", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "max",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {
-    let vals: Vec<u128> =
-        (0..WORDS).map(|i| from_bits(&inputs[i * WIDTH..(i + 1) * WIDTH])).collect();
+    let vals: Vec<u128> = (0..WORDS)
+        .map(|i| from_bits(&inputs[i * WIDTH..(i + 1) * WIDTH]))
+        .collect();
     // Strictly-greater comparison: first occurrence of the maximum wins.
     let mut best = 0usize;
     for i in 1..WORDS {
@@ -57,8 +62,8 @@ fn reference(inputs: &[bool]) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::to_bits;
+    use super::*;
 
     #[test]
     fn io_shape() {
@@ -103,7 +108,10 @@ mod tests {
     #[test]
     fn handles_extreme_values() {
         let c = build();
-        assert_eq!(eval_max(&c, [u128::MAX, 0, u128::MAX - 1, 5]), (u128::MAX, 0));
+        assert_eq!(
+            eval_max(&c, [u128::MAX, 0, u128::MAX - 1, 5]),
+            (u128::MAX, 0)
+        );
         assert_eq!(eval_max(&c, [0, 0, 0, 0]), (0, 0));
     }
 }

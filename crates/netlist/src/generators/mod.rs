@@ -27,6 +27,9 @@ use crate::netlist::Netlist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Software model mapping input bits to expected output bits.
+pub type ReferenceModel = Box<dyn Fn(&[bool]) -> Vec<bool> + Send + Sync>;
+
 /// A generated benchmark circuit: the netlist plus its bit-exact software
 /// reference model.
 pub struct Circuit {
@@ -35,7 +38,7 @@ pub struct Circuit {
     /// The gate-level netlist.
     pub netlist: Netlist,
     /// Software model mapping input bits to expected output bits.
-    pub reference: Box<dyn Fn(&[bool]) -> Vec<bool> + Send + Sync>,
+    pub reference: ReferenceModel,
 }
 
 impl std::fmt::Debug for Circuit {
@@ -167,7 +170,9 @@ pub fn to_bits(value: u128, width: usize) -> Vec<bool> {
 /// Panics if `bits.len() > 128`.
 pub fn from_bits(bits: &[bool]) -> u128 {
     assert!(bits.len() <= 128, "too wide for u128");
-    bits.iter().rev().fold(0u128, |acc, &b| (acc << 1) | b as u128)
+    bits.iter()
+        .rev()
+        .fold(0u128, |acc, &b| (acc << 1) | b as u128)
 }
 
 #[cfg(test)]
@@ -202,7 +207,8 @@ mod tests {
         for b in Benchmark::ALL {
             let c = b.build();
             assert_eq!(c.netlist.validate(), Ok(()), "{b}");
-            c.validate_sample(8, 0xC0FFEE).unwrap_or_else(|e| panic!("{e}"));
+            c.validate_sample(8, 0xC0FFEE)
+                .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 
@@ -214,8 +220,7 @@ mod tests {
             let nor = c.netlist.to_nor();
             assert_eq!(nor.validate(), Ok(()), "{b}");
             for _ in 0..4 {
-                let inputs: Vec<bool> =
-                    (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
+                let inputs: Vec<bool> = (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
                 assert_eq!(nor.eval(&inputs), c.netlist.eval(&inputs), "{b}");
             }
         }

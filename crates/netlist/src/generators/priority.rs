@@ -29,7 +29,11 @@ pub fn build() -> Circuit {
     }
     b.output_all(index);
     b.output(any_before);
-    Circuit { name: "priority", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "priority",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {
@@ -45,8 +49,8 @@ fn reference(inputs: &[bool]) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::from_bits;
+    use super::*;
 
     #[test]
     fn io_shape() {
@@ -85,7 +89,7 @@ mod tests {
     #[test]
     fn idle_encoder_reports_invalid() {
         let c = build();
-        let out = c.netlist.eval(&vec![false; LINES]);
+        let out = c.netlist.eval(&[false; LINES]);
         assert!(out.iter().all(|&b| !b));
     }
 

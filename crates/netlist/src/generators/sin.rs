@@ -26,8 +26,8 @@ const ITER: usize = 20;
 
 /// `round(atan(2^-i) * 2^24)` for `i = 0..20`.
 const ATAN_TABLE: [i64; ITER] = [
-    13176795, 7778716, 4110060, 2086331, 1047214, 524117, 262123, 131069,
-    65536, 32768, 16384, 8192, 4096, 2048, 1024, 512, 256, 128, 64, 32,
+    13176795, 7778716, 4110060, 2086331, 1047214, 524117, 262123, 131069, 65536, 32768, 16384,
+    8192, 4096, 2048, 1024, 512, 256, 128, 64, 32,
 ];
 /// `round(2^24 / prod sqrt(1 + 2^-2i))` — the CORDIC gain compensation.
 const K_INV: i64 = 10188014;
@@ -61,7 +61,12 @@ pub fn build() -> Circuit {
 
     // Zero-extend the angle into the 27-bit datapath.
     let mut z = Word::from_bits(
-        theta.bits().iter().copied().chain(std::iter::repeat(zero).take(W - IN_BITS)).collect(),
+        theta
+            .bits()
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(zero, W - IN_BITS))
+            .collect(),
     );
     let mut x = Word::constant(&mut b, K_INV as u128, W);
     let mut y = Word::constant(&mut b, 0, W);
@@ -79,7 +84,11 @@ pub fn build() -> Circuit {
     }
 
     b.output_all(y.bits().iter().take(OUT_BITS).copied());
-    Circuit { name: "sin", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "sin",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {
@@ -126,7 +135,7 @@ mod tests {
     #[test]
     fn zero_angle_gives_zero_sine() {
         let c = build();
-        let out = c.netlist.eval(&vec![false; IN_BITS]);
+        let out = c.netlist.eval(&[false; IN_BITS]);
         let got = as_signed(from_bits(&out) as u32);
         assert!(got.abs() <= 64, "sin(0) ~ 0, got {got}");
     }

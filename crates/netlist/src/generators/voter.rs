@@ -57,7 +57,13 @@ pub fn build() -> Circuit {
     let zero = b.constant(false);
     let count = Word::from_bits(
         (0..COUNT_BITS)
-            .map(|w| buckets.get(w).and_then(|v| v.first()).copied().unwrap_or(zero))
+            .map(|w| {
+                buckets
+                    .get(w)
+                    .and_then(|v| v.first())
+                    .copied()
+                    .unwrap_or(zero)
+            })
             .collect(),
     );
 
@@ -66,7 +72,11 @@ pub fn build() -> Circuit {
     let below = words::lt(&mut b, &count, &threshold);
     let majority = b.not(below);
     b.output(majority);
-    Circuit { name: "voter", netlist: b.finish(), reference: Box::new(reference) }
+    Circuit {
+        name: "voter",
+        netlist: b.finish(),
+        reference: Box::new(reference),
+    }
 }
 
 fn reference(inputs: &[bool]) -> Vec<bool> {

@@ -180,7 +180,10 @@ impl Netlist {
             }
             if let Gate::Input(k) = gate {
                 if *k >= self.num_inputs {
-                    return Err(format!("node {i} is input {k} but only {} inputs", self.num_inputs));
+                    return Err(format!(
+                        "node {i} is input {k} but only {} inputs",
+                        self.num_inputs
+                    ));
                 }
             }
         }

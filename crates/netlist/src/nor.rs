@@ -121,7 +121,10 @@ impl NorNetlist {
     /// Panics if `inputs.len() != self.num_inputs()`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
         let values = self.eval_all(inputs);
-        self.outputs.iter().map(|s| resolve(*s, inputs, &values)).collect()
+        self.outputs
+            .iter()
+            .map(|s| resolve(*s, inputs, &values))
+            .collect()
     }
 
     /// Evaluates every gate, returning the per-gate value vector.
@@ -200,7 +203,12 @@ struct Lowering {
 
 impl Lowering {
     fn new(num_inputs: usize) -> Self {
-        Lowering { gates: Vec::new(), inverters: HashMap::new(), num_inputs, const_cache: None }
+        Lowering {
+            gates: Vec::new(),
+            inverters: HashMap::new(),
+            num_inputs,
+            const_cache: None,
+        }
     }
 
     fn emit(&mut self, inputs: Vec<NorSource>) -> NorSource {
@@ -213,7 +221,9 @@ impl Lowering {
             return NorSource::Gate(g);
         }
         let out = self.emit(vec![s]);
-        let NorSource::Gate(g) = out else { unreachable!() };
+        let NorSource::Gate(g) = out else {
+            unreachable!()
+        };
         self.inverters.insert(s, g);
         if let NorSource::Gate(g2) = s {
             // NOT(out) is s itself; reuse it instead of a third inverter.
@@ -226,7 +236,10 @@ impl Lowering {
         if let Some(c) = self.const_cache {
             return c;
         }
-        assert!(self.num_inputs > 0, "cannot synthesize constants without inputs");
+        assert!(
+            self.num_inputs > 0,
+            "cannot synthesize constants without inputs"
+        );
         let x = NorSource::Input(0);
         let nx = self.inv(x);
         let zero = self.emit(vec![x, nx]); // NOR(x, ¬x) = 0
@@ -307,7 +320,11 @@ impl Lowering {
             map.push(src);
         }
         let outputs = netlist.outputs().iter().map(|o| map[o.index()]).collect();
-        let out = NorNetlist { num_inputs: self.num_inputs, gates: self.gates, outputs };
+        let out = NorNetlist {
+            num_inputs: self.num_inputs,
+            gates: self.gates,
+            outputs,
+        };
         let out = out.prune_dead();
         debug_assert_eq!(out.validate(), Ok(()));
         out
@@ -363,7 +380,11 @@ impl NorNetlist {
                 input => input,
             })
             .collect();
-        NorNetlist { num_inputs: self.num_inputs, gates, outputs }
+        NorNetlist {
+            num_inputs: self.num_inputs,
+            gates,
+            outputs,
+        }
     }
 }
 
@@ -524,7 +545,9 @@ mod tests {
     fn validate_rejects_forward_reference() {
         let broken = NorNetlist {
             num_inputs: 1,
-            gates: vec![NorGate { inputs: vec![NorSource::Gate(1)] }],
+            gates: vec![NorGate {
+                inputs: vec![NorSource::Gate(1)],
+            }],
             outputs: vec![NorSource::Gate(0)],
         };
         assert!(broken.validate().is_err());

@@ -49,7 +49,11 @@ impl Word {
 
     /// A constant word holding the low `width` bits of `value`.
     pub fn constant(b: &mut NetlistBuilder, value: u128, width: usize) -> Self {
-        Word((0..width).map(|i| b.constant(value >> i & 1 != 0)).collect())
+        Word(
+            (0..width)
+                .map(|i| b.constant(value >> i & 1 != 0))
+                .collect(),
+        )
     }
 
     /// Bus width in bits.
@@ -94,14 +98,22 @@ impl Word {
     pub fn shift_right_arith(&self, k: usize) -> Word {
         let w = self.width();
         let msb = self.msb();
-        Word((0..w).map(|i| if i + k < w { self.0[i + k] } else { msb }).collect())
+        Word(
+            (0..w)
+                .map(|i| if i + k < w { self.0[i + k] } else { msb })
+                .collect(),
+        )
     }
 
     /// Logical shift left by a constant, filling with `zero` — rewiring
     /// only.
     pub fn shift_left(&self, k: usize, zero: NodeId) -> Word {
         let w = self.width();
-        Word((0..w).map(|i| if i >= k { self.0[i - k] } else { zero }).collect())
+        Word(
+            (0..w)
+                .map(|i| if i >= k { self.0[i - k] } else { zero })
+                .collect(),
+        )
     }
 }
 
@@ -172,7 +184,11 @@ pub fn add_sub(b: &mut NetlistBuilder, x: &Word, y: &Word, sel_subtract: NodeId)
 /// Panics if widths differ.
 pub fn mux(b: &mut NetlistBuilder, sel: NodeId, hi: &Word, lo: &Word) -> Word {
     assert_eq!(hi.width(), lo.width(), "width mismatch");
-    Word((0..hi.width()).map(|i| b.mux(sel, hi.bit(i), lo.bit(i))).collect())
+    Word(
+        (0..hi.width())
+            .map(|i| b.mux(sel, hi.bit(i), lo.bit(i)))
+            .collect(),
+    )
 }
 
 /// Unsigned `x < y` via the subtractor borrow.
@@ -235,7 +251,13 @@ mod tests {
         b.output_all(s.bits().iter().copied());
         b.output(c);
         let nl = b.finish();
-        for (xv, yv) in [(0u128, 0u128), (1, 1), (65535, 1), (12345, 54321), (65535, 65535)] {
+        for (xv, yv) in [
+            (0u128, 0u128),
+            (1, 1),
+            (65535, 1),
+            (12345, 54321),
+            (65535, 65535),
+        ] {
             let out = eval_words(&nl, &[(xv, 16), (yv, 16)]);
             let total = xv + yv;
             assert_eq!(to_u128(&out[0..16]), total & 0xFFFF, "{xv}+{yv}");
@@ -254,7 +276,11 @@ mod tests {
         let nl = b.finish();
         for (xv, yv) in [(0u128, 0u128), (5, 3), (3, 5), (4095, 4095), (0, 1)] {
             let out = eval_words(&nl, &[(xv, 12), (yv, 12)]);
-            assert_eq!(to_u128(&out[0..12]), xv.wrapping_sub(yv) & 0xFFF, "{xv}-{yv}");
+            assert_eq!(
+                to_u128(&out[0..12]),
+                xv.wrapping_sub(yv) & 0xFFF,
+                "{xv}-{yv}"
+            );
             assert_eq!(out[12], xv < yv, "borrow of {xv}-{yv}");
         }
     }

@@ -62,7 +62,10 @@ impl DriftModel {
     /// Panics on negative or non-finite parameters, or a non-positive
     /// reference period.
     pub fn new(abrupt_fit: f64, drift_fit_at_ref: f64, ref_period_hours: f64, alpha: f64) -> Self {
-        assert!(abrupt_fit.is_finite() && abrupt_fit >= 0.0, "abrupt rate must be >= 0");
+        assert!(
+            abrupt_fit.is_finite() && abrupt_fit >= 0.0,
+            "abrupt rate must be >= 0"
+        );
         assert!(
             drift_fit_at_ref.is_finite() && drift_fit_at_ref >= 0.0,
             "drift rate must be >= 0"
@@ -72,14 +75,22 @@ impl DriftModel {
             "reference period must be positive"
         );
         assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
-        DriftModel { abrupt_fit, drift_fit_at_ref, ref_period_hours, alpha }
+        DriftModel {
+            abrupt_fit,
+            drift_fit_at_ref,
+            ref_period_hours,
+            alpha,
+        }
     }
 
     /// Average drift FIT/bit when refreshing every `refresh_hours`: the
     /// power-law hazard integrates to
     /// `λ_d · (t_r/t₀)^α` faults per `t_r`-window (normalized per hour).
     pub fn drift_fit(&self, refresh_hours: f64) -> f64 {
-        assert!(refresh_hours.is_finite() && refresh_hours > 0.0, "period must be positive");
+        assert!(
+            refresh_hours.is_finite() && refresh_hours > 0.0,
+            "period must be positive"
+        );
         self.drift_fit_at_ref * (refresh_hours / self.ref_period_hours).powf(self.alpha)
     }
 

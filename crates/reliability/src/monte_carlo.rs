@@ -12,7 +12,7 @@
 //!   faults into a full [`ProtectedMemory`], run `check_all`, and verify
 //!   that data is restored whenever no block took two hits.
 //!
-//! Trials fan out over threads with `crossbeam::scope`.
+//! Trials fan out over threads with `std::thread::scope`.
 
 use crate::mttf::ReliabilityModel;
 use crate::ser::SoftErrorRate;
@@ -50,7 +50,12 @@ impl MonteCarloResult {
     fn from_counts(trials: u64, failures: u64) -> Self {
         let p = failures as f64 / trials as f64;
         let half = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
-        MonteCarloResult { trials, failures, estimate: p, confidence_95: half }
+        MonteCarloResult {
+            trials,
+            failures,
+            estimate: p,
+            confidence_95: half,
+        }
     }
 
     /// Whether `value` falls within the 95% confidence interval (padded by
@@ -138,17 +143,20 @@ impl MonteCarlo {
         trials: u64,
         threads: usize,
     ) -> MonteCarloResult {
-        assert!(trials > 0 && threads > 0, "trials and threads must be positive");
+        assert!(
+            trials > 0 && threads > 0,
+            "trials and threads must be positive"
+        );
         let flip_p = ser.flip_probability(model.check_period_hours());
         let geom = *model.geometry();
         let per_thread = trials.div_ceil(threads as u64);
         let mut failures = 0u64;
         let mut total = 0u64;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let engine = *self;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(
                             engine.seed.wrapping_add(0x9E37 * (t as u64 + 1)),
                         );
@@ -169,8 +177,7 @@ impl MonteCarlo {
                 total += t;
                 failures += f;
             }
-        })
-        .expect("scope");
+        });
         MonteCarloResult::from_counts(total, failures)
     }
 
@@ -216,7 +223,10 @@ mod tests {
         let mc = MonteCarlo::new(1);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..20 {
-            assert_eq!(mc.block_trial(&geom, 0.0, &mut rng), BlockTrialOutcome::Clean);
+            assert_eq!(
+                mc.block_trial(&geom, 0.0, &mut rng),
+                BlockTrialOutcome::Clean
+            );
         }
     }
 
@@ -239,7 +249,10 @@ mod tests {
                 BlockTrialOutcome::Clean => {}
             }
         }
-        assert!(corrected > 50, "expected many corrected singles, got {corrected}");
+        assert!(
+            corrected > 50,
+            "expected many corrected singles, got {corrected}"
+        );
     }
 
     #[test]
@@ -274,7 +287,10 @@ mod tests {
             if !failed {
                 continue;
             }
-            assert!(faults >= 2, "a failure requires at least two faults, got {faults}");
+            assert!(
+                faults >= 2,
+                "a failure requires at least two faults, got {faults}"
+            );
         }
         assert!(observed_faulty_window, "test should exercise faults");
     }

@@ -77,7 +77,12 @@ impl ReliabilityModel {
             check_period_hours.is_finite() && check_period_hours > 0.0,
             "check period must be positive"
         );
-        ReliabilityModel { geom, capacity_bits, check_period_hours, include_check_bits }
+        ReliabilityModel {
+            geom,
+            capacity_bits,
+            check_period_hours,
+            include_check_bits,
+        }
     }
 
     /// The paper's configuration: 1 GB memory, n = 1020, m = 15, T = 24 h,
@@ -87,7 +92,12 @@ impl ReliabilityModel {
     ///
     /// Never in practice; mirrors [`BlockGeometry::new`].
     pub fn paper() -> pimecc_core::Result<Self> {
-        Ok(Self::new(BlockGeometry::new(1020, 15)?, 8 * (1 << 30), 24.0, false))
+        Ok(Self::new(
+            BlockGeometry::new(1020, 15)?,
+            8 * (1 << 30),
+            24.0,
+            false,
+        ))
     }
 
     /// Returns a copy that counts check-bit memristors as error sites.
@@ -324,6 +334,9 @@ mod tests {
         let b = 225.0f64;
         let direct = 1.0 - ((1.0 - p).powf(b) + b * p * (1.0 - p).powf(b - 1.0));
         let ln_based = m.block_failure_probability(ser);
-        assert!((direct - ln_based).abs() / direct < 1e-6, "{direct} vs {ln_based}");
+        assert!(
+            (direct - ln_based).abs() / direct < 1e-6,
+            "{direct} vs {ln_based}"
+        );
     }
 }

@@ -25,7 +25,10 @@ impl SoftErrorRate {
     ///
     /// Panics if `fit` is negative or non-finite.
     pub fn from_fit_per_bit(fit: f64) -> Self {
-        assert!(fit.is_finite() && fit >= 0.0, "FIT rate must be non-negative, got {fit}");
+        assert!(
+            fit.is_finite() && fit >= 0.0,
+            "FIT rate must be non-negative, got {fit}"
+        );
         SoftErrorRate { fit_per_bit: fit }
     }
 
@@ -46,7 +49,10 @@ impl SoftErrorRate {
     ///
     /// Panics if `hours` is negative or non-finite.
     pub fn flip_probability(&self, hours: f64) -> f64 {
-        assert!(hours.is_finite() && hours >= 0.0, "window must be non-negative");
+        assert!(
+            hours.is_finite() && hours >= 0.0,
+            "window must be non-negative"
+        );
         -(-self.fit_per_bit * hours / 1e9).exp_m1()
     }
 

@@ -135,7 +135,7 @@ mod tests {
         let nor = b.finish().to_nor();
         let cu = cell_usage(&nor);
         let root_cu = *cu.last().unwrap();
-        assert!(root_cu >= 4 && root_cu <= 6, "root CU {root_cu}");
+        assert!((4..=6).contains(&root_cu), "root CU {root_cu}");
     }
 
     #[test]

@@ -44,7 +44,13 @@ impl Default for EccConfig {
     /// The paper's operating point: `m = 15`, `k = 3`, 8-cycle XOR3,
     /// input checking on, PC forwarding on.
     fn default() -> Self {
-        EccConfig { m: 15, num_pcs: 3, xor3_cycles: 8, check_inputs: true, pc_forwarding: true }
+        EccConfig {
+            m: 15,
+            num_pcs: 3,
+            xor3_cycles: 8,
+            check_inputs: true,
+            pc_forwarding: true,
+        }
     }
 }
 
@@ -131,8 +137,15 @@ pub fn schedule_with_ecc(program: &Program, cfg: &EccConfig) -> EccReport {
 
     for step in &program.steps {
         match step {
-            Step::Init { .. } | Step::Gate { critical: false, .. } => mem_t += 1,
-            Step::Gate { critical: true, output, .. } => {
+            Step::Init { .. }
+            | Step::Gate {
+                critical: false, ..
+            } => mem_t += 1,
+            Step::Gate {
+                critical: true,
+                output,
+                ..
+            } => {
                 // Old-value transfer needs a free processing crossbar.
                 let (pc, &free_at) = pc_free
                     .iter()
@@ -190,11 +203,21 @@ pub fn min_processing_crossbars(program: &Program, base: &EccConfig, upper_bound
     assert!(upper_bound > 0, "upper bound must be positive");
     let unbounded = schedule_with_ecc(
         program,
-        &EccConfig { num_pcs: upper_bound, ..*base },
+        &EccConfig {
+            num_pcs: upper_bound,
+            ..*base
+        },
     )
     .total_cycles;
     for k in 1..=upper_bound {
-        let t = schedule_with_ecc(program, &EccConfig { num_pcs: k, ..*base }).total_cycles;
+        let t = schedule_with_ecc(
+            program,
+            &EccConfig {
+                num_pcs: k,
+                ..*base
+            },
+        )
+        .total_cycles;
         if t == unbounded {
             return k;
         }
@@ -237,7 +260,10 @@ mod tests {
         // be degenerate; instead verify the check-off path on a chain: only
         // the single final critical op adds cycles.
         let p = chain_program(50);
-        let cfg = EccConfig { check_inputs: false, ..EccConfig::default() };
+        let cfg = EccConfig {
+            check_inputs: false,
+            ..EccConfig::default()
+        };
         let r = schedule_with_ecc(&p, &cfg);
         assert_eq!(r.critical_ops, 1);
         // 2 transfer cycles + pipeline drain for the single critical op.
@@ -249,7 +275,13 @@ mod tests {
     #[test]
     fn input_check_adds_m_mem_cycles() {
         let p = chain_program(50);
-        let off = schedule_with_ecc(&p, &EccConfig { check_inputs: false, ..Default::default() });
+        let off = schedule_with_ecc(
+            &p,
+            &EccConfig {
+                check_inputs: false,
+                ..Default::default()
+            },
+        );
         let on = schedule_with_ecc(&p, &EccConfig::default());
         // The chain is long enough that the check pipeline fully overlaps:
         // exactly m extra MEM cycles appear.
@@ -259,8 +291,20 @@ mod tests {
     #[test]
     fn dense_outputs_stall_with_few_pcs() {
         let p = dense_program(64);
-        let one = schedule_with_ecc(&p, &EccConfig { num_pcs: 1, ..Default::default() });
-        let many = schedule_with_ecc(&p, &EccConfig { num_pcs: 16, ..Default::default() });
+        let one = schedule_with_ecc(
+            &p,
+            &EccConfig {
+                num_pcs: 1,
+                ..Default::default()
+            },
+        );
+        let many = schedule_with_ecc(
+            &p,
+            &EccConfig {
+                num_pcs: 16,
+                ..Default::default()
+            },
+        );
         assert!(one.mem_stall_cycles > 0, "1 PC must stall on 64 criticals");
         assert!(one.total_cycles > many.total_cycles);
         assert_eq!(many.mem_stall_cycles, 0, "16 PCs never stall here");
@@ -271,8 +315,14 @@ mod tests {
         let p = dense_program(64);
         let mut last = u64::MAX;
         for k in 1..=10 {
-            let t = schedule_with_ecc(&p, &EccConfig { num_pcs: k, ..Default::default() })
-                .total_cycles;
+            let t = schedule_with_ecc(
+                &p,
+                &EccConfig {
+                    num_pcs: k,
+                    ..Default::default()
+                },
+            )
+            .total_cycles;
             assert!(t <= last, "k={k}: {t} > {last}");
             last = t;
         }
@@ -299,10 +349,20 @@ mod tests {
         // row — the same handful of block columns — so without forwarding
         // every update waits for the previous write-back.
         let p = dense_program(64);
-        let fwd = schedule_with_ecc(&p, &EccConfig { num_pcs: 8, ..Default::default() });
+        let fwd = schedule_with_ecc(
+            &p,
+            &EccConfig {
+                num_pcs: 8,
+                ..Default::default()
+            },
+        );
         let no_fwd = schedule_with_ecc(
             &p,
-            &EccConfig { num_pcs: 8, pc_forwarding: false, ..Default::default() },
+            &EccConfig {
+                num_pcs: 8,
+                pc_forwarding: false,
+                ..Default::default()
+            },
         );
         assert!(
             no_fwd.total_cycles > fwd.total_cycles,
@@ -319,9 +379,15 @@ mod tests {
         let fwd = schedule_with_ecc(&p, &EccConfig::default());
         let no_fwd = schedule_with_ecc(
             &p,
-            &EccConfig { pc_forwarding: false, ..Default::default() },
+            &EccConfig {
+                pc_forwarding: false,
+                ..Default::default()
+            },
         );
-        assert_eq!(fwd.total_cycles, no_fwd.total_cycles, "one critical op cannot conflict");
+        assert_eq!(
+            fwd.total_cycles, no_fwd.total_cycles,
+            "one critical op cannot conflict"
+        );
     }
 
     #[test]
@@ -339,8 +405,14 @@ mod tests {
 
     #[test]
     fn check_tree_latency_shrinks_with_more_pcs() {
-        let slow = check_tree_latency(&EccConfig { num_pcs: 1, ..Default::default() });
-        let fast = check_tree_latency(&EccConfig { num_pcs: 8, ..Default::default() });
+        let slow = check_tree_latency(&EccConfig {
+            num_pcs: 1,
+            ..Default::default()
+        });
+        let fast = check_tree_latency(&EccConfig {
+            num_pcs: 8,
+            ..Default::default()
+        });
         assert!(slow > fast);
     }
 
@@ -348,6 +420,12 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_pcs_panics() {
         let p = chain_program(5);
-        let _ = schedule_with_ecc(&p, &EccConfig { num_pcs: 0, ..Default::default() });
+        let _ = schedule_with_ecc(
+            &p,
+            &EccConfig {
+                num_pcs: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -21,8 +21,11 @@ use std::fmt::Write as _;
 /// ```
 pub fn write_listing(program: &Program) -> String {
     let mut out = String::new();
-    let outputs: Vec<String> =
-        program.output_cells.iter().map(|c| format!("c{c}")).collect();
+    let outputs: Vec<String> = program
+        .output_cells
+        .iter()
+        .map(|c| format!("c{c}"))
+        .collect();
     let _ = writeln!(
         out,
         "; program row_size={} inputs={} outputs={}",
@@ -36,10 +39,19 @@ pub fn write_listing(program: &Program) -> String {
                 let cells: Vec<String> = cells.iter().map(|c| format!("c{c}")).collect();
                 let _ = writeln!(out, "{cycle:>5}: init {}", cells.join(" "));
             }
-            Step::Gate { inputs, output, critical, .. } => {
+            Step::Gate {
+                inputs,
+                output,
+                critical,
+                ..
+            } => {
                 let ins: Vec<String> = inputs.iter().map(|c| format!("c{c}")).collect();
                 let marker = if *critical { "!" } else { " " };
-                let _ = writeln!(out, "{cycle:>5}: nor{marker} {} -> c{output}", ins.join(" "));
+                let _ = writeln!(
+                    out,
+                    "{cycle:>5}: nor{marker} {} -> c{output}",
+                    ins.join(" ")
+                );
             }
         }
     }
@@ -67,7 +79,10 @@ fn parse_cell(token: &str, line: usize) -> Result<usize, ParseListingError> {
     token
         .strip_prefix('c')
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseListingError { line, reason: format!("bad cell token '{token}'") })
+        .ok_or_else(|| ParseListingError {
+            line,
+            reason: format!("bad cell token '{token}'"),
+        })
 }
 
 /// Parses a listing back into a [`Program`]. The `gate` indices of parsed
@@ -143,9 +158,13 @@ pub fn parse_listing(text: &str) -> Result<Program, ParseListingError> {
             }
             Some(op @ ("nor" | "nor!")) => {
                 let toks: Vec<&str> = tokens.collect();
-                let arrow = toks.iter().position(|&t| t == "->").ok_or_else(|| {
-                    ParseListingError { line: line_no, reason: "missing '->'".into() }
-                })?;
+                let arrow =
+                    toks.iter()
+                        .position(|&t| t == "->")
+                        .ok_or_else(|| ParseListingError {
+                            line: line_no,
+                            reason: "missing '->'".into(),
+                        })?;
                 let inputs = toks[..arrow]
                     .iter()
                     .map(|t| parse_cell(t, line_no))
@@ -174,7 +193,13 @@ pub fn parse_listing(text: &str) -> Result<Program, ParseListingError> {
         }
     }
     let peak_live = row_size; // conservative; the text form loses this
-    Ok(Program { row_size, num_inputs, steps, output_cells, peak_live })
+    Ok(Program {
+        row_size,
+        num_inputs,
+        steps,
+        output_cells,
+        peak_live,
+    })
 }
 
 #[cfg(test)]
@@ -235,8 +260,8 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
-        let err2 = parse_listing("; program row_size=4 inputs=1 outputs=c0\n 0: nor c0 c1\n")
-            .unwrap_err();
+        let err2 =
+            parse_listing("; program row_size=4 inputs=1 outputs=c0\n 0: nor c0 c1\n").unwrap_err();
         assert!(err2.reason.contains("->"));
         let err3 = parse_listing("; program row_size=x inputs=1 outputs=c0\n").unwrap_err();
         assert!(err3.reason.contains("row_size"));

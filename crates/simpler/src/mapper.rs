@@ -122,12 +122,18 @@ impl Program {
 
     /// Number of NOR-gate cycles.
     pub fn gate_cycles(&self) -> u64 {
-        self.steps.iter().filter(|s| matches!(s, Step::Gate { .. })).count() as u64
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Gate { .. }))
+            .count() as u64
     }
 
     /// Number of batched initialization cycles.
     pub fn init_cycles(&self) -> u64 {
-        self.steps.iter().filter(|s| matches!(s, Step::Init { .. })).count() as u64
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Init { .. }))
+            .count() as u64
     }
 
     /// Number of ECC-critical gate operations (writes of primary outputs).
@@ -136,6 +142,73 @@ impl Program {
             .iter()
             .filter(|s| matches!(s, Step::Gate { critical: true, .. }))
             .count()
+    }
+
+    /// Highest cell index the program ever touches (inputs, gate operands,
+    /// gate outputs, initializations and primary outputs), plus one — the
+    /// width of the row slice a device must reserve per request. Always
+    /// `<= row_size`, and often much smaller for narrow functions mapped
+    /// into wide rows.
+    pub fn footprint(&self) -> usize {
+        let mut hi = self.num_inputs.saturating_sub(1);
+        for step in &self.steps {
+            match step {
+                Step::Init { cells } => {
+                    hi = cells.iter().copied().fold(hi, usize::max);
+                }
+                Step::Gate { inputs, output, .. } => {
+                    hi = inputs.iter().copied().fold(hi.max(*output), usize::max);
+                }
+            }
+        }
+        hi = self.output_cells.iter().copied().fold(hi, usize::max);
+        if self.num_inputs == 0 && self.steps.is_empty() && self.output_cells.is_empty() {
+            0
+        } else {
+            hi + 1
+        }
+    }
+
+    /// Structural fingerprint of the mapped program (FNV-1a over the step
+    /// stream and interface). Two programs with equal fingerprints execute
+    /// identically, so devices use this as their compiled-program cache
+    /// key.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.row_size as u64);
+        mix(self.num_inputs as u64);
+        for step in &self.steps {
+            match step {
+                Step::Init { cells } => {
+                    mix(1);
+                    mix(cells.len() as u64);
+                    cells.iter().for_each(|&c| mix(c as u64));
+                }
+                Step::Gate {
+                    gate,
+                    inputs,
+                    output,
+                    critical,
+                } => {
+                    mix(2);
+                    mix(*gate as u64);
+                    mix(inputs.len() as u64);
+                    inputs.iter().for_each(|&c| mix(c as u64));
+                    mix(*output as u64);
+                    mix(u64::from(*critical));
+                }
+            }
+        }
+        mix(self.output_cells.len() as u64);
+        self.output_cells.iter().for_each(|&c| mix(c as u64));
+        h
     }
 
     /// Executes the program on a strict-mode MAGIC crossbar row and returns
@@ -182,7 +255,10 @@ pub fn map(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
     let row = cfg.row_size;
     let n_in = nor.num_inputs();
     if n_in >= row {
-        return Err(MapError::TooManyInputs { inputs: n_in, row_size: row });
+        return Err(MapError::TooManyInputs {
+            inputs: n_in,
+            row_size: row,
+        });
     }
     let cu = cell_usage(nor);
     let order = execution_order(nor, &cu);
@@ -203,11 +279,16 @@ pub fn map(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
             Some(c) => c,
             None => {
                 if dirty.is_empty() {
-                    return Err(MapError::RowOverflow { row_size: row, pinned: live });
+                    return Err(MapError::RowOverflow {
+                        row_size: row,
+                        pinned: live,
+                    });
                 }
                 // One batched init cycle arms every reclaimable cell.
                 let cells: Vec<usize> = dirty.drain(..).collect();
-                steps.push(Step::Init { cells: cells.clone() });
+                steps.push(Step::Init {
+                    cells: cells.clone(),
+                });
                 clean.extend(cells);
                 clean.pop_front().expect("just refilled")
             }
@@ -254,7 +335,13 @@ pub fn map(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
         })
         .collect();
 
-    Ok(Program { row_size: row, num_inputs: n_in, steps, output_cells, peak_live })
+    Ok(Program {
+        row_size: row,
+        num_inputs: n_in,
+        steps,
+        output_cells,
+        peak_live,
+    })
 }
 
 /// Maps with automatic row widening: starts at `base_row` and doubles until
@@ -410,10 +497,54 @@ mod tests {
     }
 
     #[test]
+    fn footprint_bounds_the_touched_cells() {
+        let nor = small_netlist();
+        let p = map(&nor, &MapperConfig { row_size: 64 }).unwrap();
+        let fp = p.footprint();
+        assert!(fp <= 64);
+        assert!(fp >= nor.num_inputs(), "inputs live inside the footprint");
+        for step in &p.steps {
+            match step {
+                Step::Init { cells } => assert!(cells.iter().all(|&c| c < fp)),
+                Step::Gate { inputs, output, .. } => {
+                    assert!(inputs.iter().all(|&c| c < fp) && *output < fp)
+                }
+            }
+        }
+        assert!(p.output_cells.iter().all(|&c| c < fp));
+    }
+
+    #[test]
+    fn fingerprint_separates_programs_and_is_stable() {
+        let nor = small_netlist();
+        let a = map(&nor, &MapperConfig { row_size: 16 }).unwrap();
+        let b = map(&nor, &MapperConfig { row_size: 16 }).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same mapping, same fingerprint"
+        );
+        let wider = map(&nor, &MapperConfig { row_size: 30 }).unwrap();
+        assert_ne!(
+            a.fingerprint(),
+            wider.fingerprint(),
+            "row size is part of the identity"
+        );
+    }
+
+    #[test]
     fn display_of_map_errors() {
-        let e1 = MapError::RowOverflow { row_size: 10, pinned: 9 }.to_string();
+        let e1 = MapError::RowOverflow {
+            row_size: 10,
+            pinned: 9,
+        }
+        .to_string();
         assert!(e1.contains("10-cell"));
-        let e2 = MapError::TooManyInputs { inputs: 20, row_size: 10 }.to_string();
+        let e2 = MapError::TooManyInputs {
+            inputs: 20,
+            row_size: 10,
+        }
+        .to_string();
         assert!(e2.contains("20 inputs"));
     }
 }

@@ -3,7 +3,9 @@
 //! computes, within the row budget, under strict MAGIC legality.
 
 use pimecc_netlist::{NetlistBuilder, NorNetlist};
-use pimecc_simpler::{cell_usage, execution_order, map, schedule_with_ecc, EccConfig, MapperConfig};
+use pimecc_simpler::{
+    cell_usage, execution_order, map, schedule_with_ecc, EccConfig, MapperConfig,
+};
 use proptest::prelude::*;
 
 /// Builds a random combinational netlist from a compact recipe: a list of

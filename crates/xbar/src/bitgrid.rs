@@ -34,7 +34,12 @@ impl BitGrid {
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "BitGrid dimensions must be non-zero");
         let stride = cols.div_ceil(64);
-        BitGrid { rows, cols, stride, words: vec![0; rows * stride] }
+        BitGrid {
+            rows,
+            cols,
+            stride,
+            words: vec![0; rows * stride],
+        }
     }
 
     /// Creates a grid with every bit set to `value`.
@@ -173,7 +178,11 @@ impl BitGrid {
 
     /// Iterates over the coordinates of every set bit, row-major.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { grid: self, r: 0, c: 0 }
+        IterOnes {
+            grid: self,
+            r: 0,
+            c: 0,
+        }
     }
 
     /// Returns the coordinates `(r, c)` of every bit that differs from
@@ -208,7 +217,13 @@ impl BitGrid {
 
 impl std::fmt::Debug for BitGrid {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "BitGrid({}x{}, {} ones)", self.rows, self.cols, self.count_ones())?;
+        writeln!(
+            f,
+            "BitGrid({}x{}, {} ones)",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )?;
         if self.rows <= 16 && self.cols <= 64 {
             for r in 0..self.rows {
                 for c in 0..self.cols {

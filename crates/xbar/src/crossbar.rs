@@ -173,7 +173,10 @@ impl Crossbar {
 
     fn check_col(&self, c: usize) -> Result<()> {
         if c >= self.cols() {
-            Err(XbarError::ColOutOfBounds { index: c, cols: self.cols() })
+            Err(XbarError::ColOutOfBounds {
+                index: c,
+                cols: self.cols(),
+            })
         } else {
             Ok(())
         }
@@ -181,7 +184,10 @@ impl Crossbar {
 
     fn check_row(&self, r: usize) -> Result<()> {
         if r >= self.rows() {
-            Err(XbarError::RowOutOfBounds { index: r, rows: self.rows() })
+            Err(XbarError::RowOutOfBounds {
+                index: r,
+                rows: self.rows(),
+            })
         } else {
             Ok(())
         }
@@ -201,7 +207,12 @@ impl Crossbar {
     /// * [`XbarError::InputOutputOverlap`] if `out_col` is also an input.
     /// * [`XbarError::OutputNotInitialized`] in strict mode if any selected
     ///   output cell is not armed.
-    pub fn exec_nor_rows(&mut self, in_cols: &[usize], out_col: usize, rows: &LineSet) -> Result<()> {
+    pub fn exec_nor_rows(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+    ) -> Result<()> {
         if in_cols.is_empty() {
             return Err(XbarError::NoInputs);
         }
@@ -219,7 +230,10 @@ impl Crossbar {
         if self.strict {
             for &r in &idx {
                 if !self.armed.get(r, out_col) {
-                    return Err(XbarError::OutputNotInitialized { row: r, col: out_col });
+                    return Err(XbarError::OutputNotInitialized {
+                        row: r,
+                        col: out_col,
+                    });
                 }
             }
         }
@@ -240,7 +254,12 @@ impl Crossbar {
     /// # Errors
     ///
     /// Mirrors [`Crossbar::exec_nor_rows`].
-    pub fn exec_nor_cols(&mut self, in_rows: &[usize], out_row: usize, cols: &LineSet) -> Result<()> {
+    pub fn exec_nor_cols(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+    ) -> Result<()> {
         if in_rows.is_empty() {
             return Err(XbarError::NoInputs);
         }
@@ -258,7 +277,10 @@ impl Crossbar {
         if self.strict {
             for &c in &idx {
                 if !self.armed.get(out_row, c) {
-                    return Err(XbarError::OutputNotInitialized { row: out_row, col: c });
+                    return Err(XbarError::OutputNotInitialized {
+                        row: out_row,
+                        col: c,
+                    });
                 }
             }
         }
@@ -293,7 +315,8 @@ impl Crossbar {
                 self.armed.set(r, c, true);
             }
         }
-        self.stats.record(OpKind::Init, (idx.len() * cols.len()) as u64);
+        self.stats
+            .record(OpKind::Init, (idx.len() * cols.len()) as u64);
         Ok(())
     }
 
@@ -316,7 +339,8 @@ impl Crossbar {
                 self.armed.set(r, c, true);
             }
         }
-        self.stats.record(OpKind::Init, (idx.len() * rows.len()) as u64);
+        self.stats
+            .record(OpKind::Init, (idx.len() * rows.len()) as u64);
         Ok(())
     }
 
@@ -342,7 +366,10 @@ impl Crossbar {
     pub fn exec_write_row(&mut self, r: usize, bits: &[bool]) -> Result<()> {
         self.check_row(r)?;
         if bits.len() != self.cols() {
-            return Err(XbarError::ShapeMismatch { expected: self.cols(), actual: bits.len() });
+            return Err(XbarError::ShapeMismatch {
+                expected: self.cols(),
+                actual: bits.len(),
+            });
         }
         self.write_row(r, bits);
         self.stats.record(OpKind::Write, self.cols() as u64);
@@ -452,8 +479,14 @@ mod tests {
     #[test]
     fn no_inputs_rejected() {
         let mut xb = armed_xb(1, 3);
-        assert_eq!(xb.exec_nor_rows(&[], 2, &LineSet::One(0)).unwrap_err(), XbarError::NoInputs);
-        assert_eq!(xb.exec_nor_cols(&[], 0, &LineSet::One(0)).unwrap_err(), XbarError::NoInputs);
+        assert_eq!(
+            xb.exec_nor_rows(&[], 2, &LineSet::One(0)).unwrap_err(),
+            XbarError::NoInputs
+        );
+        assert_eq!(
+            xb.exec_nor_cols(&[], 0, &LineSet::One(0)).unwrap_err(),
+            XbarError::NoInputs
+        );
     }
 
     #[test]
@@ -467,7 +500,10 @@ mod tests {
             xb.exec_nor_rows(&[0], 1, &LineSet::One(7)),
             Err(XbarError::RowOutOfBounds { index: 7, rows: 2 })
         ));
-        assert!(matches!(xb.exec_read_row(9), Err(XbarError::RowOutOfBounds { .. })));
+        assert!(matches!(
+            xb.exec_read_row(9),
+            Err(XbarError::RowOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -486,7 +522,10 @@ mod tests {
         let mut xb = Crossbar::new(1, 3);
         assert!(matches!(
             xb.exec_write_row(0, &[true]),
-            Err(XbarError::ShapeMismatch { expected: 3, actual: 1 })
+            Err(XbarError::ShapeMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
     }
 
@@ -514,8 +553,10 @@ mod tests {
     #[test]
     fn explicit_lineset_touches_only_selected_rows() {
         let mut xb = Crossbar::new(4, 2);
-        xb.exec_init_rows(&[1], &LineSet::Explicit(vec![1, 3])).unwrap();
-        xb.exec_nor_rows(&[0], 1, &LineSet::Explicit(vec![1, 3])).unwrap();
+        xb.exec_init_rows(&[1], &LineSet::Explicit(vec![1, 3]))
+            .unwrap();
+        xb.exec_nor_rows(&[0], 1, &LineSet::Explicit(vec![1, 3]))
+            .unwrap();
         // Rows 0 and 2 untouched (still 0), rows 1 and 3 got NOT(0) = 1.
         assert!(!xb.bit(0, 1));
         assert!(xb.bit(1, 1));

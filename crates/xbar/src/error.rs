@@ -59,20 +59,32 @@ impl fmt::Display for XbarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XbarError::RowOutOfBounds { index, rows } => {
-                write!(f, "row index {index} out of bounds for crossbar with {rows} rows")
+                write!(
+                    f,
+                    "row index {index} out of bounds for crossbar with {rows} rows"
+                )
             }
             XbarError::ColOutOfBounds { index, cols } => {
-                write!(f, "column index {index} out of bounds for crossbar with {cols} columns")
+                write!(
+                    f,
+                    "column index {index} out of bounds for crossbar with {cols} columns"
+                )
             }
             XbarError::OutputNotInitialized { row, col } => {
-                write!(f, "MAGIC output memristor ({row}, {col}) not initialized to LRS")
+                write!(
+                    f,
+                    "MAGIC output memristor ({row}, {col}) not initialized to LRS"
+                )
             }
             XbarError::InputOutputOverlap { line } => {
                 write!(f, "line {line} used as both gate input and output")
             }
             XbarError::NoInputs => write!(f, "MAGIC gate issued with no inputs"),
             XbarError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected length {expected}, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected length {expected}, got {actual}"
+                )
             }
         }
     }
@@ -92,7 +104,10 @@ mod tests {
             XbarError::OutputNotInitialized { row: 1, col: 2 },
             XbarError::InputOutputOverlap { line: 3 },
             XbarError::NoInputs,
-            XbarError::ShapeMismatch { expected: 8, actual: 4 },
+            XbarError::ShapeMismatch {
+                expected: 8,
+                actual: 4,
+            },
         ];
         for e in cases {
             let msg = e.to_string();

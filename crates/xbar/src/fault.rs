@@ -45,7 +45,10 @@ impl FaultInjector {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
         FaultInjector { p }
     }
 
@@ -145,12 +148,17 @@ mod tests {
         let trials = 50;
         let mut sum = 0usize;
         for _ in 0..trials {
-            sum += FaultInjector::new(p).sample_flip_positions(total, &mut rng).len();
+            sum += FaultInjector::new(p)
+                .sample_flip_positions(total, &mut rng)
+                .len();
         }
         let mean = sum as f64 / trials as f64;
         let expect = p * total as f64; // 1000
-        // 5-sigma band for a binomial mean over 50 trials (sigma ~ 4.4).
-        assert!((mean - expect).abs() < 25.0, "mean {mean} vs expected {expect}");
+                                       // 5-sigma band for a binomial mean over 50 trials (sigma ~ 4.4).
+        assert!(
+            (mean - expect).abs() < 25.0,
+            "mean {mean} vs expected {expect}"
+        );
     }
 
     #[test]

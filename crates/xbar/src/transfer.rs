@@ -47,10 +47,16 @@ pub fn not_row(
     width: usize,
 ) -> Result<()> {
     if src_row >= src.rows() {
-        return Err(XbarError::RowOutOfBounds { index: src_row, rows: src.rows() });
+        return Err(XbarError::RowOutOfBounds {
+            index: src_row,
+            rows: src.rows(),
+        });
     }
     if dst_row >= dst.rows() {
-        return Err(XbarError::RowOutOfBounds { index: dst_row, rows: dst.rows() });
+        return Err(XbarError::RowOutOfBounds {
+            index: dst_row,
+            rows: dst.rows(),
+        });
     }
     if width > src.cols() || width > dst.cols() {
         return Err(XbarError::ShapeMismatch {
@@ -88,17 +94,29 @@ pub fn not_row_permuted(
     perm: &[usize],
 ) -> Result<()> {
     if src_row >= src.rows() {
-        return Err(XbarError::RowOutOfBounds { index: src_row, rows: src.rows() });
+        return Err(XbarError::RowOutOfBounds {
+            index: src_row,
+            rows: src.rows(),
+        });
     }
     if dst_row >= dst.rows() {
-        return Err(XbarError::RowOutOfBounds { index: dst_row, rows: dst.rows() });
+        return Err(XbarError::RowOutOfBounds {
+            index: dst_row,
+            rows: dst.rows(),
+        });
     }
     if perm.len() > dst.cols() {
-        return Err(XbarError::ShapeMismatch { expected: perm.len(), actual: dst.cols() });
+        return Err(XbarError::ShapeMismatch {
+            expected: perm.len(),
+            actual: dst.cols(),
+        });
     }
     for &p in perm {
         if p >= src.cols() {
-            return Err(XbarError::ColOutOfBounds { index: p, cols: src.cols() });
+            return Err(XbarError::ColOutOfBounds {
+                index: p,
+                cols: src.cols(),
+            });
         }
     }
     let cols: Vec<usize> = (0..perm.len()).collect();
@@ -147,7 +165,10 @@ mod tests {
         a.write_row(0, &[true; 8]);
         b.write_bit(0, 7, true);
         not_row(&mut a, 0, &mut b, 0, 4).unwrap();
-        assert_eq!(b.row(0), vec![false, false, false, false, false, false, false, true]);
+        assert_eq!(
+            b.row(0),
+            vec![false, false, false, false, false, false, false, true]
+        );
     }
 
     #[test]

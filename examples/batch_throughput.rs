@@ -1,0 +1,75 @@
+//! Batch throughput: the ~k× cycle amortization of `PimDevice::run_batch`
+//! over the serial one-request-at-a-time flow.
+//!
+//! Run with: `cargo run --release --example batch_throughput`
+
+#![allow(deprecated)] // the serial baseline uses the legacy ProtectedRunner
+
+use pimecc::device::PimDevice;
+use pimecc::netlist::generators::Benchmark;
+use pimecc::simpler::{map, MapperConfig};
+use pimecc::ProtectedRunner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = Benchmark::Int2float.build();
+    let nor = circuit.netlist.to_nor();
+    let n = 255;
+    let m = 5;
+
+    let mut device = PimDevice::new(n, m)?;
+    let program = device.compile(&nor)?;
+    println!(
+        "{}: {} inputs -> {} outputs, {} steps ({} gate cycles, {} critical) on a {n}x{n}/{m} device\n",
+        circuit.name,
+        program.num_inputs(),
+        program.num_outputs(),
+        program.cycles(),
+        program.gate_cycles(),
+        program.critical_count(),
+    );
+
+    // Deterministic request stream: the 11-bit integers 0, 37, 74, ...
+    let request = |i: usize| -> Vec<bool> {
+        let x = (i * 37) as u32 & 0x7FF;
+        (0..11).map(|b| x >> b & 1 != 0).collect()
+    };
+
+    println!(
+        "{:>6} {:>12} {:>14} {:>18} {:>10}",
+        "batch", "MEM cycles", "cycles/request", "gate-evals/cycle", "speedup"
+    );
+    let mut single_cycles = None;
+    for k in [1usize, 8, 64, n] {
+        let requests: Vec<Vec<bool>> = (0..k).map(request).collect();
+        let mut device = PimDevice::new(n, m)?;
+        let program = device.compile(&nor)?;
+        let outcome = device.run_batch(&program, &requests)?;
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], (circuit.reference)(req), "request {i}");
+        }
+        let single = *single_cycles.get_or_insert(outcome.stats.mem_cycles);
+        println!(
+            "{k:>6} {:>12} {:>14.1} {:>18.2} {:>9.1}x",
+            outcome.stats.mem_cycles,
+            outcome.mem_cycles_per_request(),
+            outcome.gate_evals_per_mem_cycle(),
+            single as f64 * k as f64 / outcome.stats.mem_cycles as f64,
+        );
+    }
+
+    // The serial baseline: the same 64 requests, one run_batch-of-one each
+    // (equivalently, the deprecated ProtectedRunner loop).
+    let mut runner = ProtectedRunner::new(n, m)?;
+    let serial_program = map(&nor, &MapperConfig { row_size: n })?;
+    let before = runner.memory().stats().mem_cycles;
+    for i in 0..64 {
+        let out = runner.run(&serial_program, 0, &request(i))?;
+        assert_eq!(out.outputs, (circuit.reference)(&request(i)));
+    }
+    let serial = runner.memory().stats().mem_cycles - before;
+    println!(
+        "\nserial ProtectedRunner, 64 requests: {serial} MEM cycles ({:.1} per request)",
+        serial as f64 / 64.0
+    );
+    Ok(())
+}

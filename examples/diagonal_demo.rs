@@ -42,16 +42,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let (lead, counter) = code.encode(&block);
-    println!("\ncheck-bits  leading: {:?}", lead.iter().map(|&b| b as u8).collect::<Vec<_>>());
-    println!("check-bits  counter: {:?}", counter.iter().map(|&b| b as u8).collect::<Vec<_>>());
+    println!(
+        "\ncheck-bits  leading: {:?}",
+        lead.iter().map(|&b| b as u8).collect::<Vec<_>>()
+    );
+    println!(
+        "check-bits  counter: {:?}",
+        counter.iter().map(|&b| b as u8).collect::<Vec<_>>()
+    );
 
     let victim = (3, 1);
     block.flip(victim.0, victim.1);
     println!("\nsoft error injected at {victim:?}");
     let syn = code.syndrome(&block, &lead, &counter);
-    println!("syndrome: leading diagonals {:?}, counter diagonals {:?}", syn.leading, syn.counter);
+    println!(
+        "syndrome: leading diagonals {:?}, counter diagonals {:?}",
+        syn.leading, syn.counter
+    );
     match syn.decode(&geom) {
-        ErrorLocation::Data { local_row, local_col } => {
+        ErrorLocation::Data {
+            local_row,
+            local_col,
+        } => {
             println!(
                 "decoded: data bit ({local_row}, {local_col}) — unique intersection of the two \
                  flagged diagonals (2 is invertible mod {m})"
@@ -64,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut l = lead.clone();
     let mut k = counter.clone();
     let loc = code.correct(&mut block, &mut l, &mut k);
-    println!("after correction: {loc:?}; syndrome now zero = {}", code.syndrome(&block, &l, &k).is_zero());
+    println!(
+        "after correction: {loc:?}; syndrome now zero = {}",
+        code.syndrome(&block, &l, &k).is_zero()
+    );
     Ok(())
 }

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let windows = 200;
     let mut rng = StdRng::seed_from_u64(2021);
 
-    println!("fault storm on a {0}x{0} crossbar, {1} blocks, {2} windows per rate\n", geom.n(), geom.block_count(), windows);
+    println!(
+        "fault storm on a {0}x{0} crossbar, {1} blocks, {2} windows per rate\n",
+        geom.n(),
+        geom.block_count(),
+        windows
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>12} {:>12} {:>14}",
         "p(bit)", "faults/win", "survived", "corrected", "uncorrectable", "analytic P(ok)"
@@ -54,15 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         // Closed-form survival of this crossbar in one window.
-        let model = ReliabilityModel::new(
-            geom,
-            (geom.n() * geom.n()) as u64,
-            24.0,
-            false,
-        );
+        let model = ReliabilityModel::new(geom, (geom.n() * geom.n()) as u64, 24.0, false);
         // Convert our direct p into the SER producing that p over 24 h.
         let lambda = -(1.0 - p).ln() * 1e9 / 24.0;
-        let analytic_ok = 1.0 - model.proposed_failure_probability(SoftErrorRate::from_fit_per_bit(lambda));
+        let analytic_ok =
+            1.0 - model.proposed_failure_probability(SoftErrorRate::from_fit_per_bit(lambda));
         println!(
             "{:>10.0e} {:>12.2} {:>9}/{} {:>12} {:>12} {:>14.4}",
             p,

@@ -1,63 +1,75 @@
-//! Quickstart: build a protected memory, compute with MAGIC, survive a
-//! soft error.
+//! Quickstart: build a device, compile a function once, serve a batch of
+//! requests in one crossbar pass, survive a soft error.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pimecc::core::{BlockGeometry, ProtectedMemory};
-use pimecc::xbar::{BitGrid, LineSet};
+use pimecc::device::{PimDevice, PimDeviceBuilder};
+use pimecc::netlist::NetlistBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A small crossbar: 45x45 memristors in 15x15 ECC blocks (the paper
-    // uses n = 1020; everything here scales).
-    let geom = BlockGeometry::new(45, 15)?;
-    let mut pm = ProtectedMemory::new(geom)?;
+    // A full adder: sum and carry of three input bits.
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(3);
+    let s1 = b.xor(ins[0], ins[1]);
+    let sum = b.xor(s1, ins[2]);
+    let carry = b.maj(ins[0], ins[1], ins[2]);
+    b.output(sum);
+    b.output(carry);
+    let netlist = b.finish();
+
+    // A small device: 45x45 memristors in 15x15 ECC blocks (the paper uses
+    // n = 1020; everything here scales).
+    let mut device = PimDevice::new(45, 15)?;
     println!(
-        "protected memory: {}x{} MEM, {} blocks, m = {}",
-        geom.n(),
-        geom.n(),
-        geom.block_count(),
-        geom.m()
+        "device: {n}x{n} MEM, {} blocks, m = {}",
+        device.geometry().block_count(),
+        device.geometry().m(),
+        n = device.capacity(),
     );
 
-    // Load data: columns 0 and 1 hold operand bits for every row. The
-    // load path computes all check-bits, like ECC-on-write in a DRAM.
-    let mut data = BitGrid::new(geom.n(), geom.n());
-    for r in 0..geom.n() {
-        data.set(r, 0, r % 3 == 0);
-        data.set(r, 1, r % 5 == 0);
+    // SIMPLER maps the function once; the result is cached on the device.
+    let program = device.compile(&netlist.to_nor())?;
+    println!(
+        "compiled: {} steps, {} gate cycles, footprint {} cells",
+        program.cycles(),
+        program.gate_cycles(),
+        program.footprint()
+    );
+
+    // All eight input combinations ride one batch: each program step
+    // executes once, row-parallel, and the diagonal ECC tracks every write.
+    let batch: Vec<Vec<bool>> = (0..8u32)
+        .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+        .collect();
+    let outcome = device.run_batch(&program, &batch)?;
+    for (req, out) in batch.iter().zip(&outcome.outputs) {
+        assert_eq!(out, &netlist.eval(req));
     }
-    pm.load_grid(&data);
-    println!("loaded operands; ECC consistent = {}", pm.verify_consistency().is_ok());
-
-    // Compute NOR(col0, col1) -> col2 across ALL rows in two cycles; the
-    // machine updates the diagonal check-bits automatically.
-    pm.exec_init_rows(&[2], &LineSet::All)?;
-    pm.exec_nor_rows(&[0, 1], 2, &LineSet::All)?;
     println!(
-        "after row-parallel NOR: {} critical ops, {} XOR3 programs, consistent = {}",
-        pm.stats().critical_ops,
-        pm.stats().pc_xor3_ops,
-        pm.verify_consistency().is_ok()
+        "batch of {}: {} MEM cycles ({:.1} per request), {:.2} gate-evals/cycle, consistent = {}",
+        outcome.requests(),
+        outcome.stats.mem_cycles,
+        outcome.mem_cycles_per_request(),
+        outcome.gate_evals_per_mem_cycle(),
+        device.memory().verify_consistency().is_ok(),
     );
 
-    // A soft error strikes the result column...
-    let victim = (7, 2);
-    let good = pm.bit(victim.0, victim.1);
-    pm.inject_fault(victim.0, victim.1);
+    // Soft errors between load and execution are repaired by the paper's
+    // pre-execution check — here injected through the device's fault hook.
+    let mut faulty = PimDeviceBuilder::new(45, 15)
+        .on_batch_loaded(|pm| {
+            pm.inject_fault(3, 1);
+        })
+        .build()?;
+    let program = faulty.compile(&netlist.to_nor())?;
+    let outcome = faulty.run_batch(&program, &batch)?;
     println!(
-        "injected soft error at {victim:?}: {} -> {}",
-        good,
-        pm.bit(victim.0, victim.1)
-    );
-
-    // ...and the periodic check finds and repairs it.
-    let report = pm.check_all()?;
-    println!(
-        "periodic check: {} blocks checked, {} corrected, {} uncorrectable, value restored = {}",
-        report.checked,
-        report.corrected,
-        report.uncorrectable,
-        pm.bit(victim.0, victim.1) == good
+        "with an injected fault: {} corrected by the input check, outputs still exact = {}",
+        outcome.input_check.corrected,
+        batch
+            .iter()
+            .zip(&outcome.outputs)
+            .all(|(req, out)| out == &netlist.eval(req)),
     );
     Ok(())
 }

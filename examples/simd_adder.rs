@@ -44,14 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in &program.steps {
         match step {
             Step::Init { cells } => xb.exec_init_rows(cells, &LineSet::All)?,
-            Step::Gate { inputs, output, .. } => xb.exec_nor_rows(inputs, *output, &LineSet::All)?,
+            Step::Gate { inputs, output, .. } => {
+                xb.exec_nor_rows(inputs, *output, &LineSet::All)?
+            }
         }
     }
     let mut correct = 0;
     for lane in 0..lanes {
-        let sum_bits: Vec<bool> =
-            program.output_cells[..128].iter().map(|&c| xb.bit(lane, c)).collect();
-        if from_bits(&sum_bits) == expected[lane] & u128::MAX {
+        let sum_bits: Vec<bool> = program.output_cells[..128]
+            .iter()
+            .map(|&c| xb.bit(lane, c))
+            .collect();
+        if from_bits(&sum_bits) == expected[lane] {
             correct += 1;
         }
     }

@@ -49,8 +49,7 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
     let netlist = load_circuit(path)?;
     let nor = netlist.to_nor();
     let base_row = flag_value(args, "--row").unwrap_or(1020);
-    let (program, row) =
-        map_auto(&nor, base_row).map_err(|e| format!("mapping failed: {e}"))?;
+    let (program, row) = map_auto(&nor, base_row).map_err(|e| format!("mapping failed: {e}"))?;
     eprintln!(
         "mapped {} gates into a {}-cell row: {} cycles ({} gate + {} init), peak live {}",
         nor.num_gates(),
@@ -81,7 +80,10 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     println!("circuit:        {path}");
     println!("row size:       {row}");
     println!("baseline:       {} cycles", report.baseline_cycles);
-    println!("with ECC:       {} cycles (k = {})", report.total_cycles, cfg.num_pcs);
+    println!(
+        "with ECC:       {} cycles (k = {})",
+        report.total_cycles, cfg.num_pcs
+    );
     println!("overhead:       {:.2}%", report.overhead_pct());
     println!("critical ops:   {}", report.critical_ops);
     println!("MEM stalls:     {}", report.mem_stall_cycles);
@@ -92,7 +94,10 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("convert: missing circuit path")?;
-    let target = args.get(1).map(String::as_str).ok_or("convert: missing target format")?;
+    let target = args
+        .get(1)
+        .map(String::as_str)
+        .ok_or("convert: missing target format")?;
     let netlist = load_circuit(path)?;
     match target {
         "blif" => print!("{}", write_blif(&netlist, "converted")),
@@ -109,7 +114,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .find(|b| b.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
-            format!("unknown benchmark '{name}'; available: {}", names.join(", "))
+            format!(
+                "unknown benchmark '{name}'; available: {}",
+                names.join(", ")
+            )
         })?;
     let circuit = bench.build();
     print!("{}", write_blif(&circuit.netlist, bench.name()));

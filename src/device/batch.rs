@@ -1,0 +1,52 @@
+//! Batch outcomes: per-request outputs plus whole-batch accounting.
+
+use pimecc_core::{CheckReport, MachineStats};
+
+/// Result of one batched execution
+/// ([`PimDevice::run_batch`](crate::device::PimDevice::run_batch)).
+///
+/// The stats are a *delta*: only the cycles and events this batch caused,
+/// so dividing work by `stats.mem_cycles` yields the batch's own
+/// throughput, independent of whatever ran on the device before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Primary outputs per request, in submission order.
+    pub outputs: Vec<Vec<bool>>,
+    /// Row each request executed on (parallel to `outputs`).
+    pub rows: Vec<usize>,
+    /// Aggregated result of the pre-execution input checks, one per
+    /// *touched block-row* (not one per request — the batch amortization).
+    pub input_check: CheckReport,
+    /// Machine activity attributable to this batch.
+    pub stats: MachineStats,
+    /// Gate evaluations performed: program gate cycles × batch size, since
+    /// every gate cycle evaluates once in each occupied row.
+    pub gate_evals: u64,
+}
+
+impl BatchOutcome {
+    /// Number of requests served.
+    pub fn requests(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The headline throughput figure: gate evaluations per MEM clock
+    /// cycle. Grows towards the batch size as per-batch overheads amortize
+    /// — a serial one-row flow is pinned below 1.
+    pub fn gate_evals_per_mem_cycle(&self) -> f64 {
+        if self.stats.mem_cycles == 0 {
+            0.0
+        } else {
+            self.gate_evals as f64 / self.stats.mem_cycles as f64
+        }
+    }
+
+    /// MEM cycles spent per request — the batch-amortized latency.
+    pub fn mem_cycles_per_request(&self) -> f64 {
+        if self.outputs.is_empty() {
+            0.0
+        } else {
+            self.stats.mem_cycles as f64 / self.outputs.len() as f64
+        }
+    }
+}

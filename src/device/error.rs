@@ -1,0 +1,114 @@
+//! Error type of the device execution layer.
+
+use pimecc_core::CoreError;
+use pimecc_simpler::MapError;
+use std::fmt;
+
+/// Failure of a device-level operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The underlying protected memory rejected an operation.
+    Core(CoreError),
+    /// SIMPLER could not map the netlist onto this device's rows.
+    Map(MapError),
+    /// A batch must contain at least one request.
+    EmptyBatch,
+    /// More requests than the device has rows.
+    BatchTooLarge {
+        /// Requests submitted.
+        requests: usize,
+        /// Rows available on the device.
+        rows: usize,
+    },
+    /// The same row was assigned to two requests of one batch.
+    RowConflict {
+        /// The doubly assigned row.
+        row: usize,
+    },
+    /// A requested row does not exist on this device.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Device dimension.
+        n: usize,
+    },
+    /// A request's input vector does not match the program arity.
+    InputArity {
+        /// Index of the offending request within the batch.
+        request: usize,
+        /// Bits supplied.
+        got: usize,
+        /// Bits the program expects.
+        want: usize,
+    },
+    /// The compiled program was mapped for a wider row than this device has.
+    ProgramTooWide {
+        /// Row size the program was mapped for.
+        row_size: usize,
+        /// Device dimension.
+        n: usize,
+    },
+    /// `rows` and `requests` arguments of different lengths.
+    PlacementArity {
+        /// Rows supplied.
+        rows: usize,
+        /// Requests supplied.
+        requests: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Core(e) => write!(f, "protected memory error: {e}"),
+            DeviceError::Map(e) => write!(f, "mapping failed: {e}"),
+            DeviceError::EmptyBatch => write!(f, "batch contains no requests"),
+            DeviceError::BatchTooLarge { requests, rows } => {
+                write!(f, "{requests} requests exceed the device's {rows} rows")
+            }
+            DeviceError::RowConflict { row } => {
+                write!(f, "row {row} assigned to more than one request")
+            }
+            DeviceError::RowOutOfRange { row, n } => {
+                write!(f, "row {row} out of range for a {n}x{n} device")
+            }
+            DeviceError::InputArity { request, got, want } => {
+                write!(
+                    f,
+                    "request {request} supplies {got} input bits, program expects {want}"
+                )
+            }
+            DeviceError::ProgramTooWide { row_size, n } => {
+                write!(
+                    f,
+                    "program mapped for a {row_size}-cell row exceeds the {n}-cell device"
+                )
+            }
+            DeviceError::PlacementArity { rows, requests } => {
+                write!(f, "{rows} rows given for {requests} requests")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Core(e) => Some(e),
+            DeviceError::Map(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DeviceError {
+    fn from(e: CoreError) -> Self {
+        DeviceError::Core(e)
+    }
+}
+
+impl From<MapError> for DeviceError {
+    fn from(e: MapError) -> Self {
+        DeviceError::Map(e)
+    }
+}

@@ -1,0 +1,870 @@
+//! Batch-first execution on an ECC-protected MAGIC crossbar.
+//!
+//! The paper's headline is *high-throughput* PIM: MAGIC executes one
+//! instruction stream across all rows of a crossbar simultaneously, and the
+//! diagonal ECC keeps its check-bits current at Θ(1) in-memory operations
+//! per parallel write. A [`PimDevice`] exposes exactly that shape:
+//!
+//! 1. [`PimDevice::compile`] maps a function once with SIMPLER and caches
+//!    the resulting [`CompiledProgram`] on the device;
+//! 2. [`PimDevice::run_batch`] packs up to `n` requests onto distinct rows
+//!    (without clobbering the others), performs **one** pre-execution ECC
+//!    check per *touched block-row* — not per request — and then executes
+//!    each program step **exactly once** for the whole batch via
+//!    row-parallel MAGIC;
+//! 3. the [`BatchOutcome`] carries per-request outputs plus the batch's own
+//!    [`MachineStats`](pimecc_core::MachineStats) delta and a derived
+//!    throughput figure (gate evaluations per MEM cycle).
+//!
+//! Batching therefore costs ~O(steps + k) MEM cycles for k requests where
+//! the serial [`ProtectedRunner`](crate::runner::ProtectedRunner) flow costs
+//! O(steps × k) — the ~k× amortization every scaling layer above this API
+//! (sharding, async queues, multi-device) builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc::device::PimDevice;
+//! use pimecc::netlist::NetlistBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let g = b.xor(x, y);
+//! b.output(g);
+//! let netlist = b.finish();
+//!
+//! let mut device = PimDevice::new(30, 3)?; // 30x30 crossbar, 3x3 ECC blocks
+//! let program = device.compile(&netlist.to_nor())?;
+//!
+//! // Four requests ride the same step sequence on four rows at once.
+//! let batch: Vec<Vec<bool>> = (0..4u32)
+//!     .map(|v| vec![v & 1 != 0, v & 2 != 0])
+//!     .collect();
+//! let outcome = device.run_batch(&program, &batch)?;
+//! for (req, out) in batch.iter().zip(&outcome.outputs) {
+//!     assert_eq!(out, &netlist.eval(req));
+//! }
+//! assert_eq!(outcome.requests(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod batch;
+mod error;
+mod program;
+
+pub use batch::BatchOutcome;
+pub use error::DeviceError;
+pub use program::CompiledProgram;
+
+use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory};
+use pimecc_netlist::NorNetlist;
+use pimecc_simpler::{map, MapperConfig, Program, Step};
+use pimecc_xbar::LineSet;
+use std::collections::HashMap;
+
+/// When (and how aggressively) the device verifies ECC around a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckPolicy {
+    /// The paper's §IV flow: before execution, every block-row holding a
+    /// request of the batch is checked and single errors repaired.
+    #[default]
+    PreExecution,
+    /// No pre-execution check; rely on the continuous maintenance and the
+    /// periodic scrub alone.
+    Skip,
+    /// [`CheckPolicy::PreExecution`] plus a pre-*write* check of every
+    /// critical operation — closes the paper's §III false-positive window
+    /// at the price of one block check per covered write.
+    Paranoid,
+}
+
+/// Which blocks of the device carry ECC coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CoveragePolicy {
+    /// Every block is covered (the safe default).
+    #[default]
+    Full,
+    /// The listed `(block_row, block_col)` blocks are uncovered scratch —
+    /// the paper's model where only function inputs/outputs are protected.
+    Uncovered(Vec<(usize, usize)>),
+}
+
+/// Hook invoked after a batch's inputs are loaded and before its
+/// pre-execution check — the window soft errors strike in; fault-injection
+/// campaigns register one through
+/// [`PimDeviceBuilder::on_batch_loaded`].
+pub type BatchFaultHook = Box<dyn FnMut(&mut ProtectedMemory)>;
+
+/// Configures and builds a [`PimDevice`].
+///
+/// ```
+/// use pimecc::device::{CheckPolicy, PimDeviceBuilder};
+///
+/// # fn main() -> Result<(), pimecc::device::DeviceError> {
+/// let device = PimDeviceBuilder::new(45, 15)
+///     .check_policy(CheckPolicy::Paranoid)
+///     .build()?;
+/// assert_eq!(device.capacity(), 45);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PimDeviceBuilder {
+    n: usize,
+    m: usize,
+    check_policy: CheckPolicy,
+    coverage: CoveragePolicy,
+    fault_hook: Option<BatchFaultHook>,
+}
+
+impl PimDeviceBuilder {
+    /// Starts a builder for an `n×n` crossbar with `m×m` ECC blocks.
+    pub fn new(n: usize, m: usize) -> Self {
+        PimDeviceBuilder {
+            n,
+            m,
+            check_policy: CheckPolicy::default(),
+            coverage: CoveragePolicy::default(),
+            fault_hook: None,
+        }
+    }
+
+    /// Selects the ECC checking policy (default:
+    /// [`CheckPolicy::PreExecution`]).
+    pub fn check_policy(mut self, policy: CheckPolicy) -> Self {
+        self.check_policy = policy;
+        self
+    }
+
+    /// Selects the block coverage policy (default: [`CoveragePolicy::Full`]).
+    pub fn coverage(mut self, coverage: CoveragePolicy) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Registers a fault-injection hook, run once per batch after the
+    /// inputs are written and before the pre-execution check.
+    pub fn on_batch_loaded(mut self, hook: impl FnMut(&mut ProtectedMemory) + 'static) -> Self {
+        self.fault_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Builds the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation and coverage-map errors as
+    /// [`DeviceError::Core`].
+    pub fn build(self) -> Result<PimDevice, DeviceError> {
+        let mut memory = ProtectedMemory::new(BlockGeometry::new(self.n, self.m)?)?;
+        if let CoveragePolicy::Uncovered(blocks) = &self.coverage {
+            for &(br, bc) in blocks {
+                memory.set_block_covered(br, bc, false)?;
+            }
+        }
+        memory.set_check_on_critical(matches!(self.check_policy, CheckPolicy::Paranoid));
+        Ok(PimDevice {
+            memory,
+            check_policy: self.check_policy,
+            fault_hook: self.fault_hook,
+            programs: HashMap::new(),
+            next_program_id: 0,
+        })
+    }
+}
+
+impl std::fmt::Debug for PimDeviceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimDeviceBuilder")
+            .field("n", &self.n)
+            .field("m", &self.m)
+            .field("check_policy", &self.check_policy)
+            .field("coverage", &self.coverage)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// An ECC-protected MAGIC crossbar exposed as a batch-first compute device.
+///
+/// See the [module documentation](self) for the execution model and an
+/// end-to-end example.
+pub struct PimDevice {
+    memory: ProtectedMemory,
+    check_policy: CheckPolicy,
+    fault_hook: Option<BatchFaultHook>,
+    /// Compiled-program cache, keyed by source fingerprint.
+    programs: HashMap<u64, CompiledProgram>,
+    next_program_id: u64,
+}
+
+impl PimDevice {
+    /// Shorthand for [`PimDeviceBuilder::new`]`(n, m).build()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn new(n: usize, m: usize) -> Result<Self, DeviceError> {
+        PimDeviceBuilder::new(n, m).build()
+    }
+
+    /// Wraps an existing protected memory with the default policies.
+    pub fn from_memory(memory: ProtectedMemory) -> Self {
+        // Keep the reported policy truthful: a memory that already checks
+        // before every critical write is a paranoid device. Skip is not
+        // observable in machine state — callers that want it pass it
+        // explicitly via `from_memory_with_policy`.
+        let check_policy = if memory.check_on_critical() {
+            CheckPolicy::Paranoid
+        } else {
+            CheckPolicy::default()
+        };
+        Self::from_memory_with_policy(memory, check_policy)
+    }
+
+    /// Wraps an existing protected memory under an explicit [`CheckPolicy`]
+    /// (e.g. to round-trip a [`CheckPolicy::Skip`] device through
+    /// [`PimDevice::into_memory`], which [`PimDevice::from_memory`] cannot
+    /// infer). The memory's pre-write checking flag is aligned with
+    /// `policy`.
+    pub fn from_memory_with_policy(mut memory: ProtectedMemory, policy: CheckPolicy) -> Self {
+        memory.set_check_on_critical(matches!(policy, CheckPolicy::Paranoid));
+        PimDevice {
+            memory,
+            check_policy: policy,
+            fault_hook: None,
+            programs: HashMap::new(),
+            next_program_id: 0,
+        }
+    }
+
+    /// Number of rows — the maximum batch size.
+    pub fn capacity(&self) -> usize {
+        self.memory.geometry().n()
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &BlockGeometry {
+        self.memory.geometry()
+    }
+
+    /// The checking policy in force.
+    pub fn check_policy(&self) -> CheckPolicy {
+        self.check_policy
+    }
+
+    /// Read access to the underlying machine (stats, consistency checks).
+    pub fn memory(&self) -> &ProtectedMemory {
+        &self.memory
+    }
+
+    /// Consumes the device, returning the machine.
+    pub fn into_memory(self) -> ProtectedMemory {
+        self.memory
+    }
+
+    /// Lifetime machine statistics (batches report their own deltas).
+    pub fn stats(&self) -> &MachineStats {
+        self.memory.stats()
+    }
+
+    /// Number of distinct programs held in the compile cache.
+    pub fn compiled_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Empties the compile cache. The cache grows by one entry per
+    /// distinct program for the device's lifetime; long-running flows that
+    /// stream many one-off programs (fault campaigns, benchmark sweeps)
+    /// call this between phases. Outstanding [`CompiledProgram`] handles
+    /// stay valid — they own their program — and still execute; they are
+    /// simply re-inserted if adopted again.
+    pub fn clear_compiled(&mut self) {
+        self.programs.clear();
+    }
+
+    /// Injects a soft error (forwarded to the machine, for campaigns).
+    pub fn inject_fault(&mut self, r: usize, c: usize) {
+        self.memory.inject_fault(r, c);
+    }
+
+    /// Maps `netlist` onto this device's row width with SIMPLER and caches
+    /// the result: compiling the same netlist again returns the cached
+    /// [`CompiledProgram`] without re-running the mapper.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Map`] when the function does not fit one row.
+    pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, DeviceError> {
+        let key = netlist_key(netlist);
+        if let Some(cached) = self.programs.get(&key) {
+            return Ok(cached.clone());
+        }
+        let program = map(
+            netlist,
+            &MapperConfig {
+                row_size: self.capacity(),
+            },
+        )?;
+        Ok(self.insert_program(key, program))
+    }
+
+    /// Adopts an externally mapped [`Program`] (for example one widened
+    /// with [`map_auto`](pimecc_simpler::map_auto) or parsed from a
+    /// listing), caching it by its [`Program::fingerprint`].
+    pub fn adopt(&mut self, program: &Program) -> CompiledProgram {
+        let key = program.fingerprint();
+        if let Some(cached) = self.programs.get(&key) {
+            return cached.clone();
+        }
+        self.insert_program(key, program.clone())
+    }
+
+    fn insert_program(&mut self, key: u64, program: Program) -> CompiledProgram {
+        let compiled = CompiledProgram::new(self.next_program_id, program);
+        self.next_program_id += 1;
+        self.programs.insert(key, compiled.clone());
+        compiled
+    }
+
+    fn check_placement(
+        &self,
+        program: &CompiledProgram,
+        rows: &[usize],
+    ) -> Result<(), DeviceError> {
+        let n = self.capacity();
+        if program.program().row_size > n {
+            return Err(DeviceError::ProgramTooWide {
+                row_size: program.program().row_size,
+                n,
+            });
+        }
+        if rows.is_empty() {
+            return Err(DeviceError::EmptyBatch);
+        }
+        if rows.len() > n {
+            return Err(DeviceError::BatchTooLarge {
+                requests: rows.len(),
+                rows: n,
+            });
+        }
+        let mut seen = vec![false; n];
+        for &row in rows {
+            if row >= n {
+                return Err(DeviceError::RowOutOfRange { row, n });
+            }
+            if seen[row] {
+                return Err(DeviceError::RowConflict { row });
+            }
+            seen[row] = true;
+        }
+        Ok(())
+    }
+
+    /// Writes one request's inputs into cells `0..num_inputs` of `row`
+    /// through the write-with-ECC path, leaving every other row of the
+    /// device untouched.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors as in [`PimDevice::run_batch_on_rows`];
+    /// [`DeviceError::InputArity`] on an input-width mismatch.
+    pub fn load_request(
+        &mut self,
+        program: &CompiledProgram,
+        row: usize,
+        inputs: &[bool],
+    ) -> Result<(), DeviceError> {
+        self.check_placement(program, &[row])?;
+        if inputs.len() != program.num_inputs() {
+            return Err(DeviceError::InputArity {
+                request: 0,
+                got: inputs.len(),
+                want: program.num_inputs(),
+            });
+        }
+        let cells: Vec<(usize, bool)> = inputs.iter().copied().enumerate().collect();
+        self.memory.write_row_cells(row, &cells)?;
+        Ok(())
+    }
+
+    /// Executes `program` once across the already loaded `rows`: the
+    /// pre-execution check of every touched block-row (per
+    /// [`CheckPolicy`]), then every program step exactly once via
+    /// [`LineSet::Explicit`], then per-row output readback.
+    ///
+    /// Most callers want [`PimDevice::run_batch`], which also loads the
+    /// inputs; this lower-level entry point exists for flows that separate
+    /// loading from execution (e.g. fault-injection between the two).
+    ///
+    /// # Errors
+    ///
+    /// Placement errors as in [`PimDevice::run_batch_on_rows`]; MAGIC
+    /// legality violations as [`DeviceError::Core`].
+    pub fn execute_rows(
+        &mut self,
+        program: &CompiledProgram,
+        rows: &[usize],
+    ) -> Result<BatchOutcome, DeviceError> {
+        self.check_placement(program, rows)?;
+        self.execute_rows_checked(program, rows)
+    }
+
+    /// [`PimDevice::execute_rows`] after placement validation — the shared
+    /// tail of the batch entry points, so validation runs once per batch.
+    fn execute_rows_checked(
+        &mut self,
+        program: &CompiledProgram,
+        rows: &[usize],
+    ) -> Result<BatchOutcome, DeviceError> {
+        let stats_before = *self.memory.stats();
+
+        let mut input_check = CheckReport::default();
+        if !matches!(self.check_policy, CheckPolicy::Skip) {
+            let m = self.memory.geometry().m();
+            let mut block_rows: Vec<usize> = rows.iter().map(|&r| r / m).collect();
+            block_rows.sort_unstable();
+            block_rows.dedup();
+            for br in block_rows {
+                input_check += self.memory.check_block_row(br)?;
+            }
+        }
+
+        let selected = LineSet::Explicit(rows.to_vec());
+        for step in &program.program().steps {
+            match step {
+                Step::Init { cells } => self.memory.exec_init_rows(cells, &selected)?,
+                Step::Gate { inputs, output, .. } => {
+                    self.memory.exec_nor_rows(inputs, *output, &selected)?
+                }
+            }
+        }
+
+        let outputs: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|&row| {
+                program
+                    .program()
+                    .output_cells
+                    .iter()
+                    .map(|&c| self.memory.bit(row, c))
+                    .collect()
+            })
+            .collect();
+        Ok(BatchOutcome {
+            outputs,
+            rows: rows.to_vec(),
+            input_check,
+            stats: *self.memory.stats() - stats_before,
+            gate_evals: program.gate_cycles() * rows.len() as u64,
+        })
+    }
+
+    /// Serves a batch: packs request `i` onto row `i`, then loads, checks
+    /// and executes as described in the [module documentation](self).
+    ///
+    /// # Errors
+    ///
+    /// See [`PimDevice::run_batch_on_rows`].
+    pub fn run_batch(
+        &mut self,
+        program: &CompiledProgram,
+        requests: &[Vec<bool>],
+    ) -> Result<BatchOutcome, DeviceError> {
+        let rows: Vec<usize> = (0..requests.len()).collect();
+        self.run_batch_on_rows(program, &rows, requests)
+    }
+
+    /// Serves a batch with explicit row placement: request `i` executes on
+    /// `rows[i]`. Rows not listed are never written — concurrent residents
+    /// of the crossbar are preserved.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::PlacementArity`] if `rows` and `requests` differ in
+    ///   length;
+    /// * [`DeviceError::EmptyBatch`] / [`DeviceError::BatchTooLarge`] /
+    ///   [`DeviceError::RowOutOfRange`] / [`DeviceError::RowConflict`] on
+    ///   bad placements;
+    /// * [`DeviceError::ProgramTooWide`] if the program does not fit;
+    /// * [`DeviceError::InputArity`] if a request's width is wrong;
+    /// * [`DeviceError::Core`] for machine-level failures.
+    pub fn run_batch_on_rows(
+        &mut self,
+        program: &CompiledProgram,
+        rows: &[usize],
+        requests: &[Vec<bool>],
+    ) -> Result<BatchOutcome, DeviceError> {
+        if rows.len() != requests.len() {
+            return Err(DeviceError::PlacementArity {
+                rows: rows.len(),
+                requests: requests.len(),
+            });
+        }
+        self.check_placement(program, rows)?;
+        let want = program.num_inputs();
+        if let Some((i, req)) = requests.iter().enumerate().find(|(_, r)| r.len() != want) {
+            return Err(DeviceError::InputArity {
+                request: i,
+                got: req.len(),
+                want,
+            });
+        }
+        let stats_before = *self.memory.stats();
+        for (&row, req) in rows.iter().zip(requests) {
+            let cells: Vec<(usize, bool)> = req.iter().copied().enumerate().collect();
+            self.memory.write_row_cells(row, &cells)?;
+        }
+        if let Some(hook) = self.fault_hook.as_mut() {
+            hook(&mut self.memory);
+        }
+        let mut outcome = self.execute_rows_checked(program, rows)?;
+        // Fold the load phase into the batch's accounting.
+        outcome.stats = *self.memory.stats() - stats_before;
+        Ok(outcome)
+    }
+}
+
+impl std::fmt::Debug for PimDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimDevice")
+            .field("n", &self.capacity())
+            .field("m", &self.memory.geometry().m())
+            .field("check_policy", &self.check_policy)
+            .field("compiled_programs", &self.programs.len())
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// Structural fingerprint of a NOR netlist, the compile-cache key.
+fn netlist_key(netlist: &NorNetlist) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    netlist.num_inputs().hash(&mut h);
+    for gate in netlist.gates() {
+        gate.inputs.hash(&mut h);
+    }
+    netlist.outputs().hash(&mut h);
+    // Distinguish the netlist-key domain from program fingerprints, which
+    // share the same cache.
+    h.write_u8(0x4E);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimecc_netlist::{Netlist, NetlistBuilder};
+
+    fn small_circuit() -> (NorNetlist, Netlist) {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(3);
+        let g1 = b.xor(ins[0], ins[1]);
+        let g2 = b.mux(ins[2], g1, ins[0]);
+        b.output(g1);
+        b.output(g2);
+        let nl = b.finish();
+        (nl.to_nor(), nl)
+    }
+
+    #[test]
+    fn full_device_batch_matches_reference_on_every_row() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let program = device.compile(&nor).expect("compiles");
+        let requests: Vec<Vec<bool>> = (0..30u32)
+            .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+            .collect();
+        let outcome = device.run_batch(&program, &requests).expect("runs");
+        assert_eq!(outcome.requests(), 30);
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
+            assert_eq!(outcome.rows[i], i);
+        }
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn each_step_executes_once_per_batch() {
+        // A NOR chain long enough that program steps dominate per-request
+        // packing work, as they do for real functions.
+        let mut b = NetlistBuilder::new();
+        let mut x = b.input();
+        let y = b.input();
+        for _ in 0..60 {
+            x = b.nor(x, y);
+        }
+        b.output(x);
+        let nor = b.finish().to_nor();
+
+        let mut single = PimDevice::new(30, 3).expect("device");
+        let p = single.compile(&nor).expect("compiles");
+        let one = single.run_batch(&p, &[vec![true, false]]).expect("runs");
+
+        let mut batched = PimDevice::new(30, 3).expect("device");
+        let p = batched.compile(&nor).expect("compiles");
+        let requests: Vec<Vec<bool>> = (0..30u32).map(|v| vec![v & 1 != 0, v & 2 != 0]).collect();
+        let thirty = batched.run_batch(&p, &requests).expect("runs");
+
+        assert!(
+            thirty.stats.mem_cycles < 2 * one.stats.mem_cycles,
+            "30-deep batch must not double the single-run cycle count: {} vs {}",
+            thirty.stats.mem_cycles,
+            one.stats.mem_cycles
+        );
+        assert!(thirty.gate_evals_per_mem_cycle() > 10.0 * one.gate_evals_per_mem_cycle());
+    }
+
+    #[test]
+    fn compile_cache_hits_by_structure() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let a = device.compile(&nor).expect("compiles");
+        let b = device.compile(&nor).expect("compiles");
+        assert_eq!(
+            a.id(),
+            b.id(),
+            "structurally equal netlists share a compilation"
+        );
+        assert_eq!(device.compiled_count(), 1);
+        let adopted = device.adopt(a.program());
+        assert_eq!(
+            device.compiled_count(),
+            2,
+            "program fingerprints are a separate domain"
+        );
+        let again = device.adopt(a.program());
+        assert_eq!(adopted.id(), again.id());
+        // Clearing drops the cache but not outstanding handles.
+        device.clear_compiled();
+        assert_eq!(device.compiled_count(), 0);
+        let out = device
+            .run_batch(&adopted, &[vec![true, false, true]])
+            .expect("cleared cache does not invalidate handles");
+        assert_eq!(out.requests(), 1);
+    }
+
+    #[test]
+    fn explicit_placement_preserves_other_rows() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDevice::new(30, 5).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let first = device
+            .run_batch_on_rows(&p, &[4], &[vec![true, true, false]])
+            .expect("runs");
+        // A second batch on different rows must not disturb row 4.
+        let resident: Vec<bool> = (0..30).map(|c| device.memory().bit(4, c)).collect();
+        let second = device
+            .run_batch_on_rows(
+                &p,
+                &[11, 28],
+                &[vec![false, true, true], vec![true, false, true]],
+            )
+            .expect("runs");
+        let after: Vec<bool> = (0..30).map(|c| device.memory().bit(4, c)).collect();
+        assert_eq!(resident, after, "row 4 untouched by the second batch");
+        assert_eq!(first.outputs[0], nl.eval(&[true, true, false]));
+        assert_eq!(second.outputs[1], nl.eval(&[true, false, true]));
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn fault_hook_faults_are_repaired_without_disturbing_neighbors() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDeviceBuilder::new(30, 3)
+            .on_batch_loaded(|pm| pm.inject_fault(5, 1))
+            .build()
+            .expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let requests: Vec<Vec<bool>> = (0..12u32)
+            .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+            .collect();
+        let outcome = device.run_batch(&p, &requests).expect("runs");
+        assert_eq!(
+            outcome.input_check.corrected, 1,
+            "the struck input was repaired"
+        );
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
+        }
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn one_check_per_touched_block_row() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        // 7 requests span block-rows 0, 1 and 2 (m = 3): 3 block-row checks
+        // of 10 blocks each, not 7 per-request checks.
+        let requests: Vec<Vec<bool>> = (0..7).map(|_| vec![true, false, true]).collect();
+        let outcome = device.run_batch(&p, &requests).expect("runs");
+        assert_eq!(outcome.input_check.checked, 30);
+        assert_eq!(outcome.stats.blocks_checked, 30);
+    }
+
+    #[test]
+    fn skip_policy_checks_nothing() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDeviceBuilder::new(30, 3)
+            .check_policy(CheckPolicy::Skip)
+            .build()
+            .expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let outcome = device
+            .run_batch(&p, &[vec![true, true, true]])
+            .expect("runs");
+        assert_eq!(outcome.input_check, CheckReport::default());
+        assert_eq!(outcome.stats.blocks_checked, 0);
+    }
+
+    #[test]
+    fn paranoid_policy_enables_pre_write_checks() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDeviceBuilder::new(30, 3)
+            .check_policy(CheckPolicy::Paranoid)
+            .build()
+            .expect("device");
+        assert!(device.memory().check_on_critical());
+        let p = device.compile(&nor).expect("compiles");
+        let outcome = device
+            .run_batch(&p, &[vec![false, true, false]])
+            .expect("runs");
+        // Pre-write checks examine blocks beyond the one block-row input
+        // check.
+        assert!(outcome.stats.blocks_checked > outcome.input_check.checked as u64);
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn from_memory_reports_the_memorys_actual_policy() {
+        let paranoid = PimDeviceBuilder::new(30, 3)
+            .check_policy(CheckPolicy::Paranoid)
+            .build()
+            .expect("device");
+        let rewrapped = PimDevice::from_memory(paranoid.into_memory());
+        assert_eq!(rewrapped.check_policy(), CheckPolicy::Paranoid);
+
+        let plain = PimDevice::new(30, 3).expect("device");
+        let rewrapped = PimDevice::from_memory(plain.into_memory());
+        assert_eq!(rewrapped.check_policy(), CheckPolicy::PreExecution);
+
+        // Skip is not observable in machine state; the explicit-policy
+        // constructor round-trips it (and downgrades a paranoid flag).
+        let skip = PimDeviceBuilder::new(30, 3)
+            .check_policy(CheckPolicy::Skip)
+            .build()
+            .expect("device");
+        let rewrapped = PimDevice::from_memory_with_policy(skip.into_memory(), CheckPolicy::Skip);
+        assert_eq!(rewrapped.check_policy(), CheckPolicy::Skip);
+        assert!(!rewrapped.memory().check_on_critical());
+    }
+
+    #[test]
+    fn coverage_policy_uncovers_scratch_blocks() {
+        let mut device = PimDeviceBuilder::new(9, 3)
+            .coverage(CoveragePolicy::Uncovered(vec![(1, 1)]))
+            .build()
+            .expect("device");
+        assert!(!device.memory().block_covered(1, 1));
+        assert!(device.memory().block_covered(0, 0));
+        device.inject_fault(4, 4); // inside the scratch block
+        let mut pm = device.into_memory();
+        let report = pm.check_all().expect("check");
+        assert_eq!(
+            report.corrected, 0,
+            "scratch faults are invisible by design"
+        );
+    }
+
+    #[test]
+    fn placement_errors_are_reported() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let req = vec![true, false, true];
+        assert_eq!(
+            device.run_batch(&p, &[]).unwrap_err(),
+            DeviceError::EmptyBatch
+        );
+        assert_eq!(
+            device
+                .run_batch_on_rows(&p, &[0, 0], &[req.clone(), req.clone()])
+                .unwrap_err(),
+            DeviceError::RowConflict { row: 0 }
+        );
+        assert_eq!(
+            device
+                .run_batch_on_rows(&p, &[99], std::slice::from_ref(&req))
+                .unwrap_err(),
+            DeviceError::RowOutOfRange { row: 99, n: 30 }
+        );
+        assert_eq!(
+            device
+                .run_batch_on_rows(&p, &[0, 1], std::slice::from_ref(&req))
+                .unwrap_err(),
+            DeviceError::PlacementArity {
+                rows: 2,
+                requests: 1
+            }
+        );
+        assert_eq!(
+            device.run_batch(&p, &[vec![true]]).unwrap_err(),
+            DeviceError::InputArity {
+                request: 0,
+                got: 1,
+                want: 3
+            }
+        );
+        let too_many: Vec<Vec<bool>> = (0..31).map(|_| req.clone()).collect();
+        assert_eq!(
+            device.run_batch(&p, &too_many).unwrap_err(),
+            DeviceError::BatchTooLarge {
+                requests: 31,
+                rows: 30
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_program_is_rejected() {
+        let (nor, _) = small_circuit();
+        let mut wide = PimDevice::new(30, 3).expect("device");
+        let p = wide.compile(&nor).expect("compiles");
+        let mut narrow = PimDevice::new(9, 3).expect("device");
+        let adopted = narrow.adopt(p.program());
+        assert_eq!(
+            narrow
+                .run_batch(&adopted, &[vec![true, false, true]])
+                .unwrap_err(),
+            DeviceError::ProgramTooWide { row_size: 30, n: 9 }
+        );
+    }
+
+    #[test]
+    fn repeated_batches_reuse_rows_correctly() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        for round in 0..4u32 {
+            let requests: Vec<Vec<bool>> = (0..8u32)
+                .map(|v| (0..3).map(|i| (v + round) >> i & 1 != 0).collect())
+                .collect();
+            let outcome = device.run_batch(&p, &requests).expect("runs");
+            for (i, req) in requests.iter().enumerate() {
+                assert_eq!(
+                    outcome.outputs[i],
+                    nl.eval(req),
+                    "round {round}, request {i}"
+                );
+            }
+            assert!(
+                device.memory().verify_consistency().is_ok(),
+                "round {round}"
+            );
+        }
+    }
+}

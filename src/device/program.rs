@@ -1,0 +1,91 @@
+//! Compiled programs: SIMPLER-mapped functions cached on a device.
+
+use pimecc_simpler::Program;
+use std::sync::Arc;
+
+#[derive(Debug)]
+pub(crate) struct CompiledInner {
+    pub(crate) id: u64,
+    pub(crate) program: Program,
+    pub(crate) footprint: usize,
+    pub(crate) fingerprint: u64,
+}
+
+/// A function compiled for a [`PimDevice`](crate::device::PimDevice): the
+/// SIMPLER-mapped step sequence plus the metadata batching needs, behind a
+/// cheap-to-clone shared handle.
+///
+/// Because SIMPLER maps onto a *single row* and MAGIC replays each row gate
+/// across every selected row simultaneously, one `CompiledProgram` is also
+/// the SIMD program for an arbitrary set of rows — the property
+/// `run_batch` exploits. Compile (or [`adopt`]) once, run on any batch.
+///
+/// [`adopt`]: crate::device::PimDevice::adopt
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    inner: Arc<CompiledInner>,
+}
+
+impl CompiledProgram {
+    pub(crate) fn new(id: u64, program: Program) -> Self {
+        let footprint = program.footprint();
+        let fingerprint = program.fingerprint();
+        CompiledProgram {
+            inner: Arc::new(CompiledInner {
+                id,
+                program,
+                footprint,
+                fingerprint,
+            }),
+        }
+    }
+
+    /// Device-local compilation id (stable for the lifetime of the device;
+    /// cache hits return the same id).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The underlying mapped program.
+    pub fn program(&self) -> &Program {
+        &self.inner.program
+    }
+
+    /// Number of primary inputs each request must supply.
+    pub fn num_inputs(&self) -> usize {
+        self.inner.program.num_inputs
+    }
+
+    /// Number of primary outputs each request receives.
+    pub fn num_outputs(&self) -> usize {
+        self.inner.program.output_cells.len()
+    }
+
+    /// Width of the row slice one request occupies (see
+    /// [`Program::footprint`]).
+    pub fn footprint(&self) -> usize {
+        self.inner.footprint
+    }
+
+    /// Structural identity of the mapped program (see
+    /// [`Program::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint
+    }
+
+    /// Program latency in MEM clock cycles per batch, regardless of batch
+    /// size.
+    pub fn cycles(&self) -> u64 {
+        self.inner.program.cycles()
+    }
+
+    /// NOR-gate cycles — one gate evaluation *per occupied row* each cycle.
+    pub fn gate_cycles(&self) -> u64 {
+        self.inner.program.gate_cycles()
+    }
+
+    /// ECC-critical gate operations per execution.
+    pub fn critical_count(&self) -> usize {
+        self.inner.program.critical_count()
+    }
+}

@@ -10,37 +10,70 @@
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
+//! * [`device`] — the batch-first execution layer: [`PimDevice`] compiles
+//!   functions once (SIMPLER) and serves up to `n` requests per crossbar
+//!   pass, with the paper's pre-execution checks amortized per block-row;
 //! * [`xbar`] — memristive crossbar + MAGIC stateful-logic simulator;
 //! * [`netlist`] — gate IR, NOR lowering, EPFL-style benchmark generators;
 //! * [`simpler`] — the SIMPLER single-row mapper + ECC schedule extension;
 //! * [`core`] — the diagonal ECC codec, CMEM architecture, protected
 //!   memory machine and area model;
-//! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo.
+//! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo;
+//! * [`runner`] — the deprecated single-request facade over [`device`].
 //!
 //! # Quickstart
 //!
-//! ```
-//! use pimecc::core::{BlockGeometry, ProtectedMemory};
-//! use pimecc::xbar::LineSet;
+//! Build a device, compile a function, serve a whole batch in one pass —
+//! and survive a soft error along the way:
 //!
-//! # fn main() -> Result<(), pimecc::core::CoreError> {
-//! let mut pm = ProtectedMemory::new(BlockGeometry::new(30, 15)?)?;
-//! pm.exec_init_rows(&[4], &LineSet::All)?;
-//! pm.exec_nor_rows(&[0, 1], 4, &LineSet::All)?;
-//! pm.inject_fault(3, 4);
-//! assert_eq!(pm.check_all()?.corrected, 1);
+//! ```
+//! use pimecc::device::PimDevice;
+//! use pimecc::netlist::NetlistBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A full adder: three inputs, sum and carry out.
+//! let mut b = NetlistBuilder::new();
+//! let ins = b.inputs(3);
+//! let s1 = b.xor(ins[0], ins[1]);
+//! let sum = b.xor(s1, ins[2]);
+//! let carry = b.maj(ins[0], ins[1], ins[2]);
+//! b.output(sum);
+//! b.output(carry);
+//! let netlist = b.finish();
+//!
+//! // A 30x30 crossbar with 3x3 ECC blocks; SIMPLER maps the function once.
+//! let mut device = PimDevice::new(30, 3)?;
+//! let program = device.compile(&netlist.to_nor())?;
+//!
+//! // All eight input combinations execute simultaneously on eight rows:
+//! // each program step runs once for the whole batch.
+//! let batch: Vec<Vec<bool>> = (0..8u32)
+//!     .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+//!     .collect();
+//! let outcome = device.run_batch(&program, &batch)?;
+//! for (req, out) in batch.iter().zip(&outcome.outputs) {
+//!     assert_eq!(out, &netlist.eval(req));
+//! }
+//! // Throughput scales with the batch: more than one gate evaluation per
+//! // MEM cycle, where a serial flow is pinned below one.
+//! assert!(outcome.gate_evals_per_mem_cycle() > 1.0);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `crates/bench` for the
-//! binaries that regenerate every table and figure of the paper.
+//! See `examples/batch_throughput.rs` for the cycle-amortization curve,
+//! `examples/` for more scenarios and `crates/bench` for the binaries that
+//! regenerate every table and figure of the paper.
 
+pub mod device;
 pub mod runner;
 
+pub use device::{BatchOutcome, CompiledProgram, PimDevice, PimDeviceBuilder};
 pub use pimecc_core as core;
 pub use pimecc_netlist as netlist;
 pub use pimecc_reliability as reliability;
 pub use pimecc_simpler as simpler;
 pub use pimecc_xbar as xbar;
-pub use runner::{ProtectedRunner, RunOutcome};
+#[allow(deprecated)]
+pub use runner::ProtectedRunner;
+pub use runner::RunOutcome;

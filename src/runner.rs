@@ -1,21 +1,19 @@
-//! End-to-end execution of SIMPLER-mapped programs on the ECC-protected
-//! memory — the full paper flow in one call.
+//! Legacy single-request execution — a thin shim over the batched
+//! [`device`](crate::device) layer.
 //!
-//! [`ProtectedRunner`] owns a [`ProtectedMemory`] and executes a mapped
-//! [`Program`] on one of its rows:
-//!
-//! 1. the function inputs are loaded into the row (ECC computed on write);
-//! 2. the blocks holding the row are ECC-checked — the paper's
-//!    pre-execution input check, which repairs any soft error that struck
-//!    the inputs since they were written;
-//! 3. every program step executes with the machine's automatic check-bit
-//!    maintenance (critical-operation protocol);
-//! 4. outputs are read back, and the ECC is left consistent for the next
-//!    function.
+//! [`ProtectedRunner`] predates [`PimDevice`](crate::device::PimDevice) and
+//! serves exactly one request per call on one row. It is kept as a
+//! deprecated compatibility facade: every call now routes through the
+//! device API (`adopt` + `load_request` + `execute_rows` with a batch of
+//! one), so its semantics — non-destructive input loading included — are
+//! the device's. New code should hold a `PimDevice` and call
+//! [`run_batch`](crate::device::PimDevice::run_batch) instead; the serial
+//! flow pays the full program latency *per request*, where a batch pays it
+//! once.
 
-use pimecc_core::{BlockGeometry, CheckReport, CoreError, ProtectedMemory};
-use pimecc_simpler::{Program, Step};
-use pimecc_xbar::{BitGrid, LineSet};
+use crate::device::{DeviceError, PimDevice};
+use pimecc_core::{CheckReport, CoreError, ProtectedMemory};
+use pimecc_simpler::Program;
 
 /// Outcome of one protected program execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,11 +26,13 @@ pub struct RunOutcome {
     pub critical_ops: u64,
 }
 
-/// Executes mapped programs on rows of an ECC-protected crossbar.
+/// Executes mapped programs one request at a time on rows of an
+/// ECC-protected crossbar.
 ///
 /// # Example
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use pimecc::runner::ProtectedRunner;
 /// use pimecc::netlist::NetlistBuilder;
 /// use pimecc::simpler::{map, MapperConfig};
@@ -51,11 +51,16 @@ pub struct RunOutcome {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use pimecc::device::PimDevice, which batches many requests per crossbar pass"
+)]
 #[derive(Debug)]
 pub struct ProtectedRunner {
-    memory: ProtectedMemory,
+    device: PimDevice,
 }
 
+#[allow(deprecated)]
 impl ProtectedRunner {
     /// Creates a runner over a fresh `n×n` protected crossbar with `m×m`
     /// blocks.
@@ -64,39 +69,63 @@ impl ProtectedRunner {
     ///
     /// Propagates geometry validation errors.
     pub fn new(n: usize, m: usize) -> Result<Self, CoreError> {
-        Ok(ProtectedRunner { memory: ProtectedMemory::new(BlockGeometry::new(n, m)?)? })
+        match PimDevice::new(n, m) {
+            Ok(device) => Ok(ProtectedRunner { device }),
+            Err(DeviceError::Core(e)) => Err(e),
+            Err(e) => unreachable!("geometry validation yields core errors only: {e}"),
+        }
     }
 
     /// Wraps an existing protected memory.
     pub fn from_memory(memory: ProtectedMemory) -> Self {
-        ProtectedRunner { memory }
+        ProtectedRunner {
+            device: PimDevice::from_memory(memory),
+        }
     }
 
     /// Read access to the underlying machine (stats, consistency checks).
     pub fn memory(&self) -> &ProtectedMemory {
-        &self.memory
+        self.device.memory()
     }
 
     /// Consumes the runner, returning the machine.
     pub fn into_memory(self) -> ProtectedMemory {
-        self.memory
+        self.device.into_memory()
+    }
+
+    /// The batched device this runner fronts.
+    pub fn device(&mut self) -> &mut PimDevice {
+        &mut self.device
     }
 
     /// Injects a soft error (forwarded to the machine, for campaigns).
     pub fn inject_fault(&mut self, r: usize, c: usize) {
-        self.memory.inject_fault(r, c);
+        self.device.inject_fault(r, c);
     }
 
     fn check_fit(&self, program: &Program, row: usize) -> Result<(), CoreError> {
-        let n = self.memory.geometry().n();
+        let n = self.device.capacity();
         if program.row_size > n || row >= n {
-            return Err(CoreError::OutOfBounds { row, col: program.row_size, n });
+            return Err(CoreError::OutOfBounds {
+                row,
+                col: program.row_size,
+                n,
+            });
         }
         Ok(())
     }
 
+    fn lower(e: DeviceError) -> CoreError {
+        match e {
+            DeviceError::Core(e) => e,
+            other => unreachable!("placement was validated by check_fit: {other}"),
+        }
+    }
+
     /// Loads the function inputs into cells `0..num_inputs` of `row`
-    /// through the write-with-ECC path, zeroing the rest of the memory.
+    /// through the write-with-ECC path. Unlike the pre-device runner, this
+    /// no longer clobbers the rest of the crossbar: other rows (for
+    /// example, other in-flight requests) are preserved.
     ///
     /// # Errors
     ///
@@ -114,13 +143,10 @@ impl ProtectedRunner {
     ) -> Result<(), CoreError> {
         assert_eq!(inputs.len(), program.num_inputs, "input arity mismatch");
         self.check_fit(program, row)?;
-        let n = self.memory.geometry().n();
-        let mut grid = BitGrid::new(n, n);
-        for (i, &v) in inputs.iter().enumerate() {
-            grid.set(row, i, v);
-        }
-        self.memory.load_grid(&grid);
-        Ok(())
+        let compiled = self.device.adopt(program);
+        self.device
+            .load_request(&compiled, row, inputs)
+            .map_err(Self::lower)
     }
 
     /// Executes a previously loaded program: pre-execution input check of
@@ -132,26 +158,15 @@ impl ProtectedRunner {
     /// Propagates bounds and MAGIC legality errors.
     pub fn execute(&mut self, program: &Program, row: usize) -> Result<RunOutcome, CoreError> {
         self.check_fit(program, row)?;
-        let block_row = row / self.memory.geometry().m();
-        let input_check = self.memory.check_block_row(block_row)?;
-
-        let criticals_before = self.memory.stats().critical_ops;
-        for step in &program.steps {
-            match step {
-                Step::Init { cells } => {
-                    self.memory.exec_init_rows(cells, &LineSet::One(row))?
-                }
-                Step::Gate { inputs, output, .. } => {
-                    self.memory.exec_nor_rows(inputs, *output, &LineSet::One(row))?
-                }
-            }
-        }
-        let outputs =
-            program.output_cells.iter().map(|&c| self.memory.bit(row, c)).collect();
+        let compiled = self.device.adopt(program);
+        let mut outcome = self
+            .device
+            .execute_rows(&compiled, &[row])
+            .map_err(Self::lower)?;
         Ok(RunOutcome {
-            outputs,
-            input_check,
-            critical_ops: self.memory.stats().critical_ops - criticals_before,
+            outputs: outcome.outputs.pop().expect("batch of one"),
+            input_check: outcome.input_check,
+            critical_ops: outcome.stats.critical_ops,
         })
     }
 
@@ -171,12 +186,28 @@ impl ProtectedRunner {
         row: usize,
         inputs: &[bool],
     ) -> Result<RunOutcome, CoreError> {
-        self.load_inputs(program, row, inputs)?;
-        self.execute(program, row)
+        assert_eq!(inputs.len(), program.num_inputs, "input arity mismatch");
+        self.check_fit(program, row)?;
+        // Adopt once: fingerprinting the program per call is the dominant
+        // fixed cost of this serial path.
+        let compiled = self.device.adopt(program);
+        self.device
+            .load_request(&compiled, row, inputs)
+            .map_err(Self::lower)?;
+        let mut outcome = self
+            .device
+            .execute_rows(&compiled, &[row])
+            .map_err(Self::lower)?;
+        Ok(RunOutcome {
+            outputs: outcome.outputs.pop().expect("batch of one"),
+            input_check: outcome.input_check,
+            critical_ops: outcome.stats.critical_ops,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pimecc_netlist::NetlistBuilder;
@@ -253,5 +284,28 @@ mod tests {
             runner.run(&p, 0, &[false, false, false]),
             Err(CoreError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn load_no_longer_clobbers_other_rows() {
+        let (p, nl) = small_program();
+        let mut runner = ProtectedRunner::new(30, 3).expect("runner");
+        let first = [true, false, true];
+        runner.run(&p, 5, &first).expect("runs");
+        let resident: Vec<bool> = (0..30).map(|c| runner.memory().bit(5, c)).collect();
+        // A second request on another row leaves row 5's results in place.
+        let out = runner.run(&p, 17, &[false, true, true]).expect("runs");
+        assert_eq!(out.outputs, nl.eval(&[false, true, true]));
+        let after: Vec<bool> = (0..30).map(|c| runner.memory().bit(5, c)).collect();
+        assert_eq!(resident, after);
+    }
+
+    #[test]
+    fn repeated_runs_share_one_compiled_program() {
+        let (p, _) = small_program();
+        let mut runner = ProtectedRunner::new(30, 3).expect("runner");
+        runner.run(&p, 0, &[true, true, true]).expect("runs");
+        runner.run(&p, 1, &[false, false, false]).expect("runs");
+        assert_eq!(runner.device().compiled_count(), 1);
     }
 }

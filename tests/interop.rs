@@ -3,6 +3,11 @@
 //! checker guarding the whole transformation chain, and the protected
 //! runner on a real benchmark.
 
+// The deprecated `ProtectedRunner` facade is exercised on purpose: it must
+// keep working until its removal.
+#![allow(deprecated)]
+
+use pimecc::device::PimDevice;
 use pimecc::netlist::blif::{parse_blif, write_blif};
 use pimecc::netlist::equiv::{check_equivalence, Equivalence};
 use pimecc::netlist::generators::{Benchmark, ExtraBenchmark};
@@ -19,7 +24,11 @@ fn blif_export_import_then_map_and_execute() {
     let text = write_blif(&original.netlist, "dec");
     let imported = parse_blif(&text).expect("re-imports");
     let verdict = check_equivalence(&original.netlist, &imported, 8, 0, 0);
-    assert_eq!(verdict, Equivalence::Equivalent, "BLIF round trip is lossless");
+    assert_eq!(
+        verdict,
+        Equivalence::Equivalent,
+        "BLIF round trip is lossless"
+    );
 
     let (program, _) = map_auto(&imported.to_nor(), 1020).expect("maps");
     for addr in [0usize, 1, 128, 255] {
@@ -85,6 +94,57 @@ fn protected_runner_executes_int2float_with_fault_recovery() {
 }
 
 #[test]
+fn runner_and_device_agree_on_a_real_benchmark() {
+    // The deprecated serial facade and the batched device must produce
+    // identical outputs for identical requests — the shim really is a shim.
+    let circuit = Benchmark::Int2float.build();
+    let nor = circuit.netlist.to_nor();
+    let program = map(&nor, &MapperConfig { row_size: 255 }).expect("fits a 255-cell row");
+
+    let mut runner = ProtectedRunner::new(255, 5).expect("runner");
+    let mut device = PimDevice::new(255, 5).expect("device");
+    let compiled = device.adopt(&program);
+
+    let requests: Vec<Vec<bool>> = [3u32, 77, 1024, 2047]
+        .iter()
+        .map(|&x| (0..11).map(|i| x >> i & 1 != 0).collect())
+        .collect();
+    let batch = device.run_batch(&compiled, &requests).expect("batch runs");
+    for (i, req) in requests.iter().enumerate() {
+        let serial = runner.run(&program, 0, req).expect("serial runs");
+        assert_eq!(serial.outputs, batch.outputs[i], "request {i}");
+        assert_eq!(serial.outputs, (circuit.reference)(req), "request {i}");
+    }
+    assert!(device.memory().verify_consistency().is_ok());
+    assert!(runner.memory().verify_consistency().is_ok());
+}
+
+#[test]
+fn device_compile_caches_blif_imported_circuits() {
+    // Import a circuit from BLIF text twice; the device recognizes the
+    // structure and compiles once.
+    let original = Benchmark::Dec.build();
+    let text = write_blif(&original.netlist, "dec");
+    let mut device = PimDevice::new(1020, 15).expect("device");
+    let a = device
+        .compile(&parse_blif(&text).expect("imports").to_nor())
+        .expect("compiles");
+    let b = device
+        .compile(&parse_blif(&text).expect("imports").to_nor())
+        .expect("compiles");
+    assert_eq!(a.id(), b.id());
+    assert_eq!(device.compiled_count(), 1);
+
+    let requests: Vec<Vec<bool>> = (0..4u32)
+        .map(|addr| (0..8).map(|i| addr >> i & 1 != 0).collect())
+        .collect();
+    let outcome = device.run_batch(&b, &requests).expect("runs");
+    for (i, req) in requests.iter().enumerate() {
+        assert_eq!(outcome.outputs[i], (original.reference)(req), "addr {i}");
+    }
+}
+
+#[test]
 fn memory_array_hosts_simd_computation_with_faults() {
     use pimecc::core::{BlockGeometry, MemoryArray};
     use pimecc::xbar::LineSet;
@@ -113,5 +173,8 @@ fn energy_accounting_tracks_machine_activity() {
     pm.exec_nor_rows(&[0, 1], 2, &LineSet::All).expect("nor");
     let after = model.of_stats(pm.stats(), 10);
     assert!(after.total_fj() > before);
-    assert!(after.ecc_fraction() > 0.5, "XOR3 energy dominates: {after:?}");
+    assert!(
+        after.ecc_fraction() > 0.5,
+        "XOR3 energy dominates: {after:?}"
+    );
 }
