@@ -69,6 +69,32 @@ impl std::ops::Sub for MachineStats {
     }
 }
 
+impl std::ops::Add for MachineStats {
+    type Output = MachineStats;
+
+    /// Per-counter sum — how a multi-crossbar layer (a device pool, a
+    /// sharded cluster) folds the activity of its members into one
+    /// aggregate account.
+    fn add(self, other: MachineStats) -> MachineStats {
+        MachineStats {
+            mem_cycles: self.mem_cycles + other.mem_cycles,
+            transfer_cycles: self.transfer_cycles + other.transfer_cycles,
+            pc_xor3_ops: self.pc_xor3_ops + other.pc_xor3_ops,
+            critical_ops: self.critical_ops + other.critical_ops,
+            blocks_checked: self.blocks_checked + other.blocks_checked,
+            errors_corrected: self.errors_corrected + other.errors_corrected,
+            errors_uncorrectable: self.errors_uncorrectable + other.errors_uncorrectable,
+        }
+    }
+}
+
+impl std::ops::AddAssign for MachineStats {
+    /// In-place per-counter sum (see the [`Add`](std::ops::Add) impl).
+    fn add_assign(&mut self, other: MachineStats) {
+        *self = *self + other;
+    }
+}
+
 /// Outcome summary of a checking pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CheckReport {
@@ -1109,6 +1135,25 @@ mod tests {
             MachineStats::default(),
             "saturates instead of wrapping"
         );
+    }
+
+    #[test]
+    fn stats_aggregate_adds_per_counter() {
+        let a = MachineStats {
+            mem_cycles: 10,
+            blocks_checked: 2,
+            ..Default::default()
+        };
+        let mut sum = MachineStats {
+            mem_cycles: 3,
+            errors_corrected: 1,
+            ..Default::default()
+        };
+        sum += a;
+        assert_eq!(sum.mem_cycles, 13);
+        assert_eq!(sum.blocks_checked, 2);
+        assert_eq!(sum.errors_corrected, 1);
+        assert_eq!(a + MachineStats::default(), a, "zero is the identity");
     }
 
     #[test]

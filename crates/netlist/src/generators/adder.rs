@@ -7,17 +7,24 @@ use crate::words::{self, Word};
 /// Datapath width in bits.
 pub const WIDTH: usize = 128;
 
-/// Builds the adder benchmark.
-pub fn build() -> Circuit {
+/// Builds a `width`-bit ripple-carry adder netlist (`2·width` inputs,
+/// `width + 1` outputs) — the benchmark's shape at an arbitrary width,
+/// e.g. for traffic mixes on devices too narrow for the 128-bit version.
+pub fn build_width(width: usize) -> crate::Netlist {
     let mut b = NetlistBuilder::new();
-    let x = Word::input(&mut b, WIDTH);
-    let y = Word::input(&mut b, WIDTH);
+    let x = Word::input(&mut b, width);
+    let y = Word::input(&mut b, width);
     let (sum, carry) = words::add(&mut b, &x, &y);
     b.output_all(sum.bits().iter().copied());
     b.output(carry);
+    b.finish()
+}
+
+/// Builds the adder benchmark.
+pub fn build() -> Circuit {
     Circuit {
         name: "adder",
-        netlist: b.finish(),
+        netlist: build_width(WIDTH),
         reference: Box::new(reference),
     }
 }

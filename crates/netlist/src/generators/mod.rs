@@ -21,6 +21,7 @@ mod priority;
 mod sin;
 mod voter;
 
+pub use adder::build_width as ripple_adder;
 pub use extra::ExtraBenchmark;
 
 use crate::netlist::Netlist;

@@ -1,14 +1,10 @@
 //! Batch throughput: the ~k× cycle amortization of `PimDevice::run_batch`
-//! over the serial one-request-at-a-time flow.
+//! over a serial one-request-at-a-time flow.
 //!
 //! Run with: `cargo run --release --example batch_throughput`
 
-#![allow(deprecated)] // the serial baseline uses the legacy ProtectedRunner
-
-use pimecc::device::PimDevice;
 use pimecc::netlist::generators::Benchmark;
-use pimecc::simpler::{map, MapperConfig};
-use pimecc::ProtectedRunner;
+use pimecc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = Benchmark::Int2float.build();
@@ -57,18 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The serial baseline: the same 64 requests, one run_batch-of-one each
-    // (equivalently, the deprecated ProtectedRunner loop).
-    let mut runner = ProtectedRunner::new(n, m)?;
-    let serial_program = map(&nor, &MapperConfig { row_size: n })?;
-    let before = runner.memory().stats().mem_cycles;
+    // The serial baseline: the same 64 requests as 64 batches of one —
+    // every pass pays the full program latency.
+    let mut device = PimDevice::new(n, m)?;
+    let program = device.compile(&nor)?;
+    let before = device.stats().mem_cycles;
     for i in 0..64 {
-        let out = runner.run(&serial_program, 0, &request(i))?;
-        assert_eq!(out.outputs, (circuit.reference)(&request(i)));
+        let out = device.run_batch(&program, std::slice::from_ref(&request(i)))?;
+        assert_eq!(out.outputs[0], (circuit.reference)(&request(i)));
     }
-    let serial = runner.memory().stats().mem_cycles - before;
+    let serial = device.stats().mem_cycles - before;
     println!(
-        "\nserial ProtectedRunner, 64 requests: {serial} MEM cycles ({:.1} per request)",
+        "\nserial flow, 64 batches of one: {serial} MEM cycles ({:.1} per request)",
         serial as f64 / 64.0
     );
     Ok(())

@@ -1,0 +1,134 @@
+//! Cluster throughput: sweep the shard count under mixed-program traffic
+//! and watch aggregate gate-evals/MEM-cycle scale.
+//!
+//! The traffic is 510 int2float and 510 8-bit-adder requests, interleaved
+//! as they would arrive at a service queue. Same-program requests can
+//! share a crossbar pass (MAGIC executes one step sequence for all rows),
+//! so the cluster packs by program fingerprint and spreads the resulting
+//! row batches over its shards; more shards ⇒ more batches per wave ⇒
+//! fewer elapsed MEM cycles for the same work.
+//!
+//! Run with: `cargo run --release --example cluster_throughput`
+//!
+//! Writes the sweep to `BENCH_cluster.json`.
+
+use pimecc::netlist::generators::{ripple_adder, Benchmark};
+use pimecc::prelude::*;
+
+const N: usize = 255;
+const M: usize = 5;
+const PER_PROGRAM: usize = 2 * N; // two full batches of each program
+
+fn i2f_request(i: usize) -> Vec<bool> {
+    let x = (i * 37) as u32 & 0x7FF;
+    (0..11).map(|b| x >> b & 1 != 0).collect()
+}
+
+fn add_request(i: usize) -> Vec<bool> {
+    let x = (i * 73) as u32 & 0xFFFF;
+    (0..16).map(|b| x >> b & 1 != 0).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let i2f = Benchmark::Int2float.build();
+    let i2f_nor = i2f.netlist.to_nor();
+    let adder = ripple_adder(8); // 16 inputs, 9 outputs
+    let adder_nor = adder.to_nor();
+    println!(
+        "mixed traffic: {PER_PROGRAM} x {} + {PER_PROGRAM} x adder8, {N}x{N}/{M} shards\n",
+        i2f.name
+    );
+
+    println!(
+        "{:>6} {:>6} {:>16} {:>14} {:>18} {:>9}",
+        "shards", "waves", "wall MEM cycles", "cycles/request", "gate-evals/cycle", "speedup"
+    );
+
+    let mut sweep = Vec::new();
+    let mut one_shard_wall = None;
+    let mut one_shard_throughput = 0.0;
+    for shards in [1usize, 2, 4] {
+        let mut cluster = PimClusterBuilder::new(shards, N, M).build()?;
+        let pi = cluster.compile(&i2f_nor)?;
+        let pa = cluster.compile(&adder_nor)?;
+
+        // Interleaved arrival, as at a shared service queue.
+        let mut tickets = Vec::new();
+        for i in 0..PER_PROGRAM {
+            tickets.push((cluster.submit(&pi, i2f_request(i))?, true, i));
+            tickets.push((cluster.submit(&pa, add_request(i))?, false, i));
+        }
+        let outcome = cluster.flush()?;
+        for &(ticket, is_i2f, i) in &tickets {
+            let got = outcome.outputs_for(ticket).expect("served");
+            let want = if is_i2f {
+                (i2f.reference)(&i2f_request(i))
+            } else {
+                adder.eval(&add_request(i))
+            };
+            assert_eq!(got, want.as_slice(), "{ticket}");
+        }
+
+        let wall = outcome.wall_mem_cycles;
+        let single = *one_shard_wall.get_or_insert(wall);
+        if shards == 1 {
+            one_shard_throughput = outcome.gate_evals_per_mem_cycle();
+        }
+        let speedup = single as f64 / wall as f64;
+        println!(
+            "{shards:>6} {:>6} {:>16} {:>14.2} {:>18.2} {:>8.1}x",
+            outcome.waves,
+            wall,
+            outcome.mem_cycles_per_request(),
+            outcome.gate_evals_per_mem_cycle(),
+            speedup,
+        );
+        let utilization: Vec<String> = outcome
+            .shard_reports
+            .iter()
+            .map(|r| format!("{:.3}", r.utilization(wall)))
+            .collect();
+        sweep.push(format!(
+            concat!(
+                "    {{\"shards\": {}, \"waves\": {}, \"wall_mem_cycles\": {}, ",
+                "\"mem_cycles_per_request\": {:.3}, \"gate_evals_per_mem_cycle\": {:.3}, ",
+                "\"speedup_vs_1_shard\": {:.3}, \"shard_utilization\": [{}]}}"
+            ),
+            shards,
+            outcome.waves,
+            wall,
+            outcome.mem_cycles_per_request(),
+            outcome.gate_evals_per_mem_cycle(),
+            speedup,
+            utilization.join(", "),
+        ));
+
+        if shards == 4 {
+            let ratio = outcome.gate_evals_per_mem_cycle() / one_shard_throughput;
+            println!(
+                "\n4 shards vs 1: {ratio:.2}x aggregate gate-evals/MEM-cycle on mixed traffic"
+            );
+            assert!(
+                ratio >= 2.0,
+                "4 shards must at least double aggregate throughput: {ratio:.2}x"
+            );
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"cluster_throughput\",\n",
+            "  \"geometry\": {{\"n\": {}, \"m\": {}}},\n",
+            "  \"traffic\": {{\"int2float\": {}, \"adder8\": {}}},\n",
+            "  \"sweep\": [\n{}\n  ]\n}}\n"
+        ),
+        N,
+        M,
+        PER_PROGRAM,
+        PER_PROGRAM,
+        sweep.join(",\n"),
+    );
+    std::fs::write("BENCH_cluster.json", &json)?;
+    println!("\nwrote BENCH_cluster.json");
+    Ok(())
+}

@@ -1,10 +1,10 @@
-//! Quickstart: build a device, compile a function once, serve a batch of
-//! requests in one crossbar pass, survive a soft error.
+//! Quickstart: compile a function once, submit mixed requests to a
+//! sharded cluster, flush one wave, survive a soft error.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pimecc::device::{PimDevice, PimDeviceBuilder};
 use pimecc::netlist::NetlistBuilder;
+use pimecc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A full adder: sum and carry of three input bits.
@@ -17,18 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.output(carry);
     let netlist = b.finish();
 
-    // A small device: 45x45 memristors in 15x15 ECC blocks (the paper uses
-    // n = 1020; everything here scales).
-    let mut device = PimDevice::new(45, 15)?;
+    // Two shards of 45x45 memristors in 15x15 ECC blocks (the paper uses
+    // n = 1020; everything here scales). SIMPLER maps the function once;
+    // the handle is shared by every shard.
+    let mut cluster = PimClusterBuilder::new(2, 45, 15).build()?;
     println!(
-        "device: {n}x{n} MEM, {} blocks, m = {}",
-        device.geometry().block_count(),
-        device.geometry().m(),
-        n = device.capacity(),
+        "cluster: {} shards of {n}x{n} MEM, {} blocks each, m = {}",
+        cluster.shards(),
+        cluster.shard(0).geometry().block_count(),
+        cluster.shard(0).geometry().m(),
+        n = cluster.shard_capacity(),
     );
-
-    // SIMPLER maps the function once; the result is cached on the device.
-    let program = device.compile(&netlist.to_nor())?;
+    let program = cluster.compile(&netlist.to_nor())?;
     println!(
         "compiled: {} steps, {} gate cycles, footprint {} cells",
         program.cycles(),
@@ -36,21 +36,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.footprint()
     );
 
-    // All eight input combinations ride one batch: each program step
-    // executes once, row-parallel, and the diagonal ECC tracks every write.
+    // Submission is queue-fed: tickets come back immediately, nothing
+    // executes until the flush packs the queue into row batches.
+    let tickets: Vec<Ticket> = (0..8u32)
+        .map(|v| cluster.submit(&program, (0..3).map(|i| v >> i & 1 != 0).collect()))
+        .collect::<Result<_, _>>()?;
+    let outcome = cluster.flush()?;
+    for (v, ticket) in tickets.iter().enumerate() {
+        let inputs: Vec<bool> = (0..3).map(|i| v as u32 >> i & 1 != 0).collect();
+        assert_eq!(
+            outcome.outputs_for(*ticket),
+            Some(netlist.eval(&inputs).as_slice())
+        );
+    }
+    println!(
+        "flush of {}: {} wave(s), {} wall MEM cycles ({:.1} per request), {:.2} gate-evals/cycle",
+        outcome.requests(),
+        outcome.waves,
+        outcome.wall_mem_cycles,
+        outcome.mem_cycles_per_request(),
+        outcome.gate_evals_per_mem_cycle(),
+    );
+
+    // A single crossbar without the queue is the device API underneath.
+    let mut device = PimDevice::new(45, 15)?;
+    let compiled = device.adopt_compiled(&program);
     let batch: Vec<Vec<bool>> = (0..8u32)
         .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
         .collect();
-    let outcome = device.run_batch(&program, &batch)?;
-    for (req, out) in batch.iter().zip(&outcome.outputs) {
-        assert_eq!(out, &netlist.eval(req));
-    }
+    let one_pass = device.run_batch(&compiled, &batch)?;
     println!(
-        "batch of {}: {} MEM cycles ({:.1} per request), {:.2} gate-evals/cycle, consistent = {}",
-        outcome.requests(),
-        outcome.stats.mem_cycles,
-        outcome.mem_cycles_per_request(),
-        outcome.gate_evals_per_mem_cycle(),
+        "one device, one pass: {} MEM cycles, consistent = {}",
+        one_pass.stats.mem_cycles,
         device.memory().verify_consistency().is_ok(),
     );
 

@@ -1,0 +1,93 @@
+//! Error type of the cluster submission layer.
+
+use crate::device::DeviceError;
+use pimecc_simpler::MapError;
+use std::fmt;
+
+/// Failure of a cluster-level operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A cluster needs at least one shard.
+    NoShards,
+    /// The per-wave batch limit must admit at least one row.
+    ZeroBatchLimit,
+    /// The auto-flush threshold must admit at least one pending request.
+    ZeroFlushThreshold,
+    /// A per-shard policy override names a shard the cluster does not have.
+    ShardOutOfRange {
+        /// The offending shard index.
+        shard: usize,
+        /// Shards the cluster was configured with.
+        shards: usize,
+    },
+    /// SIMPLER could not map the netlist onto the shards' rows.
+    Map(MapError),
+    /// A submitted program was mapped for a wider row than the shards have.
+    ProgramTooWide {
+        /// Row size the program was mapped for.
+        row_size: usize,
+        /// Shard dimension.
+        n: usize,
+    },
+    /// A submission's input vector does not match the program arity.
+    InputArity {
+        /// Bits supplied.
+        got: usize,
+        /// Bits the program expects.
+        want: usize,
+    },
+    /// A shard failed while building or executing a dispatched batch.
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The device-level failure.
+        source: DeviceError,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoShards => write!(f, "cluster configured with zero shards"),
+            ClusterError::ZeroBatchLimit => write!(f, "batch limit must be at least one row"),
+            ClusterError::ZeroFlushThreshold => {
+                write!(f, "auto-flush threshold must be at least one request")
+            }
+            ClusterError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range for a {shards}-shard cluster")
+            }
+            ClusterError::Map(e) => write!(f, "mapping failed: {e}"),
+            ClusterError::ProgramTooWide { row_size, n } => {
+                write!(
+                    f,
+                    "program mapped for a {row_size}-cell row exceeds the {n}-cell shards"
+                )
+            }
+            ClusterError::InputArity { got, want } => {
+                write!(
+                    f,
+                    "submission supplies {got} input bits, program expects {want}"
+                )
+            }
+            ClusterError::Shard { shard, source } => {
+                write!(f, "shard {shard} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Map(e) => Some(e),
+            ClusterError::Shard { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MapError> for ClusterError {
+    fn from(e: MapError) -> Self {
+        ClusterError::Map(e)
+    }
+}

@@ -1,0 +1,837 @@
+//! Sharded, queue-fed execution over a pool of [`PimDevice`] crossbars.
+//!
+//! One crossbar amortizes ECC and program latency *inside* a batch
+//! ([`PimDevice::run_batch`]); this layer amortizes *across* crossbars.
+//! The distributed-RRAM follow-up literature (Vo et al.) makes the same
+//! observation at datacenter scale: integrated-ECC tiles only reach their
+//! aggregate throughput when a front-end scheduler keeps every
+//! independently checked tile busy. A [`PimCluster`] is that front-end:
+//!
+//! ```text
+//!  submit(program, inputs) → Ticket                flush() → ClusterOutcome
+//!        │                                                       ▲
+//!        ▼                                                       │
+//!  ┌──────────────┐ group by ┌───────────────────┐  wave  ┌──────┴──────┐
+//!  │ pending queue│─────────►│ fingerprint groups│───────►│  scheduler  │
+//!  │ (mixed       │ program  │ [i2f: t0 t2 t5…]  │ chunks │ shard 0 ──┐ │
+//!  │  traffic)    │ identity │ [add: t1 t3 t4…]  │ ≤ rows │ shard 1 ──┼─┼─► per-shard
+//!  └──────────────┘          └───────────────────┘        │ shard …   │ │   run_batch,
+//!                                                         └───────────┘ │   in parallel
+//!                                                          std::thread::scope
+//! ```
+//!
+//! 1. [`PimCluster::submit`] enqueues one request against a compiled
+//!    program handle and returns a [`Ticket`] immediately — nothing
+//!    executes yet, so mixed-program traffic accumulates;
+//! 2. [`PimCluster::flush`] packs the queue **by program fingerprint**
+//!    (only same-program requests can share a crossbar pass — MAGIC
+//!    executes one step sequence for all selected rows), carves each group
+//!    into row batches of at most
+//!    [`batch_limit`](PimClusterBuilder::batch_limit) requests, and
+//!    dispatches the batches wave by wave, one batch per shard per wave,
+//!    shards running in parallel via [`std::thread::scope`];
+//! 3. the [`ClusterOutcome`] returns every ticket's outputs plus two
+//!    clocks: summed [`MachineStats`](pimecc_core::MachineStats) (total
+//!    machine work) and wall MEM cycles (slowest shard per wave), from
+//!    which per-shard [utilization](ShardReport::utilization) and the
+//!    aggregate gate-evals/MEM-cycle throughput follow.
+//!
+//! Compiled handles are [`Arc`](std::sync::Arc)-shared
+//! ([`CompiledProgram`]), so one [`PimCluster::compile`] serves every
+//! shard without re-mapping or deep-copying the program.
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc::prelude::*;
+//! use pimecc::netlist::NetlistBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new();
+//! let ins = b.inputs(2);
+//! let g = b.xor(ins[0], ins[1]);
+//! b.output(g);
+//! let netlist = b.finish();
+//!
+//! // Four 30x30 shards behind one queue.
+//! let mut cluster = PimClusterBuilder::new(4, 30, 3).build()?;
+//! let program = cluster.compile(&netlist.to_nor())?;
+//!
+//! let tickets: Vec<Ticket> = (0..100u32)
+//!     .map(|v| cluster.submit(&program, vec![v & 1 != 0, v & 2 != 0]))
+//!     .collect::<Result<_, _>>()?;
+//! let outcome = cluster.flush()?;
+//!
+//! assert_eq!(outcome.requests(), 100);
+//! for (v, t) in tickets.iter().enumerate() {
+//!     let want = netlist.eval(&[v as u32 & 1 != 0, v as u32 & 2 != 0]);
+//!     assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()));
+//! }
+//! // 100 requests fit one wave: the scheduler carves greedy full-width
+//! // chunks of 30 + 30 + 30 + 10 rows across the four shards.
+//! assert_eq!(outcome.waves, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod outcome;
+mod queue;
+mod scheduler;
+
+pub use error::ClusterError;
+pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
+pub use queue::Ticket;
+
+use crate::device::{
+    netlist_fingerprint, CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder,
+};
+use pimecc_netlist::NorNetlist;
+use pimecc_simpler::{map, MapperConfig, Program};
+use queue::{group_by_fingerprint, Pending};
+use std::collections::HashMap;
+
+/// Configures and builds a [`PimCluster`].
+///
+/// Every shard shares one geometry (`n×n` crossbar, `m×m` ECC blocks) so a
+/// single compiled program runs on any of them; checking and coverage
+/// policies default cluster-wide and can be overridden per shard.
+///
+/// ```
+/// use pimecc::prelude::*;
+///
+/// # fn main() -> Result<(), ClusterError> {
+/// let cluster = PimClusterBuilder::new(2, 30, 3)
+///     .check_policy(CheckPolicy::Paranoid)
+///     .batch_limit(16)
+///     .build()?;
+/// assert_eq!(cluster.shards(), 2);
+/// assert_eq!(cluster.capacity(), 60);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PimClusterBuilder {
+    shards: usize,
+    n: usize,
+    m: usize,
+    check_policy: CheckPolicy,
+    coverage: CoveragePolicy,
+    check_overrides: Vec<(usize, CheckPolicy)>,
+    coverage_overrides: Vec<(usize, CoveragePolicy)>,
+    batch_limit: Option<usize>,
+    auto_flush_at: Option<usize>,
+}
+
+impl PimClusterBuilder {
+    /// Starts a builder for `shards` shards of `n×n` crossbars with `m×m`
+    /// ECC blocks each.
+    pub fn new(shards: usize, n: usize, m: usize) -> Self {
+        PimClusterBuilder {
+            shards,
+            n,
+            m,
+            check_policy: CheckPolicy::default(),
+            coverage: CoveragePolicy::default(),
+            check_overrides: Vec::new(),
+            coverage_overrides: Vec::new(),
+            batch_limit: None,
+            auto_flush_at: None,
+        }
+    }
+
+    /// Selects the ECC checking policy of every shard (default:
+    /// [`CheckPolicy::PreExecution`]).
+    pub fn check_policy(mut self, policy: CheckPolicy) -> Self {
+        self.check_policy = policy;
+        self
+    }
+
+    /// Selects the block coverage policy of every shard (default:
+    /// [`CoveragePolicy::Full`]).
+    pub fn coverage(mut self, coverage: CoveragePolicy) -> Self {
+        self.coverage = coverage;
+        self
+    }
+
+    /// Overrides the checking policy of one shard — e.g. one
+    /// [`CheckPolicy::Paranoid`] canary shard in an otherwise default
+    /// pool.
+    pub fn shard_check_policy(mut self, shard: usize, policy: CheckPolicy) -> Self {
+        self.check_overrides.push((shard, policy));
+        self
+    }
+
+    /// Overrides the coverage policy of one shard — e.g. a pool where one
+    /// shard sacrifices scratch-block protection for capacity.
+    pub fn shard_coverage(mut self, shard: usize, coverage: CoveragePolicy) -> Self {
+        self.coverage_overrides.push((shard, coverage));
+        self
+    }
+
+    /// Caps the rows one dispatched batch may occupy (packing knob;
+    /// default: the full shard capacity `n`). Lower values trade
+    /// throughput for latency jitter — more, smaller batches.
+    pub fn batch_limit(mut self, rows: usize) -> Self {
+        self.batch_limit = Some(rows);
+        self
+    }
+
+    /// Auto-flush threshold (flush knob): once this many requests are
+    /// pending, [`PimCluster::submit`] drains the queue into an internal
+    /// bank; the next explicit [`PimCluster::flush`] returns the banked
+    /// results merged with whatever is pending then. Unset by default —
+    /// the queue only drains on explicit flushes.
+    pub fn auto_flush_at(mut self, pending: usize) -> Self {
+        self.auto_flush_at = Some(pending);
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoShards`] / [`ClusterError::ZeroBatchLimit`] /
+    /// [`ClusterError::ZeroFlushThreshold`] /
+    /// [`ClusterError::ShardOutOfRange`] on bad knobs, and
+    /// [`ClusterError::Shard`] when a shard's geometry or coverage map is
+    /// rejected.
+    pub fn build(self) -> Result<PimCluster, ClusterError> {
+        if self.shards == 0 {
+            return Err(ClusterError::NoShards);
+        }
+        if self.batch_limit == Some(0) {
+            return Err(ClusterError::ZeroBatchLimit);
+        }
+        if self.auto_flush_at == Some(0) {
+            return Err(ClusterError::ZeroFlushThreshold);
+        }
+        if let Some(shard) = self
+            .check_overrides
+            .iter()
+            .map(|&(shard, _)| shard)
+            .chain(self.coverage_overrides.iter().map(|&(shard, _)| shard))
+            .find(|&shard| shard >= self.shards)
+        {
+            return Err(ClusterError::ShardOutOfRange {
+                shard,
+                shards: self.shards,
+            });
+        }
+        let mut shards = Vec::with_capacity(self.shards);
+        for i in 0..self.shards {
+            let policy = self
+                .check_overrides
+                .iter()
+                .rev()
+                .find(|(shard, _)| *shard == i)
+                .map_or(self.check_policy, |&(_, p)| p);
+            let coverage = self
+                .coverage_overrides
+                .iter()
+                .rev()
+                .find(|(shard, _)| *shard == i)
+                .map_or_else(|| self.coverage.clone(), |(_, c)| c.clone());
+            let device = PimDeviceBuilder::new(self.n, self.m)
+                .check_policy(policy)
+                .coverage(coverage)
+                .build()
+                .map_err(|source| ClusterError::Shard { shard: i, source })?;
+            shards.push(device);
+        }
+        Ok(PimCluster {
+            shards,
+            batch_limit: self.batch_limit.unwrap_or(self.n).min(self.n),
+            auto_flush_at: self.auto_flush_at,
+            programs: HashMap::new(),
+            next_ticket: 0,
+            pending: Vec::new(),
+            banked: None,
+        })
+    }
+}
+
+/// A pool of [`PimDevice`] shards behind one submission queue.
+///
+/// See the [module documentation](self) for the execution model and an
+/// end-to-end example.
+pub struct PimCluster {
+    shards: Vec<PimDevice>,
+    batch_limit: usize,
+    auto_flush_at: Option<usize>,
+    /// Cluster-wide compile cache, keyed by netlist and program
+    /// fingerprints (disjoint domains).
+    programs: HashMap<u64, CompiledProgram>,
+    next_ticket: u64,
+    pending: Vec<Pending>,
+    /// Results of auto-flushed waves, awaiting the next explicit flush.
+    banked: Option<ClusterOutcome>,
+}
+
+impl PimCluster {
+    /// Shorthand for [`PimClusterBuilder::new`]`(shards, n, m).build()`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimClusterBuilder::build`].
+    pub fn new(shards: usize, n: usize, m: usize) -> Result<Self, ClusterError> {
+        PimClusterBuilder::new(shards, n, m).build()
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rows of one shard — the widest batch a single dispatch can carry.
+    pub fn shard_capacity(&self) -> usize {
+        self.shards[0].capacity()
+    }
+
+    /// Total rows across shards — the cluster's requests-per-wave ceiling.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_capacity()
+    }
+
+    /// The packing limit in force (rows per dispatched batch).
+    pub fn batch_limit(&self) -> usize {
+        self.batch_limit
+    }
+
+    /// Requests accepted but not yet executed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Read access to one shard (stats, consistency checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &PimDevice {
+        &self.shards[shard]
+    }
+
+    /// Number of distinct programs held in the cluster's compile cache.
+    pub fn compiled_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Empties the compile cache; outstanding handles stay valid (they own
+    /// their program) and are re-inserted if compiled or adopted again.
+    pub fn clear_compiled(&mut self) {
+        self.programs.clear();
+    }
+
+    /// Maps `netlist` onto the shards' row width with SIMPLER — **once**:
+    /// the handle is cached by structural fingerprint and shared by every
+    /// shard the scheduler dispatches it to.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Map`] when the function does not fit a shard row.
+    pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
+        let key = netlist_fingerprint(netlist);
+        if let Some(cached) = self.programs.get(&key) {
+            return Ok(cached.clone());
+        }
+        let program = map(
+            netlist,
+            &MapperConfig {
+                row_size: self.shard_capacity(),
+            },
+        )?;
+        Ok(self.insert_program(key, program))
+    }
+
+    /// Adopts an externally mapped [`Program`] (e.g. parsed from a
+    /// listing), caching it by its [`Program::fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ProgramTooWide`] when the program was mapped for a
+    /// wider row than the shards have.
+    pub fn adopt(&mut self, program: &Program) -> Result<CompiledProgram, ClusterError> {
+        if program.row_size > self.shard_capacity() {
+            return Err(ClusterError::ProgramTooWide {
+                row_size: program.row_size,
+                n: self.shard_capacity(),
+            });
+        }
+        let key = program.fingerprint();
+        if let Some(cached) = self.programs.get(&key) {
+            return Ok(cached.clone());
+        }
+        Ok(self.insert_program(key, program.clone()))
+    }
+
+    fn insert_program(&mut self, key: u64, program: Program) -> CompiledProgram {
+        let compiled = CompiledProgram::new(program);
+        self.programs.insert(key, compiled.clone());
+        compiled
+    }
+
+    /// Enqueues one request and returns its [`Ticket`]. Nothing executes
+    /// until a flush — unless an
+    /// [`auto_flush_at`](PimClusterBuilder::auto_flush_at) threshold is
+    /// configured and reached, in which case the queue drains into the
+    /// internal bank before this call returns.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InputArity`] on an input-width mismatch;
+    /// * [`ClusterError::ProgramTooWide`] if the handle was compiled for a
+    ///   wider device;
+    /// * any flush error, when an auto-flush triggers.
+    pub fn submit(
+        &mut self,
+        program: &CompiledProgram,
+        inputs: Vec<bool>,
+    ) -> Result<Ticket, ClusterError> {
+        if program.program().row_size > self.shard_capacity() {
+            return Err(ClusterError::ProgramTooWide {
+                row_size: program.program().row_size,
+                n: self.shard_capacity(),
+            });
+        }
+        if inputs.len() != program.num_inputs() {
+            return Err(ClusterError::InputArity {
+                got: inputs.len(),
+                want: program.num_inputs(),
+            });
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(Pending {
+            ticket,
+            program: program.clone(),
+            inputs,
+        });
+        if let Some(at) = self.auto_flush_at {
+            if self.pending.len() >= at {
+                let flushed = self.run_pending()?;
+                match &mut self.banked {
+                    Some(bank) => bank.merge(flushed),
+                    None => self.banked = Some(flushed),
+                }
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Drains the queue — pack by fingerprint, dispatch in waves across
+    /// the shards — and returns everything served since the last flush,
+    /// auto-flushed waves included, sorted by ticket.
+    ///
+    /// An empty flush (nothing pending, nothing banked) returns an empty
+    /// outcome with zero waves.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Shard`] when a shard rejects its batch (shard
+    /// errors indicate bugs, not runtime conditions — submissions are
+    /// validated on entry). Results of batches completed before the
+    /// failure are *not* lost: they are banked and returned by the next
+    /// successful flush. Requests the scheduler had not yet dispatched
+    /// are dropped.
+    pub fn flush(&mut self) -> Result<ClusterOutcome, ClusterError> {
+        let fresh = self.run_pending()?;
+        Ok(match self.banked.take() {
+            Some(mut bank) => {
+                bank.merge(fresh);
+                // `merge` appends; restore the sorted order `outputs_for`
+                // binary-searches on.
+                bank.results.sort_by_key(|r| r.ticket);
+                bank
+            }
+            // Already sorted by the scheduler.
+            None => fresh,
+        })
+    }
+
+    /// Convenience: submit every `(program, inputs)` pair, flush, and
+    /// return the issued tickets (in request order) with the outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`PimCluster::submit`] and [`PimCluster::flush`].
+    pub fn run_all(
+        &mut self,
+        requests: impl IntoIterator<Item = (CompiledProgram, Vec<bool>)>,
+    ) -> Result<(Vec<Ticket>, ClusterOutcome), ClusterError> {
+        let tickets = requests
+            .into_iter()
+            .map(|(program, inputs)| self.submit(&program, inputs))
+            .collect::<Result<Vec<_>, _>>()?;
+        let outcome = self.flush()?;
+        Ok((tickets, outcome))
+    }
+
+    /// Executes everything pending. On a shard error the partial outcome
+    /// (completed batches) is banked so served tickets survive; see
+    /// [`PimCluster::flush`].
+    fn run_pending(&mut self) -> Result<ClusterOutcome, ClusterError> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut outcome = ClusterOutcome::empty(self.shards.len());
+        if pending.is_empty() {
+            return Ok(outcome);
+        }
+        let groups = group_by_fingerprint(pending);
+        match scheduler::run_waves(&mut self.shards, groups, self.batch_limit, &mut outcome) {
+            Ok(()) => Ok(outcome),
+            Err(e) => {
+                match &mut self.banked {
+                    Some(bank) => bank.merge(outcome),
+                    None => self.banked = Some(outcome),
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimCluster")
+            .field("shards", &self.shards.len())
+            .field("n", &self.shard_capacity())
+            .field("batch_limit", &self.batch_limit)
+            .field("auto_flush_at", &self.auto_flush_at)
+            .field("pending", &self.pending.len())
+            .field("compiled_programs", &self.programs.len())
+            .field("banked", &self.banked.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceError;
+    use pimecc_netlist::{Netlist, NetlistBuilder};
+
+    fn xor_circuit() -> (NorNetlist, Netlist) {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(2);
+        let g = b.xor(ins[0], ins[1]);
+        b.output(g);
+        let nl = b.finish();
+        (nl.to_nor(), nl)
+    }
+
+    fn mux_circuit() -> (NorNetlist, Netlist) {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(3);
+        let g1 = b.xor(ins[0], ins[1]);
+        let g2 = b.mux(ins[2], g1, ins[0]);
+        b.output(g1);
+        b.output(g2);
+        let nl = b.finish();
+        (nl.to_nor(), nl)
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert_eq!(
+            PimClusterBuilder::new(0, 30, 3).build().unwrap_err(),
+            ClusterError::NoShards
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .batch_limit(0)
+                .build()
+                .unwrap_err(),
+            ClusterError::ZeroBatchLimit
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .auto_flush_at(0)
+                .build()
+                .unwrap_err(),
+            ClusterError::ZeroFlushThreshold
+        );
+        assert_eq!(
+            PimClusterBuilder::new(2, 30, 3)
+                .shard_check_policy(2, CheckPolicy::Skip)
+                .build()
+                .unwrap_err(),
+            ClusterError::ShardOutOfRange {
+                shard: 2,
+                shards: 2
+            }
+        );
+        assert!(matches!(
+            PimClusterBuilder::new(1, 10, 3).build().unwrap_err(),
+            ClusterError::Shard { shard: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn per_shard_policy_overrides_apply() {
+        let cluster = PimClusterBuilder::new(3, 30, 3)
+            .check_policy(CheckPolicy::Skip)
+            .shard_check_policy(1, CheckPolicy::Paranoid)
+            .shard_coverage(2, CoveragePolicy::Uncovered(vec![(0, 0)]))
+            .build()
+            .expect("cluster");
+        assert_eq!(cluster.shard(0).check_policy(), CheckPolicy::Skip);
+        assert_eq!(cluster.shard(1).check_policy(), CheckPolicy::Paranoid);
+        assert_eq!(cluster.shard(2).check_policy(), CheckPolicy::Skip);
+        assert!(cluster.shard(0).memory().block_covered(0, 0));
+        assert!(!cluster.shard(2).memory().block_covered(0, 0));
+        assert_eq!(
+            PimClusterBuilder::new(2, 30, 3)
+                .shard_coverage(5, CoveragePolicy::Full)
+                .build()
+                .unwrap_err(),
+            ClusterError::ShardOutOfRange {
+                shard: 5,
+                shards: 2
+            }
+        );
+    }
+
+    #[test]
+    fn submit_validates_before_enqueueing() {
+        let (nor, _) = xor_circuit();
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        let p = cluster.compile(&nor).expect("compiles");
+        assert_eq!(
+            cluster.submit(&p, vec![true]).unwrap_err(),
+            ClusterError::InputArity { got: 1, want: 2 }
+        );
+        assert_eq!(cluster.pending(), 0, "rejected submissions do not queue");
+
+        // A handle compiled for a wider device is refused.
+        let mut wide = PimDevice::new(60, 3).expect("device");
+        let too_wide = wide.compile(&nor).expect("compiles");
+        assert_eq!(
+            cluster.submit(&too_wide, vec![true, false]).unwrap_err(),
+            ClusterError::ProgramTooWide {
+                row_size: 60,
+                n: 30
+            }
+        );
+        let wide_program = too_wide.program().clone();
+        assert_eq!(
+            cluster.adopt(&wide_program).unwrap_err(),
+            ClusterError::ProgramTooWide {
+                row_size: 60,
+                n: 30
+            }
+        );
+    }
+
+    #[test]
+    fn compile_cache_is_shared_across_the_pool() {
+        let (nor, _) = xor_circuit();
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        let a = cluster.compile(&nor).expect("compiles");
+        let b = cluster.compile(&nor).expect("compiles");
+        assert_eq!(a.id(), b.id(), "one mapping serves the whole pool");
+        assert_eq!(cluster.compiled_count(), 1);
+        let adopted = cluster.adopt(a.program()).expect("fits");
+        let again = cluster.adopt(a.program()).expect("fits");
+        assert_eq!(adopted.id(), again.id());
+        assert_eq!(
+            cluster.compiled_count(),
+            2,
+            "program fingerprints are a separate domain"
+        );
+        cluster.clear_compiled();
+        assert_eq!(cluster.compiled_count(), 0);
+        let t = cluster
+            .submit(&adopted, vec![true, false])
+            .expect("cleared cache does not invalidate handles");
+        let outcome = cluster.flush().expect("flushes");
+        assert!(outcome.outputs_for(t).is_some());
+    }
+
+    #[test]
+    fn empty_flush_returns_an_empty_outcome() {
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(outcome.requests(), 0);
+        assert_eq!(outcome.waves, 0);
+        assert_eq!(outcome.wall_mem_cycles, 0);
+        assert_eq!(outcome.shard_reports.len(), 2);
+    }
+
+    #[test]
+    fn mixed_traffic_packs_by_fingerprint_and_answers_every_ticket() {
+        let (xor_nor, xor_nl) = xor_circuit();
+        let (mux_nor, mux_nl) = mux_circuit();
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        let xor = cluster.compile(&xor_nor).expect("compiles");
+        let mux = cluster.compile(&mux_nor).expect("compiles");
+
+        let mut expect = Vec::new();
+        for v in 0..20u32 {
+            if v % 2 == 0 {
+                let inputs = vec![v & 2 != 0, v & 4 != 0];
+                let t = cluster.submit(&xor, inputs.clone()).expect("submits");
+                expect.push((t, xor_nl.eval(&inputs)));
+            } else {
+                let inputs = vec![v & 2 != 0, v & 4 != 0, v & 8 != 0];
+                let t = cluster.submit(&mux, inputs.clone()).expect("submits");
+                expect.push((t, mux_nl.eval(&inputs)));
+            }
+        }
+        assert_eq!(cluster.pending(), 20);
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(cluster.pending(), 0);
+        assert_eq!(outcome.requests(), 20);
+        // Two programs, two shards, 10 requests each — one wave.
+        assert_eq!(outcome.waves, 1);
+        for (t, want) in &expect {
+            assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
+        }
+        // Both shards carried work and their reports add up.
+        for (i, report) in outcome.shard_reports.iter().enumerate() {
+            assert_eq!(report.requests, 10, "shard {i}");
+            assert_eq!(report.batches, 1, "shard {i}");
+            assert!(report.utilization(outcome.wall_mem_cycles) > 0.0);
+            assert!(cluster.shard(i).memory().verify_consistency().is_ok());
+        }
+        let busy: u64 = outcome
+            .shard_reports
+            .iter()
+            .map(|r| r.busy_mem_cycles)
+            .sum();
+        assert_eq!(outcome.stats.mem_cycles, busy);
+        assert!(outcome.wall_mem_cycles < busy, "shards ran in parallel");
+    }
+
+    #[test]
+    fn batch_limit_splits_groups_into_more_waves() {
+        let (nor, _) = xor_circuit();
+        let mut cluster = PimClusterBuilder::new(1, 30, 3)
+            .batch_limit(4)
+            .build()
+            .expect("cluster");
+        let p = cluster.compile(&nor).expect("compiles");
+        for v in 0..10u32 {
+            cluster
+                .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                .expect("submits");
+        }
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(outcome.requests(), 10);
+        assert_eq!(outcome.waves, 3, "10 requests in chunks of 4");
+        assert_eq!(outcome.shard_reports[0].batches, 3);
+    }
+
+    #[test]
+    fn auto_flush_banks_results_until_the_explicit_flush() {
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimClusterBuilder::new(2, 30, 3)
+            .auto_flush_at(4)
+            .build()
+            .expect("cluster");
+        let p = cluster.compile(&nor).expect("compiles");
+        let mut tickets = Vec::new();
+        for v in 0..6u32 {
+            tickets.push(
+                cluster
+                    .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                    .expect("submits"),
+            );
+            assert!(cluster.pending() < 4, "threshold drains the queue");
+        }
+        assert_eq!(cluster.pending(), 2, "two stragglers await the flush");
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(outcome.requests(), 6, "banked and fresh results merge");
+        assert!(outcome.waves >= 2);
+        for (v, t) in tickets.iter().enumerate() {
+            let v = v as u32;
+            let want = nl.eval(&[v & 1 != 0, v & 2 != 0]);
+            assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()));
+        }
+        // Results arrive sorted by ticket even across the merge.
+        for pair in outcome.results.windows(2) {
+            assert!(pair[0].ticket < pair[1].ticket);
+        }
+        // The bank is spent: the next flush is empty.
+        assert_eq!(cluster.flush().expect("flushes").requests(), 0);
+    }
+
+    #[test]
+    fn run_all_round_trips_requests_in_order() {
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimCluster::new(3, 30, 3).expect("cluster");
+        let p = cluster.compile(&nor).expect("compiles");
+        let requests: Vec<(CompiledProgram, Vec<bool>)> = (0..9u32)
+            .map(|v| (p.clone(), vec![v & 1 != 0, v & 2 != 0]))
+            .collect();
+        let inputs: Vec<Vec<bool>> = requests.iter().map(|(_, i)| i.clone()).collect();
+        let (tickets, outcome) = cluster.run_all(requests).expect("runs");
+        assert_eq!(tickets.len(), 9);
+        for (t, inputs) in tickets.iter().zip(&inputs) {
+            assert_eq!(outcome.outputs_for(*t), Some(nl.eval(inputs).as_slice()));
+        }
+    }
+
+    #[test]
+    fn shard_failure_banks_completed_results_for_the_next_flush() {
+        // Shard 1 is sabotaged (swapped for a crossbar too narrow for the
+        // compiled programs), so its batch fails mid-flush. The flush
+        // errors — but shard 0's completed batch is banked and delivered
+        // by the next successful flush instead of being dropped.
+        let (xor_nor, xor_nl) = xor_circuit();
+        let (mux_nor, _) = mux_circuit();
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        cluster.shards[1] = PimDevice::new(9, 3).expect("device");
+        let p = cluster.compile(&xor_nor).expect("compiles");
+        let q = cluster.compile(&mux_nor).expect("compiles");
+        let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
+        let t1 = cluster
+            .submit(&q, vec![true, true, false])
+            .expect("submits");
+        assert_eq!(
+            cluster.flush().unwrap_err(),
+            ClusterError::Shard {
+                shard: 1,
+                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
+            }
+        );
+        let recovered = cluster.flush().expect("bank survives the error");
+        assert_eq!(
+            recovered.outputs_for(t0),
+            Some(xor_nl.eval(&[true, false]).as_slice()),
+            "shard 0's completed batch was preserved"
+        );
+        assert_eq!(recovered.outputs_for(t1), None, "the failed batch is gone");
+        assert_eq!(recovered.waves, 1);
+    }
+
+    #[test]
+    fn a_fault_struck_shard_still_answers_correctly() {
+        // The pool inherits the device's ECC flow: a soft error on one
+        // shard between load and check is repaired before execution.
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
+        cluster.shards[1] = PimDeviceBuilder::new(30, 3)
+            .on_batch_loaded(|pm| pm.inject_fault(0, 0))
+            .build()
+            .expect("device");
+        let p = cluster.compile(&nor).expect("compiles");
+        // Two groups force both shards into the wave: the mux group lands
+        // on shard 1.
+        let (mux_nor, mux_nl) = mux_circuit();
+        let q = cluster.compile(&mux_nor).expect("compiles");
+        let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
+        let t1 = cluster
+            .submit(&q, vec![true, true, false])
+            .expect("submits");
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(
+            outcome.outputs_for(t0),
+            Some(nl.eval(&[true, false]).as_slice())
+        );
+        assert_eq!(
+            outcome.outputs_for(t1),
+            Some(mux_nl.eval(&[true, true, false]).as_slice())
+        );
+        assert_eq!(outcome.input_check.corrected, 1, "the strike was repaired");
+    }
+}

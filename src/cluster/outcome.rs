@@ -1,0 +1,189 @@
+//! Cluster outcomes: per-ticket results plus whole-cluster accounting.
+
+use super::queue::Ticket;
+use pimecc_core::{CheckReport, MachineStats};
+
+/// Result of one submitted request, delivered inside a [`ClusterOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TicketResult {
+    /// The submission this result answers.
+    pub ticket: Ticket,
+    /// Shard the request executed on.
+    pub shard: usize,
+    /// Dispatch wave (0-based, within the flush) the request rode.
+    pub wave: usize,
+    /// The program's primary outputs for this request.
+    pub outputs: Vec<bool>,
+}
+
+/// One shard's share of a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardReport {
+    /// Batches the shard executed.
+    pub batches: u64,
+    /// Requests the shard served.
+    pub requests: u64,
+    /// MEM cycles the shard was busy (its own clock; shards tick in
+    /// parallel, so these do **not** sum to wall cycles).
+    pub busy_mem_cycles: u64,
+    /// Gate evaluations the shard performed.
+    pub gate_evals: u64,
+}
+
+impl ShardReport {
+    /// Fraction of the flush's wall-clock MEM cycles this shard was busy —
+    /// 1.0 is a shard that never waited on the slowest member of any wave.
+    pub fn utilization(&self, wall_mem_cycles: u64) -> f64 {
+        if wall_mem_cycles == 0 {
+            0.0
+        } else {
+            self.busy_mem_cycles as f64 / wall_mem_cycles as f64
+        }
+    }
+}
+
+/// Result of one [`PimCluster::flush`](crate::cluster::PimCluster::flush):
+/// every ticket served since the previous flush, with the cluster-wide and
+/// per-shard accounting.
+///
+/// Two clocks matter. `stats` sums the activity of every shard (total
+/// machine work, what an energy model wants); `wall_mem_cycles` counts
+/// elapsed MEM cycles — per wave, only the *slowest* shard, because shards
+/// tick in parallel. Throughput figures use the wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// One result per served ticket, sorted by ticket.
+    pub results: Vec<TicketResult>,
+    /// Summed machine activity of all shards.
+    pub stats: MachineStats,
+    /// Aggregated pre-execution input checks of every dispatched batch.
+    pub input_check: CheckReport,
+    /// Total gate evaluations performed across shards.
+    pub gate_evals: u64,
+    /// Elapsed MEM cycles: per wave the maximum over the shards that ran,
+    /// summed over waves.
+    pub wall_mem_cycles: u64,
+    /// Dispatch waves the flush needed (0 for an empty flush).
+    pub waves: usize,
+    /// Per-shard share of the flush, indexed by shard.
+    pub shard_reports: Vec<ShardReport>,
+}
+
+impl ClusterOutcome {
+    pub(crate) fn empty(shards: usize) -> Self {
+        ClusterOutcome {
+            results: Vec::new(),
+            stats: MachineStats::default(),
+            input_check: CheckReport::default(),
+            gate_evals: 0,
+            wall_mem_cycles: 0,
+            waves: 0,
+            shard_reports: vec![ShardReport::default(); shards],
+        }
+    }
+
+    /// Folds `other` (a later partial flush) into this outcome — used to
+    /// combine auto-flushed waves with the final explicit flush.
+    pub(crate) fn merge(&mut self, other: ClusterOutcome) {
+        self.results.extend(other.results);
+        self.stats += other.stats;
+        self.input_check += other.input_check;
+        self.gate_evals += other.gate_evals;
+        self.wall_mem_cycles += other.wall_mem_cycles;
+        self.waves += other.waves;
+        for (mine, theirs) in self.shard_reports.iter_mut().zip(&other.shard_reports) {
+            mine.batches += theirs.batches;
+            mine.requests += theirs.requests;
+            mine.busy_mem_cycles += theirs.busy_mem_cycles;
+            mine.gate_evals += theirs.gate_evals;
+        }
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> usize {
+        self.results.len()
+    }
+
+    /// The outputs of one submission, if this flush served it.
+    ///
+    /// `results` is sorted by ticket, so the lookup is a binary search.
+    pub fn outputs_for(&self, ticket: Ticket) -> Option<&[bool]> {
+        self.results
+            .binary_search_by_key(&ticket, |r| r.ticket)
+            .ok()
+            .map(|i| self.results[i].outputs.as_slice())
+    }
+
+    /// The headline figure: aggregate gate evaluations per *elapsed* MEM
+    /// cycle. Grows with both batch depth (amortization inside a shard)
+    /// and shard count (waves run in parallel).
+    pub fn gate_evals_per_mem_cycle(&self) -> f64 {
+        if self.wall_mem_cycles == 0 {
+            0.0
+        } else {
+            self.gate_evals as f64 / self.wall_mem_cycles as f64
+        }
+    }
+
+    /// Elapsed MEM cycles per request — the cluster-amortized latency.
+    pub fn mem_cycles_per_request(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.wall_mem_cycles as f64 / self.results.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ticket: u64) -> TicketResult {
+        TicketResult {
+            ticket: Ticket(ticket),
+            shard: 0,
+            wave: 0,
+            outputs: vec![ticket % 2 == 0],
+        }
+    }
+
+    #[test]
+    fn outputs_for_finds_tickets_by_binary_search() {
+        let mut o = ClusterOutcome::empty(1);
+        o.results = vec![result(1), result(4), result(9)];
+        assert_eq!(o.outputs_for(Ticket(4)), Some([true].as_slice()));
+        assert_eq!(o.outputs_for(Ticket(9)), Some([false].as_slice()));
+        assert_eq!(o.outputs_for(Ticket(2)), None);
+    }
+
+    #[test]
+    fn merge_accumulates_both_clocks_and_shard_reports() {
+        let mut a = ClusterOutcome::empty(2);
+        a.results = vec![result(0)];
+        a.wall_mem_cycles = 100;
+        a.waves = 1;
+        a.gate_evals = 50;
+        a.shard_reports[0].busy_mem_cycles = 100;
+        a.shard_reports[0].requests = 1;
+
+        let mut b = ClusterOutcome::empty(2);
+        b.results = vec![result(1)];
+        b.wall_mem_cycles = 40;
+        b.waves = 1;
+        b.gate_evals = 30;
+        b.shard_reports[1].busy_mem_cycles = 40;
+        b.shard_reports[1].requests = 1;
+
+        a.merge(b);
+        assert_eq!(a.requests(), 2);
+        assert_eq!(a.wall_mem_cycles, 140);
+        assert_eq!(a.waves, 2);
+        assert_eq!(a.gate_evals, 80);
+        assert_eq!(a.shard_reports[0].requests, 1);
+        assert_eq!(a.shard_reports[1].busy_mem_cycles, 40);
+        assert!((a.shard_reports[1].utilization(140) - 40.0 / 140.0).abs() < 1e-12);
+        assert!((a.gate_evals_per_mem_cycle() - 80.0 / 140.0).abs() < 1e-12);
+        assert!((a.mem_cycles_per_request() - 70.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! The submission queue: tickets, pending requests, and the
+//! pack-by-fingerprint grouping the scheduler consumes.
+
+use crate::device::CompiledProgram;
+use std::collections::HashMap;
+
+/// Receipt for one submitted request, redeemed against the
+/// [`ClusterOutcome`](crate::cluster::ClusterOutcome) of the flush that
+/// served it.
+///
+/// Tickets are issued in submission order and are unique for the lifetime
+/// of the cluster, so they double as a deterministic tie-breaker wherever
+/// the scheduler needs a stable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// The ticket's cluster-lifetime sequence number.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
+/// One accepted, not-yet-executed request.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub(crate) ticket: Ticket,
+    pub(crate) program: CompiledProgram,
+    pub(crate) inputs: Vec<bool>,
+}
+
+/// All pending requests of one program, in submission order — the unit the
+/// scheduler carves row batches from.
+#[derive(Debug)]
+pub(crate) struct Group {
+    pub(crate) program: CompiledProgram,
+    pub(crate) requests: Vec<(Ticket, Vec<bool>)>,
+    /// Next request index the scheduler has not yet dispatched.
+    pub(crate) cursor: usize,
+}
+
+impl Group {
+    pub(crate) fn remaining(&self) -> usize {
+        self.requests.len() - self.cursor
+    }
+}
+
+/// Drains `pending` into per-fingerprint groups.
+///
+/// Group order is the order each program *first* appeared in the queue and
+/// requests keep submission order inside their group — both properties the
+/// scheduler's determinism guarantee rests on (a `HashMap` iteration order
+/// never reaches the dispatch plan).
+pub(crate) fn group_by_fingerprint(pending: Vec<Pending>) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for p in pending {
+        let key = p.program.fingerprint();
+        let at = *index.entry(key).or_insert_with(|| {
+            groups.push(Group {
+                program: p.program.clone(),
+                requests: Vec::new(),
+                cursor: 0,
+            });
+            groups.len() - 1
+        });
+        groups[at].requests.push((p.ticket, p.inputs));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PimDevice;
+    use pimecc_netlist::NetlistBuilder;
+
+    fn program(bits: usize, tag: bool) -> CompiledProgram {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(bits);
+        let mut g = b.nor(ins[0], ins[bits - 1]);
+        if tag {
+            g = b.nor(g, ins[0]);
+        }
+        b.output(g);
+        let mut device = PimDevice::new(30, 3).expect("device");
+        device.compile(&b.finish().to_nor()).expect("compiles")
+    }
+
+    #[test]
+    fn groups_keep_first_appearance_order_and_submission_order() {
+        let a = program(2, false);
+        let b = program(3, true);
+        let pending = vec![
+            Pending {
+                ticket: Ticket(0),
+                program: b.clone(),
+                inputs: vec![true, false, true],
+            },
+            Pending {
+                ticket: Ticket(1),
+                program: a.clone(),
+                inputs: vec![true, false],
+            },
+            Pending {
+                ticket: Ticket(2),
+                program: b.clone(),
+                inputs: vec![false, false, true],
+            },
+        ];
+        let groups = group_by_fingerprint(pending);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0].program.fingerprint(),
+            b.fingerprint(),
+            "first-seen program leads"
+        );
+        assert_eq!(groups[0].requests.len(), 2);
+        assert_eq!(groups[0].requests[0].0, Ticket(0));
+        assert_eq!(groups[0].requests[1].0, Ticket(2));
+        assert_eq!(groups[1].requests, vec![(Ticket(1), vec![true, false])]);
+        assert_eq!(groups[0].remaining(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The wave scheduler: carve full-width row batches out of the
+//! fingerprint groups and dispatch one batch per shard per wave, shards in
+//! parallel on scoped threads.
+//!
+//! Determinism: group order, chunk carving and shard assignment are all
+//! pure functions of submission order and the cluster's knobs — no map
+//! iteration order, clock or thread-completion order ever reaches the
+//! plan, so identical submissions yield identical placements and results.
+
+use super::error::ClusterError;
+use super::outcome::{ClusterOutcome, TicketResult};
+use super::queue::{Group, Ticket};
+use crate::device::{BatchOutcome, CompiledProgram, DeviceError, PimDevice};
+
+/// One shard's work for one wave: a chunk of one group.
+struct WaveJob {
+    shard: usize,
+    program: CompiledProgram,
+    tickets: Vec<Ticket>,
+    inputs: Vec<Vec<bool>>,
+}
+
+/// Executes `groups` to completion over `shards`, at most `batch_limit`
+/// rows per dispatched batch, folding everything into `outcome`; on
+/// success the results end up sorted by ticket.
+///
+/// On a shard failure the error is returned after the failing wave's
+/// *successful* batches are folded in, and the flush's undispatched
+/// traffic is abandoned — shard errors are placement or legality bugs,
+/// not runtime conditions (submissions are validated up front). The
+/// caller keeps `outcome`, so already-served tickets survive the error.
+pub(crate) fn run_waves(
+    shards: &mut [PimDevice],
+    mut groups: Vec<Group>,
+    batch_limit: usize,
+    outcome: &mut ClusterOutcome,
+) -> Result<(), ClusterError> {
+    loop {
+        let jobs = plan_wave(&mut groups, shards.len(), batch_limit);
+        if jobs.is_empty() {
+            break;
+        }
+        dispatch_wave(shards, jobs, outcome)?;
+    }
+    outcome.results.sort_by_key(|r| r.ticket);
+    Ok(())
+}
+
+/// Plans one wave: walk the groups in first-submission order, carve chunks
+/// of up to `batch_limit` requests, and hand each chunk to the next idle
+/// shard until every shard has work or every group is drained. A large
+/// group spreads over *several* shards within one wave — that is the
+/// sharding win for single-program traffic.
+fn plan_wave(groups: &mut [Group], shards: usize, batch_limit: usize) -> Vec<WaveJob> {
+    let mut jobs = Vec::new();
+    let mut shard = 0;
+    'groups: for g in groups.iter_mut() {
+        while g.remaining() > 0 {
+            if shard == shards {
+                break 'groups;
+            }
+            let take = g.remaining().min(batch_limit);
+            let chunk = &mut g.requests[g.cursor..g.cursor + take];
+            jobs.push(WaveJob {
+                shard,
+                program: g.program.clone(),
+                tickets: chunk.iter().map(|(t, _)| *t).collect(),
+                // The cursor never revisits a request, so the inputs move
+                // out instead of cloning.
+                inputs: chunk.iter_mut().map(|(_, i)| std::mem::take(i)).collect(),
+            });
+            g.cursor += take;
+            shard += 1;
+        }
+    }
+    jobs
+}
+
+/// Runs one planned wave, each busy shard on its own scoped thread, and
+/// folds the batch outcomes into `outcome`. The wave's wall-clock
+/// contribution is the *maximum* busy time over its shards — they tick in
+/// parallel. Successful batches are folded in even when a sibling shard
+/// fails; only the first error is reported.
+fn dispatch_wave(
+    shards: &mut [PimDevice],
+    jobs: Vec<WaveJob>,
+    outcome: &mut ClusterOutcome,
+) -> Result<(), ClusterError> {
+    let wave = outcome.waves;
+    // `plan_wave` assigns strictly increasing shard indices, so one pass
+    // over the shards pairs each job with a disjoint `&mut PimDevice`.
+    let mut jobs = jobs.into_iter().peekable();
+    let ran: Vec<(WaveJob, Result<BatchOutcome, DeviceError>)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, device) in shards.iter_mut().enumerate() {
+            if jobs.peek().map(|j| j.shard) == Some(i) {
+                let job = jobs.next().expect("peeked");
+                handles.push(s.spawn(move || {
+                    let result = device.run_batch(&job.program, &job.inputs);
+                    (job, result)
+                }));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+
+    let mut wave_wall = 0;
+    let mut first_error = None;
+    for (job, result) in ran {
+        let batch = match result {
+            Ok(batch) => batch,
+            Err(source) => {
+                first_error.get_or_insert(ClusterError::Shard {
+                    shard: job.shard,
+                    source,
+                });
+                continue;
+            }
+        };
+        wave_wall = wave_wall.max(batch.stats.mem_cycles);
+        outcome.stats += batch.stats;
+        outcome.input_check += batch.input_check;
+        outcome.gate_evals += batch.gate_evals;
+        let report = &mut outcome.shard_reports[job.shard];
+        report.batches += 1;
+        report.requests += job.tickets.len() as u64;
+        report.busy_mem_cycles += batch.stats.mem_cycles;
+        report.gate_evals += batch.gate_evals;
+        for (ticket, outputs) in job.tickets.into_iter().zip(batch.outputs) {
+            outcome.results.push(TicketResult {
+                ticket,
+                shard: job.shard,
+                wave,
+                outputs,
+            });
+        }
+    }
+    outcome.wall_mem_cycles += wave_wall;
+    outcome.waves += 1;
+    match first_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}

@@ -13,8 +13,8 @@
 //!    each program step **exactly once** for the whole batch via
 //!    row-parallel MAGIC;
 //! 3. the [`BatchOutcome`] carries per-request outputs plus the batch's own
-//!    [`MachineStats`](pimecc_core::MachineStats) delta and a derived
-//!    throughput figure (gate evaluations per MEM cycle).
+//!    [`MachineStats`] delta and a derived throughput figure (gate
+//!    evaluations per MEM cycle).
 //!
 //! Batching therefore costs ~O(steps + k) MEM cycles for k requests where
 //! the serial [`ProtectedRunner`](crate::runner::ProtectedRunner) flow costs
@@ -57,7 +57,7 @@ mod program;
 
 pub use batch::BatchOutcome;
 pub use error::DeviceError;
-pub use program::CompiledProgram;
+pub use program::{netlist_fingerprint, CompiledProgram};
 
 use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory};
 use pimecc_netlist::NorNetlist;
@@ -96,7 +96,11 @@ pub enum CoveragePolicy {
 /// pre-execution check — the window soft errors strike in; fault-injection
 /// campaigns register one through
 /// [`PimDeviceBuilder::on_batch_loaded`].
-pub type BatchFaultHook = Box<dyn FnMut(&mut ProtectedMemory)>;
+///
+/// The hook is `Send` so that a device carrying one can still serve as a
+/// shard of a [`PimCluster`](crate::cluster::PimCluster), whose scheduler
+/// dispatches shards on scoped threads.
+pub type BatchFaultHook = Box<dyn FnMut(&mut ProtectedMemory) + Send>;
 
 /// Configures and builds a [`PimDevice`].
 ///
@@ -146,7 +150,10 @@ impl PimDeviceBuilder {
 
     /// Registers a fault-injection hook, run once per batch after the
     /// inputs are written and before the pre-execution check.
-    pub fn on_batch_loaded(mut self, hook: impl FnMut(&mut ProtectedMemory) + 'static) -> Self {
+    pub fn on_batch_loaded(
+        mut self,
+        hook: impl FnMut(&mut ProtectedMemory) + Send + 'static,
+    ) -> Self {
         self.fault_hook = Some(Box::new(hook));
         self
     }
@@ -170,7 +177,6 @@ impl PimDeviceBuilder {
             check_policy: self.check_policy,
             fault_hook: self.fault_hook,
             programs: HashMap::new(),
-            next_program_id: 0,
         })
     }
 }
@@ -197,7 +203,6 @@ pub struct PimDevice {
     fault_hook: Option<BatchFaultHook>,
     /// Compiled-program cache, keyed by source fingerprint.
     programs: HashMap<u64, CompiledProgram>,
-    next_program_id: u64,
 }
 
 impl PimDevice {
@@ -236,7 +241,6 @@ impl PimDevice {
             check_policy: policy,
             fault_hook: None,
             programs: HashMap::new(),
-            next_program_id: 0,
         }
     }
 
@@ -298,7 +302,7 @@ impl PimDevice {
     ///
     /// [`DeviceError::Map`] when the function does not fit one row.
     pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, DeviceError> {
-        let key = netlist_key(netlist);
+        let key = netlist_fingerprint(netlist);
         if let Some(cached) = self.programs.get(&key) {
             return Ok(cached.clone());
         }
@@ -322,9 +326,25 @@ impl PimDevice {
         self.insert_program(key, program.clone())
     }
 
+    /// Adopts a [`CompiledProgram`] handle compiled elsewhere — another
+    /// device, or a [`PimCluster`](crate::cluster::PimCluster) compile
+    /// cache — *sharing* the underlying mapped program instead of deep
+    /// cloning it. The foreign handle keeps its original id; a later
+    /// [`PimDevice::adopt`] (or `adopt_compiled`) of the same mapped
+    /// program hits this cache entry. [`PimDevice::compile`] keys by
+    /// *netlist* fingerprint — a different domain — so compiling the
+    /// source netlist still re-runs the mapper.
+    pub fn adopt_compiled(&mut self, compiled: &CompiledProgram) -> CompiledProgram {
+        let key = compiled.fingerprint();
+        if let Some(cached) = self.programs.get(&key) {
+            return cached.clone();
+        }
+        self.programs.insert(key, compiled.clone());
+        compiled.clone()
+    }
+
     fn insert_program(&mut self, key: u64, program: Program) -> CompiledProgram {
-        let compiled = CompiledProgram::new(self.next_program_id, program);
-        self.next_program_id += 1;
+        let compiled = CompiledProgram::new(program);
         self.programs.insert(key, compiled.clone());
         compiled
     }
@@ -539,21 +559,6 @@ impl std::fmt::Debug for PimDevice {
     }
 }
 
-/// Structural fingerprint of a NOR netlist, the compile-cache key.
-fn netlist_key(netlist: &NorNetlist) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    netlist.num_inputs().hash(&mut h);
-    for gate in netlist.gates() {
-        gate.inputs.hash(&mut h);
-    }
-    netlist.outputs().hash(&mut h);
-    // Distinguish the netlist-key domain from program fingerprints, which
-    // share the same cache.
-    h.write_u8(0x4E);
-    h.finish()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +650,23 @@ mod tests {
             .run_batch(&adopted, &[vec![true, false, true]])
             .expect("cleared cache does not invalidate handles");
         assert_eq!(out.requests(), 1);
+    }
+
+    #[test]
+    fn adopt_compiled_shares_handles_across_devices() {
+        let (nor, nl) = small_circuit();
+        let mut a = PimDevice::new(30, 3).expect("device");
+        let p = a.compile(&nor).expect("compiles");
+        let mut b = PimDevice::new(30, 3).expect("device");
+        let shared = b.adopt_compiled(&p);
+        assert_eq!(shared.id(), p.id(), "the handle crosses devices intact");
+        assert_eq!(b.compiled_count(), 1);
+        let again = b.adopt(p.program());
+        assert_eq!(again.id(), p.id(), "adopt hits the shared cache entry");
+        let out = b
+            .run_batch(&shared, &[vec![true, false, true]])
+            .expect("runs");
+        assert_eq!(out.outputs[0], nl.eval(&[true, false, true]));
     }
 
     #[test]

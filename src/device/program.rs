@@ -1,7 +1,36 @@
 //! Compiled programs: SIMPLER-mapped functions cached on a device.
 
+use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide compilation-id allocator: ids stay unique even when
+/// handles cross compilers via
+/// [`PimDevice::adopt_compiled`](crate::device::PimDevice::adopt_compiled).
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Structural fingerprint of a NOR netlist — the compile-cache key used by
+/// [`PimDevice::compile`](crate::device::PimDevice::compile) and
+/// [`PimCluster::compile`](crate::cluster::PimCluster::compile), so a
+/// device and a cluster (or two shards) recognize the same source function
+/// without re-running the mapper.
+///
+/// The value lives in a separate domain from [`Program::fingerprint`]
+/// (adopted programs), so both can share one cache without collisions.
+pub fn netlist_fingerprint(netlist: &NorNetlist) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    netlist.num_inputs().hash(&mut h);
+    for gate in netlist.gates() {
+        gate.inputs.hash(&mut h);
+    }
+    netlist.outputs().hash(&mut h);
+    // Distinguish the netlist-key domain from program fingerprints, which
+    // share the same cache.
+    h.write_u8(0x4E);
+    h.finish()
+}
 
 #[derive(Debug)]
 pub(crate) struct CompiledInner {
@@ -27,12 +56,12 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
-    pub(crate) fn new(id: u64, program: Program) -> Self {
+    pub(crate) fn new(program: Program) -> Self {
         let footprint = program.footprint();
         let fingerprint = program.fingerprint();
         CompiledProgram {
             inner: Arc::new(CompiledInner {
-                id,
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 program,
                 footprint,
                 fingerprint,
@@ -40,8 +69,11 @@ impl CompiledProgram {
         }
     }
 
-    /// Device-local compilation id (stable for the lifetime of the device;
-    /// cache hits return the same id).
+    /// Process-unique compilation id: every fresh compilation (or
+    /// adoption of an uncached program) allocates a new id, and cache
+    /// hits return the handle — and id — of the original compilation, so
+    /// two handles with one id always carry the same program, even across
+    /// devices and clusters.
     pub fn id(&self) -> u64 {
         self.inner.id
     }

@@ -10,6 +10,10 @@
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
+//! * [`cluster`] — the scaling front-end: [`PimCluster`] queues mixed
+//!   traffic behind `submit`/`flush`, packs it by program fingerprint and
+//!   dispatches full-width row batches across a pool of shards in
+//!   parallel;
 //! * [`device`] — the batch-first execution layer: [`PimDevice`] compiles
 //!   functions once (SIMPLER) and serves up to `n` requests per crossbar
 //!   pass, with the paper's pre-execution checks amortized per block-row;
@@ -21,13 +25,16 @@
 //! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo;
 //! * [`runner`] — the deprecated single-request facade over [`device`].
 //!
+//! Everything a typical caller needs sits in [`prelude`].
+//!
 //! # Quickstart
 //!
-//! Build a device, compile a function, serve a whole batch in one pass —
-//! and survive a soft error along the way:
+//! Build a cluster, compile a function once, submit requests as they
+//! arrive, flush — the queue packs same-program traffic into full-width
+//! row batches and runs the shards in parallel:
 //!
 //! ```
-//! use pimecc::device::PimDevice;
+//! use pimecc::prelude::*;
 //! use pimecc::netlist::NetlistBuilder;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,33 +48,41 @@
 //! b.output(carry);
 //! let netlist = b.finish();
 //!
-//! // A 30x30 crossbar with 3x3 ECC blocks; SIMPLER maps the function once.
-//! let mut device = PimDevice::new(30, 3)?;
-//! let program = device.compile(&netlist.to_nor())?;
+//! // Two shards of 30x30 crossbars with 3x3 ECC blocks; SIMPLER maps the
+//! // function once and the handle is shared by both shards.
+//! let mut cluster = PimClusterBuilder::new(2, 30, 3).build()?;
+//! let program = cluster.compile(&netlist.to_nor())?;
 //!
-//! // All eight input combinations execute simultaneously on eight rows:
-//! // each program step runs once for the whole batch.
-//! let batch: Vec<Vec<bool>> = (0..8u32)
-//!     .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
-//!     .collect();
-//! let outcome = device.run_batch(&program, &batch)?;
-//! for (req, out) in batch.iter().zip(&outcome.outputs) {
-//!     assert_eq!(out, &netlist.eval(req));
+//! // Submission returns a ticket immediately; nothing executes yet.
+//! let tickets: Vec<Ticket> = (0..8u32)
+//!     .map(|v| cluster.submit(&program, (0..3).map(|i| v >> i & 1 != 0).collect()))
+//!     .collect::<Result<_, _>>()?;
+//!
+//! // One flush serves the whole queue: each program step executes once
+//! // per dispatched batch, row-parallel, ECC maintained throughout.
+//! let outcome = cluster.flush()?;
+//! for (v, ticket) in tickets.iter().enumerate() {
+//!     let inputs: Vec<bool> = (0..3).map(|i| v as u32 >> i & 1 != 0).collect();
+//!     assert_eq!(outcome.outputs_for(*ticket), Some(netlist.eval(&inputs).as_slice()));
 //! }
-//! // Throughput scales with the batch: more than one gate evaluation per
-//! // MEM cycle, where a serial flow is pinned below one.
+//! // Aggregate throughput beats one gate evaluation per MEM cycle, where
+//! // a serial flow is pinned below one.
 //! assert!(outcome.gate_evals_per_mem_cycle() > 1.0);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `examples/batch_throughput.rs` for the cycle-amortization curve,
-//! `examples/` for more scenarios and `crates/bench` for the binaries that
+//! A single crossbar without the queue is [`PimDevice::run_batch`]
+//! (see the [`device`] module docs). See `examples/cluster_throughput.rs`
+//! for the shard-count sweep, `examples/batch_throughput.rs` for the
+//! cycle-amortization curve, and `crates/bench` for the binaries that
 //! regenerate every table and figure of the paper.
 
+pub mod cluster;
 pub mod device;
 pub mod runner;
 
+pub use cluster::{ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, Ticket};
 pub use device::{BatchOutcome, CompiledProgram, PimDevice, PimDeviceBuilder};
 pub use pimecc_core as core;
 pub use pimecc_netlist as netlist;
@@ -77,3 +92,28 @@ pub use pimecc_xbar as xbar;
 #[allow(deprecated)]
 pub use runner::ProtectedRunner;
 pub use runner::RunOutcome;
+
+/// One-import surface for downstream code: the cluster submission API,
+/// the single-device batch API, and the policy/error types both share.
+///
+/// ```
+/// use pimecc::prelude::*;
+///
+/// # fn main() -> Result<(), ClusterError> {
+/// let cluster = PimClusterBuilder::new(2, 30, 3)
+///     .check_policy(CheckPolicy::PreExecution)
+///     .build()?;
+/// assert_eq!(cluster.capacity(), 60);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::cluster::{
+        ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, ShardReport, Ticket,
+        TicketResult,
+    };
+    pub use crate::device::{
+        BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
+        PimDeviceBuilder,
+    };
+}

@@ -1,15 +1,17 @@
 //! Legacy single-request execution — a thin shim over the batched
 //! [`device`](crate::device) layer.
 //!
-//! [`ProtectedRunner`] predates [`PimDevice`](crate::device::PimDevice) and
+//! [`ProtectedRunner`] predates [`PimDevice`] and
 //! serves exactly one request per call on one row. It is kept as a
 //! deprecated compatibility facade: every call now routes through the
 //! device API (`adopt` + `load_request` + `execute_rows` with a batch of
 //! one), so its semantics — non-destructive input loading included — are
 //! the device's. New code should hold a `PimDevice` and call
-//! [`run_batch`](crate::device::PimDevice::run_batch) instead; the serial
-//! flow pays the full program latency *per request*, where a batch pays it
-//! once.
+//! [`run_batch`](crate::device::PimDevice::run_batch) — or, for mixed and
+//! high-volume traffic, a [`PimCluster`](crate::cluster::PimCluster) whose
+//! `submit`/`flush` queue packs and shards batches automatically. The
+//! serial flow here pays the full program latency *per request*, where a
+//! batch pays it once.
 
 use crate::device::{DeviceError, PimDevice};
 use pimecc_core::{CheckReport, CoreError, ProtectedMemory};

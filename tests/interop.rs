@@ -7,6 +7,7 @@
 // keep working until its removal.
 #![allow(deprecated)]
 
+use pimecc::cluster::PimCluster;
 use pimecc::device::PimDevice;
 use pimecc::netlist::blif::{parse_blif, write_blif};
 use pimecc::netlist::equiv::{check_equivalence, Equivalence};
@@ -141,6 +142,40 @@ fn device_compile_caches_blif_imported_circuits() {
     let outcome = device.run_batch(&b, &requests).expect("runs");
     for (i, req) in requests.iter().enumerate() {
         assert_eq!(outcome.outputs[i], (original.reference)(req), "addr {i}");
+    }
+}
+
+#[test]
+fn cluster_serves_blif_imported_and_listing_adopted_programs_together() {
+    // The cluster's compile cache recognizes a BLIF re-import
+    // structurally, and a program round-tripped through the listing format
+    // rides the same queue — the full interchange loop, sharded.
+    let original = Benchmark::Dec.build();
+    let text = write_blif(&original.netlist, "dec");
+    let mut cluster = PimCluster::new(2, 1020, 15).expect("cluster");
+    let a = cluster
+        .compile(&parse_blif(&text).expect("imports").to_nor())
+        .expect("compiles");
+    let b = cluster
+        .compile(&parse_blif(&text).expect("imports").to_nor())
+        .expect("compiles");
+    assert_eq!(a.id(), b.id(), "structural cache hit across imports");
+    assert_eq!(cluster.compiled_count(), 1);
+
+    let listing = write_listing(a.program());
+    let reparsed = parse_listing(&listing).expect("round-trips");
+    let c = cluster.adopt(&reparsed).expect("fits");
+
+    let mut expect = Vec::new();
+    for addr in 0..6u32 {
+        let inputs: Vec<bool> = (0..8).map(|i| addr >> i & 1 != 0).collect();
+        let program = if addr % 2 == 0 { &b } else { &c };
+        let t = cluster.submit(program, inputs.clone()).expect("submits");
+        expect.push((t, (original.reference)(&inputs)));
+    }
+    let outcome = cluster.flush().expect("flushes");
+    for (t, want) in &expect {
+        assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
     }
 }
 
