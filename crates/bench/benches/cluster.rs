@@ -25,11 +25,11 @@ fn bench_cluster_flush(c: &mut Criterion) {
             b.iter(|| {
                 for i in 0..PER_PROGRAM {
                     let x = (i * 37) as u32 & 0x7FF;
-                    cluster
+                    let _ = cluster
                         .submit(&pi, (0..11).map(|b| x >> b & 1 != 0).collect())
                         .expect("submits");
                     let y = (i * 73) as u32 & 0xFFFF;
-                    cluster
+                    let _ = cluster
                         .submit(&pa, (0..16).map(|b| y >> b & 1 != 0).collect())
                         .expect("submits");
                 }

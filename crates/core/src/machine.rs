@@ -342,6 +342,53 @@ impl ProtectedMemory {
         Ok(())
     }
 
+    /// Transpose of [`ProtectedMemory::write_row_cells`]: writes the given
+    /// `(row, value)` pairs into one *column* through the write-with-ECC
+    /// path, leaving every other cell untouched — the per-request load
+    /// primitive for **column-parallel** batched execution, where requests
+    /// occupy distinct columns (the paper's §IV "row (column)" symmetry).
+    /// One driven-column MEM cycle plus the critical-operation protocol for
+    /// the touched covered blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if `col` or any row is out of range.
+    pub fn write_col_cells(&mut self, col: usize, cells: &[(usize, bool)]) -> Result<()> {
+        let n = self.geom.n();
+        if col >= n {
+            return Err(CoreError::OutOfBounds { row: 0, col, n });
+        }
+        if let Some(&(row, _)) = cells.iter().find(|&&(r, _)| r >= n) {
+            return Err(CoreError::OutOfBounds { row, col, n });
+        }
+        if cells.is_empty() {
+            return Ok(());
+        }
+        // Deduplicate rows (last value wins) for the same parity-safety
+        // reason as the row-major path.
+        let mut unique: Vec<(usize, bool)> = Vec::with_capacity(cells.len());
+        for &(r, v) in cells {
+            match unique.iter_mut().find(|(ur, _)| *ur == r) {
+                Some(entry) => entry.1 = v,
+                None => unique.push((r, v)),
+            }
+        }
+        if self.check_on_critical {
+            let coords: Vec<(usize, usize)> = unique.iter().map(|&(r, _)| (r, col)).collect();
+            self.precheck_blocks(&coords)?;
+        }
+        let old: Vec<(usize, usize, bool)> = unique
+            .iter()
+            .map(|&(r, _)| (r, col, self.mem.bit(r, col)))
+            .collect();
+        for &(r, v) in &unique {
+            self.mem.write_bit(r, col, v);
+        }
+        self.stats.mem_cycles += 1;
+        self.update_checks(&old);
+        Ok(())
+    }
+
     /// Applies the continuous ECC update for a set of written cells, given
     /// their prior values. Cells in uncovered blocks are skipped.
     fn update_checks(&mut self, cells: &[(usize, usize, bool)]) {
@@ -1108,6 +1155,58 @@ mod tests {
         ));
         let before = *pm.stats();
         pm.write_row_cells(0, &[]).unwrap();
+        assert_eq!(
+            *pm.stats() - before,
+            MachineStats::default(),
+            "empty write is free"
+        );
+    }
+
+    #[test]
+    fn write_col_cells_transposes_write_row_cells() {
+        let mut pm = machine(15, 5);
+        let grid = random_grid(15, 23);
+        pm.load_grid(&grid);
+        let before = *pm.stats();
+        pm.write_col_cells(7, &[(0, true), (1, false), (13, true)])
+            .unwrap();
+        let delta = *pm.stats() - before;
+        assert!(pm.bit(0, 7) && !pm.bit(1, 7) && pm.bit(13, 7));
+        // Every untouched cell keeps its loaded value.
+        for r in 0..15 {
+            for c in 0..15 {
+                if c != 7 || ![0, 1, 13].contains(&r) {
+                    assert_eq!(pm.bit(r, c), grid.get(r, c), "({r},{c})");
+                }
+            }
+        }
+        // Same cost model as the row-major path: 1 driven cycle + the
+        // critical-operation protocol of the touched covered blocks.
+        assert_eq!(delta.mem_cycles, 3);
+        assert_eq!(delta.critical_ops, 1);
+        assert!(pm.verify_consistency().is_ok());
+        // Duplicate rows: last value wins, parity updated exactly once.
+        pm.write_col_cells(2, &[(4, false), (4, true), (4, true)])
+            .unwrap();
+        assert!(pm.bit(4, 2));
+        assert!(pm.verify_consistency().is_ok());
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected + report.uncorrectable, 0);
+    }
+
+    #[test]
+    fn write_col_cells_bounds_and_empty() {
+        let mut pm = machine(9, 3);
+        assert!(matches!(
+            pm.write_col_cells(9, &[(0, true)]),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.write_col_cells(0, &[(9, true)]),
+            Err(CoreError::OutOfBounds { .. })
+        ));
+        let before = *pm.stats();
+        pm.write_col_cells(0, &[]).unwrap();
         assert_eq!(
             *pm.stats() - before,
             MachineStats::default(),

@@ -40,4 +40,4 @@ pub mod mapper;
 pub use cu::{cell_usage, execution_order};
 pub use ecc::{min_processing_crossbars, schedule_with_ecc, EccConfig, EccReport};
 pub use listing::{parse_listing, write_listing, ParseListingError};
-pub use mapper::{map, map_auto, MapError, MapperConfig, Program, Step};
+pub use mapper::{map, map_auto, map_dense, MapError, MapperConfig, Program, Step};

@@ -169,6 +169,34 @@ impl Program {
         }
     }
 
+    /// Drops initializations of cells that are never driven afterwards.
+    ///
+    /// SIMPLER's batched re-initialization arms *every* reclaimable cell in
+    /// one cycle — correct and cheap in time, but it makes the program
+    /// *touch* the whole row, which pins [`Program::footprint`] at
+    /// `row_size` and defeats partial-row co-packing. Arming a cell that no
+    /// later gate drives cannot affect any output (armed cells are only
+    /// ever read after being driven), so those cells can be dropped from
+    /// each `Init` without changing semantics or MAGIC legality. An `Init`
+    /// left with no cells is removed entirely, so the step count can only
+    /// shrink.
+    ///
+    /// [`map`] applies this automatically; it is public for programs built
+    /// by other frontends (e.g. [`parse_listing`](crate::parse_listing)),
+    /// where it is safe whenever gate inputs are only ever read after being
+    /// written — true for any program a mapper emits.
+    pub fn prune_inits(&mut self) {
+        let mut driven_later = vec![false; self.row_size];
+        for step in self.steps.iter_mut().rev() {
+            match step {
+                Step::Gate { output, .. } => driven_later[*output] = true,
+                Step::Init { cells } => cells.retain(|&c| driven_later[c]),
+            }
+        }
+        self.steps
+            .retain(|s| !matches!(s, Step::Init { cells } if cells.is_empty()));
+    }
+
     /// Structural fingerprint of the mapped program (FNV-1a over the step
     /// stream and interface). Two programs with equal fingerprints execute
     /// identically, so devices use this as their compiled-program cache
@@ -335,13 +363,17 @@ pub fn map(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
         })
         .collect();
 
-    Ok(Program {
+    let mut program = Program {
         row_size: row,
         num_inputs: n_in,
         steps,
         output_cells,
         peak_live,
-    })
+    };
+    // Keep the footprint honest: without this, the first batched init arms
+    // the whole row and every program "touches" `row_size` cells.
+    program.prune_inits();
+    Ok(program)
 }
 
 /// Maps with automatic row widening: starts at `base_row` and doubles until
@@ -365,6 +397,47 @@ pub fn map_auto(nor: &NorNetlist, base_row: usize) -> Result<(Program, usize), M
         }
     }
     Err(last_err.expect("at least one attempt"))
+}
+
+/// Maps a NOR netlist for *partial-row co-packing*: instead of spreading
+/// over the full `cfg.row_size` cells, the function is re-mapped into the
+/// narrowest slot that does not blow up its cycle count, so that several
+/// requests fit one physical row side by side (`footprint() * k <=
+/// row_size`).
+///
+/// The sweep starts just above the full-width mapping's live-set peak and
+/// widens geometrically up to `cfg.row_size`, keeping the candidate that
+/// maximizes requests-per-row and, among equals, minimizes cycles. Narrow
+/// slots force cell recycling (more `Init` cycles); candidates costing more
+/// than 3/2 of the full-width latency are rejected, so the result is never
+/// more than 50% slower per pass and usually within a few cycles. The
+/// full-width program is returned unchanged when nothing packs denser.
+///
+/// Deterministic: a pure function of the netlist and `cfg`.
+///
+/// # Errors
+///
+/// As [`map`], for the full-width mapping.
+pub fn map_dense(nor: &NorNetlist, cfg: &MapperConfig) -> Result<Program, MapError> {
+    let full = map(nor, cfg)?;
+    let row = cfg.row_size;
+    let density = |p: &Program| row / p.footprint().max(1);
+    let budget = full.cycles() + full.cycles() / 2;
+    let mut best = full.clone();
+    let mut w = (full.peak_live + 2).max(nor.num_inputs() + 2);
+    while w < row {
+        if let Ok(p) = map(nor, &MapperConfig { row_size: w }) {
+            if p.cycles() <= budget
+                && (density(&p) > density(&best)
+                    || (density(&p) == density(&best) && p.cycles() < best.cycles()))
+            {
+                best = p;
+            }
+        }
+        // Geometric sweep: ~log(row / peak_live) mapper runs.
+        w = (w + w / 4).max(w + 1);
+    }
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -512,6 +585,62 @@ mod tests {
             }
         }
         assert!(p.output_cells.iter().all(|&c| c < fp));
+    }
+
+    #[test]
+    fn pruned_inits_keep_only_future_gate_outputs() {
+        let nor = small_netlist();
+        let p = map(&nor, &MapperConfig { row_size: 64 }).unwrap();
+        // Every init cell must be driven by a later gate — the batched
+        // drain-all init of the raw mapper is trimmed to the cells the
+        // program really uses, so the footprint tracks the live set
+        // instead of the row width.
+        for (at, step) in p.steps.iter().enumerate() {
+            if let Step::Init { cells } = step {
+                assert!(!cells.is_empty(), "empty inits are dropped");
+                for &c in cells {
+                    let driven = p.steps[at + 1..]
+                        .iter()
+                        .any(|s| matches!(s, Step::Gate { output, .. } if *output == c));
+                    assert!(driven, "cell {c} armed but never driven");
+                }
+            }
+        }
+        assert!(
+            p.footprint() < 16,
+            "3 inputs + 3 gates must not touch {} of 64 cells",
+            p.footprint()
+        );
+        // Semantics are unchanged.
+        for v in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(p.execute(&inputs).unwrap(), nor.eval(&inputs), "v={v}");
+        }
+    }
+
+    #[test]
+    fn map_dense_packs_several_requests_per_row() {
+        let nor = Benchmark::Int2float.build().netlist.to_nor();
+        let cfg = MapperConfig { row_size: 255 };
+        let full = map(&nor, &cfg).unwrap();
+        let dense = map_dense(&nor, &cfg).unwrap();
+        assert!(
+            255 / dense.footprint() >= 2 * (255 / full.footprint()).max(1),
+            "dense mapping must at least double requests-per-row: {} vs {}",
+            dense.footprint(),
+            full.footprint()
+        );
+        assert!(
+            dense.cycles() <= full.cycles() + full.cycles() / 2,
+            "narrowing must respect the cycle budget: {} vs {}",
+            dense.cycles(),
+            full.cycles()
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..4 {
+            let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+            assert_eq!(dense.execute(&inputs).unwrap(), nor.eval(&inputs));
+        }
     }
 
     #[test]

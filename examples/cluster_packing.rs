@@ -1,0 +1,221 @@
+//! Two-dimensional packing: the same mixed traffic scheduled row-only
+//! (PR-2 style, one request per row) versus with the 2D placement engine
+//! (narrow `compile_packed` mappings co-packed at several offsets per
+//! line, waves alternating between the row and column axes).
+//!
+//! The traffic is 1020 8-bit-adder and 510 int2float requests against one
+//! 255×255 shard. Row-only, that is 6 full waves (4 + 2). The 2D planner
+//! fits the same work into 2 waves: every line carries 4 adder8 requests
+//! (footprint ~30 cells) or 2 int2float requests (footprint ~41), so 3 of
+//! every 4 adder waves' input loads and block-line ECC checks vanish —
+//! gate cycles replay per offset either way, which is why the win shows up
+//! in wall cycles but not in gate-evaluation counts.
+//!
+//! Run with: `cargo run --release --example cluster_packing`
+//!
+//! Writes the comparison to `BENCH_packing.json`.
+
+use pimecc::netlist::generators::{ripple_adder, Benchmark};
+use pimecc::prelude::*;
+use std::collections::HashMap;
+
+const N: usize = 255;
+const M: usize = 5;
+const ADDER_REQUESTS: usize = 4 * N; // four offset columns when co-packed
+const I2F_REQUESTS: usize = 2 * N;
+
+fn i2f_request(i: usize) -> Vec<bool> {
+    let x = (i * 37) as u32 & 0x7FF;
+    (0..11).map(|b| x >> b & 1 != 0).collect()
+}
+
+fn add_request(i: usize) -> Vec<bool> {
+    let x = (i * 73) as u32 & 0xFFFF;
+    (0..16).map(|b| x >> b & 1 != 0).collect()
+}
+
+struct RunReport {
+    label: &'static str,
+    waves: usize,
+    wall: u64,
+    cycles_per_request: f64,
+    cell_utilization: f64,
+    line_utilization: f64,
+    packing_density: f64,
+    adder_max_per_line: usize,
+    axes: Vec<String>,
+}
+
+fn run(
+    label: &'static str,
+    narrow_mappings: bool,
+    two_dimensional: bool,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let i2f = Benchmark::Int2float.build();
+    let i2f_nor = i2f.netlist.to_nor();
+    let adder = ripple_adder(8); // 16 inputs, 9 outputs
+    let adder_nor = adder.to_nor();
+
+    let mut builder = PimClusterBuilder::new(1, N, M);
+    if !two_dimensional {
+        builder = builder.pack_limit(1).axis_policy(AxisPolicy::Rows);
+    }
+    let mut cluster = builder.build()?;
+    let (pi, pa) = if narrow_mappings {
+        (
+            cluster.compile_packed(&i2f_nor)?,
+            cluster.compile_packed(&adder_nor)?,
+        )
+    } else {
+        (cluster.compile(&i2f_nor)?, cluster.compile(&adder_nor)?)
+    };
+
+    // Interleaved arrival, as at a shared service queue.
+    let mut tickets = Vec::new();
+    for i in 0..ADDER_REQUESTS.max(I2F_REQUESTS) {
+        if i < ADDER_REQUESTS {
+            tickets.push((cluster.submit(&pa, add_request(i))?, false, i));
+        }
+        if i < I2F_REQUESTS {
+            tickets.push((cluster.submit(&pi, i2f_request(i))?, true, i));
+        }
+    }
+    let outcome = cluster.flush()?;
+
+    // Every output against the software reference.
+    let mut adder_tickets = Vec::new();
+    for &(ticket, is_i2f, i) in &tickets {
+        let got = outcome.outputs_for(ticket).expect("served");
+        let want = if is_i2f {
+            (i2f.reference)(&i2f_request(i))
+        } else {
+            adder.eval(&add_request(i))
+        };
+        assert_eq!(got, want.as_slice(), "{ticket}");
+        if !is_i2f {
+            adder_tickets.push(ticket);
+        }
+    }
+
+    // Peak adder8 co-packing density: requests sharing one line of one
+    // dispatched batch.
+    let mut per_line: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut axes: Vec<String> = Vec::new();
+    for r in &outcome.results {
+        if r.wave >= axes.len() {
+            axes.resize(r.wave + 1, String::new());
+        }
+        axes[r.wave] = r.axis.to_string();
+        if adder_tickets.binary_search(&r.ticket).is_ok() {
+            *per_line.entry((r.wave, r.shard, r.line)).or_default() += 1;
+        }
+    }
+    let adder_max_per_line = per_line.values().copied().max().unwrap_or(0);
+
+    println!(
+        "{label:>9}: waves {:>2} ({})  wall {:>6} MEM cycles  {:>6.2} cycles/request  \
+         cell util {:>5.3}  density {:>4.2}/line  adder8 max {}/line",
+        outcome.waves,
+        axes.join(","),
+        outcome.wall_mem_cycles,
+        outcome.mem_cycles_per_request(),
+        outcome.cell_utilization(),
+        outcome.packing_density(),
+        adder_max_per_line,
+    );
+    Ok(RunReport {
+        label,
+        waves: outcome.waves,
+        wall: outcome.wall_mem_cycles,
+        cycles_per_request: outcome.mem_cycles_per_request(),
+        cell_utilization: outcome.cell_utilization(),
+        line_utilization: outcome.line_utilization(),
+        packing_density: outcome.packing_density(),
+        adder_max_per_line,
+        axes,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "mixed traffic: {ADDER_REQUESTS} x adder8 + {I2F_REQUESTS} x int2float, \
+         one {N}x{N}/{M} shard\n"
+    );
+    // PR-2 baseline: full-width mappings, one request per row. The second
+    // config swaps in the narrow `compile_packed` mappings but keeps the
+    // row-only scheduler, isolating what the 2D *planner* adds on top.
+    let pr2 = run("PR-2", false, false)?;
+    let narrow = run("narrow/1D", true, false)?;
+    let packed = run("2D packed", true, true)?;
+
+    let speedup = pr2.wall as f64 / packed.wall as f64;
+    println!(
+        "\n2D placement vs PR-2 row-only: {speedup:.2}x fewer wall MEM cycles \
+         ({} -> {} waves)",
+        pr2.waves, packed.waves
+    );
+
+    assert!(
+        packed.adder_max_per_line >= 4,
+        "the 2D planner must co-pack >= 4 adder8 requests per line: {}",
+        packed.adder_max_per_line
+    );
+    assert!(
+        packed.cell_utilization > narrow.cell_utilization,
+        "cell utilization must improve over row-only placement of the same \
+         programs: {:.3} vs {:.3}",
+        packed.cell_utilization,
+        narrow.cell_utilization
+    );
+    assert!(
+        packed.wall < pr2.wall && packed.wall < narrow.wall,
+        "wall MEM cycles must improve: {} vs {} / {}",
+        packed.wall,
+        pr2.wall,
+        narrow.wall
+    );
+
+    let json_run = |r: &RunReport| {
+        format!(
+            concat!(
+                "    {{\"config\": \"{}\", \"waves\": {}, \"wave_axes\": [{}], ",
+                "\"wall_mem_cycles\": {}, \"mem_cycles_per_request\": {:.3}, ",
+                "\"cell_utilization\": {:.4}, \"line_utilization\": {:.4}, ",
+                "\"packing_density\": {:.3}, \"adder8_max_per_line\": {}}}"
+            ),
+            r.label,
+            r.waves,
+            r.axes
+                .iter()
+                .map(|a| format!("\"{a}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.wall,
+            r.cycles_per_request,
+            r.cell_utilization,
+            r.line_utilization,
+            r.packing_density,
+            r.adder_max_per_line,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"cluster_packing\",\n",
+            "  \"geometry\": {{\"n\": {}, \"m\": {}, \"shards\": 1}},\n",
+            "  \"traffic\": {{\"adder8\": {}, \"int2float\": {}}},\n",
+            "  \"speedup_wall_cycles\": {:.3},\n",
+            "  \"runs\": [\n{},\n{},\n{}\n  ]\n}}\n"
+        ),
+        N,
+        M,
+        ADDER_REQUESTS,
+        I2F_REQUESTS,
+        speedup,
+        json_run(&pr2),
+        json_run(&narrow),
+        json_run(&packed),
+    );
+    std::fs::write("BENCH_packing.json", &json)?;
+    println!("wrote BENCH_packing.json");
+    Ok(())
+}

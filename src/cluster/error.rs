@@ -13,6 +13,8 @@ pub enum ClusterError {
     ZeroBatchLimit,
     /// The auto-flush threshold must admit at least one pending request.
     ZeroFlushThreshold,
+    /// The per-line co-packing limit must admit at least one request.
+    ZeroPackLimit,
     /// A per-shard policy override names a shard the cluster does not have.
     ShardOutOfRange {
         /// The offending shard index.
@@ -52,6 +54,9 @@ impl fmt::Display for ClusterError {
             ClusterError::ZeroBatchLimit => write!(f, "batch limit must be at least one row"),
             ClusterError::ZeroFlushThreshold => {
                 write!(f, "auto-flush threshold must be at least one request")
+            }
+            ClusterError::ZeroPackLimit => {
+                write!(f, "pack limit must admit at least one request per line")
             }
             ClusterError::ShardOutOfRange { shard, shards } => {
                 write!(f, "shard {shard} out of range for a {shards}-shard cluster")

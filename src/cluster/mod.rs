@@ -25,16 +25,22 @@
 //!    executes yet, so mixed-program traffic accumulates;
 //! 2. [`PimCluster::flush`] packs the queue **by program fingerprint**
 //!    (only same-program requests can share a crossbar pass — MAGIC
-//!    executes one step sequence for all selected rows), carves each group
-//!    into row batches of at most
-//!    [`batch_limit`](PimClusterBuilder::batch_limit) requests, and
-//!    dispatches the batches wave by wave, one batch per shard per wave,
-//!    shards running in parallel via [`std::thread::scope`];
-//! 3. the [`ClusterOutcome`] returns every ticket's outputs plus two
-//!    clocks: summed [`MachineStats`](pimecc_core::MachineStats) (total
-//!    machine work) and wall MEM cycles (slowest shard per wave), from
-//!    which per-shard [utilization](ShardReport::utilization) and the
-//!    aggregate gate-evals/MEM-cycle throughput follow.
+//!    executes one step sequence for all selected lines), plans each wave
+//!    in two dimensions (a
+//!    [`PlacementPlan`](crate::device::PlacementPlan) per batch: at most
+//!    [`batch_limit`](PimClusterBuilder::batch_limit) lines, up to
+//!    [`pack_limit`](PimClusterBuilder::pack_limit) narrow requests
+//!    co-packed per line, axis per [`AxisPolicy`]), and dispatches the
+//!    batches wave by wave, one batch per shard per wave, shards running
+//!    in parallel via [`std::thread::scope`];
+//! 3. the [`ClusterOutcome`] returns every ticket's outputs and placement
+//!    (shard, wave, axis, line, offset) plus two clocks: summed
+//!    [`MachineStats`](pimecc_core::MachineStats) (total machine work) and
+//!    wall MEM cycles (slowest shard per wave), from which per-shard
+//!    [utilization](ShardReport::utilization) — time, [line occupancy
+//!    ](ShardReport::line_utilization) and [cell occupancy
+//!    ](ShardReport::cell_utilization) — and the aggregate
+//!    gate-evals/MEM-cycle throughput follow.
 //!
 //! Compiled handles are [`Arc`](std::sync::Arc)-shared
 //! ([`CompiledProgram`]), so one [`PimCluster::compile`] serves every
@@ -82,14 +88,15 @@ mod scheduler;
 pub use error::ClusterError;
 pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
 pub use queue::Ticket;
+pub use scheduler::AxisPolicy;
 
 use crate::device::{
-    netlist_fingerprint, CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder,
+    CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder, ProgramCache,
 };
 use pimecc_netlist::NorNetlist;
-use pimecc_simpler::{map, MapperConfig, Program};
+use pimecc_simpler::Program;
 use queue::{group_by_fingerprint, Pending};
-use std::collections::HashMap;
+use scheduler::PackingKnobs;
 
 /// Configures and builds a [`PimCluster`].
 ///
@@ -111,6 +118,7 @@ use std::collections::HashMap;
 /// # }
 /// ```
 #[derive(Debug)]
+#[must_use]
 pub struct PimClusterBuilder {
     shards: usize,
     n: usize,
@@ -120,6 +128,8 @@ pub struct PimClusterBuilder {
     check_overrides: Vec<(usize, CheckPolicy)>,
     coverage_overrides: Vec<(usize, CoveragePolicy)>,
     batch_limit: Option<usize>,
+    pack_limit: Option<usize>,
+    axis_policy: AxisPolicy,
     auto_flush_at: Option<usize>,
 }
 
@@ -136,6 +146,8 @@ impl PimClusterBuilder {
             check_overrides: Vec::new(),
             coverage_overrides: Vec::new(),
             batch_limit: None,
+            pack_limit: None,
+            axis_policy: AxisPolicy::default(),
             auto_flush_at: None,
         }
     }
@@ -169,11 +181,28 @@ impl PimClusterBuilder {
         self
     }
 
-    /// Caps the rows one dispatched batch may occupy (packing knob;
-    /// default: the full shard capacity `n`). Lower values trade
-    /// throughput for latency jitter — more, smaller batches.
-    pub fn batch_limit(mut self, rows: usize) -> Self {
-        self.batch_limit = Some(rows);
+    /// Caps the *lines* (rows or columns, per the wave's axis) one
+    /// dispatched batch may occupy (packing knob; default: the full shard
+    /// capacity `n`). Lower values trade throughput for latency jitter —
+    /// more, smaller batches.
+    pub fn batch_limit(mut self, lines: usize) -> Self {
+        self.batch_limit = Some(lines);
+        self
+    }
+
+    /// Caps how many requests the scheduler co-packs side by side in one
+    /// line (second packing knob; default: unlimited, i.e. bounded only by
+    /// `n / footprint`). `pack_limit(1)` restores the row-only scheduler
+    /// of PR 2 — one request per line, overflow into extra waves.
+    pub fn pack_limit(mut self, per_line: usize) -> Self {
+        self.pack_limit = Some(per_line);
+        self
+    }
+
+    /// Selects which crossbar axis dispatch waves occupy (default:
+    /// [`AxisPolicy::Alternate`] — even waves on rows, odd on columns).
+    pub fn axis_policy(mut self, policy: AxisPolicy) -> Self {
+        self.axis_policy = policy;
         self
     }
 
@@ -192,6 +221,7 @@ impl PimClusterBuilder {
     /// # Errors
     ///
     /// [`ClusterError::NoShards`] / [`ClusterError::ZeroBatchLimit`] /
+    /// [`ClusterError::ZeroPackLimit`] /
     /// [`ClusterError::ZeroFlushThreshold`] /
     /// [`ClusterError::ShardOutOfRange`] on bad knobs, and
     /// [`ClusterError::Shard`] when a shard's geometry or coverage map is
@@ -202,6 +232,9 @@ impl PimClusterBuilder {
         }
         if self.batch_limit == Some(0) {
             return Err(ClusterError::ZeroBatchLimit);
+        }
+        if self.pack_limit == Some(0) {
+            return Err(ClusterError::ZeroPackLimit);
         }
         if self.auto_flush_at == Some(0) {
             return Err(ClusterError::ZeroFlushThreshold);
@@ -242,11 +275,14 @@ impl PimClusterBuilder {
         Ok(PimCluster {
             shards,
             batch_limit: self.batch_limit.unwrap_or(self.n).min(self.n),
+            pack_limit: self.pack_limit.unwrap_or(usize::MAX),
+            axis_policy: self.axis_policy,
             auto_flush_at: self.auto_flush_at,
-            programs: HashMap::new(),
+            programs: ProgramCache::default(),
             next_ticket: 0,
             pending: Vec::new(),
             banked: None,
+            deferred_error: None,
         })
     }
 }
@@ -258,14 +294,19 @@ impl PimClusterBuilder {
 pub struct PimCluster {
     shards: Vec<PimDevice>,
     batch_limit: usize,
+    pack_limit: usize,
+    axis_policy: AxisPolicy,
     auto_flush_at: Option<usize>,
-    /// Cluster-wide compile cache, keyed by netlist and program
-    /// fingerprints (disjoint domains).
-    programs: HashMap<u64, CompiledProgram>,
+    /// Cluster-wide compile cache (netlist / packed / program key
+    /// domains), shared in shape with the device layer.
+    programs: ProgramCache,
     next_ticket: u64,
     pending: Vec<Pending>,
     /// Results of auto-flushed waves, awaiting the next explicit flush.
     banked: Option<ClusterOutcome>,
+    /// First error of a failed auto-flush, surfaced by the next explicit
+    /// flush (submissions themselves never fail for scheduler reasons).
+    deferred_error: Option<ClusterError>,
 }
 
 impl PimCluster {
@@ -293,9 +334,20 @@ impl PimCluster {
         self.shards.len() * self.shard_capacity()
     }
 
-    /// The packing limit in force (rows per dispatched batch).
+    /// The line limit in force (lines per dispatched batch).
     pub fn batch_limit(&self) -> usize {
         self.batch_limit
+    }
+
+    /// The co-packing limit in force (requests per line;
+    /// `usize::MAX` = bounded only by footprint).
+    pub fn pack_limit(&self) -> usize {
+        self.pack_limit
+    }
+
+    /// The axis policy in force.
+    pub fn axis_policy(&self) -> AxisPolicy {
+        self.axis_policy
     }
 
     /// Requests accepted but not yet executed.
@@ -331,17 +383,29 @@ impl PimCluster {
     ///
     /// [`ClusterError::Map`] when the function does not fit a shard row.
     pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
-        let key = netlist_fingerprint(netlist);
-        if let Some(cached) = self.programs.get(&key) {
-            return Ok(cached.clone());
-        }
-        let program = map(
-            netlist,
-            &MapperConfig {
-                row_size: self.shard_capacity(),
-            },
-        )?;
-        Ok(self.insert_program(key, program))
+        let row_size = self.shard_capacity();
+        Ok(self.programs.compile(netlist, row_size)?)
+    }
+
+    /// Maps `netlist` for *co-packing* — once, shared by every shard:
+    /// [`map_dense`](pimecc_simpler::map_dense) squeezes the function into the narrowest slot that
+    /// stays within 3/2 of the full-width cycle count, so the scheduler
+    /// places several requests side by side in each line
+    /// (`footprint() * k <= n`) when traffic outgrows the line count.
+    /// Cached separately from [`PimCluster::compile`]; both mappings of
+    /// one netlist can ride the queue together (they form distinct
+    /// fingerprint groups).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Map`] when the function does not fit a shard row
+    /// even at full width.
+    pub fn compile_packed(
+        &mut self,
+        netlist: &NorNetlist,
+    ) -> Result<CompiledProgram, ClusterError> {
+        let row_size = self.shard_capacity();
+        Ok(self.programs.compile_packed(netlist, row_size)?)
     }
 
     /// Adopts an externally mapped [`Program`] (e.g. parsed from a
@@ -358,17 +422,7 @@ impl PimCluster {
                 n: self.shard_capacity(),
             });
         }
-        let key = program.fingerprint();
-        if let Some(cached) = self.programs.get(&key) {
-            return Ok(cached.clone());
-        }
-        Ok(self.insert_program(key, program.clone()))
-    }
-
-    fn insert_program(&mut self, key: u64, program: Program) -> CompiledProgram {
-        let compiled = CompiledProgram::new(program);
-        self.programs.insert(key, compiled.clone());
-        compiled
+        Ok(self.programs.adopt(program))
     }
 
     /// Enqueues one request and returns its [`Ticket`]. Nothing executes
@@ -377,12 +431,16 @@ impl PimCluster {
     /// configured and reached, in which case the queue drains into the
     /// internal bank before this call returns.
     ///
+    /// An auto-flush that fails never fails the submission: the ticket is
+    /// still returned (the caller must be able to redeem whatever the
+    /// partial flush banked), and the error is *deferred* to the next
+    /// explicit [`PimCluster::flush`].
+    ///
     /// # Errors
     ///
     /// * [`ClusterError::InputArity`] on an input-width mismatch;
     /// * [`ClusterError::ProgramTooWide`] if the handle was compiled for a
-    ///   wider device;
-    /// * any flush error, when an auto-flush triggers.
+    ///   wider device.
     pub fn submit(
         &mut self,
         program: &CompiledProgram,
@@ -409,10 +467,17 @@ impl PimCluster {
         });
         if let Some(at) = self.auto_flush_at {
             if self.pending.len() >= at {
-                let flushed = self.run_pending()?;
-                match &mut self.banked {
-                    Some(bank) => bank.merge(flushed),
-                    None => self.banked = Some(flushed),
+                match self.run_pending() {
+                    Ok(flushed) => match &mut self.banked {
+                        Some(bank) => bank.merge(flushed),
+                        None => self.banked = Some(flushed),
+                    },
+                    // run_pending already banked the completed batches;
+                    // surface the first failure at the next flush, after
+                    // the ticket reaches the caller.
+                    Err(e) => {
+                        self.deferred_error.get_or_insert(e);
+                    }
                 }
             }
         }
@@ -430,11 +495,14 @@ impl PimCluster {
     ///
     /// [`ClusterError::Shard`] when a shard rejects its batch (shard
     /// errors indicate bugs, not runtime conditions — submissions are
-    /// validated on entry). Results of batches completed before the
-    /// failure are *not* lost: they are banked and returned by the next
-    /// successful flush. Requests the scheduler had not yet dispatched
-    /// are dropped.
+    /// validated on entry), or the deferred error of a failed auto-flush.
+    /// Results of batches completed before the failure are *not* lost:
+    /// they are banked and returned by the next successful flush.
+    /// Requests the scheduler had not yet dispatched are dropped.
     pub fn flush(&mut self) -> Result<ClusterOutcome, ClusterError> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
         let fresh = self.run_pending()?;
         Ok(match self.banked.take() {
             Some(mut bank) => {
@@ -477,7 +545,13 @@ impl PimCluster {
             return Ok(outcome);
         }
         let groups = group_by_fingerprint(pending);
-        match scheduler::run_waves(&mut self.shards, groups, self.batch_limit, &mut outcome) {
+        let knobs = PackingKnobs {
+            line_len: self.shard_capacity(),
+            batch_limit: self.batch_limit,
+            pack_limit: self.pack_limit,
+            axis_policy: self.axis_policy,
+        };
+        match scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome) {
             Ok(()) => Ok(outcome),
             Err(e) => {
                 match &mut self.banked {
@@ -496,10 +570,13 @@ impl std::fmt::Debug for PimCluster {
             .field("shards", &self.shards.len())
             .field("n", &self.shard_capacity())
             .field("batch_limit", &self.batch_limit)
+            .field("pack_limit", &self.pack_limit)
+            .field("axis_policy", &self.axis_policy)
             .field("auto_flush_at", &self.auto_flush_at)
             .field("pending", &self.pending.len())
             .field("compiled_programs", &self.programs.len())
             .field("banked", &self.banked.is_some())
+            .field("deferred_error", &self.deferred_error.is_some())
             .finish()
     }
 }
@@ -704,14 +781,17 @@ mod tests {
 
     #[test]
     fn batch_limit_splits_groups_into_more_waves() {
+        // pack_limit(1) restores the PR-2 row-only scheduler: overflow
+        // becomes extra waves instead of extra offsets.
         let (nor, _) = xor_circuit();
         let mut cluster = PimClusterBuilder::new(1, 30, 3)
             .batch_limit(4)
+            .pack_limit(1)
             .build()
             .expect("cluster");
         let p = cluster.compile(&nor).expect("compiles");
         for v in 0..10u32 {
-            cluster
+            let _ = cluster
                 .submit(&p, vec![v & 1 != 0, v & 2 != 0])
                 .expect("submits");
         }
@@ -719,6 +799,48 @@ mod tests {
         assert_eq!(outcome.requests(), 10);
         assert_eq!(outcome.waves, 3, "10 requests in chunks of 4");
         assert_eq!(outcome.shard_reports[0].batches, 3);
+        assert_eq!(outcome.shard_reports[0].lines_occupied, 10);
+        assert!((outcome.packing_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_packing_absorbs_overflow_into_offsets_instead_of_waves() {
+        // The same 10-request overflow with co-packing left on: once the
+        // single shard's 4 lines are claimed, the densify pass deepens the
+        // batch (the xor program is a few cells wide, so several requests
+        // share each line) and the flush needs one wave.
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimClusterBuilder::new(1, 30, 3)
+            .batch_limit(4)
+            .build()
+            .expect("cluster");
+        let p = cluster.compile(&nor).expect("compiles");
+        let mut tickets = Vec::new();
+        for v in 0..10u32 {
+            tickets.push(
+                cluster
+                    .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                    .expect("submits"),
+            );
+        }
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(outcome.requests(), 10);
+        assert_eq!(outcome.waves, 1, "densify absorbs the overflow");
+        assert_eq!(outcome.shard_reports[0].lines_occupied, 4);
+        assert!(
+            outcome.packing_density() > 2.0,
+            "10 requests on 4 lines: {}",
+            outcome.packing_density()
+        );
+        for (v, t) in tickets.iter().enumerate() {
+            let v = v as u32;
+            let want = nl.eval(&[v & 1 != 0, v & 2 != 0]);
+            assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
+        }
+        // Placement metadata surfaces per ticket: every slot within the 4
+        // claimed lines, co-packed slots at non-zero offsets.
+        assert!(outcome.results.iter().all(|r| r.line < 4));
+        assert!(outcome.results.iter().any(|r| r.offset > 0));
     }
 
     #[test]
@@ -802,6 +924,44 @@ mod tests {
         );
         assert_eq!(recovered.outputs_for(t1), None, "the failed batch is gone");
         assert_eq!(recovered.waves, 1);
+    }
+
+    #[test]
+    fn auto_flush_failure_still_returns_the_ticket_and_defers_the_error() {
+        // Shard 1 is sabotaged as in the explicit-flush test, but here the
+        // failing flush happens *inside* submit (auto_flush_at). The
+        // submission must still yield its ticket — otherwise the banked
+        // results of the wave's surviving shard answer a ticket nobody
+        // holds — and the error surfaces at the next explicit flush.
+        let (xor_nor, xor_nl) = xor_circuit();
+        let (mux_nor, _) = mux_circuit();
+        let mut cluster = PimClusterBuilder::new(2, 30, 3)
+            .auto_flush_at(2)
+            .build()
+            .expect("cluster");
+        cluster.shards[1] = PimDevice::new(9, 3).expect("device");
+        let p = cluster.compile(&xor_nor).expect("compiles");
+        let q = cluster.compile(&mux_nor).expect("compiles");
+        let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
+        let t1 = cluster
+            .submit(&q, vec![true, true, false])
+            .expect("a failing auto-flush must not swallow the ticket");
+        assert_eq!(cluster.pending(), 0, "the auto-flush did run");
+        assert_eq!(
+            cluster.flush().unwrap_err(),
+            ClusterError::Shard {
+                shard: 1,
+                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
+            },
+            "the deferred error surfaces at the next flush"
+        );
+        let recovered = cluster.flush().expect("bank survives the error");
+        assert_eq!(
+            recovered.outputs_for(t0),
+            Some(xor_nl.eval(&[true, false]).as_slice()),
+            "shard 0's completed batch is redeemable with the returned ticket"
+        );
+        assert_eq!(recovered.outputs_for(t1), None, "the failed batch is gone");
     }
 
     #[test]

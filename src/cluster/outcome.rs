@@ -1,6 +1,7 @@
 //! Cluster outcomes: per-ticket results plus whole-cluster accounting.
 
 use super::queue::Ticket;
+use crate::device::Axis;
 use pimecc_core::{CheckReport, MachineStats};
 
 /// Result of one submitted request, delivered inside a [`ClusterOutcome`].
@@ -12,6 +13,14 @@ pub struct TicketResult {
     pub shard: usize,
     /// Dispatch wave (0-based, within the flush) the request rode.
     pub wave: usize,
+    /// Axis the wave occupied on its shard.
+    pub axis: Axis,
+    /// Line (row under [`Axis::Rows`], column under [`Axis::Cols`]) the
+    /// request executed on.
+    pub line: usize,
+    /// First cell of the request's slot within its line (0 unless
+    /// co-packed).
+    pub offset: usize,
     /// The program's primary outputs for this request.
     pub outputs: Vec<bool>,
 }
@@ -28,6 +37,15 @@ pub struct ShardReport {
     pub busy_mem_cycles: u64,
     /// Gate evaluations the shard performed.
     pub gate_evals: u64,
+    /// Crossbar lines its batches occupied, summed over batches.
+    pub lines_occupied: u64,
+    /// Crossbar lines its batches had available (batches × n).
+    pub line_capacity: u64,
+    /// Cells its batches reserved (requests × slot width), summed over
+    /// batches.
+    pub cells_occupied: u64,
+    /// Cells its batches had available (batches × n²).
+    pub cell_capacity: u64,
 }
 
 impl ShardReport {
@@ -38,6 +56,29 @@ impl ShardReport {
             0.0
         } else {
             self.busy_mem_cycles as f64 / wall_mem_cycles as f64
+        }
+    }
+
+    /// Fraction of dispatched *lines* that carried at least one request —
+    /// the occupancy metric of the row-only scheduler, blind to how much
+    /// of each line is used.
+    pub fn line_utilization(&self) -> f64 {
+        if self.line_capacity == 0 {
+            0.0
+        } else {
+            self.lines_occupied as f64 / self.line_capacity as f64
+        }
+    }
+
+    /// Fraction of dispatched *cells* reserved by placed requests — the
+    /// metric that makes co-packing gains visible: a full-width program
+    /// and four co-packed narrow requests occupy the same lines but very
+    /// different cell counts.
+    pub fn cell_utilization(&self) -> f64 {
+        if self.cell_capacity == 0 {
+            0.0
+        } else {
+            self.cells_occupied as f64 / self.cell_capacity as f64
         }
     }
 }
@@ -51,6 +92,7 @@ impl ShardReport {
 /// elapsed MEM cycles — per wave, only the *slowest* shard, because shards
 /// tick in parallel. Throughput figures use the wall clock.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct ClusterOutcome {
     /// One result per served ticket, sorted by ticket.
     pub results: Vec<TicketResult>,
@@ -96,6 +138,10 @@ impl ClusterOutcome {
             mine.requests += theirs.requests;
             mine.busy_mem_cycles += theirs.busy_mem_cycles;
             mine.gate_evals += theirs.gate_evals;
+            mine.lines_occupied += theirs.lines_occupied;
+            mine.line_capacity += theirs.line_capacity;
+            mine.cells_occupied += theirs.cells_occupied;
+            mine.cell_capacity += theirs.cell_capacity;
         }
     }
 
@@ -133,6 +179,43 @@ impl ClusterOutcome {
             self.wall_mem_cycles as f64 / self.results.len() as f64
         }
     }
+
+    /// Cluster-wide [`ShardReport::line_utilization`]: occupied lines over
+    /// dispatched line capacity.
+    pub fn line_utilization(&self) -> f64 {
+        let occupied: u64 = self.shard_reports.iter().map(|r| r.lines_occupied).sum();
+        let capacity: u64 = self.shard_reports.iter().map(|r| r.line_capacity).sum();
+        if capacity == 0 {
+            0.0
+        } else {
+            occupied as f64 / capacity as f64
+        }
+    }
+
+    /// Cluster-wide [`ShardReport::cell_utilization`]: reserved cells over
+    /// dispatched cell capacity — the packing-density headline.
+    pub fn cell_utilization(&self) -> f64 {
+        let occupied: u64 = self.shard_reports.iter().map(|r| r.cells_occupied).sum();
+        let capacity: u64 = self.shard_reports.iter().map(|r| r.cell_capacity).sum();
+        if capacity == 0 {
+            0.0
+        } else {
+            occupied as f64 / capacity as f64
+        }
+    }
+
+    /// Requests per occupied line, averaged over the flush — 1.0 is
+    /// row-only placement; co-packing pushes it towards
+    /// `line_len / footprint`.
+    pub fn packing_density(&self) -> f64 {
+        let requests: u64 = self.shard_reports.iter().map(|r| r.requests).sum();
+        let lines: u64 = self.shard_reports.iter().map(|r| r.lines_occupied).sum();
+        if lines == 0 {
+            0.0
+        } else {
+            requests as f64 / lines as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +227,9 @@ mod tests {
             ticket: Ticket(ticket),
             shard: 0,
             wave: 0,
+            axis: Axis::Rows,
+            line: ticket as usize,
+            offset: 0,
             outputs: vec![ticket % 2 == 0],
         }
     }
@@ -166,6 +252,10 @@ mod tests {
         a.gate_evals = 50;
         a.shard_reports[0].busy_mem_cycles = 100;
         a.shard_reports[0].requests = 1;
+        a.shard_reports[0].lines_occupied = 1;
+        a.shard_reports[0].line_capacity = 30;
+        a.shard_reports[0].cells_occupied = 10;
+        a.shard_reports[0].cell_capacity = 900;
 
         let mut b = ClusterOutcome::empty(2);
         b.results = vec![result(1)];
@@ -173,7 +263,11 @@ mod tests {
         b.waves = 1;
         b.gate_evals = 30;
         b.shard_reports[1].busy_mem_cycles = 40;
-        b.shard_reports[1].requests = 1;
+        b.shard_reports[1].requests = 3;
+        b.shard_reports[1].lines_occupied = 2;
+        b.shard_reports[1].line_capacity = 30;
+        b.shard_reports[1].cells_occupied = 30;
+        b.shard_reports[1].cell_capacity = 900;
 
         a.merge(b);
         assert_eq!(a.requests(), 2);
@@ -185,5 +279,22 @@ mod tests {
         assert!((a.shard_reports[1].utilization(140) - 40.0 / 140.0).abs() < 1e-12);
         assert!((a.gate_evals_per_mem_cycle() - 80.0 / 140.0).abs() < 1e-12);
         assert!((a.mem_cycles_per_request() - 70.0).abs() < 1e-12);
+        // Placement accounting merges per shard and aggregates.
+        assert_eq!(a.shard_reports[1].lines_occupied, 2);
+        assert!((a.shard_reports[1].line_utilization() - 2.0 / 30.0).abs() < 1e-12);
+        assert!((a.shard_reports[1].cell_utilization() - 30.0 / 900.0).abs() < 1e-12);
+        assert!((a.line_utilization() - 3.0 / 60.0).abs() < 1e-12);
+        assert!((a.cell_utilization() - 40.0 / 1800.0).abs() < 1e-12);
+        assert!((a.packing_density() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilizations_of_an_empty_outcome_are_zero() {
+        let o = ClusterOutcome::empty(2);
+        assert_eq!(o.line_utilization(), 0.0);
+        assert_eq!(o.cell_utilization(), 0.0);
+        assert_eq!(o.packing_density(), 0.0);
+        assert_eq!(o.shard_reports[0].line_utilization(), 0.0);
+        assert_eq!(o.shard_reports[0].cell_utilization(), 0.0);
     }
 }

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 /// of the cluster, so they double as a deterministic tie-breaker wherever
 /// the scheduler needs a stable order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[must_use = "a dropped ticket cannot be redeemed against its flush's outcome"]
 pub struct Ticket(pub(crate) u64);
 
 impl Ticket {
@@ -48,6 +49,22 @@ pub(crate) struct Group {
 impl Group {
     pub(crate) fn remaining(&self) -> usize {
         self.requests.len() - self.cursor
+    }
+
+    /// Hands the scheduler the next `n` undispatched requests, advancing
+    /// the cursor. The cursor never revisits a request, so the inputs move
+    /// out instead of cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.remaining()` — the scheduler sizes its chunks
+    /// from `remaining`.
+    pub(crate) fn take(&mut self, n: usize) -> (Vec<Ticket>, Vec<Vec<bool>>) {
+        let chunk = &mut self.requests[self.cursor..self.cursor + n];
+        let tickets = chunk.iter().map(|(t, _)| *t).collect();
+        let inputs = chunk.iter_mut().map(|(_, i)| std::mem::take(i)).collect();
+        self.cursor += n;
+        (tickets, inputs)
     }
 }
 

@@ -1,28 +1,108 @@
-//! The wave scheduler: carve full-width row batches out of the
-//! fingerprint groups and dispatch one batch per shard per wave, shards in
-//! parallel on scoped threads.
+//! The wave scheduler: turn the fingerprint groups into two-dimensional
+//! [`PlacementPlan`]s — one batch per shard per wave, shards in parallel on
+//! scoped threads.
 //!
-//! Determinism: group order, chunk carving and shard assignment are all
-//! pure functions of submission order and the cluster's knobs — no map
-//! iteration order, clock or thread-completion order ever reaches the
-//! plan, so identical submissions yield identical placements and results.
+//! Each wave is planned in two passes:
+//!
+//! 1. **Spread** — walk the groups in first-submission order and carve
+//!    one-request-per-line chunks of up to `batch_limit` lines, handing
+//!    each chunk to the next idle shard. Parallel shards beat any amount
+//!    of co-packing (they add no gate replays), so breadth comes first; a
+//!    large group still spreads over several shards within one wave.
+//! 2. **Densify** — if traffic remains once every shard has work, deepen
+//!    the planned batches instead of queueing another wave: each job
+//!    absorbs more requests of its group at additional slot offsets on
+//!    the lines it already occupies (up to `line_len / footprint` per
+//!    line, capped by `pack_limit`). The extra offsets replay the gate
+//!    steps, which a follow-up wave would have paid anyway — but the
+//!    follow-up wave's input loads and block-line ECC checks are saved.
+//!
+//! The wave's axis comes from the cluster's [`AxisPolicy`]; under
+//! [`AxisPolicy::Alternate`] even waves run on rows and odd waves on
+//! columns.
+//!
+//! Determinism: group order, chunk carving, densify order, axis choice and
+//! shard assignment are all pure functions of submission order and the
+//! cluster's knobs — no map iteration order, clock or thread-completion
+//! order ever reaches the plan, so identical submissions yield identical
+//! placements and results.
 
 use super::error::ClusterError;
 use super::outcome::{ClusterOutcome, TicketResult};
 use super::queue::{Group, Ticket};
-use crate::device::{BatchOutcome, CompiledProgram, DeviceError, PimDevice};
+use crate::device::{Axis, BatchOutcome, CompiledProgram, DeviceError, PimDevice, PlacementPlan};
 
-/// One shard's work for one wave: a chunk of one group.
+/// How the cluster orients its dispatch waves on the crossbars.
+///
+/// MAGIC and the diagonal ECC are row/column symmetric (the paper's §IV
+/// "row (column)" phrasing): a batch costs the same on either axis, so the
+/// choice is free — and alternating exercises both check dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AxisPolicy {
+    /// Every wave row-parallel — the classic orientation.
+    Rows,
+    /// Every wave column-parallel.
+    Cols,
+    /// Even waves on rows, odd waves on columns (the default).
+    #[default]
+    Alternate,
+}
+
+impl AxisPolicy {
+    /// The axis a given wave (0-based within a flush) runs on.
+    pub(crate) fn axis_for(self, wave: usize) -> Axis {
+        match self {
+            AxisPolicy::Rows => Axis::Rows,
+            AxisPolicy::Cols => Axis::Cols,
+            AxisPolicy::Alternate => {
+                if wave % 2 == 0 {
+                    Axis::Rows
+                } else {
+                    Axis::Cols
+                }
+            }
+        }
+    }
+}
+
+/// The planning knobs `plan_wave` works from — a pure value so the plan
+/// stays a function of (groups, knobs, wave index).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackingKnobs {
+    /// Line length (= line count) of every shard.
+    pub(crate) line_len: usize,
+    /// Max lines one dispatched batch may occupy.
+    pub(crate) batch_limit: usize,
+    /// Max requests co-packed per line (1 = the PR-2 row-only scheduler).
+    pub(crate) pack_limit: usize,
+    /// Axis selection per wave.
+    pub(crate) axis_policy: AxisPolicy,
+}
+
+impl PackingKnobs {
+    /// Requests that fit side by side in one line of `program`.
+    fn per_line(&self, program: &CompiledProgram) -> usize {
+        (self.line_len / program.footprint().max(1))
+            .min(self.pack_limit)
+            .max(1)
+    }
+}
+
+/// One shard's work for one wave: a chunk of one group under a 2D plan.
 struct WaveJob {
     shard: usize,
+    /// Index into `groups`, so the densify pass can pull more requests.
+    group: usize,
     program: CompiledProgram,
     tickets: Vec<Ticket>,
     inputs: Vec<Vec<bool>>,
+    /// Lines the spread pass reserved (slots at offset 0).
+    lines: usize,
 }
 
-/// Executes `groups` to completion over `shards`, at most `batch_limit`
-/// rows per dispatched batch, folding everything into `outcome`; on
-/// success the results end up sorted by ticket.
+/// Executes `groups` to completion over `shards` under `knobs`, folding
+/// everything into `outcome`; on success the results end up sorted by
+/// ticket.
 ///
 /// On a shard failure the error is returned after the failing wave's
 /// *successful* batches are folded in, and the flush's undispatched
@@ -32,48 +112,82 @@ struct WaveJob {
 pub(crate) fn run_waves(
     shards: &mut [PimDevice],
     mut groups: Vec<Group>,
-    batch_limit: usize,
+    knobs: PackingKnobs,
     outcome: &mut ClusterOutcome,
 ) -> Result<(), ClusterError> {
     loop {
-        let jobs = plan_wave(&mut groups, shards.len(), batch_limit);
+        let jobs = plan_wave(&mut groups, shards.len(), knobs, outcome.waves);
         if jobs.is_empty() {
             break;
         }
-        dispatch_wave(shards, jobs, outcome)?;
+        dispatch_wave(shards, jobs, knobs, outcome)?;
     }
     outcome.results.sort_by_key(|r| r.ticket);
     Ok(())
 }
 
-/// Plans one wave: walk the groups in first-submission order, carve chunks
-/// of up to `batch_limit` requests, and hand each chunk to the next idle
-/// shard until every shard has work or every group is drained. A large
-/// group spreads over *several* shards within one wave — that is the
-/// sharding win for single-program traffic.
-fn plan_wave(groups: &mut [Group], shards: usize, batch_limit: usize) -> Vec<WaveJob> {
-    let mut jobs = Vec::new();
+/// Plans one wave (see the [module docs](self) for the two passes).
+fn plan_wave(
+    groups: &mut [Group],
+    shards: usize,
+    knobs: PackingKnobs,
+    wave: usize,
+) -> Vec<(WaveJob, PlacementPlan)> {
+    let mut jobs: Vec<WaveJob> = Vec::new();
     let mut shard = 0;
-    'groups: for g in groups.iter_mut() {
+    // Pass 1 — spread: one-request-per-line chunks, breadth-first over the
+    // shards. A large group spreads over *several* shards within one wave;
+    // that is the sharding win for single-program traffic.
+    'groups: for (gi, g) in groups.iter_mut().enumerate() {
         while g.remaining() > 0 {
             if shard == shards {
                 break 'groups;
             }
-            let take = g.remaining().min(batch_limit);
-            let chunk = &mut g.requests[g.cursor..g.cursor + take];
+            let take = g.remaining().min(knobs.batch_limit);
+            let (tickets, inputs) = g.take(take);
             jobs.push(WaveJob {
                 shard,
+                group: gi,
                 program: g.program.clone(),
-                tickets: chunk.iter().map(|(t, _)| *t).collect(),
-                // The cursor never revisits a request, so the inputs move
-                // out instead of cloning.
-                inputs: chunk.iter_mut().map(|(_, i)| std::mem::take(i)).collect(),
+                tickets,
+                inputs,
+                lines: take,
             });
-            g.cursor += take;
             shard += 1;
         }
     }
-    jobs
+    // Pass 2 — densify: with every shard busy (or every group drained),
+    // absorb leftover traffic into extra offsets of the planned batches
+    // instead of extra waves.
+    for job in &mut jobs {
+        let g = &mut groups[job.group];
+        if g.remaining() == 0 {
+            continue;
+        }
+        let depth = knobs.per_line(&job.program) - 1;
+        let extra = g.remaining().min(job.lines * depth);
+        if extra == 0 {
+            continue;
+        }
+        let (tickets, inputs) = g.take(extra);
+        job.tickets.extend(tickets);
+        job.inputs.extend(inputs);
+    }
+    let axis = knobs.axis_policy.axis_for(wave);
+    jobs.into_iter()
+        .map(|job| {
+            let plan = PlacementPlan::pack(
+                axis,
+                knobs.line_len,
+                job.program.footprint().max(1),
+                job.lines,
+                knobs.pack_limit,
+                job.tickets.len(),
+            )
+            .expect("planned chunks fit their packed capacity by construction");
+            (job, plan)
+        })
+        .collect()
 }
 
 /// Runs one planned wave, each busy shard on its own scoped thread, and
@@ -83,33 +197,35 @@ fn plan_wave(groups: &mut [Group], shards: usize, batch_limit: usize) -> Vec<Wav
 /// fails; only the first error is reported.
 fn dispatch_wave(
     shards: &mut [PimDevice],
-    jobs: Vec<WaveJob>,
+    jobs: Vec<(WaveJob, PlacementPlan)>,
+    knobs: PackingKnobs,
     outcome: &mut ClusterOutcome,
 ) -> Result<(), ClusterError> {
     let wave = outcome.waves;
     // `plan_wave` assigns strictly increasing shard indices, so one pass
     // over the shards pairs each job with a disjoint `&mut PimDevice`.
     let mut jobs = jobs.into_iter().peekable();
-    let ran: Vec<(WaveJob, Result<BatchOutcome, DeviceError>)> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, device) in shards.iter_mut().enumerate() {
-            if jobs.peek().map(|j| j.shard) == Some(i) {
-                let job = jobs.next().expect("peeked");
-                handles.push(s.spawn(move || {
-                    let result = device.run_batch(&job.program, &job.inputs);
-                    (job, result)
-                }));
+    let ran: Vec<(WaveJob, PlacementPlan, Result<BatchOutcome, DeviceError>)> =
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, device) in shards.iter_mut().enumerate() {
+                if jobs.peek().map(|(j, _)| j.shard) == Some(i) {
+                    let (job, plan) = jobs.next().expect("peeked");
+                    handles.push(s.spawn(move || {
+                        let result = device.run_plan(&job.program, &plan, &job.inputs);
+                        (job, plan, result)
+                    }));
+                }
             }
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
-    });
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
 
     let mut wave_wall = 0;
     let mut first_error = None;
-    for (job, result) in ran {
+    for (job, plan, result) in ran {
         let batch = match result {
             Ok(batch) => batch,
             Err(source) => {
@@ -129,11 +245,20 @@ fn dispatch_wave(
         report.requests += job.tickets.len() as u64;
         report.busy_mem_cycles += batch.stats.mem_cycles;
         report.gate_evals += batch.gate_evals;
-        for (ticket, outputs) in job.tickets.into_iter().zip(batch.outputs) {
+        report.lines_occupied += plan.lines_occupied() as u64;
+        report.line_capacity += knobs.line_len as u64;
+        report.cells_occupied += plan.cells_occupied() as u64;
+        report.cell_capacity += (knobs.line_len * knobs.line_len) as u64;
+        for ((ticket, outputs), slot) in
+            job.tickets.into_iter().zip(batch.outputs).zip(plan.slots())
+        {
             outcome.results.push(TicketResult {
                 ticket,
                 shard: job.shard,
                 wave,
+                axis: plan.axis(),
+                line: slot.line,
+                offset: slot.offset,
                 outputs,
             });
         }

@@ -1,26 +1,30 @@
 //! Batch outcomes: per-request outputs plus whole-batch accounting.
 
+use super::placement::{Axis, PlacementPlan, Slot};
 use pimecc_core::{CheckReport, MachineStats};
 
 /// Result of one batched execution
-/// ([`PimDevice::run_batch`](crate::device::PimDevice::run_batch)).
+/// ([`PimDevice::run_batch`](crate::device::PimDevice::run_batch) /
+/// [`PimDevice::run_plan`](crate::device::PimDevice::run_plan)).
 ///
 /// The stats are a *delta*: only the cycles and events this batch caused,
 /// so dividing work by `stats.mem_cycles` yields the batch's own
 /// throughput, independent of whatever ran on the device before.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
 pub struct BatchOutcome {
     /// Primary outputs per request, in submission order.
     pub outputs: Vec<Vec<bool>>,
-    /// Row each request executed on (parallel to `outputs`).
-    pub rows: Vec<usize>,
+    /// Where each request executed: the axis, and one (line, offset) slot
+    /// per request (parallel to `outputs`).
+    pub placement: PlacementPlan,
     /// Aggregated result of the pre-execution input checks, one per
-    /// *touched block-row* (not one per request — the batch amortization).
+    /// *touched block-line* (not one per request — the batch amortization).
     pub input_check: CheckReport,
     /// Machine activity attributable to this batch.
     pub stats: MachineStats,
     /// Gate evaluations performed: program gate cycles × batch size, since
-    /// every gate cycle evaluates once in each occupied row.
+    /// every gate cycle evaluates once in each occupied slot.
     pub gate_evals: u64,
 }
 
@@ -28,6 +32,20 @@ impl BatchOutcome {
     /// Number of requests served.
     pub fn requests(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// The axis the batch occupied.
+    pub fn axis(&self) -> Axis {
+        self.placement.axis()
+    }
+
+    /// The slot request `i` executed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn slot(&self, i: usize) -> Slot {
+        self.placement.slots()[i]
     }
 
     /// The headline throughput figure: gate evaluations per MEM clock

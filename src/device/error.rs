@@ -55,6 +55,33 @@ pub enum DeviceError {
         /// Requests supplied.
         requests: usize,
     },
+    /// A placement plan must reserve at least one cell per slot.
+    ZeroSlotWidth,
+    /// A slot sticks out past the end of its line.
+    OffsetOutOfRange {
+        /// Line the slot lives on.
+        line: usize,
+        /// First cell of the slot.
+        offset: usize,
+        /// Cells the slot reserves.
+        slot_width: usize,
+        /// Line length of the device.
+        n: usize,
+    },
+    /// The plan's slots are narrower than the program's footprint.
+    SlotTooNarrow {
+        /// Cells each slot reserves.
+        slot_width: usize,
+        /// Cells the program touches.
+        footprint: usize,
+    },
+    /// The plan was built for a different crossbar geometry.
+    PlanGeometry {
+        /// Line length the plan was built for.
+        plan: usize,
+        /// Line length of the device.
+        n: usize,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -86,6 +113,34 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::PlacementArity { rows, requests } => {
                 write!(f, "{rows} rows given for {requests} requests")
+            }
+            DeviceError::ZeroSlotWidth => write!(f, "slot width must be at least one cell"),
+            DeviceError::OffsetOutOfRange {
+                line,
+                offset,
+                slot_width,
+                n,
+            } => {
+                write!(
+                    f,
+                    "slot at offset {offset} (width {slot_width}) on line {line} \
+                     exceeds the {n}-cell lines"
+                )
+            }
+            DeviceError::SlotTooNarrow {
+                slot_width,
+                footprint,
+            } => {
+                write!(
+                    f,
+                    "{slot_width}-cell slots cannot hold a program touching {footprint} cells"
+                )
+            }
+            DeviceError::PlanGeometry { plan, n } => {
+                write!(
+                    f,
+                    "plan built for {plan}-cell lines executed on a {n}x{n} device"
+                )
             }
         }
     }

@@ -6,12 +6,18 @@
 //! per parallel write. A [`PimDevice`] exposes exactly that shape:
 //!
 //! 1. [`PimDevice::compile`] maps a function once with SIMPLER and caches
-//!    the resulting [`CompiledProgram`] on the device;
+//!    the resulting [`CompiledProgram`] on the device
+//!    ([`PimDevice::compile_packed`] maps it *narrow* instead, so several
+//!    requests co-pack per line);
 //! 2. [`PimDevice::run_batch`] packs up to `n` requests onto distinct rows
 //!    (without clobbering the others), performs **one** pre-execution ECC
 //!    check per *touched block-row* — not per request — and then executes
 //!    each program step **exactly once** for the whole batch via
-//!    row-parallel MAGIC;
+//!    row-parallel MAGIC. Placement is two-dimensional: a
+//!    [`PlacementPlan`] (see [`placement`]) also runs batches
+//!    column-parallel ([`Axis::Cols`]) and co-packs several narrow
+//!    requests per line at distinct offsets
+//!    ([`PimDevice::run_packed`] / [`PimDevice::run_plan`]);
 //! 3. the [`BatchOutcome`] carries per-request outputs plus the batch's own
 //!    [`MachineStats`] delta and a derived throughput figure (gate
 //!    evaluations per MEM cycle).
@@ -19,7 +25,9 @@
 //! Batching therefore costs ~O(steps + k) MEM cycles for k requests where
 //! the serial [`ProtectedRunner`](crate::runner::ProtectedRunner) flow costs
 //! O(steps × k) — the ~k× amortization every scaling layer above this API
-//! (sharding, async queues, multi-device) builds on.
+//! (sharding, async queues, multi-device) builds on. Co-packing stacks a
+//! second amortization on top: d requests per line divide the input-load
+//! writes and block-line checks by d again.
 //!
 //! # Example
 //!
@@ -53,17 +61,21 @@
 
 mod batch;
 mod error;
+pub mod placement;
 mod program;
 
 pub use batch::BatchOutcome;
 pub use error::DeviceError;
+pub use placement::{Axis, PlacementPlan, Slot};
 pub use program::{netlist_fingerprint, CompiledProgram};
+
+pub(crate) use program::ProgramCache;
 
 use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory};
 use pimecc_netlist::NorNetlist;
-use pimecc_simpler::{map, MapperConfig, Program, Step};
+use pimecc_simpler::{Program, Step};
 use pimecc_xbar::LineSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// When (and how aggressively) the device verifies ECC around a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +127,7 @@ pub type BatchFaultHook = Box<dyn FnMut(&mut ProtectedMemory) + Send>;
 /// # Ok(())
 /// # }
 /// ```
+#[must_use]
 pub struct PimDeviceBuilder {
     n: usize,
     m: usize,
@@ -176,7 +189,7 @@ impl PimDeviceBuilder {
             memory,
             check_policy: self.check_policy,
             fault_hook: self.fault_hook,
-            programs: HashMap::new(),
+            programs: ProgramCache::default(),
         })
     }
 }
@@ -201,8 +214,8 @@ pub struct PimDevice {
     memory: ProtectedMemory,
     check_policy: CheckPolicy,
     fault_hook: Option<BatchFaultHook>,
-    /// Compiled-program cache, keyed by source fingerprint.
-    programs: HashMap<u64, CompiledProgram>,
+    /// Compiled-program cache (netlist / packed / program key domains).
+    programs: ProgramCache,
 }
 
 impl PimDevice {
@@ -240,7 +253,7 @@ impl PimDevice {
             memory,
             check_policy: policy,
             fault_hook: None,
-            programs: HashMap::new(),
+            programs: ProgramCache::default(),
         }
     }
 
@@ -302,28 +315,30 @@ impl PimDevice {
     ///
     /// [`DeviceError::Map`] when the function does not fit one row.
     pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, DeviceError> {
-        let key = netlist_fingerprint(netlist);
-        if let Some(cached) = self.programs.get(&key) {
-            return Ok(cached.clone());
-        }
-        let program = map(
-            netlist,
-            &MapperConfig {
-                row_size: self.capacity(),
-            },
-        )?;
-        Ok(self.insert_program(key, program))
+        let row_size = self.capacity();
+        Ok(self.programs.compile(netlist, row_size)?)
+    }
+
+    /// Maps `netlist` for *co-packing*: [`map_dense`](pimecc_simpler::map_dense) squeezes the
+    /// function into the narrowest slot that stays within 3/2 of the
+    /// full-width cycle count, so several requests share each row (or
+    /// column) under a dense [`PlacementPlan`]. Cached separately from
+    /// [`PimDevice::compile`] — the two mappings of one netlist coexist.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Map`] when the function does not fit one row even at
+    /// full width.
+    pub fn compile_packed(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, DeviceError> {
+        let row_size = self.capacity();
+        Ok(self.programs.compile_packed(netlist, row_size)?)
     }
 
     /// Adopts an externally mapped [`Program`] (for example one widened
     /// with [`map_auto`](pimecc_simpler::map_auto) or parsed from a
     /// listing), caching it by its [`Program::fingerprint`].
     pub fn adopt(&mut self, program: &Program) -> CompiledProgram {
-        let key = program.fingerprint();
-        if let Some(cached) = self.programs.get(&key) {
-            return cached.clone();
-        }
-        self.insert_program(key, program.clone())
+        self.programs.adopt(program)
     }
 
     /// Adopts a [`CompiledProgram`] handle compiled elsewhere — another
@@ -335,25 +350,13 @@ impl PimDevice {
     /// *netlist* fingerprint — a different domain — so compiling the
     /// source netlist still re-runs the mapper.
     pub fn adopt_compiled(&mut self, compiled: &CompiledProgram) -> CompiledProgram {
-        let key = compiled.fingerprint();
-        if let Some(cached) = self.programs.get(&key) {
-            return cached.clone();
-        }
-        self.programs.insert(key, compiled.clone());
-        compiled.clone()
+        self.programs.adopt_compiled(compiled)
     }
 
-    fn insert_program(&mut self, key: u64, program: Program) -> CompiledProgram {
-        let compiled = CompiledProgram::new(program);
-        self.programs.insert(key, compiled.clone());
-        compiled
-    }
-
-    fn check_placement(
-        &self,
-        program: &CompiledProgram,
-        rows: &[usize],
-    ) -> Result<(), DeviceError> {
+    /// Checks that `program` fits this device at all — every placement
+    /// entry point runs this first so a too-wide program is reported as
+    /// such rather than as a slot geometry error.
+    fn check_width(&self, program: &CompiledProgram) -> Result<(), DeviceError> {
         let n = self.capacity();
         if program.program().row_size > n {
             return Err(DeviceError::ProgramTooWide {
@@ -361,26 +364,49 @@ impl PimDevice {
                 n,
             });
         }
-        if rows.is_empty() {
-            return Err(DeviceError::EmptyBatch);
-        }
-        if rows.len() > n {
-            return Err(DeviceError::BatchTooLarge {
-                requests: rows.len(),
-                rows: n,
+        Ok(())
+    }
+
+    /// Validates `plan` against this device and `program`: geometry match
+    /// and slots wide enough for the program's footprint. Slot legality
+    /// (bounds, overlap) was already proven by the plan's constructor.
+    fn check_plan(
+        &self,
+        program: &CompiledProgram,
+        plan: &PlacementPlan,
+    ) -> Result<(), DeviceError> {
+        self.check_width(program)?;
+        let n = self.capacity();
+        if plan.line_len() != n {
+            return Err(DeviceError::PlanGeometry {
+                plan: plan.line_len(),
+                n,
             });
         }
-        let mut seen = vec![false; n];
-        for &row in rows {
-            if row >= n {
-                return Err(DeviceError::RowOutOfRange { row, n });
-            }
-            if seen[row] {
-                return Err(DeviceError::RowConflict { row });
-            }
-            seen[row] = true;
+        let footprint = program.footprint().max(1);
+        if plan.slot_width() < footprint {
+            return Err(DeviceError::SlotTooNarrow {
+                slot_width: plan.slot_width(),
+                footprint,
+            });
         }
         Ok(())
+    }
+
+    /// The trivial one-request-per-row plan over explicit `rows` — the
+    /// legacy placement shape, now expressed as a [`PlacementPlan`].
+    fn rows_plan(
+        &self,
+        program: &CompiledProgram,
+        rows: &[usize],
+    ) -> Result<PlacementPlan, DeviceError> {
+        self.check_width(program)?;
+        PlacementPlan::new(
+            Axis::Rows,
+            self.capacity(),
+            program.footprint().max(1),
+            rows.iter().map(|&line| Slot { line, offset: 0 }).collect(),
+        )
     }
 
     /// Writes one request's inputs into cells `0..num_inputs` of `row`
@@ -397,7 +423,13 @@ impl PimDevice {
         row: usize,
         inputs: &[bool],
     ) -> Result<(), DeviceError> {
-        self.check_placement(program, &[row])?;
+        self.check_width(program)?;
+        if row >= self.capacity() {
+            return Err(DeviceError::RowOutOfRange {
+                row,
+                n: self.capacity(),
+            });
+        }
         if inputs.len() != program.num_inputs() {
             return Err(DeviceError::InputArity {
                 request: 0,
@@ -428,62 +460,133 @@ impl PimDevice {
         program: &CompiledProgram,
         rows: &[usize],
     ) -> Result<BatchOutcome, DeviceError> {
-        self.check_placement(program, rows)?;
-        self.execute_rows_checked(program, rows)
+        let plan = self.rows_plan(program, rows)?;
+        self.execute_plan_checked(program, &plan)
     }
 
-    /// [`PimDevice::execute_rows`] after placement validation — the shared
-    /// tail of the batch entry points, so validation runs once per batch.
-    fn execute_rows_checked(
+    /// Executes `program` across the already loaded slots of `plan`: one
+    /// ECC pre-check per touched block-line *of the plan's axis* (per
+    /// [`CheckPolicy`]), then the program's steps — replayed once per
+    /// occupied offset, each pass parallel over that offset's lines — then
+    /// per-slot output readback.
+    ///
+    /// The plan-level sibling of [`PimDevice::execute_rows`], for flows
+    /// that separate loading from execution.
+    ///
+    /// # Errors
+    ///
+    /// Plan validation errors as in [`PimDevice::run_plan`]; MAGIC
+    /// legality violations as [`DeviceError::Core`].
+    pub fn execute_plan(
         &mut self,
         program: &CompiledProgram,
-        rows: &[usize],
+        plan: &PlacementPlan,
+    ) -> Result<BatchOutcome, DeviceError> {
+        self.check_plan(program, plan)?;
+        self.execute_plan_checked(program, plan)
+    }
+
+    /// [`PimDevice::execute_plan`] after validation — the shared tail of
+    /// every batch entry point, so validation runs once per batch.
+    fn execute_plan_checked(
+        &mut self,
+        program: &CompiledProgram,
+        plan: &PlacementPlan,
     ) -> Result<BatchOutcome, DeviceError> {
         let stats_before = *self.memory.stats();
+        let axis = plan.axis();
 
         let mut input_check = CheckReport::default();
         if !matches!(self.check_policy, CheckPolicy::Skip) {
             let m = self.memory.geometry().m();
-            let mut block_rows: Vec<usize> = rows.iter().map(|&r| r / m).collect();
-            block_rows.sort_unstable();
-            block_rows.dedup();
-            for br in block_rows {
-                input_check += self.memory.check_block_row(br)?;
+            let mut block_lines: Vec<usize> = plan.lines().iter().map(|&l| l / m).collect();
+            block_lines.sort_unstable();
+            block_lines.dedup();
+            for bl in block_lines {
+                input_check += match axis {
+                    Axis::Rows => self.memory.check_block_row(bl)?,
+                    Axis::Cols => self.memory.check_block_col(bl)?,
+                };
             }
         }
 
-        let selected = LineSet::Explicit(rows.to_vec());
-        for step in &program.program().steps {
-            match step {
-                Step::Init { cells } => self.memory.exec_init_rows(cells, &selected)?,
-                Step::Gate { inputs, output, .. } => {
-                    self.memory.exec_nor_rows(inputs, *output, &selected)?
+        // Co-packed offsets replay the step sequence once per offset: a
+        // MAGIC cycle drives one set of line voltages, so gates at
+        // different offsets cannot share a cycle — but each pass still
+        // covers *all* lines occupied at that offset in parallel. One
+        // scratch buffer shifts cell lists for non-zero offsets; the
+        // common offset-0 pass (every plain `run_batch`) borrows the
+        // program's cells directly, allocation-free as before.
+        let mut shifted: Vec<usize> = Vec::new();
+        fn shift<'a>(
+            cells: &'a [usize],
+            offset: usize,
+            scratch: &'a mut Vec<usize>,
+        ) -> &'a [usize] {
+            if offset == 0 {
+                cells
+            } else {
+                scratch.clear();
+                scratch.extend(cells.iter().map(|&c| c + offset));
+                scratch
+            }
+        }
+        for (offset, lines) in plan.offset_groups() {
+            let selected = LineSet::Explicit(lines);
+            for step in &program.program().steps {
+                match step {
+                    Step::Init { cells } => {
+                        let cells = shift(cells, offset, &mut shifted);
+                        match axis {
+                            Axis::Rows => self.memory.exec_init_rows(cells, &selected)?,
+                            Axis::Cols => self.memory.exec_init_cols(cells, &selected)?,
+                        }
+                    }
+                    Step::Gate { inputs, output, .. } => {
+                        let inputs = shift(inputs, offset, &mut shifted);
+                        match axis {
+                            Axis::Rows => {
+                                self.memory
+                                    .exec_nor_rows(inputs, output + offset, &selected)?
+                            }
+                            Axis::Cols => {
+                                self.memory
+                                    .exec_nor_cols(inputs, output + offset, &selected)?
+                            }
+                        }
+                    }
                 }
             }
         }
 
-        let outputs: Vec<Vec<bool>> = rows
+        let outputs: Vec<Vec<bool>> = plan
+            .slots()
             .iter()
-            .map(|&row| {
+            .map(|slot| {
                 program
                     .program()
                     .output_cells
                     .iter()
-                    .map(|&c| self.memory.bit(row, c))
+                    .map(|&c| match axis {
+                        Axis::Rows => self.memory.bit(slot.line, slot.offset + c),
+                        Axis::Cols => self.memory.bit(slot.offset + c, slot.line),
+                    })
                     .collect()
             })
             .collect();
         Ok(BatchOutcome {
             outputs,
-            rows: rows.to_vec(),
+            placement: plan.clone(),
             input_check,
             stats: *self.memory.stats() - stats_before,
-            gate_evals: program.gate_cycles() * rows.len() as u64,
+            gate_evals: program.gate_cycles() * plan.requests() as u64,
         })
     }
 
     /// Serves a batch: packs request `i` onto row `i`, then loads, checks
     /// and executes as described in the [module documentation](self).
+    /// One request per row — for denser placement (co-packing, column
+    /// axis) see [`PimDevice::run_packed`] and [`PimDevice::run_plan`].
     ///
     /// # Errors
     ///
@@ -493,8 +596,43 @@ impl PimDevice {
         program: &CompiledProgram,
         requests: &[Vec<bool>],
     ) -> Result<BatchOutcome, DeviceError> {
-        let rows: Vec<usize> = (0..requests.len()).collect();
-        self.run_batch_on_rows(program, &rows, requests)
+        self.check_width(program)?;
+        let plan = PlacementPlan::pack(
+            Axis::Rows,
+            self.capacity(),
+            program.footprint().max(1),
+            self.capacity(),
+            1,
+            requests.len(),
+        )?;
+        self.run_plan(program, &plan, requests)
+    }
+
+    /// Serves a batch at maximum density on the chosen axis: requests fill
+    /// every line at offset 0 first, then co-pack additional offsets as
+    /// long as `footprint() * k <= n`, so a narrow program serves up to
+    /// `n * (n / footprint)` requests in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`PimDevice::run_batch`]; [`DeviceError::BatchTooLarge`] reflects
+    /// the packed capacity.
+    pub fn run_packed(
+        &mut self,
+        program: &CompiledProgram,
+        axis: Axis,
+        requests: &[Vec<bool>],
+    ) -> Result<BatchOutcome, DeviceError> {
+        self.check_width(program)?;
+        let plan = PlacementPlan::pack(
+            axis,
+            self.capacity(),
+            program.footprint().max(1),
+            self.capacity(),
+            usize::MAX,
+            requests.len(),
+        )?;
+        self.run_plan(program, &plan, requests)
     }
 
     /// Serves a batch with explicit row placement: request `i` executes on
@@ -523,7 +661,42 @@ impl PimDevice {
                 requests: requests.len(),
             });
         }
-        self.check_placement(program, rows)?;
+        let plan = self.rows_plan(program, rows)?;
+        self.run_plan(program, &plan, requests)
+    }
+
+    /// Serves a batch under an explicit [`PlacementPlan`]: request `i`
+    /// occupies `plan.slots()[i]` on the plan's axis. Loads every touched
+    /// line with **one** driven write (co-packed requests share it), runs
+    /// the fault hook, then checks and executes as
+    /// [`PimDevice::execute_plan`]. Lines not in the plan are never
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::ProgramTooWide`] if the program does not fit the
+    ///   device at all;
+    /// * [`DeviceError::PlanGeometry`] if the plan was built for another
+    ///   line length;
+    /// * [`DeviceError::SlotTooNarrow`] if the program's footprint exceeds
+    ///   the plan's slot width;
+    /// * [`DeviceError::PlacementArity`] if the plan and `requests` differ
+    ///   in length;
+    /// * [`DeviceError::InputArity`] if a request's width is wrong;
+    /// * [`DeviceError::Core`] for machine-level failures.
+    pub fn run_plan(
+        &mut self,
+        program: &CompiledProgram,
+        plan: &PlacementPlan,
+        requests: &[Vec<bool>],
+    ) -> Result<BatchOutcome, DeviceError> {
+        self.check_plan(program, plan)?;
+        if plan.requests() != requests.len() {
+            return Err(DeviceError::PlacementArity {
+                rows: plan.requests(),
+                requests: requests.len(),
+            });
+        }
         let want = program.num_inputs();
         if let Some((i, req)) = requests.iter().enumerate().find(|(_, r)| r.len() != want) {
             return Err(DeviceError::InputArity {
@@ -533,14 +706,25 @@ impl PimDevice {
             });
         }
         let stats_before = *self.memory.stats();
-        for (&row, req) in rows.iter().zip(requests) {
-            let cells: Vec<(usize, bool)> = req.iter().copied().enumerate().collect();
-            self.memory.write_row_cells(row, &cells)?;
+        // Merge all requests sharing a line into one driven write — the
+        // load-amortization half of co-packing (deterministic line order).
+        let mut per_line: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
+        for (slot, req) in plan.slots().iter().zip(requests) {
+            per_line
+                .entry(slot.line)
+                .or_default()
+                .extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
+        }
+        for (line, cells) in per_line {
+            match plan.axis() {
+                Axis::Rows => self.memory.write_row_cells(line, &cells)?,
+                Axis::Cols => self.memory.write_col_cells(line, &cells)?,
+            }
         }
         if let Some(hook) = self.fault_hook.as_mut() {
             hook(&mut self.memory);
         }
-        let mut outcome = self.execute_rows_checked(program, rows)?;
+        let mut outcome = self.execute_plan_checked(program, plan)?;
         // Fold the load phase into the batch's accounting.
         outcome.stats = *self.memory.stats() - stats_before;
         Ok(outcome)
@@ -587,8 +771,9 @@ mod tests {
         assert_eq!(outcome.requests(), 30);
         for (i, req) in requests.iter().enumerate() {
             assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
-            assert_eq!(outcome.rows[i], i);
+            assert_eq!(outcome.slot(i), Slot { line: i, offset: 0 });
         }
+        assert_eq!(outcome.axis(), Axis::Rows);
         assert!(device.memory().verify_consistency().is_ok());
     }
 
@@ -713,6 +898,185 @@ mod tests {
             assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
         }
         assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn column_axis_batch_matches_reference_on_every_column() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let program = device.compile(&nor).expect("compiles");
+        let requests: Vec<Vec<bool>> = (0..30u32)
+            .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+            .collect();
+        let outcome = device
+            .run_packed(&program, Axis::Cols, &requests)
+            .expect("runs");
+        assert_eq!(outcome.axis(), Axis::Cols);
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
+        }
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn co_packed_batch_is_bit_identical_to_row_only_on_both_axes() {
+        // A packed program (narrow slots) serving more requests than the
+        // device has lines: the plan co-packs several per line, and the
+        // outputs must equal the row-only runs of the same requests.
+        let (nor, nl) = small_circuit();
+        let requests: Vec<Vec<bool>> = (0..72u32)
+            .map(|v| (0..3).map(|i| (v * 7 + v) >> i & 1 != 0).collect())
+            .collect();
+        for axis in [Axis::Rows, Axis::Cols] {
+            let mut device = PimDevice::new(30, 5).expect("device");
+            let program = device.compile_packed(&nor).expect("compiles");
+            assert!(
+                program.footprint() * 2 <= 30,
+                "packed mapping must co-pack: footprint {}",
+                program.footprint()
+            );
+            let outcome = device.run_packed(&program, axis, &requests).expect("runs");
+            assert!(
+                outcome.placement.max_per_line() >= 2,
+                "72 requests on 30 lines must co-pack ({axis})"
+            );
+            for (i, req) in requests.iter().enumerate() {
+                assert_eq!(outcome.outputs[i], nl.eval(req), "{axis}, request {i}");
+            }
+            assert!(device.memory().verify_consistency().is_ok(), "{axis}");
+        }
+    }
+
+    #[test]
+    fn run_plan_places_requests_at_explicit_slots() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDevice::new(30, 5).expect("device");
+        let program = device.compile_packed(&nor).expect("compiles");
+        let w = program.footprint();
+        // Two requests co-packed on line 4, a third on line 17.
+        let plan = PlacementPlan::new(
+            Axis::Rows,
+            30,
+            w,
+            vec![
+                Slot { line: 4, offset: 0 },
+                Slot { line: 4, offset: w },
+                Slot {
+                    line: 17,
+                    offset: 0,
+                },
+            ],
+        )
+        .expect("legal plan");
+        let requests = vec![
+            vec![true, false, true],
+            vec![false, true, true],
+            vec![true, true, false],
+        ];
+        let outcome = device.run_plan(&program, &plan, &requests).expect("runs");
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
+        }
+        assert_eq!(outcome.slot(1), Slot { line: 4, offset: w });
+        // Untouched lines keep resident data (here: still zero).
+        assert!(!device.memory().bit(9, 0));
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn one_check_per_touched_block_line_on_either_axis() {
+        // 7 co-packable requests over lines 0..7 of a 30/3 device span
+        // block-lines 0..3: 3 block-line checks of 10 blocks each, on
+        // whichever axis the plan selects — never 7 per-request checks.
+        let (nor, _) = small_circuit();
+        for axis in [Axis::Rows, Axis::Cols] {
+            let mut device = PimDevice::new(30, 3).expect("device");
+            let p = device.compile(&nor).expect("compiles");
+            let requests: Vec<Vec<bool>> = (0..7).map(|_| vec![true, false, true]).collect();
+            let outcome = device.run_packed(&p, axis, &requests).expect("runs");
+            assert_eq!(outcome.input_check.checked, 30, "{axis}");
+            assert_eq!(outcome.stats.blocks_checked, 30, "{axis}");
+        }
+        // Co-packing shrinks the checked region: several times 7 requests
+        // of a narrow program still fit 7 lines, i.e. the same 3
+        // block-lines — where the row-only placement would spread over 21
+        // lines and check more than twice as many blocks.
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile_packed(&nor).expect("compiles");
+        let per_line = 30 / p.footprint();
+        assert!(per_line >= 3, "footprint {}", p.footprint());
+        let requests: Vec<Vec<bool>> = (0..7 * per_line)
+            .map(|i| (0..3).map(|b| (i * 3) >> b & 1 != 0).collect())
+            .collect();
+        let plan = PlacementPlan::pack(Axis::Rows, 30, p.footprint(), 7, per_line, requests.len())
+            .expect("packs");
+        let outcome = device.run_plan(&p, &plan, &requests).expect("runs");
+        assert_eq!(
+            outcome.input_check.checked,
+            30,
+            "{} co-packed requests still check 3 block-lines",
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn fault_during_column_axis_batch_is_repaired() {
+        let (nor, nl) = small_circuit();
+        let mut device = PimDeviceBuilder::new(30, 3)
+            .on_batch_loaded(|pm| pm.inject_fault(1, 5))
+            .build()
+            .expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let requests: Vec<Vec<bool>> = (0..12u32)
+            .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+            .collect();
+        // Column axis: input cell (1, 5) belongs to request 5 (line =
+        // column 5, offset 0, program cell 1).
+        let outcome = device.run_packed(&p, Axis::Cols, &requests).expect("runs");
+        assert_eq!(outcome.input_check.corrected, 1, "the strike was repaired");
+        for (i, req) in requests.iter().enumerate() {
+            assert_eq!(outcome.outputs[i], nl.eval(req), "request {i}");
+        }
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn plan_validation_guards_geometry_and_slot_width() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let req = vec![true, false, true];
+        // A plan built for another line length is refused.
+        let foreign = PlacementPlan::pack(Axis::Rows, 60, p.footprint(), 60, 1, 1).expect("packs");
+        assert_eq!(
+            device
+                .run_plan(&p, &foreign, std::slice::from_ref(&req))
+                .unwrap_err(),
+            DeviceError::PlanGeometry { plan: 60, n: 30 }
+        );
+        // Slots narrower than the footprint are refused.
+        let narrow =
+            PlacementPlan::pack(Axis::Rows, 30, p.footprint() - 1, 30, 1, 1).expect("packs");
+        assert_eq!(
+            device
+                .run_plan(&p, &narrow, std::slice::from_ref(&req))
+                .unwrap_err(),
+            DeviceError::SlotTooNarrow {
+                slot_width: p.footprint() - 1,
+                footprint: p.footprint()
+            }
+        );
+        // Plan/request arity mismatches are refused.
+        let plan = PlacementPlan::pack(Axis::Rows, 30, p.footprint(), 30, 1, 2).expect("packs");
+        assert_eq!(
+            device
+                .run_plan(&p, &plan, std::slice::from_ref(&req))
+                .unwrap_err(),
+            DeviceError::PlacementArity {
+                rows: 2,
+                requests: 1
+            }
+        );
     }
 
     #[test]

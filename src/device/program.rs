@@ -1,9 +1,101 @@
-//! Compiled programs: SIMPLER-mapped functions cached on a device.
+//! Compiled programs: SIMPLER-mapped functions cached on a device — and
+//! the [`ProgramCache`] both the device and the cluster key them in.
 
 use pimecc_netlist::NorNetlist;
-use pimecc_simpler::Program;
+use pimecc_simpler::{map, map_dense, MapError, MapperConfig, Program};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Salt separating `compile_packed` cache entries from `compile` entries
+/// for the same netlist — the two produce different mappings of one
+/// source function.
+const PACKED_KEY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The compile cache shared in shape by [`PimDevice`] and
+/// [`PimCluster`]: compiled handles keyed in three disjoint domains —
+/// netlist fingerprints (full-width mappings), salted netlist
+/// fingerprints (dense packed mappings) and program fingerprints
+/// (adopted programs) — so one cache serves all entry points without
+/// collisions, and the keying rules live in exactly one place.
+///
+/// [`PimDevice`]: crate::device::PimDevice
+/// [`PimCluster`]: crate::cluster::PimCluster
+#[derive(Debug, Default)]
+pub(crate) struct ProgramCache {
+    programs: HashMap<u64, CompiledProgram>,
+}
+
+impl ProgramCache {
+    /// Number of distinct cached programs.
+    pub(crate) fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Empties the cache; outstanding handles stay valid (they own their
+    /// program) and are re-inserted if compiled or adopted again.
+    pub(crate) fn clear(&mut self) {
+        self.programs.clear();
+    }
+
+    /// Full-width mapping of `netlist` onto a `row_size`-cell row, keyed
+    /// by structural netlist fingerprint.
+    pub(crate) fn compile(
+        &mut self,
+        netlist: &NorNetlist,
+        row_size: usize,
+    ) -> Result<CompiledProgram, MapError> {
+        let key = netlist_fingerprint(netlist);
+        if let Some(cached) = self.programs.get(&key) {
+            return Ok(cached.clone());
+        }
+        let program = map(netlist, &MapperConfig { row_size })?;
+        Ok(self.insert(key, program))
+    }
+
+    /// Dense co-packable mapping of `netlist` ([`map_dense`]), keyed by
+    /// the salted netlist fingerprint so it coexists with the full-width
+    /// entry.
+    pub(crate) fn compile_packed(
+        &mut self,
+        netlist: &NorNetlist,
+        row_size: usize,
+    ) -> Result<CompiledProgram, MapError> {
+        let key = netlist_fingerprint(netlist) ^ PACKED_KEY_SALT;
+        if let Some(cached) = self.programs.get(&key) {
+            return Ok(cached.clone());
+        }
+        let program = map_dense(netlist, &MapperConfig { row_size })?;
+        Ok(self.insert(key, program))
+    }
+
+    /// Adopts an externally mapped program, keyed by its own
+    /// [`Program::fingerprint`].
+    pub(crate) fn adopt(&mut self, program: &Program) -> CompiledProgram {
+        let key = program.fingerprint();
+        if let Some(cached) = self.programs.get(&key) {
+            return cached.clone();
+        }
+        self.insert(key, program.clone())
+    }
+
+    /// Shares a foreign compiled handle (same key domain as
+    /// [`ProgramCache::adopt`]) without deep-cloning its program.
+    pub(crate) fn adopt_compiled(&mut self, compiled: &CompiledProgram) -> CompiledProgram {
+        let key = compiled.fingerprint();
+        if let Some(cached) = self.programs.get(&key) {
+            return cached.clone();
+        }
+        self.programs.insert(key, compiled.clone());
+        compiled.clone()
+    }
+
+    fn insert(&mut self, key: u64, program: Program) -> CompiledProgram {
+        let compiled = CompiledProgram::new(program);
+        self.programs.insert(key, compiled.clone());
+        compiled
+    }
+}
 
 /// Process-wide compilation-id allocator: ids stay unique even when
 /// handles cross compilers via

@@ -12,11 +12,15 @@
 //!
 //! * [`cluster`] — the scaling front-end: [`PimCluster`] queues mixed
 //!   traffic behind `submit`/`flush`, packs it by program fingerprint and
-//!   dispatches full-width row batches across a pool of shards in
-//!   parallel;
+//!   dispatches two-dimensionally planned batches (rows *or* columns,
+//!   narrow programs co-packed several per line) across a pool of shards
+//!   in parallel;
 //! * [`device`] — the batch-first execution layer: [`PimDevice`] compiles
-//!   functions once (SIMPLER) and serves up to `n` requests per crossbar
-//!   pass, with the paper's pre-execution checks amortized per block-row;
+//!   functions once (SIMPLER; [`PimDevice::compile_packed`] maps them
+//!   narrow for co-packing) and executes
+//!   [`device::placement::PlacementPlan`]s — up to `n × (n / footprint)`
+//!   requests per crossbar pass, with the paper's pre-execution checks
+//!   amortized per touched block-line on either axis;
 //! * [`xbar`] — memristive crossbar + MAGIC stateful-logic simulator;
 //! * [`netlist`] — gate IR, NOR lowering, EPFL-style benchmark generators;
 //! * [`simpler`] — the SIMPLER single-row mapper + ECC schedule extension;
@@ -109,11 +113,11 @@ pub use runner::RunOutcome;
 /// ```
 pub mod prelude {
     pub use crate::cluster::{
-        ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, ShardReport, Ticket,
-        TicketResult,
+        AxisPolicy, ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, ShardReport,
+        Ticket, TicketResult,
     };
     pub use crate::device::{
-        BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
-        PimDeviceBuilder,
+        Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
+        PimDeviceBuilder, PlacementPlan, Slot,
     };
 }
