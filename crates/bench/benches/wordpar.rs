@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the word-parallel simulation engine:
+//! every hot path of the machine measured against the retained scalar
+//! reference on the same state and operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc_core::{BlockGeometry, ProtectedMemory, SimEngine};
+use pimecc_xbar::{BitGrid, LineSet, ParallelStep};
+
+const N: usize = 255;
+const M: usize = 5;
+
+fn machine(engine: SimEngine) -> ProtectedMemory {
+    let mut pm = ProtectedMemory::new(BlockGeometry::new(N, M).expect("geom")).expect("machine");
+    pm.set_engine(engine);
+    let mut g = BitGrid::new(N, N);
+    let mut s = 0x9E3779B97F4A7C15u64;
+    for r in 0..N {
+        for c in 0..N {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            g.set(r, c, s >> 63 != 0);
+        }
+    }
+    pm.load_grid(&g);
+    pm
+}
+
+fn engines() -> [(&'static str, SimEngine); 2] {
+    [
+        ("scalar", SimEngine::ScalarReference),
+        ("wordpar", SimEngine::WordParallel),
+    ]
+}
+
+fn bench_row_gates(c: &mut Criterion) {
+    for (name, engine) in engines() {
+        c.bench_function(&format!("wordpar/row_init_nor_255/{name}"), |b| {
+            let mut pm = machine(engine);
+            let mut i = 0usize;
+            b.iter(|| {
+                let out = 10 + i % 20;
+                i += 1;
+                pm.exec_init_rows(&[out], &LineSet::All).expect("init");
+                pm.exec_nor_rows(&[i % 5, 5 + i % 5], out, &LineSet::All)
+                    .expect("nor");
+                black_box(pm.stats().critical_ops)
+            })
+        });
+    }
+}
+
+fn bench_col_gates(c: &mut Criterion) {
+    for (name, engine) in engines() {
+        c.bench_function(&format!("wordpar/col_init_nor_255/{name}"), |b| {
+            let mut pm = machine(engine);
+            let mut i = 0usize;
+            b.iter(|| {
+                let out = 40 + i % 20;
+                i += 1;
+                pm.exec_init_cols(&[out], &LineSet::All).expect("init");
+                pm.exec_nor_cols(&[i % 5, 5 + i % 5], out, &LineSet::All)
+                    .expect("nor");
+                black_box(pm.stats().critical_ops)
+            })
+        });
+    }
+}
+
+fn bench_fused_program(c: &mut Criterion) {
+    // A 32-gate self-arming sequence: the fused executor against its own
+    // per-step replay (both word-parallel).
+    let steps: Vec<ParallelStep> = (0..32usize)
+        .flat_map(|i| {
+            let out = 60 + i;
+            [
+                ParallelStep::Init(vec![out]),
+                ParallelStep::Nor(vec![i % 30, 30 + i % 20], out),
+            ]
+        })
+        .collect();
+    c.bench_function("wordpar/program_32_gates/fused", |b| {
+        let mut pm = machine(SimEngine::WordParallel);
+        b.iter(|| {
+            assert!(pm.exec_steps_rows(&steps, &LineSet::All).expect("fused"));
+            black_box(pm.stats().mem_cycles)
+        })
+    });
+    c.bench_function("wordpar/program_32_gates/per_step", |b| {
+        let mut pm = machine(SimEngine::WordParallel);
+        b.iter(|| {
+            for step in &steps {
+                match step {
+                    ParallelStep::Init(cells) => {
+                        pm.exec_init_rows(cells, &LineSet::All).expect("init")
+                    }
+                    ParallelStep::Nor(ins, out) => {
+                        pm.exec_nor_rows(ins, *out, &LineSet::All).expect("nor")
+                    }
+                }
+            }
+            black_box(pm.stats().mem_cycles)
+        })
+    });
+}
+
+fn bench_loads_and_checks(c: &mut Criterion) {
+    let cells: Vec<(usize, bool)> = (0..64).map(|i| (i * 2 % N, i % 3 == 0)).collect();
+    for (name, engine) in engines() {
+        c.bench_function(&format!("wordpar/write_row_cells_64/{name}"), |b| {
+            let mut pm = machine(engine);
+            let mut line = 0usize;
+            b.iter(|| {
+                line = (line + 1) % N;
+                pm.write_row_cells(line, &cells).expect("write");
+                black_box(pm.stats().mem_cycles)
+            })
+        });
+        c.bench_function(&format!("wordpar/check_block_row/{name}"), |b| {
+            let mut pm = machine(engine);
+            b.iter(|| black_box(pm.check_block_row(3).expect("check")))
+        });
+        c.bench_function(&format!("wordpar/verify_consistency/{name}"), |b| {
+            let pm = machine(engine);
+            b.iter(|| black_box(pm.verify_consistency().is_ok()))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_row_gates,
+    bench_col_gates,
+    bench_fused_program,
+    bench_loads_and_checks
+);
+criterion_main!(benches);

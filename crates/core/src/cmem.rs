@@ -9,12 +9,18 @@
 
 use crate::geometry::BlockGeometry;
 use crate::shifter::Family;
-use pimecc_xbar::{BitGrid, Crossbar, LineSet, XbarError};
+use pimecc_xbar::{Crossbar, LineSet, XbarError};
 
-/// The check-bit store: `2·m` planes of `(n/m)×(n/m)` bits.
+/// The check-bit store: `2·m` logical planes of `(n/m)×(n/m)` bits.
 ///
 /// Plane `d` of a family holds, at `(block_row, block_col)`, the parity of
-/// diagonal `d` of that block.
+/// diagonal `d` of that block. The *simulation* packs the `m` check-bits
+/// of one family of one block into words (bit `d % 64` of word `d / 64`),
+/// so that the word-diff maintenance path can flip every diagonal a
+/// parallel operation touched in a block with one XOR
+/// ([`CheckMemory::xor_block_words`]) and the checker can read a block's
+/// parity vector in one load ([`CheckMemory::block_checks_word`]). The
+/// per-plane API is unchanged.
 ///
 /// # Example
 ///
@@ -34,19 +40,26 @@ use pimecc_xbar::{BitGrid, Crossbar, LineSet, XbarError};
 #[derive(Debug, Clone)]
 pub struct CheckMemory {
     geom: BlockGeometry,
-    leading: Vec<BitGrid>,
-    counter: Vec<BitGrid>,
+    /// Packed leading-family check words, `wpf` words per block, indexed
+    /// `[(block_row * bps + block_col) * wpf + d / 64]`.
+    leading: Vec<u64>,
+    /// Counter family, same layout.
+    counter: Vec<u64>,
+    /// Words per family per block (`ceil(m / 64)`).
+    wpf: usize,
 }
 
 impl CheckMemory {
     /// Creates an all-zero check memory for `geom` (consistent with an
     /// all-zero MEM).
     pub fn new(geom: BlockGeometry) -> Self {
-        let b = geom.blocks_per_side();
+        let wpf = geom.m().div_ceil(64);
+        let blocks = geom.block_count();
         CheckMemory {
             geom,
-            leading: (0..geom.m()).map(|_| BitGrid::new(b, b)).collect(),
-            counter: (0..geom.m()).map(|_| BitGrid::new(b, b)).collect(),
+            leading: vec![0; blocks * wpf],
+            counter: vec![0; blocks * wpf],
+            wpf,
         }
     }
 
@@ -55,18 +68,31 @@ impl CheckMemory {
         &self.geom
     }
 
-    fn plane(&self, family: Family, d: usize) -> &BitGrid {
+    #[inline]
+    fn family(&self, family: Family) -> &[u64] {
         match family {
-            Family::Leading => &self.leading[d],
-            Family::Counter => &self.counter[d],
+            Family::Leading => &self.leading,
+            Family::Counter => &self.counter,
         }
     }
 
-    fn plane_mut(&mut self, family: Family, d: usize) -> &mut BitGrid {
+    #[inline]
+    fn family_mut(&mut self, family: Family) -> &mut [u64] {
         match family {
-            Family::Leading => &mut self.leading[d],
-            Family::Counter => &mut self.counter[d],
+            Family::Leading => &mut self.leading,
+            Family::Counter => &mut self.counter,
         }
+    }
+
+    #[inline]
+    fn index(&self, d: usize, block_row: usize, block_col: usize) -> (usize, u64) {
+        debug_assert!(d < self.geom.m(), "diagonal index out of range");
+        debug_assert!(
+            block_row < self.geom.blocks_per_side() && block_col < self.geom.blocks_per_side(),
+            "block index out of range"
+        );
+        let blk = block_row * self.geom.blocks_per_side() + block_col;
+        (blk * self.wpf + d / 64, 1u64 << (d % 64))
     }
 
     /// Reads the check-bit of diagonal `d` of block `(block_row,
@@ -76,7 +102,8 @@ impl CheckMemory {
     ///
     /// Panics in debug builds on out-of-range indices.
     pub fn bit(&self, family: Family, d: usize, block_row: usize, block_col: usize) -> bool {
-        self.plane(family, d).get(block_row, block_col)
+        let (w, mask) = self.index(d, block_row, block_col);
+        self.family(family)[w] & mask != 0
     }
 
     /// Writes a check-bit directly (bulk loading / test setup).
@@ -88,7 +115,13 @@ impl CheckMemory {
         block_col: usize,
         value: bool,
     ) {
-        self.plane_mut(family, d).set(block_row, block_col, value);
+        let (w, mask) = self.index(d, block_row, block_col);
+        let word = &mut self.family_mut(family)[w];
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
     }
 
     /// XORs `delta` into a check-bit — the continuous-update primitive
@@ -102,14 +135,55 @@ impl CheckMemory {
         delta: bool,
     ) {
         if delta {
-            self.plane_mut(family, d).flip(block_row, block_col);
+            let (w, mask) = self.index(d, block_row, block_col);
+            self.family_mut(family)[w] ^= mask;
         }
     }
 
     /// Flips a check-bit unconditionally — the soft-error primitive for
     /// faults striking the CMEM itself.
     pub fn inject_fault(&mut self, family: Family, d: usize, block_row: usize, block_col: usize) {
-        self.plane_mut(family, d).flip(block_row, block_col);
+        let (w, mask) = self.index(d, block_row, block_col);
+        self.family_mut(family)[w] ^= mask;
+    }
+
+    /// Flips one Leading and one Counter check-bit of the same block in one
+    /// call — the per-changed-cell update of word-diff ECC maintenance
+    /// (every data-bit change strikes exactly one diagonal of each family).
+    #[inline]
+    pub fn flip_pair(
+        &mut self,
+        lead_d: usize,
+        counter_d: usize,
+        block_row: usize,
+        block_col: usize,
+    ) {
+        let (lw, lmask) = self.index(lead_d, block_row, block_col);
+        let (cw, cmask) = self.index(counter_d, block_row, block_col);
+        self.leading[lw] ^= lmask;
+        self.counter[cw] ^= cmask;
+    }
+
+    /// XORs packed diagonal deltas into one block's check words — the Θ(1)
+    /// form of the critical-operation update for a whole parallel write:
+    /// every diagonal a MAGIC operation touched in the block flips in one
+    /// operation per family (bit `d` of each delta word is diagonal `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 64` (wider blocks update per diagonal).
+    #[inline]
+    pub fn xor_block_words(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        lead_delta: u64,
+        counter_delta: u64,
+    ) {
+        assert!(self.wpf == 1, "packed block update requires m <= 64");
+        let blk = block_row * self.geom.blocks_per_side() + block_col;
+        self.leading[blk] ^= lead_delta;
+        self.counter[blk] ^= counter_delta;
     }
 
     /// All m check-bits of one family for one block, indexed by diagonal.
@@ -117,6 +191,39 @@ impl CheckMemory {
         (0..self.geom.m())
             .map(|d| self.bit(family, d, block_row, block_col))
             .collect()
+    }
+
+    /// All m check-bits of one family for one block, packed into a word
+    /// (bit `d` is diagonal `d`) — the word-diff form of
+    /// [`CheckMemory::block_checks`], a single load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 64`.
+    pub fn block_checks_word(&self, family: Family, block_row: usize, block_col: usize) -> u64 {
+        assert!(self.wpf == 1, "packed check-bits require m <= 64");
+        let blk = block_row * self.geom.blocks_per_side() + block_col;
+        self.family(family)[blk]
+    }
+
+    /// Overwrites the check-bits of one block from packed parity words
+    /// (bit `d` of each word is diagonal `d`) — the word-diff form of
+    /// [`CheckMemory::store_block_checks`], a single store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 64`.
+    pub fn store_block_checks_words(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        lead: u64,
+        counter: u64,
+    ) {
+        assert!(self.wpf == 1, "packed check-bits require m <= 64");
+        let blk = block_row * self.geom.blocks_per_side() + block_col;
+        self.leading[blk] = lead;
+        self.counter[blk] = counter;
     }
 
     /// Overwrites the check-bits of one block from parity vectors.
@@ -238,7 +345,9 @@ impl ProcessingCrossbar {
             "lane overflow"
         );
         let width = a.len();
-        let sel: LineSet = (0..width).collect();
+        // A contiguous range selects the active lanes without
+        // materializing an index vector per XOR3 invocation.
+        let sel = LineSet::Range(0..width);
         // Load inputs (data arrives over the shifters / connection unit).
         for i in 0..width {
             self.xb.write_bit(0, i, a[i]);
@@ -344,6 +453,20 @@ mod tests {
         );
         // Other blocks untouched.
         assert_eq!(cmem.block_checks(Family::Leading, 0, 0), vec![false; 3]);
+    }
+
+    #[test]
+    fn packed_check_words_round_trip() {
+        let geom = BlockGeometry::new(9, 3).unwrap();
+        let mut cmem = CheckMemory::new(geom);
+        cmem.store_block_checks_words(2, 1, 0b101, 0b010);
+        assert_eq!(cmem.block_checks_word(Family::Leading, 2, 1), 0b101);
+        assert_eq!(cmem.block_checks_word(Family::Counter, 2, 1), 0b010);
+        assert_eq!(
+            cmem.block_checks(Family::Leading, 2, 1),
+            vec![true, false, true]
+        );
+        assert_eq!(cmem.block_checks_word(Family::Leading, 0, 0), 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use error::CoreError;
 pub use geometry::BlockGeometry;
 pub use machine::{CheckReport, MachineStats, ProtectedMemory};
 pub use memory::MemoryArray;
+pub use pimecc_xbar::SimEngine;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

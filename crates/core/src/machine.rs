@@ -17,6 +17,21 @@
 //! blocks (checked and continuously updated); intermediate scratch blocks
 //! can be marked uncovered, matching the paper's model where only function
 //! inputs/outputs are protected.
+//!
+//! # Simulation engines
+//!
+//! The hot path is *word-diff*: before a parallel operation the touched
+//! line words are snapshotted, and afterwards `old XOR new` yields a packed
+//! change mask whose set bits — pre-masked by per-geometry coverage words —
+//! are the only cells whose Leading/Counter check-bits flip, via a
+//! precomputed `(leading, counter)` diagonal-index table built once per
+//! [`BlockGeometry`] and cached process-wide. Block checking, scrubbing and
+//! the consistency oracle run on packed block-row words through
+//! [`DiagonalCode::encode_words`]. The original cell-at-a-time loops are
+//! retained under [`SimEngine::ScalarReference`]
+//! (see [`ProtectedMemory::set_engine`]) as the differential baseline; both
+//! engines produce bit-identical state, [`MachineStats`] and
+//! [`CheckReport`]s — only host wall-time differs.
 
 use crate::cmem::CheckMemory;
 use crate::code::{DiagonalCode, ErrorLocation};
@@ -24,7 +39,9 @@ use crate::error::CoreError;
 use crate::geometry::BlockGeometry;
 use crate::shifter::Family;
 use crate::Result;
-use pimecc_xbar::{BitGrid, Crossbar, LineSet};
+use pimecc_xbar::{BitGrid, Crossbar, LineMask, LineSet, ParallelStep, SimEngine, XbarError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cycle/event accounting for the protected memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,12 +132,73 @@ impl std::ops::AddAssign for CheckReport {
     }
 }
 
+/// Precomputed diagonal indices for one [`BlockGeometry`]: entry
+/// `[local_row * n + col]` is the Leading (resp. Counter) diagonal of any
+/// cell whose row is `local_row` modulo `m` and whose global column is
+/// `col`. Replaces the per-cell `block_of`/`local_of`/`leading`/`counter`
+/// modular arithmetic on the word-diff hot path.
+#[derive(Debug)]
+struct DiagTables {
+    lead: Vec<u16>,
+    counter: Vec<u16>,
+}
+
+impl DiagTables {
+    fn build(geom: &BlockGeometry) -> DiagTables {
+        let (n, m) = (geom.n(), geom.m());
+        assert!(m <= u16::MAX as usize, "diagonal index exceeds table width");
+        let mut lead = vec![0u16; m * n];
+        let mut counter = vec![0u16; m * n];
+        for lr in 0..m {
+            for c in 0..n {
+                lead[lr * n + c] = geom.leading(lr, c % m) as u16;
+                counter[lr * n + c] = geom.counter(lr, c % m) as u16;
+            }
+        }
+        DiagTables { lead, counter }
+    }
+
+    /// The table for `geom`, built once per distinct `(n, m)` and shared
+    /// process-wide — every shard of a cluster references one copy.
+    fn cached(geom: &BlockGeometry) -> Arc<DiagTables> {
+        type Cache = Mutex<HashMap<(usize, usize), Arc<DiagTables>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(
+            map.entry((geom.n(), geom.m()))
+                .or_insert_with(|| Arc::new(DiagTables::build(geom))),
+        )
+    }
+}
+
+/// Which crossbar dimension a single-line cell write runs along (the
+/// axis-generic core of `write_row_cells` / `write_col_cells`).
+#[derive(Clone, Copy)]
+enum LineAxis {
+    Row,
+    Col,
+}
+
+impl LineAxis {
+    /// Maps `(line, cross)` to global `(row, col)`.
+    #[inline]
+    fn cell(self, line: usize, cross: usize) -> (usize, usize) {
+        match self {
+            LineAxis::Row => (line, cross),
+            LineAxis::Col => (cross, line),
+        }
+    }
+}
+
 /// A MAGIC crossbar with continuously maintained diagonal ECC.
 ///
 /// See the crate-level example. All `exec_*` methods mirror the raw
 /// [`Crossbar`] API; criticality (whether the ECC must be updated) is
 /// decided automatically from the coverage map of the written cells.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ProtectedMemory {
     geom: BlockGeometry,
     code: DiagonalCode,
@@ -134,6 +212,33 @@ pub struct ProtectedMemory {
     /// work of the paper, realized with the hardware already present).
     check_on_critical: bool,
     stats: MachineStats,
+    engine: SimEngine,
+    /// Shared diagonal-index table (see [`DiagTables`]).
+    tables: Arc<DiagTables>,
+    /// Per block-row: packed mask of the columns lying in covered blocks,
+    /// flattened `[block_row * stride + word]`.
+    covered_row_masks: Vec<u64>,
+    /// Per block-column: packed mask of the rows lying in covered blocks,
+    /// flattened `[block_col * stride + word]`.
+    covered_col_masks: Vec<u64>,
+    /// `0..blocks_per_side` — the full block-index list handed to the
+    /// rotate-XOR helpers when a whole line was touched.
+    all_blocks: Vec<usize>,
+    /// True while every block is covered (the default policy) — lets the
+    /// hot paths skip coverage-mask loads entirely.
+    fully_covered: bool,
+    // Reusable scratch for the word-diff path (never part of observable
+    // state; reused across operations so the steady state allocates
+    // nothing).
+    mask_buf: LineMask,
+    colmask_buf: Vec<u64>,
+    widx_buf: Vec<usize>,
+    line_buf: Vec<usize>,
+    old_buf: Vec<u64>,
+    new_buf: Vec<u64>,
+    blockrow_buf: Vec<u64>,
+    blkrow_buf: Vec<usize>,
+    blkcol_buf: Vec<usize>,
 }
 
 impl ProtectedMemory {
@@ -145,7 +250,8 @@ impl ProtectedMemory {
     /// Currently infallible for a valid [`BlockGeometry`]; the `Result`
     /// reserves room for configuration validation.
     pub fn new(geom: BlockGeometry) -> Result<Self> {
-        Ok(ProtectedMemory {
+        let tables = DiagTables::cached(&geom);
+        let mut pm = ProtectedMemory {
             geom,
             code: DiagonalCode::new(geom),
             mem: Crossbar::new(geom.n(), geom.n()),
@@ -153,7 +259,44 @@ impl ProtectedMemory {
             covered: vec![true; geom.block_count()],
             check_on_critical: false,
             stats: MachineStats::default(),
-        })
+            engine: SimEngine::default(),
+            tables,
+            covered_row_masks: Vec::new(),
+            covered_col_masks: Vec::new(),
+            all_blocks: (0..geom.blocks_per_side()).collect(),
+            fully_covered: true,
+            mask_buf: LineMask::new(geom.n()),
+            colmask_buf: Vec::new(),
+            widx_buf: Vec::new(),
+            line_buf: Vec::new(),
+            old_buf: Vec::new(),
+            new_buf: Vec::new(),
+            blockrow_buf: Vec::new(),
+            blkrow_buf: Vec::new(),
+            blkcol_buf: Vec::new(),
+        };
+        pm.rebuild_cover_masks();
+        Ok(pm)
+    }
+
+    /// Words per line of the n×n MEM.
+    #[inline]
+    fn stride(&self) -> usize {
+        self.geom.n().div_ceil(64)
+    }
+
+    /// Selects the simulation engine (default:
+    /// [`SimEngine::WordParallel`]); forwarded to the underlying MEM
+    /// crossbar. Both engines are bit-identical in state, stats and
+    /// reports.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+        self.mem.set_engine(engine);
+    }
+
+    /// The simulation engine in force.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// Enables or disables the pre-write ECC check of critical
@@ -168,8 +311,34 @@ impl ProtectedMemory {
         self.check_on_critical
     }
 
+    /// Rebuilds the packed coverage masks from the per-block coverage map
+    /// (called whenever coverage changes).
+    fn rebuild_cover_masks(&mut self) {
+        self.fully_covered = self.covered.iter().all(|&c| c);
+        let (m, bps, stride) = (self.geom.m(), self.geom.blocks_per_side(), self.stride());
+        self.covered_row_masks.clear();
+        self.covered_row_masks.resize(bps * stride, 0);
+        self.covered_col_masks.clear();
+        self.covered_col_masks.resize(bps * stride, 0);
+        for br in 0..bps {
+            for bc in 0..bps {
+                if !self.covered[br * bps + bc] {
+                    continue;
+                }
+                set_word_range(
+                    &mut self.covered_row_masks[br * stride..(br + 1) * stride],
+                    bc * m..(bc + 1) * m,
+                );
+                set_word_range(
+                    &mut self.covered_col_masks[bc * stride..(bc + 1) * stride],
+                    br * m..(br + 1) * m,
+                );
+            }
+        }
+    }
+
     /// ECC-checks the distinct covered blocks containing `cells` (the
-    /// pre-write verification pass).
+    /// pre-write verification pass of the scalar reference).
     fn precheck_blocks(&mut self, cells: &[(usize, usize)]) -> Result<()> {
         let mut blocks: Vec<(usize, usize)> = cells
             .iter()
@@ -183,6 +352,74 @@ impl ProtectedMemory {
             }
         }
         Ok(())
+    }
+
+    /// ECC-checks the covered blocks of the rectangle
+    /// `blkrow_buf × blkcol_buf` (both pre-sorted ascending) — the
+    /// word-path pre-write pass. Parallel operations always touch
+    /// rectangles of cells, so the block set is exactly this cross
+    /// product, visited in the same `(block_row, block_col)` order as the
+    /// scalar reference.
+    fn precheck_rect(&mut self) -> Result<()> {
+        for i in 0..self.blkrow_buf.len() {
+            let br = self.blkrow_buf[i];
+            for j in 0..self.blkcol_buf.len() {
+                let bc = self.blkcol_buf[j];
+                if self.covered[self.block_index(br, bc)] {
+                    self.check_block(br, bc)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills `blkrow_buf` with the distinct block-rows of the selected
+    /// lines in `line_buf` (which need not be sorted).
+    fn fill_block_rows_from_lines(&mut self) {
+        let m = self.geom.m();
+        self.blkrow_buf.clear();
+        self.blkrow_buf.extend(self.line_buf.iter().map(|&r| r / m));
+        self.blkrow_buf.sort_unstable();
+        self.blkrow_buf.dedup();
+    }
+
+    /// Fills `blkcol_buf` with every block-column overlapping a non-zero
+    /// word of `colmask_buf` (ascending). A superset of the exact touched
+    /// set at word granularity — harmless for the diff sweeps, which skip
+    /// empty segments, and much cheaper than walking every set bit.
+    fn fill_block_cols_approx(&mut self) {
+        let m = self.geom.m();
+        let bps = self.geom.blocks_per_side();
+        self.blkcol_buf.clear();
+        for k in 0..self.widx_buf.len() {
+            let wi = self.widx_buf[k];
+            let first = (wi * 64) / m;
+            let last = ((wi * 64 + 63) / m).min(bps - 1);
+            let next = self.blkcol_buf.last().map_or(0, |&b| b + 1);
+            for bc in first.max(next)..=last {
+                self.blkcol_buf.push(bc);
+            }
+        }
+    }
+
+    /// Fills `blkcol_buf` with the distinct block-columns of the set bits
+    /// of `colmask_buf` (ascending by construction) — the exact form the
+    /// pre-write check pass requires.
+    fn fill_block_cols_from_colmask(&mut self) {
+        let m = self.geom.m();
+        self.blkcol_buf.clear();
+        for k in 0..self.widx_buf.len() {
+            let wi = self.widx_buf[k];
+            let mut w = self.colmask_buf[wi];
+            while w != 0 {
+                let c = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let bc = c / m;
+                if self.blkcol_buf.last() != Some(&bc) {
+                    self.blkcol_buf.push(bc);
+                }
+            }
+        }
     }
 
     /// The geometry in force.
@@ -237,13 +474,14 @@ impl ProtectedMemory {
         let idx = self.block_index(block_row, block_col);
         if covered && !self.covered[idx] {
             // Re-encode on coverage entry (a write-with-ECC sweep).
-            let block = self.extract_block(block_row, block_col);
-            let (l, k) = self.code.encode(&block);
-            self.cmem.store_block_checks(block_row, block_col, &l, &k);
+            self.reencode_block(block_row, block_col);
             self.stats.mem_cycles += self.geom.m() as u64; // m row reads
             self.stats.transfer_cycles += self.geom.m() as u64;
         }
-        self.covered[idx] = covered;
+        if self.covered[idx] != covered {
+            self.covered[idx] = covered;
+            self.rebuild_cover_masks();
+        }
         Ok(())
     }
 
@@ -268,6 +506,46 @@ impl ProtectedMemory {
         g
     }
 
+    /// Whether this machine runs blocks through the packed-word codec.
+    #[inline]
+    fn word_blocks(&self) -> bool {
+        matches!(self.engine, SimEngine::WordParallel) && self.geom.m() <= 63
+    }
+
+    /// Loads the packed row words of one block into `blockrow_buf`
+    /// (word-path only; `m <= 63` so each local row is one word). The
+    /// word/shift addressing is block-invariant and resolved once.
+    fn fill_block_rows(&mut self, block_row: usize, block_col: usize) {
+        let m = self.geom.m();
+        let (base_r, c0) = (block_row * m, block_col * m);
+        let (w0, sh) = (c0 / 64, (c0 % 64) as u32);
+        let spill = sh as usize + m > 64;
+        let mmask = (1u64 << m) - 1;
+        self.blockrow_buf.clear();
+        for lr in 0..m {
+            let row = self.mem.grid().row_words(base_r + lr);
+            let mut v = row[w0] >> sh;
+            if spill {
+                v |= row[w0 + 1] << (64 - sh);
+            }
+            self.blockrow_buf.push(v & mmask);
+        }
+    }
+
+    /// Recomputes and stores one block's check-bits from its current data.
+    fn reencode_block(&mut self, block_row: usize, block_col: usize) {
+        if self.word_blocks() {
+            self.fill_block_rows(block_row, block_col);
+            let (l, k) = self.code.encode_words(&self.blockrow_buf);
+            self.cmem
+                .store_block_checks_words(block_row, block_col, l, k);
+        } else {
+            let block = self.extract_block(block_row, block_col);
+            let (l, k) = self.code.encode(&block);
+            self.cmem.store_block_checks(block_row, block_col, &l, &k);
+        }
+    }
+
     /// Bulk-loads a full data grid, recomputing every covered block's
     /// check-bits (the "ECC computed along write" path of a conventional
     /// memory).
@@ -287,111 +565,26 @@ impl ProtectedMemory {
         for br in 0..bps {
             for bc in 0..bps {
                 if self.covered[self.block_index(br, bc)] {
-                    let block = self.extract_block(br, bc);
-                    let (l, k) = self.code.encode(&block);
-                    self.cmem.store_block_checks(br, bc, &l, &k);
+                    self.reencode_block(br, bc);
                 }
             }
         }
     }
 
-    /// Writes the given `(column, value)` pairs into one row through the
-    /// conventional write-with-ECC path, leaving every other cell of the
-    /// memory untouched — the per-request load primitive of batched
-    /// execution, where many requests occupy distinct rows of the same
-    /// crossbar. One driven-row MEM cycle plus the critical-operation
-    /// protocol for the touched covered blocks.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::OutOfBounds`] if `row` or any column is out of range.
-    pub fn write_row_cells(&mut self, row: usize, cells: &[(usize, bool)]) -> Result<()> {
-        let n = self.geom.n();
-        if row >= n {
-            return Err(CoreError::OutOfBounds { row, col: 0, n });
-        }
-        if let Some(&(col, _)) = cells.iter().find(|&&(c, _)| c >= n) {
-            return Err(CoreError::OutOfBounds { row, col, n });
-        }
-        if cells.is_empty() {
-            return Ok(());
-        }
-        // Deduplicate columns (last value wins): the old-value snapshot is
-        // taken once per physical cell, so a duplicate entry must not XOR
-        // the same diagonal twice and corrupt the parity.
-        let mut unique: Vec<(usize, bool)> = Vec::with_capacity(cells.len());
-        for &(c, v) in cells {
-            match unique.iter_mut().find(|(uc, _)| *uc == c) {
-                Some(entry) => entry.1 = v,
-                None => unique.push((c, v)),
-            }
-        }
-        if self.check_on_critical {
-            let coords: Vec<(usize, usize)> = unique.iter().map(|&(c, _)| (row, c)).collect();
-            self.precheck_blocks(&coords)?;
-        }
-        let old: Vec<(usize, usize, bool)> = unique
-            .iter()
-            .map(|&(c, _)| (row, c, self.mem.bit(row, c)))
-            .collect();
-        for &(c, v) in &unique {
-            self.mem.write_bit(row, c, v);
-        }
-        self.stats.mem_cycles += 1;
-        self.update_checks(&old);
-        Ok(())
-    }
-
-    /// Transpose of [`ProtectedMemory::write_row_cells`]: writes the given
-    /// `(row, value)` pairs into one *column* through the write-with-ECC
-    /// path, leaving every other cell untouched — the per-request load
-    /// primitive for **column-parallel** batched execution, where requests
-    /// occupy distinct columns (the paper's §IV "row (column)" symmetry).
-    /// One driven-column MEM cycle plus the critical-operation protocol for
-    /// the touched covered blocks.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::OutOfBounds`] if `col` or any row is out of range.
-    pub fn write_col_cells(&mut self, col: usize, cells: &[(usize, bool)]) -> Result<()> {
-        let n = self.geom.n();
-        if col >= n {
-            return Err(CoreError::OutOfBounds { row: 0, col, n });
-        }
-        if let Some(&(row, _)) = cells.iter().find(|&&(r, _)| r >= n) {
-            return Err(CoreError::OutOfBounds { row, col, n });
-        }
-        if cells.is_empty() {
-            return Ok(());
-        }
-        // Deduplicate rows (last value wins) for the same parity-safety
-        // reason as the row-major path.
-        let mut unique: Vec<(usize, bool)> = Vec::with_capacity(cells.len());
-        for &(r, v) in cells {
-            match unique.iter_mut().find(|(ur, _)| *ur == r) {
-                Some(entry) => entry.1 = v,
-                None => unique.push((r, v)),
-            }
-        }
-        if self.check_on_critical {
-            let coords: Vec<(usize, usize)> = unique.iter().map(|&(r, _)| (r, col)).collect();
-            self.precheck_blocks(&coords)?;
-        }
-        let old: Vec<(usize, usize, bool)> = unique
-            .iter()
-            .map(|&(r, _)| (r, col, self.mem.bit(r, col)))
-            .collect();
-        for &(r, v) in &unique {
-            self.mem.write_bit(r, col, v);
-        }
-        self.stats.mem_cycles += 1;
-        self.update_checks(&old);
-        Ok(())
+    /// Bills one critical-operation protocol: old transfer + new transfer
+    /// on the MEM; two XOR3 programs (leading + counter) in a PC.
+    #[inline]
+    fn bill_critical(&mut self) {
+        self.stats.critical_ops += 1;
+        self.stats.mem_cycles += 2;
+        self.stats.transfer_cycles += 2;
+        self.stats.pc_xor3_ops += 2;
     }
 
     /// Applies the continuous ECC update for a set of written cells, given
-    /// their prior values. Cells in uncovered blocks are skipped.
-    fn update_checks(&mut self, cells: &[(usize, usize, bool)]) {
+    /// their prior values — the scalar-reference form. Cells in uncovered
+    /// blocks are skipped.
+    fn update_checks_scalar(&mut self, cells: &[(usize, usize, bool)]) {
         let mut any_covered = false;
         for &(r, c, old) in cells {
             if !self.is_cell_covered(r, c) {
@@ -409,13 +602,437 @@ impl ProtectedMemory {
             }
         }
         if any_covered {
-            // Critical-operation protocol cost: old transfer + new transfer
-            // on the MEM; two XOR3 programs (leading + counter) in a PC.
-            self.stats.critical_ops += 1;
-            self.stats.mem_cycles += 2;
-            self.stats.transfer_cycles += 2;
-            self.stats.pc_xor3_ops += 2;
+            self.bill_critical();
         }
+    }
+
+    /// Word-diff ECC update for one touched row: XORs the snapshotted old
+    /// words (`old_buf[old_base..]`, one per touched word index in
+    /// `widx_buf`) against the row's current words, masks to the touched
+    /// (`colmask_buf`) and covered columns, and flips the check-bits of the
+    /// surviving change bits — one rotated XOR per touched block
+    /// (`blkcol_buf`) when `m` fits a word. Returns whether any touched
+    /// cell of the row was covered.
+    fn apply_row_diff(&mut self, r: usize, old_base: usize) -> bool {
+        let stride = self.stride();
+        let m = self.geom.m();
+        let ProtectedMemory {
+            ref mem,
+            ref mut cmem,
+            ref tables,
+            ref covered_row_masks,
+            ref colmask_buf,
+            ref widx_buf,
+            ref blkcol_buf,
+            ref old_buf,
+            geom,
+            ..
+        } = *self;
+        let cov_base = (r / m) * stride;
+        let mut any_covered = false;
+        for &wi in widx_buf.iter() {
+            if colmask_buf[wi] & covered_row_masks[cov_base + wi] != 0 {
+                any_covered = true;
+                break;
+            }
+        }
+        if !any_covered {
+            return false;
+        }
+        let row = mem.grid().row_words(r);
+        if m <= 63 {
+            xor_row_major_changes(cmem, r, blkcol_buf, m, stride, |wi| {
+                let touched = colmask_buf[wi] & covered_row_masks[cov_base + wi];
+                if touched == 0 {
+                    return 0;
+                }
+                let k = widx_buf
+                    .iter()
+                    .position(|&x| x == wi)
+                    .expect("touched word is registered");
+                (row[wi] ^ old_buf[old_base + k]) & touched
+            });
+        } else {
+            let lr_base = (r % m) * geom.n();
+            for (k, &wi) in widx_buf.iter().enumerate() {
+                let touched = colmask_buf[wi] & covered_row_masks[cov_base + wi];
+                if touched == 0 {
+                    continue;
+                }
+                let mut changed = (row[wi] ^ old_buf[old_base + k]) & touched;
+                while changed != 0 {
+                    let c = wi * 64 + changed.trailing_zeros() as usize;
+                    changed &= changed - 1;
+                    cmem.flip_pair(
+                        tables.lead[lr_base + c] as usize,
+                        tables.counter[lr_base + c] as usize,
+                        r / m,
+                        c / m,
+                    );
+                }
+            }
+        }
+        any_covered
+    }
+
+    /// Bounds-validates a row selection and loads it into `mask_buf`,
+    /// erroring with the crossbar's own error value.
+    fn select_row_mask(&mut self, sel: &LineSet) -> Result<()> {
+        let n = self.geom.n();
+        if let Some(max) = sel.max_index(n) {
+            if max >= n {
+                return Err(XbarError::RowOutOfBounds {
+                    index: max,
+                    rows: n,
+                }
+                .into());
+            }
+        }
+        sel.fill_mask(n, &mut self.mask_buf);
+        Ok(())
+    }
+
+    /// Fills `blkrow_buf` with the distinct block-rows of the lines
+    /// selected in `mask_buf` (ascending).
+    fn fill_block_rows_from_mask(&mut self) {
+        let m = self.geom.m();
+        self.blkrow_buf.clear();
+        for (wi, &mw) in self.mask_buf.words().iter().enumerate() {
+            let mut w = mw;
+            while w != 0 {
+                let r = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let br = r / m;
+                if self.blkrow_buf.last() != Some(&br) {
+                    self.blkrow_buf.push(br);
+                }
+            }
+        }
+    }
+
+    /// Builds `colmask_buf`/`widx_buf` from an explicit column list.
+    fn colmask_from_cols(&mut self, cols: &[usize]) -> Result<()> {
+        let n = self.geom.n();
+        self.colmask_buf.clear();
+        self.colmask_buf.resize(self.stride(), 0);
+        for &c in cols {
+            if c >= n {
+                return Err(XbarError::ColOutOfBounds { index: c, cols: n }.into());
+            }
+            self.colmask_buf[c / 64] |= 1u64 << (c % 64);
+        }
+        self.refresh_widx();
+        Ok(())
+    }
+
+    /// Builds `colmask_buf`/`widx_buf` from a column selection.
+    fn colmask_from_sel(&mut self, cols: &LineSet) -> Result<()> {
+        let n = self.geom.n();
+        if let Some(max) = cols.max_index(n) {
+            if max >= n {
+                return Err(XbarError::ColOutOfBounds {
+                    index: max,
+                    cols: n,
+                }
+                .into());
+            }
+        }
+        cols.fill_mask(n, &mut self.mask_buf);
+        self.colmask_buf.clear();
+        self.colmask_buf.extend_from_slice(self.mask_buf.words());
+        self.refresh_widx();
+        Ok(())
+    }
+
+    fn refresh_widx(&mut self) {
+        self.widx_buf.clear();
+        for wi in 0..self.colmask_buf.len() {
+            if self.colmask_buf[wi] != 0 {
+                self.widx_buf.push(wi);
+            }
+        }
+    }
+
+    /// Snapshots the touched words of row `r` (per `widx_buf`) onto
+    /// `old_buf`.
+    fn snapshot_row(&mut self, r: usize) {
+        for k in 0..self.widx_buf.len() {
+            let wi = self.widx_buf[k];
+            self.old_buf.push(self.mem.grid().row_words(r)[wi]);
+        }
+    }
+
+    /// Shared tail of the row-writing word paths: snapshot the touched
+    /// rows in `line_buf`, run `op`, then word-diff every touched row and
+    /// bill the critical protocol if any touched cell was covered.
+    fn run_row_touching_op(
+        &mut self,
+        op: impl FnOnce(&mut Crossbar) -> std::result::Result<(), XbarError>,
+    ) -> Result<()> {
+        self.fill_block_cols_approx();
+        self.old_buf.clear();
+        for i in 0..self.line_buf.len() {
+            let r = self.line_buf[i];
+            self.snapshot_row(r);
+        }
+        op(&mut self.mem)?;
+        self.stats.mem_cycles += 1;
+        let per_row = self.widx_buf.len();
+        let mut any_covered = false;
+        for i in 0..self.line_buf.len() {
+            let r = self.line_buf[i];
+            any_covered |= self.apply_row_diff(r, i * per_row);
+        }
+        if any_covered {
+            self.bill_critical();
+        }
+        Ok(())
+    }
+
+    /// Writes the given `(column, value)` pairs into one row through the
+    /// conventional write-with-ECC path, leaving every other cell of the
+    /// memory untouched — the per-request load primitive of batched
+    /// execution, where many requests occupy distinct rows of the same
+    /// crossbar. One driven-row MEM cycle plus the critical-operation
+    /// protocol for the touched covered blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if `row` or any column is out of range.
+    pub fn write_row_cells(&mut self, row: usize, cells: &[(usize, bool)]) -> Result<()> {
+        self.write_line_cells(LineAxis::Row, row, cells)
+    }
+
+    /// Transpose of [`ProtectedMemory::write_row_cells`]: writes the given
+    /// `(row, value)` pairs into one *column* through the write-with-ECC
+    /// path, leaving every other cell untouched — the per-request load
+    /// primitive for **column-parallel** batched execution, where requests
+    /// occupy distinct columns (the paper's §IV "row (column)" symmetry).
+    /// One driven-column MEM cycle plus the critical-operation protocol for
+    /// the touched covered blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if `col` or any row is out of range.
+    pub fn write_col_cells(&mut self, col: usize, cells: &[(usize, bool)]) -> Result<()> {
+        self.write_line_cells(LineAxis::Col, col, cells)
+    }
+
+    /// The axis-generic core of [`ProtectedMemory::write_row_cells`] /
+    /// [`ProtectedMemory::write_col_cells`]: one driven line, sparse cell
+    /// writes, per-cell ECC delta.
+    fn write_line_cells(
+        &mut self,
+        axis: LineAxis,
+        line: usize,
+        cells: &[(usize, bool)],
+    ) -> Result<()> {
+        let n = self.geom.n();
+        let oob = |line: usize, cross: usize| {
+            let (row, col) = axis.cell(line, cross);
+            CoreError::OutOfBounds { row, col, n }
+        };
+        if line >= n {
+            // Matches the historical error values: the missing coordinate
+            // reads as zero.
+            return Err(match axis {
+                LineAxis::Row => CoreError::OutOfBounds {
+                    row: line,
+                    col: 0,
+                    n,
+                },
+                LineAxis::Col => CoreError::OutOfBounds {
+                    row: 0,
+                    col: line,
+                    n,
+                },
+            });
+        }
+        if let Some(&(cross, _)) = cells.iter().find(|&&(x, _)| x >= n) {
+            return Err(oob(line, cross));
+        }
+        if cells.is_empty() {
+            return Ok(());
+        }
+        if matches!(self.engine, SimEngine::ScalarReference) {
+            // Retained reference: quadratic dedup (last value wins), then
+            // per-cell snapshot/write/update, exactly the pre-word-parallel
+            // path.
+            let mut unique: Vec<(usize, bool)> = Vec::with_capacity(cells.len());
+            for &(x, v) in cells {
+                match unique.iter_mut().find(|(ux, _)| *ux == x) {
+                    Some(entry) => entry.1 = v,
+                    None => unique.push((x, v)),
+                }
+            }
+            if self.check_on_critical {
+                let coords: Vec<(usize, usize)> =
+                    unique.iter().map(|&(x, _)| axis.cell(line, x)).collect();
+                self.precheck_blocks(&coords)?;
+            }
+            let old: Vec<(usize, usize, bool)> = unique
+                .iter()
+                .map(|&(x, _)| {
+                    let (r, c) = axis.cell(line, x);
+                    (r, c, self.mem.bit(r, c))
+                })
+                .collect();
+            for &(x, v) in &unique {
+                let (r, c) = axis.cell(line, x);
+                self.mem.write_bit(r, c, v);
+            }
+            self.stats.mem_cycles += 1;
+            self.update_checks_scalar(&old);
+            return Ok(());
+        }
+        // Word path: pack the cells into touched/value words — a later
+        // duplicate overwrites its value bit, so "last value wins" falls
+        // out of the packing and no quadratic dedup is needed.
+        let stride = self.stride();
+        self.colmask_buf.clear();
+        self.colmask_buf.resize(stride, 0);
+        self.new_buf.clear();
+        self.new_buf.resize(stride, 0);
+        for &(x, v) in cells {
+            let (wi, bit) = (x / 64, 1u64 << (x % 64));
+            self.colmask_buf[wi] |= bit;
+            if v {
+                self.new_buf[wi] |= bit;
+            } else {
+                self.new_buf[wi] &= !bit;
+            }
+        }
+        self.refresh_widx();
+        let m = self.geom.m();
+        if self.check_on_critical {
+            self.fill_block_cols_from_colmask();
+            self.blkrow_buf.clear();
+            self.blkrow_buf.push(line / m);
+            if matches!(axis, LineAxis::Col) {
+                // The packed mask ranges over rows: what it yields are
+                // block-rows, and the line's block is a block-column.
+                std::mem::swap(&mut self.blkrow_buf, &mut self.blkcol_buf);
+            }
+            self.precheck_rect()?;
+        }
+        // Snapshot the touched words, store through the masked zero-cycle
+        // write, then flip check-bits for the changed covered cells.
+        self.old_buf.clear();
+        match axis {
+            LineAxis::Row => {
+                for k in 0..self.widx_buf.len() {
+                    let wi = self.widx_buf[k];
+                    self.old_buf.push(self.mem.grid().row_words(line)[wi]);
+                }
+                self.mem
+                    .write_row_words_masked(line, &self.new_buf, &self.colmask_buf);
+            }
+            LineAxis::Col => {
+                // Sparse snapshot: only the touched rows' old bits, packed
+                // in gather layout (no O(n) column sweep).
+                self.old_buf.clear();
+                self.old_buf.resize(stride, 0);
+                for k in 0..self.widx_buf.len() {
+                    let wi = self.widx_buf[k];
+                    let mut w = self.colmask_buf[wi];
+                    let mut packed = 0u64;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        packed |= (self.mem.grid().get(wi * 64 + bit, line) as u64) << bit;
+                    }
+                    self.old_buf[wi] = packed;
+                }
+                self.mem
+                    .write_col_words_masked(line, &self.new_buf, &self.colmask_buf);
+            }
+        }
+        self.stats.mem_cycles += 1;
+        if matches!(axis, LineAxis::Row) {
+            // Line loads are sparse relative to the line; the exact block
+            // walk keeps the rotate sweep to the truly touched blocks.
+            self.fill_block_cols_from_colmask();
+        }
+        let cov_base = (line / m) * stride;
+        let mut any_covered = false;
+        for k in 0..self.widx_buf.len() {
+            let wi = self.widx_buf[k];
+            let covered = match axis {
+                LineAxis::Row => self.covered_row_masks[cov_base + wi],
+                LineAxis::Col => self.covered_col_masks[cov_base + wi],
+            };
+            if self.colmask_buf[wi] & covered != 0 {
+                any_covered = true;
+                break;
+            }
+        }
+        if !any_covered {
+            return Ok(());
+        }
+        let n = self.geom.n();
+        let ProtectedMemory {
+            ref mut cmem,
+            ref tables,
+            ref covered_row_masks,
+            ref covered_col_masks,
+            ref colmask_buf,
+            ref widx_buf,
+            ref blkcol_buf,
+            ref old_buf,
+            ref new_buf,
+            ..
+        } = *self;
+        match axis {
+            LineAxis::Row if m <= 63 => {
+                xor_row_major_changes(cmem, line, blkcol_buf, m, stride, |wi| {
+                    let touched = colmask_buf[wi] & covered_row_masks[cov_base + wi];
+                    if touched == 0 {
+                        return 0;
+                    }
+                    let k = widx_buf
+                        .iter()
+                        .position(|&x| x == wi)
+                        .expect("touched word is registered");
+                    (old_buf[k] ^ new_buf[wi]) & touched
+                });
+            }
+            LineAxis::Col if m <= 63 => {
+                xor_col_major_changes(cmem, line, n / m, m, stride, |wi| {
+                    (old_buf[wi] ^ new_buf[wi]) & colmask_buf[wi] & covered_col_masks[cov_base + wi]
+                });
+            }
+            _ => {
+                for (k, &wi) in widx_buf.iter().enumerate() {
+                    let covered = match axis {
+                        LineAxis::Row => covered_row_masks[cov_base + wi],
+                        LineAxis::Col => covered_col_masks[cov_base + wi],
+                    };
+                    let touched = colmask_buf[wi] & covered;
+                    if touched == 0 {
+                        continue;
+                    }
+                    let old = match axis {
+                        LineAxis::Row => old_buf[k],
+                        LineAxis::Col => old_buf[wi],
+                    };
+                    let mut changed = (old ^ new_buf[wi]) & touched;
+                    while changed != 0 {
+                        let x = wi * 64 + changed.trailing_zeros() as usize;
+                        changed &= changed - 1;
+                        let (r, c) = axis.cell(line, x);
+                        let idx = (r % m) * n + c;
+                        cmem.flip_pair(
+                            tables.lead[idx] as usize,
+                            tables.counter[idx] as usize,
+                            r / m,
+                            c / m,
+                        );
+                    }
+                }
+            }
+        }
+        self.bill_critical();
+        Ok(())
     }
 
     /// Row-parallel MAGIC NOR (see [`Crossbar::exec_nor_rows`]); maintains
@@ -430,18 +1047,94 @@ impl ProtectedMemory {
         out_col: usize,
         rows: &LineSet,
     ) -> Result<()> {
-        let idx = rows.indices(self.mem.rows());
-        if self.check_on_critical {
-            let cells: Vec<(usize, usize)> = idx.iter().map(|&r| (r, out_col)).collect();
-            self.precheck_blocks(&cells)?;
+        if matches!(self.engine, SimEngine::ScalarReference) {
+            let idx: Vec<usize> = rows.iter(self.mem.rows()).collect();
+            if self.check_on_critical {
+                let cells: Vec<(usize, usize)> = idx.iter().map(|&r| (r, out_col)).collect();
+                self.precheck_blocks(&cells)?;
+            }
+            let old: Vec<(usize, usize, bool)> = idx
+                .iter()
+                .map(|&r| (r, out_col, self.mem.bit(r, out_col)))
+                .collect();
+            self.mem.exec_nor_rows(in_cols, out_col, rows)?;
+            self.stats.mem_cycles += 1;
+            self.update_checks_scalar(&old);
+            return Ok(());
         }
-        let old: Vec<(usize, usize, bool)> = idx
-            .iter()
-            .map(|&r| (r, out_col, self.mem.bit(r, out_col)))
-            .collect();
-        self.mem.exec_nor_rows(in_cols, out_col, rows)?;
+        let n = self.geom.n();
+        if self.check_on_critical {
+            // The pre-write pass needs validated coordinates before any
+            // block arithmetic; the non-checking path defers validation
+            // to the crossbar so error *kinds* match the scalar
+            // reference (on invalid unsorted Explicit selections the
+            // reported index may differ — word scans in word order).
+            if out_col >= n {
+                return Err(XbarError::ColOutOfBounds {
+                    index: out_col,
+                    cols: n,
+                }
+                .into());
+            }
+            self.select_row_mask(rows)?;
+            self.fill_block_rows_from_mask();
+            self.blkcol_buf.clear();
+            self.blkcol_buf.push(out_col / self.geom.m());
+            self.precheck_rect()?;
+        }
+        // The gate reports its own change bits (old XOR new, one per
+        // selected row) — no snapshot or re-gather of the output column.
+        self.mem
+            .exec_nor_rows_changed(in_cols, out_col, rows, &mut self.new_buf)?;
         self.stats.mem_cycles += 1;
-        self.update_checks(&old);
+        let stride = self.stride();
+        let m = self.geom.m();
+        let cov_base = (out_col / m) * stride;
+        let fully = self.fully_covered;
+        let ProtectedMemory {
+            ref mut cmem,
+            ref tables,
+            ref covered_col_masks,
+            ref new_buf,
+            ref mut stats,
+            ..
+        } = *self;
+        // Coverage probe: an empty selection touches nothing; otherwise
+        // trivially true on the default fully covered device, early-exit
+        // scan elsewhere.
+        let any_covered = !rows.is_empty(n)
+            && (fully
+                || rows
+                    .iter(n)
+                    .any(|r| covered_col_masks[cov_base + r / 64] >> (r % 64) & 1 != 0));
+        if any_covered {
+            if m <= 63 && fully {
+                xor_col_major_changes(cmem, out_col, n / m, m, stride, |wi| new_buf[wi]);
+            } else if m <= 63 {
+                xor_col_major_changes(cmem, out_col, n / m, m, stride, |wi| {
+                    new_buf[wi] & covered_col_masks[cov_base + wi]
+                });
+            } else {
+                for wi in 0..stride {
+                    let mut changed = new_buf[wi] & covered_col_masks[cov_base + wi];
+                    while changed != 0 {
+                        let r = wi * 64 + changed.trailing_zeros() as usize;
+                        changed &= changed - 1;
+                        let idx = (r % m) * n + out_col;
+                        cmem.flip_pair(
+                            tables.lead[idx] as usize,
+                            tables.counter[idx] as usize,
+                            r / m,
+                            out_col / m,
+                        );
+                    }
+                }
+            }
+            stats.critical_ops += 1;
+            stats.mem_cycles += 2;
+            stats.transfer_cycles += 2;
+            stats.pc_xor3_ops += 2;
+        }
         Ok(())
     }
 
@@ -456,18 +1149,91 @@ impl ProtectedMemory {
         out_row: usize,
         cols: &LineSet,
     ) -> Result<()> {
-        let idx = cols.indices(self.mem.cols());
-        if self.check_on_critical {
-            let cells: Vec<(usize, usize)> = idx.iter().map(|&c| (out_row, c)).collect();
-            self.precheck_blocks(&cells)?;
+        if matches!(self.engine, SimEngine::ScalarReference) {
+            let idx: Vec<usize> = cols.iter(self.mem.cols()).collect();
+            if self.check_on_critical {
+                let cells: Vec<(usize, usize)> = idx.iter().map(|&c| (out_row, c)).collect();
+                self.precheck_blocks(&cells)?;
+            }
+            let old: Vec<(usize, usize, bool)> = idx
+                .iter()
+                .map(|&c| (out_row, c, self.mem.bit(out_row, c)))
+                .collect();
+            self.mem.exec_nor_cols(in_rows, out_row, cols)?;
+            self.stats.mem_cycles += 1;
+            self.update_checks_scalar(&old);
+            return Ok(());
         }
-        let old: Vec<(usize, usize, bool)> = idx
-            .iter()
-            .map(|&c| (out_row, c, self.mem.bit(out_row, c)))
-            .collect();
-        self.mem.exec_nor_cols(in_rows, out_row, cols)?;
+        let n = self.geom.n();
+        if self.check_on_critical {
+            // As in the row-parallel path: validate here only for the
+            // pre-write pass; otherwise the crossbar's own validation
+            // order defines the error values.
+            if out_row >= n {
+                return Err(XbarError::RowOutOfBounds {
+                    index: out_row,
+                    rows: n,
+                }
+                .into());
+            }
+            self.colmask_from_sel(cols)?;
+            self.line_buf.clear();
+            self.line_buf.push(out_row);
+            self.fill_block_rows_from_lines();
+            self.fill_block_cols_from_colmask();
+            self.precheck_rect()?;
+        }
+        // Transpose of the row-parallel path: the gate reports its change
+        // bits in row-word layout; no column mask is materialized here.
+        self.mem
+            .exec_nor_cols_changed(in_rows, out_row, cols, &mut self.new_buf)?;
         self.stats.mem_cycles += 1;
-        self.update_checks(&old);
+        let stride = self.stride();
+        let m = self.geom.m();
+        let cov_base = (out_row / m) * stride;
+        let fully = self.fully_covered;
+        let ProtectedMemory {
+            ref mut cmem,
+            ref tables,
+            ref covered_row_masks,
+            ref new_buf,
+            ref all_blocks,
+            ref mut stats,
+            ..
+        } = *self;
+        let any_covered = !cols.is_empty(n)
+            && (fully
+                || cols
+                    .iter(n)
+                    .any(|c| covered_row_masks[cov_base + c / 64] >> (c % 64) & 1 != 0));
+        if any_covered {
+            if m <= 63 && fully {
+                xor_row_major_changes(cmem, out_row, all_blocks, m, stride, |wi| new_buf[wi]);
+            } else if m <= 63 {
+                xor_row_major_changes(cmem, out_row, all_blocks, m, stride, |wi| {
+                    new_buf[wi] & covered_row_masks[cov_base + wi]
+                });
+            } else {
+                let lr_base = (out_row % m) * n;
+                for wi in 0..stride {
+                    let mut changed = new_buf[wi] & covered_row_masks[cov_base + wi];
+                    while changed != 0 {
+                        let c = wi * 64 + changed.trailing_zeros() as usize;
+                        changed &= changed - 1;
+                        cmem.flip_pair(
+                            tables.lead[lr_base + c] as usize,
+                            tables.counter[lr_base + c] as usize,
+                            out_row / m,
+                            c / m,
+                        );
+                    }
+                }
+            }
+            stats.critical_ops += 1;
+            stats.mem_cycles += 2;
+            stats.transfer_cycles += 2;
+            stats.pc_xor3_ops += 2;
+        }
         Ok(())
     }
 
@@ -479,26 +1245,224 @@ impl ProtectedMemory {
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
     pub fn exec_init_rows(&mut self, cols: &[usize], rows: &LineSet) -> Result<()> {
-        let idx = rows.indices(self.mem.rows());
-        if self.check_on_critical {
-            let mut cells = Vec::with_capacity(idx.len() * cols.len());
+        if matches!(self.engine, SimEngine::ScalarReference) {
+            let idx: Vec<usize> = rows.iter(self.mem.rows()).collect();
+            if self.check_on_critical {
+                let mut cells = Vec::with_capacity(idx.len() * cols.len());
+                for &r in &idx {
+                    for &c in cols {
+                        cells.push((r, c));
+                    }
+                }
+                self.precheck_blocks(&cells)?;
+            }
+            let mut old = Vec::with_capacity(idx.len() * cols.len());
             for &r in &idx {
                 for &c in cols {
-                    cells.push((r, c));
+                    old.push((r, c, self.mem.bit(r, c)));
                 }
             }
-            self.precheck_blocks(&cells)?;
+            self.mem.exec_init_rows(cols, rows)?;
+            self.stats.mem_cycles += 1;
+            self.update_checks_scalar(&old);
+            return Ok(());
         }
-        let mut old = Vec::with_capacity(idx.len() * cols.len());
-        for &r in &idx {
-            for &c in cols {
-                old.push((r, c, self.mem.bit(r, c)));
+        self.colmask_from_cols(cols)?;
+        let n = self.geom.n();
+        if let Some(max) = rows.max_index(n) {
+            if max >= n {
+                return Err(XbarError::RowOutOfBounds {
+                    index: max,
+                    rows: n,
+                }
+                .into());
             }
         }
+        if self.check_on_critical {
+            self.select_row_mask(rows)?;
+            self.fill_block_rows_from_mask();
+            self.fill_block_cols_from_colmask();
+            self.precheck_rect()?;
+        }
+        // An init drives every touched cell to 1, so the change mask is
+        // `touched & !current`, computable (and its check-bits flippable)
+        // before the write: inputs are fully validated above, making the
+        // crossbar init infallible from here.
+        let any_covered = self.flip_init_diffs(rows);
         self.mem.exec_init_rows(cols, rows)?;
         self.stats.mem_cycles += 1;
-        self.update_checks(&old);
+        if any_covered {
+            self.bill_critical();
+        }
         Ok(())
+    }
+
+    /// The fused word-diff pass of a row-parallel init: for every selected
+    /// row and touched block (`blkcol_buf`), the covered cells currently at
+    /// 0 flip their check-bits — one rotated XOR per (row, block) when `m`
+    /// fits a word. The selection must already be bounds-checked.
+    fn flip_init_diffs(&mut self, rows: &LineSet) -> bool {
+        // Init column masks are sparse (a program's arm group), so the
+        // exact per-bit block walk is cheap and keeps the per-row sweep
+        // from visiting blocks the word-granular approximation would add.
+        self.fill_block_cols_from_colmask();
+        let stride = self.stride();
+        let (n, m) = (self.geom.n(), self.geom.m());
+        let fully = self.fully_covered;
+        // Contiguous selections over a fully covered device aggregate the
+        // whole init: per touched block, the change segments of its rows
+        // accumulate (each rotated per the encode identity) into ONE
+        // packed CMEM XOR — the Θ(blocks) form of the critical update.
+        let contiguous = match rows {
+            LineSet::All => Some(0..n),
+            LineSet::One(i) => Some(*i..*i + 1),
+            LineSet::Range(r) => Some(r.clone()),
+            LineSet::Explicit(_) => None,
+        };
+        if fully && m <= 63 {
+            if let Some(range) = contiguous {
+                let mmask = (1u64 << m) - 1;
+                let ProtectedMemory {
+                    ref mem,
+                    ref mut cmem,
+                    ref colmask_buf,
+                    ref widx_buf,
+                    ref blkcol_buf,
+                    ..
+                } = *self;
+                if range.is_empty() || widx_buf.is_empty() {
+                    return false;
+                }
+                let grid = mem.grid();
+                let (first_br, last_br) = (range.start / m, (range.end - 1) / m);
+                // Per-block accumulators and a per-row change-word memo:
+                // every (row, block) step is then pure ALU on locals. The
+                // fixed capacities bound realistic geometries; wider
+                // shapes take the plain per-(row, block) walk below.
+                const MAX_BLOCKS: usize = 64;
+                const MAX_STRIDE: usize = 32;
+                if blkcol_buf.len() <= MAX_BLOCKS && stride <= MAX_STRIDE {
+                    let mut chg = [0u64; MAX_STRIDE];
+                    let mut acc = [(0u64, 0u64); MAX_BLOCKS];
+                    for br in first_br..=last_br {
+                        let r0 = range.start.max(br * m);
+                        let r1 = range.end.min((br + 1) * m);
+                        acc[..blkcol_buf.len()].fill((0, 0));
+                        for r in r0..r1 {
+                            let row = grid.row_words(r);
+                            for &wi in widx_buf.iter() {
+                                chg[wi] = colmask_buf[wi] & !row[wi];
+                            }
+                            let lr = r - br * m;
+                            let rot_counter = (lr + 1) % m;
+                            for (j, &bc) in blkcol_buf.iter().enumerate() {
+                                let start = bc * m;
+                                let (w0, sh) = (start / 64, start % 64);
+                                let mut seg = chg[w0] >> sh;
+                                if sh + m > 64 && w0 + 1 < stride {
+                                    seg |= chg[w0 + 1] << (64 - sh);
+                                }
+                                seg &= mmask;
+                                if seg != 0 {
+                                    acc[j].0 ^= rotl_m(seg, lr, m, mmask);
+                                    acc[j].1 ^= rotl_m(rev_m(seg, m), rot_counter, m, mmask);
+                                }
+                            }
+                        }
+                        for (j, &bc) in blkcol_buf.iter().enumerate() {
+                            let (lead, counter) = acc[j];
+                            if lead | counter != 0 {
+                                cmem.xor_block_words(br, bc, lead, counter);
+                            }
+                        }
+                    }
+                    return true;
+                }
+                for br in first_br..=last_br {
+                    let r0 = range.start.max(br * m);
+                    let r1 = range.end.min((br + 1) * m);
+                    for &bc in blkcol_buf.iter() {
+                        let start = bc * m;
+                        let (w0, sh) = (start / 64, start % 64);
+                        let spill = sh + m > 64 && w0 + 1 < stride;
+                        let mut lead = 0u64;
+                        let mut counter = 0u64;
+                        for r in r0..r1 {
+                            let row = grid.row_words(r);
+                            let mut seg = (colmask_buf[w0] & !row[w0]) >> sh;
+                            if spill {
+                                seg |= (colmask_buf[w0 + 1] & !row[w0 + 1]) << (64 - sh);
+                            }
+                            seg &= mmask;
+                            if seg != 0 {
+                                let lr = r - br * m;
+                                lead ^= rotl_m(seg, lr, m, mmask);
+                                counter ^= rotl_m(rev_m(seg, m), (lr + 1) % m, m, mmask);
+                            }
+                        }
+                        if lead | counter != 0 {
+                            cmem.xor_block_words(br, bc, lead, counter);
+                        }
+                    }
+                }
+                return true;
+            }
+        }
+        let ProtectedMemory {
+            ref mem,
+            ref mut cmem,
+            ref tables,
+            ref covered_row_masks,
+            ref colmask_buf,
+            ref widx_buf,
+            ref blkcol_buf,
+            ..
+        } = *self;
+        let grid = mem.grid();
+        let mut any_covered = false;
+        for r in rows.iter(n) {
+            let row = grid.row_words(r);
+            let br = r / m;
+            let cov_base = br * stride;
+            if !fully {
+                let mut row_covered = false;
+                for &wi in widx_buf.iter() {
+                    if colmask_buf[wi] & covered_row_masks[cov_base + wi] != 0 {
+                        row_covered = true;
+                        break;
+                    }
+                }
+                if !row_covered {
+                    continue;
+                }
+            }
+            any_covered = true;
+            if m <= 63 && fully {
+                xor_row_major_changes(cmem, r, blkcol_buf, m, stride, |wi| {
+                    colmask_buf[wi] & !row[wi]
+                });
+            } else if m <= 63 {
+                xor_row_major_changes(cmem, r, blkcol_buf, m, stride, |wi| {
+                    colmask_buf[wi] & covered_row_masks[cov_base + wi] & !row[wi]
+                });
+            } else {
+                let lr_base = (r % m) * n;
+                for &wi in widx_buf.iter() {
+                    let mut changed = colmask_buf[wi] & covered_row_masks[cov_base + wi] & !row[wi];
+                    while changed != 0 {
+                        let c = wi * 64 + changed.trailing_zeros() as usize;
+                        changed &= changed - 1;
+                        cmem.flip_pair(
+                            tables.lead[lr_base + c] as usize,
+                            tables.counter[lr_base + c] as usize,
+                            br,
+                            c / m,
+                        );
+                    }
+                }
+            }
+        }
+        any_covered
     }
 
     /// Column-parallel initialization with automatic ECC maintenance.
@@ -507,26 +1471,203 @@ impl ProtectedMemory {
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
     pub fn exec_init_cols(&mut self, rows: &[usize], cols: &LineSet) -> Result<()> {
-        let idx = cols.indices(self.mem.cols());
-        if self.check_on_critical {
-            let mut cells = Vec::with_capacity(idx.len() * rows.len());
+        if matches!(self.engine, SimEngine::ScalarReference) {
+            let idx: Vec<usize> = cols.iter(self.mem.cols()).collect();
+            if self.check_on_critical {
+                let mut cells = Vec::with_capacity(idx.len() * rows.len());
+                for &c in &idx {
+                    for &r in rows {
+                        cells.push((r, c));
+                    }
+                }
+                self.precheck_blocks(&cells)?;
+            }
+            let mut old = Vec::with_capacity(idx.len() * rows.len());
             for &c in &idx {
                 for &r in rows {
-                    cells.push((r, c));
+                    old.push((r, c, self.mem.bit(r, c)));
                 }
             }
-            self.precheck_blocks(&cells)?;
+            self.mem.exec_init_cols(rows, cols)?;
+            self.stats.mem_cycles += 1;
+            self.update_checks_scalar(&old);
+            return Ok(());
         }
-        let mut old = Vec::with_capacity(idx.len() * rows.len());
-        for &c in &idx {
-            for &r in rows {
-                old.push((r, c, self.mem.bit(r, c)));
+        let n = self.geom.n();
+        if let Some(&r) = rows.iter().find(|&&r| r >= n) {
+            return Err(XbarError::RowOutOfBounds { index: r, rows: n }.into());
+        }
+        self.colmask_from_sel(cols)?;
+        self.line_buf.clear();
+        self.line_buf.extend_from_slice(rows);
+        if self.check_on_critical {
+            self.fill_block_rows_from_lines();
+            self.fill_block_cols_from_colmask();
+            self.precheck_rect()?;
+        }
+        self.run_row_touching_op(|mem| mem.exec_init_cols(rows, cols))
+    }
+
+    /// Whether this machine's configuration is eligible for the fused
+    /// whole-sequence executor at all (engine, coverage, geometry,
+    /// checking policy) — callers use this to skip building step lists
+    /// that [`ProtectedMemory::exec_steps_rows`] would decline anyway.
+    pub fn supports_fused_rows(&self) -> bool {
+        matches!(self.engine, SimEngine::WordParallel)
+            && self.fully_covered
+            && self.geom.m() <= 63
+            && !self.check_on_critical
+            && self.stride() <= 32
+    }
+
+    /// Fused execution of a whole step sequence over the selected rows
+    /// (see [`Crossbar::exec_steps_rows`]): one pass over the rows executes
+    /// every step, ECC maintenance collapses to the *net* word-diff of the
+    /// touched columns (a cell toggled twice leaves its diagonal parities
+    /// untouched — XOR updates cancel pairwise, so only initial-vs-final
+    /// state matters), and statistics are billed per step exactly as the
+    /// step-at-a-time path would.
+    ///
+    /// Returns `Ok(false)` without touching any state when the sequence or
+    /// machine configuration is ineligible — the caller then replays the
+    /// steps through the per-step API, which is bit-identical (including
+    /// error semantics). Eligible: word-parallel engine, every block
+    /// covered, `m <= 63`, no pre-write checking, a contiguous non-empty
+    /// row selection, and a sequence the crossbar can fuse.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; mirrors the per-step executors.
+    pub fn exec_steps_rows(&mut self, steps: &[ParallelStep], rows: &LineSet) -> Result<bool> {
+        let (n, m) = (self.geom.n(), self.geom.m());
+        let stride = self.stride();
+        if !self.supports_fused_rows() {
+            return Ok(false);
+        }
+        let range = match rows {
+            LineSet::All => 0..n,
+            LineSet::One(i) => *i..*i + 1,
+            LineSet::Range(r) => r.clone(),
+            LineSet::Explicit(_) => return Ok(false),
+        };
+        if range.is_empty() || range.end > n {
+            return Ok(false);
+        }
+        // Touched columns of the whole sequence → snapshot mask.
+        self.colmask_buf.clear();
+        self.colmask_buf.resize(stride, 0);
+        for step in steps {
+            let cells: &[usize] = match step {
+                ParallelStep::Init(cells) => cells,
+                ParallelStep::Nor(_, out) => std::slice::from_ref(out),
+            };
+            for &c in cells {
+                if c >= n {
+                    return Ok(false);
+                }
+                self.colmask_buf[c / 64] |= 1u64 << (c % 64);
             }
         }
-        self.mem.exec_init_cols(rows, cols)?;
-        self.stats.mem_cycles += 1;
-        self.update_checks(&old);
-        Ok(())
+        self.refresh_widx();
+        // Snapshot the touched words of every selected row, row-major.
+        self.old_buf.clear();
+        for r in range.clone() {
+            self.snapshot_row(r);
+        }
+        if !self.mem.exec_steps_rows(steps, range.clone())? {
+            return Ok(false);
+        }
+        // Per-step model accounting: one MEM cycle plus one critical
+        // protocol per step (full coverage and non-empty steps make every
+        // step critical).
+        let steps_n = steps.len() as u64;
+        self.stats.mem_cycles += 3 * steps_n;
+        self.stats.transfer_cycles += 2 * steps_n;
+        self.stats.pc_xor3_ops += 2 * steps_n;
+        self.stats.critical_ops += steps_n;
+        // Net word-diff ECC maintenance, aggregated per block.
+        self.fill_block_cols_from_colmask();
+        let mmask = (1u64 << m) - 1;
+        let per_row = self.widx_buf.len();
+        let ProtectedMemory {
+            ref mem,
+            ref mut cmem,
+            ref colmask_buf,
+            ref widx_buf,
+            ref blkcol_buf,
+            ref old_buf,
+            ..
+        } = *self;
+        let grid = mem.grid();
+        const MAX_BLOCKS: usize = 64;
+        const MAX_STRIDE: usize = 32;
+        if blkcol_buf.len() <= MAX_BLOCKS {
+            let mut chg = [0u64; MAX_STRIDE];
+            let mut acc = [(0u64, 0u64); MAX_BLOCKS];
+            let (first_br, last_br) = (range.start / m, (range.end - 1) / m);
+            for br in first_br..=last_br {
+                let r0 = range.start.max(br * m);
+                let r1 = range.end.min((br + 1) * m);
+                acc[..blkcol_buf.len()].fill((0, 0));
+                for r in r0..r1 {
+                    let row = grid.row_words(r);
+                    let old_base = (r - range.start) * per_row;
+                    for (k, &wi) in widx_buf.iter().enumerate() {
+                        chg[wi] = (row[wi] ^ old_buf[old_base + k]) & colmask_buf[wi];
+                    }
+                    let lr = r - br * m;
+                    let rot_counter = (lr + 1) % m;
+                    for (j, &bc) in blkcol_buf.iter().enumerate() {
+                        let start = bc * m;
+                        let (w0, sh) = (start / 64, start % 64);
+                        let mut seg = chg[w0] >> sh;
+                        if sh + m > 64 && w0 + 1 < stride {
+                            seg |= chg[w0 + 1] << (64 - sh);
+                        }
+                        seg &= mmask;
+                        if seg != 0 {
+                            acc[j].0 ^= rotl_m(seg, lr, m, mmask);
+                            acc[j].1 ^= rotl_m(rev_m(seg, m), rot_counter, m, mmask);
+                        }
+                    }
+                }
+                for (j, &bc) in blkcol_buf.iter().enumerate() {
+                    let (lead, counter) = acc[j];
+                    if lead | counter != 0 {
+                        cmem.xor_block_words(br, bc, lead, counter);
+                    }
+                }
+            }
+        } else {
+            for r in range.clone() {
+                let row = grid.row_words(r);
+                let old_base = (r - range.start) * per_row;
+                let lr = r % m;
+                let rot_counter = (lr + 1) % m;
+                let br = r / m;
+                for &bc in blkcol_buf.iter() {
+                    let start = bc * m;
+                    let (w0, sh) = (start / 64, start % 64);
+                    let at = |wi: usize| {
+                        widx_buf
+                            .iter()
+                            .position(|&x| x == wi)
+                            .map_or(0, |k| (row[wi] ^ old_buf[old_base + k]) & colmask_buf[wi])
+                    };
+                    let mut seg = at(w0) >> sh;
+                    if sh + m > 64 && w0 + 1 < stride {
+                        seg |= at(w0 + 1) << (64 - sh);
+                    }
+                    seg &= mmask;
+                    if seg != 0 {
+                        let lead = rotl_m(seg, lr, m, mmask);
+                        let counter = rotl_m(rev_m(seg, m), rot_counter, m, mmask);
+                        cmem.xor_block_words(br, bc, lead, counter);
+                    }
+                }
+            }
+        }
+        Ok(true)
     }
 
     /// Resets an entire block to LRS (all ones) and writes its check-bits
@@ -601,6 +1742,9 @@ impl ProtectedMemory {
         if !self.covered[self.block_index(block_row, block_col)] {
             return Ok(ErrorLocation::None);
         }
+        if self.word_blocks() {
+            return Ok(self.check_block_word(block_row, block_col));
+        }
         let m = self.geom.m();
         let mut block = self.extract_block(block_row, block_col);
         let mut lead = self
@@ -633,6 +1777,70 @@ impl ProtectedMemory {
         Ok(loc)
     }
 
+    /// Word-diff [`ProtectedMemory::check_block`]: syndromes are two packed
+    /// XORs of recomputed vs stored parity words; a single data error is
+    /// located from the two lone syndrome bits.
+    fn check_block_word(&mut self, block_row: usize, block_col: usize) -> ErrorLocation {
+        let m = self.geom.m();
+        self.fill_block_rows(block_row, block_col);
+        let (lead_calc, counter_calc) = self.code.encode_words(&self.blockrow_buf);
+        let syn_lead = lead_calc
+            ^ self
+                .cmem
+                .block_checks_word(Family::Leading, block_row, block_col);
+        let syn_counter = counter_calc
+            ^ self
+                .cmem
+                .block_checks_word(Family::Counter, block_row, block_col);
+        self.stats.blocks_checked += 1;
+        match (syn_lead.count_ones(), syn_counter.count_ones()) {
+            (0, 0) => ErrorLocation::None,
+            (1, 1) => {
+                let (local_row, local_col) = self.geom.locate(
+                    syn_lead.trailing_zeros() as usize,
+                    syn_counter.trailing_zeros() as usize,
+                );
+                let (r, c) = (block_row * m + local_row, block_col * m + local_col);
+                let corrected = !self.mem.bit(r, c);
+                self.mem.write_bit(r, c, corrected);
+                self.stats.mem_cycles += 1;
+                self.stats.errors_corrected += 1;
+                ErrorLocation::Data {
+                    local_row,
+                    local_col,
+                }
+            }
+            (1, 0) => {
+                let diagonal = syn_lead.trailing_zeros() as usize;
+                self.cmem.set_bit(
+                    Family::Leading,
+                    diagonal,
+                    block_row,
+                    block_col,
+                    lead_calc >> diagonal & 1 != 0,
+                );
+                self.stats.errors_corrected += 1;
+                ErrorLocation::LeadingCheck { diagonal }
+            }
+            (0, 1) => {
+                let diagonal = syn_counter.trailing_zeros() as usize;
+                self.cmem.set_bit(
+                    Family::Counter,
+                    diagonal,
+                    block_row,
+                    block_col,
+                    counter_calc >> diagonal & 1 != 0,
+                );
+                self.stats.errors_corrected += 1;
+                ErrorLocation::CounterCheck { diagonal }
+            }
+            _ => {
+                self.stats.errors_uncorrectable += 1;
+                ErrorLocation::Uncorrectable
+            }
+        }
+    }
+
     /// Checks a whole row of blocks — the paper's pre-execution input check
     /// (§IV: the row is copied into the CMEM datapath in m MAGIC NOT
     /// cycles, reduced by XOR3 trees, and compared in the checking
@@ -650,21 +1858,19 @@ impl ProtectedMemory {
                 n: self.geom.n(),
             });
         }
-        // m copy cycles move the block-row through the shifters.
-        self.stats.mem_cycles += self.geom.m() as u64;
-        self.stats.transfer_cycles += self.geom.m() as u64;
-        // XOR3 reduction per family: ceil tree over m copied rows.
-        let mut ops = self.geom.m();
-        let mut xor3 = 0u64;
-        while ops > 1 {
-            let stage = ops.div_ceil(3);
-            xor3 += stage as u64;
-            ops = stage;
-        }
-        self.stats.pc_xor3_ops += 2 * xor3;
+        self.bill_block_line_check();
         let mut report = CheckReport::default();
+        let word = self.word_blocks();
         for bc in 0..bps {
-            let loc = self.check_block(block_row, bc)?;
+            // Bounds are loop invariants here; dispatch straight to the
+            // checker the engine selects.
+            let loc = if !self.covered[self.block_index(block_row, bc)] {
+                ErrorLocation::None
+            } else if word {
+                self.check_block_word(block_row, bc)
+            } else {
+                self.check_block(block_row, bc)?
+            };
             report.checked += 1;
             match loc {
                 ErrorLocation::None => {}
@@ -692,7 +1898,31 @@ impl ProtectedMemory {
                 n: self.geom.n(),
             });
         }
-        // m copy cycles move the block-column through the shifters.
+        self.bill_block_line_check();
+        let mut report = CheckReport::default();
+        let word = self.word_blocks();
+        for br in 0..bps {
+            let loc = if !self.covered[self.block_index(br, block_col)] {
+                ErrorLocation::None
+            } else if word {
+                self.check_block_word(br, block_col)
+            } else {
+                self.check_block(br, block_col)?
+            };
+            report.checked += 1;
+            match loc {
+                ErrorLocation::None => {}
+                ErrorLocation::Uncorrectable => report.uncorrectable += 1,
+                _ => report.corrected += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Bills the datapath cost of one block-line check: m copy cycles
+    /// through the shifters plus the ceil-by-3 XOR3 reduction tree per
+    /// family.
+    fn bill_block_line_check(&mut self) {
         self.stats.mem_cycles += self.geom.m() as u64;
         self.stats.transfer_cycles += self.geom.m() as u64;
         let mut ops = self.geom.m();
@@ -703,17 +1933,6 @@ impl ProtectedMemory {
             ops = stage;
         }
         self.stats.pc_xor3_ops += 2 * xor3;
-        let mut report = CheckReport::default();
-        for br in 0..bps {
-            let loc = self.check_block(br, block_col)?;
-            report.checked += 1;
-            match loc {
-                ErrorLocation::None => {}
-                ErrorLocation::Uncorrectable => report.uncorrectable += 1,
-                _ => report.corrected += 1,
-            }
-        }
-        Ok(report)
     }
 
     /// The periodic full-memory check: every covered block is verified and
@@ -742,9 +1961,7 @@ impl ProtectedMemory {
                 if !self.covered[self.block_index(br, bc)] {
                     continue;
                 }
-                let block = self.extract_block(br, bc);
-                let (l, k) = self.code.encode(&block);
-                self.cmem.store_block_checks(br, bc, &l, &k);
+                self.reencode_block(br, bc);
             }
         }
         // Cost: every row is read and re-encoded once.
@@ -760,6 +1977,28 @@ impl ProtectedMemory {
     /// Returns a description of the first inconsistent block.
     pub fn verify_consistency(&self) -> std::result::Result<(), String> {
         let bps = self.geom.blocks_per_side();
+        if self.word_blocks() {
+            let m = self.geom.m();
+            let mut rows = vec![0u64; m];
+            for br in 0..bps {
+                for bc in 0..bps {
+                    if !self.covered[self.block_index(br, bc)] {
+                        continue;
+                    }
+                    for (lr, w) in rows.iter_mut().enumerate() {
+                        *w = self.mem.grid().extract_bits(br * m + lr, bc * m, m);
+                    }
+                    let (l, k) = self.code.encode_words(&rows);
+                    if l != self.cmem.block_checks_word(Family::Leading, br, bc) {
+                        return Err(format!("block ({br},{bc}) leading checks inconsistent"));
+                    }
+                    if k != self.cmem.block_checks_word(Family::Counter, br, bc) {
+                        return Err(format!("block ({br},{bc}) counter checks inconsistent"));
+                    }
+                }
+            }
+            return Ok(());
+        }
         for br in 0..bps {
             for bc in 0..bps {
                 if !self.covered[self.block_index(br, bc)] {
@@ -776,6 +2015,148 @@ impl ProtectedMemory {
             }
         }
         Ok(())
+    }
+}
+
+impl std::fmt::Debug for ProtectedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectedMemory")
+            .field("geom", &self.geom)
+            .field("engine", &self.engine)
+            .field("check_on_critical", &self.check_on_critical)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Rotate-left within the low `m` bits (`mask = (1 << m) - 1`).
+#[inline]
+fn rotl_m(w: u64, s: usize, m: usize, mask: u64) -> u64 {
+    if s == 0 {
+        w
+    } else {
+        ((w << s) | (w >> (m - s))) & mask
+    }
+}
+
+/// Reverses the low `m` bits.
+#[inline]
+fn rev_m(w: u64, m: usize) -> u64 {
+    w.reverse_bits() >> (64 - m)
+}
+
+/// XORs the check-bit deltas of one *row's* changed cells into the CMEM:
+/// `changed_at(wi)` yields the masked change word (packed by global column)
+/// at word index `wi`, and every touched block gets one rotated XOR per
+/// family — row `r`'s cells map to leading diagonals by a rotation of `lr`
+/// and to counter diagonals by a reversal plus rotation, exactly the
+/// per-row contribution of [`DiagonalCode::encode_words`]. Requires
+/// `m <= 63`.
+#[inline]
+fn xor_row_major_changes(
+    cmem: &mut CheckMemory,
+    r: usize,
+    blkcols: &[usize],
+    m: usize,
+    stride: usize,
+    mut changed_at: impl FnMut(usize) -> u64,
+) {
+    let mmask = (1u64 << m) - 1;
+    let (lr, br) = (r % m, r / m);
+    let rot_counter = (lr + 1) % m;
+    let mut w0 = usize::MAX;
+    let mut cur = 0u64;
+    let mut next = 0u64;
+    for &bc in blkcols {
+        let start = bc * m;
+        let (w, sh) = (start / 64, start % 64);
+        if w != w0 {
+            w0 = w;
+            cur = changed_at(w);
+            next = if w + 1 < stride { changed_at(w + 1) } else { 0 };
+        }
+        if cur == 0 && (sh + m <= 64 || next == 0) {
+            continue;
+        }
+        let mut seg = cur >> sh;
+        if sh + m > 64 {
+            seg |= next << (64 - sh);
+        }
+        seg &= mmask;
+        if seg == 0 {
+            continue;
+        }
+        let lead = rotl_m(seg, lr, m, mmask);
+        let counter = rotl_m(rev_m(seg, m), rot_counter, m, mmask);
+        cmem.xor_block_words(br, bc, lead, counter);
+    }
+}
+
+/// Transpose of [`xor_row_major_changes`]: the changed cells of one
+/// *column*, packed one bit per row in `changed_at`. Each block-row's
+/// segment maps to leading diagonals by a rotation of the column's local
+/// index and to counter diagonals by the opposite rotation (no reversal —
+/// the segment is already indexed by local row). Requires `m <= 63`.
+///
+/// The sweep walks the change words and skips all-zero ones outright, so
+/// sparse updates cost O(words), not O(blocks).
+#[inline]
+fn xor_col_major_changes(
+    cmem: &mut CheckMemory,
+    col: usize,
+    bps: usize,
+    m: usize,
+    stride: usize,
+    mut changed_at: impl FnMut(usize) -> u64,
+) {
+    let mmask = (1u64 << m) - 1;
+    let (lc, bc) = (col % m, col / m);
+    let rot_lead = lc;
+    let rot_counter = (m - lc) % m;
+    let mut w0 = usize::MAX;
+    let mut cur = 0u64;
+    let mut next = 0u64;
+    for br in 0..bps {
+        let start = br * m;
+        let (w, sh) = (start / 64, start % 64);
+        if w != w0 {
+            w0 = w;
+            cur = changed_at(w);
+            next = if w + 1 < stride { changed_at(w + 1) } else { 0 };
+        }
+        if cur == 0 && (sh + m <= 64 || next == 0) {
+            continue;
+        }
+        let mut seg = cur >> sh;
+        if sh + m > 64 {
+            seg |= next << (64 - sh);
+        }
+        seg &= mmask;
+        if seg == 0 {
+            continue;
+        }
+        let lead = rotl_m(seg, rot_lead, m, mmask);
+        let counter = rotl_m(seg, rot_counter, m, mmask);
+        cmem.xor_block_words(br, bc, lead, counter);
+    }
+}
+
+/// Sets bits `range` of a packed word slice.
+fn set_word_range(words: &mut [u64], range: std::ops::Range<usize>) {
+    if range.is_empty() {
+        return;
+    }
+    let (first, last) = (range.start / 64, (range.end - 1) / 64);
+    let lo = u64::MAX << (range.start % 64);
+    let hi = u64::MAX >> (63 - (range.end - 1) % 64);
+    if first == last {
+        words[first] |= lo & hi;
+    } else {
+        words[first] |= lo;
+        for w in &mut words[first + 1..last] {
+            *w = u64::MAX;
+        }
+        words[last] |= hi;
     }
 }
 
@@ -1273,6 +2654,82 @@ mod tests {
         let report = pm.check_all().unwrap();
         // The checker "corrects" something (a false positive), after which
         // the ECC is self-consistent again.
+        assert_eq!(report.corrected, 1);
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    /// Runs one mixed op/fault/check scenario on a given engine.
+    fn engine_scenario(n: usize, m: usize, engine: SimEngine) -> (ProtectedMemory, CheckReport) {
+        let mut pm = machine(n, m);
+        pm.set_engine(engine);
+        assert_eq!(pm.engine(), engine);
+        pm.load_grid(&random_grid(n, 29));
+        pm.set_block_covered(1, 1, false).unwrap();
+        for step in 0..6 {
+            let col = (m + step) % n;
+            pm.exec_init_rows(&[col], &LineSet::All).unwrap();
+            pm.exec_nor_rows(&[(col + 1) % n, (col + 2) % n], col, &LineSet::All)
+                .unwrap();
+            let row = (2 * m + step) % n;
+            pm.exec_init_cols(&[row], &LineSet::Range(0..n)).unwrap();
+            pm.exec_nor_cols(&[(row + 3) % n, (row + 5) % n], row, &LineSet::Range(0..n))
+                .unwrap();
+        }
+        pm.write_row_cells(1, &[(0, true), (n - 1, false)]).unwrap();
+        pm.write_col_cells(n - 1, &[(0, false), (m, true)]).unwrap();
+        pm.inject_fault(0, n - 1);
+        pm.inject_check_fault(Family::Leading, 1, 0, 0);
+        let report = pm.check_all().unwrap();
+        (pm, report)
+    }
+
+    #[test]
+    fn engines_are_bit_identical_on_a_mixed_scenario() {
+        for (n, m) in [(9usize, 3usize), (15, 5), (70, 7)] {
+            let (word, wr) = engine_scenario(n, m, SimEngine::WordParallel);
+            let (scalar, sr) = engine_scenario(n, m, SimEngine::ScalarReference);
+            assert_eq!(
+                word.mem().grid().diff(scalar.mem().grid()),
+                vec![],
+                "{n}/{m}"
+            );
+            assert_eq!(word.stats(), scalar.stats(), "{n}/{m}");
+            assert_eq!(wr, sr, "{n}/{m}");
+            assert_eq!(
+                word.verify_consistency(),
+                scalar.verify_consistency(),
+                "{n}/{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn paranoid_engines_agree_on_prechecked_ops() {
+        for engine in [SimEngine::WordParallel, SimEngine::ScalarReference] {
+            let mut pm = machine(9, 3);
+            pm.set_engine(engine);
+            pm.set_check_on_critical(true);
+            pm.exec_init_rows(&[4], &LineSet::All).unwrap();
+            pm.exec_nor_rows(&[0, 1], 4, &LineSet::All).unwrap();
+            pm.exec_init_cols(&[2], &LineSet::Range(0..9)).unwrap();
+            pm.exec_nor_cols(&[0, 8], 2, &LineSet::Range(0..9)).unwrap();
+            assert!(pm.verify_consistency().is_ok(), "{engine:?}");
+            assert_eq!(pm.stats().blocks_checked, 12, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn word_engine_handles_geometry_past_the_word_boundary() {
+        // n = 65: line words have a 1-bit slack tail, the block grid is
+        // 13x13 of 5x5 blocks, and columns 64.. live in the second word.
+        let mut pm = machine(65, 5);
+        pm.load_grid(&random_grid(65, 31));
+        pm.exec_init_rows(&[63, 64], &LineSet::All).unwrap();
+        pm.exec_nor_rows(&[0, 1], 63, &LineSet::All).unwrap();
+        pm.exec_nor_rows(&[2], 64, &LineSet::All).unwrap();
+        assert!(pm.verify_consistency().is_ok());
+        pm.inject_fault(64, 64);
+        let report = pm.check_all().unwrap();
         assert_eq!(report.corrected, 1);
         assert!(pm.verify_consistency().is_ok());
     }

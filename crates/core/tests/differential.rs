@@ -1,0 +1,366 @@
+//! Differential property tests pinning the word-parallel simulation engine
+//! bit-identical to the retained scalar reference: same cell states, same
+//! check-bits, same [`MachineStats`], same [`CheckReport`]s — across both
+//! axes, geometries whose `n` is *not* a multiple of 64 (the slack-bit
+//! edge), and mixed op sequences ending in `verify_consistency`.
+
+use pimecc_core::shifter::Family;
+use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory, SimEngine};
+use pimecc_xbar::{BitGrid, LineSet, ParallelStep};
+use proptest::prelude::*;
+
+/// Geometries spanning the word-boundary edge cases: `n % 64` of 9, 15, 1
+/// (n = 65: one slack bit), 6, 0 (n = 192: exact words) and 62.
+const GEOMETRIES: &[(usize, usize)] = &[(9, 3), (15, 5), (65, 5), (70, 7), (192, 3), (126, 9)];
+
+fn machine(n: usize, m: usize, engine: SimEngine) -> ProtectedMemory {
+    let mut pm = ProtectedMemory::new(BlockGeometry::new(n, m).expect("geom")).expect("machine");
+    pm.set_engine(engine);
+    pm
+}
+
+fn random_grid(n: usize, seed: u64) -> BitGrid {
+    let mut g = BitGrid::new(n, n);
+    let mut s = seed | 1;
+    for r in 0..n {
+        for c in 0..n {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            g.set(r, c, s >> 63 != 0);
+        }
+    }
+    g
+}
+
+/// One randomly drawn machine operation (indices are reduced modulo the
+/// geometry when applied, so one plan serves every geometry).
+#[derive(Debug, Clone)]
+enum Op {
+    InitRows {
+        cols: Vec<usize>,
+        sel: u8,
+        a: usize,
+        b: usize,
+    },
+    NorRows {
+        ins: Vec<usize>,
+        out: usize,
+        sel: u8,
+        a: usize,
+        b: usize,
+    },
+    InitCols {
+        rows: Vec<usize>,
+        sel: u8,
+        a: usize,
+        b: usize,
+    },
+    NorCols {
+        ins: Vec<usize>,
+        out: usize,
+        sel: u8,
+        a: usize,
+        b: usize,
+    },
+    WriteRow {
+        line: usize,
+        cells: Vec<(usize, bool)>,
+    },
+    WriteCol {
+        line: usize,
+        cells: Vec<(usize, bool)>,
+    },
+    Fault {
+        r: usize,
+        c: usize,
+    },
+    CheckFault {
+        lead: bool,
+        d: usize,
+        br: usize,
+        bc: usize,
+    },
+    CheckRow {
+        bl: usize,
+    },
+    CheckCol {
+        bl: usize,
+    },
+    Scrub,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = || 0usize..10_000;
+    let idxs = || proptest::collection::vec(0usize..10_000, 1..4);
+    let cells = || proptest::collection::vec((0usize..10_000, any::<bool>()), 1..6);
+    prop_oneof![
+        (idxs(), 0u8..3, idx(), idx()).prop_map(|(cols, sel, a, b)| Op::InitRows {
+            cols,
+            sel,
+            a,
+            b
+        }),
+        (idxs(), idx(), 0u8..3, idx(), idx()).prop_map(|(ins, out, sel, a, b)| Op::NorRows {
+            ins,
+            out,
+            sel,
+            a,
+            b
+        }),
+        (idxs(), 0u8..3, idx(), idx()).prop_map(|(rows, sel, a, b)| Op::InitCols {
+            rows,
+            sel,
+            a,
+            b
+        }),
+        (idxs(), idx(), 0u8..3, idx(), idx()).prop_map(|(ins, out, sel, a, b)| Op::NorCols {
+            ins,
+            out,
+            sel,
+            a,
+            b
+        }),
+        (idx(), cells()).prop_map(|(line, cells)| Op::WriteRow { line, cells }),
+        (idx(), cells()).prop_map(|(line, cells)| Op::WriteCol { line, cells }),
+        (idx(), idx()).prop_map(|(r, c)| Op::Fault { r, c }),
+        (any::<bool>(), idx(), idx(), idx()).prop_map(|(lead, d, br, bc)| Op::CheckFault {
+            lead,
+            d,
+            br,
+            bc
+        }),
+        idx().prop_map(|bl| Op::CheckRow { bl }),
+        idx().prop_map(|bl| Op::CheckCol { bl }),
+        Just(Op::Scrub),
+    ]
+}
+
+fn line_set(sel: u8, a: usize, b: usize, n: usize) -> LineSet {
+    match sel {
+        0 => LineSet::All,
+        1 => LineSet::One(a % n),
+        _ => {
+            let (lo, hi) = ((a % n).min(b % n), (a % n).max(b % n) + 1);
+            LineSet::Range(lo..hi)
+        }
+    }
+}
+
+/// Applies one op to a machine, reducing indices into range. NOR outputs
+/// are initialized first so strict mode is satisfied; every generated op
+/// is therefore legal and the reports/states of the two engines must
+/// coincide exactly.
+fn apply(pm: &mut ProtectedMemory, op: &Op) -> (CheckReport, bool) {
+    let n = pm.geometry().n();
+    let m = pm.geometry().m();
+    let bps = pm.geometry().blocks_per_side();
+    let mut report = CheckReport::default();
+    match op {
+        Op::InitRows { cols, sel, a, b } => {
+            // Distinct cells, as every real caller passes: a duplicated
+            // init cell would double-flip its diagonals in the scalar
+            // reference (the documented pre-existing pitfall of pointless
+            // duplicates).
+            let mut cols: Vec<usize> = cols.iter().map(|&c| c % n).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            pm.exec_init_rows(&cols, &line_set(*sel, *a, *b, n))
+                .unwrap();
+        }
+        Op::NorRows {
+            ins,
+            out,
+            sel,
+            a,
+            b,
+        } => {
+            let out = out % n;
+            let ins: Vec<usize> = ins
+                .iter()
+                .map(|&c| c % n)
+                .map(|c| if c == out { (c + 1) % n } else { c })
+                .collect();
+            let sel = line_set(*sel, *a, *b, n);
+            pm.exec_init_rows(&[out], &sel).unwrap();
+            pm.exec_nor_rows(&ins, out, &sel).unwrap();
+        }
+        Op::InitCols { rows, sel, a, b } => {
+            let mut rows: Vec<usize> = rows.iter().map(|&r| r % n).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            pm.exec_init_cols(&rows, &line_set(*sel, *a, *b, n))
+                .unwrap();
+        }
+        Op::NorCols {
+            ins,
+            out,
+            sel,
+            a,
+            b,
+        } => {
+            let out = out % n;
+            let ins: Vec<usize> = ins
+                .iter()
+                .map(|&r| r % n)
+                .map(|r| if r == out { (r + 1) % n } else { r })
+                .collect();
+            let sel = line_set(*sel, *a, *b, n);
+            pm.exec_init_cols(&[out], &sel).unwrap();
+            pm.exec_nor_cols(&ins, out, &sel).unwrap();
+        }
+        Op::WriteRow { line, cells } => {
+            let cells: Vec<(usize, bool)> = cells.iter().map(|&(c, v)| (c % n, v)).collect();
+            pm.write_row_cells(line % n, &cells).unwrap();
+        }
+        Op::WriteCol { line, cells } => {
+            let cells: Vec<(usize, bool)> = cells.iter().map(|&(r, v)| (r % n, v)).collect();
+            pm.write_col_cells(line % n, &cells).unwrap();
+        }
+        Op::Fault { r, c } => pm.inject_fault(r % n, c % n),
+        Op::CheckFault { lead, d, br, bc } => pm.inject_check_fault(
+            if *lead {
+                Family::Leading
+            } else {
+                Family::Counter
+            },
+            d % m,
+            br % bps,
+            bc % bps,
+        ),
+        Op::CheckRow { bl } => report += pm.check_block_row(bl % bps).unwrap(),
+        Op::CheckCol { bl } => report += pm.check_block_col(bl % bps).unwrap(),
+        Op::Scrub => pm.scrub(),
+    }
+    (report, pm.verify_consistency().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The tentpole invariant: arbitrary legal op sequences leave both
+    // engines with identical data, identical check-bits (probed through
+    // full checks), identical statistics and identical reports.
+    #[test]
+    fn engines_are_bit_identical_under_mixed_ops(
+        geom_idx in 0usize..GEOMETRIES.len(),
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        paranoid in (0u8..5).prop_map(|x| x == 0),
+    ) {
+        let (n, m) = GEOMETRIES[geom_idx];
+        let grid = random_grid(n, seed);
+        let mut word = machine(n, m, SimEngine::WordParallel);
+        let mut scalar = machine(n, m, SimEngine::ScalarReference);
+        word.set_check_on_critical(paranoid);
+        scalar.set_check_on_critical(paranoid);
+        word.load_grid(&grid);
+        scalar.load_grid(&grid);
+        // One uncovered scratch block exercises the coverage masks.
+        word.set_block_covered(0, 0, false).unwrap();
+        scalar.set_block_covered(0, 0, false).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            let (wr, wc) = apply(&mut word, op);
+            let (sr, sc) = apply(&mut scalar, op);
+            prop_assert_eq!(wr, sr, "op {} report", i);
+            prop_assert_eq!(wc, sc, "op {} consistency", i);
+        }
+        prop_assert_eq!(word.mem().grid().diff(scalar.mem().grid()), vec![]);
+        prop_assert_eq!(word.stats(), scalar.stats());
+        let wfinal = word.check_all().unwrap();
+        let sfinal = scalar.check_all().unwrap();
+        prop_assert_eq!(wfinal, sfinal);
+        prop_assert_eq!(word.verify_consistency(), scalar.verify_consistency());
+    }
+
+    // The fused whole-sequence executor must match the per-step replay of
+    // the same steps: same data, same check-bits, same stats.
+    #[test]
+    fn fused_step_sequences_match_per_step_replay(
+        geom_idx in 0usize..GEOMETRIES.len(),
+        seed in any::<u64>(),
+        gates in proptest::collection::vec((0usize..10_000, 0usize..10_000, 0usize..10_000), 1..12),
+        start in 0usize..64,
+        len in 1usize..192,
+    ) {
+        let (n, m) = GEOMETRIES[geom_idx];
+        let grid = random_grid(n, seed);
+        // A self-arming sequence: every gate's output initialized first.
+        let mut steps = Vec::new();
+        for &(a, b, out) in &gates {
+            let out = out % n;
+            let fix = |c: usize| if c % n == out { (c + 1) % n } else { c % n };
+            steps.push(ParallelStep::Init(vec![out]));
+            steps.push(ParallelStep::Nor(vec![fix(a), fix(b)], out));
+        }
+        let start = start % n;
+        let rows = LineSet::Range(start..(start + len % n).min(n).max(start + 1));
+
+        let mut fused = machine(n, m, SimEngine::WordParallel);
+        fused.load_grid(&grid);
+        let used_fused = fused.exec_steps_rows(&steps, &rows).unwrap();
+
+        let mut stepped = machine(n, m, SimEngine::WordParallel);
+        stepped.load_grid(&grid);
+        for step in &steps {
+            match step {
+                ParallelStep::Init(cells) => stepped.exec_init_rows(cells, &rows).unwrap(),
+                ParallelStep::Nor(ins, out) => stepped.exec_nor_rows(ins, *out, &rows).unwrap(),
+            }
+        }
+        if used_fused {
+            prop_assert_eq!(fused.mem().grid().diff(stepped.mem().grid()), vec![]);
+            prop_assert_eq!(fused.stats(), stepped.stats());
+            prop_assert_eq!(fused.verify_consistency(), stepped.verify_consistency());
+            prop_assert!(fused.verify_consistency().is_ok());
+        }
+    }
+}
+
+#[test]
+fn fused_executor_declines_ineligible_shapes() {
+    let mut pm = machine(15, 5, SimEngine::WordParallel);
+    let steps = vec![
+        ParallelStep::Init(vec![3]),
+        ParallelStep::Nor(vec![0, 1], 3),
+    ];
+    // Explicit selections and scalar engines fall back.
+    assert!(!pm
+        .exec_steps_rows(&steps, &LineSet::Explicit(vec![0, 2]))
+        .unwrap());
+    let mut scalar = machine(15, 5, SimEngine::ScalarReference);
+    assert!(!scalar.exec_steps_rows(&steps, &LineSet::All).unwrap());
+    // A gate whose output is never armed in-sequence falls back under
+    // strict mode.
+    let unarmed = vec![ParallelStep::Nor(vec![0, 1], 3)];
+    assert!(!pm.exec_steps_rows(&unarmed, &LineSet::All).unwrap());
+    // And the eligible shape runs and stays consistent.
+    assert!(pm.exec_steps_rows(&steps, &LineSet::All).unwrap());
+    assert!(pm.verify_consistency().is_ok());
+    assert_eq!(
+        pm.stats(),
+        &MachineStats {
+            mem_cycles: 6,
+            transfer_cycles: 4,
+            pc_xor3_ops: 4,
+            critical_ops: 2,
+            ..Default::default()
+        }
+    );
+}
+
+#[test]
+fn empty_selections_bill_identically() {
+    // An empty Range selects nothing: no critical protocol on either
+    // engine, even on a fully covered machine.
+    for engine in [SimEngine::WordParallel, SimEngine::ScalarReference] {
+        let mut pm = machine(15, 5, engine);
+        let before = *pm.stats();
+        pm.exec_nor_rows(&[0, 1], 4, &LineSet::Range(3..3)).unwrap();
+        pm.exec_nor_cols(&[0, 1], 4, &LineSet::Range(7..7)).unwrap();
+        let delta = *pm.stats() - before;
+        assert_eq!(delta.critical_ops, 0, "{engine:?}");
+        assert_eq!(delta.mem_cycles, 2, "{engine:?}");
+        assert!(pm.verify_consistency().is_ok(), "{engine:?}");
+    }
+}

@@ -63,6 +63,31 @@ impl BitGrid {
         self.cols
     }
 
+    /// Words per row (`ceil(cols / 64)`) — the length of every row-word
+    /// slice returned by [`BitGrid::row_words`].
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of words needed to hold one bit per *row* — the length of
+    /// the buffers used by [`BitGrid::col_word_gather`] /
+    /// [`BitGrid::col_word_scatter`].
+    #[inline]
+    pub fn col_words(&self) -> usize {
+        self.rows.div_ceil(64)
+    }
+
+    /// The mask of valid bits in a row's final word (all-ones when `cols`
+    /// is a multiple of 64).
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        match self.cols % 64 {
+            0 => u64::MAX,
+            rem => (1u64 << rem) - 1,
+        }
+    }
+
     #[inline]
     fn index(&self, r: usize, c: usize) -> (usize, u64) {
         debug_assert!(r < self.rows && c < self.cols, "bit index out of bounds");
@@ -133,9 +158,15 @@ impl BitGrid {
         (0..self.cols).map(|c| self.get(r, c)).collect()
     }
 
-    /// Returns the whole column `c` as a `Vec<bool>` of length `rows`.
+    /// Returns the whole column `c` as a `Vec<bool>` of length `rows`
+    /// (word-strided: one indexed word read per row, no per-cell index
+    /// arithmetic).
     pub fn col(&self, c: usize) -> Vec<bool> {
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, sh) = (c / 64, (c % 64) as u32);
+        (0..self.rows)
+            .map(|r| (self.words[r * self.stride + wc] >> sh) & 1 != 0)
+            .collect()
     }
 
     /// Overwrites row `r` from a slice of bits.
@@ -150,15 +181,256 @@ impl BitGrid {
         }
     }
 
-    /// Overwrites column `c` from a slice of bits.
+    /// Overwrites column `c` from a slice of bits (word-strided, like
+    /// [`BitGrid::col`]).
     ///
     /// # Panics
     ///
     /// Panics if `bits.len() != rows`.
     pub fn set_col(&mut self, c: usize, bits: &[bool]) {
         assert_eq!(bits.len(), self.rows, "column length mismatch");
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, sh) = (c / 64, (c % 64) as u32);
+        let cell = 1u64 << sh;
         for (r, &b) in bits.iter().enumerate() {
-            self.set(r, c, b);
+            let w = &mut self.words[r * self.stride + wc];
+            *w = (*w & !cell) | ((b as u64) << sh);
+        }
+    }
+
+    /// The packed words of row `r` (bit `c % 64` of word `c / 64` is cell
+    /// `(r, c)`; slack bits past `cols` are always zero).
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        &self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// The full packed word array, row-major with [`BitGrid::stride`] words
+    /// per row — raw access for the crossbar's fused kernels.
+    #[inline]
+    pub(crate) fn words_raw(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable form of [`BitGrid::words_raw`]. Callers must preserve the
+    /// slack-bit invariant (bits past `cols` stay zero).
+    #[inline]
+    pub(crate) fn words_raw_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Masked word-store into row `r`: for every word `i`, bits of
+    /// `mask[i]` are replaced by the corresponding bits of `values[i]`;
+    /// bits outside the mask are untouched. The caller must not set mask
+    /// bits past `cols` (masks built from valid column indices never do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` or `mask` is shorter than [`BitGrid::stride`].
+    #[inline]
+    pub fn set_row_words_masked(&mut self, r: usize, values: &[u64], mask: &[u64]) {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        let base = r * self.stride;
+        for i in 0..self.stride {
+            let w = &mut self.words[base + i];
+            *w = (*w & !mask[i]) | (values[i] & mask[i]);
+        }
+    }
+
+    /// Clears every bit of row `r` selected by `mask` (word-wise
+    /// `row &= !mask`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than [`BitGrid::stride`].
+    #[inline]
+    pub fn clear_row_words_masked(&mut self, r: usize, mask: &[u64]) {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        let base = r * self.stride;
+        for i in 0..self.stride {
+            self.words[base + i] &= !mask[i];
+        }
+    }
+
+    /// Zeroes every bit of row `r`.
+    pub fn clear_row(&mut self, r: usize) {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        let base = r * self.stride;
+        self.words[base..base + self.stride].fill(0);
+    }
+
+    /// Zeroes every bit of column `c` (word-strided down the rows).
+    pub fn clear_col(&mut self, c: usize) {
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, mask) = (c / 64, !(1u64 << (c % 64)));
+        for r in 0..self.rows {
+            self.words[r * self.stride + wc] &= mask;
+        }
+    }
+
+    /// ORs the row words of every row in `rows` into `out` (which is *not*
+    /// cleared first) — the word-parallel input-gather of a column-parallel
+    /// NOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`BitGrid::stride`]; debug-panics on
+    /// an out-of-bounds row.
+    pub fn word_or_rows_into(&self, rows: &[usize], out: &mut [u64]) {
+        for &r in rows {
+            debug_assert!(r < self.rows, "row index out of bounds");
+            let base = r * self.stride;
+            for i in 0..self.stride {
+                out[i] |= self.words[base + i];
+            }
+        }
+    }
+
+    /// Packs column `c` into `out`: bit `r % 64` of `out[r / 64]` is cell
+    /// `(r, c)`. `out` must hold [`BitGrid::col_words`] words; slack bits
+    /// past `rows` are left zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`BitGrid::col_words`].
+    pub fn col_word_gather(&self, c: usize, out: &mut [u64]) {
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, sh) = (c / 64, (c % 64) as u32);
+        let mut idx = wc;
+        let mut acc = 0u64;
+        let mut bit = 0u32;
+        let mut out_i = 0usize;
+        for _ in 0..self.rows {
+            acc |= ((self.words[idx] >> sh) & 1) << bit;
+            idx += self.stride;
+            bit += 1;
+            if bit == 64 {
+                out[out_i] = acc;
+                out_i += 1;
+                acc = 0;
+                bit = 0;
+            }
+        }
+        if bit > 0 {
+            out[out_i] = acc;
+        }
+    }
+
+    /// Unpacks `values` into column `c` for every row selected by `mask`
+    /// (the transpose of [`BitGrid::col_word_gather`]): rows whose mask bit
+    /// is clear keep their current value. The caller must not set mask
+    /// bits past `rows`.
+    pub fn col_word_scatter(&mut self, c: usize, values: &[u64], mask: &[u64]) {
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, sh) = (c / 64, (c % 64) as u32);
+        let cell = 1u64 << sh;
+        for (wi, &mw) in mask.iter().enumerate() {
+            let mut remaining = mw;
+            while remaining != 0 {
+                let bit = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                let r = wi * 64 + bit;
+                let w = &mut self.words[r * self.stride + wc];
+                *w = (*w & !cell) | (((values[wi] >> bit) & 1) << sh);
+            }
+        }
+    }
+
+    /// ORs `values` (a row-shaped word vector) into every row selected by
+    /// `rows_mask`, skipping all-zero value words — the word-parallel core
+    /// of a row-parallel initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than [`BitGrid::stride`]; the caller
+    /// must not set mask bits past `rows` or value bits past `cols`.
+    pub fn or_words_in_rows(&mut self, rows_mask: &[u64], values: &[u64]) {
+        for (wi, &mw) in rows_mask.iter().enumerate() {
+            let mut w = mw;
+            while w != 0 {
+                let r = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let base = r * self.stride;
+                for k in 0..self.stride {
+                    let v = values[k];
+                    if v != 0 {
+                        self.words[base + k] |= v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears the bit of column `c` in every row selected by `rows_mask`.
+    pub fn clear_col_masked(&mut self, c: usize, rows_mask: &[u64]) {
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, mask) = (c / 64, !(1u64 << (c % 64)));
+        for (wi, &mw) in rows_mask.iter().enumerate() {
+            let mut w = mw;
+            while w != 0 {
+                let r = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.words[r * self.stride + wc] &= mask;
+            }
+        }
+    }
+
+    /// Reads `width ≤ 64` consecutive bits of row `r` starting at column
+    /// `c0`, packed into the low bits of the returned word (bit `i` is
+    /// cell `(r, c0 + i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range exceeds `cols`.
+    pub fn extract_bits(&self, r: usize, c0: usize, width: usize) -> u64 {
+        assert!(width <= 64, "extract width exceeds one word");
+        assert!(c0 + width <= self.cols, "bit range out of bounds");
+        debug_assert!(r < self.rows, "row index out of bounds");
+        if width == 0 {
+            return 0;
+        }
+        let base = r * self.stride;
+        let (w0, sh) = (c0 / 64, (c0 % 64) as u32);
+        let mut v = self.words[base + w0] >> sh;
+        if sh != 0 && (sh as usize) + width > 64 {
+            v |= self.words[base + w0 + 1] << (64 - sh);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
+        }
+        v
+    }
+
+    /// Writes `width ≤ 64` consecutive bits of row `r` starting at column
+    /// `c0` from the low bits of `value` (the inverse of
+    /// [`BitGrid::extract_bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range exceeds `cols`.
+    pub fn set_bits(&mut self, r: usize, c0: usize, width: usize, value: u64) {
+        assert!(width <= 64, "set width exceeds one word");
+        assert!(c0 + width <= self.cols, "bit range out of bounds");
+        debug_assert!(r < self.rows, "row index out of bounds");
+        if width == 0 {
+            return;
+        }
+        let field = if width < 64 {
+            (1u64 << width) - 1
+        } else {
+            u64::MAX
+        };
+        let value = value & field;
+        let base = r * self.stride;
+        let (w0, sh) = (c0 / 64, (c0 % 64) as u32);
+        let w = &mut self.words[base + w0];
+        *w = (*w & !(field << sh)) | (value << sh);
+        if sh != 0 && (sh as usize) + width > 64 {
+            let spill = (sh as usize) + width - 64;
+            let high_field = (1u64 << spill) - 1;
+            let w = &mut self.words[base + w0 + 1];
+            *w = (*w & !high_field) | (value >> (64 - sh));
         }
     }
 
@@ -368,5 +640,88 @@ mod tests {
     fn debug_format_is_nonempty() {
         let g = BitGrid::new(2, 2);
         assert!(!format!("{g:?}").is_empty());
+    }
+
+    #[test]
+    fn row_words_expose_packed_rows() {
+        let mut g = BitGrid::new(2, 130);
+        g.set(1, 0, true);
+        g.set(1, 64, true);
+        g.set(1, 129, true);
+        assert_eq!(g.stride(), 3);
+        assert_eq!(g.row_words(0), &[0, 0, 0]);
+        assert_eq!(g.row_words(1), &[1, 1, 2]);
+        assert_eq!(g.tail_mask(), 3);
+    }
+
+    #[test]
+    fn masked_row_word_store_respects_mask() {
+        let mut g = BitGrid::new(1, 70);
+        g.set(0, 0, true);
+        g.set(0, 69, true);
+        // Overwrite bits 1..3 only; bits 0 and 69 must survive.
+        g.set_row_words_masked(0, &[0b110, 0], &[0b110, 0]);
+        assert!(g.get(0, 0) && g.get(0, 1) && g.get(0, 2) && g.get(0, 69));
+        g.clear_row_words_masked(0, &[0b111, 0]);
+        assert!(!g.get(0, 0) && !g.get(0, 1) && g.get(0, 69));
+        g.clear_row(0);
+        assert_eq!(g.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_or_rows_accumulates() {
+        let mut g = BitGrid::new(3, 70);
+        g.set(0, 5, true);
+        g.set(1, 65, true);
+        let mut acc = vec![0u64; g.stride()];
+        g.word_or_rows_into(&[0, 1], &mut acc);
+        assert_eq!(acc, vec![1 << 5, 1 << 1]);
+    }
+
+    #[test]
+    fn col_gather_scatter_round_trip_past_word_boundary() {
+        let mut g = BitGrid::new(70, 3);
+        for r in [0usize, 63, 64, 69] {
+            g.set(r, 1, true);
+        }
+        let mut packed = vec![0u64; g.col_words()];
+        g.col_word_gather(1, &mut packed);
+        assert_eq!(packed[0], (1 << 63) | 1);
+        assert_eq!(packed[1], (1 << (64 - 64)) | (1 << (69 - 64)));
+        // Scatter the complement under a full mask: the column flips.
+        let full = vec![u64::MAX, (1u64 << 6) - 1];
+        let flipped: Vec<u64> = packed.iter().zip(&full).map(|(w, m)| !w & m).collect();
+        g.col_word_scatter(1, &flipped, &full);
+        for r in 0..70 {
+            let want = !matches!(r, 0 | 63 | 64 | 69);
+            assert_eq!(g.get(r, 1), want, "row {r}");
+        }
+        // Masked scatter leaves unselected rows alone.
+        g.col_word_scatter(1, &packed, &[1, 0]);
+        assert!(g.get(0, 1), "row 0 rewritten");
+        assert!(!g.get(63, 1), "row 63 untouched by the mask");
+    }
+
+    #[test]
+    fn extract_and_set_bits_span_word_boundaries() {
+        let mut g = BitGrid::new(2, 130);
+        g.set_bits(1, 60, 15, 0b101_0000_0100_0011);
+        assert_eq!(g.extract_bits(1, 60, 15), 0b101_0000_0100_0011);
+        assert!(g.get(1, 60) && g.get(1, 61) && g.get(1, 74));
+        assert!(!g.get(1, 59) && !g.get(1, 75));
+        // Aligned full-word access.
+        g.set_bits(0, 64, 64, u64::MAX);
+        assert_eq!(g.extract_bits(0, 64, 64), u64::MAX);
+        assert_eq!(g.extract_bits(0, 0, 64), 0);
+        assert_eq!(g.extract_bits(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn word_strided_col_matches_per_cell_semantics() {
+        let mut g = BitGrid::new(67, 5);
+        let bits: Vec<bool> = (0..67).map(|r| r % 3 == 0).collect();
+        g.set_col(4, &bits);
+        assert_eq!(g.col(4), bits);
+        assert_eq!(g.count_ones(), bits.iter().filter(|&&b| b).count());
     }
 }

@@ -2,9 +2,75 @@
 
 use crate::bitgrid::BitGrid;
 use crate::error::XbarError;
-use crate::lineset::LineSet;
+use crate::lineset::{LineMask, LineSet};
 use crate::stats::{OpKind, Stats};
 use crate::Result;
+
+/// Which simulation kernel executes the crossbar's parallel operations.
+///
+/// Both engines are *bit-identical*: same cell states, same arming, same
+/// [`Stats`]. The word-parallel engine operates on packed 64-bit words
+/// (masked row-word stores, gathered column words, [`LineMask`] selections)
+/// and is the default; the scalar reference retains the original
+/// cell-at-a-time loops and exists so benchmarks, CI smoke tests and
+/// differential property tests can measure and pin the word-parallel
+/// kernels against it.
+///
+/// One caveat bounds the identity: *duplicated* entries — the same line
+/// repeated in a [`LineSet::Explicit`], or the same cell repeated in an
+/// init list — have always been documented as "allowed but pointless",
+/// and the layers above (ECC maintenance) may observe mask-collapsed
+/// semantics from the word engine where the scalar reference applies the
+/// duplicate twice. Every real caller passes distinct entries; keep it
+/// that way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Whole-word execution (the fast path).
+    #[default]
+    WordParallel,
+    /// The retained cell-at-a-time loops (the differential baseline).
+    ScalarReference,
+}
+
+/// One step of a parallel MAGIC step sequence, as consumed by the fused
+/// executor [`Crossbar::exec_steps_rows`]: an initialization of a set of
+/// columns, or a NOR gate from input columns into an output column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelStep {
+    /// `SET` the listed columns to LRS and arm them.
+    Init(Vec<usize>),
+    /// MAGIC NOR of the input columns into the output column.
+    Nor(Vec<usize>, usize),
+}
+
+/// A step compiled for the fused per-row pass: word/shift addressing
+/// resolved, init masks packed.
+enum FusedOp {
+    /// OR the mask words (range into the mask arena) into the row.
+    Init { arena: std::ops::Range<usize> },
+    /// Single-input NOR (MAGIC NOT).
+    Not {
+        w: usize,
+        s: u32,
+        ow: usize,
+        osh: u32,
+    },
+    /// Two-input NOR.
+    Nor2 {
+        w1: usize,
+        s1: u32,
+        w2: usize,
+        s2: u32,
+        ow: usize,
+        osh: u32,
+    },
+    /// General NOR (inputs as a range into the input arena).
+    NorN {
+        arena: std::ops::Range<usize>,
+        ow: usize,
+        osh: u32,
+    },
+}
 
 /// A memristor crossbar array supporting MAGIC NOR/NOT stateful logic.
 ///
@@ -19,6 +85,14 @@ use crate::Result;
 /// Column-parallel gates are the transpose. Either way each issued operation
 /// costs exactly one clock cycle.
 ///
+/// Simulation is word-parallel by default: a column-parallel NOR is three
+/// word-wise sweeps (`OR` the input rows, negate under the selection mask,
+/// masked-store into the output row), and a row-parallel NOR gathers its
+/// input columns into packed words before one masked column scatter. The
+/// original per-cell loops remain available as
+/// [`SimEngine::ScalarReference`] (see [`Crossbar::set_engine`]) for
+/// differential testing and speedup measurement.
+///
 /// # Strict mode
 ///
 /// Real MAGIC execution requires output memristors to be initialized to LRS
@@ -26,7 +100,9 @@ use crate::Result;
 /// In strict mode (the default) the simulator tracks an `initialized` flag
 /// per cell and rejects gates whose outputs are stale with
 /// [`XbarError::OutputNotInitialized`]. Conventional writes clear the flag;
-/// [`Crossbar::exec_init_rows`]/[`Crossbar::exec_init_cols`] set it.
+/// [`Crossbar::exec_init_rows`]/[`Crossbar::exec_init_cols`] set it. The
+/// flag plane is maintained with the same masked word stores as the data
+/// plane, and strict-mode validation is a word-wise `mask & !armed` scan.
 ///
 /// # Example
 ///
@@ -44,13 +120,22 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Crossbar {
     bits: BitGrid,
     /// Cells initialized to LRS and not yet consumed as a gate output.
     armed: BitGrid,
     strict: bool,
+    engine: SimEngine,
     stats: Stats,
+    /// Reusable line-selection mask (word-parallel path).
+    mask_buf: LineMask,
+    /// Reusable word accumulator (ORed inputs / negated outputs).
+    acc_buf: Vec<u64>,
+    /// Indices of the non-zero words of `acc_buf` (touched-word list).
+    widx_buf: Vec<usize>,
+    /// Reusable change-mask buffer for the non-reporting NOR wrappers.
+    chg_buf: Vec<u64>,
 }
 
 impl Crossbar {
@@ -65,7 +150,12 @@ impl Crossbar {
             bits: BitGrid::new(rows, cols),
             armed: BitGrid::new(rows, cols),
             strict: true,
+            engine: SimEngine::default(),
             stats: Stats::new(),
+            mask_buf: LineMask::new(rows.max(cols)),
+            acc_buf: Vec::new(),
+            widx_buf: Vec::new(),
+            chg_buf: Vec::new(),
         }
     }
 
@@ -87,6 +177,18 @@ impl Crossbar {
     /// Whether strict MAGIC legality checking is enabled.
     pub fn strict(&self) -> bool {
         self.strict
+    }
+
+    /// Selects the simulation engine (default:
+    /// [`SimEngine::WordParallel`]). Both engines produce identical cell
+    /// states, arming and statistics.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+    }
+
+    /// The simulation engine in force.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// Accumulated cycle/operation statistics.
@@ -141,9 +243,7 @@ impl Crossbar {
     /// Panics if `bits.len() != cols`.
     pub fn write_row(&mut self, r: usize, bits: &[bool]) {
         self.bits.set_row(r, bits);
-        for c in 0..self.cols() {
-            self.armed.set(r, c, false);
-        }
+        self.armed.clear_row(r);
     }
 
     /// Zero-cycle whole-column store.
@@ -153,14 +253,30 @@ impl Crossbar {
     /// Panics if `bits.len() != rows`.
     pub fn write_col(&mut self, c: usize, bits: &[bool]) {
         self.bits.set_col(c, bits);
-        for r in 0..self.rows() {
-            self.armed.set(r, c, false);
-        }
+        self.armed.clear_col(c);
     }
 
-    /// Borrow of the underlying bit matrix (for analyses like parity sweeps).
+    /// Borrow of the underlying bit matrix (for analyses like parity sweeps
+    /// and the protected memory's word-diff ECC maintenance).
     pub fn grid(&self) -> &BitGrid {
         &self.bits
+    }
+
+    /// Zero-cycle masked word-store into row `r`: bits selected by `mask`
+    /// take the corresponding bits of `values`, other cells keep their
+    /// state; every written cell is un-armed. The word form of a partial
+    /// [`Crossbar::write_row`] (sparse driven loads).
+    pub fn write_row_words_masked(&mut self, r: usize, values: &[u64], mask: &[u64]) {
+        self.bits.set_row_words_masked(r, values, mask);
+        self.armed.clear_row_words_masked(r, mask);
+    }
+
+    /// Transpose of [`Crossbar::write_row_words_masked`]: a zero-cycle
+    /// masked store into column `c`, with `values`/`rows_mask` packed one
+    /// bit per row.
+    pub fn write_col_words_masked(&mut self, c: usize, values: &[u64], rows_mask: &[u64]) {
+        self.bits.col_word_scatter(c, values, rows_mask);
+        self.armed.clear_col_masked(c, rows_mask);
     }
 
     /// Bills one NOR-gate cycle driven by this array without touching its
@@ -193,6 +309,28 @@ impl Crossbar {
         }
     }
 
+    /// Bounds-validates a row selection without materializing it.
+    fn check_row_set(&self, rows: &LineSet) -> Result<()> {
+        match rows.max_index(self.rows()) {
+            Some(max) if max >= self.rows() => Err(XbarError::RowOutOfBounds {
+                index: max,
+                rows: self.rows(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Bounds-validates a column selection without materializing it.
+    fn check_col_set(&self, cols: &LineSet) -> Result<()> {
+        match cols.max_index(self.cols()) {
+            Some(max) if max >= self.cols() => Err(XbarError::ColOutOfBounds {
+                index: max,
+                cols: self.cols(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Executes a MAGIC NOR in parallel over the selected `rows`: for each
     /// selected row `r`, `cell(r, out_col) <- NOR of cell(r, c)` for every
     /// `c` in `in_cols`. One clock cycle.
@@ -213,6 +351,29 @@ impl Crossbar {
         out_col: usize,
         rows: &LineSet,
     ) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.acc_buf);
+        let result = self.exec_nor_rows_changed(in_cols, out_col, rows, &mut scratch);
+        self.acc_buf = scratch;
+        result
+    }
+
+    /// [`Crossbar::exec_nor_rows`] that additionally reports which selected
+    /// rows' output bit actually changed, packed one bit per row into
+    /// `changed` (resized to [`BitGrid::col_words`]) — the feed of
+    /// word-diff ECC maintenance, produced in the same pass as the gate so
+    /// the output column is never re-gathered.
+    ///
+    /// # Errors
+    ///
+    /// As [`Crossbar::exec_nor_rows`]; `changed` is zeroed on error paths
+    /// reached after validation.
+    pub fn exec_nor_rows_changed(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+        changed: &mut Vec<u64>,
+    ) -> Result<()> {
         if in_cols.is_empty() {
             return Err(XbarError::NoInputs);
         }
@@ -223,12 +384,29 @@ impl Crossbar {
             }
         }
         self.check_col(out_col)?;
-        let idx = rows.indices(self.rows());
-        for &r in &idx {
+        changed.clear();
+        changed.resize(self.bits.col_words(), 0);
+        match self.engine {
+            SimEngine::ScalarReference => self.nor_rows_scalar(in_cols, out_col, rows, changed)?,
+            SimEngine::WordParallel => self.nor_rows_word(in_cols, out_col, rows, changed)?,
+        }
+        self.stats.record(OpKind::Nor, rows.len(self.rows()) as u64);
+        Ok(())
+    }
+
+    fn nor_rows_scalar(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+        changed: &mut [u64],
+    ) -> Result<()> {
+        let n = self.rows();
+        for r in rows.iter(n) {
             self.check_row(r)?;
         }
         if self.strict {
-            for &r in &idx {
+            for r in rows.iter(n) {
                 if !self.armed.get(r, out_col) {
                     return Err(XbarError::OutputNotInitialized {
                         row: r,
@@ -237,13 +415,151 @@ impl Crossbar {
                 }
             }
         }
-        for &r in &idx {
+        for r in rows.iter(n) {
             let any = in_cols.iter().any(|&c| self.bits.get(r, c));
             // MAGIC: output armed at LRS(1); any '1' input discharges it.
+            if self.bits.get(r, out_col) == any {
+                changed[r / 64] |= 1u64 << (r % 64);
+            }
             self.bits.set(r, out_col, !any);
             self.armed.set(r, out_col, false);
         }
-        self.stats.record(OpKind::Nor, idx.len() as u64);
+        Ok(())
+    }
+
+    fn nor_rows_word(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+        changed: &mut [u64],
+    ) -> Result<()> {
+        self.check_row_set(rows)?;
+        let n = self.rows();
+        let stride = self.bits.stride();
+        let (ow, osh) = (out_col / 64, (out_col % 64) as u32);
+        let obit = 1u64 << osh;
+        // Contiguous selections (`All`/`One`/`Range`) are duplicate-free,
+        // so the armed check folds into the write pass: on a violation the
+        // rows already driven are rolled back from their change bits.
+        // `Explicit` may repeat a line (whose armed flag this very gate
+        // clears), so it keeps the validate-then-write two-pass form.
+        let dup_free = !matches!(rows, LineSet::Explicit(_));
+        if self.strict && !dup_free {
+            let armed = self.armed.words_raw();
+            for r in rows.iter(n) {
+                if armed[r * stride + ow] & obit == 0 {
+                    return Err(XbarError::OutputNotInitialized {
+                        row: r,
+                        col: out_col,
+                    });
+                }
+            }
+        }
+        let check_inline = self.strict && dup_free;
+        // One fused strided pass per selected row: NOR the input bits,
+        // record the change bit, store the output, clear its armed flag.
+        // MAGIC NOT and 2-input NOR (the overwhelming majority of gates)
+        // get pre-resolved word/shift addressing.
+        enum Ins {
+            One(usize, u32),
+            Two(usize, u32, usize, u32),
+            Many,
+        }
+        let ins = match *in_cols {
+            [c] => Ins::One(c / 64, (c % 64) as u32),
+            [a, b] => Ins::Two(a / 64, (a % 64) as u32, b / 64, (b % 64) as u32),
+            _ => Ins::Many,
+        };
+        let bits = self.bits.words_raw_mut();
+        let armed = self.armed.words_raw_mut();
+        // Contiguous selections run over per-row chunks whose length the
+        // optimizer knows, with the word offsets asserted in range once —
+        // the per-row bound checks vanish.
+        let span = match rows {
+            LineSet::All => Some(0..n),
+            LineSet::One(i) => Some(*i..*i + 1),
+            LineSet::Range(r) => Some(r.clone()),
+            LineSet::Explicit(_) => None,
+        };
+        if let Some(span) = span {
+            if span.is_empty() {
+                return Ok(());
+            }
+            assert!(ow < stride, "output word in range");
+            for &c in in_cols {
+                assert!(c / 64 < stride, "input word in range");
+            }
+            let row_range = span.start * stride..span.end * stride;
+            let mut failed = None;
+            for (i, (row, arow)) in bits[row_range.clone()]
+                .chunks_exact_mut(stride)
+                .zip(armed[row_range].chunks_exact_mut(stride))
+                .enumerate()
+            {
+                let r = span.start + i;
+                let armed_val = arow[ow];
+                if check_inline && armed_val & obit == 0 {
+                    failed = Some(r);
+                    break;
+                }
+                arow[ow] = armed_val & !obit;
+                let any = match ins {
+                    Ins::One(w, s) => row[w] >> s,
+                    Ins::Two(w1, s1, w2, s2) => (row[w1] >> s1) | (row[w2] >> s2),
+                    Ins::Many => {
+                        let mut acc = 0u64;
+                        for &c in in_cols {
+                            acc |= row[c / 64] >> (c % 64);
+                        }
+                        acc
+                    }
+                };
+                let out = (!any & 1) << osh;
+                let word = &mut row[ow];
+                changed[r >> 6] |= (((*word ^ out) >> osh) & 1) << (r & 63);
+                *word = (*word & !obit) | out;
+            }
+            if let Some(r) = failed {
+                // Roll the prior rows back to their pre-gate state; the
+                // change bits identify the flipped outputs and every
+                // rolled-back output was armed (it passed the check).
+                for rb in span.start..r {
+                    let b = rb * stride;
+                    if changed[rb >> 6] >> (rb & 63) & 1 == 1 {
+                        bits[b + ow] ^= obit;
+                        changed[rb >> 6] &= !(1u64 << (rb & 63));
+                    }
+                    armed[b + ow] |= obit;
+                }
+                return Err(XbarError::OutputNotInitialized {
+                    row: r,
+                    col: out_col,
+                });
+            }
+            return Ok(());
+        }
+        // Explicit selections were strict-validated in the two-pass form
+        // above (`check_inline` is false here), so this loop only writes.
+        for r in rows.iter(n) {
+            let base = r * stride;
+            armed[base + ow] &= !obit;
+            let any = match ins {
+                Ins::One(w, s) => bits[base + w] >> s,
+                Ins::Two(w1, s1, w2, s2) => (bits[base + w1] >> s1) | (bits[base + w2] >> s2),
+                Ins::Many => {
+                    let mut acc = 0u64;
+                    for &c in in_cols {
+                        acc |= bits[base + c / 64] >> (c % 64);
+                    }
+                    acc
+                }
+            };
+            let out = (!any & 1) << osh;
+            let word = &mut bits[base + ow];
+            changed[r >> 6] |= (((*word ^ out) >> osh) & 1) << (r & 63);
+            *word = (*word & !obit) | out;
+        }
         Ok(())
     }
 
@@ -260,6 +576,28 @@ impl Crossbar {
         out_row: usize,
         cols: &LineSet,
     ) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.chg_buf);
+        let result = self.exec_nor_cols_changed(in_rows, out_row, cols, &mut scratch);
+        self.chg_buf = scratch;
+        result
+    }
+
+    /// [`Crossbar::exec_nor_cols`] that additionally reports which selected
+    /// columns' output bit actually changed, packed in row-word layout into
+    /// `changed` (resized to [`BitGrid::stride`]) — the transpose of
+    /// [`Crossbar::exec_nor_rows_changed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Crossbar::exec_nor_cols`]; `changed` is zeroed on error paths
+    /// reached after validation.
+    pub fn exec_nor_cols_changed(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+        changed: &mut Vec<u64>,
+    ) -> Result<()> {
         if in_rows.is_empty() {
             return Err(XbarError::NoInputs);
         }
@@ -270,12 +608,29 @@ impl Crossbar {
             }
         }
         self.check_row(out_row)?;
-        let idx = cols.indices(self.cols());
-        for &c in &idx {
+        changed.clear();
+        changed.resize(self.bits.stride(), 0);
+        match self.engine {
+            SimEngine::ScalarReference => self.nor_cols_scalar(in_rows, out_row, cols, changed)?,
+            SimEngine::WordParallel => self.nor_cols_word(in_rows, out_row, cols, changed)?,
+        }
+        self.stats.record(OpKind::Nor, cols.len(self.cols()) as u64);
+        Ok(())
+    }
+
+    fn nor_cols_scalar(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+        changed: &mut [u64],
+    ) -> Result<()> {
+        let n = self.cols();
+        for c in cols.iter(n) {
             self.check_col(c)?;
         }
         if self.strict {
-            for &c in &idx {
+            for c in cols.iter(n) {
                 if !self.armed.get(out_row, c) {
                     return Err(XbarError::OutputNotInitialized {
                         row: out_row,
@@ -284,12 +639,57 @@ impl Crossbar {
                 }
             }
         }
-        for &c in &idx {
+        for c in cols.iter(n) {
             let any = in_rows.iter().any(|&r| self.bits.get(r, c));
+            if self.bits.get(out_row, c) == any {
+                changed[c / 64] |= 1u64 << (c % 64);
+            }
             self.bits.set(out_row, c, !any);
             self.armed.set(out_row, c, false);
         }
-        self.stats.record(OpKind::Nor, idx.len() as u64);
+        Ok(())
+    }
+
+    fn nor_cols_word(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+        changed: &mut [u64],
+    ) -> Result<()> {
+        self.check_col_set(cols)?;
+        cols.fill_mask(self.cols(), &mut self.mask_buf);
+        let stride = self.bits.stride();
+        self.acc_buf.clear();
+        self.acc_buf.resize(stride, 0);
+        self.bits.word_or_rows_into(in_rows, &mut self.acc_buf);
+        if self.strict {
+            let armed = self.armed.row_words(out_row);
+            for (wi, (&mw, &aw)) in self.mask_buf.words().iter().zip(armed).enumerate() {
+                let unarmed = mw & !aw;
+                if unarmed != 0 {
+                    return Err(XbarError::OutputNotInitialized {
+                        row: out_row,
+                        col: wi * 64 + unarmed.trailing_zeros() as usize,
+                    });
+                }
+            }
+        }
+        // Fused masked store: out = !(OR of input rows) under the column
+        // mask, change words recorded as the outputs land.
+        let mask = self.mask_buf.words();
+        let bits = self.bits.words_raw_mut();
+        let base = out_row * stride;
+        for (wi, &mw) in mask.iter().enumerate() {
+            if mw == 0 {
+                continue;
+            }
+            let new = !self.acc_buf[wi] & mw;
+            let word = &mut bits[base + wi];
+            changed[wi] = (*word ^ new) & mw;
+            *word = (*word & !mw) | new;
+        }
+        self.armed.clear_row_words_masked(out_row, mask);
         Ok(())
     }
 
@@ -305,18 +705,51 @@ impl Crossbar {
         for &c in cols {
             self.check_col(c)?;
         }
-        let idx = rows.indices(self.rows());
-        for &r in &idx {
-            self.check_row(r)?;
-        }
-        for &r in &idx {
-            for &c in cols {
-                self.bits.set(r, c, true);
-                self.armed.set(r, c, true);
+        match self.engine {
+            SimEngine::ScalarReference => {
+                let n = self.rows();
+                for r in rows.iter(n) {
+                    self.check_row(r)?;
+                }
+                for r in rows.iter(n) {
+                    for &c in cols {
+                        self.bits.set(r, c, true);
+                        self.armed.set(r, c, true);
+                    }
+                }
+            }
+            SimEngine::WordParallel => {
+                self.check_row_set(rows)?;
+                let n = self.rows();
+                let stride = self.bits.stride();
+                self.acc_buf.clear();
+                self.acc_buf.resize(stride, 0);
+                self.widx_buf.clear();
+                for &c in cols {
+                    self.acc_buf[c / 64] |= 1u64 << (c % 64);
+                }
+                for wi in 0..stride {
+                    if self.acc_buf[wi] != 0 {
+                        self.widx_buf.push(wi);
+                    }
+                }
+                // One fused pass per selected row, touching only the words
+                // the initialized columns land in (both planes: a MAGIC
+                // init sets the cell to LRS *and* arms it).
+                let bits = self.bits.words_raw_mut();
+                let armed = self.armed.words_raw_mut();
+                for r in rows.iter(n) {
+                    let base = r * stride;
+                    for &wi in &self.widx_buf {
+                        let v = self.acc_buf[wi];
+                        bits[base + wi] |= v;
+                        armed[base + wi] |= v;
+                    }
+                }
             }
         }
         self.stats
-            .record(OpKind::Init, (idx.len() * cols.len()) as u64);
+            .record(OpKind::Init, (rows.len(self.rows()) * cols.len()) as u64);
         Ok(())
     }
 
@@ -329,18 +762,35 @@ impl Crossbar {
         for &r in rows {
             self.check_row(r)?;
         }
-        let idx = cols.indices(self.cols());
-        for &c in &idx {
-            self.check_col(c)?;
-        }
-        for &c in &idx {
-            for &r in rows {
-                self.bits.set(r, c, true);
-                self.armed.set(r, c, true);
+        match self.engine {
+            SimEngine::ScalarReference => {
+                let n = self.cols();
+                for c in cols.iter(n) {
+                    self.check_col(c)?;
+                }
+                for c in cols.iter(n) {
+                    for &r in rows {
+                        self.bits.set(r, c, true);
+                        self.armed.set(r, c, true);
+                    }
+                }
+            }
+            SimEngine::WordParallel => {
+                self.check_col_set(cols)?;
+                cols.fill_mask(self.cols(), &mut self.mask_buf);
+                for &r in rows {
+                    self.bits
+                        .set_row_words_masked(r, self.mask_buf.words(), self.mask_buf.words());
+                    self.armed.set_row_words_masked(
+                        r,
+                        self.mask_buf.words(),
+                        self.mask_buf.words(),
+                    );
+                }
             }
         }
         self.stats
-            .record(OpKind::Init, (idx.len() * rows.len()) as u64);
+            .record(OpKind::Init, (cols.len(self.cols()) * rows.len()) as u64);
         Ok(())
     }
 
@@ -374,6 +824,201 @@ impl Crossbar {
         self.write_row(r, bits);
         self.stats.record(OpKind::Write, self.cols() as u64);
         Ok(())
+    }
+
+    /// Fused execution of a whole *self-arming* step sequence over a
+    /// contiguous row range: each row's words are pulled into locals once,
+    /// every step of the sequence runs on them as plain ALU operations,
+    /// and the row is stored back — the per-step sweeps over the matrix
+    /// collapse into one. Cycle statistics are recorded per step exactly
+    /// as the step-at-a-time API would.
+    ///
+    /// Returns `Ok(false)` — leaving the crossbar untouched — when the
+    /// sequence is not eligible for fusion, so the caller can replay it
+    /// through the per-step API (which also reproduces the per-step error
+    /// semantics). Eligibility requires the word-parallel engine, in-bounds
+    /// rows/columns, non-empty inputs, no in/out overlap, a stride the
+    /// local buffer covers, and — under strict mode — a *self-arming*
+    /// sequence: every NOR output armed by an earlier `Init` of the same
+    /// sequence (the shape every mapped program has), which makes per-row
+    /// legality independent of prior crossbar state.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (ineligibility is `Ok(false)`); the `Result`
+    /// mirrors the other executors.
+    pub fn exec_steps_rows(
+        &mut self,
+        steps: &[ParallelStep],
+        rows: std::ops::Range<usize>,
+    ) -> Result<bool> {
+        const MAX_STRIDE: usize = 32;
+        let n = self.rows();
+        let stride = self.bits.stride();
+        if !matches!(self.engine, SimEngine::WordParallel)
+            || stride > MAX_STRIDE
+            || rows.start >= rows.end
+            || rows.end > n
+            || steps.is_empty()
+        {
+            return Ok(false);
+        }
+        // Analysis pass: bounds, overlap, self-arming legality, and the
+        // final armed state (program-armed minus consumed, over the
+        // touched columns) — identical for every selected row.
+        let cols = self.cols();
+        let mut prog_armed = vec![0u64; stride];
+        let mut touched = vec![0u64; stride];
+        for step in steps {
+            match step {
+                ParallelStep::Init(cells) => {
+                    if cells.is_empty() {
+                        return Ok(false);
+                    }
+                    for &c in cells {
+                        if c >= cols {
+                            return Ok(false);
+                        }
+                        prog_armed[c / 64] |= 1u64 << (c % 64);
+                        touched[c / 64] |= 1u64 << (c % 64);
+                    }
+                }
+                ParallelStep::Nor(ins, out) => {
+                    let out = *out;
+                    if ins.is_empty() || out >= cols {
+                        return Ok(false);
+                    }
+                    for &c in ins {
+                        if c >= cols || c == out {
+                            return Ok(false);
+                        }
+                    }
+                    let (ow, obit) = (out / 64, 1u64 << (out % 64));
+                    if self.strict && prog_armed[ow] & obit == 0 {
+                        return Ok(false);
+                    }
+                    prog_armed[ow] &= !obit;
+                    touched[ow] |= obit;
+                }
+            }
+        }
+        // Compile the sequence: resolved addressing, packed init masks.
+        let mut mask_arena: Vec<u64> = Vec::new();
+        let mut input_arena: Vec<(usize, u32)> = Vec::new();
+        let mut ops: Vec<FusedOp> = Vec::with_capacity(steps.len());
+        for step in steps {
+            match step {
+                ParallelStep::Init(cells) => {
+                    let start = mask_arena.len();
+                    mask_arena.resize(start + stride, 0);
+                    for &c in cells {
+                        mask_arena[start + c / 64] |= 1u64 << (c % 64);
+                    }
+                    ops.push(FusedOp::Init {
+                        arena: start..start + stride,
+                    });
+                }
+                ParallelStep::Nor(ins, out) => {
+                    let (ow, osh) = (*out / 64, (*out % 64) as u32);
+                    ops.push(match *ins.as_slice() {
+                        [c] => FusedOp::Not {
+                            w: c / 64,
+                            s: (c % 64) as u32,
+                            ow,
+                            osh,
+                        },
+                        [a, b] => FusedOp::Nor2 {
+                            w1: a / 64,
+                            s1: (a % 64) as u32,
+                            w2: b / 64,
+                            s2: (b % 64) as u32,
+                            ow,
+                            osh,
+                        },
+                        _ => {
+                            let start = input_arena.len();
+                            input_arena.extend(ins.iter().map(|&c| (c / 64, (c % 64) as u32)));
+                            FusedOp::NorN {
+                                arena: start..input_arena.len(),
+                                ow,
+                                osh,
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        // Fused pass: one load/store of the row words per row, all steps
+        // in between on locals; armed state lands word-wise.
+        let row_range = rows.start * stride..rows.end * stride;
+        let bits = self.bits.words_raw_mut();
+        let armed = self.armed.words_raw_mut();
+        let mut local = [0u64; MAX_STRIDE];
+        for (row, arow) in bits[row_range.clone()]
+            .chunks_exact_mut(stride)
+            .zip(armed[row_range].chunks_exact_mut(stride))
+        {
+            local[..stride].copy_from_slice(row);
+            for op in &ops {
+                match op {
+                    FusedOp::Init { arena } => {
+                        for (w, &mask) in local[..stride].iter_mut().zip(&mask_arena[arena.clone()])
+                        {
+                            *w |= mask;
+                        }
+                    }
+                    FusedOp::Not { w, s, ow, osh } => {
+                        let any = local[*w] >> s;
+                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                    FusedOp::Nor2 {
+                        w1,
+                        s1,
+                        w2,
+                        s2,
+                        ow,
+                        osh,
+                    } => {
+                        let any = (local[*w1] >> s1) | (local[*w2] >> s2);
+                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                    FusedOp::NorN { arena, ow, osh } => {
+                        let mut any = 0u64;
+                        for &(w, s) in &input_arena[arena.clone()] {
+                            any |= local[w] >> s;
+                        }
+                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                }
+            }
+            row.copy_from_slice(&local[..stride]);
+            for ((aw, &t), &pa) in arow.iter_mut().zip(&touched).zip(&prog_armed) {
+                *aw = (*aw & !t) | pa;
+            }
+        }
+        // Per-step accounting, exactly as the step-at-a-time API records.
+        let lines = rows.len() as u64;
+        for step in steps {
+            match step {
+                ParallelStep::Init(cells) => {
+                    self.stats.record(OpKind::Init, lines * cells.len() as u64)
+                }
+                ParallelStep::Nor(..) => self.stats.record(OpKind::Nor, lines),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("rows", &self.rows())
+            .field("cols", &self.cols())
+            .field("strict", &self.strict)
+            .field("engine", &self.engine)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
     }
 }
 
@@ -507,6 +1152,21 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bounds_errors_scalar_reference() {
+        let mut xb = armed_xb(2, 2);
+        xb.set_engine(SimEngine::ScalarReference);
+        assert_eq!(xb.engine(), SimEngine::ScalarReference);
+        assert!(matches!(
+            xb.exec_nor_rows(&[0], 1, &LineSet::One(7)),
+            Err(XbarError::RowOutOfBounds { index: 7, rows: 2 })
+        ));
+        assert!(matches!(
+            xb.exec_init_cols(&[0], &LineSet::One(9)),
+            Err(XbarError::ColOutOfBounds { index: 9, cols: 2 })
+        ));
+    }
+
+    #[test]
     fn read_and_write_rows_cost_cycles() {
         let mut xb = Crossbar::new(2, 3);
         xb.exec_write_row(0, &[true, false, true]).unwrap();
@@ -562,5 +1222,34 @@ mod tests {
         assert!(xb.bit(1, 1));
         assert!(!xb.bit(2, 1));
         assert!(xb.bit(3, 1));
+    }
+
+    #[test]
+    fn engines_agree_on_a_mixed_sequence_past_word_boundaries() {
+        // 70 lines: every word-parallel op crosses the 64-bit boundary and
+        // exercises the slack-bit edge of the final mask word.
+        let run = |engine: SimEngine| {
+            let mut xb = Crossbar::new(70, 70);
+            xb.set_engine(engine);
+            for r in 0..70 {
+                for c in 0..4 {
+                    xb.write_bit(r, c, (r * 7 + c) % 3 == 0);
+                }
+            }
+            xb.exec_init_rows(&[5, 65], &LineSet::Range(10..70))
+                .unwrap();
+            xb.exec_nor_rows(&[0, 1], 5, &LineSet::Range(10..70))
+                .unwrap();
+            xb.exec_nor_rows(&[2], 65, &LineSet::Explicit(vec![69, 10, 63, 64]))
+                .unwrap();
+            xb.exec_init_cols(&[7, 68], &LineSet::All).unwrap();
+            xb.exec_nor_cols(&[0, 69], 7, &LineSet::All).unwrap();
+            xb.exec_nor_cols(&[5], 68, &LineSet::Range(60..70)).unwrap();
+            xb
+        };
+        let word = run(SimEngine::WordParallel);
+        let scalar = run(SimEngine::ScalarReference);
+        assert_eq!(word.grid().diff(scalar.grid()), vec![]);
+        assert_eq!(word.stats(), scalar.stats());
     }
 }

@@ -46,10 +46,10 @@ pub mod stats;
 pub mod transfer;
 
 pub use bitgrid::BitGrid;
-pub use crossbar::Crossbar;
+pub use crossbar::{Crossbar, ParallelStep, SimEngine};
 pub use error::XbarError;
 pub use fault::{FaultInjector, FaultRecord};
-pub use lineset::LineSet;
+pub use lineset::{LineIter, LineMask, LineSet};
 pub use stats::{OpKind, Stats};
 
 /// Crate-wide result alias for fallible crossbar operations.

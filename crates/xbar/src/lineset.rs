@@ -9,15 +9,21 @@
 /// selects a single line (a plain sequential gate), `Range` a contiguous
 /// band and `Explicit` an arbitrary subset.
 ///
+/// Executors consume a selection either as an order-preserving iterator
+/// ([`LineSet::iter`]) or as a packed [`LineMask`] ([`LineSet::fill_mask`])
+/// that drives whole-word crossbar operations.
+///
 /// # Example
 ///
 /// ```
 /// use pimecc_xbar::LineSet;
 ///
-/// assert_eq!(LineSet::All.indices(4), vec![0, 1, 2, 3]);
-/// assert_eq!(LineSet::One(2).indices(4), vec![2]);
-/// assert_eq!(LineSet::Range(1..3).indices(4), vec![1, 2]);
-/// assert_eq!(LineSet::Explicit(vec![3, 0]).indices(4), vec![3, 0]);
+/// let sel = LineSet::Range(1..3);
+/// assert_eq!(sel.iter(4).collect::<Vec<_>>(), vec![1, 2]);
+/// assert_eq!(sel.len(4), 2);
+/// let mask = sel.mask(4);
+/// assert_eq!(mask.words(), &[0b0110]);
+/// assert_eq!(mask.iter().collect::<Vec<_>>(), vec![1, 2]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LineSet {
@@ -37,12 +43,26 @@ impl LineSet {
     ///
     /// Out-of-range indices are *not* filtered here; bounds are validated by
     /// the executing crossbar so the error can carry context.
+    #[deprecated(
+        since = "0.2.0",
+        note = "iterate `LineSet::iter` or build a `LineMask` with `LineSet::mask` \
+                instead of materializing a Vec per operation"
+    )]
     pub fn indices(&self, line_count: usize) -> Vec<usize> {
+        self.iter(line_count).collect()
+    }
+
+    /// Iterates the selected indices in selection order (without
+    /// materializing them), given the crossbar's line count.
+    ///
+    /// Out-of-range indices are *not* filtered; bounds are validated by the
+    /// executing crossbar so the error can carry context.
+    pub fn iter(&self, line_count: usize) -> LineIter<'_> {
         match self {
-            LineSet::All => (0..line_count).collect(),
-            LineSet::One(i) => vec![*i],
-            LineSet::Range(r) => r.clone().collect(),
-            LineSet::Explicit(v) => v.clone(),
+            LineSet::All => LineIter::Range(0..line_count),
+            LineSet::One(i) => LineIter::Range(*i..*i + 1),
+            LineSet::Range(r) => LineIter::Range(r.clone()),
+            LineSet::Explicit(v) => LineIter::Slice(v.iter()),
         }
     }
 
@@ -69,6 +89,244 @@ impl LineSet {
             LineSet::Range(r) => r.end.checked_sub(1).filter(|_| !r.is_empty()),
             LineSet::Explicit(v) => v.iter().copied().max(),
         }
+    }
+
+    /// Builds a fresh [`LineMask`] of the selection (see
+    /// [`LineSet::fill_mask`] for the buffer-reusing form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection contains an index `>= line_count`; validate
+    /// bounds (e.g. via [`LineSet::max_index`]) first.
+    pub fn mask(&self, line_count: usize) -> LineMask {
+        let mut mask = LineMask::new(line_count);
+        self.fill_mask(line_count, &mut mask);
+        mask
+    }
+
+    /// Re-initializes `mask` to this selection over `line_count` lines,
+    /// reusing its storage — the allocation-free path executors take once
+    /// per operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection contains an index `>= line_count`.
+    pub fn fill_mask(&self, line_count: usize, mask: &mut LineMask) {
+        mask.reset(line_count);
+        match self {
+            LineSet::All => mask.set_range(0..line_count),
+            LineSet::One(i) => mask.set(*i),
+            LineSet::Range(r) => mask.set_range(r.clone()),
+            LineSet::Explicit(v) => {
+                // Borrow the word slice once so the per-line work is a
+                // plain shift-or (this is the per-operation hot fill).
+                let words = mask.words_mut();
+                for &i in v {
+                    assert!(
+                        i < line_count,
+                        "line {i} out of range for a {line_count}-line mask"
+                    );
+                    words[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+    }
+}
+
+/// Order-preserving iterator over a [`LineSet`]'s selected indices
+/// (returned by [`LineSet::iter`]).
+#[derive(Debug, Clone)]
+pub enum LineIter<'a> {
+    /// Contiguous selections (`All`, `One`, `Range`).
+    Range(std::ops::Range<usize>),
+    /// Explicit selections, in the order given.
+    Slice(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for LineIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            LineIter::Range(r) => r.next(),
+            LineIter::Slice(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            LineIter::Range(r) => r.size_hint(),
+            LineIter::Slice(it) => it.size_hint(),
+        }
+    }
+}
+
+/// How many mask words [`LineMask`] stores inline before spilling to the
+/// heap — 4 words cover crossbars up to 256 lines without allocating.
+const INLINE_WORDS: usize = 4;
+
+/// A packed bitset over the lines of a crossbar — the word-parallel form of
+/// a [`LineSet`].
+///
+/// Bit `i % 64` of word `i / 64` is line `i`. Selections of up to
+/// `64 × INLINE_WORDS = 256` lines live entirely on the stack; larger
+/// geometries spill to one heap allocation that
+/// [`LineSet::fill_mask`] reuses across operations.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_xbar::{LineMask, LineSet};
+///
+/// let mask = LineSet::Explicit(vec![0, 65]).mask(70);
+/// assert_eq!(mask.count(), 2);
+/// assert!(mask.contains(65) && !mask.contains(1));
+/// assert_eq!(mask.words().len(), 2);
+/// assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 65]);
+/// let empty = LineMask::new(70);
+/// assert!(empty.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineMask {
+    line_count: usize,
+    inline: [u64; INLINE_WORDS],
+    heap: Vec<u64>,
+}
+
+impl LineMask {
+    /// An empty mask over `line_count` lines.
+    pub fn new(line_count: usize) -> Self {
+        let mut mask = LineMask {
+            line_count: 0,
+            inline: [0; INLINE_WORDS],
+            heap: Vec::new(),
+        };
+        mask.reset(line_count);
+        mask
+    }
+
+    /// Number of words backing the mask.
+    #[inline]
+    fn word_count(&self) -> usize {
+        self.line_count.div_ceil(64)
+    }
+
+    /// Clears the mask and re-sizes it to `line_count` lines, reusing any
+    /// heap storage already acquired. Both representations are cleared so
+    /// the derived equality never sees stale words from a previous size.
+    pub fn reset(&mut self, line_count: usize) {
+        self.line_count = line_count;
+        let words = line_count.div_ceil(64);
+        self.inline.fill(0);
+        self.heap.clear();
+        if words > INLINE_WORDS {
+            self.heap.resize(words, 0);
+        }
+    }
+
+    /// The number of lines the mask ranges over.
+    #[inline]
+    pub fn line_count(&self) -> usize {
+        self.line_count
+    }
+
+    /// The packed words (length `ceil(line_count / 64)`); bits past
+    /// `line_count` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        let words = self.word_count();
+        if words <= INLINE_WORDS {
+            &self.inline[..words]
+        } else {
+            &self.heap
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let words = self.word_count();
+        if words <= INLINE_WORDS {
+            &mut self.inline[..words]
+        } else {
+            &mut self.heap
+        }
+    }
+
+    /// Selects line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= line_count`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(
+            i < self.line_count,
+            "line {i} out of range for a {}-line mask",
+            self.line_count
+        );
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Selects every line in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `line_count`.
+    pub fn set_range(&mut self, range: std::ops::Range<usize>) {
+        if range.is_empty() {
+            return;
+        }
+        assert!(
+            range.end <= self.line_count,
+            "range end {} out of range for a {}-line mask",
+            range.end,
+            self.line_count
+        );
+        let words = self.words_mut();
+        let (first, last) = (range.start / 64, (range.end - 1) / 64);
+        let lo = u64::MAX << (range.start % 64);
+        let hi = u64::MAX >> (63 - (range.end - 1) % 64);
+        if first == last {
+            words[first] |= lo & hi;
+        } else {
+            words[first] |= lo;
+            for w in &mut words[first + 1..last] {
+                *w = u64::MAX;
+            }
+            words[last] |= hi;
+        }
+    }
+
+    /// Whether line `i` is selected (false past `line_count`).
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.line_count && self.words()[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of selected lines.
+    pub fn count(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no line is selected.
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the selected lines in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
     }
 }
 
@@ -100,9 +358,13 @@ impl FromIterator<usize> for LineSet {
 mod tests {
     use super::*;
 
+    fn collected(ls: &LineSet, n: usize) -> Vec<usize> {
+        ls.iter(n).collect()
+    }
+
     #[test]
     fn all_selects_everything() {
-        assert_eq!(LineSet::All.indices(3), vec![0, 1, 2]);
+        assert_eq!(collected(&LineSet::All, 3), vec![0, 1, 2]);
         assert_eq!(LineSet::All.len(3), 3);
         assert_eq!(LineSet::All.max_index(3), Some(2));
         assert!(LineSet::All.is_empty(0));
@@ -111,26 +373,81 @@ mod tests {
     #[test]
     fn one_and_from_usize() {
         let ls: LineSet = 7usize.into();
-        assert_eq!(ls.indices(10), vec![7]);
+        assert_eq!(collected(&ls, 10), vec![7]);
         assert_eq!(ls.max_index(10), Some(7));
     }
 
     #[test]
     fn range_selection() {
         let ls: LineSet = (2..5).into();
-        assert_eq!(ls.indices(10), vec![2, 3, 4]);
+        assert_eq!(collected(&ls, 10), vec![2, 3, 4]);
         assert_eq!(ls.len(10), 3);
         assert_eq!(ls.max_index(10), Some(4));
         let empty: LineSet = (3..3).into();
         assert!(empty.is_empty(10));
         assert_eq!(empty.max_index(10), None);
+        assert!(empty.mask(10).is_empty());
     }
 
     #[test]
     fn explicit_and_collect() {
         let ls: LineSet = vec![4, 1].into();
-        assert_eq!(ls.indices(10), vec![4, 1]);
+        assert_eq!(collected(&ls, 10), vec![4, 1]);
         let collected: LineSet = [0usize, 9].into_iter().collect();
         assert_eq!(collected.max_index(10), Some(9));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_indices_shim_matches_iter() {
+        for ls in [
+            LineSet::All,
+            LineSet::One(2),
+            LineSet::Range(1..3),
+            LineSet::Explicit(vec![3, 0, 3]),
+        ] {
+            assert_eq!(ls.indices(4), ls.iter(4).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn mask_matches_selection_for_every_variant() {
+        for (ls, n) in [
+            (LineSet::All, 70usize),
+            (LineSet::One(64), 70),
+            (LineSet::Range(60..66), 70),
+            (LineSet::Explicit(vec![69, 0, 69]), 70),
+            (LineSet::All, 256),
+            (LineSet::Range(100..300), 300),
+        ] {
+            let mask = ls.mask(n);
+            assert_eq!(mask.line_count(), n);
+            let mut want: Vec<usize> = ls.iter(n).collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(mask.iter().collect::<Vec<_>>(), want, "{ls:?}");
+            assert_eq!(mask.count(), want.len());
+            for i in 0..n {
+                assert_eq!(mask.contains(i), want.contains(&i), "{ls:?} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_reuses_storage_across_geometries() {
+        let mut mask = LineMask::new(300);
+        LineSet::All.fill_mask(300, &mut mask);
+        assert_eq!(mask.count(), 300);
+        // Shrinking back under the inline threshold keeps it correct.
+        LineSet::One(3).fill_mask(10, &mut mask);
+        assert_eq!(mask.words(), &[0b1000]);
+        assert_eq!(mask.count(), 1);
+        assert!(!mask.contains(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_rejects_out_of_range_lines() {
+        let _ = LineSet::One(10).mask(10);
     }
 }

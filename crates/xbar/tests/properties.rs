@@ -109,3 +109,160 @@ proptest! {
         prop_assert_eq!(xb.grid().count_ones(), 0);
     }
 }
+
+// Differential properties: the word-parallel engine must be bit-identical
+// to the retained scalar reference — cells, armed flags and statistics —
+// including geometries that are not a multiple of 64 wide (slack bits)
+// and selections crossing word boundaries.
+mod engine_differential {
+    use pimecc_xbar::{Crossbar, LineSet, ParallelStep, SimEngine};
+    use proptest::prelude::*;
+
+    const DIMS: &[usize] = &[7, 63, 64, 65, 70, 130];
+
+    fn seeded(n: usize, seed: u64, engine: SimEngine) -> Crossbar {
+        let mut xb = Crossbar::new(n, n);
+        xb.set_engine(engine);
+        let mut s = seed | 1;
+        for r in 0..n {
+            for c in 0..n {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                xb.write_bit(r, c, s >> 62 & 1 != 0);
+            }
+        }
+        xb
+    }
+
+    fn line_set(sel: u8, a: usize, b: usize, n: usize) -> LineSet {
+        match sel {
+            0 => LineSet::All,
+            1 => LineSet::One(a % n),
+            2 => {
+                let (lo, hi) = ((a % n).min(b % n), (a % n).max(b % n) + 1);
+                LineSet::Range(lo..hi)
+            }
+            _ => LineSet::Explicit(vec![a % n, b % n, (a + b) % n]),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn exec_ops_match_between_engines(
+            dim_idx in 0usize..6,
+            seed in any::<u64>(),
+            ops in proptest::collection::vec(
+                (0u8..4, 0usize..10_000, 0usize..10_000, 0usize..10_000, 0u8..4),
+                1..12,
+            ),
+        ) {
+            let n = DIMS[dim_idx];
+            let mut word = seeded(n, seed, SimEngine::WordParallel);
+            let mut scalar = seeded(n, seed, SimEngine::ScalarReference);
+            for &(kind, x, y, out, sel) in &ops {
+                let out = out % n;
+                let fix = |v: usize| if v % n == out { (out + 1) % n } else { v % n };
+                let (a, b) = (fix(x), fix(y));
+                let sel = line_set(sel, x, y, n);
+                for xb in [&mut word, &mut scalar] {
+                    match kind {
+                        0 => {
+                            xb.exec_init_rows(&[out], &sel).unwrap();
+                            xb.exec_nor_rows(&[a, b], out, &sel).unwrap();
+                        }
+                        1 => {
+                            xb.exec_init_cols(&[out], &sel).unwrap();
+                            xb.exec_nor_cols(&[a, b], out, &sel).unwrap();
+                        }
+                        2 => xb.exec_init_rows(&[a, b], &sel).unwrap(),
+                        _ => xb.exec_init_cols(&[a, b], &sel).unwrap(),
+                    }
+                }
+            }
+            prop_assert_eq!(word.grid().diff(scalar.grid()), vec![]);
+            prop_assert_eq!(word.stats(), scalar.stats());
+            // The armed planes agree too: a NOT of every cell through the
+            // same fresh column must behave identically (probing armed
+            // state indirectly via strict-mode acceptance).
+            let probe = LineSet::All;
+            word.exec_init_rows(&[0], &probe).unwrap();
+            scalar.exec_init_rows(&[0], &probe).unwrap();
+            word.exec_nor_rows(&[1], 0, &probe).unwrap();
+            scalar.exec_nor_rows(&[1], 0, &probe).unwrap();
+            prop_assert_eq!(word.grid().diff(scalar.grid()), vec![]);
+        }
+
+        #[test]
+        fn changed_masks_report_exactly_the_flipped_outputs(
+            dim_idx in 0usize..6,
+            seed in any::<u64>(),
+            out in 0usize..10_000,
+            a in 0usize..10_000,
+        ) {
+            let n = DIMS[dim_idx];
+            let mut xb = seeded(n, seed, SimEngine::WordParallel);
+            let out = out % n;
+            let a = if a % n == out { (out + 1) % n } else { a % n };
+            xb.exec_init_rows(&[out], &LineSet::All).unwrap();
+            let mut changed = Vec::new();
+            xb.exec_nor_rows_changed(&[a], out, &LineSet::All, &mut changed).unwrap();
+            // The init armed every output at 1; the NOT leaves !bit(a), so
+            // the gate's change bit is set exactly where the output is now
+            // 0 (it flipped away from the armed 1).
+            for r in 0..n {
+                let got = changed[r / 64] >> (r % 64) & 1 != 0;
+                prop_assert_eq!(got, !xb.bit(r, out), "row {}", r);
+            }
+        }
+
+        #[test]
+        fn fused_steps_match_per_step_crossbar_replay(
+            dim_idx in 0usize..6,
+            seed in any::<u64>(),
+            gates in proptest::collection::vec(
+                (0usize..10_000, 0usize..10_000, 0usize..10_000),
+                1..10,
+            ),
+            start in 0usize..10_000,
+            len in 1usize..10_000,
+        ) {
+            let n = DIMS[dim_idx];
+            let start = start % n;
+            let end = (start + 1 + len % n).min(n);
+            let rows = start..end;
+            let mut steps = Vec::new();
+            for &(x, y, out) in &gates {
+                let out = out % n;
+                let fix = |v: usize| if v % n == out { (out + 1) % n } else { v % n };
+                steps.push(ParallelStep::Init(vec![out]));
+                steps.push(ParallelStep::Nor(vec![fix(x), fix(y)], out));
+            }
+            let mut fused = seeded(n, seed, SimEngine::WordParallel);
+            prop_assert!(fused.exec_steps_rows(&steps, rows.clone()).unwrap());
+            let mut stepped = seeded(n, seed, SimEngine::WordParallel);
+            let sel = LineSet::Range(rows);
+            for step in &steps {
+                match step {
+                    ParallelStep::Init(cells) => stepped.exec_init_rows(cells, &sel).unwrap(),
+                    ParallelStep::Nor(ins, out) => {
+                        stepped.exec_nor_rows(ins, *out, &sel).unwrap()
+                    }
+                }
+            }
+            prop_assert_eq!(fused.grid().diff(stepped.grid()), vec![]);
+            prop_assert_eq!(fused.stats(), stepped.stats());
+            // Armed planes must agree as well: consume every touched
+            // output once more after re-arming it.
+            for &(_, _, out) in &gates {
+                let out = out % n;
+                let sel = LineSet::Range(0..n);
+                for xb in [&mut fused, &mut stepped] {
+                    xb.exec_init_rows(&[out], &sel).unwrap();
+                    xb.exec_nor_rows(&[(out + 1) % n], out, &sel).unwrap();
+                }
+            }
+            prop_assert_eq!(fused.grid().diff(stepped.grid()), vec![]);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Host-side wall-clock throughput of the simulator itself: the PR-3 mixed
+//! cluster workload (1020 adder8 + 510 int2float on one 255×255/5 shard,
+//! 2D-packed) served twice — once by the retained scalar-reference engine,
+//! once by the word-parallel engine — plus a large-geometry run at the
+//! paper's n=1020, m=15 configuration that only the word-parallel engine
+//! makes practical.
+//!
+//! The cost *model* is engine-independent: both runs must produce
+//! bit-identical outputs, placements, `MachineStats` and input-check
+//! reports. Only requests/second differs, and that ratio is the recorded
+//! speedup. The run fails if word-parallel is not at least 2× the scalar
+//! reference (the CI floor; the committed reference run records the full
+//! figure).
+//!
+//! Run with: `cargo run --release --example host_throughput`
+//!
+//! Writes the comparison to `BENCH_host.json`.
+
+use pimecc::netlist::generators::{ripple_adder, Benchmark};
+use pimecc::prelude::*;
+use std::time::Instant;
+
+const N: usize = 255;
+const M: usize = 5;
+const ADDER_REQUESTS: usize = 4 * N; // 1020 — four offset columns when co-packed
+const I2F_REQUESTS: usize = 2 * N; // 510
+
+/// The paper's Figure-6 geometry: only reachable in reasonable wall time
+/// with the word-parallel engine.
+const BIG_N: usize = 1020;
+const BIG_M: usize = 15;
+
+fn i2f_request(i: usize) -> Vec<bool> {
+    let x = (i * 37) as u32 & 0x7FF;
+    (0..11).map(|b| x >> b & 1 != 0).collect()
+}
+
+fn add_request(i: usize) -> Vec<bool> {
+    let x = (i * 73) as u32 & 0xFFFF;
+    (0..16).map(|b| x >> b & 1 != 0).collect()
+}
+
+struct RunReport {
+    label: String,
+    seconds: f64,
+    requests: usize,
+    requests_per_sec: f64,
+    waves: usize,
+    wall_mem_cycles: u64,
+    outcome: ClusterOutcome,
+}
+
+/// Timed repetitions per configuration; the fastest run is recorded, the
+/// usual defense against scheduler noise on shared CI machines.
+const TIMED_REPS: usize = 3;
+
+/// The tickets of one repetition with their program kind and request index.
+type TicketLog = Vec<(Ticket, bool, usize)>;
+
+fn run_workload(
+    label: String,
+    engine: SimEngine,
+    n: usize,
+    m: usize,
+    adders: usize,
+    i2fs: usize,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let i2f = Benchmark::Int2float.build();
+    let i2f_nor = i2f.netlist.to_nor();
+    let adder = ripple_adder(8); // 16 inputs, 9 outputs
+    let adder_nor = adder.to_nor();
+
+    let mut seconds = f64::INFINITY;
+    let mut best: Option<(TicketLog, ClusterOutcome)> = None;
+    for _ in 0..TIMED_REPS {
+        // A fresh cluster per repetition: ticket ids and machine state are
+        // then identical across repetitions and engines. Mapping is
+        // engine-independent and stays outside the timed window, isolating
+        // simulation cost.
+        let mut cluster = PimClusterBuilder::new(1, n, m).engine(engine).build()?;
+        let pi = cluster.compile_packed(&i2f_nor)?;
+        let pa = cluster.compile_packed(&adder_nor)?;
+        let started = Instant::now();
+        let mut tickets = Vec::new();
+        for i in 0..adders.max(i2fs) {
+            if i < adders {
+                tickets.push((cluster.submit(&pa, add_request(i))?, false, i));
+            }
+            if i < i2fs {
+                tickets.push((cluster.submit(&pi, i2f_request(i))?, true, i));
+            }
+        }
+        let outcome = cluster.flush()?;
+        let elapsed = started.elapsed().as_secs_f64();
+        if let Some((_, prev)) = &best {
+            // Repetitions must be deterministic replays of each other.
+            assert_eq!(prev.stats, outcome.stats, "{label}: rep diverged");
+        }
+        if elapsed < seconds || best.is_none() {
+            seconds = elapsed;
+            best = Some((tickets, outcome));
+        }
+    }
+    let (tickets, outcome) = best.expect("at least one rep");
+
+    // Every output against the software reference.
+    for &(ticket, is_i2f, i) in &tickets {
+        let got = outcome.outputs_for(ticket).expect("served");
+        let want = if is_i2f {
+            (i2f.reference)(&i2f_request(i))
+        } else {
+            adder.eval(&add_request(i))
+        };
+        assert_eq!(got, want.as_slice(), "{label}: {ticket}");
+    }
+
+    let requests = adders + i2fs;
+    let report = RunReport {
+        requests_per_sec: requests as f64 / seconds,
+        waves: outcome.waves,
+        wall_mem_cycles: outcome.wall_mem_cycles,
+        label,
+        seconds,
+        requests,
+        outcome,
+    };
+    println!(
+        "{:>22}: {:>8.1} req/s  ({:.3} s for {} requests, {} waves, {} wall MEM cycles)",
+        report.label,
+        report.requests_per_sec,
+        report.seconds,
+        report.requests,
+        report.waves,
+        report.wall_mem_cycles,
+    );
+    Ok(report)
+}
+
+fn json_run(r: &RunReport) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"seconds\": {:.4}, \"requests\": {}, ",
+            "\"requests_per_sec\": {:.1}, \"waves\": {}, \"wall_mem_cycles\": {}}}"
+        ),
+        r.label, r.seconds, r.requests, r.requests_per_sec, r.waves, r.wall_mem_cycles,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "host throughput: {ADDER_REQUESTS} x adder8 + {I2F_REQUESTS} x int2float, \
+         one {N}x{N}/{M} shard, scalar reference vs word-parallel\n"
+    );
+    let scalar = run_workload(
+        "scalar reference".into(),
+        SimEngine::ScalarReference,
+        N,
+        M,
+        ADDER_REQUESTS,
+        I2F_REQUESTS,
+    )?;
+    let word = run_workload(
+        "word-parallel".into(),
+        SimEngine::WordParallel,
+        N,
+        M,
+        ADDER_REQUESTS,
+        I2F_REQUESTS,
+    )?;
+
+    // The engines must be indistinguishable in everything but wall time:
+    // same outputs and placements per ticket, same machine accounting,
+    // same model clocks.
+    assert_eq!(
+        scalar.outcome.results, word.outcome.results,
+        "per-ticket outputs/placements diverged between engines"
+    );
+    assert_eq!(
+        scalar.outcome.stats, word.outcome.stats,
+        "MachineStats diverged between engines"
+    );
+    assert_eq!(
+        scalar.outcome.input_check, word.outcome.input_check,
+        "input-check reports diverged between engines"
+    );
+    assert_eq!(scalar.outcome.wall_mem_cycles, word.outcome.wall_mem_cycles);
+    assert_eq!(scalar.outcome.waves, word.outcome.waves);
+
+    let speedup = scalar.seconds / word.seconds;
+    println!("\nword-parallel speedup: {speedup:.2}x (bit-identical outcome)");
+    assert!(
+        speedup >= 2.0,
+        "word-parallel engine must be >= 2x the scalar reference, got {speedup:.2}x"
+    );
+
+    // Large-geometry capability proof: the paper's n=1020, m=15 crossbar
+    // serving a full co-packed mixed wave, word-parallel only.
+    println!();
+    let big = run_workload(
+        format!("word-parallel {BIG_N}/{BIG_M}"),
+        SimEngine::WordParallel,
+        BIG_N,
+        BIG_M,
+        BIG_N,     // one adder8 per line of the big crossbar
+        BIG_N / 2, // plus half a line-set of int2float
+    )?;
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"host_throughput\",\n",
+            "  \"geometry\": {{\"n\": {}, \"m\": {}, \"shards\": 1}},\n",
+            "  \"traffic\": {{\"adder8\": {}, \"int2float\": {}}},\n",
+            "  \"speedup_wall_clock\": {:.3},\n",
+            "  \"large_geometry\": {{\"n\": {}, \"m\": {}, \"adder8\": {}, \"int2float\": {}}},\n",
+            "  \"runs\": [\n{},\n{},\n{}\n  ]\n}}\n"
+        ),
+        N,
+        M,
+        ADDER_REQUESTS,
+        I2F_REQUESTS,
+        speedup,
+        BIG_N,
+        BIG_M,
+        BIG_N,
+        BIG_N / 2,
+        json_run(&scalar),
+        json_run(&word),
+        json_run(&big),
+    );
+    std::fs::write("BENCH_host.json", &json)?;
+    println!("\nwrote BENCH_host.json");
+    Ok(())
+}

@@ -92,6 +92,7 @@ pub use scheduler::AxisPolicy;
 
 use crate::device::{
     CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder, ProgramCache,
+    SimEngine,
 };
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
@@ -131,6 +132,7 @@ pub struct PimClusterBuilder {
     pack_limit: Option<usize>,
     axis_policy: AxisPolicy,
     auto_flush_at: Option<usize>,
+    engine: SimEngine,
 }
 
 impl PimClusterBuilder {
@@ -149,7 +151,17 @@ impl PimClusterBuilder {
             pack_limit: None,
             axis_policy: AxisPolicy::default(),
             auto_flush_at: None,
+            engine: SimEngine::default(),
         }
+    }
+
+    /// Selects the host simulation engine of every shard (default:
+    /// [`SimEngine::WordParallel`]). The scalar reference is bit-identical
+    /// but slower; throughput benchmarks select it per run to measure the
+    /// word-parallel speedup on the same traffic.
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Selects the ECC checking policy of every shard (default:
@@ -200,7 +212,9 @@ impl PimClusterBuilder {
     }
 
     /// Selects which crossbar axis dispatch waves occupy (default:
-    /// [`AxisPolicy::Alternate`] — even waves on rows, odd on columns).
+    /// [`AxisPolicy::Alternate`] — even waves on columns, odd on rows;
+    /// the cost model is axis-symmetric, and the word-parallel engine
+    /// simulates column-parallel waves fastest).
     pub fn axis_policy(mut self, policy: AxisPolicy) -> Self {
         self.axis_policy = policy;
         self
@@ -268,6 +282,7 @@ impl PimClusterBuilder {
             let device = PimDeviceBuilder::new(self.n, self.m)
                 .check_policy(policy)
                 .coverage(coverage)
+                .engine(self.engine)
                 .build()
                 .map_err(|source| ClusterError::Shard { shard: i, source })?;
             shards.push(device);

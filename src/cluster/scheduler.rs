@@ -18,8 +18,8 @@
 //!    follow-up wave's input loads and block-line ECC checks are saved.
 //!
 //! The wave's axis comes from the cluster's [`AxisPolicy`]; under
-//! [`AxisPolicy::Alternate`] even waves run on rows and odd waves on
-//! columns.
+//! [`AxisPolicy::Alternate`] even waves run on columns and odd waves on
+//! rows.
 //!
 //! Determinism: group order, chunk carving, densify order, axis choice and
 //! shard assignment are all pure functions of submission order and the
@@ -43,7 +43,11 @@ pub enum AxisPolicy {
     Rows,
     /// Every wave column-parallel.
     Cols,
-    /// Even waves on rows, odd waves on columns (the default).
+    /// Even waves on columns, odd waves on rows (the default). Leading
+    /// with the column axis is a host-side tune: the MEM cost model is
+    /// axis-symmetric, but the word-parallel simulation engine executes
+    /// column-parallel gates as whole-word row stores, so the first (and
+    /// usually largest) wave of a flush lands on the fast axis.
     #[default]
     Alternate,
 }
@@ -56,9 +60,9 @@ impl AxisPolicy {
             AxisPolicy::Cols => Axis::Cols,
             AxisPolicy::Alternate => {
                 if wave % 2 == 0 {
-                    Axis::Rows
-                } else {
                     Axis::Cols
+                } else {
+                    Axis::Rows
                 }
             }
         }

@@ -66,6 +66,7 @@ mod program;
 
 pub use batch::BatchOutcome;
 pub use error::DeviceError;
+pub use pimecc_core::SimEngine;
 pub use placement::{Axis, PlacementPlan, Slot};
 pub use program::{netlist_fingerprint, CompiledProgram};
 
@@ -74,8 +75,7 @@ pub(crate) use program::ProgramCache;
 use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory};
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::{Program, Step};
-use pimecc_xbar::LineSet;
-use std::collections::BTreeMap;
+use pimecc_xbar::{LineSet, ParallelStep};
 
 /// When (and how aggressively) the device verifies ECC around a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +133,7 @@ pub struct PimDeviceBuilder {
     m: usize,
     check_policy: CheckPolicy,
     coverage: CoveragePolicy,
+    engine: SimEngine,
     fault_hook: Option<BatchFaultHook>,
 }
 
@@ -144,8 +145,18 @@ impl PimDeviceBuilder {
             m,
             check_policy: CheckPolicy::default(),
             coverage: CoveragePolicy::default(),
+            engine: SimEngine::default(),
             fault_hook: None,
         }
+    }
+
+    /// Selects the host simulation engine (default:
+    /// [`SimEngine::WordParallel`]). The scalar reference is bit-identical
+    /// but slower; benchmarks select it to measure the word-parallel
+    /// speedup.
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Selects the ECC checking policy (default:
@@ -179,6 +190,7 @@ impl PimDeviceBuilder {
     /// [`DeviceError::Core`].
     pub fn build(self) -> Result<PimDevice, DeviceError> {
         let mut memory = ProtectedMemory::new(BlockGeometry::new(self.n, self.m)?)?;
+        memory.set_engine(self.engine);
         if let CoveragePolicy::Uncovered(blocks) = &self.coverage {
             for &(br, bc) in blocks {
                 memory.set_block_covered(br, bc, false)?;
@@ -190,6 +202,8 @@ impl PimDeviceBuilder {
             check_policy: self.check_policy,
             fault_hook: self.fault_hook,
             programs: ProgramCache::default(),
+            line_loads: Vec::new(),
+            touched_lines: Vec::new(),
         })
     }
 }
@@ -201,6 +215,7 @@ impl std::fmt::Debug for PimDeviceBuilder {
             .field("m", &self.m)
             .field("check_policy", &self.check_policy)
             .field("coverage", &self.coverage)
+            .field("engine", &self.engine)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -216,6 +231,10 @@ pub struct PimDevice {
     fault_hook: Option<BatchFaultHook>,
     /// Compiled-program cache (netlist / packed / program key domains).
     programs: ProgramCache,
+    /// Reusable per-line input-load buffers (batch scratch).
+    line_loads: Vec<Vec<(usize, bool)>>,
+    /// Lines touched by the current batch's loads (batch scratch).
+    touched_lines: Vec<usize>,
 }
 
 impl PimDevice {
@@ -254,6 +273,8 @@ impl PimDevice {
             check_policy: policy,
             fault_hook: None,
             programs: ProgramCache::default(),
+            line_loads: Vec::new(),
+            touched_lines: Vec::new(),
         }
     }
 
@@ -532,7 +553,41 @@ impl PimDevice {
             }
         }
         for (offset, lines) in plan.offset_groups() {
-            let selected = LineSet::Explicit(lines);
+            // Contiguous groups (every full wave) select as a Range, which
+            // the simulator turns into whole-word masks instead of
+            // per-line set bits; sparse groups stay explicit.
+            let selected = if lines.windows(2).all(|w| w[1] == w[0] + 1) {
+                LineSet::Range(lines[0]..lines[0] + lines.len())
+            } else {
+                LineSet::Explicit(lines)
+            };
+            // Row-axis replays first offer the whole sequence to the fused
+            // executor — one pass over the rows instead of one per step,
+            // bit- and stats-identical. Ineligible configurations (scalar
+            // engine, partial coverage, paranoid checking, sparse line
+            // sets) fall through to the per-step replay below.
+            if matches!(axis, Axis::Rows)
+                && matches!(selected, LineSet::Range(_))
+                && self.memory.supports_fused_rows()
+            {
+                let steps: Vec<ParallelStep> = program
+                    .program()
+                    .steps
+                    .iter()
+                    .map(|step| match step {
+                        Step::Init { cells } => {
+                            ParallelStep::Init(cells.iter().map(|&c| c + offset).collect())
+                        }
+                        Step::Gate { inputs, output, .. } => ParallelStep::Nor(
+                            inputs.iter().map(|&c| c + offset).collect(),
+                            output + offset,
+                        ),
+                    })
+                    .collect();
+                if self.memory.exec_steps_rows(&steps, &selected)? {
+                    continue;
+                }
+            }
             for step in &program.program().steps {
                 match step {
                     Step::Init { cells } => {
@@ -708,18 +763,40 @@ impl PimDevice {
         let stats_before = *self.memory.stats();
         // Merge all requests sharing a line into one driven write — the
         // load-amortization half of co-packing (deterministic line order).
-        let mut per_line: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
-        for (slot, req) in plan.slots().iter().zip(requests) {
-            per_line
-                .entry(slot.line)
-                .or_default()
-                .extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
+        // The per-line buffers are device scratch, reused across batches.
+        if self.line_loads.len() < self.capacity() {
+            self.line_loads.resize_with(self.capacity(), Vec::new);
         }
-        for (line, cells) in per_line {
-            match plan.axis() {
-                Axis::Rows => self.memory.write_row_cells(line, &cells)?,
-                Axis::Cols => self.memory.write_col_cells(line, &cells)?,
+        self.touched_lines.clear();
+        for (slot, req) in plan.slots().iter().zip(requests) {
+            let cells = &mut self.line_loads[slot.line];
+            if cells.is_empty() {
+                self.touched_lines.push(slot.line);
             }
+            cells.extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
+        }
+        self.touched_lines.sort_unstable();
+        let mut first_error = None;
+        for i in 0..self.touched_lines.len() {
+            let line = self.touched_lines[i];
+            let cells = std::mem::take(&mut self.line_loads[line]);
+            if first_error.is_none() {
+                let written = match plan.axis() {
+                    Axis::Rows => self.memory.write_row_cells(line, &cells),
+                    Axis::Cols => self.memory.write_col_cells(line, &cells),
+                };
+                first_error = written.err();
+            }
+            // Hand every buffer back emptied (capacity intact) even past a
+            // failure, or the stale cells would poison the next batch.
+            self.line_loads[line] = {
+                let mut cells = cells;
+                cells.clear();
+                cells
+            };
+        }
+        if let Some(e) = first_error {
+            return Err(e.into());
         }
         if let Some(hook) = self.fault_hook.as_mut() {
             hook(&mut self.memory);

@@ -118,6 +118,6 @@ pub mod prelude {
     };
     pub use crate::device::{
         Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
-        PimDeviceBuilder, PlacementPlan, Slot,
+        PimDeviceBuilder, PlacementPlan, SimEngine, Slot,
     };
 }
