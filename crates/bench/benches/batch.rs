@@ -1,14 +1,10 @@
-//! Criterion micro-benchmarks for batched device execution: the serial
-//! `ProtectedRunner` loop versus `PimDevice::run_batch` at batch sizes
+//! Criterion micro-benchmarks for batched device execution: a serial
+//! one-request-per-pass loop versus `PimDevice::run_batch` at batch sizes
 //! 1 / 8 / 64 — the wall-clock side of the ~k× MEM-cycle amortization.
-
-#![allow(deprecated)] // the serial baseline is the deprecated runner
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pimecc::device::PimDevice;
-use pimecc::ProtectedRunner;
 use pimecc_netlist::generators::Benchmark;
-use pimecc_simpler::{map, MapperConfig};
 
 const N: usize = 255;
 const M: usize = 5;
@@ -19,16 +15,22 @@ fn requests(k: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-fn bench_serial_runner(c: &mut Criterion) {
+fn bench_serial_loop(c: &mut Criterion) {
+    // The pre-batching flow: every request pays the full program latency
+    // in its own single-row pass (what the deprecated `ProtectedRunner`
+    // shim does internally).
     let nor = Benchmark::Int2float.build().netlist.to_nor();
-    let program = map(&nor, &MapperConfig { row_size: N }).expect("maps");
     for k in [1usize, 8, 64] {
         let reqs = requests(k);
-        c.bench_function(&format!("batch/serial_runner_x{k}"), |b| {
-            let mut runner = ProtectedRunner::new(N, M).expect("runner");
+        c.bench_function(&format!("batch/serial_loop_x{k}"), |b| {
+            let mut device = PimDevice::new(N, M).expect("device");
+            let program = device.compile(&nor).expect("compiles");
             b.iter(|| {
                 for req in &reqs {
-                    black_box(runner.run(&program, 0, req).expect("runs"));
+                    let outcome = device
+                        .run_batch(&program, std::slice::from_ref(req))
+                        .expect("runs");
+                    let _ = black_box(outcome);
                 }
             })
         });
@@ -47,5 +49,5 @@ fn bench_device_batch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serial_runner, bench_device_batch);
+criterion_group!(benches, bench_serial_loop, bench_device_batch);
 criterion_main!(benches);

@@ -39,19 +39,6 @@ pub enum LineSet {
 }
 
 impl LineSet {
-    /// Materializes the selected indices given the crossbar's line count.
-    ///
-    /// Out-of-range indices are *not* filtered here; bounds are validated by
-    /// the executing crossbar so the error can carry context.
-    #[deprecated(
-        since = "0.2.0",
-        note = "iterate `LineSet::iter` or build a `LineMask` with `LineSet::mask` \
-                instead of materializing a Vec per operation"
-    )]
-    pub fn indices(&self, line_count: usize) -> Vec<usize> {
-        self.iter(line_count).collect()
-    }
-
     /// Iterates the selected indices in selection order (without
     /// materializing them), given the crossbar's line count.
     ///
@@ -395,19 +382,6 @@ mod tests {
         assert_eq!(collected(&ls, 10), vec![4, 1]);
         let collected: LineSet = [0usize, 9].into_iter().collect();
         assert_eq!(collected.max_index(10), Some(9));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_indices_shim_matches_iter() {
-        for ls in [
-            LineSet::All,
-            LineSet::One(2),
-            LineSet::Range(1..3),
-            LineSet::Explicit(vec![3, 0, 3]),
-        ] {
-            assert_eq!(ls.indices(4), ls.iter(4).collect::<Vec<_>>());
-        }
     }
 
     #[test]

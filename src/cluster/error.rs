@@ -15,6 +15,42 @@ pub enum ClusterError {
     ZeroFlushThreshold,
     /// The per-line co-packing limit must admit at least one request.
     ZeroPackLimit,
+    /// The auto-flush deadline must be a positive duration.
+    ZeroFlushDeadline,
+    /// The submission-queue bound must admit at least one in-flight
+    /// request.
+    ZeroQueueLimit,
+    /// A knob that only affects the spawned service was set on a cluster
+    /// built synchronously (use [`PimClusterBuilder::spawn`] instead of
+    /// `build`).
+    ///
+    /// [`PimClusterBuilder::spawn`]: crate::cluster::PimClusterBuilder::spawn
+    ServiceOnly {
+        /// Name of the offending builder knob.
+        knob: &'static str,
+    },
+    /// The service was closed: the operation arrived after
+    /// [`ClusterHandle::close`](crate::cluster::ClusterHandle::close) (or
+    /// after every handle was dropped).
+    Closed,
+    /// A bounded service queue is full
+    /// ([`queue_limit`](crate::cluster::PimClusterBuilder::queue_limit))
+    /// and the caller asked not to wait
+    /// ([`try_submit`](crate::cluster::ClusterHandle::try_submit)).
+    Saturated {
+        /// The queue bound in force.
+        limit: usize,
+    },
+    /// The service's worker thread panicked; the pool and all unserved
+    /// submissions are lost.
+    WorkerPoisoned,
+    /// A waited ticket will never be served: its submission was dropped
+    /// (its flush failed before dispatching it) or its result was already
+    /// claimed by an earlier wait or drain.
+    TicketUnserved {
+        /// Sequence number of the unserved ticket.
+        ticket: u64,
+    },
     /// A per-shard policy override names a shard the cluster does not have.
     ShardOutOfRange {
         /// The offending shard index.
@@ -57,6 +93,31 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::ZeroPackLimit => {
                 write!(f, "pack limit must admit at least one request per line")
+            }
+            ClusterError::ZeroFlushDeadline => {
+                write!(f, "auto-flush deadline must be a positive duration")
+            }
+            ClusterError::ZeroQueueLimit => {
+                write!(f, "queue limit must admit at least one in-flight request")
+            }
+            ClusterError::ServiceOnly { knob } => {
+                write!(
+                    f,
+                    "`{knob}` only affects the spawned service; use `spawn()` instead of `build()`"
+                )
+            }
+            ClusterError::Closed => write!(f, "the cluster service is closed"),
+            ClusterError::Saturated { limit } => {
+                write!(f, "service queue is full ({limit} requests in flight)")
+            }
+            ClusterError::WorkerPoisoned => {
+                write!(f, "the cluster service's worker thread panicked")
+            }
+            ClusterError::TicketUnserved { ticket } => {
+                write!(
+                    f,
+                    "ticket#{ticket} will never be served (dropped by a failed flush or already claimed)"
+                )
             }
             ClusterError::ShardOutOfRange { shard, shards } => {
                 write!(f, "shard {shard} out of range for a {shards}-shard cluster")

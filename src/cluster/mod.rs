@@ -1,4 +1,6 @@
-//! Sharded, queue-fed execution over a pool of [`PimDevice`] crossbars.
+//! Sharded, queue-fed execution over a pool of [`PimDevice`] crossbars —
+//! synchronously on the caller's thread, or as a spawned **service**
+//! behind a channel-fed worker.
 //!
 //! One crossbar amortizes ECC and program latency *inside* a batch
 //! ([`PimDevice::run_batch`]); this layer amortizes *across* crossbars.
@@ -30,11 +32,13 @@
 //!    [`PlacementPlan`](crate::device::PlacementPlan) per batch: at most
 //!    [`batch_limit`](PimClusterBuilder::batch_limit) lines, up to
 //!    [`pack_limit`](PimClusterBuilder::pack_limit) narrow requests
-//!    co-packed per line, axis per [`AxisPolicy`]), and dispatches the
-//!    batches wave by wave, one batch per shard per wave, shards running
-//!    in parallel via [`std::thread::scope`];
-//! 3. the [`ClusterOutcome`] returns every ticket's outputs and placement
-//!    (shard, wave, axis, line, offset) plus two clocks: summed
+//!    co-packed per line, axis per [`AxisPolicy`], the slot-offset fill
+//!    origin rotating per wave to level memristor wear), and dispatches
+//!    the batches wave by wave, one batch per shard per wave, shards
+//!    running in parallel via [`std::thread::scope`];
+//! 3. the [`ClusterOutcome`] returns every ticket's outputs, placement
+//!    (shard, wave, axis, line, offset) and host-side latencies
+//!    (queue + execute) plus two clocks: summed
 //!    [`MachineStats`](pimecc_core::MachineStats) (total machine work) and
 //!    wall MEM cycles (slowest shard per wave), from which per-shard
 //!    [utilization](ShardReport::utilization) — time, [line occupancy
@@ -45,6 +49,33 @@
 //! Compiled handles are [`Arc`](std::sync::Arc)-shared
 //! ([`CompiledProgram`]), so one [`PimCluster::compile`] serves every
 //! shard without re-mapping or deep-copying the program.
+//!
+//! # Running as a service
+//!
+//! The synchronous flow above couples batching to the caller: traffic
+//! only accumulates while the caller refrains from flushing, and
+//! `flush()` blocks until every wave has executed. For production-style
+//! traffic, [`PimClusterBuilder::spawn`] splits submission from
+//! execution: the shard pool moves into a dedicated worker thread fed by
+//! an MPSC channel, callers hold cheap, cloneable
+//! [`ClusterHandle`]s whose [`submit`](ClusterHandle::submit) never
+//! blocks on execution, and tickets become waitable futures
+//! ([`handle::Ticket::wait`] / [`try_wait`](handle::Ticket::try_wait)).
+//! The worker auto-flushes on **either** a pending-count threshold
+//! ([`auto_flush_at`](PimClusterBuilder::auto_flush_at)) **or** a
+//! max-latency deadline ([`flush_after`](PimClusterBuilder::flush_after))
+//! — whichever trips first — so batches form without any caller calling
+//! `flush()`. Backpressure
+//! ([`queue_limit`](PimClusterBuilder::queue_limit)) and graceful
+//! shutdown ([`ClusterHandle::close`] drains, a panicked worker surfaces
+//! as [`ClusterError::WorkerPoisoned`]) make the lifecycle explicit. See
+//! the [`handle`] module for the caller-side API.
+//!
+//! Both front-ends drive the same engine, so scheduling stays a pure
+//! function of submission order either way: the worker serializes
+//! concurrent producers through its channel (ticket ids are allocated in
+//! channel order), and a service fed a given order places it exactly as
+//! the synchronous cluster would.
 //!
 //! # Example
 //!
@@ -81,11 +112,15 @@
 //! ```
 
 mod error;
+pub mod handle;
 mod outcome;
 mod queue;
 mod scheduler;
+mod service;
+mod worker;
 
 pub use error::ClusterError;
+pub use handle::ClusterHandle;
 pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
 pub use queue::Ticket;
 pub use scheduler::AxisPolicy;
@@ -96,10 +131,12 @@ use crate::device::{
 };
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
-use queue::{group_by_fingerprint, Pending};
-use scheduler::PackingKnobs;
+use queue::Pending;
+use service::{ClusterCore, ServiceConfig};
+use std::time::{Duration, Instant};
 
-/// Configures and builds a [`PimCluster`].
+/// Configures and builds a [`PimCluster`] — or spawns it as a service
+/// ([`PimClusterBuilder::spawn`]).
 ///
 /// Every shard shares one geometry (`n×n` crossbar, `m×m` ECC blocks) so a
 /// single compiled program runs on any of them; checking and coverage
@@ -132,6 +169,8 @@ pub struct PimClusterBuilder {
     pack_limit: Option<usize>,
     axis_policy: AxisPolicy,
     auto_flush_at: Option<usize>,
+    flush_after: Option<Duration>,
+    queue_limit: Option<usize>,
     engine: SimEngine,
 }
 
@@ -151,6 +190,8 @@ impl PimClusterBuilder {
             pack_limit: None,
             axis_policy: AxisPolicy::default(),
             auto_flush_at: None,
+            flush_after: None,
+            queue_limit: None,
             engine: SimEngine::default(),
         }
     }
@@ -221,26 +262,50 @@ impl PimClusterBuilder {
     }
 
     /// Auto-flush threshold (flush knob): once this many requests are
-    /// pending, [`PimCluster::submit`] drains the queue into an internal
-    /// bank; the next explicit [`PimCluster::flush`] returns the banked
-    /// results merged with whatever is pending then. Unset by default —
-    /// the queue only drains on explicit flushes.
+    /// pending, the queue drains without an explicit
+    /// [`PimCluster::flush`].
+    ///
+    /// On a synchronous cluster ([`PimClusterBuilder::build`]) the drain
+    /// happens inside [`PimCluster::submit`] and the results are banked
+    /// for the next explicit flush. On a spawned service
+    /// ([`PimClusterBuilder::spawn`]) the worker flushes in the
+    /// background and results become waitable immediately. Unset by
+    /// default.
     pub fn auto_flush_at(mut self, pending: usize) -> Self {
         self.auto_flush_at = Some(pending);
         self
     }
 
-    /// Builds the cluster.
+    /// Max-latency deadline (service-only flush knob): the spawned
+    /// worker flushes once the oldest pending request has waited this
+    /// long, so small batches never stall behind an unreached
+    /// [`auto_flush_at`](PimClusterBuilder::auto_flush_at) threshold.
+    /// Both knobs may be set together — whichever trips first flushes.
     ///
-    /// # Errors
+    /// Service-only: [`PimClusterBuilder::build`] rejects it (a
+    /// synchronous cluster has no thread to act on a deadline).
+    pub fn flush_after(mut self, deadline: Duration) -> Self {
+        self.flush_after = Some(deadline);
+        self
+    }
+
+    /// Bounds the service's submission queue (service-only backpressure
+    /// knob): with more than this many submissions in flight,
+    /// [`ClusterHandle::submit`] blocks until the worker catches up and
+    /// [`ClusterHandle::try_submit`] returns
+    /// [`ClusterError::Saturated`]. Unbounded by default.
     ///
-    /// [`ClusterError::NoShards`] / [`ClusterError::ZeroBatchLimit`] /
-    /// [`ClusterError::ZeroPackLimit`] /
-    /// [`ClusterError::ZeroFlushThreshold`] /
-    /// [`ClusterError::ShardOutOfRange`] on bad knobs, and
-    /// [`ClusterError::Shard`] when a shard's geometry or coverage map is
-    /// rejected.
-    pub fn build(self) -> Result<PimCluster, ClusterError> {
+    /// Service-only: [`PimClusterBuilder::build`] rejects it (a
+    /// synchronous cluster executes on the submitting thread, so its
+    /// queue never outruns the caller).
+    pub fn queue_limit(mut self, in_flight: usize) -> Self {
+        self.queue_limit = Some(in_flight);
+        self
+    }
+
+    /// Validates the knobs shared by both front-ends and constructs the
+    /// shard pool.
+    fn build_core(self) -> Result<(ClusterCore, ServiceConfig), ClusterError> {
         if self.shards == 0 {
             return Err(ClusterError::NoShards);
         }
@@ -252,6 +317,12 @@ impl PimClusterBuilder {
         }
         if self.auto_flush_at == Some(0) {
             return Err(ClusterError::ZeroFlushThreshold);
+        }
+        if self.flush_after == Some(Duration::ZERO) {
+            return Err(ClusterError::ZeroFlushDeadline);
+        }
+        if self.queue_limit == Some(0) {
+            return Err(ClusterError::ZeroQueueLimit);
         }
         if let Some(shard) = self
             .check_overrides
@@ -287,36 +358,92 @@ impl PimClusterBuilder {
                 .map_err(|source| ClusterError::Shard { shard: i, source })?;
             shards.push(device);
         }
-        Ok(PimCluster {
+        let core = ClusterCore {
             shards,
             batch_limit: self.batch_limit.unwrap_or(self.n).min(self.n),
             pack_limit: self.pack_limit.unwrap_or(usize::MAX),
             axis_policy: self.axis_policy,
-            auto_flush_at: self.auto_flush_at,
             programs: ProgramCache::default(),
-            next_ticket: 0,
             pending: Vec::new(),
+            waves_dispatched: 0,
+        };
+        let config = ServiceConfig {
+            flush_at: self.auto_flush_at,
+            flush_after: self.flush_after,
+            queue_limit: self.queue_limit,
+        };
+        Ok((core, config))
+    }
+
+    /// Builds the cluster for synchronous use on the caller's thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoShards`] / [`ClusterError::ZeroBatchLimit`] /
+    /// [`ClusterError::ZeroPackLimit`] /
+    /// [`ClusterError::ZeroFlushThreshold`] /
+    /// [`ClusterError::ShardOutOfRange`] on bad knobs,
+    /// [`ClusterError::ServiceOnly`] when a service-only knob
+    /// ([`flush_after`](PimClusterBuilder::flush_after),
+    /// [`queue_limit`](PimClusterBuilder::queue_limit)) is set, and
+    /// [`ClusterError::Shard`] when a shard's geometry or coverage map is
+    /// rejected.
+    pub fn build(self) -> Result<PimCluster, ClusterError> {
+        if self.flush_after.is_some() {
+            return Err(ClusterError::ServiceOnly {
+                knob: "flush_after",
+            });
+        }
+        if self.queue_limit.is_some() {
+            return Err(ClusterError::ServiceOnly {
+                knob: "queue_limit",
+            });
+        }
+        let (core, config) = self.build_core()?;
+        Ok(PimCluster {
+            core,
+            auto_flush_at: config.flush_at,
+            next_ticket: 0,
             banked: None,
             deferred_error: None,
         })
     }
+
+    /// Builds the shard pool and **moves it into a dedicated worker
+    /// thread**, returning a cloneable [`ClusterHandle`]. Submissions
+    /// flow to the worker over an MPSC channel and never block on shard
+    /// execution; the worker flushes on the configured
+    /// [`auto_flush_at`](PimClusterBuilder::auto_flush_at) threshold
+    /// and/or [`flush_after`](PimClusterBuilder::flush_after) deadline,
+    /// on [`ClusterHandle::flush`], or when a ticket is waited on.
+    ///
+    /// # Errors
+    ///
+    /// As [`PimClusterBuilder::build`], plus
+    /// [`ClusterError::ZeroFlushDeadline`] /
+    /// [`ClusterError::ZeroQueueLimit`] on degenerate service knobs
+    /// (service-only knobs are of course accepted here).
+    pub fn spawn(self) -> Result<ClusterHandle, ClusterError> {
+        let (core, config) = self.build_core()?;
+        Ok(handle::spawn(core, config))
+    }
 }
 
-/// A pool of [`PimDevice`] shards behind one submission queue.
+/// A pool of [`PimDevice`] shards behind one submission queue, driven
+/// synchronously on the caller's thread.
+///
+/// This is the thin blocking wrapper over the cluster service engine: it
+/// owns the same [`ClusterCore`](self) the spawned worker would, and
+/// `submit`/`flush` drive it inline. For the asynchronous front-end —
+/// non-blocking submission, waitable tickets, background deadline
+/// flushing — see [`PimClusterBuilder::spawn`] and [`ClusterHandle`].
 ///
 /// See the [module documentation](self) for the execution model and an
 /// end-to-end example.
 pub struct PimCluster {
-    shards: Vec<PimDevice>,
-    batch_limit: usize,
-    pack_limit: usize,
-    axis_policy: AxisPolicy,
+    core: ClusterCore,
     auto_flush_at: Option<usize>,
-    /// Cluster-wide compile cache (netlist / packed / program key
-    /// domains), shared in shape with the device layer.
-    programs: ProgramCache,
     next_ticket: u64,
-    pending: Vec<Pending>,
     /// Results of auto-flushed waves, awaiting the next explicit flush.
     banked: Option<ClusterOutcome>,
     /// First error of a failed auto-flush, surfaced by the next explicit
@@ -336,38 +463,38 @@ impl PimCluster {
 
     /// Number of shards in the pool.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Rows of one shard — the widest batch a single dispatch can carry.
     pub fn shard_capacity(&self) -> usize {
-        self.shards[0].capacity()
+        self.core.shard_capacity()
     }
 
     /// Total rows across shards — the cluster's requests-per-wave ceiling.
     pub fn capacity(&self) -> usize {
-        self.shards.len() * self.shard_capacity()
+        self.core.shards.len() * self.core.shard_capacity()
     }
 
     /// The line limit in force (lines per dispatched batch).
     pub fn batch_limit(&self) -> usize {
-        self.batch_limit
+        self.core.batch_limit
     }
 
     /// The co-packing limit in force (requests per line;
     /// `usize::MAX` = bounded only by footprint).
     pub fn pack_limit(&self) -> usize {
-        self.pack_limit
+        self.core.pack_limit
     }
 
     /// The axis policy in force.
     pub fn axis_policy(&self) -> AxisPolicy {
-        self.axis_policy
+        self.core.axis_policy
     }
 
     /// Requests accepted but not yet executed.
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.core.pending.len()
     }
 
     /// Read access to one shard (stats, consistency checks).
@@ -376,18 +503,18 @@ impl PimCluster {
     ///
     /// Panics if `shard` is out of range.
     pub fn shard(&self, shard: usize) -> &PimDevice {
-        &self.shards[shard]
+        &self.core.shards[shard]
     }
 
     /// Number of distinct programs held in the cluster's compile cache.
     pub fn compiled_count(&self) -> usize {
-        self.programs.len()
+        self.core.programs.len()
     }
 
     /// Empties the compile cache; outstanding handles stay valid (they own
     /// their program) and are re-inserted if compiled or adopted again.
     pub fn clear_compiled(&mut self) {
-        self.programs.clear();
+        self.core.programs.clear();
     }
 
     /// Maps `netlist` onto the shards' row width with SIMPLER — **once**:
@@ -398,8 +525,8 @@ impl PimCluster {
     ///
     /// [`ClusterError::Map`] when the function does not fit a shard row.
     pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
-        let row_size = self.shard_capacity();
-        Ok(self.programs.compile(netlist, row_size)?)
+        let row_size = self.core.shard_capacity();
+        Ok(self.core.programs.compile(netlist, row_size)?)
     }
 
     /// Maps `netlist` for *co-packing* — once, shared by every shard:
@@ -419,8 +546,8 @@ impl PimCluster {
         &mut self,
         netlist: &NorNetlist,
     ) -> Result<CompiledProgram, ClusterError> {
-        let row_size = self.shard_capacity();
-        Ok(self.programs.compile_packed(netlist, row_size)?)
+        let row_size = self.core.shard_capacity();
+        Ok(self.core.programs.compile_packed(netlist, row_size)?)
     }
 
     /// Adopts an externally mapped [`Program`] (e.g. parsed from a
@@ -431,13 +558,13 @@ impl PimCluster {
     /// [`ClusterError::ProgramTooWide`] when the program was mapped for a
     /// wider row than the shards have.
     pub fn adopt(&mut self, program: &Program) -> Result<CompiledProgram, ClusterError> {
-        if program.row_size > self.shard_capacity() {
+        if program.row_size > self.core.shard_capacity() {
             return Err(ClusterError::ProgramTooWide {
                 row_size: program.row_size,
-                n: self.shard_capacity(),
+                n: self.core.shard_capacity(),
             });
         }
-        Ok(self.programs.adopt(program))
+        Ok(self.core.programs.adopt(program))
     }
 
     /// Enqueues one request and returns its [`Ticket`]. Nothing executes
@@ -461,27 +588,17 @@ impl PimCluster {
         program: &CompiledProgram,
         inputs: Vec<bool>,
     ) -> Result<Ticket, ClusterError> {
-        if program.program().row_size > self.shard_capacity() {
-            return Err(ClusterError::ProgramTooWide {
-                row_size: program.program().row_size,
-                n: self.shard_capacity(),
-            });
-        }
-        if inputs.len() != program.num_inputs() {
-            return Err(ClusterError::InputArity {
-                got: inputs.len(),
-                want: program.num_inputs(),
-            });
-        }
+        service::validate_submission(program, &inputs, self.core.shard_capacity())?;
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push(Pending {
+        self.core.pending.push(Pending {
             ticket,
+            submitted_at: Instant::now(),
             program: program.clone(),
             inputs,
         });
         if let Some(at) = self.auto_flush_at {
-            if self.pending.len() >= at {
+            if self.core.pending.len() >= at {
                 match self.run_pending() {
                     Ok(flushed) => match &mut self.banked {
                         Some(bank) => bank.merge(flushed),
@@ -554,24 +671,13 @@ impl PimCluster {
     /// (completed batches) is banked so served tickets survive; see
     /// [`PimCluster::flush`].
     fn run_pending(&mut self) -> Result<ClusterOutcome, ClusterError> {
-        let pending = std::mem::take(&mut self.pending);
-        let mut outcome = ClusterOutcome::empty(self.shards.len());
-        if pending.is_empty() {
-            return Ok(outcome);
-        }
-        let groups = group_by_fingerprint(pending);
-        let knobs = PackingKnobs {
-            line_len: self.shard_capacity(),
-            batch_limit: self.batch_limit,
-            pack_limit: self.pack_limit,
-            axis_policy: self.axis_policy,
-        };
-        match scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome) {
-            Ok(()) => Ok(outcome),
-            Err(e) => {
+        let report = self.core.flush_pending();
+        match report.error {
+            None => Ok(report.outcome),
+            Some(e) => {
                 match &mut self.banked {
-                    Some(bank) => bank.merge(outcome),
-                    None => self.banked = Some(outcome),
+                    Some(bank) => bank.merge(report.outcome),
+                    None => self.banked = Some(report.outcome),
                 }
                 Err(e)
             }
@@ -582,14 +688,14 @@ impl PimCluster {
 impl std::fmt::Debug for PimCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PimCluster")
-            .field("shards", &self.shards.len())
-            .field("n", &self.shard_capacity())
-            .field("batch_limit", &self.batch_limit)
-            .field("pack_limit", &self.pack_limit)
-            .field("axis_policy", &self.axis_policy)
+            .field("shards", &self.core.shards.len())
+            .field("n", &self.core.shard_capacity())
+            .field("batch_limit", &self.core.batch_limit)
+            .field("pack_limit", &self.core.pack_limit)
+            .field("axis_policy", &self.core.axis_policy)
             .field("auto_flush_at", &self.auto_flush_at)
-            .field("pending", &self.pending.len())
-            .field("compiled_programs", &self.programs.len())
+            .field("pending", &self.core.pending.len())
+            .field("compiled_programs", &self.core.programs.len())
             .field("banked", &self.banked.is_some())
             .field("deferred_error", &self.deferred_error.is_some())
             .finish()
@@ -656,6 +762,46 @@ mod tests {
             PimClusterBuilder::new(1, 10, 3).build().unwrap_err(),
             ClusterError::Shard { shard: 0, .. }
         ));
+    }
+
+    #[test]
+    fn service_only_knobs_are_rejected_by_build_and_validated_by_spawn() {
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .flush_after(Duration::from_millis(1))
+                .build()
+                .unwrap_err(),
+            ClusterError::ServiceOnly {
+                knob: "flush_after"
+            }
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .queue_limit(8)
+                .build()
+                .unwrap_err(),
+            ClusterError::ServiceOnly {
+                knob: "queue_limit"
+            }
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .flush_after(Duration::ZERO)
+                .spawn()
+                .unwrap_err(),
+            ClusterError::ZeroFlushDeadline
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .queue_limit(0)
+                .spawn()
+                .unwrap_err(),
+            ClusterError::ZeroQueueLimit
+        );
+        assert_eq!(
+            PimClusterBuilder::new(0, 30, 3).spawn().unwrap_err(),
+            ClusterError::NoShards
+        );
     }
 
     #[test]
@@ -859,6 +1005,101 @@ mod tests {
     }
 
     #[test]
+    fn wave_fill_origin_rotates_for_wear_leveling() {
+        // pack_limit(1): every wave is one slot per line, so the slot
+        // offset *is* the wave's fill origin. Waves 1.. must not start
+        // from cell 0 again (the xor program is narrow, so its line has
+        // several slot columns to rotate over), and two identical runs
+        // must rotate identically.
+        let (nor, nl) = xor_circuit();
+        let run = || {
+            let mut cluster = PimClusterBuilder::new(1, 30, 3)
+                .batch_limit(4)
+                .pack_limit(1)
+                .build()
+                .expect("cluster");
+            let p = cluster.compile_packed(&nor).expect("compiles");
+            let tickets: Vec<Ticket> = (0..12u32)
+                .map(|v| {
+                    cluster
+                        .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                        .expect("submits")
+                })
+                .collect();
+            (tickets, cluster.flush().expect("flushes"))
+        };
+        let (tickets, outcome) = run();
+        assert_eq!(outcome.waves, 3);
+        for r in &outcome.results {
+            if r.wave == 0 {
+                assert_eq!(r.offset, 0, "wave 0 fills from cell 0 as before");
+            } else {
+                assert!(
+                    r.offset > 0,
+                    "wave {} must not fill from cell 0 (ticket {})",
+                    r.wave,
+                    r.ticket
+                );
+            }
+        }
+        // Distinct waves use distinct origins while the rotation ring
+        // lasts.
+        let origin_of = |wave: usize| {
+            outcome
+                .results
+                .iter()
+                .find(|r| r.wave == wave)
+                .map(|r| r.offset)
+                .expect("wave has results")
+        };
+        assert_ne!(origin_of(0), origin_of(1));
+        assert_ne!(origin_of(1), origin_of(2));
+        // Results stay correct and deterministic under rotation.
+        for (v, t) in tickets.iter().enumerate() {
+            let v = v as u32;
+            let want = nl.eval(&[v & 1 != 0, v & 2 != 0]);
+            assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
+        }
+        let (_, again) = run();
+        assert_eq!(outcome, again, "rotation is a pure function of the wave");
+    }
+
+    #[test]
+    fn wear_rotation_advances_across_flushes_not_just_inside_one() {
+        // The regime the rotation was built for: many small flushes (as a
+        // deadline- or threshold-flushing service produces). Per-flush
+        // wave indices restart at zero, so the origin must be seeded by
+        // the pool-lifetime wave count or every flush would pack at
+        // origin 0 again.
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimClusterBuilder::new(1, 30, 3)
+            .pack_limit(1)
+            .build()
+            .expect("cluster");
+        let p = cluster.compile_packed(&nor).expect("compiles");
+        let mut offsets = Vec::new();
+        for round in 0..3u32 {
+            let t = cluster
+                .submit(&p, vec![round & 1 != 0, round & 2 != 0])
+                .expect("submits");
+            let outcome = cluster.flush().expect("flushes");
+            let r = outcome.results.first().expect("served");
+            assert_eq!(r.wave, 0, "each flush is a single wave");
+            assert_eq!(
+                outcome.outputs_for(t),
+                Some(nl.eval(&[round & 1 != 0, round & 2 != 0]).as_slice())
+            );
+            offsets.push(r.offset);
+        }
+        assert_eq!(offsets[0], 0, "the pool's first wave fills from cell 0");
+        assert!(
+            offsets[1] > 0 && offsets[2] > 0,
+            "later flushes must not fill from cell 0 again: {offsets:?}"
+        );
+        assert_ne!(offsets[1], offsets[2], "the origin keeps advancing");
+    }
+
+    #[test]
     fn auto_flush_banks_results_until_the_explicit_flush() {
         let (nor, nl) = xor_circuit();
         let mut cluster = PimClusterBuilder::new(2, 30, 3)
@@ -917,7 +1158,7 @@ mod tests {
         let (xor_nor, xor_nl) = xor_circuit();
         let (mux_nor, _) = mux_circuit();
         let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
-        cluster.shards[1] = PimDevice::new(9, 3).expect("device");
+        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let p = cluster.compile(&xor_nor).expect("compiles");
         let q = cluster.compile(&mux_nor).expect("compiles");
         let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
@@ -954,7 +1195,7 @@ mod tests {
             .auto_flush_at(2)
             .build()
             .expect("cluster");
-        cluster.shards[1] = PimDevice::new(9, 3).expect("device");
+        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let p = cluster.compile(&xor_nor).expect("compiles");
         let q = cluster.compile(&mux_nor).expect("compiles");
         let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
@@ -985,7 +1226,7 @@ mod tests {
         // shard between load and check is repaired before execution.
         let (nor, nl) = xor_circuit();
         let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
-        cluster.shards[1] = PimDeviceBuilder::new(30, 3)
+        cluster.core.shards[1] = PimDeviceBuilder::new(30, 3)
             .on_batch_loaded(|pm| pm.inject_fault(0, 0))
             .build()
             .expect("device");
@@ -1008,5 +1249,138 @@ mod tests {
             Some(mux_nl.eval(&[true, true, false]).as_slice())
         );
         assert_eq!(outcome.input_check.corrected, 1, "the strike was repaired");
+    }
+
+    #[test]
+    fn spawned_service_serves_waited_and_drained_tickets() {
+        let (nor, nl) = xor_circuit();
+        let handle = PimClusterBuilder::new(2, 30, 3)
+            .auto_flush_at(4)
+            .spawn()
+            .expect("spawns");
+        let p = handle.compile(&nor).expect("compiles");
+        let tickets: Vec<handle::Ticket> = (0..10u32)
+            .map(|v| {
+                handle
+                    .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                    .expect("submits")
+            })
+            .collect();
+        // Wait on the first half individually...
+        for (v, t) in tickets.iter().take(5).enumerate() {
+            let v = v as u32;
+            let result = t.wait().expect("served");
+            assert_eq!(result.outputs, nl.eval(&[v & 1 != 0, v & 2 != 0]));
+            assert_eq!(result.ticket.id(), t.id());
+        }
+        // ...and drain the rest in bulk after closing.
+        handle.close().expect("closes");
+        let outcome = handle.drain().expect("drains");
+        assert_eq!(outcome.requests(), 5, "only unclaimed tickets remain");
+        for (v, t) in tickets.iter().enumerate().skip(5) {
+            let v = v as u32;
+            assert_eq!(
+                outcome.outputs_for(t.key()),
+                Some(nl.eval(&[v & 1 != 0, v & 2 != 0]).as_slice()),
+                "{t}"
+            );
+        }
+        // Exactly once: a waited ticket is gone, a second drain is empty.
+        assert!(matches!(
+            tickets[0].wait().unwrap_err(),
+            ClusterError::TicketUnserved { ticket: 0 }
+        ));
+        assert_eq!(handle.drain().expect("drains").requests(), 0);
+        // The service is closed for business.
+        assert!(handle.is_closed());
+        assert_eq!(
+            handle.submit(&p, vec![true, false]).unwrap_err(),
+            ClusterError::Closed
+        );
+        assert_eq!(handle.flush().unwrap_err(), ClusterError::Closed);
+    }
+
+    #[test]
+    fn dropping_every_handle_winds_the_worker_down_gracefully() {
+        let (nor, nl) = xor_circuit();
+        let handle = PimClusterBuilder::new(1, 30, 3).spawn().expect("spawns");
+        let p = handle.compile(&nor).expect("compiles");
+        let t = handle.submit(&p, vec![true, true]).expect("submits");
+        drop(handle);
+        // The worker flushes the queue on its way out; the outstanding
+        // ticket stays claimable.
+        let result = t.wait().expect("served by the final flush");
+        assert_eq!(result.outputs, nl.eval(&[true, true]));
+    }
+
+    #[test]
+    fn a_panicking_worker_poisons_waiters_and_producers() {
+        // A shard whose fault hook panics kills the dispatch thread and,
+        // with it, the worker. Every blocked or future caller must get
+        // `WorkerPoisoned` instead of hanging.
+        let (nor, _) = xor_circuit();
+        let device = PimDeviceBuilder::new(30, 3)
+            .on_batch_loaded(|_| panic!("injected worker panic"))
+            .build()
+            .expect("device");
+        let core = ClusterCore {
+            shards: vec![device],
+            batch_limit: 30,
+            pack_limit: usize::MAX,
+            axis_policy: AxisPolicy::default(),
+            programs: ProgramCache::default(),
+            pending: Vec::new(),
+            waves_dispatched: 0,
+        };
+        let handle = handle::spawn(core, ServiceConfig::default());
+        let p = handle.compile(&nor).expect("compiles");
+        let t = handle.submit(&p, vec![true, false]).expect("submits");
+        assert_eq!(t.wait().unwrap_err(), ClusterError::WorkerPoisoned);
+        assert_eq!(
+            handle.submit(&p, vec![true, false]).unwrap_err(),
+            ClusterError::WorkerPoisoned
+        );
+        assert_eq!(handle.drain().unwrap_err(), ClusterError::WorkerPoisoned);
+        assert_eq!(handle.close().unwrap_err(), ClusterError::WorkerPoisoned);
+    }
+
+    #[test]
+    fn shard_failure_in_the_service_drops_only_the_failed_tickets() {
+        // The async analogue of the sync banking tests: shard 1 is too
+        // narrow, so its batch errors (an error, not a panic — the worker
+        // survives). The served ticket resolves normally, the dropped one
+        // waits out to the flush's error.
+        let (xor_nor, xor_nl) = xor_circuit();
+        let (mux_nor, _) = mux_circuit();
+        let core = ClusterCore {
+            shards: vec![
+                PimDevice::new(30, 3).expect("device"),
+                PimDevice::new(9, 3).expect("device"),
+            ],
+            batch_limit: 30,
+            pack_limit: usize::MAX,
+            axis_policy: AxisPolicy::default(),
+            programs: ProgramCache::default(),
+            pending: Vec::new(),
+            waves_dispatched: 0,
+        };
+        let handle = handle::spawn(core, ServiceConfig::default());
+        let p = handle.compile(&xor_nor).expect("compiles");
+        let q = handle.compile(&mux_nor).expect("compiles");
+        let t0 = handle.submit(&p, vec![true, false]).expect("submits");
+        let t1 = handle.submit(&q, vec![true, true, false]).expect("submits");
+        assert_eq!(
+            t0.wait().expect("shard 0 served it").outputs,
+            xor_nl.eval(&[true, false])
+        );
+        assert_eq!(
+            t1.wait().unwrap_err(),
+            ClusterError::Shard {
+                shard: 1,
+                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
+            },
+            "the dropped ticket carries its flush's error"
+        );
+        handle.close().expect("worker survived the shard error");
     }
 }

@@ -3,9 +3,18 @@
 use super::queue::Ticket;
 use crate::device::Axis;
 use pimecc_core::{CheckReport, MachineStats};
+use std::time::Duration;
 
-/// Result of one submitted request, delivered inside a [`ClusterOutcome`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Result of one submitted request, delivered inside a [`ClusterOutcome`]
+/// (or, on the async service, by
+/// [`Ticket::wait`](crate::cluster::handle::Ticket::wait)).
+///
+/// Equality compares the *model-level* identity of the result — ticket,
+/// placement and outputs — and deliberately ignores the two host-side
+/// latency clocks, which vary run to run: two deterministic replays of the
+/// same submission order compare equal even though their wall-clock
+/// timings differ.
+#[derive(Debug, Clone)]
 pub struct TicketResult {
     /// The submission this result answers.
     pub ticket: Ticket,
@@ -23,7 +32,28 @@ pub struct TicketResult {
     pub offset: usize,
     /// The program's primary outputs for this request.
     pub outputs: Vec<bool>,
+    /// Host wall-clock time the request sat in the queue: submission to
+    /// the dispatch of the wave that served it. Excluded from equality.
+    pub queue_latency: Duration,
+    /// Host wall-clock time the serving batch spent executing on its
+    /// shard. Excluded from equality.
+    pub execute_latency: Duration,
 }
+
+impl PartialEq for TicketResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Latency clocks are measurements, not identity — see type docs.
+        self.ticket == other.ticket
+            && self.shard == other.shard
+            && self.wave == other.wave
+            && self.axis == other.axis
+            && self.line == other.line
+            && self.offset == other.offset
+            && self.outputs == other.outputs
+    }
+}
+
+impl Eq for TicketResult {}
 
 /// One shard's share of a flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -231,7 +261,21 @@ mod tests {
             line: ticket as usize,
             offset: 0,
             outputs: vec![ticket % 2 == 0],
+            queue_latency: Duration::ZERO,
+            execute_latency: Duration::ZERO,
         }
+    }
+
+    #[test]
+    fn equality_ignores_the_host_latency_clocks() {
+        let a = result(3);
+        let mut b = result(3);
+        b.queue_latency = Duration::from_millis(7);
+        b.execute_latency = Duration::from_micros(11);
+        assert_eq!(a, b, "latencies are measurements, not identity");
+        let mut c = result(3);
+        c.offset = 1;
+        assert_ne!(a, c);
     }
 
     #[test]

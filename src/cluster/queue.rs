@@ -3,6 +3,7 @@
 
 use crate::device::CompiledProgram;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Receipt for one submitted request, redeemed against the
 /// [`ClusterOutcome`](crate::cluster::ClusterOutcome) of the flush that
@@ -28,10 +29,13 @@ impl std::fmt::Display for Ticket {
     }
 }
 
-/// One accepted, not-yet-executed request.
+/// One accepted, not-yet-executed request. The submission instant rides
+/// along so the flush that serves it can report the request's queue
+/// latency ([`TicketResult::queue_latency`](crate::cluster::TicketResult)).
 #[derive(Debug, Clone)]
 pub(crate) struct Pending {
     pub(crate) ticket: Ticket,
+    pub(crate) submitted_at: Instant,
     pub(crate) program: CompiledProgram,
     pub(crate) inputs: Vec<bool>,
 }
@@ -41,7 +45,7 @@ pub(crate) struct Pending {
 #[derive(Debug)]
 pub(crate) struct Group {
     pub(crate) program: CompiledProgram,
-    pub(crate) requests: Vec<(Ticket, Vec<bool>)>,
+    pub(crate) requests: Vec<(Ticket, Instant, Vec<bool>)>,
     /// Next request index the scheduler has not yet dispatched.
     pub(crate) cursor: usize,
 }
@@ -59,10 +63,13 @@ impl Group {
     ///
     /// Panics if `n > self.remaining()` — the scheduler sizes its chunks
     /// from `remaining`.
-    pub(crate) fn take(&mut self, n: usize) -> (Vec<Ticket>, Vec<Vec<bool>>) {
+    pub(crate) fn take(&mut self, n: usize) -> (Vec<(Ticket, Instant)>, Vec<Vec<bool>>) {
         let chunk = &mut self.requests[self.cursor..self.cursor + n];
-        let tickets = chunk.iter().map(|(t, _)| *t).collect();
-        let inputs = chunk.iter_mut().map(|(_, i)| std::mem::take(i)).collect();
+        let tickets = chunk.iter().map(|&(t, at, _)| (t, at)).collect();
+        let inputs = chunk
+            .iter_mut()
+            .map(|(_, _, i)| std::mem::take(i))
+            .collect();
         self.cursor += n;
         (tickets, inputs)
     }
@@ -87,7 +94,9 @@ pub(crate) fn group_by_fingerprint(pending: Vec<Pending>) -> Vec<Group> {
             });
             groups.len() - 1
         });
-        groups[at].requests.push((p.ticket, p.inputs));
+        groups[at]
+            .requests
+            .push((p.ticket, p.submitted_at, p.inputs));
     }
     groups
 }
@@ -114,19 +123,23 @@ mod tests {
     fn groups_keep_first_appearance_order_and_submission_order() {
         let a = program(2, false);
         let b = program(3, true);
+        let now = Instant::now();
         let pending = vec![
             Pending {
                 ticket: Ticket(0),
+                submitted_at: now,
                 program: b.clone(),
                 inputs: vec![true, false, true],
             },
             Pending {
                 ticket: Ticket(1),
+                submitted_at: now,
                 program: a.clone(),
                 inputs: vec![true, false],
             },
             Pending {
                 ticket: Ticket(2),
+                submitted_at: now,
                 program: b.clone(),
                 inputs: vec![false, false, true],
             },
@@ -141,7 +154,9 @@ mod tests {
         assert_eq!(groups[0].requests.len(), 2);
         assert_eq!(groups[0].requests[0].0, Ticket(0));
         assert_eq!(groups[0].requests[1].0, Ticket(2));
-        assert_eq!(groups[1].requests, vec![(Ticket(1), vec![true, false])]);
+        assert_eq!(groups[1].requests.len(), 1);
+        assert_eq!(groups[1].requests[0].0, Ticket(1));
+        assert_eq!(groups[1].requests[0].2, vec![true, false]);
         assert_eq!(groups[0].remaining(), 2);
     }
 }

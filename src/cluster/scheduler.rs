@@ -31,6 +31,7 @@ use super::error::ClusterError;
 use super::outcome::{ClusterOutcome, TicketResult};
 use super::queue::{Group, Ticket};
 use crate::device::{Axis, BatchOutcome, CompiledProgram, DeviceError, PimDevice, PlacementPlan};
+use std::time::{Duration, Instant};
 
 /// How the cluster orients its dispatch waves on the crossbars.
 ///
@@ -81,6 +82,10 @@ pub(crate) struct PackingKnobs {
     pub(crate) pack_limit: usize,
     /// Axis selection per wave.
     pub(crate) axis_policy: AxisPolicy,
+    /// Waves the pool dispatched before this flush: the wear-leveling
+    /// rotation advances across flushes, not just inside one (per-flush
+    /// wave indices restart at zero).
+    pub(crate) origin_base: usize,
 }
 
 impl PackingKnobs {
@@ -98,9 +103,11 @@ struct WaveJob {
     /// Index into `groups`, so the densify pass can pull more requests.
     group: usize,
     program: CompiledProgram,
-    tickets: Vec<Ticket>,
+    /// Each dispatched ticket with its submission instant (queue-latency
+    /// accounting).
+    tickets: Vec<(Ticket, Instant)>,
     inputs: Vec<Vec<bool>>,
-    /// Lines the spread pass reserved (slots at offset 0).
+    /// Lines the spread pass reserved (slots at the wave's fill origin).
     lines: usize,
 }
 
@@ -180,13 +187,22 @@ fn plan_wave(
     let axis = knobs.axis_policy.axis_for(wave);
     jobs.into_iter()
         .map(|job| {
-            let plan = PlacementPlan::pack(
+            // The slot-offset fill origin rotates with the pool-lifetime
+            // wave index (origin_base counts earlier flushes): successive
+            // waves start their offset-major fill one slot column further
+            // along the line, leveling memristor wear across cells
+            // instead of always writing from cell 0. The origin is a pure
+            // function of the wave's position in the submission history,
+            // so the plan — and the determinism guarantee — is unchanged
+            // in kind.
+            let plan = PlacementPlan::pack_rotated(
                 axis,
                 knobs.line_len,
                 job.program.footprint().max(1),
                 job.lines,
                 knobs.pack_limit,
                 job.tickets.len(),
+                knobs.origin_base + wave,
             )
             .expect("planned chunks fit their packed capacity by construction");
             (job, plan)
@@ -206,30 +222,37 @@ fn dispatch_wave(
     outcome: &mut ClusterOutcome,
 ) -> Result<(), ClusterError> {
     let wave = outcome.waves;
+    let dispatched_at = Instant::now();
     // `plan_wave` assigns strictly increasing shard indices, so one pass
     // over the shards pairs each job with a disjoint `&mut PimDevice`.
     let mut jobs = jobs.into_iter().peekable();
-    let ran: Vec<(WaveJob, PlacementPlan, Result<BatchOutcome, DeviceError>)> =
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (i, device) in shards.iter_mut().enumerate() {
-                if jobs.peek().map(|(j, _)| j.shard) == Some(i) {
-                    let (job, plan) = jobs.next().expect("peeked");
-                    handles.push(s.spawn(move || {
-                        let result = device.run_plan(&job.program, &plan, &job.inputs);
-                        (job, plan, result)
-                    }));
-                }
+    type Ran = (
+        WaveJob,
+        PlacementPlan,
+        Duration,
+        Result<BatchOutcome, DeviceError>,
+    );
+    let ran: Vec<Ran> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, device) in shards.iter_mut().enumerate() {
+            if jobs.peek().map(|(j, _)| j.shard) == Some(i) {
+                let (job, plan) = jobs.next().expect("peeked");
+                handles.push(s.spawn(move || {
+                    let started = Instant::now();
+                    let result = device.run_plan(&job.program, &plan, &job.inputs);
+                    (job, plan, started.elapsed(), result)
+                }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
 
     let mut wave_wall = 0;
     let mut first_error = None;
-    for (job, plan, result) in ran {
+    for (job, plan, execute_latency, result) in ran {
         let batch = match result {
             Ok(batch) => batch,
             Err(source) => {
@@ -253,7 +276,7 @@ fn dispatch_wave(
         report.line_capacity += knobs.line_len as u64;
         report.cells_occupied += plan.cells_occupied() as u64;
         report.cell_capacity += (knobs.line_len * knobs.line_len) as u64;
-        for ((ticket, outputs), slot) in
+        for (((ticket, submitted_at), outputs), slot) in
             job.tickets.into_iter().zip(batch.outputs).zip(plan.slots())
         {
             outcome.results.push(TicketResult {
@@ -264,6 +287,8 @@ fn dispatch_wave(
                 line: slot.line,
                 offset: slot.offset,
                 outputs,
+                queue_latency: dispatched_at.saturating_duration_since(submitted_at),
+                execute_latency,
             });
         }
     }

@@ -1,0 +1,159 @@
+//! The service engine: the shard pool, the pending queue and the flush
+//! machinery, shared by the synchronous [`PimCluster`] wrapper (which
+//! drives it on the caller's thread) and the spawned
+//! [`worker`](super::worker) (which drives it on its own thread behind a
+//! channel).
+//!
+//! [`PimCluster`]: crate::cluster::PimCluster
+
+use super::error::ClusterError;
+use super::outcome::ClusterOutcome;
+use super::queue::{group_by_fingerprint, Pending, Ticket};
+use super::scheduler::{self, AxisPolicy, PackingKnobs};
+use crate::device::{CompiledProgram, PimDevice, ProgramCache};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// The flush knobs of a spawned service — when the worker drains the
+/// queue without being asked.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ServiceConfig {
+    /// Pending-count threshold: the worker flushes as soon as this many
+    /// requests are queued.
+    pub(crate) flush_at: Option<usize>,
+    /// Max-latency deadline: the worker flushes once the oldest pending
+    /// request has waited this long.
+    pub(crate) flush_after: Option<Duration>,
+    /// Bound on in-flight submissions (backpressure).
+    pub(crate) queue_limit: Option<usize>,
+}
+
+/// What one drain of the pending queue produced.
+///
+/// `outcome` holds everything that executed (even when `error` is set:
+/// batches completed before the failure are not lost); `dropped` lists the
+/// tickets the failed flush abandoned before dispatching them. `dropped`
+/// is non-empty only when `error` is set.
+pub(crate) struct FlushReport {
+    pub(crate) outcome: ClusterOutcome,
+    pub(crate) dropped: Vec<Ticket>,
+    pub(crate) error: Option<ClusterError>,
+}
+
+/// Validates one submission against the pool's shared geometry — the
+/// entry check both the sync wrapper and the service handle run before
+/// accepting a request.
+pub(crate) fn validate_submission(
+    program: &CompiledProgram,
+    inputs: &[bool],
+    shard_capacity: usize,
+) -> Result<(), ClusterError> {
+    if program.program().row_size > shard_capacity {
+        return Err(ClusterError::ProgramTooWide {
+            row_size: program.program().row_size,
+            n: shard_capacity,
+        });
+    }
+    if inputs.len() != program.num_inputs() {
+        return Err(ClusterError::InputArity {
+            got: inputs.len(),
+            want: program.num_inputs(),
+        });
+    }
+    Ok(())
+}
+
+/// The shard pool behind every cluster front-end: devices, packing knobs,
+/// the shared compile cache and the pending queue.
+///
+/// `ClusterCore` has no opinion about *when* to flush — that is the
+/// front-end's job (the sync wrapper flushes on the caller's thread, the
+/// worker on thresholds and deadlines). It owns the *how*: group pending
+/// traffic by fingerprint, plan waves, dispatch them across the shards.
+pub(crate) struct ClusterCore {
+    pub(crate) shards: Vec<PimDevice>,
+    pub(crate) batch_limit: usize,
+    pub(crate) pack_limit: usize,
+    pub(crate) axis_policy: AxisPolicy,
+    /// Cluster-wide compile cache (netlist / packed / program key
+    /// domains), shared in shape with the device layer.
+    pub(crate) programs: ProgramCache,
+    pub(crate) pending: Vec<Pending>,
+    /// Waves dispatched over the pool's lifetime — the base of the
+    /// wear-leveling rotation. Per-flush wave indices restart at zero,
+    /// so without this a service flushing small batches (deadline or
+    /// threshold) would pack *every* flush at origin 0 and the rotation
+    /// would never level anything. Still a pure function of submission
+    /// order, so determinism is preserved.
+    pub(crate) waves_dispatched: usize,
+}
+
+impl ClusterCore {
+    /// Rows of one shard — the widest batch a single dispatch can carry.
+    pub(crate) fn shard_capacity(&self) -> usize {
+        self.shards[0].capacity()
+    }
+
+    /// Executes everything pending and reports what happened. Never
+    /// panics on shard *errors* (they land in
+    /// [`FlushReport::error`]); results of batches that completed before
+    /// a failure are kept in the report's outcome, and the tickets the
+    /// failure abandoned are listed so the caller can resolve them.
+    pub(crate) fn flush_pending(&mut self) -> FlushReport {
+        let pending = std::mem::take(&mut self.pending);
+        let mut outcome = ClusterOutcome::empty(self.shards.len());
+        if pending.is_empty() {
+            return FlushReport {
+                outcome,
+                dropped: Vec::new(),
+                error: None,
+            };
+        }
+        let submitted: Vec<Ticket> = pending.iter().map(|p| p.ticket).collect();
+        let groups = group_by_fingerprint(pending);
+        let knobs = PackingKnobs {
+            line_len: self.shard_capacity(),
+            batch_limit: self.batch_limit,
+            pack_limit: self.pack_limit,
+            axis_policy: self.axis_policy,
+            origin_base: self.waves_dispatched,
+        };
+        let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome);
+        // Waves that dispatched advance the wear rotation even when a
+        // later wave of the same flush failed.
+        self.waves_dispatched += outcome.waves;
+        match ran {
+            Ok(()) => FlushReport {
+                outcome,
+                dropped: Vec::new(),
+                error: None,
+            },
+            Err(error) => {
+                let served: HashSet<u64> = outcome.results.iter().map(|r| r.ticket.id()).collect();
+                let dropped = submitted
+                    .into_iter()
+                    .filter(|t| !served.contains(&t.id()))
+                    .collect();
+                FlushReport {
+                    outcome,
+                    dropped,
+                    error: Some(error),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterCore")
+            .field("shards", &self.shards.len())
+            .field("n", &self.shard_capacity())
+            .field("batch_limit", &self.batch_limit)
+            .field("pack_limit", &self.pack_limit)
+            .field("axis_policy", &self.axis_policy)
+            .field("pending", &self.pending.len())
+            .field("compiled_programs", &self.programs.len())
+            .finish()
+    }
+}

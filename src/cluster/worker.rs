@@ -1,0 +1,146 @@
+//! The service's worker thread: owns the shard pool, drains the command
+//! channel, and auto-flushes on **either** a pending-count threshold or a
+//! max-latency deadline — whichever trips first.
+//!
+//! The worker is the only thread that ever touches the
+//! [`ClusterCore`](super::service::ClusterCore) once
+//! [`PimClusterBuilder::spawn`](crate::cluster::PimClusterBuilder::spawn)
+//! moves the pool here, so scheduling stays exactly as deterministic as
+//! the synchronous cluster: the dispatch plan is a pure function of the
+//! order commands arrive on the channel. Concurrent producers race for
+//! *queue positions* (ticket ids are allocated in channel order), but
+//! once the order is fixed, so is every placement.
+
+use super::handle::Shared;
+use super::service::{ClusterCore, ServiceConfig};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What a [`ClusterHandle`](super::handle::ClusterHandle) sends down the
+/// channel.
+pub(crate) enum Command {
+    /// One validated request; the ticket id was allocated by the sender.
+    Submit(super::queue::Pending),
+    /// Flush everything pending now.
+    Flush,
+    /// Flush everything pending, then stop (graceful shutdown).
+    Close,
+}
+
+/// The worker loop. Runs until a [`Command::Close`] arrives or every
+/// sender is gone, flushes whatever is still pending on the way out, and
+/// marks the board closed so waiters never hang. A panic anywhere in the
+/// loop (a shard thread dying, a placement invariant breaking) poisons
+/// the board instead: every current and future waiter gets
+/// [`ClusterError::WorkerPoisoned`](super::ClusterError::WorkerPoisoned).
+pub(crate) fn run(
+    mut core: ClusterCore,
+    rx: Receiver<Command>,
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+) {
+    let _guard = PoisonGuard(&shared);
+    // When the oldest pending request must be served (`flush_after`
+    // counted from its submission instant); `None` while the queue is
+    // empty or no deadline is configured.
+    let mut deadline: Option<Instant> = None;
+    loop {
+        // An expired deadline flushes — but first the channel backlog is
+        // absorbed non-blockingly. A worker running behind its deadline
+        // would otherwise dequeue one aged request at a time, each with
+        // an already-expired deadline, and degenerate into
+        // one-request-per-flush: the exact anti-batching behavior the
+        // service exists to avoid.
+        if deadline.is_some_and(|at| at <= Instant::now()) {
+            let stop = absorb_backlog(&mut core, &rx, &shared, cfg, &mut deadline);
+            flush(&mut core, &shared, &mut deadline);
+            if stop {
+                break;
+            }
+            continue;
+        }
+        let cmd = match deadline {
+            Some(at) => {
+                match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                    Ok(cmd) => cmd,
+                    // Handled by the expired-deadline branch above.
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+        };
+        match cmd {
+            Command::Submit(p) => {
+                if core.pending.is_empty() {
+                    deadline = cfg.flush_after.map(|after| p.submitted_at + after);
+                }
+                core.pending.push(p);
+                if cfg.flush_at.is_some_and(|at| core.pending.len() >= at) {
+                    flush(&mut core, &shared, &mut deadline);
+                }
+            }
+            Command::Flush => flush(&mut core, &shared, &mut deadline),
+            Command::Close => break,
+        }
+    }
+    // Graceful exit — Close or every handle dropped: serve the stragglers,
+    // then let waiters and drainers through.
+    flush(&mut core, &shared, &mut deadline);
+    shared.finish();
+}
+
+/// Non-blockingly moves the channel backlog into the pending queue so an
+/// imminent deadline flush carries the whole backlog in one batch. The
+/// threshold still applies mid-absorb (so `flush_at` keeps bounding batch
+/// size); queued `Flush` commands are satisfied by the flush that follows.
+/// Returns `true` when the worker should stop (a `Close` was queued or
+/// every sender is gone).
+fn absorb_backlog(
+    core: &mut ClusterCore,
+    rx: &Receiver<Command>,
+    shared: &Shared,
+    cfg: ServiceConfig,
+    deadline: &mut Option<Instant>,
+) -> bool {
+    loop {
+        match rx.try_recv() {
+            Ok(Command::Submit(p)) => {
+                core.pending.push(p);
+                if cfg.flush_at.is_some_and(|at| core.pending.len() >= at) {
+                    flush(core, shared, deadline);
+                }
+            }
+            Ok(Command::Flush) => {}
+            Ok(Command::Close) => return true,
+            // Disconnected: the final flush runs next either way, and the
+            // following recv() observes the hangup and stops the loop.
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return false,
+        }
+    }
+}
+
+/// One queue drain: execute, publish to the board, re-arm the deadline.
+fn flush(core: &mut ClusterCore, shared: &Shared, deadline: &mut Option<Instant>) {
+    *deadline = None;
+    if core.pending.is_empty() {
+        return;
+    }
+    shared.publish(core.flush_pending());
+}
+
+/// Poisons the board if the worker unwinds, so no waiter blocks forever
+/// on a dead thread.
+struct PoisonGuard<'a>(&'a Shared);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}

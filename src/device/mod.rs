@@ -77,6 +77,17 @@ use pimecc_netlist::NorNetlist;
 use pimecc_simpler::{Program, Step};
 use pimecc_xbar::{LineSet, ParallelStep};
 
+// The cluster service moves whole devices into its worker thread and
+// ships compiled-program handles across an MPSC channel, so these bounds
+// are load-bearing API contracts — pin them at compile time rather than
+// discovering a regression at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<PimDevice>();
+    assert_send_sync::<CompiledProgram>();
+};
+
 /// When (and how aggressively) the device verifies ECC around a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckPolicy {

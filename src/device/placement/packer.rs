@@ -36,6 +36,42 @@ impl PlacementPlan {
         per_line_cap: usize,
         requests: usize,
     ) -> Result<Self, DeviceError> {
+        Self::pack_rotated(
+            axis,
+            line_len,
+            slot_width,
+            line_limit,
+            per_line_cap,
+            requests,
+            0,
+        )
+    }
+
+    /// [`PlacementPlan::pack`] with a rotated slot-offset **fill origin**:
+    /// depth `j` of the offset-major fill lands on physical offset column
+    /// `(origin + j) % (line_len / slot_width)` instead of column `j`.
+    ///
+    /// A batch always filling from cell 0 concentrates memristor wear in
+    /// the low cells of every line; rotating the origin — the cluster
+    /// scheduler passes its wave index — levels write traffic across the
+    /// whole line over time. `origin` may be any value (it is reduced
+    /// modulo the line's geometric slot capacity), `origin == 0` is
+    /// exactly [`PlacementPlan::pack`], and the plan remains a pure
+    /// function of the arguments, so rotation preserves the scheduler's
+    /// determinism guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlacementPlan::pack`].
+    pub fn pack_rotated(
+        axis: Axis,
+        line_len: usize,
+        slot_width: usize,
+        line_limit: usize,
+        per_line_cap: usize,
+        requests: usize,
+        origin: usize,
+    ) -> Result<Self, DeviceError> {
         if slot_width == 0 {
             return Err(DeviceError::ZeroSlotWidth);
         }
@@ -49,7 +85,11 @@ impl PlacementPlan {
             });
         }
         let lines_avail = line_limit.min(line_len);
-        let per_line = (line_len / slot_width).min(per_line_cap).max(1);
+        // Admitted fill depth vs the line's full geometric slot capacity:
+        // the former caps how many requests share a line, the latter is
+        // the ring the fill origin rotates over.
+        let slot_columns = line_len / slot_width;
+        let per_line = slot_columns.min(per_line_cap).max(1);
         if requests > lines_avail * per_line {
             return Err(DeviceError::BatchTooLarge {
                 requests,
@@ -57,10 +97,11 @@ impl PlacementPlan {
             });
         }
         let lines_used = requests.min(lines_avail);
+        let origin = origin % slot_columns;
         let slots = (0..requests)
             .map(|i| Slot {
                 line: i % lines_used,
-                offset: (i / lines_used) * slot_width,
+                offset: ((origin + i / lines_used) % slot_columns) * slot_width,
             })
             .collect();
         PlacementPlan::new(axis, line_len, slot_width, slots)
@@ -123,6 +164,44 @@ mod tests {
         );
     }
 
+    #[test]
+    fn rotated_fill_starts_at_the_origin_column_and_wraps() {
+        // 30-cell lines, width 7: 4 slot columns at offsets 0/7/14/21.
+        // Origin 2 over 3 lines × 70 requests... keep it readable: 8
+        // requests on 3 lines, depth 3 → columns 2, 3, 0 in fill order.
+        let plan =
+            PlacementPlan::pack_rotated(Axis::Rows, 30, 7, 3, usize::MAX, 8, 2).expect("packs");
+        let groups = plan.offset_groups();
+        // offset_groups is offset-ascending; the *fill order* puts the
+        // first 3 requests at column 2 (offset 14), next 3 at column 3
+        // (offset 21), last 2 wrap to column 0 (offset 0).
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], (0, vec![0, 1]));
+        assert_eq!(groups[1], (14, vec![0, 1, 2]));
+        assert_eq!(groups[2], (21, vec![0, 1, 2]));
+        // Spread slots (the first lines_used requests) sit at the origin.
+        for (i, slot) in plan.slots().iter().take(3).enumerate() {
+            assert_eq!((slot.line, slot.offset), (i, 14), "request {i}");
+        }
+    }
+
+    #[test]
+    fn origin_zero_is_exactly_the_classic_pack() {
+        for requests in [1usize, 12, 70] {
+            let classic =
+                PlacementPlan::pack(Axis::Rows, 30, 7, 30, usize::MAX, requests).expect("packs");
+            let rotated =
+                PlacementPlan::pack_rotated(Axis::Rows, 30, 7, 30, usize::MAX, requests, 0)
+                    .expect("packs");
+            assert_eq!(classic, rotated, "{requests} requests");
+            // And the origin wraps modulo the slot-column count (4 here).
+            let wrapped =
+                PlacementPlan::pack_rotated(Axis::Rows, 30, 7, 30, usize::MAX, requests, 4)
+                    .expect("packs");
+            assert_eq!(classic, wrapped, "{requests} requests, origin 4");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -157,6 +236,48 @@ mod tests {
                     DeviceError::BatchTooLarge { .. } | DeviceError::ProgramTooWide { .. },
                 ) => {}
                 Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+
+        // Rotating the fill origin never changes the capacity envelope,
+        // keeps slots legal, and stays a pure function of its arguments.
+        #[test]
+        fn rotated_packs_are_disjoint_deterministic_and_capacity_equivalent(
+            line_len in 4usize..64,
+            slot_width in 1usize..16,
+            line_limit in 1usize..64,
+            per_line_cap in 1usize..8,
+            requests in 1usize..200,
+            origin in 0usize..100,
+        ) {
+            let rotated = PlacementPlan::pack_rotated(
+                Axis::Cols, line_len, slot_width, line_limit, per_line_cap, requests, origin,
+            );
+            let classic = PlacementPlan::pack(
+                Axis::Cols, line_len, slot_width, line_limit, per_line_cap, requests,
+            );
+            match rotated {
+                Ok(plan) => {
+                    let again = PlacementPlan::pack_rotated(
+                        Axis::Cols, line_len, slot_width, line_limit, per_line_cap,
+                        requests, origin,
+                    ).expect("same arguments pack again");
+                    prop_assert_eq!(&plan, &again, "rotation must be deterministic");
+                    prop_assert_eq!(plan.requests(), requests);
+                    prop_assert!(plan.max_per_line() <= per_line_cap);
+                    prop_assert_eq!(
+                        plan.lines_occupied(),
+                        requests.min(line_limit.min(line_len))
+                    );
+                    for slot in plan.slots() {
+                        prop_assert_eq!(slot.offset % slot_width, 0);
+                        prop_assert!(slot.offset + slot_width <= line_len);
+                    }
+                    let classic = classic.expect("rotation does not change capacity");
+                    prop_assert_eq!(classic.lines_occupied(), plan.lines_occupied());
+                    prop_assert_eq!(classic.max_per_line(), plan.max_per_line());
+                }
+                Err(e) => prop_assert_eq!(classic.unwrap_err(), e),
             }
         }
     }

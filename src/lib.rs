@@ -14,7 +14,12 @@
 //!   traffic behind `submit`/`flush`, packs it by program fingerprint and
 //!   dispatches two-dimensionally planned batches (rows *or* columns,
 //!   narrow programs co-packed several per line) across a pool of shards
-//!   in parallel;
+//!   in parallel. [`PimClusterBuilder::spawn`](cluster::PimClusterBuilder::spawn)
+//!   runs the same pool as a **service**: a channel-fed worker thread
+//!   auto-flushes on a pending threshold or a max-latency deadline, and
+//!   cloneable [`ClusterHandle`](cluster::ClusterHandle)s submit without
+//!   blocking, holding waitable tickets
+//!   ([`cluster::handle::Ticket::wait`]);
 //! * [`device`] — the batch-first execution layer: [`PimDevice`] compiles
 //!   functions once (SIMPLER; [`PimDevice::compile_packed`] maps them
 //!   narrow for co-packing) and executes
@@ -113,8 +118,8 @@ pub use runner::RunOutcome;
 /// ```
 pub mod prelude {
     pub use crate::cluster::{
-        AxisPolicy, ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, ShardReport,
-        Ticket, TicketResult,
+        AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, PimCluster, PimClusterBuilder,
+        ShardReport, Ticket, TicketResult,
     };
     pub use crate::device::{
         Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,

@@ -1,11 +1,7 @@
 //! Interop integration tests: BLIF round-trips through the mapper,
 //! listing round-trips through the crossbar executor, the equivalence
-//! checker guarding the whole transformation chain, and the protected
-//! runner on a real benchmark.
-
-// The deprecated `ProtectedRunner` facade is exercised on purpose: it must
-// keep working until its removal.
-#![allow(deprecated)]
+//! checker guarding the whole transformation chain, and the
+//! load/execute-separated device flow on a real benchmark.
 
 use pimecc::cluster::PimCluster;
 use pimecc::device::PimDevice;
@@ -13,7 +9,6 @@ use pimecc::netlist::blif::{parse_blif, write_blif};
 use pimecc::netlist::equiv::{check_equivalence, Equivalence};
 use pimecc::netlist::generators::{Benchmark, ExtraBenchmark};
 use pimecc::simpler::{map, map_auto, parse_listing, write_listing, MapperConfig};
-use pimecc::ProtectedRunner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,35 +69,39 @@ fn equivalence_checker_guards_nor_lowering_of_extras() {
 }
 
 #[test]
-fn protected_runner_executes_int2float_with_fault_recovery() {
+fn load_execute_device_flow_runs_int2float_with_fault_recovery() {
     // A complete paper-flow run of a real Table I benchmark inside the
-    // ECC-protected memory, including a pre-execution input repair.
+    // ECC-protected memory, including a pre-execution input repair — via
+    // the device API's separated load / execute entry points (the flow
+    // the deprecated `ProtectedRunner` shim routes to).
     let circuit = Benchmark::Int2float.build();
     let nor = circuit.netlist.to_nor();
     let program = map(&nor, &MapperConfig { row_size: 255 }).expect("fits a 255-cell row");
-    let mut runner = ProtectedRunner::new(255, 5).expect("runner");
+    let mut device = PimDevice::new(255, 5).expect("device");
+    let compiled = device.adopt(&program);
 
     for x in [0u32, 1, 0b100_0000_0000, 0x7FF] {
         let inputs: Vec<bool> = (0..11).map(|i| x >> i & 1 != 0).collect();
-        runner.load_inputs(&program, 0, &inputs).expect("loads");
+        device.load_request(&compiled, 0, &inputs).expect("loads");
         // Strike one input bit.
-        runner.inject_fault(0, (x as usize) % 11);
-        let out = runner.execute(&program, 0).expect("runs");
+        device.inject_fault(0, (x as usize) % 11);
+        let out = device.execute_rows(&compiled, &[0]).expect("runs");
         assert_eq!(out.input_check.corrected, 1, "x={x}");
-        assert_eq!(out.outputs, (circuit.reference)(&inputs), "x={x}");
-        assert!(runner.memory().verify_consistency().is_ok());
+        assert_eq!(out.outputs[0], (circuit.reference)(&inputs), "x={x}");
+        assert!(device.memory().verify_consistency().is_ok());
     }
 }
 
 #[test]
-fn runner_and_device_agree_on_a_real_benchmark() {
-    // The deprecated serial facade and the batched device must produce
-    // identical outputs for identical requests — the shim really is a shim.
+fn serial_one_row_passes_and_batch_agree_on_a_real_benchmark() {
+    // A serial one-request-per-pass loop and the batched flow must
+    // produce identical outputs for identical requests.
     let circuit = Benchmark::Int2float.build();
     let nor = circuit.netlist.to_nor();
     let program = map(&nor, &MapperConfig { row_size: 255 }).expect("fits a 255-cell row");
 
-    let mut runner = ProtectedRunner::new(255, 5).expect("runner");
+    let mut serial = PimDevice::new(255, 5).expect("device");
+    let serial_compiled = serial.adopt(&program);
     let mut device = PimDevice::new(255, 5).expect("device");
     let compiled = device.adopt(&program);
 
@@ -112,12 +111,14 @@ fn runner_and_device_agree_on_a_real_benchmark() {
         .collect();
     let batch = device.run_batch(&compiled, &requests).expect("batch runs");
     for (i, req) in requests.iter().enumerate() {
-        let serial = runner.run(&program, 0, req).expect("serial runs");
-        assert_eq!(serial.outputs, batch.outputs[i], "request {i}");
-        assert_eq!(serial.outputs, (circuit.reference)(req), "request {i}");
+        let one = serial
+            .run_batch(&serial_compiled, std::slice::from_ref(req))
+            .expect("serial runs");
+        assert_eq!(one.outputs[0], batch.outputs[i], "request {i}");
+        assert_eq!(one.outputs[0], (circuit.reference)(req), "request {i}");
     }
     assert!(device.memory().verify_consistency().is_ok());
-    assert!(runner.memory().verify_consistency().is_ok());
+    assert!(serial.memory().verify_consistency().is_ok());
 }
 
 #[test]
