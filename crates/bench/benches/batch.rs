@@ -17,8 +17,7 @@ fn requests(k: usize) -> Vec<Vec<bool>> {
 
 fn bench_serial_loop(c: &mut Criterion) {
     // The pre-batching flow: every request pays the full program latency
-    // in its own single-row pass (what the deprecated `ProtectedRunner`
-    // shim does internally).
+    // in its own single-row pass.
     let nor = Benchmark::Int2float.build().netlist.to_nor();
     for k in [1usize, 8, 64] {
         let reqs = requests(k);

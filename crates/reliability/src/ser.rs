@@ -56,6 +56,40 @@ impl SoftErrorRate {
         -(-self.fit_per_bit * hours / 1e9).exp_m1()
     }
 
+    /// Inverse of [`SoftErrorRate::flip_probability`]: the exposure window
+    /// (in hours) over which one specific bit flips with probability `p` —
+    /// `h = −ln(1−p)·10⁹/λ`. This is how an online scrub scheduler picks
+    /// its check period: choose the per-bit flip probability the ECC
+    /// should face between checks, invert, and scrub that often.
+    ///
+    /// A zero rate never flips: the window is `f64::INFINITY`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pimecc_reliability::SoftErrorRate;
+    ///
+    /// let ser = SoftErrorRate::flash_like();
+    /// let hours = ser.exposure_window_for(2.4e-11);
+    /// assert!((hours - 24.0).abs() < 1e-6, "the paper's daily check");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn exposure_window_for(&self, p: f64) -> f64 {
+        assert!(
+            p.is_finite() && (0.0..1.0).contains(&p),
+            "flip probability must be in [0, 1), got {p}"
+        );
+        if self.fit_per_bit == 0.0 {
+            return f64::INFINITY;
+        }
+        // ln_1p keeps precision for tiny p, where (1 - p) would round —
+        // the exact inverse of flip_probability's exp_m1.
+        -(-p).ln_1p() * 1e9 / self.fit_per_bit
+    }
+
     /// The logarithmically spaced sweep of the paper's Figure 6 x-axis:
     /// `10^-5 .. 10^3` FIT/bit, `points_per_decade` samples per decade.
     ///
@@ -89,6 +123,28 @@ mod tests {
     fn zero_rate_never_flips() {
         let ser = SoftErrorRate::from_fit_per_bit(0.0);
         assert_eq!(ser.flip_probability(1e6), 0.0);
+        assert_eq!(ser.exposure_window_for(1e-9), f64::INFINITY);
+    }
+
+    #[test]
+    fn exposure_window_inverts_flip_probability() {
+        for fit in [1e-5, 1e-3, 1.0, 1e3] {
+            let ser = SoftErrorRate::from_fit_per_bit(fit);
+            for p in [1e-15, 1e-11, 1e-6, 0.5] {
+                let hours = ser.exposure_window_for(p);
+                let back = ser.flip_probability(hours);
+                assert!(
+                    (back - p).abs() / p < 1e-9,
+                    "fit={fit} p={p} hours={hours} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn exposure_window_rejects_certainty() {
+        let _ = SoftErrorRate::flash_like().exposure_window_for(1.0);
     }
 
     #[test]

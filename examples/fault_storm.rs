@@ -1,81 +1,247 @@
-//! Fault-injection campaign: bombard a protected memory with increasing
-//! soft-error rates and measure how often the periodic check restores the
-//! data perfectly — an executable, single-crossbar miniature of the
-//! paper's Figure 6 experiment.
+//! Fault-storm campaign against the **async cluster service**: a 4-shard
+//! pool serves adder8 traffic while one shard is bombarded with injected
+//! soft errors on every batch load. The health loop must notice (error
+//! budget exceeded → quarantine), reroute traffic to the surviving
+//! shards, keep every output bit-correct, and — once the storm passes —
+//! scrub the shard clean and restore it to the pool.
+//!
+//! Four phases:
+//!
+//! 1. **fault-free** — baseline throughput with the storm off;
+//! 2. **storm** — the fault hook flips bits in three distinct ECC blocks
+//!    of shard 1 on every batch load; the shard must be quarantined at
+//!    least once and the pool must hold ≥ 0.7× the baseline throughput;
+//! 3. **recovery** — storm off; background scrubs earn the shard back
+//!    (consecutive clean scrubs lift the quarantine);
+//! 4. **post** — the restored pool serves one more round, all shards
+//!    healthy, nothing uncorrectable anywhere in the run.
 //!
 //! Run with: `cargo run --release --example fault_storm`
+//!
+//! Writes the campaign record to `BENCH_fault.json`.
 
-use pimecc::core::{BlockGeometry, ProtectedMemory};
-use pimecc::reliability::{ReliabilityModel, SoftErrorRate};
-use pimecc::xbar::{BitGrid, FaultInjector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pimecc::netlist::generators::ripple_adder;
+use pimecc::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+const N: usize = 90;
+const M: usize = 3;
+/// Requests per measured phase.
+const REQUESTS: usize = 12_000;
+/// The shard the storm hammers.
+const STORM_SHARD: usize = 1;
+
+const FLUSH_AFTER: Duration = Duration::from_micros(500);
+const FLUSH_AT: usize = 512;
+const SCRUB_PERIOD: Duration = Duration::from_millis(1);
+const ERROR_BUDGET: u64 = 8;
+const RECOVERY_SCRUBS: u32 = 2;
+
+fn add_request(i: usize) -> Vec<bool> {
+    let x = (i * 73) as u32 & 0xFFFF;
+    (0..16).map(|b| x >> b & 1 != 0).collect()
+}
+
+struct PhaseReport {
+    label: &'static str,
+    seconds: f64,
+    requests_per_sec: f64,
+    waves: usize,
+}
+
+/// Submits `REQUESTS` adder8 requests, drains them, verifies every
+/// output against the software reference and returns the wall timing.
+fn run_phase(
+    handle: &ClusterHandle,
+    program: &CompiledProgram,
+    adder: &pimecc::netlist::Netlist,
+    label: &'static str,
+) -> Result<PhaseReport, Box<dyn std::error::Error>> {
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        tickets.push(handle.submit(program, add_request(i))?);
+    }
+    let outcome = handle.drain()?;
+    let seconds = started.elapsed().as_secs_f64();
+    assert_eq!(outcome.requests(), REQUESTS, "{label}: every ticket served");
+    for (i, t) in tickets.iter().enumerate() {
+        let got = outcome.outputs_for(t.key()).expect("served");
+        assert_eq!(got, adder.eval(&add_request(i)), "{label}: ticket #{i}");
+    }
+    Ok(PhaseReport {
+        label,
+        seconds,
+        requests_per_sec: REQUESTS as f64 / seconds,
+        waves: outcome.waves,
+    })
+}
+
+fn print_phase(r: &PhaseReport, snap: &HealthSnapshot) {
+    println!(
+        "{:>10}: {:>9.0} req/s  ({:.3} s, {} waves, {} quarantined, \
+         corrected {}, scrub waves {})",
+        r.label,
+        r.requests_per_sec,
+        r.seconds,
+        r.waves,
+        snap.quarantined(),
+        snap.corrected(),
+        snap.scrub_waves,
+    );
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let geom = BlockGeometry::new(150, 15)?; // 100 blocks of 15x15
-    let windows = 200;
-    let mut rng = StdRng::seed_from_u64(2021);
+    let adder = ripple_adder(8);
+    let nor = adder.to_nor();
+
+    let storm = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&storm);
+    let handle = PimClusterBuilder::new(SHARDS, N, M)
+        .flush_after(FLUSH_AFTER)
+        .auto_flush_at(FLUSH_AT)
+        .scrub_period(SCRUB_PERIOD)
+        .error_budget(ERROR_BUDGET)
+        .recovery_scrubs(RECOVERY_SCRUBS)
+        // Three flips in three distinct ECC blocks per batch load: every
+        // one is single-error-correctable (outputs stay exact), but the
+        // error budget drains fast.
+        .shard_fault_hook(STORM_SHARD, move |pm| {
+            if flag.load(Ordering::Relaxed) {
+                pm.inject_fault(0, 0);
+                pm.inject_fault(N / 3, N / 3);
+                pm.inject_fault(2 * N / 3, 2 * N / 3);
+            }
+        })
+        .spawn()?;
+    let program = handle.compile_packed(&nor)?;
 
     println!(
-        "fault storm on a {0}x{0} crossbar, {1} blocks, {2} windows per rate\n",
-        geom.n(),
-        geom.block_count(),
-        windows
-    );
-    println!(
-        "{:>10} {:>12} {:>10} {:>12} {:>12} {:>14}",
-        "p(bit)", "faults/win", "survived", "corrected", "uncorrectable", "analytic P(ok)"
+        "fault storm on a {SHARDS}-shard {N}x{N}/{M} service, \
+         {REQUESTS} adder8 requests per phase\n\
+         storm: 3 injected flips per batch load on shard {STORM_SHARD}, \
+         error budget {ERROR_BUDGET}, {RECOVERY_SCRUBS} clean scrubs to recover\n"
     );
 
-    for p in [1e-5, 1e-4, 5e-4, 2e-3, 1e-2] {
-        let injector = FaultInjector::new(p);
-        let mut survived = 0u32;
-        let mut total_faults = 0usize;
-        let mut corrected = 0usize;
-        let mut uncorrectable = 0usize;
-        for _ in 0..windows {
-            let mut pm = ProtectedMemory::new(geom)?;
-            let n = geom.n();
-            let mut data = BitGrid::new(n, n);
-            for r in 0..n {
-                for c in 0..n {
-                    data.set(r, c, rng.gen());
-                }
-            }
-            pm.load_grid(&data);
-            // One exposure window: Bernoulli faults everywhere.
-            let positions = injector.sample_flip_positions(n * n, &mut rng);
-            total_faults += positions.len();
-            for &i in &positions {
-                pm.inject_fault(i / n, i % n);
-            }
-            // Periodic check at window end.
-            let report = pm.check_all()?;
-            corrected += report.corrected;
-            uncorrectable += report.uncorrectable;
-            let ok = (0..n).all(|r| (0..n).all(|c| pm.bit(r, c) == data.get(r, c)));
-            if ok {
-                survived += 1;
-            }
+    // Phase 1: fault-free baseline.
+    let fault_free = run_phase(&handle, &program, &adder, "fault-free")?;
+    print_phase(&fault_free, &handle.metrics());
+
+    // Phase 2: the storm. The hook fires on every batch load of the
+    // storm shard until the health loop quarantines it away.
+    storm.store(true, Ordering::Relaxed);
+    let stormed = run_phase(&handle, &program, &adder, "storm")?;
+    storm.store(false, Ordering::Relaxed);
+    let mid = handle.metrics();
+    print_phase(&stormed, &mid);
+    assert!(
+        mid.shards[STORM_SHARD].quarantines >= 1,
+        "the storm must trip the error budget at least once"
+    );
+
+    // Phase 3: recovery. The worker is idle, so the scrub rotation runs
+    // freely; consecutive clean scrubs lift the quarantine.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let healed = loop {
+        let snap = handle.metrics();
+        if snap.quarantined() == 0 && snap.shards[STORM_SHARD].recoveries >= 1 {
+            break snap;
         }
-        // Closed-form survival of this crossbar in one window.
-        let model = ReliabilityModel::new(geom, (geom.n() * geom.n()) as u64, 24.0, false);
-        // Convert our direct p into the SER producing that p over 24 h.
-        let lambda = -(1.0 - p).ln() * 1e9 / 24.0;
-        let analytic_ok =
-            1.0 - model.proposed_failure_probability(SoftErrorRate::from_fit_per_bit(lambda));
-        println!(
-            "{:>10.0e} {:>12.2} {:>9}/{} {:>12} {:>12} {:>14.4}",
-            p,
-            total_faults as f64 / windows as f64,
-            survived,
-            windows,
-            corrected,
-            uncorrectable,
-            analytic_ok
+        assert!(
+            Instant::now() < deadline,
+            "shard {STORM_SHARD} never recovered: {:?}",
+            snap.shards[STORM_SHARD]
         );
-    }
-    println!("\nexpected shape: survival tracks the analytic column and collapses once");
-    println!("blocks start taking two hits per window (the SEC limit).");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    println!(
+        "{:>10}: shard {} healthy again after {} scrubs \
+         ({} quarantine/recovery cycles)",
+        "recovery",
+        STORM_SHARD,
+        healed.shards[STORM_SHARD].scrubs,
+        healed.shards[STORM_SHARD].recoveries,
+    );
+
+    // Phase 4: the restored pool serves one more round.
+    let post = run_phase(&handle, &program, &adder, "post")?;
+    let fin = handle.metrics();
+    print_phase(&post, &fin);
+    handle.close()?;
+
+    assert_eq!(fin.quarantined(), 0, "the pool ends fully healthy");
+    assert_eq!(
+        fin.uncorrectable(),
+        0,
+        "every injected flip was single-error"
+    );
+    assert!(
+        fin.shards[STORM_SHARD].recoveries >= 1,
+        "≥ 1 recovery cycle"
+    );
+    let ratio = stormed.requests_per_sec / fault_free.requests_per_sec;
+    println!(
+        "\nstorm throughput: {ratio:.2}x fault-free \
+         (floor 0.70x — one quarantined shard of {SHARDS} leaves {:.2}x \
+         of the pool)",
+        (SHARDS - 1) as f64 / SHARDS as f64
+    );
+    assert!(
+        ratio >= 0.7,
+        "storm throughput must hold >= 0.7x fault-free, got {ratio:.2}x"
+    );
+
+    let sh = &fin.shards[STORM_SHARD];
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"fault_storm\",\n",
+            "  \"geometry\": {{\"n\": {}, \"m\": {}, \"shards\": {}}},\n",
+            "  \"requests_per_phase\": {},\n",
+            "  \"storm_shard\": {},\n",
+            "  \"error_budget\": {},\n",
+            "  \"recovery_scrubs\": {},\n",
+            "  \"scrub_period_us\": {},\n",
+            "  \"fault_free_rps\": {:.1},\n",
+            "  \"storm_rps\": {:.1},\n",
+            "  \"post_rps\": {:.1},\n",
+            "  \"storm_over_fault_free\": {:.3},\n",
+            "  \"quarantines\": {},\n",
+            "  \"recoveries\": {},\n",
+            "  \"scrub_waves\": {},\n",
+            "  \"corrected\": {},\n",
+            "  \"uncorrectable\": {},\n",
+            "  \"queue_latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}},\n",
+            "  \"execute_latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}\n",
+            "}}\n"
+        ),
+        N,
+        M,
+        SHARDS,
+        REQUESTS,
+        STORM_SHARD,
+        ERROR_BUDGET,
+        RECOVERY_SCRUBS,
+        SCRUB_PERIOD.as_micros(),
+        fault_free.requests_per_sec,
+        stormed.requests_per_sec,
+        post.requests_per_sec,
+        ratio,
+        sh.quarantines,
+        sh.recoveries,
+        fin.scrub_waves,
+        fin.corrected(),
+        fin.uncorrectable(),
+        fin.queue_latency.p50.as_secs_f64() * 1e6,
+        fin.queue_latency.p95.as_secs_f64() * 1e6,
+        fin.queue_latency.p99.as_secs_f64() * 1e6,
+        fin.execute_latency.p50.as_secs_f64() * 1e6,
+        fin.execute_latency.p95.as_secs_f64() * 1e6,
+        fin.execute_latency.p99.as_secs_f64() * 1e6,
+    );
+    std::fs::write("BENCH_fault.json", &json)?;
+    println!("wrote BENCH_fault.json");
     Ok(())
 }

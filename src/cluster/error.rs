@@ -20,6 +20,13 @@ pub enum ClusterError {
     /// The submission-queue bound must admit at least one in-flight
     /// request.
     ZeroQueueLimit,
+    /// The background scrub period must be a positive duration.
+    ZeroScrubPeriod,
+    /// Recovery must require at least one clean scrub.
+    ZeroRecoveryScrubs,
+    /// The adaptive deadline controller scales `flush_after` — it needs
+    /// one to scale.
+    AdaptiveWithoutDeadline,
     /// A knob that only affects the spawned service was set on a cluster
     /// built synchronously (use [`PimClusterBuilder::spawn`] instead of
     /// `build`).
@@ -99,6 +106,18 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::ZeroQueueLimit => {
                 write!(f, "queue limit must admit at least one in-flight request")
+            }
+            ClusterError::ZeroScrubPeriod => {
+                write!(f, "scrub period must be a positive duration")
+            }
+            ClusterError::ZeroRecoveryScrubs => {
+                write!(f, "recovery must require at least one clean scrub")
+            }
+            ClusterError::AdaptiveWithoutDeadline => {
+                write!(
+                    f,
+                    "adaptive_deadline scales flush_after; configure a flush_after deadline"
+                )
             }
             ClusterError::ServiceOnly { knob } => {
                 write!(

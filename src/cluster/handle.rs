@@ -17,6 +17,7 @@
 //! it serves whatever is still queued, marks the board closed, and exits.
 
 use super::error::ClusterError;
+use super::health::HealthSnapshot;
 use super::outcome::{ClusterOutcome, TicketResult};
 use super::queue::{self, Pending};
 use super::service::{validate_submission, ClusterCore, FlushReport, ServiceConfig};
@@ -39,6 +40,10 @@ pub(crate) struct Shared {
     /// Notified when in-flight submissions resolve: backpressured
     /// producers re-check the queue bound.
     space: Condvar,
+    /// The worker's latest [`HealthSnapshot`], refreshed after every
+    /// flush and scrub pass. Its own lock so metrics reads never contend
+    /// with the result board.
+    health: Mutex<HealthSnapshot>,
 }
 
 /// The board itself (under [`Shared::state`]).
@@ -83,7 +88,13 @@ impl Shared {
             }),
             done: Condvar::new(),
             space: Condvar::new(),
+            health: Mutex::new(HealthSnapshot::empty(shards)),
         }
+    }
+
+    /// Replaces the published health snapshot (worker-side).
+    pub(crate) fn set_health(&self, snapshot: HealthSnapshot) {
+        *self.health.lock().unwrap_or_else(|e| e.into_inner()) = snapshot;
     }
 
     /// Locks the board, riding through poisoned mutexes: the board must
@@ -501,6 +512,23 @@ impl ClusterHandle {
     /// worker exited).
     pub fn is_closed(&self) -> bool {
         self.shared.lock().closing
+    }
+
+    /// The service's latest [`HealthSnapshot`]: per-shard scrub / error /
+    /// wear / quarantine ledgers, p50/p95/p99 queue and execute latency,
+    /// and the effective auto-flush deadline.
+    ///
+    /// The worker publishes a fresh snapshot after every flush and every
+    /// background scrub pass; this read never blocks on shard execution
+    /// (it copies the last published snapshot). A snapshot taken right
+    /// after `submit` may not yet include that submission — flush or
+    /// wait first when exact counts matter.
+    pub fn metrics(&self) -> HealthSnapshot {
+        self.shared
+            .health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Maps `netlist` onto the shards' row width with SIMPLER — once per

@@ -113,6 +113,7 @@
 
 mod error;
 pub mod handle;
+pub mod health;
 mod outcome;
 mod queue;
 mod scheduler;
@@ -121,14 +122,19 @@ mod worker;
 
 pub use error::ClusterError;
 pub use handle::ClusterHandle;
+pub use health::{
+    default_scrub_period, scrub_period_for, HealthSnapshot, LatencyStats, ShardHealth, ShardState,
+};
 pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
 pub use queue::Ticket;
 pub use scheduler::AxisPolicy;
 
 use crate::device::{
-    CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder, ProgramCache,
-    SimEngine,
+    BatchFaultHook, CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder,
+    ProgramCache, ScrubReport, SimEngine,
 };
+use health::{HealthConfig, HealthMonitor};
+use pimecc_core::ProtectedMemory;
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
 use queue::Pending;
@@ -155,7 +161,6 @@ use std::time::{Duration, Instant};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 #[must_use]
 pub struct PimClusterBuilder {
     shards: usize,
@@ -165,13 +170,44 @@ pub struct PimClusterBuilder {
     coverage: CoveragePolicy,
     check_overrides: Vec<(usize, CheckPolicy)>,
     coverage_overrides: Vec<(usize, CoveragePolicy)>,
+    fault_hooks: Vec<(usize, BatchFaultHook)>,
     batch_limit: Option<usize>,
     pack_limit: Option<usize>,
     axis_policy: AxisPolicy,
     auto_flush_at: Option<usize>,
     flush_after: Option<Duration>,
     queue_limit: Option<usize>,
+    scrub_period: Option<Duration>,
+    error_budget: Option<u64>,
+    recovery_scrubs: Option<u32>,
+    adaptive_deadline: bool,
     engine: SimEngine,
+}
+
+impl std::fmt::Debug for PimClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PimClusterBuilder")
+            .field("shards", &self.shards)
+            .field("n", &self.n)
+            .field("m", &self.m)
+            .field("check_policy", &self.check_policy)
+            .field("coverage", &self.coverage)
+            .field("check_overrides", &self.check_overrides)
+            .field("coverage_overrides", &self.coverage_overrides)
+            .field("fault_hooks", &self.fault_hooks.len())
+            .field("batch_limit", &self.batch_limit)
+            .field("pack_limit", &self.pack_limit)
+            .field("axis_policy", &self.axis_policy)
+            .field("auto_flush_at", &self.auto_flush_at)
+            .field("flush_after", &self.flush_after)
+            .field("queue_limit", &self.queue_limit)
+            .field("scrub_period", &self.scrub_period)
+            .field("error_budget", &self.error_budget)
+            .field("recovery_scrubs", &self.recovery_scrubs)
+            .field("adaptive_deadline", &self.adaptive_deadline)
+            .field("engine", &self.engine)
+            .finish()
+    }
 }
 
 impl PimClusterBuilder {
@@ -186,12 +222,17 @@ impl PimClusterBuilder {
             coverage: CoveragePolicy::default(),
             check_overrides: Vec::new(),
             coverage_overrides: Vec::new(),
+            fault_hooks: Vec::new(),
             batch_limit: None,
             pack_limit: None,
             axis_policy: AxisPolicy::default(),
             auto_flush_at: None,
             flush_after: None,
             queue_limit: None,
+            scrub_period: None,
+            error_budget: None,
+            recovery_scrubs: None,
+            adaptive_deadline: false,
             engine: SimEngine::default(),
         }
     }
@@ -303,6 +344,134 @@ impl PimClusterBuilder {
         self
     }
 
+    /// Background scrub cadence (service-only health knob): the worker
+    /// runs one [`PimDevice::scrub_pass`](crate::device::PimDevice::scrub_pass)
+    /// per period on a round-robin shard, whenever the queue is idle or
+    /// the flush deadline leaves slack — scrubbing never delays a
+    /// deadline flush. Quarantined shards stay in the rotation: clean
+    /// scrubs are how they recover.
+    ///
+    /// Defaults to [`default_scrub_period`] (25 ms, the reliability
+    /// model's daily check window compressed to simulation time) on
+    /// spawned services. Derive a rate-specific period with
+    /// [`scrub_period_for`].
+    ///
+    /// Service-only: [`PimClusterBuilder::build`] rejects it (a
+    /// synchronous cluster has no thread to scrub from; use
+    /// [`PimCluster::scrub_shard`] for explicit scrubs).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pimecc::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), ClusterError> {
+    /// let handle = PimClusterBuilder::new(2, 30, 3)
+    ///     .scrub_period(Duration::from_millis(5))
+    ///     .spawn()?;
+    /// handle.close()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn scrub_period(mut self, period: Duration) -> Self {
+        self.scrub_period = Some(period);
+        self
+    }
+
+    /// Error budget (health knob, both front-ends): a shard whose rolling
+    /// error window (corrected + uncorrectable, over the last 32
+    /// observations) *exceeds* this count is **quarantined** — removed
+    /// from the scheduler's active list, its traffic rerouted to the
+    /// healthy shards — until
+    /// [`recovery_scrubs`](PimClusterBuilder::recovery_scrubs)
+    /// consecutive clean scrubs restore it. Unset by default (no
+    /// quarantine).
+    ///
+    /// Rerouting is deterministic: a pool with a quarantined shard plans
+    /// exactly like a pool built without it (see
+    /// [the health module](health)).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pimecc::prelude::*;
+    ///
+    /// # fn main() -> Result<(), ClusterError> {
+    /// let cluster = PimClusterBuilder::new(3, 30, 3)
+    ///     .error_budget(4)
+    ///     .recovery_scrubs(2)
+    ///     .build()?;
+    /// assert_eq!(cluster.health().quarantined(), 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn error_budget(mut self, errors: u64) -> Self {
+        self.error_budget = Some(errors);
+        self
+    }
+
+    /// Consecutive clean scrub passes that lift a quarantine (default: 3).
+    pub fn recovery_scrubs(mut self, scrubs: u32) -> Self {
+        self.recovery_scrubs = Some(scrubs);
+        self
+    }
+
+    /// Enables the adaptive `flush_after` controller (service-only SLO
+    /// knob): the worker scales the configured
+    /// [`flush_after`](PimClusterBuilder::flush_after) deadline with
+    /// observed wave occupancy — near-empty waves tighten it (down to
+    /// 0.25×: light traffic should not sit out the full deadline),
+    /// near-full waves relax it (up to 4×: heavy traffic benefits from
+    /// fuller batches). The deadline currently in force is reported as
+    /// [`HealthSnapshot::effective_flush_after`].
+    ///
+    /// Requires `flush_after`; [`PimClusterBuilder::spawn`] rejects the
+    /// combination without one
+    /// ([`ClusterError::AdaptiveWithoutDeadline`]), and
+    /// [`PimClusterBuilder::build`] rejects it outright
+    /// ([`ClusterError::ServiceOnly`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pimecc::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), ClusterError> {
+    /// let handle = PimClusterBuilder::new(2, 30, 3)
+    ///     .flush_after(Duration::from_millis(2))
+    ///     .adaptive_deadline(true)
+    ///     .spawn()?;
+    /// assert_eq!(
+    ///     handle.metrics().effective_flush_after,
+    ///     Some(Duration::from_millis(2)),
+    /// );
+    /// handle.close()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn adaptive_deadline(mut self, enabled: bool) -> Self {
+        self.adaptive_deadline = enabled;
+        self
+    }
+
+    /// Installs a fault hook on one shard (fault-injection knob for
+    /// examples and tests): the hook runs against the shard's protected
+    /// memory after every batch load, before the pre-execution check —
+    /// the cluster-level twin of
+    /// [`PimDeviceBuilder::on_batch_loaded`](crate::device::PimDeviceBuilder::on_batch_loaded).
+    /// One hook per shard; a later call for the same shard replaces the
+    /// earlier one.
+    pub fn shard_fault_hook(
+        mut self,
+        shard: usize,
+        hook: impl FnMut(&mut ProtectedMemory) + Send + 'static,
+    ) -> Self {
+        self.fault_hooks.push((shard, Box::new(hook)));
+        self
+    }
+
     /// Validates the knobs shared by both front-ends and constructs the
     /// shard pool.
     fn build_core(self) -> Result<(ClusterCore, ServiceConfig), ClusterError> {
@@ -324,11 +493,21 @@ impl PimClusterBuilder {
         if self.queue_limit == Some(0) {
             return Err(ClusterError::ZeroQueueLimit);
         }
+        if self.scrub_period == Some(Duration::ZERO) {
+            return Err(ClusterError::ZeroScrubPeriod);
+        }
+        if self.recovery_scrubs == Some(0) {
+            return Err(ClusterError::ZeroRecoveryScrubs);
+        }
+        if self.adaptive_deadline && self.flush_after.is_none() {
+            return Err(ClusterError::AdaptiveWithoutDeadline);
+        }
         if let Some(shard) = self
             .check_overrides
             .iter()
             .map(|&(shard, _)| shard)
             .chain(self.coverage_overrides.iter().map(|&(shard, _)| shard))
+            .chain(self.fault_hooks.iter().map(|&(shard, _)| shard))
             .find(|&shard| shard >= self.shards)
         {
             return Err(ClusterError::ShardOutOfRange {
@@ -336,8 +515,12 @@ impl PimClusterBuilder {
                 shards: self.shards,
             });
         }
+        let mut hooks: Vec<Option<BatchFaultHook>> = (0..self.shards).map(|_| None).collect();
+        for (shard, hook) in self.fault_hooks {
+            hooks[shard] = Some(hook);
+        }
         let mut shards = Vec::with_capacity(self.shards);
-        for i in 0..self.shards {
+        for (i, hook) in hooks.into_iter().enumerate() {
             let policy = self
                 .check_overrides
                 .iter()
@@ -350,26 +533,43 @@ impl PimClusterBuilder {
                 .rev()
                 .find(|(shard, _)| *shard == i)
                 .map_or_else(|| self.coverage.clone(), |(_, c)| c.clone());
-            let device = PimDeviceBuilder::new(self.n, self.m)
+            let mut builder = PimDeviceBuilder::new(self.n, self.m)
                 .check_policy(policy)
                 .coverage(coverage)
-                .engine(self.engine)
+                .engine(self.engine);
+            if let Some(hook) = hook {
+                builder = builder.on_batch_loaded(hook);
+            }
+            let device = builder
                 .build()
                 .map_err(|source| ClusterError::Shard { shard: i, source })?;
             shards.push(device);
         }
+        let batch_limit = self.batch_limit.unwrap_or(self.n).min(self.n);
+        let health = HealthMonitor::new(
+            self.shards,
+            batch_limit,
+            HealthConfig {
+                scrub_period: self.scrub_period,
+                error_budget: self.error_budget,
+                recovery_scrubs: self.recovery_scrubs.unwrap_or(3),
+                adaptive_deadline: self.adaptive_deadline,
+                ..HealthConfig::default()
+            },
+            self.flush_after,
+        );
         let core = ClusterCore {
             shards,
-            batch_limit: self.batch_limit.unwrap_or(self.n).min(self.n),
+            batch_limit,
             pack_limit: self.pack_limit.unwrap_or(usize::MAX),
             axis_policy: self.axis_policy,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             waves_dispatched: 0,
+            health,
         };
         let config = ServiceConfig {
             flush_at: self.auto_flush_at,
-            flush_after: self.flush_after,
             queue_limit: self.queue_limit,
         };
         Ok((core, config))
@@ -385,9 +585,11 @@ impl PimClusterBuilder {
     /// [`ClusterError::ShardOutOfRange`] on bad knobs,
     /// [`ClusterError::ServiceOnly`] when a service-only knob
     /// ([`flush_after`](PimClusterBuilder::flush_after),
-    /// [`queue_limit`](PimClusterBuilder::queue_limit)) is set, and
-    /// [`ClusterError::Shard`] when a shard's geometry or coverage map is
-    /// rejected.
+    /// [`queue_limit`](PimClusterBuilder::queue_limit),
+    /// [`scrub_period`](PimClusterBuilder::scrub_period),
+    /// [`adaptive_deadline`](PimClusterBuilder::adaptive_deadline)) is
+    /// set, and [`ClusterError::Shard`] when a shard's geometry or
+    /// coverage map is rejected.
     pub fn build(self) -> Result<PimCluster, ClusterError> {
         if self.flush_after.is_some() {
             return Err(ClusterError::ServiceOnly {
@@ -397,6 +599,16 @@ impl PimClusterBuilder {
         if self.queue_limit.is_some() {
             return Err(ClusterError::ServiceOnly {
                 knob: "queue_limit",
+            });
+        }
+        if self.scrub_period.is_some() {
+            return Err(ClusterError::ServiceOnly {
+                knob: "scrub_period",
+            });
+        }
+        if self.adaptive_deadline {
+            return Err(ClusterError::ServiceOnly {
+                knob: "adaptive_deadline",
             });
         }
         let (core, config) = self.build_core()?;
@@ -417,13 +629,23 @@ impl PimClusterBuilder {
     /// and/or [`flush_after`](PimClusterBuilder::flush_after) deadline,
     /// on [`ClusterHandle::flush`], or when a ticket is waited on.
     ///
+    /// A spawned service scrubs in the background by default: an unset
+    /// [`scrub_period`](PimClusterBuilder::scrub_period) defaults to
+    /// [`default_scrub_period`] (the reliability model's daily check
+    /// window compressed to simulation time).
+    ///
     /// # Errors
     ///
     /// As [`PimClusterBuilder::build`], plus
     /// [`ClusterError::ZeroFlushDeadline`] /
-    /// [`ClusterError::ZeroQueueLimit`] on degenerate service knobs
-    /// (service-only knobs are of course accepted here).
-    pub fn spawn(self) -> Result<ClusterHandle, ClusterError> {
+    /// [`ClusterError::ZeroQueueLimit`] /
+    /// [`ClusterError::ZeroScrubPeriod`] /
+    /// [`ClusterError::AdaptiveWithoutDeadline`] on degenerate service
+    /// knobs (service-only knobs are of course accepted here).
+    pub fn spawn(mut self) -> Result<ClusterHandle, ClusterError> {
+        if self.scrub_period.is_none() {
+            self.scrub_period = Some(default_scrub_period());
+        }
         let (core, config) = self.build_core()?;
         Ok(handle::spawn(core, config))
     }
@@ -504,6 +726,58 @@ impl PimCluster {
     /// Panics if `shard` is out of range.
     pub fn shard(&self, shard: usize) -> &PimDevice {
         &self.core.shards[shard]
+    }
+
+    /// The pool's current [`HealthSnapshot`]: per-shard scrub / error /
+    /// wear / quarantine ledgers and the latency percentiles of every
+    /// flush so far. The synchronous twin of
+    /// [`ClusterHandle::metrics`].
+    pub fn health(&self) -> HealthSnapshot {
+        self.core.health.snapshot()
+    }
+
+    /// Runs one explicit scrub pass on `shard` — check every covered
+    /// block (correcting single-bit upsets) and re-encode its diagonal
+    /// check bits — and folds the result into the health ledgers,
+    /// driving the same quarantine / recovery transitions a service's
+    /// background scrubs would. The synchronous front-end has no worker
+    /// thread, so scrub cadence is the caller's to choose.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ShardOutOfRange`] for a bad index;
+    /// [`ClusterError::Shard`] when the device rejects the pass.
+    pub fn scrub_shard(&mut self, shard: usize) -> Result<ScrubReport, ClusterError> {
+        if shard >= self.core.shards.len() {
+            return Err(ClusterError::ShardOutOfRange {
+                shard,
+                shards: self.core.shards.len(),
+            });
+        }
+        let report = self.core.shards[shard]
+            .scrub_pass()
+            .map_err(|source| ClusterError::Shard { shard, source })?;
+        self.core.health.note_scrub(shard, &report.check);
+        Ok(report)
+    }
+
+    /// Manually quarantines (`true`) or restores (`false`) a shard,
+    /// overriding the error-budget policy — the operator's drain switch.
+    /// Quarantined shards receive no traffic (the scheduler reroutes
+    /// deterministically) but still count toward [`PimCluster::shards`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ShardOutOfRange`] for a bad index.
+    pub fn set_quarantined(&mut self, shard: usize, quarantined: bool) -> Result<(), ClusterError> {
+        if shard >= self.core.shards.len() {
+            return Err(ClusterError::ShardOutOfRange {
+                shard,
+                shards: self.core.shards.len(),
+            });
+        }
+        self.core.health.force_quarantine(shard, quarantined);
+        Ok(())
     }
 
     /// Number of distinct programs held in the cluster's compile cache.
@@ -802,6 +1076,85 @@ mod tests {
             PimClusterBuilder::new(0, 30, 3).spawn().unwrap_err(),
             ClusterError::NoShards
         );
+    }
+
+    #[test]
+    fn health_knobs_are_validated_on_both_front_ends() {
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .scrub_period(Duration::from_millis(5))
+                .build()
+                .unwrap_err(),
+            ClusterError::ServiceOnly {
+                knob: "scrub_period"
+            }
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .flush_after(Duration::from_millis(1))
+                .adaptive_deadline(true)
+                .build()
+                .unwrap_err(),
+            ClusterError::ServiceOnly {
+                knob: "flush_after"
+            },
+            "flush_after is rejected first; adaptive alone is too"
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .adaptive_deadline(true)
+                .build()
+                .unwrap_err(),
+            ClusterError::ServiceOnly {
+                knob: "adaptive_deadline"
+            }
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .scrub_period(Duration::ZERO)
+                .spawn()
+                .unwrap_err(),
+            ClusterError::ZeroScrubPeriod
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .recovery_scrubs(0)
+                .spawn()
+                .unwrap_err(),
+            ClusterError::ZeroRecoveryScrubs
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .recovery_scrubs(0)
+                .build()
+                .unwrap_err(),
+            ClusterError::ZeroRecoveryScrubs,
+            "recovery_scrubs works on both front-ends, so both validate it"
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .adaptive_deadline(true)
+                .spawn()
+                .unwrap_err(),
+            ClusterError::AdaptiveWithoutDeadline
+        );
+        assert_eq!(
+            PimClusterBuilder::new(2, 30, 3)
+                .shard_fault_hook(7, |_| {})
+                .spawn()
+                .unwrap_err(),
+            ClusterError::ShardOutOfRange {
+                shard: 7,
+                shards: 2
+            }
+        );
+        // error_budget + recovery_scrubs are accepted by the sync build.
+        let cluster = PimClusterBuilder::new(2, 30, 3)
+            .error_budget(4)
+            .recovery_scrubs(2)
+            .build()
+            .expect("health budgets work synchronously");
+        assert_eq!(cluster.health().quarantined(), 0);
     }
 
     #[test]
@@ -1331,6 +1684,7 @@ mod tests {
             programs: ProgramCache::default(),
             pending: Vec::new(),
             waves_dispatched: 0,
+            health: HealthMonitor::new(1, 30, HealthConfig::default(), None),
         };
         let handle = handle::spawn(core, ServiceConfig::default());
         let p = handle.compile(&nor).expect("compiles");
@@ -1363,6 +1717,7 @@ mod tests {
             programs: ProgramCache::default(),
             pending: Vec::new(),
             waves_dispatched: 0,
+            health: HealthMonitor::new(2, 30, HealthConfig::default(), None),
         };
         let handle = handle::spawn(core, ServiceConfig::default());
         let p = handle.compile(&xor_nor).expect("compiles");

@@ -76,6 +76,11 @@ pub struct ShardReport {
     pub cells_occupied: u64,
     /// Cells its batches had available (batches × n²).
     pub cell_capacity: u64,
+    /// This shard's share of the pre-execution input checks — the
+    /// per-shard attribution the cluster-wide
+    /// [`ClusterOutcome::input_check`] aggregate loses, and the signal a
+    /// health loop's error budget feeds on.
+    pub input_check: CheckReport,
 }
 
 impl ShardReport {
@@ -172,6 +177,7 @@ impl ClusterOutcome {
             mine.line_capacity += theirs.line_capacity;
             mine.cells_occupied += theirs.cells_occupied;
             mine.cell_capacity += theirs.cell_capacity;
+            mine.input_check += theirs.input_check;
         }
     }
 

@@ -111,9 +111,16 @@ struct WaveJob {
     lines: usize,
 }
 
-/// Executes `groups` to completion over `shards` under `knobs`, folding
-/// everything into `outcome`; on success the results end up sorted by
-/// ticket.
+/// Executes `groups` to completion over the `active` subset of `shards`
+/// under `knobs`, folding everything into `outcome`; on success the
+/// results end up sorted by ticket.
+///
+/// `active` is the strictly ascending list of shard indices the plan may
+/// use — the health loop's quarantine reroutes traffic by shrinking it.
+/// Planning is positional over `active`, so a pool with shard `q`
+/// quarantined carves, packs and rotates exactly like a pool built
+/// without that shard: the plans are bit-identical up to the index
+/// renaming `active[k] ↔ k` (the quarantine determinism guarantee).
 ///
 /// On a shard failure the error is returned after the failing wave's
 /// *successful* batches are folded in, and the flush's undispatched
@@ -125,9 +132,14 @@ pub(crate) fn run_waves(
     mut groups: Vec<Group>,
     knobs: PackingKnobs,
     outcome: &mut ClusterOutcome,
+    active: &[usize],
 ) -> Result<(), ClusterError> {
+    debug_assert!(
+        active.windows(2).all(|w| w[0] < w[1]) && active.iter().all(|&s| s < shards.len()),
+        "active shard list must be strictly ascending and in range"
+    );
     loop {
-        let jobs = plan_wave(&mut groups, shards.len(), knobs, outcome.waves);
+        let jobs = plan_wave(&mut groups, active, knobs, outcome.waves);
         if jobs.is_empty() {
             break;
         }
@@ -137,34 +149,35 @@ pub(crate) fn run_waves(
     Ok(())
 }
 
-/// Plans one wave (see the [module docs](self) for the two passes).
+/// Plans one wave (see the [module docs](self) for the two passes) over
+/// the `active` shard indices.
 fn plan_wave(
     groups: &mut [Group],
-    shards: usize,
+    active: &[usize],
     knobs: PackingKnobs,
     wave: usize,
 ) -> Vec<(WaveJob, PlacementPlan)> {
     let mut jobs: Vec<WaveJob> = Vec::new();
-    let mut shard = 0;
+    let mut slot = 0;
     // Pass 1 — spread: one-request-per-line chunks, breadth-first over the
-    // shards. A large group spreads over *several* shards within one wave;
-    // that is the sharding win for single-program traffic.
+    // active shards. A large group spreads over *several* shards within
+    // one wave; that is the sharding win for single-program traffic.
     'groups: for (gi, g) in groups.iter_mut().enumerate() {
         while g.remaining() > 0 {
-            if shard == shards {
+            if slot == active.len() {
                 break 'groups;
             }
             let take = g.remaining().min(knobs.batch_limit);
             let (tickets, inputs) = g.take(take);
             jobs.push(WaveJob {
-                shard,
+                shard: active[slot],
                 group: gi,
                 program: g.program.clone(),
                 tickets,
                 inputs,
                 lines: take,
             });
-            shard += 1;
+            slot += 1;
         }
     }
     // Pass 2 — densify: with every shard busy (or every group drained),
@@ -268,6 +281,7 @@ fn dispatch_wave(
         outcome.input_check += batch.input_check;
         outcome.gate_evals += batch.gate_evals;
         let report = &mut outcome.shard_reports[job.shard];
+        report.input_check += batch.input_check;
         report.batches += 1;
         report.requests += job.tickets.len() as u64;
         report.busy_mem_cycles += batch.stats.mem_cycles;

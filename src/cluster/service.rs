@@ -7,12 +7,12 @@
 //! [`PimCluster`]: crate::cluster::PimCluster
 
 use super::error::ClusterError;
+use super::health::HealthMonitor;
 use super::outcome::ClusterOutcome;
 use super::queue::{group_by_fingerprint, Pending, Ticket};
 use super::scheduler::{self, AxisPolicy, PackingKnobs};
 use crate::device::{CompiledProgram, PimDevice, ProgramCache};
 use std::collections::HashSet;
-use std::time::Duration;
 
 /// The flush knobs of a spawned service — when the worker drains the
 /// queue without being asked.
@@ -21,9 +21,6 @@ pub(crate) struct ServiceConfig {
     /// Pending-count threshold: the worker flushes as soon as this many
     /// requests are queued.
     pub(crate) flush_at: Option<usize>,
-    /// Max-latency deadline: the worker flushes once the oldest pending
-    /// request has waited this long.
-    pub(crate) flush_after: Option<Duration>,
     /// Bound on in-flight submissions (backpressure).
     pub(crate) queue_limit: Option<usize>,
 }
@@ -86,6 +83,11 @@ pub(crate) struct ClusterCore {
     /// would never level anything. Still a pure function of submission
     /// order, so determinism is preserved.
     pub(crate) waves_dispatched: usize,
+    /// The health loop: per-shard error budgets (whose quarantine set
+    /// shrinks the scheduler's active-shard list), scrub bookkeeping and
+    /// the metrics ledgers. Owned here — the flush path is the single
+    /// writer — and read by the front-ends via snapshots.
+    pub(crate) health: HealthMonitor,
 }
 
 impl ClusterCore {
@@ -118,10 +120,12 @@ impl ClusterCore {
             axis_policy: self.axis_policy,
             origin_base: self.waves_dispatched,
         };
-        let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome);
+        let active = self.health.active_shards();
+        let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome, &active);
         // Waves that dispatched advance the wear rotation even when a
         // later wave of the same flush failed.
         self.waves_dispatched += outcome.waves;
+        self.health.observe_flush(&outcome);
         match ran {
             Ok(()) => FlushReport {
                 outcome,

@@ -1,6 +1,7 @@
 //! The service's worker thread: owns the shard pool, drains the command
-//! channel, and auto-flushes on **either** a pending-count threshold or a
-//! max-latency deadline — whichever trips first.
+//! channel, auto-flushes on **either** a pending-count threshold or a
+//! max-latency deadline — whichever trips first — and runs the health
+//! loop's background scrub waves in the gaps.
 //!
 //! The worker is the only thread that ever touches the
 //! [`ClusterCore`](super::service::ClusterCore) once
@@ -10,12 +11,24 @@
 //! order commands arrive on the channel. Concurrent producers race for
 //! *queue positions* (ticket ids are allocated in channel order), but
 //! once the order is fixed, so is every placement.
+//!
+//! # Scrubbing never delays a deadline flush
+//!
+//! A scrub pass runs only when the pending queue is empty, or when the
+//! armed deadline leaves at least twice the (exponentially averaged)
+//! wall cost of recent scrub passes as slack. A worker that cannot fit a
+//! scrub before the deadline skips the slot and re-arms the scrub timer
+//! — traffic wins, scrubbing rides the idle gaps. Background scrubs use
+//! [`PimDevice::scrub_pass`](crate::device::PimDevice::scrub_pass),
+//! whose stats are billed to the device's lifetime clock but not to any
+//! flush outcome (batch stats are deltas), so scrubbing is invisible to
+//! the determinism guarantee on results.
 
 use super::handle::Shared;
 use super::service::{ClusterCore, ServiceConfig};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What a [`ClusterHandle`](super::handle::ClusterHandle) sends down the
 /// channel.
@@ -41,10 +54,19 @@ pub(crate) fn run(
     cfg: ServiceConfig,
 ) {
     let _guard = PoisonGuard(&shared);
-    // When the oldest pending request must be served (`flush_after`
-    // counted from its submission instant); `None` while the queue is
-    // empty or no deadline is configured.
+    shared.set_health(core.health.snapshot());
+    // When the oldest pending request must be served (the *effective*
+    // `flush_after` — the configured base scaled by the adaptive
+    // controller — counted from its submission instant); `None` while
+    // the queue is empty or no deadline is configured.
     let mut deadline: Option<Instant> = None;
+    // When the next background scrub pass is due; `None` when scrubbing
+    // is disabled.
+    let scrub_period = core.health.config().scrub_period;
+    let mut next_scrub = scrub_period.map(|period| Instant::now() + period);
+    // Exponentially averaged wall cost of one scrub pass — the slack a
+    // scrub must find under an armed deadline before it may run.
+    let mut scrub_cost = Duration::ZERO;
     loop {
         // An expired deadline flushes — but first the channel backlog is
         // absorbed non-blockingly. A worker running behind its deadline
@@ -60,11 +82,40 @@ pub(crate) fn run(
             }
             continue;
         }
-        let cmd = match deadline {
+        // A due scrub slot runs one pass on the round-robin shard — but
+        // only if it cannot collide with the deadline flush (see module
+        // docs). A skipped slot still re-arms: the scheduler degrades to
+        // "scrub when idle" under sustained pressure.
+        if let (Some(period), Some(due)) = (scrub_period, next_scrub) {
+            if due <= Instant::now() {
+                let slack_ok = core.pending.is_empty()
+                    || deadline.is_some_and(|at| {
+                        at.saturating_duration_since(Instant::now()) > scrub_cost * 2
+                    });
+                if slack_ok {
+                    let started = Instant::now();
+                    scrub_one(&mut core);
+                    let took = started.elapsed();
+                    scrub_cost = (scrub_cost * 3 + took) / 4;
+                    shared.set_health(core.health.snapshot());
+                }
+                next_scrub = Some(Instant::now() + period);
+                continue;
+            }
+        }
+        // Sleep until the next actionable instant: a command, the flush
+        // deadline, or the scrub timer — whichever is earliest.
+        let wake = match (deadline, next_scrub) {
+            (Some(d), Some(s)) => Some(d.min(s)),
+            (Some(d), None) => Some(d),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        let cmd = match wake {
             Some(at) => {
                 match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
                     Ok(cmd) => cmd,
-                    // Handled by the expired-deadline branch above.
+                    // Handled by the due-deadline / due-scrub branches.
                     Err(RecvTimeoutError::Timeout) => continue,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
@@ -77,7 +128,10 @@ pub(crate) fn run(
         match cmd {
             Command::Submit(p) => {
                 if core.pending.is_empty() {
-                    deadline = cfg.flush_after.map(|after| p.submitted_at + after);
+                    deadline = core
+                        .health
+                        .effective_deadline()
+                        .map(|after| p.submitted_at + after);
                 }
                 core.pending.push(p);
                 if cfg.flush_at.is_some_and(|at| core.pending.len() >= at) {
@@ -91,7 +145,18 @@ pub(crate) fn run(
     // Graceful exit — Close or every handle dropped: serve the stragglers,
     // then let waiters and drainers through.
     flush(&mut core, &shared, &mut deadline);
+    shared.set_health(core.health.snapshot());
     shared.finish();
+}
+
+/// One background scrub pass on the rotation's next shard, folded into
+/// the health ledgers. The rotation covers quarantined shards too — clean
+/// scrubs are how they earn their way back into the pool.
+fn scrub_one(core: &mut ClusterCore) {
+    let shard = core.health.next_scrub_shard();
+    if let Ok(report) = core.shards[shard].scrub_pass() {
+        core.health.note_scrub(shard, &report.check);
+    }
 }
 
 /// Non-blockingly moves the channel backlog into the pending queue so an
@@ -124,13 +189,18 @@ fn absorb_backlog(
     }
 }
 
-/// One queue drain: execute, publish to the board, re-arm the deadline.
+/// One queue drain: execute, publish to the board, refresh the health
+/// snapshot, re-arm the deadline.
 fn flush(core: &mut ClusterCore, shared: &Shared, deadline: &mut Option<Instant>) {
     *deadline = None;
     if core.pending.is_empty() {
         return;
     }
-    shared.publish(core.flush_pending());
+    let report = core.flush_pending();
+    // Health before results: a waiter woken by the publish must already
+    // see this flush reflected in `metrics()`.
+    shared.set_health(core.health.snapshot());
+    shared.publish(report);
 }
 
 /// Poisons the board if the worker unwinds, so no waiter blocks forever

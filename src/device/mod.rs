@@ -23,7 +23,7 @@
 //!    evaluations per MEM cycle).
 //!
 //! Batching therefore costs ~O(steps + k) MEM cycles for k requests where
-//! the serial [`ProtectedRunner`](crate::runner::ProtectedRunner) flow costs
+//! a serial one-request-per-pass flow costs
 //! O(steps × k) — the ~k× amortization every scaling layer above this API
 //! (sharding, async queues, multi-device) builds on. Co-packing stacks a
 //! second amortization on top: d requests per line divide the input-load
@@ -87,6 +87,27 @@ const _: () = {
     assert_send::<PimDevice>();
     assert_send_sync::<CompiledProgram>();
 };
+
+/// Telemetry of one [`PimDevice::scrub_pass`]: what the check half found
+/// (and repaired) plus the machine activity the whole pass cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
+pub struct ScrubReport {
+    /// The full-memory check's findings: blocks examined, single errors
+    /// corrected, uncorrectable patterns left behind.
+    pub check: CheckReport,
+    /// Machine activity attributable to this pass (a delta, like a
+    /// batch's).
+    pub stats: MachineStats,
+}
+
+impl ScrubReport {
+    /// Whether the pass found nothing to repair and nothing beyond
+    /// repair — the "clean scrub" a quarantine recovery counts.
+    pub fn is_clean(&self) -> bool {
+        self.check.corrected == 0 && self.check.uncorrectable == 0
+    }
+}
 
 /// When (and how aggressively) the device verifies ECC around a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -337,6 +358,39 @@ impl PimDevice {
     /// Injects a soft error (forwarded to the machine, for campaigns).
     pub fn inject_fault(&mut self, r: usize, c: usize) {
         self.memory.inject_fault(r, c);
+    }
+
+    /// The periodic full-memory check: every covered block is verified,
+    /// single errors repaired, and the counts reported — the check half of
+    /// a background scrub wave.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (mirrors
+    /// [`ProtectedMemory::check_all`](pimecc_core::ProtectedMemory::check_all)).
+    pub fn check_all(&mut self) -> Result<CheckReport, DeviceError> {
+        Ok(self.memory.check_all()?)
+    }
+
+    /// One background scrub wave: the full-memory check (single errors
+    /// repaired, counts reported) followed by a scrub that re-encodes
+    /// every covered block's check-bits from the repaired data — clearing
+    /// any stale parity left by the §III false-positive window. The
+    /// returned [`ScrubReport`] carries the check's telemetry and the
+    /// pass's own [`MachineStats`] delta, so a health loop can attribute
+    /// scrub cost and scrub findings per shard.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (mirrors [`PimDevice::check_all`]).
+    pub fn scrub_pass(&mut self) -> Result<ScrubReport, DeviceError> {
+        let before = *self.memory.stats();
+        let check = self.memory.check_all()?;
+        self.memory.scrub();
+        Ok(ScrubReport {
+            check,
+            stats: *self.memory.stats() - before,
+        })
     }
 
     /// Maps `netlist` onto this device's row width with SIMPLER and caches

@@ -31,8 +31,7 @@
 //! * [`simpler`] — the SIMPLER single-row mapper + ECC schedule extension;
 //! * [`core`] — the diagonal ECC codec, CMEM architecture, protected
 //!   memory machine and area model;
-//! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo;
-//! * [`runner`] — the deprecated single-request facade over [`device`].
+//! * [`reliability`] — SER model, Figure 6 MTTF closed forms, Monte-Carlo.
 //!
 //! Everything a typical caller needs sits in [`prelude`].
 //!
@@ -89,7 +88,6 @@
 
 pub mod cluster;
 pub mod device;
-pub mod runner;
 
 pub use cluster::{ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, Ticket};
 pub use device::{BatchOutcome, CompiledProgram, PimDevice, PimDeviceBuilder};
@@ -98,9 +96,6 @@ pub use pimecc_netlist as netlist;
 pub use pimecc_reliability as reliability;
 pub use pimecc_simpler as simpler;
 pub use pimecc_xbar as xbar;
-#[allow(deprecated)]
-pub use runner::ProtectedRunner;
-pub use runner::RunOutcome;
 
 /// One-import surface for downstream code: the cluster submission API,
 /// the single-device batch API, and the policy/error types both share.
@@ -118,11 +113,11 @@ pub use runner::RunOutcome;
 /// ```
 pub mod prelude {
     pub use crate::cluster::{
-        AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, PimCluster, PimClusterBuilder,
-        ShardReport, Ticket, TicketResult,
+        AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, HealthSnapshot, LatencyStats,
+        PimCluster, PimClusterBuilder, ShardHealth, ShardReport, ShardState, Ticket, TicketResult,
     };
     pub use crate::device::{
         Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
-        PimDeviceBuilder, PlacementPlan, SimEngine, Slot,
+        PimDeviceBuilder, PlacementPlan, ScrubReport, SimEngine, Slot,
     };
 }

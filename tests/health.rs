@@ -1,0 +1,264 @@
+//! Integration tests for the self-healing health subsystem: SLO metric
+//! percentiles pinned against a serial reference, error-budget
+//! quarantine and scrub-driven recovery, deterministic rerouting around
+//! quarantined shards, and scrub/deadline coexistence in the worker.
+
+use pimecc::cluster::LatencyStats;
+use pimecc::netlist::{Netlist, NetlistBuilder};
+use pimecc::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn xor_circuit() -> (pimecc::netlist::NorNetlist, Netlist) {
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(2);
+    let g = b.xor(ins[0], ins[1]);
+    b.output(g);
+    let nl = b.finish();
+    (nl.to_nor(), nl)
+}
+
+fn mux_circuit() -> (pimecc::netlist::NorNetlist, Netlist) {
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(3);
+    let g1 = b.xor(ins[0], ins[1]);
+    let g2 = b.mux(ins[2], g1, ins[0]);
+    b.output(g1);
+    b.output(g2);
+    let nl = b.finish();
+    (nl.to_nor(), nl)
+}
+
+#[test]
+fn metrics_percentiles_match_a_serial_reference() {
+    // The snapshot's p50/p95/p99 must equal nearest-rank percentiles
+    // computed independently over the very latencies the drain returned —
+    // the snapshot is an aggregation, not an estimate.
+    let (nor, _) = xor_circuit();
+    let handle = PimClusterBuilder::new(1, 30, 3)
+        .flush_after(Duration::from_millis(1))
+        .spawn()
+        .expect("spawns");
+    let p = handle.compile(&nor).expect("compiles");
+    for v in 0..60u32 {
+        let _ = handle
+            .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+            .expect("submits");
+    }
+    let outcome = handle.drain().expect("drains");
+    let snap = handle.metrics();
+    handle.close().expect("closes");
+
+    assert_eq!(outcome.requests(), 60);
+    assert_eq!(snap.requests, 60);
+    let queue: Vec<Duration> = outcome.results.iter().map(|r| r.queue_latency).collect();
+    let execute: Vec<Duration> = outcome.results.iter().map(|r| r.execute_latency).collect();
+    assert_eq!(snap.queue_latency, LatencyStats::from_samples(&queue));
+    assert_eq!(snap.execute_latency, LatencyStats::from_samples(&execute));
+    assert_eq!(snap.queue_latency.samples, 60);
+}
+
+#[test]
+fn error_budget_quarantines_and_clean_scrubs_recover() {
+    // Sync front-end, storm hook on shard 1: corrected errors drain the
+    // budget until the shard is quarantined, flushes reroute to shard 0,
+    // and consecutive clean scrubs lift the quarantine.
+    let (nor, nl) = xor_circuit();
+    let storm = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&storm);
+    let mut cluster = PimClusterBuilder::new(2, 30, 3)
+        .error_budget(1)
+        .recovery_scrubs(2)
+        .shard_fault_hook(1, move |pm| {
+            if flag.load(Ordering::Relaxed) {
+                pm.inject_fault(0, 0);
+            }
+        })
+        .build()
+        .expect("builds");
+    let p = cluster.compile(&nor).expect("compiles");
+    let verify = |outcome: &ClusterOutcome, base: u32| {
+        for (i, r) in outcome.results.iter().enumerate() {
+            let v = base + i as u32;
+            assert_eq!(
+                r.outputs,
+                nl.eval(&[v & 1 != 0, v & 2 != 0]),
+                "ticket #{}",
+                r.ticket.id()
+            );
+        }
+    };
+    // 64 same-program requests overflow one batch, so the spread pass
+    // puts traffic (and the fault hook) on shard 1 every flush.
+    let mut rounds = 0;
+    while cluster.health().shards[1].state != ShardState::Quarantined {
+        rounds += 1;
+        assert!(rounds <= 16, "the error budget never tripped");
+        for v in 0..64u32 {
+            let _ = cluster
+                .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+                .expect("submits");
+        }
+        let outcome = cluster.flush().expect("flushes");
+        verify(&outcome, 0);
+    }
+    let tripped = cluster.health();
+    assert_eq!(tripped.shards[1].quarantines, 1);
+    assert!(tripped.shards[1].window_errors > 1, "budget exceeded");
+
+    // Quarantined: the whole next flush lands on shard 0.
+    for v in 0..64u32 {
+        let _ = cluster
+            .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+            .expect("submits");
+    }
+    let rerouted = cluster.flush().expect("flushes");
+    verify(&rerouted, 0);
+    assert!(
+        rerouted.results.iter().all(|r| r.shard == 0),
+        "no traffic may land on a quarantined shard"
+    );
+    assert_eq!(rerouted.shard_reports[1].batches, 0);
+
+    // Storm over: the configured streak of clean scrubs recovers it.
+    storm.store(false, Ordering::Relaxed);
+    let mut scrubs = 0;
+    while cluster.health().shards[1].state == ShardState::Quarantined {
+        scrubs += 1;
+        assert!(scrubs <= 8, "the shard never recovered");
+        let _ = cluster.scrub_shard(1).expect("scrubs");
+    }
+    let healed = cluster.health();
+    assert!(scrubs >= 2, "recovery takes the configured clean streak");
+    assert_eq!(healed.shards[1].recoveries, 1);
+    assert_eq!(healed.shards[1].state, ShardState::Healthy);
+    assert_eq!(
+        healed.uncorrectable(),
+        0,
+        "every injected flip was SEC-correctable"
+    );
+
+    // The recovered shard serves traffic again.
+    for v in 0..64u32 {
+        let _ = cluster
+            .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+            .expect("submits");
+    }
+    let restored = cluster.flush().expect("flushes");
+    verify(&restored, 0);
+    assert!(restored.results.iter().any(|r| r.shard == 1));
+}
+
+#[test]
+fn background_scrubs_coexist_with_deadline_flushes() {
+    // Busy phase: deadline-flushed traffic keeps being served while the
+    // scrub timer is far shorter than the deadline. Idle phase: the
+    // worker keeps scrubbing on its own.
+    let (nor, nl) = xor_circuit();
+    let handle = PimClusterBuilder::new(1, 30, 3)
+        .flush_after(Duration::from_millis(2))
+        .scrub_period(Duration::from_millis(1))
+        .spawn()
+        .expect("spawns");
+    let p = handle.compile(&nor).expect("compiles");
+    assert_eq!(
+        handle.metrics().effective_flush_after,
+        Some(Duration::from_millis(2)),
+        "non-adaptive deadline is reported verbatim"
+    );
+    let deadline = Instant::now() + Duration::from_secs(20);
+    for v in 0..20u32 {
+        let t = handle
+            .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+            .expect("submits");
+        let r = t.wait().expect("served");
+        assert_eq!(r.outputs, nl.eval(&[v & 1 != 0, v & 2 != 0]));
+        assert!(Instant::now() < deadline, "scrubs starved the flush path");
+    }
+    let busy = handle.metrics();
+    assert_eq!(busy.requests, 20);
+
+    // Idle: scrub waves keep accumulating with no traffic at all.
+    let before = handle.metrics().scrub_waves;
+    let grown = loop {
+        std::thread::sleep(Duration::from_millis(5));
+        let now = handle.metrics().scrub_waves;
+        if now > before {
+            break now;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "an idle worker must keep scrubbing"
+        );
+    };
+    assert!(grown > before);
+    handle.close().expect("closes");
+}
+
+/// Maps a 3-shard pool with shard 1 quarantined onto the equivalent
+/// 2-shard pool: active[0]=0 → 0, active[1]=2 → 1.
+fn map_shard(shard: usize) -> usize {
+    match shard {
+        0 => 0,
+        2 => 1,
+        other => panic!("traffic landed on quarantined shard {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn quarantine_reroutes_bit_identically_to_the_smaller_pool(
+        choices in proptest::collection::vec((any::<bool>(), 0u32..256), 1..50),
+    ) {
+        // A pool with a quarantined shard must plan exactly like a pool
+        // built without that shard, modulo the index renaming — the
+        // determinism guarantee that makes quarantine safe to engage
+        // between flushes.
+        let (xor_nor, _) = xor_circuit();
+        let (mux_nor, _) = mux_circuit();
+
+        let mut big = PimClusterBuilder::new(3, 30, 3).build().expect("builds");
+        big.set_quarantined(1, true).expect("quarantines");
+        let mut small = PimClusterBuilder::new(2, 30, 3).build().expect("builds");
+
+        let bp = (
+            big.compile(&xor_nor).expect("compiles"),
+            big.compile(&mux_nor).expect("compiles"),
+        );
+        let sp = (
+            small.compile(&xor_nor).expect("compiles"),
+            small.compile(&mux_nor).expect("compiles"),
+        );
+        for &(is_mux, v) in &choices {
+            let inputs: Vec<bool> = if is_mux {
+                (0..3).map(|b| v >> b & 1 != 0).collect()
+            } else {
+                (0..2).map(|b| v >> b & 1 != 0).collect()
+            };
+            let (b, s) = if is_mux { (&bp.1, &sp.1) } else { (&bp.0, &sp.0) };
+            let _ = big.submit(b, inputs.clone()).expect("submits");
+            let _ = small.submit(s, inputs).expect("submits");
+        }
+        let big_out = big.flush().expect("flushes");
+        let small_out = small.flush().expect("flushes");
+
+        prop_assert_eq!(big_out.results.len(), small_out.results.len());
+        prop_assert_eq!(big_out.waves, small_out.waves);
+        let mut big_sorted = big_out.results;
+        let mut small_sorted = small_out.results;
+        big_sorted.sort_by_key(|r| r.ticket.id());
+        small_sorted.sort_by_key(|r| r.ticket.id());
+        for (b, s) in big_sorted.iter().zip(&small_sorted) {
+            prop_assert_eq!(b.ticket.id(), s.ticket.id());
+            prop_assert_eq!(map_shard(b.shard), s.shard);
+            prop_assert_eq!(b.wave, s.wave);
+            prop_assert_eq!(b.axis, s.axis);
+            prop_assert_eq!(b.line, s.line);
+            prop_assert_eq!(b.offset, s.offset);
+            prop_assert_eq!(&b.outputs, &s.outputs);
+        }
+    }
+}

@@ -72,8 +72,7 @@ fn equivalence_checker_guards_nor_lowering_of_extras() {
 fn load_execute_device_flow_runs_int2float_with_fault_recovery() {
     // A complete paper-flow run of a real Table I benchmark inside the
     // ECC-protected memory, including a pre-execution input repair — via
-    // the device API's separated load / execute entry points (the flow
-    // the deprecated `ProtectedRunner` shim routes to).
+    // the device API's separated load / execute entry points.
     let circuit = Benchmark::Int2float.build();
     let nor = circuit.netlist.to_nor();
     let program = map(&nor, &MapperConfig { row_size: 255 }).expect("fits a 255-cell row");
