@@ -6,6 +6,9 @@
 
 use crate::gate::Gate;
 use crate::netlist::Netlist;
+use crate::nor::NorSource;
+use crate::partition::NetlistPartition;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Serializes a netlist as a Graphviz digraph. Inputs are boxes, outputs
@@ -62,6 +65,72 @@ pub fn write_dot(netlist: &Netlist, name: &str) -> String {
     out
 }
 
+/// Serializes a [`NetlistPartition`] as a Graphviz digraph of its part
+/// DAG: one box per part (gate count and level), a single box for the
+/// primary inputs, edges labelled with how many signals they route, and
+/// one double circle per primary output — the debugging view of what the
+/// partitioned scheduler will execute wave by wave.
+///
+/// # Example
+///
+/// ```
+/// use pimecc_netlist::dot::write_partition_dot;
+/// use pimecc_netlist::generators;
+/// use pimecc_netlist::partition::partition_nor;
+///
+/// let nor = generators::mul(4).to_nor();
+/// let parts = partition_nor(&nor, 16).unwrap();
+/// let text = write_partition_dot(&parts, "mul4");
+/// assert!(text.starts_with("digraph mul4"));
+/// ```
+pub fn write_partition_dot(partition: &NetlistPartition, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    let _ = writeln!(
+        out,
+        "  in [label=\"inputs ({})\", shape=box];",
+        partition.num_inputs()
+    );
+    for (pi, part) in partition.parts().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  p{pi} [label=\"p{pi} L{} ({} gates)\", shape=box];",
+            part.level(),
+            part.netlist().num_gates()
+        );
+        // Count routed signals per source: a sibling part or the host.
+        let mut from_part: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut from_host = 0usize;
+        for &s in part.inputs() {
+            match s {
+                NorSource::Input(_) => from_host += 1,
+                NorSource::Gate(g) => *from_part.entry(partition.part_of(g)).or_insert(0) += 1,
+            }
+        }
+        if from_host > 0 {
+            let _ = writeln!(out, "  in -> p{pi} [label=\"{from_host}\"];");
+        }
+        for (src, count) in from_part {
+            let _ = writeln!(out, "  p{src} -> p{pi} [label=\"{count}\"];");
+        }
+    }
+    for (k, &o) in partition.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  y{k} [label=\"y{k}\", shape=doublecircle];");
+        match o {
+            NorSource::Input(_) => {
+                let _ = writeln!(out, "  in -> y{k};");
+            }
+            NorSource::Gate(g) => {
+                let _ = writeln!(out, "  p{} -> y{k};", partition.part_of(g));
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +174,24 @@ mod tests {
         for line in text.lines() {
             assert!(!line.contains(".."), "no weird tokens: {line}");
         }
+    }
+
+    #[test]
+    fn partition_dot_shows_every_part_and_output() {
+        let nor = crate::generators::ripple_adder(8).to_nor();
+        let parts = crate::partition::partition_nor(&nor, 8).unwrap();
+        let text = write_partition_dot(&parts, "adder8");
+        assert!(text.starts_with("digraph adder8 {"));
+        assert!(text.trim_end().ends_with('}'));
+        // One box per part plus the input box, one double circle per output.
+        let boxes = text.lines().filter(|l| l.contains("shape=box")).count();
+        assert_eq!(boxes, parts.num_parts() + 1);
+        let outs = text.lines().filter(|l| l.contains("doublecircle")).count();
+        assert_eq!(outs, nor.num_outputs());
+        // Multi-part split must route at least one inter-part signal.
+        assert!(parts.num_parts() > 1);
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("  p") && l.contains("-> p")));
     }
 }

@@ -17,12 +17,14 @@ mod dec;
 pub mod extra;
 mod int2float;
 mod max;
+mod mul;
 mod priority;
 mod sin;
 mod voter;
 
 pub use adder::build_width as ripple_adder;
 pub use extra::ExtraBenchmark;
+pub use mul::{build as mul16, build_width as mul};
 
 use crate::netlist::Netlist;
 use rand::rngs::StdRng;

@@ -1,0 +1,126 @@
+//! `mul16`: 16×16-bit shift-and-add multiplier (32 inputs, 32 outputs).
+//!
+//! The partition-and-route compiler's flagship workload: the full 32-bit
+//! product datapath is quadratic in the operand width, so even after dense
+//! remap it exceeds one crossbar line at the default geometry and must be
+//! served as a DAG of line-sized sub-programs.
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Operand width in bits (the product is `2 * WIDTH` bits).
+pub const WIDTH: usize = 16;
+
+/// Builds a `width`-bit shift-and-add multiplier netlist (`2·width`
+/// inputs, `2·width` outputs carrying the full double-width product).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds 64 (the reference models compute
+/// the product in `u128`).
+pub fn build_width(width: usize) -> crate::Netlist {
+    assert!(width >= 1, "multiplier width must be at least 1");
+    assert!(width <= 64, "multiplier width must fit a u64 operand");
+    let mut b = NetlistBuilder::new();
+    let x = Word::input(&mut b, width);
+    let y = Word::input(&mut b, width);
+    let zero = b.constant(false);
+    // acc += (x << i) when y[i]; the builder's constant folding erases the
+    // all-zero lanes of early partial products.
+    let mut acc = Word::constant(&mut b, 0, 2 * width);
+    for i in 0..width {
+        let pp = Word::from_bits(
+            (0..2 * width)
+                .map(|j| {
+                    if j >= i && j - i < width {
+                        b.and(y.bit(i), x.bit(j - i))
+                    } else {
+                        zero
+                    }
+                })
+                .collect(),
+        );
+        let (sum, _carry) = words::add(&mut b, &acc, &pp);
+        acc = sum;
+    }
+    b.output_all(acc.bits().iter().copied());
+    b.finish()
+}
+
+/// Builds the multiplier benchmark.
+pub fn build() -> Circuit {
+    Circuit {
+        name: "mul16",
+        netlist: build_width(WIDTH),
+        reference: Box::new(reference),
+    }
+}
+
+fn reference(inputs: &[bool]) -> Vec<bool> {
+    let x = from_bits(&inputs[..WIDTH]);
+    let y = from_bits(&inputs[WIDTH..2 * WIDTH]);
+    // Two 16-bit operands: the exact product fits 32 bits, no wrap.
+    to_bits(x * y, 2 * WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape_is_double_width() {
+        let c = build();
+        assert_eq!(c.netlist.num_inputs(), 2 * WIDTH);
+        assert_eq!(c.netlist.num_outputs(), 2 * WIDTH);
+    }
+
+    #[test]
+    fn random_products_match() {
+        build().validate_sample(50, 1).unwrap();
+    }
+
+    #[test]
+    fn product_corner_cases() {
+        let c = build();
+        // 0 * anything = 0
+        let mut inputs = vec![false; WIDTH];
+        inputs.extend(to_bits(0xBEEF, WIDTH));
+        assert!(c.netlist.eval(&inputs).iter().all(|&b| !b));
+        // max * max = (2^16 - 1)^2, exact in 32 bits
+        let inputs = vec![true; 2 * WIDTH];
+        let out = c.netlist.eval(&inputs);
+        assert_eq!(from_bits(&out), 0xFFFFu128 * 0xFFFF);
+        // 1 * x = x (zero-extended)
+        let mut inputs = to_bits(1, WIDTH);
+        inputs.extend(to_bits(0x1234, WIDTH));
+        let out = c.netlist.eval(&inputs);
+        assert_eq!(from_bits(&out), 0x1234);
+    }
+
+    #[test]
+    fn gate_count_is_quadratic_in_width() {
+        let s = build().netlist.stats();
+        // ~width partial products folded through 2·width-bit ripple adds:
+        // between w^2 and 12·w^2 gates after constant folding.
+        assert!(
+            s.gates >= WIDTH * WIDTH && s.gates <= 12 * WIDTH * WIDTH,
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn small_widths_are_exhaustively_correct() {
+        for width in 1..=4usize {
+            let nl = build_width(width);
+            for x in 0..1u128 << width {
+                for y in 0..1u128 << width {
+                    let mut inputs = to_bits(x, width);
+                    inputs.extend(to_bits(y, width));
+                    let out = nl.eval(&inputs);
+                    assert_eq!(from_bits(&out), x * y, "{width}-bit {x}*{y}");
+                }
+            }
+        }
+    }
+}

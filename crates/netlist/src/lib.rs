@@ -48,6 +48,7 @@ pub mod gate;
 pub mod generators;
 pub mod netlist;
 pub mod nor;
+pub mod partition;
 pub mod synth;
 pub mod words;
 

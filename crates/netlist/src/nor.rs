@@ -70,6 +70,21 @@ impl NorNetlist {
         Lowering::new(netlist.num_inputs()).run(netlist)
     }
 
+    /// Assembles a NOR netlist from raw parts. The caller guarantees the
+    /// gates are in topological order (used by the partitioner to carve
+    /// sub-netlists; `debug_assert`-validated there).
+    pub(crate) fn from_parts(
+        num_inputs: usize,
+        gates: Vec<NorGate>,
+        outputs: Vec<NorSource>,
+    ) -> Self {
+        NorNetlist {
+            num_inputs,
+            gates,
+            outputs,
+        }
+    }
+
     /// Number of primary inputs.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs

@@ -1,0 +1,623 @@
+//! Capacity-bounded partitioning of a NOR netlist into a DAG of
+//! sub-netlists with host-routed cut signals.
+//!
+//! A crossbar line can hold only so many gates; circuits that exceed it
+//! after dense remap (the 16-bit multiplier, wide ALUs) must be split into
+//! line-sized *parts* and executed as dependent waves: run every part of
+//! level 0, read back the cut signals, feed them to level 1, and so on.
+//! [`partition_nor`] performs that split — a topological, capacity-bounded
+//! greedy cut of the gate DAG that prefers placing each gate where most of
+//! its inputs already live (min-cut flavored; correctness first) — and
+//! returns a validated [`NetlistPartition`].
+//!
+//! Every part is an ordinary [`NorNetlist`] whose primary inputs are the
+//! part's *imports* (original primary inputs plus cut signals from
+//! strictly lower levels) and whose outputs are its *exports* (gate values
+//! some other part or a primary output needs). The host routes exports to
+//! imports between levels; [`NetlistPartition::eval`] is the reference
+//! implementation of that routing.
+//!
+//! # Example
+//!
+//! ```
+//! use pimecc_netlist::generators;
+//! use pimecc_netlist::partition::partition_nor;
+//!
+//! let nor = generators::mul(4).to_nor();
+//! let parts = partition_nor(&nor, 16).unwrap();
+//! assert!(parts.num_parts() > 1);
+//! assert_eq!(parts.validate(), Ok(()));
+//! // Host-routed evaluation matches the flat netlist bit for bit.
+//! let inputs: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+//! assert_eq!(parts.eval(&inputs), nor.eval(&inputs));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+use crate::nor::{NorGate, NorNetlist, NorSource};
+
+/// One line-sized slice of a partitioned netlist: a self-contained
+/// [`NorNetlist`] plus the routing metadata tying it back to the original
+/// circuit.
+#[derive(Debug, Clone)]
+pub struct SubNetlist {
+    netlist: NorNetlist,
+    inputs: Vec<NorSource>,
+    exports: Vec<usize>,
+    level: usize,
+}
+
+impl SubNetlist {
+    /// The part's gates as a standalone NOR netlist. Its primary inputs
+    /// are [`SubNetlist::inputs`] in order; its outputs are
+    /// [`SubNetlist::exports`] in order.
+    pub fn netlist(&self) -> &NorNetlist {
+        &self.netlist
+    }
+
+    /// What each local primary input carries, in input order: an original
+    /// primary input ([`NorSource::Input`]) or a cut signal produced by a
+    /// gate in a strictly lower level ([`NorSource::Gate`], global index).
+    pub fn inputs(&self) -> &[NorSource] {
+        &self.inputs
+    }
+
+    /// Global indices of the gates this part exports (referenced by a
+    /// later part or by a primary output), ascending; the part netlist's
+    /// `k`-th output carries the value of gate `exports()[k]`.
+    pub fn exports(&self) -> &[usize] {
+        &self.exports
+    }
+
+    /// The part's dependency level: every cut signal it imports comes
+    /// from a part of a strictly lower level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+/// A validated partitioning of one NOR netlist: parts ordered by level,
+/// the per-level ranges, and the routing of the original primary outputs.
+///
+/// Produced by [`partition_nor`]; consumed by the device-side partitioned
+/// compiler, which maps each part through SIMPLER and schedules the levels
+/// as dependent waves.
+#[derive(Debug, Clone)]
+pub struct NetlistPartition {
+    parts: Vec<SubNetlist>,
+    levels: Vec<Range<usize>>,
+    num_inputs: usize,
+    num_gates: usize,
+    outputs: Vec<NorSource>,
+    part_of_gate: Vec<usize>,
+}
+
+impl NetlistPartition {
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of dependency levels (sequential waves a request needs).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The parts, sorted by level.
+    pub fn parts(&self) -> &[SubNetlist] {
+        &self.parts
+    }
+
+    /// Part-index range of each level: parts `levels()[l]` are exactly
+    /// the parts with [`SubNetlist::level`] `l`.
+    pub fn levels(&self) -> &[Range<usize>] {
+        &self.levels
+    }
+
+    /// Primary-input count of the original netlist.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Primary-output count of the original netlist.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Gate count of the original netlist.
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// The original netlist's primary outputs (global sources); resolve
+    /// gate sources through [`NetlistPartition::part_of`] and the
+    /// producer's [`SubNetlist::exports`].
+    pub fn outputs(&self) -> &[NorSource] {
+        &self.outputs
+    }
+
+    /// The part holding global gate `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate >= num_gates()`.
+    pub fn part_of(&self, gate: usize) -> usize {
+        self.part_of_gate[gate]
+    }
+
+    /// Total number of cut signals — gate values some part imports from
+    /// another part. Each one costs a host-side readback + re-load.
+    pub fn cut_size(&self) -> usize {
+        self.parts
+            .iter()
+            .flat_map(|p| p.inputs.iter())
+            .filter(|s| matches!(s, NorSource::Gate(_)))
+            .count()
+    }
+
+    /// Host-routed reference evaluation: runs every part in level order,
+    /// routing exports to imports, and resolves the primary outputs —
+    /// bit-identical to evaluating the original flat netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut part_outputs: Vec<Vec<bool>> = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            let local: Vec<bool> = part
+                .inputs
+                .iter()
+                .map(|&s| self.resolve(s, inputs, &part_outputs))
+                .collect();
+            part_outputs.push(part.netlist.eval(&local));
+        }
+        self.outputs
+            .iter()
+            .map(|&s| self.resolve(s, inputs, &part_outputs))
+            .collect()
+    }
+
+    fn resolve(&self, s: NorSource, inputs: &[bool], part_outputs: &[Vec<bool>]) -> bool {
+        match s {
+            NorSource::Input(i) => inputs[i],
+            NorSource::Gate(g) => {
+                let p = self.part_of_gate[g];
+                let k = self.parts[p]
+                    .exports
+                    .binary_search(&g)
+                    .expect("producer exports its referenced gate");
+                part_outputs[p][k]
+            }
+        }
+    }
+
+    /// Structural validation, mirroring [`NorNetlist::validate`]: parts
+    /// sorted by level with consistent level ranges, every gate covered by
+    /// exactly one part, every import sourced from a strictly lower level,
+    /// exports ascending and resolvable, and each part netlist valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut covered = vec![false; self.num_gates];
+        let mut expected = 0usize;
+        for (l, range) in self.levels.iter().enumerate() {
+            if range.start != expected {
+                return Err(format!("level {l} range does not follow its predecessor"));
+            }
+            if range.is_empty() {
+                return Err(format!("level {l} is empty"));
+            }
+            for p in range.clone() {
+                if self.parts[p].level != l {
+                    return Err(format!("part {p} is in level {l}'s range but claims level"));
+                }
+            }
+            expected = range.end;
+        }
+        if expected != self.parts.len() {
+            return Err("level ranges do not cover every part".into());
+        }
+        for (pi, part) in self.parts.iter().enumerate() {
+            part.netlist
+                .validate()
+                .map_err(|e| format!("part {pi}: {e}"))?;
+            if part.netlist.num_inputs() != part.inputs.len() {
+                return Err(format!("part {pi}: import arity mismatch"));
+            }
+            if part.netlist.num_outputs() != part.exports.len() {
+                return Err(format!("part {pi}: export arity mismatch"));
+            }
+            if !part.exports.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("part {pi}: exports not strictly ascending"));
+            }
+            for &s in &part.inputs {
+                match s {
+                    NorSource::Input(i) if i >= self.num_inputs => {
+                        return Err(format!("part {pi} imports undefined input {i}"));
+                    }
+                    NorSource::Gate(g) => {
+                        if g >= self.num_gates {
+                            return Err(format!("part {pi} imports undefined gate {g}"));
+                        }
+                        let producer = self.part_of_gate[g];
+                        if self.parts[producer].level >= part.level {
+                            return Err(format!(
+                                "part {pi} (level {}) imports gate {g} from level {}",
+                                part.level, self.parts[producer].level
+                            ));
+                        }
+                        if self.parts[producer].exports.binary_search(&g).is_err() {
+                            return Err(format!("gate {g} imported but not exported"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for &g in &part.exports {
+                if g >= self.num_gates || self.part_of_gate[g] != pi {
+                    return Err(format!("part {pi} exports gate {g} it does not own"));
+                }
+                if covered[g] {
+                    return Err(format!("gate {g} exported twice"));
+                }
+                covered[g] = true;
+            }
+        }
+        for (g, &p) in self.part_of_gate.iter().enumerate() {
+            if p >= self.parts.len() {
+                return Err(format!("gate {g} assigned to undefined part {p}"));
+            }
+        }
+        let total: usize = self.parts.iter().map(|p| p.netlist.num_gates()).sum();
+        if total != self.num_gates {
+            return Err(format!(
+                "parts hold {total} gates, original netlist has {}",
+                self.num_gates
+            ));
+        }
+        for &s in &self.outputs {
+            if let NorSource::Gate(g) = s {
+                if g >= self.num_gates {
+                    return Err(format!("output reads undefined gate {g}"));
+                }
+                let p = self.part_of_gate[g];
+                if self.parts[p].exports.binary_search(&g).is_err() {
+                    return Err(format!("output gate {g} is not exported by its part"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Working state of one part while the greedy sweep runs.
+struct PartBuild {
+    level: usize,
+    gates: Vec<usize>,
+    /// Signals the part can read without a new import: its own gates plus
+    /// everything already imported.
+    avail: HashSet<NorSource>,
+    open: bool,
+}
+
+/// Partitions `nor` into parts of at most `max_gates` gates each, ordered
+/// by dependency level, such that every cut signal flows from a strictly
+/// lower level to a higher one.
+///
+/// The sweep visits gates in topological order and scores each candidate
+/// part by how many of the gate's inputs are already available there
+/// (internal or previously imported), preferring to extend the producing
+/// part at the same level when the gate's deepest inputs all come from one
+/// part. The result is deterministic for a given netlist and budget.
+///
+/// # Errors
+///
+/// Returns an error when `max_gates` is zero.
+pub fn partition_nor(nor: &NorNetlist, max_gates: usize) -> Result<NetlistPartition, String> {
+    if max_gates == 0 {
+        return Err("partition budget must be at least one gate per part".into());
+    }
+    debug_assert_eq!(nor.validate(), Ok(()));
+
+    let gates = nor.gates();
+    let mut builds: Vec<PartBuild> = Vec::new();
+    let mut part_of = vec![usize::MAX; gates.len()];
+
+    for (g, gate) in gates.iter().enumerate() {
+        // Deepest level among this gate's producing parts, if any.
+        let lmax = gate
+            .inputs
+            .iter()
+            .filter_map(|&s| match s {
+                NorSource::Gate(j) => Some(builds[part_of[j]].level),
+                NorSource::Input(_) => None,
+            })
+            .max();
+        let target = lmax.map_or(0, |l| l + 1);
+
+        // Candidate A: the unique producing part at the deepest level —
+        // legal to join (keeping the chain local) only when *every*
+        // deepest-level input comes from that one part.
+        let same_level: Option<usize> = lmax.and_then(|l| {
+            let mut owner = None;
+            for &s in &gate.inputs {
+                if let NorSource::Gate(j) = s {
+                    let p = part_of[j];
+                    if builds[p].level == l {
+                        match owner {
+                            None => owner = Some(p),
+                            Some(o) if o != p => return None,
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            owner.filter(|&p| builds[p].open)
+        });
+
+        // Candidate B: any open part at the target level.
+        let mut best: Option<(usize, usize)> = None; // (score, part)
+        let mut consider = |p: usize, builds: &[PartBuild]| {
+            let score = gate
+                .inputs
+                .iter()
+                .filter(|s| builds[p].avail.contains(s))
+                .count();
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, p));
+            }
+        };
+        for p in 0..builds.len() {
+            if builds[p].open && builds[p].level == target {
+                consider(p, &builds);
+            }
+        }
+        if let Some(p) = same_level {
+            consider(p, &builds);
+        }
+
+        let chosen = match best {
+            Some((_, p)) => p,
+            None => {
+                builds.push(PartBuild {
+                    level: target,
+                    gates: Vec::new(),
+                    avail: HashSet::new(),
+                    open: true,
+                });
+                builds.len() - 1
+            }
+        };
+        let part = &mut builds[chosen];
+        for &s in &gate.inputs {
+            part.avail.insert(s);
+        }
+        part.avail.insert(NorSource::Gate(g));
+        part.gates.push(g);
+        part_of[g] = chosen;
+        if part.gates.len() >= max_gates {
+            part.open = false;
+        }
+    }
+
+    // Final part order: by (level, creation index) — creation order is
+    // already stable, so a stable sort by level suffices.
+    let mut order: Vec<usize> = (0..builds.len()).collect();
+    order.sort_by_key(|&p| builds[p].level);
+    let mut final_of_build = vec![usize::MAX; builds.len()];
+    for (fi, &p) in order.iter().enumerate() {
+        final_of_build[p] = fi;
+    }
+    let part_of_gate: Vec<usize> = part_of.iter().map(|&p| final_of_build[p]).collect();
+
+    // Which gates must be exported: referenced by a *different* part or by
+    // a primary output.
+    let mut exported = vec![false; gates.len()];
+    for (g, gate) in gates.iter().enumerate() {
+        for &s in &gate.inputs {
+            if let NorSource::Gate(j) = s {
+                if part_of_gate[j] != part_of_gate[g] {
+                    exported[j] = true;
+                }
+            }
+        }
+    }
+    for &s in nor.outputs() {
+        if let NorSource::Gate(j) = s {
+            exported[j] = true;
+        }
+    }
+
+    let mut parts = Vec::with_capacity(order.len());
+    let mut levels: Vec<Range<usize>> = Vec::new();
+    for &bi in &order {
+        let build = &builds[bi];
+        let fi = parts.len();
+        // Local index of each of this part's gates.
+        let local_of: HashMap<usize, usize> = build
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l))
+            .collect();
+        let mut imports: Vec<NorSource> = Vec::new();
+        let mut import_of: HashMap<NorSource, usize> = HashMap::new();
+        let local_gates: Vec<NorGate> = build
+            .gates
+            .iter()
+            .map(|&g| NorGate {
+                inputs: gates[g]
+                    .inputs
+                    .iter()
+                    .map(|&s| match s {
+                        NorSource::Gate(j) if part_of_gate[j] == fi => {
+                            NorSource::Gate(local_of[&j])
+                        }
+                        other => {
+                            let idx = *import_of.entry(other).or_insert_with(|| {
+                                imports.push(other);
+                                imports.len() - 1
+                            });
+                            NorSource::Input(idx)
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let exports: Vec<usize> = {
+            let mut e: Vec<usize> = build
+                .gates
+                .iter()
+                .copied()
+                .filter(|&g| exported[g])
+                .collect();
+            e.sort_unstable();
+            e
+        };
+        let local_outputs: Vec<NorSource> = exports
+            .iter()
+            .map(|g| NorSource::Gate(local_of[g]))
+            .collect();
+        let netlist = NorNetlist::from_parts(imports.len(), local_gates, local_outputs);
+        debug_assert_eq!(netlist.validate(), Ok(()));
+        if build.level + 1 == levels.len() {
+            levels.last_mut().expect("non-empty").end = fi + 1;
+        } else {
+            debug_assert_eq!(build.level, levels.len());
+            levels.push(fi..fi + 1);
+        }
+        parts.push(SubNetlist {
+            netlist,
+            inputs: imports,
+            exports,
+            level: build.level,
+        });
+    }
+
+    let partition = NetlistPartition {
+        parts,
+        levels,
+        num_inputs: nor.num_inputs(),
+        num_gates: gates.len(),
+        outputs: nor.outputs().to_vec(),
+        part_of_gate,
+    };
+    debug_assert_eq!(partition.validate(), Ok(()));
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn adder_nor(width: usize) -> NorNetlist {
+        generators::ripple_adder(width).to_nor()
+    }
+
+    #[test]
+    fn budget_zero_is_an_error() {
+        let nor = adder_nor(4);
+        assert!(partition_nor(&nor, 0).is_err());
+    }
+
+    #[test]
+    fn whole_netlist_in_one_part_when_budget_allows() {
+        let nor = adder_nor(4);
+        let p = partition_nor(&nor, nor.num_gates()).unwrap();
+        assert_eq!(p.num_parts(), 1);
+        assert_eq!(p.num_levels(), 1);
+        assert_eq!(p.cut_size(), 0);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn small_budget_forces_multiple_levels() {
+        let nor = adder_nor(8);
+        let p = partition_nor(&nor, 8).unwrap();
+        assert!(p.num_parts() > 1);
+        assert!(p.num_levels() > 1);
+        assert!(p.cut_size() > 0);
+        assert_eq!(p.validate(), Ok(()));
+        // Budget respected by every part.
+        assert!(p.parts().iter().all(|s| s.netlist().num_gates() <= 8));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_on_small_adder() {
+        let nor = adder_nor(3);
+        for budget in [1, 2, 5, 9] {
+            let p = partition_nor(&nor, budget).unwrap();
+            assert_eq!(p.validate(), Ok(()));
+            for v in 0..64u32 {
+                let inputs: Vec<bool> = (0..6).map(|i| v >> i & 1 != 0).collect();
+                assert_eq!(p.eval(&inputs), nor.eval(&inputs), "budget {budget} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_across_circuits_and_budgets() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let circuits: Vec<NorNetlist> = vec![
+            adder_nor(16),
+            generators::mul(6).to_nor(),
+            generators::Benchmark::Int2float.build().netlist.to_nor(),
+        ];
+        for nor in &circuits {
+            for budget in [3, 17, 64] {
+                let p = partition_nor(nor, budget).unwrap();
+                assert_eq!(p.validate(), Ok(()));
+                for _ in 0..16 {
+                    let inputs: Vec<bool> = (0..nor.num_inputs()).map(|_| rng.gen()).collect();
+                    assert_eq!(p.eval(&inputs), nor.eval(&inputs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let nor = generators::mul(8).to_nor();
+        let a = partition_nor(&nor, 24).unwrap();
+        let b = partition_nor(&nor, 24).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn levels_cover_parts_in_order() {
+        let nor = generators::mul(8).to_nor();
+        let p = partition_nor(&nor, 24).unwrap();
+        let mut expected = 0;
+        for (l, range) in p.levels().iter().enumerate() {
+            assert_eq!(range.start, expected);
+            expected = range.end;
+            for part in &p.parts()[range.clone()] {
+                assert_eq!(part.level(), l);
+            }
+        }
+        assert_eq!(expected, p.num_parts());
+    }
+
+    #[test]
+    fn pass_through_outputs_survive() {
+        // A netlist whose output is a primary input directly.
+        let mut b = crate::NetlistBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let g = b.nor(x, y);
+        b.output(x);
+        b.output(g);
+        let nor = b.finish().to_nor();
+        let p = partition_nor(&nor, 1).unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.eval(&[true, false]), nor.eval(&[true, false]));
+    }
+}

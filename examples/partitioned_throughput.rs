@@ -1,0 +1,195 @@
+//! Throughput of the partition-and-route compiler on its flagship
+//! workload: `mul16`, a circuit too wide for one crossbar line at the
+//! default geometry, served as a DAG of line-sized sub-programs with
+//! host-routed cut signals between dependency waves.
+//!
+//! Two front-ends run the same deterministic request stream: the
+//! synchronous cluster (one flush for the whole batch) and the spawned
+//! service (producer thread submits, worker executes the wave chains in
+//! the background). Every output is verified against the `u128` software
+//! product, and both modes must agree ticket for ticket.
+//!
+//! Run with: `cargo run --release --example partitioned_throughput`
+//!
+//! Writes the record to `BENCH_partition.json`.
+
+use pimecc::netlist::generators::{mul16, to_bits};
+use pimecc::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const N: usize = 30;
+const M: usize = 3;
+const REQUESTS: usize = 128;
+
+/// Timed repetitions per mode; the fastest run is recorded.
+const TIMED_REPS: usize = 3;
+
+/// Deterministic 16-bit operand pairs.
+fn operands(i: usize) -> (u64, u64) {
+    (
+        (i as u64).wrapping_mul(37) & 0xFFFF,
+        (i as u64).wrapping_mul(73).wrapping_add(11) & 0xFFFF,
+    )
+}
+
+fn request(i: usize) -> Vec<bool> {
+    let (x, y) = operands(i);
+    let mut v = to_bits(u128::from(x), 16);
+    v.extend(to_bits(u128::from(y), 16));
+    v
+}
+
+fn expected(i: usize) -> Vec<bool> {
+    let (x, y) = operands(i);
+    to_bits(u128::from(x) * u128::from(y), 32)
+}
+
+struct RunReport {
+    label: String,
+    seconds: f64,
+    requests_per_sec: f64,
+    waves: usize,
+    outputs: HashMap<u64, Vec<bool>>,
+}
+
+fn print_report(r: &RunReport, waves_per_request: f64) {
+    println!(
+        "{:>12}: {:>8.1} req/s  ({:.3} s, {} waves, {:.2} waves/request)",
+        r.label, r.requests_per_sec, r.seconds, r.waves, waves_per_request,
+    );
+}
+
+fn run_sync(nor: &pimecc::netlist::NorNetlist) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let mut best: Option<RunReport> = None;
+    for _ in 0..TIMED_REPS {
+        let mut cluster = PimClusterBuilder::new(SHARDS, N, M).build()?;
+        let program = cluster.compile_partitioned(nor)?;
+        let started = Instant::now();
+        for i in 0..REQUESTS {
+            let _ticket = cluster.submit_partitioned(&program, request(i))?;
+        }
+        let outcome = cluster.flush()?;
+        let seconds = started.elapsed().as_secs_f64();
+        assert_eq!(outcome.requests(), REQUESTS);
+        let report = RunReport {
+            label: "sync".into(),
+            seconds,
+            requests_per_sec: REQUESTS as f64 / seconds,
+            waves: outcome.waves,
+            outputs: outcome
+                .results
+                .into_iter()
+                .map(|r| (r.ticket.id(), r.outputs))
+                .collect(),
+        };
+        if best.as_ref().is_none_or(|b| report.seconds < b.seconds) {
+            best = Some(report);
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+fn run_service(nor: &pimecc::netlist::NorNetlist) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let mut best: Option<RunReport> = None;
+    for _ in 0..TIMED_REPS {
+        let handle = PimClusterBuilder::new(SHARDS, N, M).spawn()?;
+        let program = handle.compile_partitioned(nor)?;
+        let started = Instant::now();
+        for i in 0..REQUESTS {
+            let _ticket = handle.submit_partitioned(&program, request(i))?;
+        }
+        let outcome = handle.drain()?;
+        let seconds = started.elapsed().as_secs_f64();
+        handle.close()?;
+        assert_eq!(outcome.requests(), REQUESTS, "every ticket served");
+        let report = RunReport {
+            label: "service".into(),
+            seconds,
+            requests_per_sec: REQUESTS as f64 / seconds,
+            waves: outcome.waves,
+            outputs: outcome
+                .results
+                .into_iter()
+                .map(|r| (r.ticket.id(), r.outputs))
+                .collect(),
+        };
+        if best.as_ref().is_none_or(|b| report.seconds < b.seconds) {
+            best = Some(report);
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = mul16();
+    let nor = circuit.netlist.to_nor();
+
+    // The headline fact this benchmark exists for: the single-line
+    // compilers cannot serve this circuit at this geometry at all.
+    let mut probe = PimClusterBuilder::new(SHARDS, N, M).build()?;
+    assert!(
+        probe.compile_packed(&nor).is_err(),
+        "mul16 must exceed one {N}-cell line for this benchmark to mean anything"
+    );
+    let program = probe.compile_partitioned(&nor)?;
+    println!(
+        "partitioned throughput: {REQUESTS} x mul16 on {SHARDS} x {N}x{N}/{M} shards\n\
+         partition: {} parts over {} levels, {} cut signals, widest sub-program {} cells\n",
+        program.num_parts(),
+        program.num_levels(),
+        program.cut_signals(),
+        program.max_row_size(),
+    );
+
+    let sync = run_sync(&nor)?;
+    print_report(&sync, sync.waves as f64 / REQUESTS as f64);
+    let service = run_service(&nor)?;
+    print_report(&service, service.waves as f64 / REQUESTS as f64);
+
+    // Correctness: both modes against the u128 product, and each other.
+    for t in 0..REQUESTS as u64 {
+        let want = expected(t as usize);
+        let s = sync.outputs.get(&t).expect("sync served");
+        let a = service.outputs.get(&t).expect("service served");
+        assert_eq!(s, &want, "sync ticket#{t}");
+        assert_eq!(a, &want, "service ticket#{t}");
+    }
+    println!("\nall {REQUESTS} products verified against the u128 reference in both modes");
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"partitioned_throughput\",\n",
+            "  \"geometry\": {{\"n\": {}, \"m\": {}, \"shards\": {}}},\n",
+            "  \"workload\": {{\"circuit\": \"mul16\", \"requests\": {}}},\n",
+            "  \"partition\": {{\"parts\": {}, \"levels\": {}, \"cut_signals\": {}, ",
+            "\"max_row_size\": {}}},\n",
+            "  \"runs\": [\n",
+            "    {{\"config\": \"sync\", \"seconds\": {:.4}, \"requests_per_sec\": {:.1}, ",
+            "\"waves\": {}, \"waves_per_request\": {:.2}}},\n",
+            "    {{\"config\": \"service\", \"seconds\": {:.4}, \"requests_per_sec\": {:.1}, ",
+            "\"waves\": {}, \"waves_per_request\": {:.2}}}\n",
+            "  ]\n}}\n"
+        ),
+        N,
+        M,
+        SHARDS,
+        REQUESTS,
+        program.num_parts(),
+        program.num_levels(),
+        program.cut_signals(),
+        program.max_row_size(),
+        sync.seconds,
+        sync.requests_per_sec,
+        sync.waves,
+        sync.waves as f64 / REQUESTS as f64,
+        service.seconds,
+        service.requests_per_sec,
+        service.waves,
+        service.waves as f64 / REQUESTS as f64,
+    );
+    std::fs::write("BENCH_partition.json", &json)?;
+    println!("wrote BENCH_partition.json");
+    Ok(())
+}

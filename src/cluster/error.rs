@@ -145,7 +145,9 @@ impl fmt::Display for ClusterError {
             ClusterError::ProgramTooWide { row_size, n } => {
                 write!(
                     f,
-                    "program mapped for a {row_size}-cell row exceeds the {n}-cell shards"
+                    "program mapped for a {row_size}-cell row exceeds the {n}-cell \
+                     shards; oversized circuits can be served partitioned \
+                     (compile_partitioned / submit_partitioned)"
                 )
             }
             ClusterError::InputArity { got, want } => {

@@ -19,9 +19,12 @@
 use super::error::ClusterError;
 use super::health::HealthSnapshot;
 use super::outcome::{ClusterOutcome, TicketResult};
-use super::queue::{self, Pending};
-use super::service::{validate_submission, ClusterCore, FlushReport, ServiceConfig};
+use super::queue::{self, Pending, PendingPartitioned};
+use super::service::{
+    validate_partitioned, validate_submission, ClusterCore, FlushReport, ServiceConfig,
+};
 use super::worker::{self, Command};
+use crate::compiler::{self, PartitionedProgram};
 use crate::device::{CompiledProgram, ProgramCache};
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
@@ -463,6 +466,10 @@ pub(crate) fn spawn(core: ClusterCore, cfg: ServiceConfig) -> ClusterHandle {
     let shards = core.shards.len();
     let shard_capacity = core.shard_capacity();
     let shared = Arc::new(Shared::new(shards));
+    // Publish the initial health snapshot *before* the worker thread
+    // exists: a `metrics()` read racing the spawn must already see the
+    // configured deadline and shard states, not the board's default.
+    shared.set_health(core.health.snapshot());
     let (tx, rx) = mpsc::channel();
     let worker_shared = Arc::clone(&shared);
     let worker = std::thread::Builder::new()
@@ -617,6 +624,97 @@ impl ClusterHandle {
         block: bool,
     ) -> Result<Ticket, ClusterError> {
         validate_submission(program, &inputs, self.shard_capacity)?;
+        let program = program.clone();
+        self.enqueue(block, move |ticket| {
+            Command::Submit(Pending {
+                ticket,
+                submitted_at: Instant::now(),
+                program,
+                inputs,
+            })
+        })
+    }
+
+    /// Compiles a netlist too wide for one shard line into a
+    /// [`PartitionedProgram`] — the service twin of
+    /// [`PimCluster::compile_partitioned`](crate::cluster::PimCluster::compile_partitioned).
+    /// Compilation runs on the caller's thread against the handle-side
+    /// cache (clones share it); the worker is not involved.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Map`] when even single-gate partitions cannot be
+    /// mapped onto the shard row.
+    pub fn compile_partitioned(
+        &self,
+        netlist: &NorNetlist,
+    ) -> Result<Arc<PartitionedProgram>, ClusterError> {
+        let mut cache = self.programs.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(Arc::new(compiler::compile_partitioned(
+            &mut cache,
+            netlist,
+            self.shard_capacity,
+        )?))
+    }
+
+    /// Enqueues one partitioned request and returns its waitable
+    /// [`Ticket`] — the partitioned twin of [`ClusterHandle::submit`].
+    /// The ticket resolves only when the **final** sub-program wave of
+    /// its request has landed: the worker serves the whole dependency
+    /// chain within one flush and publishes a single merged result.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterHandle::submit`].
+    pub fn submit_partitioned(
+        &self,
+        program: &Arc<PartitionedProgram>,
+        inputs: Vec<bool>,
+    ) -> Result<Ticket, ClusterError> {
+        self.submit_partitioned_inner(program, inputs, true)
+    }
+
+    /// [`ClusterHandle::submit_partitioned`] that refuses to wait for
+    /// queue space (see [`ClusterHandle::try_submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterHandle::submit_partitioned`], plus
+    /// [`ClusterError::Saturated`].
+    pub fn try_submit_partitioned(
+        &self,
+        program: &Arc<PartitionedProgram>,
+        inputs: Vec<bool>,
+    ) -> Result<Ticket, ClusterError> {
+        self.submit_partitioned_inner(program, inputs, false)
+    }
+
+    fn submit_partitioned_inner(
+        &self,
+        program: &Arc<PartitionedProgram>,
+        inputs: Vec<bool>,
+        block: bool,
+    ) -> Result<Ticket, ClusterError> {
+        validate_partitioned(program, &inputs, self.shard_capacity)?;
+        let program = Arc::clone(program);
+        self.enqueue(block, move |ticket| {
+            Command::SubmitPartitioned(PendingPartitioned {
+                ticket,
+                submitted_at: Instant::now(),
+                program,
+                inputs,
+            })
+        })
+    }
+
+    /// The shared submission path: reserve an in-flight slot, allocate
+    /// the next ticket id, build the command and push it down the
+    /// worker's channel.
+    fn enqueue(
+        &self,
+        block: bool,
+        make: impl FnOnce(queue::Ticket) -> Command,
+    ) -> Result<Ticket, ClusterError> {
         // Phase 1: reserve an in-flight slot on the board (this is where
         // a bounded queue backpressures).
         {
@@ -659,13 +757,7 @@ impl ClusterHandle {
             }
         };
         let id = producer.next_ticket;
-        let pending = Pending {
-            ticket: queue::Ticket(id),
-            submitted_at: Instant::now(),
-            program: program.clone(),
-            inputs,
-        };
-        if tx.send(Command::Submit(pending)).is_err() {
+        if tx.send(make(queue::Ticket(id))).is_err() {
             // The worker is gone without a close(): it panicked.
             drop(producer);
             self.unreserve();

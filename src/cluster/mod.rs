@@ -46,7 +46,7 @@
 //!    ](ShardReport::cell_utilization) — and the aggregate
 //!    gate-evals/MEM-cycle throughput follow.
 //!
-//! Compiled handles are [`Arc`](std::sync::Arc)-shared
+//! Compiled handles are [`Arc`]-shared
 //! ([`CompiledProgram`]), so one [`PimCluster::compile`] serves every
 //! shard without re-mapping or deep-copying the program.
 //!
@@ -129,6 +129,7 @@ pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
 pub use queue::Ticket;
 pub use scheduler::AxisPolicy;
 
+use crate::compiler::{self, PartitionedProgram};
 use crate::device::{
     BatchFaultHook, CheckPolicy, CompiledProgram, CoveragePolicy, PimDevice, PimDeviceBuilder,
     ProgramCache, ScrubReport, SimEngine,
@@ -137,8 +138,9 @@ use health::{HealthConfig, HealthMonitor};
 use pimecc_core::ProtectedMemory;
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
-use queue::Pending;
+use queue::{Pending, PendingPartitioned};
 use service::{ClusterCore, ServiceConfig};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configures and builds a [`PimCluster`] — or spawns it as a service
@@ -565,6 +567,7 @@ impl PimClusterBuilder {
             axis_policy: self.axis_policy,
             programs: ProgramCache::default(),
             pending: Vec::new(),
+            pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health,
         };
@@ -714,9 +717,9 @@ impl PimCluster {
         self.core.axis_policy
     }
 
-    /// Requests accepted but not yet executed.
+    /// Requests accepted but not yet executed (ordinary and partitioned).
     pub fn pending(&self) -> usize {
-        self.core.pending.len()
+        self.core.pending_total()
     }
 
     /// Read access to one shard (stats, consistency checks).
@@ -824,6 +827,76 @@ impl PimCluster {
         Ok(self.core.programs.compile_packed(netlist, row_size)?)
     }
 
+    /// Compiles a netlist **too wide for one shard line** by partitioning
+    /// it into a DAG of line-sized sub-programs (each mapped with the
+    /// dense packer and cached like any other program) connected by a
+    /// host-routed cut-signal table. Submit the result with
+    /// [`PimCluster::submit_partitioned`]; it executes as a chain of
+    /// dependency-ordered waves within one flush.
+    ///
+    /// Netlists that *do* fit a line come back as a single-part program —
+    /// the partitioned path is a strict superset of
+    /// [`PimCluster::compile_packed`] in what it accepts.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Map`] when even single-gate partitions cannot be
+    /// mapped onto the shard row (geometry too small for any program).
+    pub fn compile_partitioned(
+        &mut self,
+        netlist: &NorNetlist,
+    ) -> Result<Arc<PartitionedProgram>, ClusterError> {
+        let row_size = self.core.shard_capacity();
+        Ok(Arc::new(compiler::compile_partitioned(
+            &mut self.core.programs,
+            netlist,
+            row_size,
+        )?))
+    }
+
+    /// Enqueues one request against a [`PartitionedProgram`] and returns
+    /// its [`Ticket`] — the partitioned twin of [`PimCluster::submit`].
+    /// The next flush serves it as dependency-ordered sub-program waves
+    /// (cut signals routed host-side between levels) and lands **one**
+    /// merged [`TicketResult`] carrying the program's final outputs;
+    /// partitioned and ordinary traffic share the queue, the flush and
+    /// the outcome.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InputArity`] on an input-width mismatch;
+    /// * [`ClusterError::ProgramTooWide`] if the program was compiled for
+    ///   a wider shard line.
+    pub fn submit_partitioned(
+        &mut self,
+        program: &Arc<PartitionedProgram>,
+        inputs: Vec<bool>,
+    ) -> Result<Ticket, ClusterError> {
+        service::validate_partitioned(program, &inputs, self.core.shard_capacity())?;
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.core.pending_partitioned.push(PendingPartitioned {
+            ticket,
+            submitted_at: Instant::now(),
+            program: Arc::clone(program),
+            inputs,
+        });
+        if let Some(at) = self.auto_flush_at {
+            if self.core.pending_total() >= at {
+                match self.run_pending() {
+                    Ok(flushed) => match &mut self.banked {
+                        Some(bank) => bank.merge(flushed),
+                        None => self.banked = Some(flushed),
+                    },
+                    Err(e) => {
+                        self.deferred_error.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        Ok(ticket)
+    }
+
     /// Adopts an externally mapped [`Program`] (e.g. parsed from a
     /// listing), caching it by its [`Program::fingerprint`].
     ///
@@ -872,7 +945,7 @@ impl PimCluster {
             inputs,
         });
         if let Some(at) = self.auto_flush_at {
-            if self.core.pending.len() >= at {
+            if self.core.pending_total() >= at {
                 match self.run_pending() {
                     Ok(flushed) => match &mut self.banked {
                         Some(bank) => bank.merge(flushed),
@@ -969,6 +1042,7 @@ impl std::fmt::Debug for PimCluster {
             .field("axis_policy", &self.core.axis_policy)
             .field("auto_flush_at", &self.auto_flush_at)
             .field("pending", &self.core.pending.len())
+            .field("pending_partitioned", &self.core.pending_partitioned.len())
             .field("compiled_programs", &self.core.programs.len())
             .field("banked", &self.banked.is_some())
             .field("deferred_error", &self.deferred_error.is_some())
@@ -1518,13 +1592,17 @@ mod tests {
         let t1 = cluster
             .submit(&q, vec![true, true, false])
             .expect("submits");
-        assert_eq!(
+        assert!(matches!(
             cluster.flush().unwrap_err(),
             ClusterError::Shard {
                 shard: 1,
-                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
+                source: DeviceError::ProgramTooWide {
+                    row_size: 30,
+                    n: 9,
+                    ..
+                }
             }
-        );
+        ));
         let recovered = cluster.flush().expect("bank survives the error");
         assert_eq!(
             recovered.outputs_for(t0),
@@ -1556,12 +1634,18 @@ mod tests {
             .submit(&q, vec![true, true, false])
             .expect("a failing auto-flush must not swallow the ticket");
         assert_eq!(cluster.pending(), 0, "the auto-flush did run");
-        assert_eq!(
-            cluster.flush().unwrap_err(),
-            ClusterError::Shard {
-                shard: 1,
-                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
-            },
+        assert!(
+            matches!(
+                cluster.flush().unwrap_err(),
+                ClusterError::Shard {
+                    shard: 1,
+                    source: DeviceError::ProgramTooWide {
+                        row_size: 30,
+                        n: 9,
+                        ..
+                    }
+                }
+            ),
             "the deferred error surfaces at the next flush"
         );
         let recovered = cluster.flush().expect("bank survives the error");
@@ -1683,6 +1767,7 @@ mod tests {
             axis_policy: AxisPolicy::default(),
             programs: ProgramCache::default(),
             pending: Vec::new(),
+            pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health: HealthMonitor::new(1, 30, HealthConfig::default(), None),
         };
@@ -1716,6 +1801,7 @@ mod tests {
             axis_policy: AxisPolicy::default(),
             programs: ProgramCache::default(),
             pending: Vec::new(),
+            pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health: HealthMonitor::new(2, 30, HealthConfig::default(), None),
         };
@@ -1728,12 +1814,18 @@ mod tests {
             t0.wait().expect("shard 0 served it").outputs,
             xor_nl.eval(&[true, false])
         );
-        assert_eq!(
-            t1.wait().unwrap_err(),
-            ClusterError::Shard {
-                shard: 1,
-                source: DeviceError::ProgramTooWide { row_size: 30, n: 9 }
-            },
+        assert!(
+            matches!(
+                t1.wait().unwrap_err(),
+                ClusterError::Shard {
+                    shard: 1,
+                    source: DeviceError::ProgramTooWide {
+                        row_size: 30,
+                        n: 9,
+                        ..
+                    }
+                }
+            ),
             "the dropped ticket carries its flush's error"
         );
         handle.close().expect("worker survived the shard error");

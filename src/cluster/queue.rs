@@ -1,8 +1,10 @@
 //! The submission queue: tickets, pending requests, and the
 //! pack-by-fingerprint grouping the scheduler consumes.
 
+use crate::compiler::PartitionedProgram;
 use crate::device::CompiledProgram;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Receipt for one submitted request, redeemed against the
@@ -37,6 +39,17 @@ pub(crate) struct Pending {
     pub(crate) ticket: Ticket,
     pub(crate) submitted_at: Instant,
     pub(crate) program: CompiledProgram,
+    pub(crate) inputs: Vec<bool>,
+}
+
+/// One accepted, not-yet-executed *partitioned* request: the same shape
+/// as [`Pending`], but against a [`PartitionedProgram`] — served as a
+/// chain of dependency waves rather than a single batch.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingPartitioned {
+    pub(crate) ticket: Ticket,
+    pub(crate) submitted_at: Instant,
+    pub(crate) program: Arc<PartitionedProgram>,
     pub(crate) inputs: Vec<bool>,
 }
 
@@ -97,6 +110,27 @@ pub(crate) fn group_by_fingerprint(pending: Vec<Pending>) -> Vec<Group> {
         groups[at]
             .requests
             .push((p.ticket, p.submitted_at, p.inputs));
+    }
+    groups
+}
+
+/// One partitioned group: the shared program and its requests in
+/// submission order.
+pub(crate) type PartitionedGroup = (Arc<PartitionedProgram>, Vec<(Ticket, Instant, Vec<bool>)>);
+
+/// Drains partitioned submissions into per-fingerprint groups with the
+/// same ordering guarantees as [`group_by_fingerprint`]: groups in
+/// first-appearance order, requests in submission order.
+pub(crate) fn group_partitioned(pending: Vec<PendingPartitioned>) -> Vec<PartitionedGroup> {
+    let mut groups: Vec<PartitionedGroup> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for p in pending {
+        let key = p.program.fingerprint();
+        let at = *index.entry(key).or_insert_with(|| {
+            groups.push((Arc::clone(&p.program), Vec::new()));
+            groups.len() - 1
+        });
+        groups[at].1.push((p.ticket, p.submitted_at, p.inputs));
     }
     groups
 }

@@ -8,11 +8,16 @@
 
 use super::error::ClusterError;
 use super::health::HealthMonitor;
-use super::outcome::ClusterOutcome;
-use super::queue::{group_by_fingerprint, Pending, Ticket};
+use super::outcome::{ClusterOutcome, TicketResult};
+use super::queue::{
+    group_by_fingerprint, group_partitioned, Group, Pending, PendingPartitioned, Ticket,
+};
 use super::scheduler::{self, AxisPolicy, PackingKnobs};
-use crate::device::{CompiledProgram, PimDevice, ProgramCache};
+use crate::compiler::{PartitionedProgram, RouteSource};
+use crate::device::{Axis, CompiledProgram, PimDevice, ProgramCache};
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The flush knobs of a spawned service — when the worker drains the
 /// queue without being asked.
@@ -60,6 +65,28 @@ pub(crate) fn validate_submission(
     Ok(())
 }
 
+/// Validates one *partitioned* submission against the pool's shared
+/// geometry — the partitioned twin of [`validate_submission`].
+pub(crate) fn validate_partitioned(
+    program: &PartitionedProgram,
+    inputs: &[bool],
+    shard_capacity: usize,
+) -> Result<(), ClusterError> {
+    if program.max_row_size() > shard_capacity {
+        return Err(ClusterError::ProgramTooWide {
+            row_size: program.max_row_size(),
+            n: shard_capacity,
+        });
+    }
+    if inputs.len() != program.num_inputs() {
+        return Err(ClusterError::InputArity {
+            got: inputs.len(),
+            want: program.num_inputs(),
+        });
+    }
+    Ok(())
+}
+
 /// The shard pool behind every cluster front-end: devices, packing knobs,
 /// the shared compile cache and the pending queue.
 ///
@@ -76,6 +103,10 @@ pub(crate) struct ClusterCore {
     /// domains), shared in shape with the device layer.
     pub(crate) programs: ProgramCache,
     pub(crate) pending: Vec<Pending>,
+    /// Partitioned submissions awaiting the next flush; served *after*
+    /// the ordinary queue, as dependency-ordered sub-program waves with
+    /// host-routed cut signals between levels.
+    pub(crate) pending_partitioned: Vec<PendingPartitioned>,
     /// Waves dispatched over the pool's lifetime — the base of the
     /// wear-leveling rotation. Per-flush wave indices restart at zero,
     /// so without this a service flushing small batches (deadline or
@@ -96,22 +127,39 @@ impl ClusterCore {
         self.shards[0].capacity()
     }
 
+    /// Requests waiting for the next flush, across both queues.
+    pub(crate) fn pending_total(&self) -> usize {
+        self.pending.len() + self.pending_partitioned.len()
+    }
+
     /// Executes everything pending and reports what happened. Never
     /// panics on shard *errors* (they land in
     /// [`FlushReport::error`]); results of batches that completed before
     /// a failure are kept in the report's outcome, and the tickets the
     /// failure abandoned are listed so the caller can resolve them.
+    ///
+    /// Ordinary submissions are served first, then partitioned ones: each
+    /// partitioned group runs its sub-programs as dependency-ordered
+    /// waves, routing cut signals host-side between levels, and lands one
+    /// merged [`TicketResult`] per request. The final result list is
+    /// re-sorted by ticket so [`ClusterOutcome::outputs_for`]'s binary
+    /// search keeps working across both kinds.
     pub(crate) fn flush_pending(&mut self) -> FlushReport {
         let pending = std::mem::take(&mut self.pending);
+        let partitioned = std::mem::take(&mut self.pending_partitioned);
         let mut outcome = ClusterOutcome::empty(self.shards.len());
-        if pending.is_empty() {
+        if pending.is_empty() && partitioned.is_empty() {
             return FlushReport {
                 outcome,
                 dropped: Vec::new(),
                 error: None,
             };
         }
-        let submitted: Vec<Ticket> = pending.iter().map(|p| p.ticket).collect();
+        let submitted: Vec<Ticket> = pending
+            .iter()
+            .map(|p| p.ticket)
+            .chain(partitioned.iter().map(|p| p.ticket))
+            .collect();
         let groups = group_by_fingerprint(pending);
         let knobs = PackingKnobs {
             line_len: self.shard_capacity(),
@@ -121,7 +169,19 @@ impl ClusterCore {
             origin_base: self.waves_dispatched,
         };
         let active = self.health.active_shards();
-        let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome, &active);
+        let mut ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome, &active);
+        if ran.is_ok() {
+            for (program, requests) in group_partitioned(partitioned) {
+                if let Err(e) = self.run_partitioned_group(program, requests, &mut outcome, &active)
+                {
+                    ran = Err(e);
+                    break;
+                }
+            }
+        }
+        // Partitioned results land after the ordinary ones but may carry
+        // earlier tickets; restore the order outputs_for binary-searches.
+        outcome.results.sort_by_key(|r| r.ticket);
         // Waves that dispatched advance the wear rotation even when a
         // later wave of the same flush failed.
         self.waves_dispatched += outcome.waves;
@@ -146,6 +206,143 @@ impl ClusterCore {
             }
         }
     }
+
+    /// Serves one partitioned group: every request of one
+    /// [`PartitionedProgram`], executed as one wave chain.
+    ///
+    /// Level by level, each sub-program becomes an ordinary scheduler
+    /// group whose per-request inputs are assembled host-side from the
+    /// original submission (primary inputs) and the exported outputs of
+    /// already-executed parts (cut signals). Within a level the parts are
+    /// independent, so their groups share one `run_waves` call and pack
+    /// together exactly like unrelated ordinary traffic. Sub-requests ride
+    /// on synthetic tickets (`part_index * n_requests + request_index`)
+    /// that never leave this function; the caller-visible outcome gets one
+    /// merged [`TicketResult`] per original request, anchored at the
+    /// placement of its last sub-program.
+    fn run_partitioned_group(
+        &mut self,
+        program: Arc<PartitionedProgram>,
+        requests: Vec<(Ticket, Instant, Vec<bool>)>,
+        outcome: &mut ClusterOutcome,
+        active: &[usize],
+    ) -> Result<(), ClusterError> {
+        struct Anchor {
+            part: usize,
+            shard: usize,
+            wave: usize,
+            axis: Axis,
+            line: usize,
+            offset: usize,
+            queue_latency: Duration,
+            execute_latency: Duration,
+        }
+
+        let nreq = requests.len();
+        // Exported outputs of every executed part, per request.
+        let mut part_outputs: Vec<Vec<Vec<bool>>> =
+            vec![vec![Vec::new(); nreq]; program.num_parts()];
+        let mut anchors: Vec<Option<Anchor>> = (0..nreq).map(|_| None).collect();
+
+        for level in 0..program.num_levels() {
+            let wave_base = outcome.waves;
+            let groups: Vec<Group> = program.levels()[level]
+                .clone()
+                .map(|pi| {
+                    let part = &program.parts()[pi];
+                    let requests = requests
+                        .iter()
+                        .enumerate()
+                        .map(|(ri, (_, submitted_at, inputs))| {
+                            let local: Vec<bool> = part
+                                .inputs()
+                                .iter()
+                                .map(|&route| match route {
+                                    RouteSource::Host(i) => inputs[i],
+                                    RouteSource::Part { part, output } => {
+                                        part_outputs[part][ri][output]
+                                    }
+                                })
+                                .collect();
+                            let synthetic = Ticket((pi * nreq + ri) as u64);
+                            (synthetic, *submitted_at, local)
+                        })
+                        .collect();
+                    Group {
+                        program: part.program().clone(),
+                        requests,
+                        cursor: 0,
+                    }
+                })
+                .collect();
+            let knobs = PackingKnobs {
+                line_len: self.shard_capacity(),
+                batch_limit: self.batch_limit,
+                pack_limit: self.pack_limit,
+                axis_policy: self.axis_policy,
+                origin_base: self.waves_dispatched + wave_base,
+            };
+            let mut scratch = ClusterOutcome::empty(self.shards.len());
+            let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut scratch, active);
+            // Harvest the cut signals (and anchor metadata) before folding
+            // the scratch stats in — the synthetic tickets must never
+            // reach the caller-visible result list.
+            for r in std::mem::take(&mut scratch.results) {
+                let pi = (r.ticket.id() as usize) / nreq;
+                let ri = (r.ticket.id() as usize) % nreq;
+                if anchors[ri].as_ref().is_none_or(|a| pi >= a.part) {
+                    anchors[ri] = Some(Anchor {
+                        part: pi,
+                        shard: r.shard,
+                        wave: wave_base + r.wave,
+                        axis: r.axis,
+                        line: r.line,
+                        offset: r.offset,
+                        queue_latency: r.queue_latency,
+                        execute_latency: r.execute_latency,
+                    });
+                }
+                part_outputs[pi][ri] = r.outputs;
+            }
+            outcome.merge(scratch);
+            ran?;
+        }
+
+        for (ri, (ticket, submitted_at, inputs)) in requests.iter().enumerate() {
+            let outputs: Vec<bool> = program
+                .outputs()
+                .iter()
+                .map(|&route| match route {
+                    RouteSource::Host(i) => inputs[i],
+                    RouteSource::Part { part, output } => part_outputs[part][ri][output],
+                })
+                .collect();
+            // A gate-free partition (outputs pass straight through) never
+            // dispatched anything; anchor such a result at rest.
+            let anchor = anchors[ri].take().unwrap_or(Anchor {
+                part: 0,
+                shard: 0,
+                wave: 0,
+                axis: self.axis_policy.axis_for(0),
+                line: 0,
+                offset: 0,
+                queue_latency: submitted_at.elapsed(),
+                execute_latency: Duration::ZERO,
+            });
+            outcome.results.push(TicketResult {
+                ticket: *ticket,
+                shard: anchor.shard,
+                wave: anchor.wave,
+                axis: anchor.axis,
+                line: anchor.line,
+                offset: anchor.offset,
+                outputs,
+                queue_latency: anchor.queue_latency,
+                execute_latency: anchor.execute_latency,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for ClusterCore {
@@ -157,6 +354,7 @@ impl std::fmt::Debug for ClusterCore {
             .field("pack_limit", &self.pack_limit)
             .field("axis_policy", &self.axis_policy)
             .field("pending", &self.pending.len())
+            .field("pending_partitioned", &self.pending_partitioned.len())
             .field("compiled_programs", &self.programs.len())
             .finish()
     }

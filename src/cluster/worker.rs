@@ -35,6 +35,10 @@ use std::time::{Duration, Instant};
 pub(crate) enum Command {
     /// One validated request; the ticket id was allocated by the sender.
     Submit(super::queue::Pending),
+    /// One validated partitioned request (see
+    /// [`ClusterHandle::submit_partitioned`](super::handle::ClusterHandle::submit_partitioned));
+    /// rides the same queue positions and flush triggers as `Submit`.
+    SubmitPartitioned(super::queue::PendingPartitioned),
     /// Flush everything pending now.
     Flush,
     /// Flush everything pending, then stop (graceful shutdown).
@@ -88,7 +92,7 @@ pub(crate) fn run(
         // "scrub when idle" under sustained pressure.
         if let (Some(period), Some(due)) = (scrub_period, next_scrub) {
             if due <= Instant::now() {
-                let slack_ok = core.pending.is_empty()
+                let slack_ok = core.pending_total() == 0
                     || deadline.is_some_and(|at| {
                         at.saturating_duration_since(Instant::now()) > scrub_cost * 2
                     });
@@ -127,14 +131,26 @@ pub(crate) fn run(
         };
         match cmd {
             Command::Submit(p) => {
-                if core.pending.is_empty() {
+                if core.pending_total() == 0 {
                     deadline = core
                         .health
                         .effective_deadline()
                         .map(|after| p.submitted_at + after);
                 }
                 core.pending.push(p);
-                if cfg.flush_at.is_some_and(|at| core.pending.len() >= at) {
+                if cfg.flush_at.is_some_and(|at| core.pending_total() >= at) {
+                    flush(&mut core, &shared, &mut deadline);
+                }
+            }
+            Command::SubmitPartitioned(p) => {
+                if core.pending_total() == 0 {
+                    deadline = core
+                        .health
+                        .effective_deadline()
+                        .map(|after| p.submitted_at + after);
+                }
+                core.pending_partitioned.push(p);
+                if cfg.flush_at.is_some_and(|at| core.pending_total() >= at) {
                     flush(&mut core, &shared, &mut deadline);
                 }
             }
@@ -176,7 +192,13 @@ fn absorb_backlog(
         match rx.try_recv() {
             Ok(Command::Submit(p)) => {
                 core.pending.push(p);
-                if cfg.flush_at.is_some_and(|at| core.pending.len() >= at) {
+                if cfg.flush_at.is_some_and(|at| core.pending_total() >= at) {
+                    flush(core, shared, deadline);
+                }
+            }
+            Ok(Command::SubmitPartitioned(p)) => {
+                core.pending_partitioned.push(p);
+                if cfg.flush_at.is_some_and(|at| core.pending_total() >= at) {
                     flush(core, shared, deadline);
                 }
             }
@@ -193,7 +215,7 @@ fn absorb_backlog(
 /// snapshot, re-arm the deadline.
 fn flush(core: &mut ClusterCore, shared: &Shared, deadline: &mut Option<Instant>) {
     *deadline = None;
-    if core.pending.is_empty() {
+    if core.pending_total() == 0 {
         return;
     }
     let report = core.flush_pending();

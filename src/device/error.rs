@@ -45,6 +45,9 @@ pub enum DeviceError {
     ProgramTooWide {
         /// Row size the program was mapped for.
         row_size: usize,
+        /// Cells one request actually occupies after dense remap — the
+        /// post-remap footprint that has to fit the line.
+        footprint: usize,
         /// Device dimension.
         n: usize,
     },
@@ -105,10 +108,17 @@ impl fmt::Display for DeviceError {
                     "request {request} supplies {got} input bits, program expects {want}"
                 )
             }
-            DeviceError::ProgramTooWide { row_size, n } => {
+            DeviceError::ProgramTooWide {
+                row_size,
+                footprint,
+                n,
+            } => {
                 write!(
                     f,
-                    "program mapped for a {row_size}-cell row exceeds the {n}-cell device"
+                    "program mapped for a {row_size}-cell row (post-remap footprint \
+                     {footprint} cells) exceeds the {n}-cell device; circuits bigger \
+                     than one line can be served via the partitioned-compile API \
+                     (PimCluster::compile_partitioned / submit_partitioned)"
                 )
             }
             DeviceError::PlacementArity { rows, requests } => {

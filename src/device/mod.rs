@@ -447,6 +447,7 @@ impl PimDevice {
         if program.program().row_size > n {
             return Err(DeviceError::ProgramTooWide {
                 row_size: program.program().row_size,
+                footprint: program.footprint(),
                 n,
             });
         }
@@ -1364,12 +1365,16 @@ mod tests {
         let p = wide.compile(&nor).expect("compiles");
         let mut narrow = PimDevice::new(9, 3).expect("device");
         let adopted = narrow.adopt(p.program());
-        assert_eq!(
+        assert!(matches!(
             narrow
                 .run_batch(&adopted, &[vec![true, false, true]])
                 .unwrap_err(),
-            DeviceError::ProgramTooWide { row_size: 30, n: 9 }
-        );
+            DeviceError::ProgramTooWide {
+                row_size: 30,
+                n: 9,
+                ..
+            }
+        ));
     }
 
     #[test]

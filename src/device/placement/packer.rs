@@ -81,6 +81,7 @@ impl PlacementPlan {
         if slot_width > line_len {
             return Err(DeviceError::ProgramTooWide {
                 row_size: slot_width,
+                footprint: slot_width,
                 n: line_len,
             });
         }
@@ -159,6 +160,7 @@ mod tests {
             PlacementPlan::pack(Axis::Rows, 30, 31, 30, 1, 1).unwrap_err(),
             DeviceError::ProgramTooWide {
                 row_size: 31,
+                footprint: 31,
                 n: 30
             }
         );

@@ -87,9 +87,11 @@
 //! regenerate every table and figure of the paper.
 
 pub mod cluster;
+pub mod compiler;
 pub mod device;
 
 pub use cluster::{ClusterError, ClusterOutcome, PimCluster, PimClusterBuilder, Ticket};
+pub use compiler::{PartitionedProgram, RouteSource, SubProgram};
 pub use device::{BatchOutcome, CompiledProgram, PimDevice, PimDeviceBuilder};
 pub use pimecc_core as core;
 pub use pimecc_netlist as netlist;
@@ -116,6 +118,7 @@ pub mod prelude {
         AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, HealthSnapshot, LatencyStats,
         PimCluster, PimClusterBuilder, ShardHealth, ShardReport, ShardState, Ticket, TicketResult,
     };
+    pub use crate::compiler::{PartitionedProgram, RouteSource, SubProgram};
     pub use crate::device::{
         Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
         PimDeviceBuilder, PlacementPlan, ScrubReport, SimEngine, Slot,
