@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for intra-shard parallelism: the fused
+//! row-parallel replay swept over the thread-count × lane-config grid —
+//! row-team widths 1/2/4/8 against the two kernel lane configs (scalar
+//! cell-at-a-time vs 64-bit-word × 4-row-lane). Before anything is timed,
+//! every grid point is executed once and asserted bit-identical (state
+//! and `MachineStats`) to the scalar reference: the grid may only move
+//! wall-clock time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimecc_core::{BlockGeometry, ProtectedMemory, SimEngine};
+use pimecc_xbar::{BitGrid, LineSet, ParallelStep};
+
+const N: usize = 255;
+const M: usize = 5;
+const GATES: usize = 32;
+const TEAM_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn machine(engine: SimEngine) -> ProtectedMemory {
+    let mut pm = ProtectedMemory::new(BlockGeometry::new(N, M).expect("geom")).expect("machine");
+    pm.set_engine(engine);
+    let mut g = BitGrid::new(N, N);
+    let mut s = 0x9E3779B97F4A7C15u64;
+    for r in 0..N {
+        for c in 0..N {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            g.set(r, c, s >> 63 != 0);
+        }
+    }
+    pm.load_grid(&g);
+    pm
+}
+
+/// A `GATES`-gate self-arming sequence touching a third of the columns.
+fn program() -> Vec<ParallelStep> {
+    (0..GATES)
+        .flat_map(|i| {
+            let out = 60 + i;
+            [
+                ParallelStep::Init(vec![out]),
+                ParallelStep::Nor(vec![i % 30, 30 + i % 20], out),
+            ]
+        })
+        .collect()
+}
+
+fn replay_scalar(pm: &mut ProtectedMemory, steps: &[ParallelStep]) {
+    for step in steps {
+        match step {
+            ParallelStep::Init(cells) => pm.exec_init_rows(cells, &LineSet::All).expect("init"),
+            ParallelStep::Nor(ins, out) => pm.exec_nor_rows(ins, *out, &LineSet::All).expect("nor"),
+        }
+    }
+}
+
+/// Every grid point must leave the machine in the same state as the
+/// scalar reference — checked once, outside the timed loops.
+fn assert_grid_is_bit_identical(steps: &[ParallelStep]) {
+    let mut reference = machine(SimEngine::ScalarReference);
+    replay_scalar(&mut reference, steps);
+    let ref_stats = *reference.stats();
+    let ref_report = reference.check_all().expect("checks");
+    for threads in TEAM_WIDTHS {
+        let mut pm = machine(SimEngine::WordParallel);
+        let prog = pm.compile_fused_rows(steps).expect("fuses");
+        pm.exec_fused_rows(&prog, 0..N, threads);
+        assert_eq!(
+            pm.mem().grid().diff(reference.mem().grid()),
+            vec![],
+            "t{threads} state diverged from the scalar reference"
+        );
+        assert_eq!(
+            *pm.stats(),
+            ref_stats,
+            "t{threads} stats diverged from the scalar reference"
+        );
+        assert_eq!(
+            pm.check_all().expect("checks"),
+            ref_report,
+            "t{threads} check report diverged from the scalar reference"
+        );
+    }
+}
+
+fn bench_team_grid(c: &mut Criterion) {
+    let steps = program();
+    assert_grid_is_bit_identical(&steps);
+    // The word-lane kernel across the row-team widths.
+    for threads in TEAM_WIDTHS {
+        c.bench_function(
+            &format!("intrashard/fused_{N}x{GATES}/word64x4/t{threads}"),
+            |b| {
+                let mut pm = machine(SimEngine::WordParallel);
+                let prog = pm.compile_fused_rows(&steps).expect("fuses");
+                b.iter(|| {
+                    pm.exec_fused_rows(&prog, 0..N, threads);
+                    black_box(pm.stats().mem_cycles)
+                })
+            },
+        );
+    }
+    // The scalar lane config has no fused path and no team: the per-step
+    // replay at width 1 is the whole scalar column of the grid.
+    c.bench_function(&format!("intrashard/fused_{N}x{GATES}/scalar/t1"), |b| {
+        let mut pm = machine(SimEngine::ScalarReference);
+        b.iter(|| {
+            replay_scalar(&mut pm, &steps);
+            black_box(pm.stats().mem_cycles)
+        })
+    });
+}
+
+fn bench_team_sweep_cost(c: &mut Criterion) {
+    // The ECC sweep that follows every fused replay, at each team width:
+    // isolates the merge/flush overhead the row teams must not regress.
+    for threads in TEAM_WIDTHS {
+        c.bench_function(&format!("intrashard/check_all_cols/t{threads}"), |b| {
+            let mut pm = machine(SimEngine::WordParallel);
+            let prog = pm.compile_fused_rows(&program()).expect("fuses");
+            pm.exec_fused_rows(&prog, 0..N, threads);
+            b.iter(|| black_box(pm.check_all_cols().expect("sweep").checked))
+        });
+    }
+}
+
+criterion_group!(benches, bench_team_grid, bench_team_sweep_cost);
+criterion_main!(benches);

@@ -206,6 +206,20 @@ impl CheckMemory {
         self.family(family)[blk]
     }
 
+    /// One family's packed check words for a whole block row (entry `bc`
+    /// is the word of block `(block_row, bc)`) — lets a row sweep compare
+    /// syndromes against a contiguous slice instead of one indexed load
+    /// per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 64`.
+    pub(crate) fn family_row(&self, family: Family, block_row: usize) -> &[u64] {
+        assert!(self.wpf == 1, "packed check-bits require m <= 64");
+        let bps = self.geom.blocks_per_side();
+        &self.family(family)[block_row * bps..(block_row + 1) * bps]
+    }
+
     /// Overwrites the check-bits of one block from packed parity words
     /// (bit `d` of each word is diagonal `d`) — the word-diff form of
     /// [`CheckMemory::store_block_checks`], a single store.

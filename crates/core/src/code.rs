@@ -164,16 +164,17 @@ impl DiagonalCode {
             }
         };
         let mut lead = 0u64;
-        let mut counter = 0u64;
+        let mut counter_q = 0u64;
         for (lr, &w) in rows.iter().enumerate() {
             debug_assert_eq!(w & !mask, 0, "row word has bits past m");
             lead ^= rotl(w, lr % m);
             // Reverse maps bit c to m-1-c; rotating by lr+1 lands it on
-            // (lr - c) mod m, the counter diagonal.
-            let rev = w.reverse_bits() >> (64 - m);
-            counter ^= rotl(rev, (lr + 1) % m);
+            // (lr - c) mod m, the counter diagonal. Equivalently, reversing
+            // rotl(w, m-1-lr) — and reversal is GF(2)-linear, so the
+            // rotations accumulate and one reversal of the sum suffices.
+            counter_q ^= rotl(w, m - 1 - lr % m);
         }
-        (lead, counter)
+        (lead, (counter_q.reverse_bits() >> (64 - m)) & mask)
     }
 
     /// Computes the syndrome of `block` against stored check-bits.

@@ -68,7 +68,7 @@ pub use code::{DiagonalCode, ErrorLocation, Syndrome};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::CoreError;
 pub use geometry::BlockGeometry;
-pub use machine::{CheckReport, MachineStats, ProtectedMemory};
+pub use machine::{CheckReport, FusedProgram, MachineStats, ProtectedMemory};
 pub use memory::MemoryArray;
 pub use pimecc_xbar::SimEngine;
 

@@ -39,7 +39,10 @@ use crate::error::CoreError;
 use crate::geometry::BlockGeometry;
 use crate::shifter::Family;
 use crate::Result;
-use pimecc_xbar::{BitGrid, Crossbar, LineMask, LineSet, ParallelStep, SimEngine, XbarError};
+use pimecc_xbar::{
+    transpose64, BitGrid, Crossbar, FusedColsPlan, FusedRowsPlan, LineMask, LineSet, ParallelStep,
+    SimEngine, XbarError, MAX_FUSED_STRIDE,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -239,6 +242,29 @@ pub struct ProtectedMemory {
     blockrow_buf: Vec<u64>,
     blkrow_buf: Vec<usize>,
     blkcol_buf: Vec<usize>,
+    /// Per-(block-row, block-column) ECC accumulators for the fused
+    /// executors and batched loads — `(leading, pre-reversal counter)`
+    /// pairs, flat.
+    eccacc_buf: Vec<(u64, u64)>,
+    /// Transpose-staging value/mask planes for batched column loads,
+    /// row-major `[row * stride + word]`; only touched rows are dirtied
+    /// and re-cleared.
+    stage_val: Vec<u64>,
+    stage_msk: Vec<u64>,
+    /// Packed mask of the rows the staging planes currently hold.
+    stage_rows: Vec<u64>,
+    /// Sorted-line scratch for batched row loads.
+    sorted_buf: Vec<usize>,
+    /// Per-rotation field masks of the SWAR check sweep, `m * stride`
+    /// words each: `rot_hi[rot]` selects the bits a left-shift by `rot`
+    /// keeps inside its m-bit field, `rot_lo[rot]` the bits wrapped in
+    /// from the right. Built lazily per geometry.
+    rot_hi: Vec<u64>,
+    rot_lo: Vec<u64>,
+    /// Whole-row parity accumulators of the SWAR check sweep (`stride`
+    /// words each: every block column's m-bit field side by side).
+    acc_lead: Vec<u64>,
+    acc_q: Vec<u64>,
 }
 
 impl ProtectedMemory {
@@ -274,6 +300,15 @@ impl ProtectedMemory {
             blockrow_buf: Vec::new(),
             blkrow_buf: Vec::new(),
             blkcol_buf: Vec::new(),
+            eccacc_buf: Vec::new(),
+            stage_val: Vec::new(),
+            stage_msk: Vec::new(),
+            stage_rows: Vec::new(),
+            sorted_buf: Vec::new(),
+            rot_hi: Vec::new(),
+            rot_lo: Vec::new(),
+            acc_lead: Vec::new(),
+            acc_q: Vec::new(),
         };
         pm.rebuild_cover_masks();
         Ok(pm)
@@ -1528,6 +1563,13 @@ impl ProtectedMemory {
     /// state matters), and statistics are billed per step exactly as the
     /// step-at-a-time path would.
     ///
+    /// This is the compile-and-run-once convenience form: it compiles the
+    /// sequence ([`ProtectedMemory::compile_fused_rows`]) and replays it
+    /// single-threaded. Batch executors that replay the same program every
+    /// wave cache the [`FusedProgram`] and call
+    /// [`ProtectedMemory::exec_fused_rows`] directly, optionally across a
+    /// worker team.
+    ///
     /// Returns `Ok(false)` without touching any state when the sequence or
     /// machine configuration is ineligible — the caller then replays the
     /// steps through the per-step API, which is bit-identical (including
@@ -1539,8 +1581,7 @@ impl ProtectedMemory {
     ///
     /// Infallible in practice; mirrors the per-step executors.
     pub fn exec_steps_rows(&mut self, steps: &[ParallelStep], rows: &LineSet) -> Result<bool> {
-        let (n, m) = (self.geom.n(), self.geom.m());
-        let stride = self.stride();
+        let n = self.geom.n();
         if !self.supports_fused_rows() {
             return Ok(false);
         }
@@ -1553,9 +1594,29 @@ impl ProtectedMemory {
         if range.is_empty() || range.end > n {
             return Ok(false);
         }
-        // Touched columns of the whole sequence → snapshot mask.
-        self.colmask_buf.clear();
-        self.colmask_buf.resize(stride, 0);
+        match self.compile_fused_rows(steps) {
+            None => Ok(false),
+            Some(prog) => {
+                self.exec_fused_rows(&prog, range, 1);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Compiles a step sequence into a reusable row-parallel
+    /// [`FusedProgram`]: the crossbar word plan plus the ECC sweep metadata
+    /// (the sequence's touched-column mask, its non-zero word indices, and
+    /// the touched block-columns). Returns `None` when the machine or the
+    /// sequence is ineligible for fused execution — same rules as
+    /// [`ProtectedMemory::exec_steps_rows`] — in which case callers replay
+    /// through the per-step API.
+    pub fn compile_fused_rows(&self, steps: &[ParallelStep]) -> Option<FusedProgram> {
+        if !self.supports_fused_rows() || steps.is_empty() {
+            return None;
+        }
+        let (n, m) = (self.geom.n(), self.geom.m());
+        let stride = self.stride();
+        let mut colmask = vec![0u64; stride];
         for step in steps {
             let cells: &[usize] = match step {
                 ParallelStep::Init(cells) => cells,
@@ -1563,111 +1624,761 @@ impl ProtectedMemory {
             };
             for &c in cells {
                 if c >= n {
-                    return Ok(false);
+                    return None;
                 }
-                self.colmask_buf[c / 64] |= 1u64 << (c % 64);
+                colmask[c / 64] |= 1u64 << (c % 64);
             }
         }
-        self.refresh_widx();
-        // Snapshot the touched words of every selected row, row-major.
+        let plan = self.mem.compile_steps_rows(steps)?;
+        let widx: Vec<usize> = (0..stride).filter(|&wi| colmask[wi] != 0).collect();
+        let mut blkcols: Vec<usize> = Vec::new();
+        for &wi in &widx {
+            let mut w = colmask[wi];
+            while w != 0 {
+                let c = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let bc = c / m;
+                if blkcols.last() != Some(&bc) {
+                    blkcols.push(bc);
+                }
+            }
+        }
+        Some(FusedProgram {
+            kind: FusedKind::Rows {
+                plan,
+                colmask,
+                widx,
+                blkcols,
+            },
+            steps: steps.len() as u64,
+        })
+    }
+
+    /// Column-parallel transpose of
+    /// [`ProtectedMemory::compile_fused_rows`]: step cell indices name
+    /// *rows*, and the compiled program replays over a contiguous column
+    /// range via [`ProtectedMemory::exec_fused_cols`]. The ECC sweep
+    /// metadata lives in the crossbar plan itself (the rows the sequence
+    /// writes); the touched block-columns depend on the replay range and
+    /// are derived at execution time.
+    pub fn compile_fused_cols(&self, steps: &[ParallelStep]) -> Option<FusedProgram> {
+        if !self.supports_fused_rows() || steps.is_empty() {
+            return None;
+        }
+        let n = self.geom.n();
+        for step in steps {
+            let cells: &[usize] = match step {
+                ParallelStep::Init(cells) => cells,
+                ParallelStep::Nor(_, out) => std::slice::from_ref(out),
+            };
+            if cells.iter().any(|&r| r >= n) {
+                return None;
+            }
+        }
+        let plan = self.mem.compile_steps_cols(steps)?;
+        Some(FusedProgram {
+            kind: FusedKind::Cols { plan },
+            steps: steps.len() as u64,
+        })
+    }
+
+    /// Replays a compiled row-parallel program over a contiguous row range,
+    /// optionally across a team of `threads` scoped workers. The row range
+    /// is split into contiguous chunks at *block-row boundaries* — a pure
+    /// function of the geometry and thread count — so each worker owns
+    /// disjoint plane rows **and** disjoint ECC accumulator slots; the
+    /// accumulated deltas are flushed into the CMEM serially in block-row
+    /// order afterwards. State, statistics and check-bits are therefore
+    /// bit-identical for every thread count, including `1` (which runs
+    /// inline without spawning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prog` was compiled by
+    /// [`ProtectedMemory::compile_fused_cols`], if the range is empty or
+    /// out of bounds, or if the machine configuration no longer matches the
+    /// compiled plan.
+    pub fn exec_fused_rows(
+        &mut self,
+        prog: &FusedProgram,
+        rows: std::ops::Range<usize>,
+        threads: usize,
+    ) {
+        let FusedKind::Rows {
+            plan,
+            colmask,
+            widx,
+            blkcols,
+        } = &prog.kind
+        else {
+            panic!("column-parallel program passed to exec_fused_rows");
+        };
+        let (n, m) = (self.geom.n(), self.geom.m());
+        let stride = self.stride();
+        assert!(
+            !rows.is_empty() && rows.end <= n,
+            "fused row range out of bounds"
+        );
+        debug_assert!(self.supports_fused_rows(), "machine not fused-eligible");
+        let lines = rows.len() as u64;
+        let per_row = widx.len();
+        let nbcs = blkcols.len();
+        let first_br = rows.start / m;
+        let nbrs = (rows.end - 1) / m - first_br + 1;
+        self.eccacc_buf.clear();
+        self.eccacc_buf.resize(nbrs * nbcs, (0, 0));
         self.old_buf.clear();
-        for r in range.clone() {
-            self.snapshot_row(r);
+        self.old_buf.resize(rows.len() * per_row, 0);
+        let team = threads.max(1).min(nbrs);
+        {
+            let (bits, armed) = self.mem.planes_words_mut();
+            let span = rows.start * stride..rows.end * stride;
+            let bits = &mut bits[span.clone()];
+            let armed = &mut armed[span];
+            if team <= 1 {
+                fused_rows_chunk(
+                    plan,
+                    bits,
+                    armed,
+                    &mut self.old_buf,
+                    &mut self.eccacc_buf,
+                    rows.clone(),
+                    colmask,
+                    widx,
+                    blkcols,
+                    m,
+                    stride,
+                );
+            } else {
+                let (q, rem) = (nbrs / team, nbrs % team);
+                std::thread::scope(|s| {
+                    let mut bits_rest = bits;
+                    let mut armed_rest = armed;
+                    let mut old_rest = &mut self.old_buf[..];
+                    let mut acc_rest = &mut self.eccacc_buf[..];
+                    let mut br_cursor = first_br;
+                    let mut row_cursor = rows.start;
+                    for k in 0..team {
+                        let nb = q + usize::from(k < rem);
+                        let row_end = rows.end.min((br_cursor + nb) * m);
+                        let chunk = row_cursor..row_end;
+                        let nrows = chunk.len();
+                        let (b, rest) = bits_rest.split_at_mut(nrows * stride);
+                        bits_rest = rest;
+                        let (a, rest) = armed_rest.split_at_mut(nrows * stride);
+                        armed_rest = rest;
+                        let (o, rest) = old_rest.split_at_mut(nrows * per_row);
+                        old_rest = rest;
+                        let (e, rest) = acc_rest.split_at_mut(nb * nbcs);
+                        acc_rest = rest;
+                        s.spawn(move || {
+                            fused_rows_chunk(
+                                plan, b, a, o, e, chunk, colmask, widx, blkcols, m, stride,
+                            )
+                        });
+                        br_cursor += nb;
+                        row_cursor = row_end;
+                    }
+                });
+            }
         }
-        if !self.mem.exec_steps_rows(steps, range.clone())? {
-            return Ok(false);
-        }
-        // Per-step model accounting: one MEM cycle plus one critical
-        // protocol per step (full coverage and non-empty steps make every
-        // step critical).
-        let steps_n = steps.len() as u64;
+        self.mem.record_fused(plan, lines);
+        let steps_n = prog.steps;
         self.stats.mem_cycles += 3 * steps_n;
         self.stats.transfer_cycles += 2 * steps_n;
         self.stats.pc_xor3_ops += 2 * steps_n;
         self.stats.critical_ops += steps_n;
-        // Net word-diff ECC maintenance, aggregated per block.
-        self.fill_block_cols_from_colmask();
+        for (i, group) in self.eccacc_buf.chunks_exact(nbcs).enumerate() {
+            for (j, &(lead, q)) in group.iter().enumerate() {
+                if lead | q != 0 {
+                    self.cmem
+                        .xor_block_words(first_br + i, blkcols[j], lead, rev_m(q, m));
+                }
+            }
+        }
+    }
+
+    /// Replays a compiled column-parallel program over a contiguous column
+    /// range — the transpose of [`ProtectedMemory::exec_fused_rows`]. The
+    /// ECC maintenance is the *net* row-major diff of every row the
+    /// sequence writes, restricted to the column range, accumulated per
+    /// block-row and flushed once per touched block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prog` was compiled by
+    /// [`ProtectedMemory::compile_fused_rows`], if the range is empty or
+    /// out of bounds, or if the machine configuration no longer matches the
+    /// compiled plan.
+    pub fn exec_fused_cols(&mut self, prog: &FusedProgram, cols: std::ops::Range<usize>) {
+        let FusedKind::Cols { plan } = &prog.kind else {
+            panic!("row-parallel program passed to exec_fused_cols");
+        };
+        let (n, m) = (self.geom.n(), self.geom.m());
+        let stride = self.stride();
+        assert!(
+            !cols.is_empty() && cols.end <= n,
+            "fused column range out of bounds"
+        );
+        debug_assert!(self.supports_fused_rows(), "machine not fused-eligible");
+        // Word mask of the column range.
+        let (w0, w1) = (cols.start / 64, (cols.end - 1) / 64);
+        let nwords = w1 - w0 + 1;
+        let mut mask = [0u64; MAX_FUSED_STRIDE];
+        mask[0] = u64::MAX << (cols.start % 64);
+        let hi = u64::MAX >> (63 - (cols.end - 1) % 64);
+        if w0 == w1 {
+            mask[0] &= hi;
+        } else {
+            for w in mask.iter_mut().take(nwords - 1).skip(1) {
+                *w = u64::MAX;
+            }
+            mask[nwords - 1] = hi;
+        }
+        // Snapshot the in-range words of every row the sequence writes.
+        self.old_buf.clear();
+        for r in plan.touched_lines() {
+            self.old_buf
+                .extend_from_slice(&self.mem.grid().row_words(r)[w0..=w1]);
+        }
+        self.mem.exec_fused_cols(plan, cols.clone());
+        let steps_n = prog.steps;
+        self.stats.mem_cycles += 3 * steps_n;
+        self.stats.transfer_cycles += 2 * steps_n;
+        self.stats.pc_xor3_ops += 2 * steps_n;
+        self.stats.critical_ops += steps_n;
+        // Net ECC: each written row's diff over the column range, rotated
+        // into the touched block-columns; the plan's rows ascend, so one
+        // running block-row group of accumulators suffices.
         let mmask = (1u64 << m) - 1;
-        let per_row = self.widx_buf.len();
+        let bc0 = cols.start / m;
+        let nbcs = (cols.end - 1) / m - bc0 + 1;
+        self.eccacc_buf.clear();
+        self.eccacc_buf.resize(nbcs, (0, 0));
         let ProtectedMemory {
             ref mem,
             ref mut cmem,
-            ref colmask_buf,
-            ref widx_buf,
-            ref blkcol_buf,
+            ref mut eccacc_buf,
             ref old_buf,
             ..
         } = *self;
         let grid = mem.grid();
-        const MAX_BLOCKS: usize = 64;
-        const MAX_STRIDE: usize = 32;
-        if blkcol_buf.len() <= MAX_BLOCKS {
-            let mut chg = [0u64; MAX_STRIDE];
-            let mut acc = [(0u64, 0u64); MAX_BLOCKS];
-            let (first_br, last_br) = (range.start / m, (range.end - 1) / m);
-            for br in first_br..=last_br {
-                let r0 = range.start.max(br * m);
-                let r1 = range.end.min((br + 1) * m);
-                acc[..blkcol_buf.len()].fill((0, 0));
-                for r in r0..r1 {
-                    let row = grid.row_words(r);
-                    let old_base = (r - range.start) * per_row;
-                    for (k, &wi) in widx_buf.iter().enumerate() {
-                        chg[wi] = (row[wi] ^ old_buf[old_base + k]) & colmask_buf[wi];
-                    }
-                    let lr = r - br * m;
-                    let rot_counter = (lr + 1) % m;
-                    for (j, &bc) in blkcol_buf.iter().enumerate() {
-                        let start = bc * m;
-                        let (w0, sh) = (start / 64, start % 64);
-                        let mut seg = chg[w0] >> sh;
-                        if sh + m > 64 && w0 + 1 < stride {
-                            seg |= chg[w0 + 1] << (64 - sh);
-                        }
-                        seg &= mmask;
-                        if seg != 0 {
-                            acc[j].0 ^= rotl_m(seg, lr, m, mmask);
-                            acc[j].1 ^= rotl_m(rev_m(seg, m), rot_counter, m, mmask);
+        let mut cur_br = usize::MAX;
+        for (ti, r) in plan.touched_lines().enumerate() {
+            let br = r / m;
+            if br != cur_br {
+                if cur_br != usize::MAX {
+                    for (j, a) in eccacc_buf.iter_mut().enumerate() {
+                        if a.0 | a.1 != 0 {
+                            cmem.xor_block_words(cur_br, bc0 + j, a.0, rev_m(a.1, m));
+                            *a = (0, 0);
                         }
                     }
                 }
-                for (j, &bc) in blkcol_buf.iter().enumerate() {
-                    let (lead, counter) = acc[j];
-                    if lead | counter != 0 {
-                        cmem.xor_block_words(br, bc, lead, counter);
-                    }
-                }
+                cur_br = br;
             }
-        } else {
-            for r in range.clone() {
-                let row = grid.row_words(r);
-                let old_base = (r - range.start) * per_row;
-                let lr = r % m;
-                let rot_counter = (lr + 1) % m;
-                let br = r / m;
-                for &bc in blkcol_buf.iter() {
-                    let start = bc * m;
-                    let (w0, sh) = (start / 64, start % 64);
-                    let at = |wi: usize| {
-                        widx_buf
-                            .iter()
-                            .position(|&x| x == wi)
-                            .map_or(0, |k| (row[wi] ^ old_buf[old_base + k]) & colmask_buf[wi])
-                    };
-                    let mut seg = at(w0) >> sh;
-                    if sh + m > 64 && w0 + 1 < stride {
-                        seg |= at(w0 + 1) << (64 - sh);
-                    }
-                    seg &= mmask;
-                    if seg != 0 {
-                        let lead = rotl_m(seg, lr, m, mmask);
-                        let counter = rotl_m(rev_m(seg, m), rot_counter, m, mmask);
-                        cmem.xor_block_words(br, bc, lead, counter);
-                    }
+            let row = grid.row_words(r);
+            let ob = ti * nwords;
+            let lr = r % m;
+            let rot_q = m - 1 - lr;
+            let at = |wi: usize| -> u64 {
+                if wi < w0 || wi > w1 {
+                    0
+                } else {
+                    (row[wi] ^ old_buf[ob + wi - w0]) & mask[wi - w0]
+                }
+            };
+            for j in 0..nbcs {
+                let start = (bc0 + j) * m;
+                let (wb, sh) = (start / 64, start % 64);
+                let mut seg = at(wb) >> sh;
+                if sh + m > 64 && wb + 1 < stride {
+                    seg |= at(wb + 1) << (64 - sh);
+                }
+                seg &= mmask;
+                if seg != 0 {
+                    let a = &mut eccacc_buf[j];
+                    a.0 ^= rotl_m(seg, lr, m, mmask);
+                    a.1 ^= rotl_m(seg, rot_q, m, mmask);
                 }
             }
         }
-        Ok(true)
+        if cur_br != usize::MAX {
+            for (j, a) in eccacc_buf.iter_mut().enumerate() {
+                if a.0 | a.1 != 0 {
+                    cmem.xor_block_words(cur_br, bc0 + j, a.0, rev_m(a.1, m));
+                    *a = (0, 0);
+                }
+            }
+        }
+    }
+
+    /// Up-front validation shared by the batched load paths: every listed
+    /// line and every cell coordinate must be in range. Nothing has been
+    /// written when an error is returned.
+    fn validate_batched(
+        &self,
+        axis: LineAxis,
+        lines: &[usize],
+        loads: &[Vec<(usize, bool)>],
+    ) -> Result<()> {
+        let n = self.geom.n();
+        for &line in lines {
+            if line >= n {
+                let (row, col) = match axis {
+                    LineAxis::Row => (line, 0),
+                    LineAxis::Col => (0, line),
+                };
+                return Err(CoreError::OutOfBounds { row, col, n });
+            }
+            if let Some(&(cross, _)) = loads[line].iter().find(|&&(x, _)| x >= n) {
+                let (row, col) = axis.cell(line, cross);
+                return Err(CoreError::OutOfBounds { row, col, n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the dirty block-column accumulators (`blkcol_buf`) of one
+    /// block-row group into the CMEM — the counter sums are bit-reversed
+    /// once here, not per line — and resets them for the next group.
+    fn flush_ecc_group(&mut self, br: usize, m: usize) {
+        if br == usize::MAX {
+            return;
+        }
+        for i in 0..self.blkcol_buf.len() {
+            let bc = self.blkcol_buf[i];
+            let (lead, q) = self.eccacc_buf[bc];
+            if lead | q != 0 {
+                self.cmem.xor_block_words(br, bc, lead, rev_m(q, m));
+            }
+            self.eccacc_buf[bc] = (0, 0);
+        }
+        self.blkcol_buf.clear();
+    }
+
+    /// Accumulates one row's masked change words into the per-block-column
+    /// ECC accumulators (`eccacc_buf`, indexed by absolute block-column),
+    /// marking newly dirtied block-columns in `blkcol_buf`. `cm` gates
+    /// which words are inspected; `chg` holds the masked old-xor-new words.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_row_ecc(
+        &mut self,
+        r: usize,
+        cm: &[u64],
+        chg: &[u64],
+        m: usize,
+        mmask: u64,
+        stride: usize,
+        bps: usize,
+    ) {
+        let lr = r % m;
+        let rot_q = m - 1 - lr;
+        let mut next_bc = 0usize;
+        for (wi, &cmw) in cm.iter().enumerate().take(stride) {
+            if cmw == 0 {
+                continue;
+            }
+            let first = (wi * 64) / m;
+            let last = ((wi * 64 + 63) / m).min(bps - 1);
+            for bc in first.max(next_bc)..=last {
+                let start = bc * m;
+                let (w0, sh) = (start / 64, start % 64);
+                let mut seg = chg[w0] >> sh;
+                if sh + m > 64 && w0 + 1 < stride {
+                    seg |= chg[w0 + 1] << (64 - sh);
+                }
+                seg &= mmask;
+                if seg != 0 {
+                    // Duplicate entries are fine: the flush zeroes an
+                    // accumulator on first visit and skips it after, so a
+                    // push-always dirty list beats a membership scan.
+                    self.blkcol_buf.push(bc);
+                    let a = &mut self.eccacc_buf[bc];
+                    a.0 ^= rotl_m(seg, lr, m, mmask);
+                    a.1 ^= rotl_m(seg, rot_q, m, mmask);
+                }
+            }
+            next_bc = last + 1;
+        }
+    }
+
+    /// Batched form of [`ProtectedMemory::write_row_cells`]: drives every
+    /// listed row's sparse load (`loads[row]`) in one sweep. State,
+    /// [`MachineStats`] and crossbar statistics are bit-identical to calling
+    /// the per-line API once per listed row, in any order — writes to
+    /// distinct lines commute and ECC updates are XORs — but the batched
+    /// sweep packs each line's cells straight into stack words and
+    /// accumulates the ECC deltas per block-row instead of flushing (and
+    /// bit-reversing) per line. Ineligible machines (scalar engine, partial
+    /// coverage, pre-write checking, `m > 63`) fall back to the per-line
+    /// path. All loads are validated before anything is written.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if a listed row or a cell column is out
+    /// of range (nothing written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is shorter than `lines` requires (`loads` is
+    /// indexed by line number).
+    pub fn write_rows_cells_batched(
+        &mut self,
+        lines: &[usize],
+        loads: &[Vec<(usize, bool)>],
+    ) -> Result<()> {
+        self.validate_batched(LineAxis::Row, lines, loads)?;
+        if !self.supports_fused_rows() {
+            for &r in lines {
+                self.write_line_cells(LineAxis::Row, r, &loads[r])?;
+            }
+            return Ok(());
+        }
+        let (m, stride) = (self.geom.m(), self.stride());
+        let mmask = (1u64 << m) - 1;
+        let bps = self.geom.blocks_per_side();
+        self.sorted_buf.clear();
+        self.sorted_buf
+            .extend(lines.iter().copied().filter(|&r| !loads[r].is_empty()));
+        self.sorted_buf.sort_unstable();
+        self.eccacc_buf.clear();
+        self.eccacc_buf.resize(bps, (0, 0));
+        self.blkcol_buf.clear();
+        let mut cur_br = usize::MAX;
+        for idx in 0..self.sorted_buf.len() {
+            let r = self.sorted_buf[idx];
+            let br = r / m;
+            if br != cur_br {
+                self.flush_ecc_group(cur_br, m);
+                cur_br = br;
+            }
+            let mut cm = [0u64; MAX_FUSED_STRIDE];
+            let mut nv = [0u64; MAX_FUSED_STRIDE];
+            for &(c, v) in &loads[r] {
+                let (wi, bit) = (c / 64, 1u64 << (c % 64));
+                cm[wi] |= bit;
+                if v {
+                    nv[wi] |= bit;
+                } else {
+                    nv[wi] &= !bit;
+                }
+            }
+            let mut chg = [0u64; MAX_FUSED_STRIDE];
+            {
+                let row = self.mem.grid().row_words(r);
+                for wi in 0..stride {
+                    if cm[wi] != 0 {
+                        chg[wi] = (row[wi] ^ nv[wi]) & cm[wi];
+                    }
+                }
+            }
+            self.mem
+                .write_row_words_masked(r, &nv[..stride], &cm[..stride]);
+            self.stats.mem_cycles += 1;
+            self.bill_critical();
+            self.accumulate_row_ecc(r, &cm, &chg, m, mmask, stride, bps);
+        }
+        self.flush_ecc_group(cur_br, m);
+        Ok(())
+    }
+
+    /// Batched form of [`ProtectedMemory::write_col_cells`] — the transpose
+    /// of [`ProtectedMemory::write_rows_cells_batched`], with one extra
+    /// twist: column stores are strided bit-scatters, so the batched sweep
+    /// first *transposes* every column's cells into reusable row-major
+    /// staging planes and then drives each touched row with a single masked
+    /// word store. Distinct columns never alias a cell, the masked stores
+    /// are zero-cycle on the crossbar either way, and billing stays one MEM
+    /// cycle plus one critical protocol per driven (non-empty) column, so
+    /// state and statistics are bit-identical to the per-column path.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if a listed column or a cell row is out
+    /// of range (nothing written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is shorter than `lines` requires (`loads` is
+    /// indexed by line number).
+    pub fn write_cols_cells_batched(
+        &mut self,
+        lines: &[usize],
+        loads: &[Vec<(usize, bool)>],
+    ) -> Result<()> {
+        self.validate_batched(LineAxis::Col, lines, loads)?;
+        if !self.supports_fused_rows() {
+            for &c in lines {
+                self.write_line_cells(LineAxis::Col, c, &loads[c])?;
+            }
+            return Ok(());
+        }
+        let (n, m, stride) = (self.geom.n(), self.geom.m(), self.stride());
+        let mmask = (1u64 << m) - 1;
+        let bps = self.geom.blocks_per_side();
+        self.stage_val.resize(n * stride, 0);
+        self.stage_msk.resize(n * stride, 0);
+        self.stage_rows.resize(n.div_ceil(64), 0);
+        let mut driven = 0u64;
+        for &c in lines {
+            let cells = &loads[c];
+            if cells.is_empty() {
+                continue;
+            }
+            let (wi, bit) = (c / 64, 1u64 << (c % 64));
+            for &(r, v) in cells {
+                let base = r * stride + wi;
+                self.stage_msk[base] |= bit;
+                if v {
+                    self.stage_val[base] |= bit;
+                } else {
+                    self.stage_val[base] &= !bit;
+                }
+                self.stage_rows[r / 64] |= 1u64 << (r % 64);
+            }
+            driven += 1;
+        }
+        // Per-column billing, exactly as the per-line path: one MEM cycle
+        // plus one critical protocol per driven column (full coverage makes
+        // every non-empty column critical).
+        self.stats.mem_cycles += 3 * driven;
+        self.stats.transfer_cycles += 2 * driven;
+        self.stats.pc_xor3_ops += 2 * driven;
+        self.stats.critical_ops += driven;
+        self.drive_staged_rows(m, mmask, stride, bps);
+        Ok(())
+    }
+
+    /// Drives every row flagged in `stage_rows` with the masked word held
+    /// in the row-major staging planes, restoring the planes to all-zero
+    /// as it goes; ECC deltas accumulate per block-row. Shared tail of the
+    /// column-axis batched writers — column billing has already been done
+    /// by the caller, so this only performs the (zero-cycle) masked stores
+    /// and the CMEM updates.
+    fn drive_staged_rows(&mut self, m: usize, mmask: u64, stride: usize, bps: usize) {
+        self.eccacc_buf.clear();
+        self.eccacc_buf.resize(bps, (0, 0));
+        self.blkcol_buf.clear();
+        let mut cur_br = usize::MAX;
+        for rw in 0..self.stage_rows.len() {
+            let mut wbits = self.stage_rows[rw];
+            self.stage_rows[rw] = 0;
+            while wbits != 0 {
+                let r = rw * 64 + wbits.trailing_zeros() as usize;
+                wbits &= wbits - 1;
+                let br = r / m;
+                if br != cur_br {
+                    self.flush_ecc_group(cur_br, m);
+                    cur_br = br;
+                }
+                let base = r * stride;
+                let mut cm = [0u64; MAX_FUSED_STRIDE];
+                let mut nv = [0u64; MAX_FUSED_STRIDE];
+                cm[..stride].copy_from_slice(&self.stage_msk[base..base + stride]);
+                nv[..stride].copy_from_slice(&self.stage_val[base..base + stride]);
+                self.stage_msk[base..base + stride].fill(0);
+                self.stage_val[base..base + stride].fill(0);
+                let mut chg = [0u64; MAX_FUSED_STRIDE];
+                {
+                    let row = self.mem.grid().row_words(r);
+                    for wi in 0..stride {
+                        if cm[wi] != 0 {
+                            chg[wi] = (row[wi] ^ nv[wi]) & cm[wi];
+                        }
+                    }
+                }
+                self.mem
+                    .write_row_words_masked(r, &nv[..stride], &cm[..stride]);
+                self.accumulate_row_ecc(r, &cm, &chg, m, mmask, stride, bps);
+            }
+        }
+        self.flush_ecc_group(cur_br, m);
+    }
+
+    /// Word-plane form of [`ProtectedMemory::write_rows_cells_batched`]:
+    /// the loads arrive already packed into row-major bit planes — word `w`
+    /// of row `r` lives at `r * stride + w` of `masks`/`vals` — instead of
+    /// sparse `(col, bool)` lists, skipping the per-cell scatter entirely.
+    /// Every set `vals` bit must have its `masks` bit set. Listed rows with
+    /// an all-zero mask are not driven (and not billed), exactly like an
+    /// empty cell list. Touched plane words are restored to zero, so a
+    /// caller can reuse the planes allocation-free. State and statistics
+    /// are bit-identical to the cells path.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if a listed row is out of range or a mask
+    /// sets a bit at column `>= n` (nothing written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not on the fused word path (callers gate on
+    /// [`ProtectedMemory::supports_fused_rows`]) or the planes are shorter
+    /// than `n * stride` words.
+    pub fn write_rows_words_batched(
+        &mut self,
+        lines: &[usize],
+        masks: &mut [u64],
+        vals: &mut [u64],
+    ) -> Result<()> {
+        assert!(
+            self.supports_fused_rows(),
+            "word-plane writes require the fused word path"
+        );
+        let (n, m, stride) = (self.geom.n(), self.geom.m(), self.stride());
+        let mmask = (1u64 << m) - 1;
+        let bps = self.geom.blocks_per_side();
+        let tail_keep = match n % 64 {
+            0 => u64::MAX,
+            t => (1u64 << t) - 1,
+        };
+        for &r in lines {
+            if r >= n {
+                return Err(CoreError::OutOfBounds { row: r, col: 0, n });
+            }
+            if masks[r * stride + stride - 1] & !tail_keep != 0 {
+                return Err(CoreError::OutOfBounds { row: r, col: n, n });
+            }
+        }
+        self.sorted_buf.clear();
+        self.sorted_buf.extend(
+            lines
+                .iter()
+                .copied()
+                .filter(|&r| masks[r * stride..(r + 1) * stride].iter().any(|&w| w != 0)),
+        );
+        self.sorted_buf.sort_unstable();
+        self.eccacc_buf.clear();
+        self.eccacc_buf.resize(bps, (0, 0));
+        self.blkcol_buf.clear();
+        let mut cur_br = usize::MAX;
+        for idx in 0..self.sorted_buf.len() {
+            let r = self.sorted_buf[idx];
+            let br = r / m;
+            if br != cur_br {
+                self.flush_ecc_group(cur_br, m);
+                cur_br = br;
+            }
+            let base = r * stride;
+            let mut cm = [0u64; MAX_FUSED_STRIDE];
+            let mut nv = [0u64; MAX_FUSED_STRIDE];
+            cm[..stride].copy_from_slice(&masks[base..base + stride]);
+            nv[..stride].copy_from_slice(&vals[base..base + stride]);
+            masks[base..base + stride].fill(0);
+            vals[base..base + stride].fill(0);
+            let mut chg = [0u64; MAX_FUSED_STRIDE];
+            {
+                let row = self.mem.grid().row_words(r);
+                for wi in 0..stride {
+                    if cm[wi] != 0 {
+                        chg[wi] = (row[wi] ^ nv[wi]) & cm[wi];
+                    }
+                }
+            }
+            self.mem
+                .write_row_words_masked(r, &nv[..stride], &cm[..stride]);
+            self.stats.mem_cycles += 1;
+            self.bill_critical();
+            self.accumulate_row_ecc(r, &cm, &chg, m, mmask, stride, bps);
+        }
+        self.flush_ecc_group(cur_br, m);
+        Ok(())
+    }
+
+    /// Word-plane form of [`ProtectedMemory::write_cols_cells_batched`]:
+    /// the loads arrive packed into *column-major* bit planes — word `rw`
+    /// of column `c` (covering rows `64·rw ..`) lives at `c * stride + rw`
+    /// — and the sweep transposes them 64×64 tile by tile into the
+    /// row-major staging planes before driving each touched row once.
+    /// Every set `vals` bit must have its `masks` bit set. Listed columns
+    /// with an all-zero mask are not driven (and not billed). Touched plane
+    /// words are restored to zero. State and statistics are bit-identical
+    /// to the cells path.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfBounds`] if a listed column is out of range or a
+    /// mask sets a bit at row `>= n` (nothing written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not on the fused word path (callers gate on
+    /// [`ProtectedMemory::supports_fused_rows`]) or the planes are shorter
+    /// than `n * stride` words.
+    pub fn write_cols_words_batched(
+        &mut self,
+        lines: &[usize],
+        masks: &mut [u64],
+        vals: &mut [u64],
+    ) -> Result<()> {
+        assert!(
+            self.supports_fused_rows(),
+            "word-plane writes require the fused word path"
+        );
+        let (n, m, stride) = (self.geom.n(), self.geom.m(), self.stride());
+        let mmask = (1u64 << m) - 1;
+        let bps = self.geom.blocks_per_side();
+        let tail_keep = match n % 64 {
+            0 => u64::MAX,
+            t => (1u64 << t) - 1,
+        };
+        let mut driven = 0u64;
+        for &c in lines {
+            if c >= n {
+                return Err(CoreError::OutOfBounds { row: 0, col: c, n });
+            }
+            if masks[c * stride + stride - 1] & !tail_keep != 0 {
+                return Err(CoreError::OutOfBounds { row: n, col: c, n });
+            }
+            if masks[c * stride..(c + 1) * stride].iter().any(|&w| w != 0) {
+                driven += 1;
+            }
+        }
+        self.stage_val.resize(n * stride, 0);
+        self.stage_msk.resize(n * stride, 0);
+        self.stage_rows.resize(n.div_ceil(64), 0);
+        // Transpose the column planes into row-major staging, one 64×64
+        // tile at a time; the planes are zeroed as they are consumed.
+        for cw in 0..stride {
+            let c0 = cw * 64;
+            let cols = 64.min(n - c0);
+            for rw in 0..stride {
+                let mut mt = [0u64; 64];
+                let mut vt = [0u64; 64];
+                let mut any = 0u64;
+                for (i, (mo, vo)) in mt.iter_mut().zip(vt.iter_mut()).enumerate().take(cols) {
+                    let base = (c0 + i) * stride + rw;
+                    *mo = masks[base];
+                    *vo = vals[base];
+                    any |= *mo;
+                    masks[base] = 0;
+                    vals[base] = 0;
+                }
+                if any == 0 {
+                    continue;
+                }
+                transpose64(&mut mt);
+                transpose64(&mut vt);
+                for (j, (&mw, &vw)) in mt.iter().zip(vt.iter()).enumerate() {
+                    if mw == 0 {
+                        continue;
+                    }
+                    let r = rw * 64 + j;
+                    let base = r * stride + cw;
+                    self.stage_msk[base] |= mw;
+                    self.stage_val[base] |= vw & mw;
+                    self.stage_rows[r / 64] |= 1u64 << (r % 64);
+                }
+            }
+        }
+        // Per-column billing, exactly as the cells path.
+        self.stats.mem_cycles += 3 * driven;
+        self.stats.transfer_cycles += 2 * driven;
+        self.stats.pc_xor3_ops += 2 * driven;
+        self.stats.critical_ops += driven;
+        self.drive_staged_rows(m, mmask, stride, bps);
+        Ok(())
     }
 
     /// Resets an entire block to LRS (all ones) and writes its check-bits
@@ -1859,6 +2570,9 @@ impl ProtectedMemory {
             });
         }
         self.bill_block_line_check();
+        if self.word_blocks() && self.fully_covered {
+            return Ok(self.check_block_row_sweep(block_row));
+        }
         let mut report = CheckReport::default();
         let word = self.word_blocks();
         for bc in 0..bps {
@@ -1881,6 +2595,255 @@ impl ProtectedMemory {
         Ok(report)
     }
 
+    /// Fully-covered word-path fast sweep of one block row: reads each of
+    /// the `m` MEM rows **once**, rotates *every* block column's m-bit
+    /// field simultaneously (two whole-row SWAR field rotations per MEM
+    /// row — see [`ProtectedMemory::field_rot_xor`] — instead of `bps`
+    /// scalar rotations each), then compares all `bps` blocks against the
+    /// CMEM. Outcome, reports and statistics are identical to checking
+    /// block by block — the per-cell parity contributions are the same
+    /// XORs, corrections are block-local, and each block is visited
+    /// exactly once.
+    fn check_block_row_sweep(&mut self, block_row: usize) -> CheckReport {
+        let m = self.geom.m();
+        let bps = self.geom.blocks_per_side();
+        let stride = self.mem.grid().stride();
+        let mmask = (1u64 << m) - 1;
+        self.ensure_rot_masks(m, stride, bps);
+        self.acc_lead.clear();
+        self.acc_lead.resize(stride, 0);
+        self.acc_q.clear();
+        self.acc_q.resize(stride, 0);
+        {
+            let grid = self.mem.grid();
+            for lr in 0..m {
+                let row = grid.row_words(block_row * m + lr);
+                let rot_q = m - 1 - lr;
+                Self::field_rot_xor(
+                    &mut self.acc_lead,
+                    row,
+                    lr,
+                    m,
+                    &self.rot_hi[lr * stride..(lr + 1) * stride],
+                    &self.rot_lo[lr * stride..(lr + 1) * stride],
+                );
+                Self::field_rot_xor(
+                    &mut self.acc_q,
+                    row,
+                    rot_q,
+                    m,
+                    &self.rot_hi[rot_q * stride..(rot_q + 1) * stride],
+                    &self.rot_lo[rot_q * stride..(rot_q + 1) * stride],
+                );
+            }
+        }
+        let mut report = CheckReport {
+            checked: bps,
+            ..CheckReport::default()
+        };
+        self.stats.blocks_checked += bps as u64;
+        // Compare all blocks against the CMEM's contiguous per-row check
+        // words; only mismatching blocks (rare) take the correction path.
+        // `sorted_buf` is free here — the sweep never runs inside the
+        // batched writers that own it.
+        self.sorted_buf.clear();
+        {
+            let ProtectedMemory {
+                ref cmem,
+                ref acc_lead,
+                ref acc_q,
+                ref mut sorted_buf,
+                ..
+            } = *self;
+            let lead_stored = cmem.family_row(Family::Leading, block_row);
+            let ctr_stored = cmem.family_row(Family::Counter, block_row);
+            for bc in 0..bps {
+                let (lead, ctr) = Self::sweep_fields(acc_lead, acc_q, bc, m, stride, mmask);
+                if (lead ^ lead_stored[bc]) | (ctr ^ ctr_stored[bc]) != 0 {
+                    sorted_buf.push(bc);
+                }
+            }
+        }
+        for i in 0..self.sorted_buf.len() {
+            let bc = self.sorted_buf[i];
+            let (lead, ctr) = Self::sweep_fields(&self.acc_lead, &self.acc_q, bc, m, stride, mmask);
+            let syn_lead = lead ^ self.cmem.block_checks_word(Family::Leading, block_row, bc);
+            let syn_ctr = ctr ^ self.cmem.block_checks_word(Family::Counter, block_row, bc);
+            self.resolve_block_mismatch(block_row, bc, lead, ctr, syn_lead, syn_ctr, &mut report);
+        }
+        report
+    }
+
+    /// Extracts one block column's computed parity words out of the sweep
+    /// accumulators: the leading field as-is, the counter field bit-reversed
+    /// (the Q-trick's single reversal per block).
+    #[inline]
+    fn sweep_fields(
+        acc_lead: &[u64],
+        acc_q: &[u64],
+        bc: usize,
+        m: usize,
+        stride: usize,
+        mmask: u64,
+    ) -> (u64, u64) {
+        let start = bc * m;
+        let (w0, sh) = (start / 64, (start % 64) as u32);
+        let mut lead = acc_lead[w0] >> sh;
+        let mut q = acc_q[w0] >> sh;
+        if sh as usize + m > 64 && w0 + 1 < stride {
+            lead |= acc_lead[w0 + 1] << (64 - sh);
+            q |= acc_q[w0 + 1] << (64 - sh);
+        }
+        (lead & mmask, rev_m(q & mmask, m))
+    }
+
+    /// XORs a whole-row **per-field left rotation** into `acc`: every
+    /// aligned m-bit field of `row` (one per block column, `bps` of them
+    /// side by side) is rotated left by `rot` and accumulated, in
+    /// `O(stride)` word operations instead of one scalar `rotl_m` per
+    /// block. The identity per field is the usual barrel rotate: a big
+    /// shift left by `rot` places the bits that stay inside their field
+    /// (`hi` mask — positions `>= rot` within the field), a big shift
+    /// right by `m - rot` places the wrapped bits (`lo` mask). Bits past
+    /// `bps * m` are excluded by both masks.
+    #[inline]
+    fn field_rot_xor(acc: &mut [u64], row: &[u64], rot: usize, m: usize, hi: &[u64], lo: &[u64]) {
+        let stride = acc.len();
+        if rot == 0 {
+            for w in 0..stride {
+                acc[w] ^= row[w] & hi[w];
+            }
+            return;
+        }
+        let sh = m - rot;
+        let mut prev = 0u64;
+        for w in 0..stride {
+            let a = row[w] << rot | prev >> (64 - rot);
+            let next = if w + 1 < stride { row[w + 1] } else { 0 };
+            let b = row[w] >> sh | next << (64 - sh);
+            acc[w] ^= (a & hi[w]) | (b & lo[w]);
+            prev = row[w];
+        }
+    }
+
+    /// Builds the per-rotation field masks of the SWAR sweep (cached; a
+    /// pure function of the geometry).
+    fn ensure_rot_masks(&mut self, m: usize, stride: usize, bps: usize) {
+        if self.rot_hi.len() == m * stride {
+            return;
+        }
+        self.rot_hi = vec![0; m * stride];
+        self.rot_lo = vec![0; m * stride];
+        for rot in 0..m {
+            for p in 0..bps * m {
+                let (w, bit) = (p / 64, 1u64 << (p % 64));
+                if p % m >= rot {
+                    self.rot_hi[rot * stride + w] |= bit;
+                } else {
+                    self.rot_lo[rot * stride + w] |= bit;
+                }
+            }
+        }
+    }
+
+    /// Compares one block's freshly computed parity words against the CMEM
+    /// and applies the single-error correction — the tail half of
+    /// [`ProtectedMemory::check_block_word`], shared by the block-line
+    /// sweeps. Statistics and report counts match the per-block checker
+    /// exactly.
+    fn resolve_block_word(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        lead_calc: u64,
+        counter_calc: u64,
+        report: &mut CheckReport,
+    ) {
+        let syn_lead = lead_calc
+            ^ self
+                .cmem
+                .block_checks_word(Family::Leading, block_row, block_col);
+        let syn_counter = counter_calc
+            ^ self
+                .cmem
+                .block_checks_word(Family::Counter, block_row, block_col);
+        self.stats.blocks_checked += 1;
+        report.checked += 1;
+        if syn_lead | syn_counter == 0 {
+            return;
+        }
+        self.resolve_block_mismatch(
+            block_row,
+            block_col,
+            lead_calc,
+            counter_calc,
+            syn_lead,
+            syn_counter,
+            report,
+        );
+    }
+
+    /// The error half of [`ProtectedMemory::resolve_block_word`]: applies
+    /// the single-error correction for a block whose syndromes are already
+    /// known non-zero. Split out so bulk sweeps can compare syndromes
+    /// against contiguous CMEM slices and only fall in here for the rare
+    /// mismatching block.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_block_mismatch(
+        &mut self,
+        block_row: usize,
+        block_col: usize,
+        lead_calc: u64,
+        counter_calc: u64,
+        syn_lead: u64,
+        syn_counter: u64,
+        report: &mut CheckReport,
+    ) {
+        let m = self.geom.m();
+        match (syn_lead.count_ones(), syn_counter.count_ones()) {
+            (1, 1) => {
+                let (local_row, local_col) = self.geom.locate(
+                    syn_lead.trailing_zeros() as usize,
+                    syn_counter.trailing_zeros() as usize,
+                );
+                let (r, c) = (block_row * m + local_row, block_col * m + local_col);
+                let corrected = !self.mem.bit(r, c);
+                self.mem.write_bit(r, c, corrected);
+                self.stats.mem_cycles += 1;
+                self.stats.errors_corrected += 1;
+                report.corrected += 1;
+            }
+            (1, 0) => {
+                let diagonal = syn_lead.trailing_zeros() as usize;
+                self.cmem.set_bit(
+                    Family::Leading,
+                    diagonal,
+                    block_row,
+                    block_col,
+                    lead_calc >> diagonal & 1 != 0,
+                );
+                self.stats.errors_corrected += 1;
+                report.corrected += 1;
+            }
+            (0, 1) => {
+                let diagonal = syn_counter.trailing_zeros() as usize;
+                self.cmem.set_bit(
+                    Family::Counter,
+                    diagonal,
+                    block_row,
+                    block_col,
+                    counter_calc >> diagonal & 1 != 0,
+                );
+                self.stats.errors_corrected += 1;
+                report.corrected += 1;
+            }
+            _ => {
+                self.stats.errors_uncorrectable += 1;
+                report.uncorrectable += 1;
+            }
+        }
+    }
+
     /// Transpose of [`ProtectedMemory::check_block_row`]: checks a whole
     /// column of blocks, the pre-execution input check for
     /// *column-parallel* functions (the paper's §IV "row (column)"
@@ -1899,6 +2862,9 @@ impl ProtectedMemory {
             });
         }
         self.bill_block_line_check();
+        if self.word_blocks() && self.fully_covered {
+            return Ok(self.check_block_col_sweep(block_col));
+        }
         let mut report = CheckReport::default();
         let word = self.word_blocks();
         for br in 0..bps {
@@ -1917,6 +2883,39 @@ impl ProtectedMemory {
             }
         }
         Ok(report)
+    }
+
+    /// Column transpose of [`ProtectedMemory::check_block_row_sweep`]: the
+    /// blocks of one block column share their word/shift addressing, so
+    /// each block's parities come straight off its `m` row words without
+    /// staging, one bit reversal per block.
+    fn check_block_col_sweep(&mut self, block_col: usize) -> CheckReport {
+        let m = self.geom.m();
+        let bps = self.geom.blocks_per_side();
+        let stride = self.mem.grid().stride();
+        let mmask = (1u64 << m) - 1;
+        let start = block_col * m;
+        let (w0, sh) = (start / 64, (start % 64) as u32);
+        let spill = sh as usize + m > 64;
+        let mut report = CheckReport::default();
+        for br in 0..bps {
+            let (mut lead, mut q) = (0u64, 0u64);
+            {
+                let grid = self.mem.grid();
+                for lr in 0..m {
+                    let row = grid.row_words(br * m + lr);
+                    let mut seg = row[w0] >> sh;
+                    if spill && w0 + 1 < stride {
+                        seg |= row[w0 + 1] << (64 - sh);
+                    }
+                    seg &= mmask;
+                    lead ^= rotl_m(seg, lr, m, mmask);
+                    q ^= rotl_m(seg, m - 1 - lr, m, mmask);
+                }
+            }
+            self.resolve_block_word(br, block_col, lead, rev_m(q, m), &mut report);
+        }
+        report
     }
 
     /// Bills the datapath cost of one block-line check: m copy cycles
@@ -1945,6 +2944,34 @@ impl ProtectedMemory {
         let mut total = CheckReport::default();
         for br in 0..self.geom.blocks_per_side() {
             total += self.check_block_row(br)?;
+        }
+        Ok(total)
+    }
+
+    /// Column-axis variant of [`ProtectedMemory::check_all`]: checks every
+    /// block column, as a column-parallel wave does before execution.
+    /// Checking all `bps` block columns visits exactly the same block set
+    /// as checking all block rows, every check is block-local, and the
+    /// datapath bill is the same `bps` line checks — so on the
+    /// fully-covered word path this sweeps block *rows* instead, reading
+    /// each MEM row once rather than once per column.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; mirrors [`ProtectedMemory::check_block_col`].
+    pub fn check_all_cols(&mut self) -> Result<CheckReport> {
+        let bps = self.geom.blocks_per_side();
+        if self.word_blocks() && self.fully_covered {
+            let mut total = CheckReport::default();
+            for line in 0..bps {
+                self.bill_block_line_check();
+                total += self.check_block_row_sweep(line);
+            }
+            return Ok(total);
+        }
+        let mut total = CheckReport::default();
+        for bc in 0..bps {
+            total += self.check_block_col(bc)?;
         }
         Ok(total)
     }
@@ -2026,6 +3053,117 @@ impl std::fmt::Debug for ProtectedMemory {
             .field("check_on_critical", &self.check_on_critical)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
+    }
+}
+
+/// A step sequence compiled once for repeated fused replay against one
+/// machine configuration: the crossbar word plan plus the ECC sweep
+/// metadata. Produced by [`ProtectedMemory::compile_fused_rows`] /
+/// [`ProtectedMemory::compile_fused_cols`]; batch executors cache one per
+/// (program, placement, axis) and replay it every wave via
+/// [`ProtectedMemory::exec_fused_rows`] /
+/// [`ProtectedMemory::exec_fused_cols`].
+#[derive(Clone)]
+pub struct FusedProgram {
+    kind: FusedKind,
+    steps: u64,
+}
+
+// Programs are compiled once and cached per (program, placement, axis);
+// the size gap between the variants never moves per wave.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum FusedKind {
+    Rows {
+        plan: FusedRowsPlan,
+        /// Touched-column mask of the whole sequence, one word per stride
+        /// word.
+        colmask: Vec<u64>,
+        /// Indices of the non-zero `colmask` words.
+        widx: Vec<usize>,
+        /// Touched block-columns, ascending.
+        blkcols: Vec<usize>,
+    },
+    Cols {
+        plan: FusedColsPlan,
+    },
+}
+
+impl FusedProgram {
+    /// Number of steps in the compiled sequence.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether this program replays row-parallel
+    /// ([`ProtectedMemory::exec_fused_rows`]) as opposed to
+    /// column-parallel.
+    pub fn is_rows(&self) -> bool {
+        matches!(self.kind, FusedKind::Rows { .. })
+    }
+}
+
+/// One worker's share of a fused row-parallel replay: snapshot the touched
+/// words of the chunk's rows, run the compiled sequence on the chunk's raw
+/// plane slices, then accumulate the net ECC deltas into `acc` — one
+/// `(leading, pre-reversal counter)` pair per (block-row, block-column) of
+/// the chunk. The counter family needs `rotl(rev(seg), (lr + 1) mod m)` per
+/// row; since bit-reversal is GF(2)-linear this equals
+/// `rev(rotl(seg, m - 1 - lr))`, so workers accumulate the cheap rotation
+/// and the caller reverses each accumulator once at flush time. Chunks are
+/// split at block-row boundaries, so the `acc` slices of distinct workers
+/// never alias and the flushed CMEM state is independent of the split.
+#[allow(clippy::too_many_arguments)]
+fn fused_rows_chunk(
+    plan: &FusedRowsPlan,
+    bits: &mut [u64],
+    armed: &mut [u64],
+    old: &mut [u64],
+    acc: &mut [(u64, u64)],
+    rows: std::ops::Range<usize>,
+    colmask: &[u64],
+    widx: &[usize],
+    blkcols: &[usize],
+    m: usize,
+    stride: usize,
+) {
+    let per_row = widx.len();
+    for li in 0..rows.len() {
+        let row = &bits[li * stride..(li + 1) * stride];
+        let ob = li * per_row;
+        for (k, &wi) in widx.iter().enumerate() {
+            old[ob + k] = row[wi];
+        }
+    }
+    plan.run_on_rows(bits, armed);
+    let mmask = (1u64 << m) - 1;
+    let nbcs = blkcols.len();
+    let chunk_first_br = rows.start / m;
+    let mut chg = [0u64; MAX_FUSED_STRIDE];
+    for r in rows.clone() {
+        let li = r - rows.start;
+        let row = &bits[li * stride..(li + 1) * stride];
+        let ob = li * per_row;
+        for (k, &wi) in widx.iter().enumerate() {
+            chg[wi] = (row[wi] ^ old[ob + k]) & colmask[wi];
+        }
+        let (br, lr) = (r / m, r % m);
+        let abase = (br - chunk_first_br) * nbcs;
+        let rot_q = m - 1 - lr;
+        for (j, &bc) in blkcols.iter().enumerate() {
+            let start = bc * m;
+            let (w0, sh) = (start / 64, start % 64);
+            let mut seg = chg[w0] >> sh;
+            if sh + m > 64 && w0 + 1 < stride {
+                seg |= chg[w0 + 1] << (64 - sh);
+            }
+            seg &= mmask;
+            if seg != 0 {
+                let a = &mut acc[abase + j];
+                a.0 ^= rotl_m(seg, lr, m, mmask);
+                a.1 ^= rotl_m(seg, rot_q, m, mmask);
+            }
+        }
     }
 }
 

@@ -315,6 +315,64 @@ proptest! {
             prop_assert!(fused.verify_consistency().is_ok());
         }
     }
+
+    // Row-team width is purely a host wall-clock knob: for any thread
+    // count the fused replay leaves state, statistics, check-bits and
+    // reports identical to the single-thread replay AND to the scalar
+    // reference replaying the same steps one at a time.
+    #[test]
+    fn row_team_width_never_changes_state_stats_or_checks(
+        geom_idx in 0usize..GEOMETRIES.len(),
+        seed in any::<u64>(),
+        gates in proptest::collection::vec((0usize..10_000, 0usize..10_000, 0usize..10_000), 1..12),
+        start in 0usize..64,
+        len in 1usize..192,
+        threads in 2usize..9,
+    ) {
+        let (n, m) = GEOMETRIES[geom_idx];
+        let grid = random_grid(n, seed);
+        let mut steps = Vec::new();
+        for &(a, b, out) in &gates {
+            let out = out % n;
+            let fix = |c: usize| if c % n == out { (c + 1) % n } else { c % n };
+            steps.push(ParallelStep::Init(vec![out]));
+            steps.push(ParallelStep::Nor(vec![fix(a), fix(b)], out));
+        }
+        let start = start % n;
+        let range = start..(start + len % n).min(n).max(start + 1);
+
+        let mut team = machine(n, m, SimEngine::WordParallel);
+        team.load_grid(&grid);
+        let Some(prog) = team.compile_fused_rows(&steps) else {
+            return;
+        };
+        team.exec_fused_rows(&prog, range.clone(), threads);
+
+        let mut single = machine(n, m, SimEngine::WordParallel);
+        single.load_grid(&grid);
+        let prog1 = single.compile_fused_rows(&steps).expect("same machine config compiles");
+        single.exec_fused_rows(&prog1, range.clone(), 1);
+
+        let mut scalar = machine(n, m, SimEngine::ScalarReference);
+        scalar.load_grid(&grid);
+        let rows = LineSet::Range(range);
+        for step in &steps {
+            match step {
+                ParallelStep::Init(cells) => scalar.exec_init_rows(cells, &rows).unwrap(),
+                ParallelStep::Nor(ins, out) => scalar.exec_nor_rows(ins, *out, &rows).unwrap(),
+            }
+        }
+
+        prop_assert_eq!(team.mem().grid().diff(single.mem().grid()), vec![]);
+        prop_assert_eq!(team.stats(), single.stats());
+        prop_assert_eq!(team.mem().grid().diff(scalar.mem().grid()), vec![]);
+        prop_assert_eq!(team.stats(), scalar.stats());
+        let treport = team.check_all().unwrap();
+        prop_assert_eq!(treport, single.check_all().unwrap());
+        prop_assert_eq!(treport, scalar.check_all().unwrap());
+        prop_assert_eq!(treport.corrected + treport.uncorrectable, 0);
+        prop_assert!(team.verify_consistency().is_ok());
+    }
 }
 
 #[test]

@@ -232,8 +232,21 @@ impl BitGrid {
     pub fn set_row_words_masked(&mut self, r: usize, values: &[u64], mask: &[u64]) {
         debug_assert!(r < self.rows, "row index out of bounds");
         let base = r * self.stride;
-        for i in 0..self.stride {
-            let w = &mut self.words[base + i];
+        let row = &mut self.words[base..base + self.stride];
+        // Four-word lanes so the masked-merge vectorizes to 256-bit ops;
+        // the stride tail runs word-at-a-time.
+        let mut quads = row
+            .chunks_exact_mut(4)
+            .zip(values.chunks_exact(4))
+            .zip(mask.chunks_exact(4));
+        for ((w4, v4), m4) in &mut quads {
+            for k in 0..4 {
+                w4[k] = (w4[k] & !m4[k]) | (v4[k] & m4[k]);
+            }
+        }
+        let done = self.stride / 4 * 4;
+        for i in done..self.stride {
+            let w = &mut row[i];
             *w = (*w & !mask[i]) | (values[i] & mask[i]);
         }
     }
@@ -281,8 +294,19 @@ impl BitGrid {
         for &r in rows {
             debug_assert!(r < self.rows, "row index out of bounds");
             let base = r * self.stride;
-            for i in 0..self.stride {
-                out[i] |= self.words[base + i];
+            let row = &self.words[base..base + self.stride];
+            // Four-word lanes (see `set_row_words_masked`).
+            for (o4, w4) in out[..self.stride]
+                .chunks_exact_mut(4)
+                .zip(row.chunks_exact(4))
+            {
+                for k in 0..4 {
+                    o4[k] |= w4[k];
+                }
+            }
+            let done = self.stride / 4 * 4;
+            for i in done..self.stride {
+                out[i] |= row[i];
             }
         }
     }
@@ -398,6 +422,30 @@ impl BitGrid {
         }
         if width < 64 {
             v &= (1u64 << width) - 1;
+        }
+        v
+    }
+
+    /// Reads `width ≤ 64` consecutive bits of *column* `c` starting at row
+    /// `r0`, packed into the low bits of the returned word (bit `i` is
+    /// cell `(r0 + i, c)`) — the column-axis transpose of
+    /// [`BitGrid::extract_bits`]. The column's word/shift addressing is
+    /// resolved once, so the per-bit cost is a strided load plus two ALU
+    /// ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range exceeds `rows`.
+    pub fn extract_col_bits(&self, c: usize, r0: usize, width: usize) -> u64 {
+        assert!(width <= 64, "extract width exceeds one word");
+        assert!(r0 + width <= self.rows, "bit range out of bounds");
+        debug_assert!(c < self.cols, "column index out of bounds");
+        let (wc, sh) = (c / 64, (c % 64) as u32);
+        let mut idx = r0 * self.stride + wc;
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= ((self.words[idx] >> sh) & 1) << i;
+            idx += self.stride;
         }
         v
     }

@@ -45,6 +45,7 @@ pub enum ParallelStep {
 
 /// A step compiled for the fused per-row pass: word/shift addressing
 /// resolved, init masks packed.
+#[derive(Clone)]
 enum FusedOp {
     /// OR the mask words (range into the mask arena) into the row.
     Init { arena: std::ops::Range<usize> },
@@ -852,16 +853,33 @@ impl Crossbar {
         steps: &[ParallelStep],
         rows: std::ops::Range<usize>,
     ) -> Result<bool> {
-        const MAX_STRIDE: usize = 32;
-        let n = self.rows();
+        if rows.start >= rows.end || rows.end > self.rows() {
+            return Ok(false);
+        }
+        match self.compile_steps_rows(steps) {
+            None => Ok(false),
+            Some(plan) => {
+                self.exec_fused_rows(&plan, rows);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Compiles a step sequence for the fused row-parallel executor:
+    /// analysis (bounds, overlap, self-arming legality under strict mode)
+    /// plus addressing resolution, done **once** — the returned
+    /// [`FusedRowsPlan`] replays over any row range via
+    /// [`Crossbar::exec_fused_rows`] with zero per-call setup. Returns
+    /// `None` when the sequence or this crossbar's configuration is
+    /// ineligible (scalar engine, oversized stride, bad bounds, in/out
+    /// overlap, or a non-self-arming sequence under strict mode).
+    pub fn compile_steps_rows(&self, steps: &[ParallelStep]) -> Option<FusedRowsPlan> {
         let stride = self.bits.stride();
         if !matches!(self.engine, SimEngine::WordParallel)
-            || stride > MAX_STRIDE
-            || rows.start >= rows.end
-            || rows.end > n
+            || stride > MAX_FUSED_STRIDE
             || steps.is_empty()
         {
-            return Ok(false);
+            return None;
         }
         // Analysis pass: bounds, overlap, self-arming legality, and the
         // final armed state (program-armed minus consumed, over the
@@ -869,36 +887,42 @@ impl Crossbar {
         let cols = self.cols();
         let mut prog_armed = vec![0u64; stride];
         let mut touched = vec![0u64; stride];
+        let mut init_steps = 0u64;
+        let mut init_cells = 0u64;
+        let mut nor_steps = 0u64;
         for step in steps {
             match step {
                 ParallelStep::Init(cells) => {
                     if cells.is_empty() {
-                        return Ok(false);
+                        return None;
                     }
                     for &c in cells {
                         if c >= cols {
-                            return Ok(false);
+                            return None;
                         }
                         prog_armed[c / 64] |= 1u64 << (c % 64);
                         touched[c / 64] |= 1u64 << (c % 64);
                     }
+                    init_steps += 1;
+                    init_cells += cells.len() as u64;
                 }
                 ParallelStep::Nor(ins, out) => {
                     let out = *out;
                     if ins.is_empty() || out >= cols {
-                        return Ok(false);
+                        return None;
                     }
                     for &c in ins {
                         if c >= cols || c == out {
-                            return Ok(false);
+                            return None;
                         }
                     }
                     let (ow, obit) = (out / 64, 1u64 << (out % 64));
                     if self.strict && prog_armed[ow] & obit == 0 {
-                        return Ok(false);
+                        return None;
                     }
                     prog_armed[ow] &= !obit;
                     touched[ow] |= obit;
+                    nor_steps += 1;
                 }
             }
         }
@@ -906,6 +930,7 @@ impl Crossbar {
         let mut mask_arena: Vec<u64> = Vec::new();
         let mut input_arena: Vec<(usize, u32)> = Vec::new();
         let mut ops: Vec<FusedOp> = Vec::with_capacity(steps.len());
+        let mut used = [false; MAX_FUSED_STRIDE];
         for step in steps {
             match step {
                 ParallelStep::Init(cells) => {
@@ -913,12 +938,17 @@ impl Crossbar {
                     mask_arena.resize(start + stride, 0);
                     for &c in cells {
                         mask_arena[start + c / 64] |= 1u64 << (c % 64);
+                        used[c / 64] = true;
                     }
                     ops.push(FusedOp::Init {
                         arena: start..start + stride,
                     });
                 }
                 ParallelStep::Nor(ins, out) => {
+                    for &c in ins {
+                        used[c / 64] = true;
+                    }
+                    used[*out / 64] = true;
                     let (ow, osh) = (*out / 64, (*out % 64) as u32);
                     ops.push(match *ins.as_slice() {
                         [c] => FusedOp::Not {
@@ -948,28 +978,427 @@ impl Crossbar {
                 }
             }
         }
-        // Fused pass: one load/store of the row words per row, all steps
-        // in between on locals; armed state lands word-wise.
+        let mut used_words: Vec<u16> = Vec::new();
+        let mut word_slot = [u16::MAX; MAX_FUSED_STRIDE];
+        for (w, &u) in used.iter().enumerate().take(stride) {
+            if u {
+                word_slot[w] = used_words.len() as u16;
+                used_words.push(w as u16);
+            }
+        }
+        Some(FusedRowsPlan {
+            cols,
+            stride,
+            strict: self.strict,
+            prog_armed,
+            touched,
+            mask_arena,
+            input_arena,
+            ops,
+            init_steps,
+            init_cells,
+            nor_steps,
+            used_words,
+            word_slot,
+        })
+    }
+
+    /// Replays a compiled sequence over a contiguous row range — the
+    /// execute-many half of [`Crossbar::compile_steps_rows`]. Bit- and
+    /// stats-identical to [`Crossbar::exec_steps_rows`] on the same steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a different configuration
+    /// (columns, stride, strict mode, engine) or the range is out of
+    /// bounds.
+    pub fn exec_fused_rows(&mut self, plan: &FusedRowsPlan, rows: std::ops::Range<usize>) {
+        self.check_fused_plan(plan.cols, plan.stride, plan.strict);
+        assert!(
+            rows.start <= rows.end && rows.end <= self.rows(),
+            "fused row range out of bounds"
+        );
+        let lines = rows.len() as u64;
+        let stride = plan.stride;
         let row_range = rows.start * stride..rows.end * stride;
-        let bits = self.bits.words_raw_mut();
-        let armed = self.armed.words_raw_mut();
-        let mut local = [0u64; MAX_STRIDE];
-        for (row, arow) in bits[row_range.clone()]
-            .chunks_exact_mut(stride)
-            .zip(armed[row_range].chunks_exact_mut(stride))
+        plan.run_on_rows(
+            &mut self.bits.words_raw_mut()[row_range.clone()],
+            &mut self.armed.words_raw_mut()[row_range],
+        );
+        self.record_fused(plan, lines);
+    }
+
+    /// Bills the per-step statistics of one fused replay over `lines`
+    /// rows (or columns), exactly as the step-at-a-time API would — split
+    /// out so parallel executors that drive [`FusedRowsPlan::run_on_rows`]
+    /// on raw slices can account once, deterministically.
+    pub fn record_fused(&mut self, plan: &FusedRowsPlan, lines: u64) {
+        self.stats.record_bulk(
+            plan.init_steps,
+            lines * plan.init_cells,
+            plan.nor_steps,
+            lines,
+        );
+    }
+
+    /// The two raw word planes (`bits`, `armed`), row-major with
+    /// [`BitGrid::stride`] words per row — the escape hatch intra-shard
+    /// worker teams use to run [`FusedRowsPlan::run_on_rows`] on disjoint
+    /// row chunks via `split_at_mut`. Callers must preserve the planes'
+    /// invariants; statistics are *not* recorded (see
+    /// [`Crossbar::record_fused`]).
+    #[doc(hidden)]
+    pub fn planes_words_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        (self.bits.words_raw_mut(), self.armed.words_raw_mut())
+    }
+
+    fn check_fused_plan(&self, cols: usize, stride: usize, strict: bool) {
+        assert!(
+            matches!(self.engine, SimEngine::WordParallel),
+            "fused plans require the word-parallel engine"
+        );
+        assert_eq!(cols, self.cols(), "fused plan compiled for other width");
+        assert_eq!(stride, self.bits.stride(), "fused plan stride mismatch");
+        assert_eq!(strict, self.strict, "fused plan strictness mismatch");
+    }
+
+    /// Compiles a step sequence for the fused *column-parallel* executor —
+    /// the transpose of [`Crossbar::compile_steps_rows`]: step cell indices
+    /// name **rows** (an init arms cells of listed rows across the selected
+    /// columns; a NOR reads input rows and writes an output row), and
+    /// [`Crossbar::exec_fused_cols`] replays the whole sequence over a
+    /// contiguous column range in one pass. Ineligible sequences return
+    /// `None` (same rules as the row plan, transposed).
+    pub fn compile_steps_cols(&self, steps: &[ParallelStep]) -> Option<FusedColsPlan> {
+        let stride = self.bits.stride();
+        if !matches!(self.engine, SimEngine::WordParallel)
+            || stride > MAX_FUSED_STRIDE
+            || steps.is_empty()
         {
-            local[..stride].copy_from_slice(row);
-            for op in &ops {
+            return None;
+        }
+        let rows = self.rows();
+        // Analysis, transposed: armed/touched are per *line* (row) flags.
+        let mut armed_flag = vec![false; rows];
+        let mut touched_flag = vec![false; rows];
+        let mut init_steps = 0u64;
+        let mut init_cells = 0u64;
+        let mut nor_steps = 0u64;
+        for step in steps {
+            match step {
+                ParallelStep::Init(cells) => {
+                    if cells.is_empty() {
+                        return None;
+                    }
+                    for &r in cells {
+                        if r >= rows {
+                            return None;
+                        }
+                        armed_flag[r] = true;
+                        touched_flag[r] = true;
+                    }
+                    init_steps += 1;
+                    init_cells += cells.len() as u64;
+                }
+                ParallelStep::Nor(ins, out) => {
+                    let out = *out;
+                    if ins.is_empty() || out >= rows {
+                        return None;
+                    }
+                    for &r in ins {
+                        if r >= rows || r == out {
+                            return None;
+                        }
+                    }
+                    if self.strict && !armed_flag[out] {
+                        return None;
+                    }
+                    armed_flag[out] = false;
+                    touched_flag[out] = true;
+                    nor_steps += 1;
+                }
+            }
+        }
+        let mut line_arena: Vec<usize> = Vec::new();
+        let mut ops: Vec<FusedColOp> = Vec::with_capacity(steps.len());
+        for step in steps {
+            match step {
+                ParallelStep::Init(cells) => {
+                    let start = line_arena.len();
+                    line_arena.extend_from_slice(cells);
+                    ops.push(FusedColOp::Init {
+                        arena: start..line_arena.len(),
+                    });
+                }
+                ParallelStep::Nor(ins, out) => {
+                    let start = line_arena.len();
+                    line_arena.extend_from_slice(ins);
+                    ops.push(FusedColOp::Nor {
+                        arena: start..line_arena.len(),
+                        out: *out,
+                    });
+                }
+            }
+        }
+        let touched_lines: Vec<(usize, bool)> = touched_flag
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(r, _)| (r, armed_flag[r]))
+            .collect();
+        Some(FusedColsPlan {
+            rows,
+            stride,
+            strict: self.strict,
+            line_arena,
+            ops,
+            touched_lines,
+            init_steps,
+            init_cells,
+            nor_steps,
+        })
+    }
+
+    /// Replays a compiled column-parallel sequence over a contiguous
+    /// column range: every step becomes a handful of word operations on
+    /// the touched rows, and the per-step sweeps over the matrix collapse
+    /// into one — bit- and stats-identical to replaying the steps through
+    /// [`Crossbar::exec_init_cols`] / [`Crossbar::exec_nor_cols`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a plan/configuration mismatch or an out-of-bounds range,
+    /// as [`Crossbar::exec_fused_rows`].
+    pub fn exec_fused_cols(&mut self, plan: &FusedColsPlan, cols: std::ops::Range<usize>) {
+        self.check_fused_plan_cols(plan);
+        assert!(
+            cols.start <= cols.end && cols.end <= self.cols(),
+            "fused column range out of bounds"
+        );
+        let lines = cols.len() as u64;
+        let stride = plan.stride;
+        let (w0, w1, mask) = col_range_mask(&cols);
+        let bits = self.bits.words_raw_mut();
+        let mut acc = [0u64; MAX_FUSED_STRIDE];
+        for op in &plan.ops {
+            match op {
+                FusedColOp::Init { arena } => {
+                    for &r in &plan.line_arena[arena.clone()] {
+                        let base = r * stride;
+                        for w in w0..=w1 {
+                            bits[base + w] |= mask[w - w0];
+                        }
+                    }
+                }
+                FusedColOp::Nor { arena, out } => {
+                    acc[..=w1 - w0].fill(0);
+                    for &r in &plan.line_arena[arena.clone()] {
+                        let base = r * stride;
+                        for w in w0..=w1 {
+                            acc[w - w0] |= bits[base + w];
+                        }
+                    }
+                    let base = out * stride;
+                    for w in w0..=w1 {
+                        let m = mask[w - w0];
+                        bits[base + w] = (bits[base + w] & !m) | (!acc[w - w0] & m);
+                    }
+                }
+            }
+        }
+        // Armed plane: every touched line consumes the selection; lines
+        // the program leaves armed re-arm it — word-wise, once.
+        let armed = self.armed.words_raw_mut();
+        for &(r, stays_armed) in &plan.touched_lines {
+            let base = r * stride;
+            for w in w0..=w1 {
+                let m = mask[w - w0];
+                let aw = &mut armed[base + w];
+                *aw = if stays_armed { *aw | m } else { *aw & !m };
+            }
+        }
+        self.stats.record_bulk(
+            plan.init_steps,
+            lines * plan.init_cells,
+            plan.nor_steps,
+            lines,
+        );
+    }
+
+    fn check_fused_plan_cols(&self, plan: &FusedColsPlan) {
+        assert!(
+            matches!(self.engine, SimEngine::WordParallel),
+            "fused plans require the word-parallel engine"
+        );
+        assert_eq!(
+            plan.rows,
+            self.rows(),
+            "fused plan compiled for other height"
+        );
+        assert_eq!(
+            plan.stride,
+            self.bits.stride(),
+            "fused plan stride mismatch"
+        );
+        assert_eq!(plan.strict, self.strict, "fused plan strictness mismatch");
+    }
+}
+
+/// Word span and per-word masks of a contiguous column range: words
+/// `w0..=w1` are touched, `mask[k]` selects the range's bits of word
+/// `w0 + k`.
+fn col_range_mask(cols: &std::ops::Range<usize>) -> (usize, usize, [u64; MAX_FUSED_STRIDE]) {
+    debug_assert!(!cols.is_empty());
+    let (w0, w1) = (cols.start / 64, (cols.end - 1) / 64);
+    let mut mask = [u64::MAX; MAX_FUSED_STRIDE];
+    mask[0] = u64::MAX << (cols.start % 64);
+    let hi = u64::MAX >> (63 - (cols.end - 1) % 64);
+    if w0 == w1 {
+        mask[0] &= hi;
+    } else {
+        mask[w1 - w0] = hi;
+    }
+    (w0, w1, mask)
+}
+
+/// Upper stride bound of the fused executors' fixed-size local buffers
+/// (32 words = 2048 columns, far past every realistic geometry).
+pub const MAX_FUSED_STRIDE: usize = 32;
+
+/// A step sequence compiled once by [`Crossbar::compile_steps_rows`] and
+/// replayed many times by [`Crossbar::exec_fused_rows`]: resolved
+/// word/shift addressing, packed init masks, and the sequence-wide
+/// touched/armed column masks. Compilation pins the crossbar width,
+/// stride and strictness; replaying against a different configuration
+/// panics.
+#[derive(Clone)]
+pub struct FusedRowsPlan {
+    cols: usize,
+    stride: usize,
+    strict: bool,
+    prog_armed: Vec<u64>,
+    touched: Vec<u64>,
+    mask_arena: Vec<u64>,
+    input_arena: Vec<(usize, u32)>,
+    ops: Vec<FusedOp>,
+    init_steps: u64,
+    init_cells: u64,
+    nor_steps: u64,
+    /// Every stride word any op reads or writes, ascending — the words the
+    /// bit-sliced executor transposes in and out.
+    used_words: Vec<u16>,
+    /// Inverse of `used_words`: stride word → slot index, `u16::MAX` if
+    /// unused.
+    word_slot: [u16; MAX_FUSED_STRIDE],
+}
+
+impl FusedRowsPlan {
+    /// The sequence-wide touched-column mask (one word per stride word):
+    /// columns any step writes (inits and NOR outputs).
+    pub fn touched_words(&self) -> &[u64] {
+        &self.touched
+    }
+
+    /// Number of compiled steps.
+    pub fn steps(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Runs the compiled sequence over raw row-major word slices covering
+    /// whole rows (`len` a multiple of the compiled stride): each row's
+    /// words are pulled into locals once, every step runs on them as plain
+    /// ALU operations, and the row is stored back. Rows are independent,
+    /// so callers may split both slices at row boundaries and run chunks
+    /// concurrently — results are bit-identical regardless of the split.
+    /// Four-row lanes keep the word kernels wide enough for the
+    /// autovectorizer; the remainder runs one row at a time.
+    pub fn run_on_rows(&self, bits: &mut [u64], armed: &mut [u64]) {
+        debug_assert_eq!(bits.len() % self.stride, 0, "partial row slice");
+        debug_assert_eq!(bits.len(), armed.len(), "plane length mismatch");
+        // Enough rows amortize a bit-sliced pass: transpose the used words
+        // so each gate costs a handful of word ops for *all* rows at once.
+        // Below the break-even (transpose cost ≈ a few gates' worth of
+        // row-lane work) the straight multi-lane row kernel wins. Both
+        // paths are bit-identical, so the cutover is purely a host-time
+        // choice.
+        if bits.len() / self.stride >= SLICE_MIN_ROWS && !self.used_words.is_empty() {
+            self.run_sliced(bits, armed);
+            return;
+        }
+        const LANES: usize = 4;
+        let stride = self.stride;
+        let span = LANES * stride;
+        let main = bits.len() / span * span;
+        let (bits_main, bits_rest) = bits.split_at_mut(main);
+        let (armed_main, armed_rest) = armed.split_at_mut(main);
+        for (rows, arows) in bits_main
+            .chunks_exact_mut(span)
+            .zip(armed_main.chunks_exact_mut(span))
+        {
+            self.run_lanes::<LANES>(rows, arows);
+        }
+        for (row, arow) in bits_rest
+            .chunks_exact_mut(stride)
+            .zip(armed_rest.chunks_exact_mut(stride))
+        {
+            self.run_lanes::<1>(row, arow);
+        }
+    }
+
+    /// The bit-sliced executor: transposes every used stride word into
+    /// column-major form (one packed word-vector per crossbar column, bit
+    /// `i` = row `i` of the slice), runs each gate as `ceil(rows/64)` word
+    /// operations covering **all** rows at once, and transposes back. The
+    /// 64×64 tile transposes are the only per-row cost, so a long step
+    /// sequence over many rows runs at gate-granularity instead of
+    /// row-granularity. Bit-identical to the row-lane path.
+    fn run_sliced(&self, bits: &mut [u64], armed: &mut [u64]) {
+        let stride = self.stride;
+        let rows = bits.len() / stride;
+        let nw = rows.div_ceil(64);
+        let slots = self.used_words.len();
+        SLICE_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.resize(slots * 64 * nw, 0);
+            let mut tile = [0u64; 64];
+            for (k, &w) in self.used_words.iter().enumerate() {
+                let w = w as usize;
+                let base = k * 64 * nw;
+                for t in 0..nw {
+                    let r0 = t * 64;
+                    let tr = (rows - r0).min(64);
+                    for (i, slot) in tile.iter_mut().enumerate().take(tr) {
+                        *slot = bits[(r0 + i) * stride + w];
+                    }
+                    tile[tr..].fill(0);
+                    transpose64(&mut tile);
+                    for (j, &col) in tile.iter().enumerate() {
+                        buf[base + j * nw + t] = col;
+                    }
+                }
+            }
+            // Column vector base of cell (word w, shift s).
+            let cv = |w: usize, s: u32| (self.word_slot[w] as usize * 64 + s as usize) * nw;
+            for op in &self.ops {
                 match op {
                     FusedOp::Init { arena } => {
-                        for (w, &mask) in local[..stride].iter_mut().zip(&mask_arena[arena.clone()])
-                        {
-                            *w |= mask;
+                        let masks = &self.mask_arena[arena.clone()];
+                        for (k, &w) in self.used_words.iter().enumerate() {
+                            let mut mw = masks[w as usize];
+                            while mw != 0 {
+                                let s = mw.trailing_zeros() as usize;
+                                mw &= mw - 1;
+                                let base = (k * 64 + s) * nw;
+                                buf[base..base + nw].fill(!0u64);
+                            }
                         }
                     }
                     FusedOp::Not { w, s, ow, osh } => {
-                        let any = local[*w] >> s;
-                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                        let (ib, ob) = (cv(*w, *s), cv(*ow, *osh));
+                        for t in 0..nw {
+                            buf[ob + t] = !buf[ib + t];
+                        }
                     }
                     FusedOp::Nor2 {
                         w1,
@@ -979,34 +1408,188 @@ impl Crossbar {
                         ow,
                         osh,
                     } => {
-                        let any = (local[*w1] >> s1) | (local[*w2] >> s2);
-                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                        let (i1, i2, ob) = (cv(*w1, *s1), cv(*w2, *s2), cv(*ow, *osh));
+                        for t in 0..nw {
+                            buf[ob + t] = !(buf[i1 + t] | buf[i2 + t]);
+                        }
                     }
                     FusedOp::NorN { arena, ow, osh } => {
-                        let mut any = 0u64;
-                        for &(w, s) in &input_arena[arena.clone()] {
-                            any |= local[w] >> s;
+                        let ob = cv(*ow, *osh);
+                        let mut acc = [0u64; 16];
+                        let chunks = nw.div_ceil(16);
+                        for ch in 0..chunks {
+                            let t0 = ch * 16;
+                            let tn = (nw - t0).min(16);
+                            acc[..tn].fill(0);
+                            for &(w, s) in &self.input_arena[arena.clone()] {
+                                let ib = cv(w, s) + t0;
+                                for (t, a) in acc.iter_mut().enumerate().take(tn) {
+                                    *a |= buf[ib + t];
+                                }
+                            }
+                            for (t, &a) in acc.iter().enumerate().take(tn) {
+                                buf[ob + t0 + t] = !a;
+                            }
                         }
-                        local[*ow] = (local[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
                     }
                 }
             }
-            row.copy_from_slice(&local[..stride]);
-            for ((aw, &t), &pa) in arow.iter_mut().zip(&touched).zip(&prog_armed) {
+            for (k, &w) in self.used_words.iter().enumerate() {
+                let w = w as usize;
+                let base = k * 64 * nw;
+                for t in 0..nw {
+                    let r0 = t * 64;
+                    let tr = (rows - r0).min(64);
+                    for (j, slot) in tile.iter_mut().enumerate() {
+                        *slot = buf[base + j * nw + t];
+                    }
+                    transpose64(&mut tile);
+                    for (i, &row) in tile.iter().enumerate().take(tr) {
+                        bits[(r0 + i) * stride + w] = row;
+                    }
+                }
+            }
+        });
+        // Armed plane: same per-row masked update the lane path applies.
+        for arow in armed.chunks_exact_mut(stride) {
+            for ((aw, &t), &pa) in arow.iter_mut().zip(&self.touched).zip(&self.prog_armed) {
                 *aw = (*aw & !t) | pa;
             }
         }
-        // Per-step accounting, exactly as the step-at-a-time API records.
-        let lines = rows.len() as u64;
-        for step in steps {
-            match step {
-                ParallelStep::Init(cells) => {
-                    self.stats.record(OpKind::Init, lines * cells.len() as u64)
+    }
+
+    /// One pass over `L` consecutive rows held in locals — the multi-lane
+    /// inner loop of [`FusedRowsPlan::run_on_rows`].
+    fn run_lanes<const L: usize>(&self, rows: &mut [u64], arows: &mut [u64]) {
+        let stride = self.stride;
+        let mut local = [[0u64; MAX_FUSED_STRIDE]; L];
+        for (l, row) in rows.chunks_exact(stride).enumerate() {
+            local[l][..stride].copy_from_slice(row);
+        }
+        for op in &self.ops {
+            match op {
+                FusedOp::Init { arena } => {
+                    let masks = &self.mask_arena[arena.clone()];
+                    for lane in local.iter_mut() {
+                        for (w, &mask) in lane[..stride].iter_mut().zip(masks) {
+                            *w |= mask;
+                        }
+                    }
                 }
-                ParallelStep::Nor(..) => self.stats.record(OpKind::Nor, lines),
+                FusedOp::Not { w, s, ow, osh } => {
+                    for lane in local.iter_mut() {
+                        let any = lane[*w] >> s;
+                        lane[*ow] = (lane[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                }
+                FusedOp::Nor2 {
+                    w1,
+                    s1,
+                    w2,
+                    s2,
+                    ow,
+                    osh,
+                } => {
+                    for lane in local.iter_mut() {
+                        let any = (lane[*w1] >> s1) | (lane[*w2] >> s2);
+                        lane[*ow] = (lane[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                }
+                FusedOp::NorN { arena, ow, osh } => {
+                    for lane in local.iter_mut() {
+                        let mut any = 0u64;
+                        for &(w, s) in &self.input_arena[arena.clone()] {
+                            any |= lane[w] >> s;
+                        }
+                        lane[*ow] = (lane[*ow] & !(1u64 << osh)) | ((!any & 1) << osh);
+                    }
+                }
             }
         }
-        Ok(true)
+        for (l, row) in rows.chunks_exact_mut(stride).enumerate() {
+            row.copy_from_slice(&local[l][..stride]);
+        }
+        for arow in arows.chunks_exact_mut(stride) {
+            for ((aw, &t), &pa) in arow.iter_mut().zip(&self.touched).zip(&self.prog_armed) {
+                *aw = (*aw & !t) | pa;
+            }
+        }
+    }
+}
+
+/// Minimum rows for [`FusedRowsPlan::run_on_rows`] to take the bit-sliced
+/// path: below this the 64×64 tile transposes cost more than they save.
+const SLICE_MIN_ROWS: usize = 16;
+
+thread_local! {
+    /// Scratch plane of the bit-sliced executor — per thread so scoped
+    /// worker teams replay disjoint row chunks without sharing, and
+    /// reused across waves so the steady state stays allocation-free.
+    static SLICE_SCRATCH: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3 doubled up):
+/// afterwards bit `i` of word `j` is the previous bit `j` of word `i`.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // The textbook routine is MSB-first; this is its LSB-first mirror
+    // (bit `j` of word `i` is element (i, j)), so shifts run the other way.
+    let mut j = 32usize;
+    let mut m = 0xFFFF_FFFF_0000_0000u64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] << j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t >> j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m >> j;
+    }
+}
+
+/// A compiled column-parallel step: line indices resolved into the line
+/// arena.
+#[derive(Clone)]
+enum FusedColOp {
+    /// Set+arm the arena rows across the selected columns.
+    Init { arena: std::ops::Range<usize> },
+    /// NOR of the arena input rows into row `out`, per selected column.
+    Nor {
+        arena: std::ops::Range<usize>,
+        out: usize,
+    },
+}
+
+/// The column-parallel transpose of [`FusedRowsPlan`], produced by
+/// [`Crossbar::compile_steps_cols`] and replayed by
+/// [`Crossbar::exec_fused_cols`].
+#[derive(Clone)]
+pub struct FusedColsPlan {
+    rows: usize,
+    stride: usize,
+    strict: bool,
+    line_arena: Vec<usize>,
+    ops: Vec<FusedColOp>,
+    /// Every row the sequence writes, ascending, with its final armed
+    /// state over the selected columns.
+    touched_lines: Vec<(usize, bool)>,
+    init_steps: u64,
+    init_cells: u64,
+    nor_steps: u64,
+}
+
+impl FusedColsPlan {
+    /// The rows the sequence writes (ascending) with their final armed
+    /// state — the transpose of [`FusedRowsPlan::touched_words`].
+    pub fn touched_lines(&self) -> impl Iterator<Item = usize> + '_ {
+        self.touched_lines.iter().map(|&(r, _)| r)
+    }
+
+    /// Number of compiled steps.
+    pub fn steps(&self) -> usize {
+        self.ops.len()
     }
 }
 
@@ -1025,6 +1608,66 @@ impl std::fmt::Debug for Crossbar {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transpose64_matches_naive() {
+        let mut a = [0u64; 64];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for w in a.iter_mut() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = x;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for i in 0..64 {
+            for j in 0..64 {
+                assert_eq!(a[j] >> i & 1, orig[i] >> j & 1, "({i},{j})");
+            }
+        }
+        // An involution: transposing twice restores the matrix.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn sliced_and_lane_paths_agree() {
+        // Enough rows for the sliced path on one grid, few enough for the
+        // lane path on the other; identical programs must agree bit for bit
+        // on the shared row prefix.
+        let cols = 130; // three stride words, cells crossing both seams
+        let steps = vec![
+            ParallelStep::Init((0..cols).step_by(7).collect()),
+            ParallelStep::Nor(vec![1, 2], 0),
+            ParallelStep::Init(vec![63, 64, 127, 128]),
+            ParallelStep::Nor(vec![0, 63], 64),
+            ParallelStep::Nor(vec![64], 127),
+            ParallelStep::Nor(vec![127, 1, 2, 3], 128),
+        ];
+        let mut big = armed_xb(SLICE_MIN_ROWS + 70, cols);
+        let mut small = armed_xb(SLICE_MIN_ROWS - 1, cols);
+        let mut x = 1u64;
+        for r in 0..big.rows() {
+            for c in 0..cols {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+                let v = x >> 40 & 1 != 0;
+                big.write_bit(r, c, v);
+                if r < small.rows() {
+                    small.write_bit(r, c, v);
+                }
+            }
+        }
+        let pb = big.compile_steps_rows(&steps).expect("fusable");
+        let ps = small.compile_steps_rows(&steps).expect("fusable");
+        big.exec_fused_rows(&pb, 0..big.rows());
+        small.exec_fused_rows(&ps, 0..small.rows());
+        for r in 0..small.rows() {
+            for c in 0..cols {
+                assert_eq!(big.bit(r, c), small.bit(r, c), "({r},{c})");
+            }
+        }
+    }
 
     fn armed_xb(rows: usize, cols: usize) -> Crossbar {
         let mut xb = Crossbar::new(rows, cols);

@@ -46,7 +46,9 @@ pub mod stats;
 pub mod transfer;
 
 pub use bitgrid::BitGrid;
-pub use crossbar::{Crossbar, ParallelStep, SimEngine};
+pub use crossbar::{
+    transpose64, Crossbar, FusedColsPlan, FusedRowsPlan, ParallelStep, SimEngine, MAX_FUSED_STRIDE,
+};
 pub use error::XbarError;
 pub use fault::{FaultInjector, FaultRecord};
 pub use lineset::{LineIter, LineMask, LineSet};

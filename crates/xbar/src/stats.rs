@@ -75,6 +75,24 @@ impl Stats {
         }
     }
 
+    /// Records a fused replay's worth of per-step operations at once:
+    /// `init_steps` init cycles totalling `init_cells` initialized cells,
+    /// plus `nor_steps` NOR cycles of `nor_gates_each` parallel gates each
+    /// — identical to the per-step [`Stats::record`] calls it replaces.
+    pub(crate) fn record_bulk(
+        &mut self,
+        init_steps: u64,
+        init_cells: u64,
+        nor_steps: u64,
+        nor_gates_each: u64,
+    ) {
+        self.cycles += init_steps + nor_steps;
+        self.init_cycles += init_steps;
+        self.cells_initialized += init_cells;
+        self.nor_cycles += nor_steps;
+        self.nor_gates += nor_steps * nor_gates_each;
+    }
+
     /// Adds another stats block into this one (useful when aggregating over
     /// multiple crossbars of one memory).
     pub fn merge(&mut self, other: &Stats) {

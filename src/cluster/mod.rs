@@ -126,7 +126,7 @@ pub use health::{
     default_scrub_period, scrub_period_for, HealthSnapshot, LatencyStats, ShardHealth, ShardState,
 };
 pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
-pub use queue::Ticket;
+pub use queue::{Ticket, TicketRange};
 pub use scheduler::AxisPolicy;
 
 use crate::compiler::{self, PartitionedProgram};
@@ -139,7 +139,7 @@ use pimecc_core::ProtectedMemory;
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::Program;
 use queue::{Pending, PendingPartitioned};
-use service::{ClusterCore, ServiceConfig};
+use service::{ClusterCore, FlushArena, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -184,6 +184,7 @@ pub struct PimClusterBuilder {
     recovery_scrubs: Option<u32>,
     adaptive_deadline: bool,
     engine: SimEngine,
+    threads: usize,
 }
 
 impl std::fmt::Debug for PimClusterBuilder {
@@ -208,6 +209,7 @@ impl std::fmt::Debug for PimClusterBuilder {
             .field("recovery_scrubs", &self.recovery_scrubs)
             .field("adaptive_deadline", &self.adaptive_deadline)
             .field("engine", &self.engine)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -236,6 +238,7 @@ impl PimClusterBuilder {
             recovery_scrubs: None,
             adaptive_deadline: false,
             engine: SimEngine::default(),
+            threads: 1,
         }
     }
 
@@ -245,6 +248,17 @@ impl PimClusterBuilder {
     /// word-parallel speedup on the same traffic.
     pub fn engine(mut self, engine: SimEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Number of host worker threads **each shard** fans a fused
+    /// row-parallel replay across (default `1`: run inline), on top of the
+    /// one-thread-per-busy-shard wave parallelism. Results, statistics and
+    /// check-bits are bit-identical for every thread count — see
+    /// [`PimDeviceBuilder::threads`]. `0` is rejected at build time with
+    /// [`ClusterError::ZeroThreads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -486,6 +500,9 @@ impl PimClusterBuilder {
         if self.pack_limit == Some(0) {
             return Err(ClusterError::ZeroPackLimit);
         }
+        if self.threads == 0 {
+            return Err(ClusterError::ZeroThreads);
+        }
         if self.auto_flush_at == Some(0) {
             return Err(ClusterError::ZeroFlushThreshold);
         }
@@ -538,7 +555,8 @@ impl PimClusterBuilder {
             let mut builder = PimDeviceBuilder::new(self.n, self.m)
                 .check_policy(policy)
                 .coverage(coverage)
-                .engine(self.engine);
+                .engine(self.engine)
+                .threads(self.threads);
             if let Some(hook) = hook {
                 builder = builder.on_batch_loaded(hook);
             }
@@ -570,6 +588,7 @@ impl PimClusterBuilder {
             pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health,
+            arena: FlushArena::default(),
         };
         let config = ServiceConfig {
             flush_at: self.auto_flush_at,
@@ -963,6 +982,66 @@ impl PimCluster {
         Ok(ticket)
     }
 
+    /// Enqueues a whole batch of requests for one program and returns
+    /// their [`TicketRange`] — the multi-lane form of
+    /// [`PimCluster::submit`], amortizing the per-request bookkeeping (one
+    /// submission timestamp and one auto-flush probe for the batch, not
+    /// one per request). Tickets are issued in iteration order.
+    ///
+    /// All accepted requests share one `submitted_at` instant for queue
+    /// latency accounting; an auto-flush threshold is only evaluated after
+    /// the whole batch is queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`PimCluster::submit`]. Validation is per request: on a failure,
+    /// requests accepted *before* the offending one stay queued (their
+    /// tickets start at the id the pre-call
+    /// [`PimCluster::next_ticket_id`] reported).
+    pub fn submit_batch(
+        &mut self,
+        program: &CompiledProgram,
+        inputs: impl IntoIterator<Item = Vec<bool>>,
+    ) -> Result<TicketRange, ClusterError> {
+        let start = self.next_ticket;
+        let submitted_at = Instant::now();
+        for req in inputs {
+            service::validate_submission(program, &req, self.core.shard_capacity())?;
+            let ticket = Ticket(self.next_ticket);
+            self.next_ticket += 1;
+            self.core.pending.push(Pending {
+                ticket,
+                submitted_at,
+                program: program.clone(),
+                inputs: req,
+            });
+        }
+        let range = TicketRange {
+            start,
+            len: self.next_ticket - start,
+        };
+        if let Some(at) = self.auto_flush_at {
+            if self.core.pending_total() >= at {
+                match self.run_pending() {
+                    Ok(flushed) => match &mut self.banked {
+                        Some(bank) => bank.merge(flushed),
+                        None => self.banked = Some(flushed),
+                    },
+                    Err(e) => {
+                        self.deferred_error.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        Ok(range)
+    }
+
+    /// The id the next accepted submission's [`Ticket`] will carry —
+    /// lets a caller bound a [`PimCluster::submit_batch`] before making it.
+    pub fn next_ticket_id(&self) -> u64 {
+        self.next_ticket
+    }
+
     /// Drains the queue — pack by fingerprint, dispatch in waves across
     /// the shards — and returns everything served since the last flush,
     /// auto-flushed waves included, sorted by ticket.
@@ -1095,6 +1174,13 @@ mod tests {
                 .build()
                 .unwrap_err(),
             ClusterError::ZeroFlushThreshold
+        );
+        assert_eq!(
+            PimClusterBuilder::new(1, 30, 3)
+                .threads(0)
+                .build()
+                .unwrap_err(),
+            ClusterError::ZeroThreads
         );
         assert_eq!(
             PimClusterBuilder::new(2, 30, 3)
@@ -1770,6 +1856,7 @@ mod tests {
             pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health: HealthMonitor::new(1, 30, HealthConfig::default(), None),
+            arena: FlushArena::default(),
         };
         let handle = handle::spawn(core, ServiceConfig::default());
         let p = handle.compile(&nor).expect("compiles");
@@ -1804,6 +1891,7 @@ mod tests {
             pending_partitioned: Vec::new(),
             waves_dispatched: 0,
             health: HealthMonitor::new(2, 30, HealthConfig::default(), None),
+            arena: FlushArena::default(),
         };
         let handle = handle::spawn(core, ServiceConfig::default());
         let p = handle.compile(&xor_nor).expect("compiles");

@@ -31,6 +31,49 @@ impl std::fmt::Display for Ticket {
     }
 }
 
+/// The consecutive tickets issued by one
+/// [`PimCluster::submit_batch`](crate::cluster::PimCluster::submit_batch) —
+/// ticket ids are cluster-lifetime sequential, so a batch is fully
+/// described by its first id and length, no per-ticket allocation needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "dropped tickets cannot be redeemed against their flush's outcome"]
+pub struct TicketRange {
+    pub(crate) start: u64,
+    pub(crate) len: u64,
+}
+
+impl TicketRange {
+    /// Number of tickets in the range.
+    #[allow(clippy::len_without_is_empty)] // is_empty is defined right below
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the submission accepted no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th ticket of the batch, if in range.
+    pub fn get(&self, i: usize) -> Option<Ticket> {
+        ((i as u64) < self.len).then(|| Ticket(self.start + i as u64))
+    }
+
+    /// Iterates the batch's tickets in submission order.
+    pub fn iter(&self) -> impl Iterator<Item = Ticket> + use<> {
+        (self.start..self.start + self.len).map(Ticket)
+    }
+}
+
+impl IntoIterator for TicketRange {
+    type Item = Ticket;
+    type IntoIter = std::iter::Map<std::ops::Range<u64>, fn(u64) -> Ticket>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        (self.start..self.start + self.len).map(Ticket)
+    }
+}
+
 /// One accepted, not-yet-executed request. The submission instant rides
 /// along so the flush that serves it can report the request's queue
 /// latency ([`TicketResult::queue_latency`](crate::cluster::TicketResult)).
@@ -88,29 +131,63 @@ impl Group {
     }
 }
 
-/// Drains `pending` into per-fingerprint groups.
+/// Drains `pending` into per-fingerprint groups, filling the caller's
+/// reusable buffers instead of allocating fresh ones per flush.
+///
+/// `groups` must arrive empty; `index` is cleared here; `spare` donates
+/// emptied request buffers (popped for new groups, so a steady-state flush
+/// reuses last flush's capacity). `pending` keeps its own capacity for the
+/// next submission burst.
 ///
 /// Group order is the order each program *first* appeared in the queue and
 /// requests keep submission order inside their group — both properties the
 /// scheduler's determinism guarantee rests on (a `HashMap` iteration order
 /// never reaches the dispatch plan).
-pub(crate) fn group_by_fingerprint(pending: Vec<Pending>) -> Vec<Group> {
-    let mut groups: Vec<Group> = Vec::new();
-    let mut index: HashMap<u64, usize> = HashMap::new();
-    for p in pending {
+pub(crate) fn group_into(
+    pending: &mut Vec<Pending>,
+    groups: &mut Vec<Group>,
+    index: &mut HashMap<u64, usize>,
+    spare: &mut Vec<Vec<(Ticket, Instant, Vec<bool>)>>,
+) {
+    debug_assert!(groups.is_empty(), "group arena must be drained per flush");
+    index.clear();
+    // Batched submissions queue long same-program runs; remembering the
+    // last fingerprint skips the hash for every request after a run's
+    // first.
+    let mut last: Option<(u64, usize)> = None;
+    for p in pending.drain(..) {
         let key = p.program.fingerprint();
-        let at = *index.entry(key).or_insert_with(|| {
-            groups.push(Group {
-                program: p.program.clone(),
-                requests: Vec::new(),
-                cursor: 0,
-            });
-            groups.len() - 1
-        });
+        let at = match last {
+            Some((k, at)) if k == key => at,
+            _ => {
+                let at = *index.entry(key).or_insert_with(|| {
+                    groups.push(Group {
+                        program: p.program.clone(),
+                        requests: spare.pop().unwrap_or_default(),
+                        cursor: 0,
+                    });
+                    groups.len() - 1
+                });
+                last = Some((key, at));
+                at
+            }
+        };
         groups[at]
             .requests
             .push((p.ticket, p.submitted_at, p.inputs));
     }
+}
+
+/// One-shot [`group_into`] over fresh buffers.
+#[cfg(test)]
+pub(crate) fn group_by_fingerprint(mut pending: Vec<Pending>) -> Vec<Group> {
+    let mut groups = Vec::new();
+    group_into(
+        &mut pending,
+        &mut groups,
+        &mut HashMap::new(),
+        &mut Vec::new(),
+    );
     groups
 }
 

@@ -129,7 +129,7 @@ struct WaveJob {
 /// caller keeps `outcome`, so already-served tickets survive the error.
 pub(crate) fn run_waves(
     shards: &mut [PimDevice],
-    mut groups: Vec<Group>,
+    groups: &mut [Group],
     knobs: PackingKnobs,
     outcome: &mut ClusterOutcome,
     active: &[usize],
@@ -139,7 +139,7 @@ pub(crate) fn run_waves(
         "active shard list must be strictly ascending and in range"
     );
     loop {
-        let jobs = plan_wave(&mut groups, active, knobs, outcome.waves);
+        let jobs = plan_wave(groups, active, knobs, outcome.waves);
         if jobs.is_empty() {
             break;
         }
@@ -236,32 +236,45 @@ fn dispatch_wave(
 ) -> Result<(), ClusterError> {
     let wave = outcome.waves;
     let dispatched_at = Instant::now();
-    // `plan_wave` assigns strictly increasing shard indices, so one pass
-    // over the shards pairs each job with a disjoint `&mut PimDevice`.
-    let mut jobs = jobs.into_iter().peekable();
     type Ran = (
         WaveJob,
         PlacementPlan,
         Duration,
         Result<BatchOutcome, DeviceError>,
     );
-    let ran: Vec<Ran> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, device) in shards.iter_mut().enumerate() {
-            if jobs.peek().map(|(j, _)| j.shard) == Some(i) {
-                let (job, plan) = jobs.next().expect("peeked");
-                handles.push(s.spawn(move || {
-                    let started = Instant::now();
-                    let result = device.run_plan(&job.program, &plan, &job.inputs);
-                    (job, plan, started.elapsed(), result)
-                }));
+    // A wave with a single busy shard runs inline: spawning (and joining)
+    // a scoped thread for one job costs more than the job's glue on small
+    // flushes, and the simulated wall-clock accounting below is identical
+    // either way.
+    let ran: Vec<Ran> = if jobs.len() == 1 {
+        let (job, plan) = jobs.into_iter().next().expect("one job");
+        let device = &mut shards[job.shard];
+        let started = Instant::now();
+        let result = device.run_plan(&job.program, &plan, &job.inputs);
+        vec![(job, plan, started.elapsed(), result)]
+    } else {
+        // `plan_wave` assigns strictly increasing shard indices, so one
+        // pass over the shards pairs each job with a disjoint
+        // `&mut PimDevice`.
+        let mut jobs = jobs.into_iter().peekable();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, device) in shards.iter_mut().enumerate() {
+                if jobs.peek().map(|(j, _)| j.shard) == Some(i) {
+                    let (job, plan) = jobs.next().expect("peeked");
+                    handles.push(s.spawn(move || {
+                        let started = Instant::now();
+                        let result = device.run_plan(&job.program, &plan, &job.inputs);
+                        (job, plan, started.elapsed(), result)
+                    }));
+                }
             }
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
-    });
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        })
+    };
 
     let mut wave_wall = 0;
     let mut first_error = None;

@@ -9,13 +9,11 @@
 use super::error::ClusterError;
 use super::health::HealthMonitor;
 use super::outcome::{ClusterOutcome, TicketResult};
-use super::queue::{
-    group_by_fingerprint, group_partitioned, Group, Pending, PendingPartitioned, Ticket,
-};
+use super::queue::{group_into, group_partitioned, Group, Pending, PendingPartitioned, Ticket};
 use super::scheduler::{self, AxisPolicy, PackingKnobs};
 use crate::compiler::{PartitionedProgram, RouteSource};
 use crate::device::{Axis, CompiledProgram, PimDevice, ProgramCache};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -87,6 +85,26 @@ pub(crate) fn validate_partitioned(
     Ok(())
 }
 
+/// Reusable flush-path buffers: after the first flush warms them up, a
+/// steady-state flush allocates nothing of its own — the pending queue,
+/// the fingerprint groups (with their request buffers), the ticket list
+/// and the grouping index all recycle last flush's capacity. (The
+/// returned [`ClusterOutcome`] still allocates: it escapes to the
+/// caller.)
+#[derive(Debug, Default)]
+pub(crate) struct FlushArena {
+    /// Every ticket of the flush in submission order — consulted only on
+    /// the error path to list the dropped ones.
+    submitted: Vec<Ticket>,
+    /// Group shells for [`group_into`]; drained (and their request
+    /// buffers recycled into `request_bufs`) after each flush.
+    groups: Vec<Group>,
+    /// Fingerprint → group index scratch for [`group_into`].
+    fp_index: HashMap<u64, usize>,
+    /// Emptied per-group request buffers awaiting reuse.
+    request_bufs: Vec<Vec<(Ticket, Instant, Vec<bool>)>>,
+}
+
 /// The shard pool behind every cluster front-end: devices, packing knobs,
 /// the shared compile cache and the pending queue.
 ///
@@ -119,6 +137,8 @@ pub(crate) struct ClusterCore {
     /// the metrics ledgers. Owned here — the flush path is the single
     /// writer — and read by the front-ends via snapshots.
     pub(crate) health: HealthMonitor,
+    /// Reusable flush-path buffers (alloc-free steady state).
+    pub(crate) arena: FlushArena,
 }
 
 impl ClusterCore {
@@ -145,22 +165,28 @@ impl ClusterCore {
     /// re-sorted by ticket so [`ClusterOutcome::outputs_for`]'s binary
     /// search keeps working across both kinds.
     pub(crate) fn flush_pending(&mut self) -> FlushReport {
-        let pending = std::mem::take(&mut self.pending);
         let partitioned = std::mem::take(&mut self.pending_partitioned);
         let mut outcome = ClusterOutcome::empty(self.shards.len());
-        if pending.is_empty() && partitioned.is_empty() {
+        if self.pending.is_empty() && partitioned.is_empty() {
             return FlushReport {
                 outcome,
                 dropped: Vec::new(),
                 error: None,
             };
         }
-        let submitted: Vec<Ticket> = pending
-            .iter()
-            .map(|p| p.ticket)
-            .chain(partitioned.iter().map(|p| p.ticket))
-            .collect();
-        let groups = group_by_fingerprint(pending);
+        self.arena.submitted.clear();
+        self.arena.submitted.extend(
+            self.pending
+                .iter()
+                .map(|p| p.ticket)
+                .chain(partitioned.iter().map(|p| p.ticket)),
+        );
+        group_into(
+            &mut self.pending,
+            &mut self.arena.groups,
+            &mut self.arena.fp_index,
+            &mut self.arena.request_bufs,
+        );
         let knobs = PackingKnobs {
             line_len: self.shard_capacity(),
             batch_limit: self.batch_limit,
@@ -169,7 +195,20 @@ impl ClusterCore {
             origin_base: self.waves_dispatched,
         };
         let active = self.health.active_shards();
-        let mut ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut outcome, &active);
+        let mut ran = scheduler::run_waves(
+            &mut self.shards,
+            &mut self.arena.groups,
+            knobs,
+            &mut outcome,
+            &active,
+        );
+        // Recycle the drained group shells: the inputs moved out through
+        // `Group::take`, so only the (cleared) buffer capacity survives.
+        for g in self.arena.groups.drain(..) {
+            let mut requests = g.requests;
+            requests.clear();
+            self.arena.request_bufs.push(requests);
+        }
         if ran.is_ok() {
             for (program, requests) in group_partitioned(partitioned) {
                 if let Err(e) = self.run_partitioned_group(program, requests, &mut outcome, &active)
@@ -194,9 +233,12 @@ impl ClusterCore {
             },
             Err(error) => {
                 let served: HashSet<u64> = outcome.results.iter().map(|r| r.ticket.id()).collect();
-                let dropped = submitted
-                    .into_iter()
+                let dropped = self
+                    .arena
+                    .submitted
+                    .iter()
                     .filter(|t| !served.contains(&t.id()))
+                    .copied()
                     .collect();
                 FlushReport {
                     outcome,
@@ -246,7 +288,7 @@ impl ClusterCore {
 
         for level in 0..program.num_levels() {
             let wave_base = outcome.waves;
-            let groups: Vec<Group> = program.levels()[level]
+            let mut groups: Vec<Group> = program.levels()[level]
                 .clone()
                 .map(|pi| {
                     let part = &program.parts()[pi];
@@ -283,7 +325,8 @@ impl ClusterCore {
                 origin_base: self.waves_dispatched + wave_base,
             };
             let mut scratch = ClusterOutcome::empty(self.shards.len());
-            let ran = scheduler::run_waves(&mut self.shards, groups, knobs, &mut scratch, active);
+            let ran =
+                scheduler::run_waves(&mut self.shards, &mut groups, knobs, &mut scratch, active);
             // Harvest the cut signals (and anchor metadata) before folding
             // the scratch stats in — the synthetic tickets must never
             // reach the caller-visible result list.

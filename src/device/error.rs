@@ -85,6 +85,8 @@ pub enum DeviceError {
         /// Line length of the device.
         n: usize,
     },
+    /// A builder asked for a zero-sized worker team.
+    ZeroThreads,
 }
 
 impl fmt::Display for DeviceError {
@@ -151,6 +153,9 @@ impl fmt::Display for DeviceError {
                     f,
                     "plan built for {plan}-cell lines executed on a {n}x{n} device"
                 )
+            }
+            DeviceError::ZeroThreads => {
+                write!(f, "worker team must have at least one thread")
             }
         }
     }

@@ -72,10 +72,11 @@ pub use program::{netlist_fingerprint, CompiledProgram};
 
 pub(crate) use program::ProgramCache;
 
-use pimecc_core::{BlockGeometry, CheckReport, MachineStats, ProtectedMemory};
+use pimecc_core::{BlockGeometry, CheckReport, FusedProgram, MachineStats, ProtectedMemory};
 use pimecc_netlist::NorNetlist;
 use pimecc_simpler::{Program, Step};
 use pimecc_xbar::{LineSet, ParallelStep};
+use std::collections::HashMap;
 
 // The cluster service moves whole devices into its worker thread and
 // ships compiled-program handles across an MPSC channel, so these bounds
@@ -166,6 +167,7 @@ pub struct PimDeviceBuilder {
     check_policy: CheckPolicy,
     coverage: CoveragePolicy,
     engine: SimEngine,
+    threads: usize,
     fault_hook: Option<BatchFaultHook>,
 }
 
@@ -178,8 +180,21 @@ impl PimDeviceBuilder {
             check_policy: CheckPolicy::default(),
             coverage: CoveragePolicy::default(),
             engine: SimEngine::default(),
+            threads: 1,
             fault_hook: None,
         }
+    }
+
+    /// Number of host worker threads a fused row-parallel replay may fan
+    /// out across (default `1`: run inline). Results, statistics and
+    /// check-bits are bit-identical for every thread count — the row range
+    /// splits at fixed block-row boundaries and per-chunk ECC deltas merge
+    /// deterministically — so this is purely a host-side wall-clock knob.
+    /// `0` is rejected at [`PimDeviceBuilder::build`] time with
+    /// [`DeviceError::ZeroThreads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Selects the host simulation engine (default:
@@ -221,6 +236,9 @@ impl PimDeviceBuilder {
     /// Propagates geometry validation and coverage-map errors as
     /// [`DeviceError::Core`].
     pub fn build(self) -> Result<PimDevice, DeviceError> {
+        if self.threads == 0 {
+            return Err(DeviceError::ZeroThreads);
+        }
         let mut memory = ProtectedMemory::new(BlockGeometry::new(self.n, self.m)?)?;
         memory.set_engine(self.engine);
         if let CoveragePolicy::Uncovered(blocks) = &self.coverage {
@@ -232,10 +250,18 @@ impl PimDeviceBuilder {
         Ok(PimDevice {
             memory,
             check_policy: self.check_policy,
+            threads: self.threads,
             fault_hook: self.fault_hook,
             programs: ProgramCache::default(),
+            fused_plans: HashMap::new(),
             line_loads: Vec::new(),
             touched_lines: Vec::new(),
+            readback_runs: Vec::new(),
+            plane_msk: Vec::new(),
+            plane_val: Vec::new(),
+            plane_touched: Vec::new(),
+            block_lines: Vec::new(),
+            slot_scratch: Vec::new(),
         })
     }
 }
@@ -248,6 +274,7 @@ impl std::fmt::Debug for PimDeviceBuilder {
             .field("check_policy", &self.check_policy)
             .field("coverage", &self.coverage)
             .field("engine", &self.engine)
+            .field("threads", &self.threads)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -260,13 +287,37 @@ impl std::fmt::Debug for PimDeviceBuilder {
 pub struct PimDevice {
     memory: ProtectedMemory,
     check_policy: CheckPolicy,
+    /// Worker-team width for fused row-parallel replays.
+    threads: usize,
     fault_hook: Option<BatchFaultHook>,
     /// Compiled-program cache (netlist / packed / program key domains).
     programs: ProgramCache,
+    /// Fused execution plans, compiled once per
+    /// `(program id, offset, axis)` and replayed every wave; `None` caches
+    /// ineligibility so the per-step fallback is chosen without
+    /// re-analysis.
+    fused_plans: HashMap<(u64, usize, Axis), Option<FusedProgram>>,
     /// Reusable per-line input-load buffers (batch scratch).
     line_loads: Vec<Vec<(usize, bool)>>,
     /// Lines touched by the current batch's loads (batch scratch).
     touched_lines: Vec<usize>,
+    /// Consecutive-run decomposition of the program's output cells
+    /// (readback scratch): `(first cell, run length)`.
+    readback_runs: Vec<(usize, usize)>,
+    /// Word-plane load staging (batch scratch, `capacity × stride` words,
+    /// all-zero between batches): request bits packed per line for the
+    /// machine's word-plane writers on the fused path.
+    plane_msk: Vec<u64>,
+    /// Value plane paired with `plane_msk`.
+    plane_val: Vec<u64>,
+    /// One bit per line: already listed in `touched_lines` this batch
+    /// (batch scratch).
+    plane_touched: Vec<u64>,
+    /// Deduplicated block-line list of the current plan (check scratch).
+    block_lines: Vec<usize>,
+    /// Plan slots re-sorted by `(offset, line)` (execute scratch) — the
+    /// offset-group walk without a per-wave `Vec` of groups.
+    slot_scratch: Vec<Slot>,
 }
 
 impl PimDevice {
@@ -303,11 +354,25 @@ impl PimDevice {
         PimDevice {
             memory,
             check_policy: policy,
+            threads: 1,
             fault_hook: None,
             programs: ProgramCache::default(),
+            fused_plans: HashMap::new(),
             line_loads: Vec::new(),
             touched_lines: Vec::new(),
+            readback_runs: Vec::new(),
+            plane_msk: Vec::new(),
+            plane_val: Vec::new(),
+            plane_touched: Vec::new(),
+            block_lines: Vec::new(),
+            slot_scratch: Vec::new(),
         }
+    }
+
+    /// Worker-team width for fused row-parallel replays (see
+    /// [`PimDeviceBuilder::threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of rows — the maximum batch size.
@@ -353,6 +418,7 @@ impl PimDevice {
     /// simply re-inserted if adopted again.
     pub fn clear_compiled(&mut self) {
         self.programs.clear();
+        self.fused_plans.clear();
     }
 
     /// Injects a soft error (forwarded to the machine, for campaigns).
@@ -586,14 +652,26 @@ impl PimDevice {
         let mut input_check = CheckReport::default();
         if !matches!(self.check_policy, CheckPolicy::Skip) {
             let m = self.memory.geometry().m();
-            let mut block_lines: Vec<usize> = plan.lines().iter().map(|&l| l / m).collect();
-            block_lines.sort_unstable();
-            block_lines.dedup();
-            for bl in block_lines {
-                input_check += match axis {
-                    Axis::Rows => self.memory.check_block_row(bl)?,
-                    Axis::Cols => self.memory.check_block_col(bl)?,
-                };
+            let bps = self.memory.geometry().blocks_per_side();
+            self.block_lines.clear();
+            self.block_lines
+                .extend(plan.slots().iter().map(|s| s.line / m));
+            self.block_lines.sort_unstable();
+            self.block_lines.dedup();
+            if matches!(axis, Axis::Cols) && self.block_lines.len() == bps {
+                // A full wave touches every block column; checking them all
+                // is the same block set as checking every block row, which
+                // the machine can sweep reading each MEM row once instead
+                // of once per column.
+                input_check = self.memory.check_all_cols()?;
+            } else {
+                for i in 0..self.block_lines.len() {
+                    let bl = self.block_lines[i];
+                    input_check += match axis {
+                        Axis::Rows => self.memory.check_block_row(bl)?,
+                        Axis::Cols => self.memory.check_block_col(bl)?,
+                    };
+                }
             }
         }
 
@@ -618,40 +696,76 @@ impl PimDevice {
                 scratch
             }
         }
-        for (offset, lines) in plan.offset_groups() {
+        // Walk the offset groups off a reused sorted-slot scratch instead
+        // of `plan.offset_groups()` — same groups in the same order, but
+        // no per-wave Vec-of-Vecs.
+        self.slot_scratch.clear();
+        self.slot_scratch.extend_from_slice(plan.slots());
+        self.slot_scratch
+            .sort_unstable_by_key(|s| (s.offset, s.line));
+        let mut gi = 0;
+        while gi < self.slot_scratch.len() {
+            let offset = self.slot_scratch[gi].offset;
+            let mut ge = gi;
+            while ge < self.slot_scratch.len() && self.slot_scratch[ge].offset == offset {
+                ge += 1;
+            }
+            let group = &self.slot_scratch[gi..ge];
             // Contiguous groups (every full wave) select as a Range, which
             // the simulator turns into whole-word masks instead of
             // per-line set bits; sparse groups stay explicit.
-            let selected = if lines.windows(2).all(|w| w[1] == w[0] + 1) {
-                LineSet::Range(lines[0]..lines[0] + lines.len())
+            let selected = if group.windows(2).all(|w| w[1].line == w[0].line + 1) {
+                LineSet::Range(group[0].line..group[0].line + group.len())
             } else {
-                LineSet::Explicit(lines)
+                LineSet::Explicit(group.iter().map(|s| s.line).collect())
             };
-            // Row-axis replays first offer the whole sequence to the fused
-            // executor — one pass over the rows instead of one per step,
-            // bit- and stats-identical. Ineligible configurations (scalar
-            // engine, partial coverage, paranoid checking, sparse line
-            // sets) fall through to the per-step replay below.
-            if matches!(axis, Axis::Rows)
-                && matches!(selected, LineSet::Range(_))
-                && self.memory.supports_fused_rows()
-            {
-                let steps: Vec<ParallelStep> = program
-                    .program()
-                    .steps
-                    .iter()
-                    .map(|step| match step {
-                        Step::Init { cells } => {
-                            ParallelStep::Init(cells.iter().map(|&c| c + offset).collect())
+            gi = ge;
+            // Contiguous replays on either axis go through a fused plan —
+            // the whole sequence compiled once per (program, offset, axis)
+            // and cached on the device, then replayed as one pass over the
+            // lines instead of one per step, bit- and stats-identical.
+            // Ineligible configurations (scalar engine, partial coverage,
+            // paranoid checking, sparse line sets, unfusable sequences)
+            // fall through to the per-step replay below; ineligibility is
+            // cached too, so the analysis never re-runs.
+            if let LineSet::Range(range) = &selected {
+                if self.memory.supports_fused_rows() {
+                    let key = (program.id(), offset, axis);
+                    let PimDevice {
+                        ref mut fused_plans,
+                        ref memory,
+                        ..
+                    } = *self;
+                    let entry = fused_plans.entry(key).or_insert_with(|| {
+                        let steps: Vec<ParallelStep> = program
+                            .program()
+                            .steps
+                            .iter()
+                            .map(|step| match step {
+                                Step::Init { cells } => {
+                                    ParallelStep::Init(cells.iter().map(|&c| c + offset).collect())
+                                }
+                                Step::Gate { inputs, output, .. } => ParallelStep::Nor(
+                                    inputs.iter().map(|&c| c + offset).collect(),
+                                    output + offset,
+                                ),
+                            })
+                            .collect();
+                        match axis {
+                            Axis::Rows => memory.compile_fused_rows(&steps),
+                            Axis::Cols => memory.compile_fused_cols(&steps),
                         }
-                        Step::Gate { inputs, output, .. } => ParallelStep::Nor(
-                            inputs.iter().map(|&c| c + offset).collect(),
-                            output + offset,
-                        ),
-                    })
-                    .collect();
-                if self.memory.exec_steps_rows(&steps, &selected)? {
-                    continue;
+                    });
+                    if let Some(fused) = entry.as_ref() {
+                        match axis {
+                            Axis::Rows => {
+                                self.memory
+                                    .exec_fused_rows(fused, range.clone(), self.threads)
+                            }
+                            Axis::Cols => self.memory.exec_fused_cols(fused, range.clone()),
+                        }
+                        continue;
+                    }
                 }
             }
             for step in &program.program().steps {
@@ -680,19 +794,31 @@ impl PimDevice {
             }
         }
 
+        // Output readback groups consecutive output cells into runs (most
+        // programs emit contiguous result words) and pulls each run as one
+        // word extraction instead of per-bit probes. Readback is free in
+        // the device model either way — this only changes host time.
+        self.readback_runs.clear();
+        for &c in &program.program().output_cells {
+            match self.readback_runs.last_mut() {
+                Some((s, l)) if *s + *l == c && *l < 64 => *l += 1,
+                _ => self.readback_runs.push((c, 1)),
+            }
+        }
+        let grid = self.memory.mem().grid();
         let outputs: Vec<Vec<bool>> = plan
             .slots()
             .iter()
             .map(|slot| {
-                program
-                    .program()
-                    .output_cells
-                    .iter()
-                    .map(|&c| match axis {
-                        Axis::Rows => self.memory.bit(slot.line, slot.offset + c),
-                        Axis::Cols => self.memory.bit(slot.offset + c, slot.line),
-                    })
-                    .collect()
+                let mut bits = Vec::with_capacity(program.program().output_cells.len());
+                for &(s, l) in &self.readback_runs {
+                    let word = match axis {
+                        Axis::Rows => grid.extract_bits(slot.line, slot.offset + s, l),
+                        Axis::Cols => grid.extract_col_bits(slot.line, slot.offset + s, l),
+                    };
+                    bits.extend((0..l).map(|i| word >> i & 1 != 0));
+                }
+                bits
             })
             .collect();
         Ok(BatchOutcome {
@@ -829,41 +955,102 @@ impl PimDevice {
         let stats_before = *self.memory.stats();
         // Merge all requests sharing a line into one driven write — the
         // load-amortization half of co-packing (deterministic line order).
-        // The per-line buffers are device scratch, reused across batches.
-        if self.line_loads.len() < self.capacity() {
-            self.line_loads.resize_with(self.capacity(), Vec::new);
-        }
-        self.touched_lines.clear();
-        for (slot, req) in plan.slots().iter().zip(requests) {
-            let cells = &mut self.line_loads[slot.line];
-            if cells.is_empty() {
-                self.touched_lines.push(slot.line);
+        // On the fused word path the requests pack straight into reusable
+        // word planes (64 bits per store, no per-cell tuples); other
+        // configurations stage sparse cell lists per line. Both machine
+        // entry points are bit- and stats-identical to per-line driven
+        // writes.
+        let written = if self.memory.supports_fused_rows() {
+            let stride = self.capacity().div_ceil(64);
+            self.plane_msk.resize(self.capacity() * stride, 0);
+            self.plane_val.resize(self.capacity() * stride, 0);
+            self.plane_touched.resize(self.capacity().div_ceil(64), 0);
+            self.touched_lines.clear();
+            for (slot, req) in plan.slots().iter().zip(requests) {
+                let (tw, tb) = (slot.line / 64, 1u64 << (slot.line % 64));
+                if self.plane_touched[tw] & tb == 0 {
+                    self.plane_touched[tw] |= tb;
+                    self.touched_lines.push(slot.line);
+                }
+                // Pack the request 64 bits at a time, then lay each chunk
+                // into the line's plane words at the slot offset (slots on
+                // one line never overlap, so plain ORs suffice).
+                let base = slot.line * stride;
+                let mut i = 0;
+                while i < req.len() {
+                    let take = (req.len() - i).min(64);
+                    let mut word = 0u64;
+                    for (k, &b) in req[i..i + take].iter().enumerate() {
+                        word |= (b as u64) << k;
+                    }
+                    let chunk_mask = if take == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << take) - 1
+                    };
+                    let pos = slot.offset + i;
+                    let (wi, sh) = (pos / 64, (pos % 64) as u32);
+                    self.plane_msk[base + wi] |= chunk_mask << sh;
+                    self.plane_val[base + wi] |= word << sh;
+                    if sh != 0 && sh as usize + take > 64 {
+                        self.plane_msk[base + wi + 1] |= chunk_mask >> (64 - sh);
+                        self.plane_val[base + wi + 1] |= word >> (64 - sh);
+                    }
+                    i += take;
+                }
             }
-            cells.extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
-        }
-        self.touched_lines.sort_unstable();
-        let mut first_error = None;
-        for i in 0..self.touched_lines.len() {
-            let line = self.touched_lines[i];
-            let cells = std::mem::take(&mut self.line_loads[line]);
-            if first_error.is_none() {
-                let written = match plan.axis() {
-                    Axis::Rows => self.memory.write_row_cells(line, &cells),
-                    Axis::Cols => self.memory.write_col_cells(line, &cells),
-                };
-                first_error = written.err();
+            self.plane_touched.fill(0);
+            self.touched_lines.sort_unstable();
+            let PimDevice {
+                ref mut memory,
+                ref touched_lines,
+                ref mut plane_msk,
+                ref mut plane_val,
+                ..
+            } = *self;
+            let written = match plan.axis() {
+                Axis::Rows => memory.write_rows_words_batched(touched_lines, plane_msk, plane_val),
+                Axis::Cols => memory.write_cols_words_batched(touched_lines, plane_msk, plane_val),
+            };
+            if written.is_err() {
+                // The machine zeroes the planes only on success; restore
+                // the all-zero invariant before surfacing the failure.
+                for &line in touched_lines {
+                    plane_msk[line * stride..(line + 1) * stride].fill(0);
+                    plane_val[line * stride..(line + 1) * stride].fill(0);
+                }
             }
+            written
+        } else {
+            if self.line_loads.len() < self.capacity() {
+                self.line_loads.resize_with(self.capacity(), Vec::new);
+            }
+            self.touched_lines.clear();
+            for (slot, req) in plan.slots().iter().zip(requests) {
+                let cells = &mut self.line_loads[slot.line];
+                if cells.is_empty() {
+                    self.touched_lines.push(slot.line);
+                }
+                cells.extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
+            }
+            self.touched_lines.sort_unstable();
+            let written = match plan.axis() {
+                Axis::Rows => self
+                    .memory
+                    .write_rows_cells_batched(&self.touched_lines, &self.line_loads),
+                Axis::Cols => self
+                    .memory
+                    .write_cols_cells_batched(&self.touched_lines, &self.line_loads),
+            };
             // Hand every buffer back emptied (capacity intact) even past a
             // failure, or the stale cells would poison the next batch.
-            self.line_loads[line] = {
-                let mut cells = cells;
-                cells.clear();
-                cells
-            };
-        }
-        if let Some(e) = first_error {
-            return Err(e.into());
-        }
+            for i in 0..self.touched_lines.len() {
+                let line = self.touched_lines[i];
+                self.line_loads[line].clear();
+            }
+            written
+        };
+        written?;
         if let Some(hook) = self.fault_hook.as_mut() {
             hook(&mut self.memory);
         }
@@ -1219,6 +1406,24 @@ mod tests {
                 rows: 2,
                 requests: 1
             }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads_and_reports_team_width() {
+        assert_eq!(
+            PimDeviceBuilder::new(30, 3).threads(0).build().unwrap_err(),
+            DeviceError::ZeroThreads
+        );
+        let device = PimDeviceBuilder::new(30, 3)
+            .threads(4)
+            .build()
+            .expect("four-wide team is legal");
+        assert_eq!(device.threads(), 4);
+        assert_eq!(
+            PimDevice::new(30, 3).expect("default device").threads(),
+            1,
+            "default is the inline single-thread replay"
         );
     }
 

@@ -75,6 +75,10 @@ pub struct PlacementPlan {
     line_len: usize,
     slot_width: usize,
     slots: Vec<Slot>,
+    /// Distinct lines the slots touch, counted once at construction (the
+    /// validation pass sorts the slots anyway) so per-wave reporting does
+    /// not re-sort.
+    lines_occupied: usize,
 }
 
 impl PlacementPlan {
@@ -126,11 +130,16 @@ impl PlacementPlan {
                 return Err(DeviceError::RowConflict { row: pair[0].line });
             }
         }
+        let lines_occupied = 1 + sorted
+            .windows(2)
+            .filter(|pair| pair[0].line != pair[1].line)
+            .count();
         Ok(PlacementPlan {
             axis,
             line_len,
             slot_width,
             slots,
+            lines_occupied,
         })
     }
 
@@ -170,7 +179,7 @@ impl PlacementPlan {
 
     /// Number of distinct lines the plan touches.
     pub fn lines_occupied(&self) -> usize {
-        self.lines().len()
+        self.lines_occupied
     }
 
     /// Cells reserved across the crossbar: requests × slot width.

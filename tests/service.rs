@@ -444,4 +444,88 @@ proptest! {
         prop_assert_eq!(outcome.waves, reference.waves);
         prop_assert_eq!(&outcome.shard_reports, &reference.shard_reports);
     }
+
+    // Concurrent producers over a shard whose fused replays fan out across
+    // a random row-team width must stay bit-identical — outputs,
+    // placements, `MachineStats` and input-`CheckReport`s — to a
+    // synchronous *scalar-reference* cluster replaying the same stream in
+    // channel (= ticket) order. Neither the thread boundary, nor the
+    // producer interleaving, nor the worker team, nor the kernel lane
+    // width may leak into anything but wall-clock time.
+    #[test]
+    fn concurrent_producers_on_a_threaded_shard_match_the_scalar_reference(
+        threads in 1usize..9,
+        choices in proptest::collection::vec((any::<bool>(), 0u32..256), 8..40),
+    ) {
+        let (xor_nor, _) = xor_circuit();
+        let (mux_nor, _) = mux_circuit();
+
+        let service = PimClusterBuilder::new(1, 30, 3)
+            .threads(threads)
+            .auto_flush_at(8)
+            .spawn()
+            .expect("spawns");
+        let xor_svc = service.compile(&xor_nor).expect("compiles");
+        let mux_svc = service.compile(&mux_nor).expect("compiles");
+        // Two producers race over disjoint halves of the workload; the
+        // channel serializes them into *some* dense ticket order, which the
+        // log reconstructs afterwards.
+        let submitted: Vec<(u64, bool, Vec<bool>)> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for producer in 0..2usize {
+                let service = service.clone();
+                let xor_svc = xor_svc.clone();
+                let mux_svc = mux_svc.clone();
+                let mine: Vec<(bool, u32)> = choices
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == producer)
+                    .map(|(_, &c)| c)
+                    .collect();
+                joins.push(s.spawn(move || {
+                    let mut log = Vec::new();
+                    for (wide, v) in mine {
+                        let (program, inputs) = if wide {
+                            (&mux_svc, vec![v & 1 != 0, v & 2 != 0, v & 4 != 0])
+                        } else {
+                            (&xor_svc, vec![v & 1 != 0, v & 2 != 0])
+                        };
+                        let ticket = service.submit(program, inputs.clone()).expect("submits");
+                        log.push((ticket.id(), wide, inputs));
+                    }
+                    log
+                }));
+            }
+            joins
+                .into_iter()
+                .flat_map(|j| j.join().expect("producer"))
+                .collect()
+        });
+        service.close().expect("closes");
+        let outcome = service.drain().expect("drains");
+        prop_assert_eq!(outcome.requests(), choices.len());
+
+        let mut stream = submitted;
+        stream.sort_by_key(|&(id, _, _)| id);
+
+        // Scalar single-thread reference, same threshold, same stream.
+        let mut scalar = PimClusterBuilder::new(1, 30, 3)
+            .engine(SimEngine::ScalarReference)
+            .auto_flush_at(8)
+            .build()
+            .expect("cluster");
+        let xor_ref = scalar.compile(&xor_nor).expect("compiles");
+        let mux_ref = scalar.compile(&mux_nor).expect("compiles");
+        for (_, wide, inputs) in &stream {
+            let program = if *wide { &mux_ref } else { &xor_ref };
+            let _t = scalar.submit(program, inputs.clone()).expect("submits");
+        }
+        let reference = scalar.flush().expect("flushes");
+
+        prop_assert_eq!(&outcome.results, &reference.results);
+        prop_assert_eq!(outcome.stats, reference.stats);
+        prop_assert_eq!(outcome.input_check, reference.input_check);
+        prop_assert_eq!(outcome.wall_mem_cycles, reference.wall_mem_cycles);
+        prop_assert_eq!(outcome.waves, reference.waves);
+    }
 }
