@@ -1,0 +1,246 @@
+//! Seeded fault campaigns: reproducible mixes of transient and permanent
+//! faults for tests, benches and chaos drills.
+//!
+//! A [`FaultCampaign`] owns a splitmix64 stream and a [`CampaignConfig`]
+//! describing how hostile the environment is. Each call to
+//! [`FaultCampaign::strike`] plays one batch window's worth of faults into a
+//! [`ProtectedMemory`]:
+//!
+//! * **transient singles** — independent bit flips (ion strikes, drift),
+//!   repairable by the diagonal code;
+//! * **multi-bit bursts** — `burst_len` adjacent flips along one row,
+//!   modelling a particle track; usually uncorrectable within a block and
+//!   exercises the refuse-don't-guess path;
+//! * **stuck-at cells** — permanent endurance failures planted with
+//!   [`ProtectedMemory::set_stuck`]; scrubbing re-detects them forever and
+//!   only line retirement removes them from service.
+//!
+//! The stream is deterministic: the same seed and config replay the same
+//! fault trace against any memory of the same geometry, which is what lets
+//! chaos proptests pin regressions by seed. Per-shard campaigns are derived
+//! with [`FaultCampaign::fork`] so shards see decorrelated but reproducible
+//! traffic.
+
+use crate::machine::ProtectedMemory;
+
+/// Fault intensities for one campaign. Rates are *expected events per
+/// strike*; fractional parts are resolved by a Bernoulli draw, so e.g.
+/// `transient_rate = 2.5` injects 2 or 3 flips per strike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Expected transient single-bit flips per strike.
+    pub transient_rate: f64,
+    /// Expected multi-bit bursts per strike.
+    pub burst_rate: f64,
+    /// Cells flipped per burst, laid out contiguously along one row.
+    pub burst_len: usize,
+    /// Probability that a strike plants one new stuck-at cell.
+    pub stuck_rate: f64,
+    /// Hard cap on stuck cells planted over the campaign's lifetime.
+    pub max_stuck: usize,
+}
+
+impl CampaignConfig {
+    /// A quiet environment: occasional correctable flips, nothing permanent.
+    pub fn transient_only(rate: f64) -> Self {
+        CampaignConfig {
+            transient_rate: rate,
+            burst_rate: 0.0,
+            burst_len: 0,
+            stuck_rate: 0.0,
+            max_stuck: 0,
+        }
+    }
+}
+
+/// Running totals of what a campaign has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignTally {
+    /// Transient single-bit flips injected.
+    pub transients: u64,
+    /// Multi-bit bursts injected.
+    pub bursts: u64,
+    /// Stuck-at cells planted.
+    pub stuck_planted: u64,
+    /// Strikes played.
+    pub strikes: u64,
+}
+
+/// A seeded, replayable source of faults. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    cfg: CampaignConfig,
+    state: u64,
+    tally: CampaignTally,
+}
+
+impl FaultCampaign {
+    /// Creates a campaign from a seed and a config.
+    pub fn new(seed: u64, cfg: CampaignConfig) -> Self {
+        FaultCampaign {
+            cfg,
+            state: seed,
+            tally: CampaignTally::default(),
+        }
+    }
+
+    /// Derives an independent campaign for `lane` (e.g. a shard index)
+    /// without disturbing this campaign's stream.
+    pub fn fork(&self, lane: u64) -> FaultCampaign {
+        // Mix the lane through one splitmix64 round so lanes 0 and 1 do not
+        // produce overlapping streams.
+        FaultCampaign::new(self.state ^ mix(lane.wrapping_add(1)), self.cfg)
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// What the campaign has injected so far.
+    pub fn tally(&self) -> CampaignTally {
+        self.tally
+    }
+
+    /// Plays one batch window's worth of faults into `pm`.
+    pub fn strike(&mut self, pm: &mut ProtectedMemory) {
+        let n = pm.geometry().n();
+        self.tally.strikes += 1;
+
+        let flips = self.sample_count(self.cfg.transient_rate);
+        for _ in 0..flips {
+            let (r, c) = (self.below(n), self.below(n));
+            pm.inject_fault(r, c);
+            self.tally.transients += 1;
+        }
+
+        let bursts = self.sample_count(self.cfg.burst_rate);
+        for _ in 0..bursts {
+            let r = self.below(n);
+            let start = self.below(n);
+            for k in 0..self.cfg.burst_len {
+                if start + k >= n {
+                    break;
+                }
+                pm.inject_fault(r, start + k);
+            }
+            self.tally.bursts += 1;
+        }
+
+        if (self.tally.stuck_planted as usize) < self.cfg.max_stuck
+            && self.uniform() < self.cfg.stuck_rate
+        {
+            let (r, c) = (self.below(n), self.below(n));
+            let value = self.next() & 1 == 1;
+            pm.set_stuck(r, c, value);
+            self.tally.stuck_planted += 1;
+        }
+    }
+
+    /// Resolves an expected-events-per-strike rate to a concrete count.
+    fn sample_count(&mut self, rate: f64) -> u64 {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let whole = rate.floor();
+        let frac = rate - whole;
+        whole as u64 + u64::from(self.uniform() < frac)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// splitmix64 output mix.
+fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BlockGeometry;
+
+    fn memory() -> ProtectedMemory {
+        ProtectedMemory::new(BlockGeometry::new(30, 15).unwrap()).unwrap()
+    }
+
+    fn storm() -> CampaignConfig {
+        CampaignConfig {
+            transient_rate: 2.5,
+            burst_rate: 0.5,
+            burst_len: 3,
+            stuck_rate: 0.8,
+            max_stuck: 2,
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_trace() {
+        let (mut a, mut b) = (memory(), memory());
+        let mut ca = FaultCampaign::new(42, storm());
+        let mut cb = FaultCampaign::new(42, storm());
+        for _ in 0..20 {
+            ca.strike(&mut a);
+            cb.strike(&mut b);
+        }
+        assert_eq!(ca.tally(), cb.tally());
+        assert_eq!(a.stuck_cells(), b.stuck_cells());
+        for r in 0..30 {
+            for c in 0..30 {
+                assert_eq!(a.bit(r, c), b.bit(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn forked_lanes_decorrelate() {
+        let base = FaultCampaign::new(7, storm());
+        let (mut a, mut b) = (memory(), memory());
+        let mut ca = base.fork(0);
+        let mut cb = base.fork(1);
+        for _ in 0..10 {
+            ca.strike(&mut a);
+            cb.strike(&mut b);
+        }
+        let same = (0..30)
+            .flat_map(|r| (0..30).map(move |c| (r, c)))
+            .all(|(r, c)| a.bit(r, c) == b.bit(r, c));
+        assert!(!same, "distinct lanes should not replay identical traces");
+    }
+
+    #[test]
+    fn stuck_cap_is_respected() {
+        let mut pm = memory();
+        let mut campaign = FaultCampaign::new(3, storm());
+        for _ in 0..200 {
+            campaign.strike(&mut pm);
+        }
+        assert_eq!(campaign.tally().stuck_planted, 2);
+        assert_eq!(pm.stuck_cells().len(), 2);
+    }
+
+    #[test]
+    fn zero_rates_leave_memory_untouched() {
+        let mut pm = memory();
+        let mut campaign = FaultCampaign::new(9, CampaignConfig::transient_only(0.0));
+        for _ in 0..50 {
+            campaign.strike(&mut pm);
+        }
+        let t = campaign.tally();
+        assert_eq!((t.transients, t.bursts, t.stuck_planted), (0, 0, 0));
+        assert!(pm.verify_consistency().is_ok());
+    }
+}

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod area;
+pub mod campaign;
 pub mod cmem;
 pub mod code;
 pub mod energy;
@@ -63,12 +64,13 @@ pub mod memory;
 pub mod shifter;
 
 pub use area::AreaModel;
+pub use campaign::{CampaignConfig, CampaignTally, FaultCampaign};
 pub use cmem::{CheckMemory, ProcessingCrossbar};
 pub use code::{DiagonalCode, ErrorLocation, Syndrome};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::CoreError;
 pub use geometry::BlockGeometry;
-pub use machine::{CheckReport, FusedProgram, MachineStats, ProtectedMemory};
+pub use machine::{CheckReport, FusedProgram, MachineStats, ProtectedMemory, StuckCell};
 pub use memory::MemoryArray;
 pub use pimecc_xbar::SimEngine;
 

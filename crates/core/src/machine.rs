@@ -196,6 +196,22 @@ impl LineAxis {
     }
 }
 
+/// One pinned cell of the stuck-at fault plane: `(row, col)` of the MEM is
+/// wedged at `value` regardless of what the controller drives through it —
+/// the permanent failure mode of a worn-out memristor, which no scrub can
+/// repair (see [`ProtectedMemory::set_stuck`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckCell {
+    /// MEM row of the pinned cell.
+    pub row: usize,
+    /// MEM column of the pinned cell.
+    pub col: usize,
+    /// The value the cell is physically wedged at.
+    pub value: bool,
+    /// The value the controller last drove — what the check-bits encode.
+    intended: bool,
+}
+
 /// A MAGIC crossbar with continuously maintained diagonal ECC.
 ///
 /// See the crate-level example. All `exec_*` methods mirror the raw
@@ -209,6 +225,18 @@ pub struct ProtectedMemory {
     cmem: CheckMemory,
     /// Coverage per block, indexed `[block_row * bps + block_col]`.
     covered: Vec<bool>,
+    /// The stuck-at fault plane, sorted by `(row, col)`. Driven operations
+    /// run against the *intended* values (the ECC maintenance diffs and the
+    /// gate dynamics both see what the controller drives); the plane then
+    /// re-asserts each wedged value, so checks and readback see the faulted
+    /// array. A "correction" write-back into a pinned cell is refused and
+    /// the verdict reclassified uncorrectable — hard faults are detected
+    /// anew by every check until the line is retired by a layer above.
+    stuck: Vec<StuckCell>,
+    /// Whether the plane currently asserts the stuck values (`true` outside
+    /// driven operations). Guards re-entrant clamping: the batched writers
+    /// call the per-line writers internally.
+    stuck_clamped: bool,
     /// When set, every critical operation first ECC-checks the blocks it
     /// is about to overwrite (closes the §III false-positive window at the
     /// price of a check per write — the "locally decodable codes" future
@@ -283,6 +311,8 @@ impl ProtectedMemory {
             mem: Crossbar::new(geom.n(), geom.n()),
             cmem: CheckMemory::new(geom),
             covered: vec![true; geom.block_count()],
+            stuck: Vec::new(),
+            stuck_clamped: true,
             check_on_critical: false,
             stats: MachineStats::default(),
             engine: SimEngine::default(),
@@ -589,6 +619,12 @@ impl ProtectedMemory {
     ///
     /// Panics if `data` is not n×n.
     pub fn load_grid(&mut self, data: &BitGrid) {
+        self.unclamp_stuck();
+        self.load_grid_driven(data);
+        self.clamp_stuck();
+    }
+
+    fn load_grid_driven(&mut self, data: &BitGrid) {
         let n = self.geom.n();
         assert_eq!((data.rows(), data.cols()), (n, n), "grid must be {n}x{n}");
         for r in 0..n {
@@ -862,6 +898,18 @@ impl ProtectedMemory {
         line: usize,
         cells: &[(usize, bool)],
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.write_line_cells_driven(axis, line, cells);
+        self.clamp_stuck();
+        out
+    }
+
+    fn write_line_cells_driven(
+        &mut self,
+        axis: LineAxis,
+        line: usize,
+        cells: &[(usize, bool)],
+    ) -> Result<()> {
         let n = self.geom.n();
         let oob = |line: usize, cross: usize| {
             let (row, col) = axis.cell(line, cross);
@@ -1082,6 +1130,18 @@ impl ProtectedMemory {
         out_col: usize,
         rows: &LineSet,
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.exec_nor_rows_driven(in_cols, out_col, rows);
+        self.clamp_stuck();
+        out
+    }
+
+    fn exec_nor_rows_driven(
+        &mut self,
+        in_cols: &[usize],
+        out_col: usize,
+        rows: &LineSet,
+    ) -> Result<()> {
         if matches!(self.engine, SimEngine::ScalarReference) {
             let idx: Vec<usize> = rows.iter(self.mem.rows()).collect();
             if self.check_on_critical {
@@ -1184,6 +1244,18 @@ impl ProtectedMemory {
         out_row: usize,
         cols: &LineSet,
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.exec_nor_cols_driven(in_rows, out_row, cols);
+        self.clamp_stuck();
+        out
+    }
+
+    fn exec_nor_cols_driven(
+        &mut self,
+        in_rows: &[usize],
+        out_row: usize,
+        cols: &LineSet,
+    ) -> Result<()> {
         if matches!(self.engine, SimEngine::ScalarReference) {
             let idx: Vec<usize> = cols.iter(self.mem.cols()).collect();
             if self.check_on_critical {
@@ -1280,6 +1352,13 @@ impl ProtectedMemory {
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
     pub fn exec_init_rows(&mut self, cols: &[usize], rows: &LineSet) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.exec_init_rows_driven(cols, rows);
+        self.clamp_stuck();
+        out
+    }
+
+    fn exec_init_rows_driven(&mut self, cols: &[usize], rows: &LineSet) -> Result<()> {
         if matches!(self.engine, SimEngine::ScalarReference) {
             let idx: Vec<usize> = rows.iter(self.mem.rows()).collect();
             if self.check_on_critical {
@@ -1506,6 +1585,13 @@ impl ProtectedMemory {
     ///
     /// Propagates MAGIC legality violations as [`CoreError::Xbar`].
     pub fn exec_init_cols(&mut self, rows: &[usize], cols: &LineSet) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.exec_init_cols_driven(rows, cols);
+        self.clamp_stuck();
+        out
+    }
+
+    fn exec_init_cols_driven(&mut self, rows: &[usize], cols: &LineSet) -> Result<()> {
         if matches!(self.engine, SimEngine::ScalarReference) {
             let idx: Vec<usize> = cols.iter(self.mem.cols()).collect();
             if self.check_on_critical {
@@ -1581,6 +1667,13 @@ impl ProtectedMemory {
     ///
     /// Infallible in practice; mirrors the per-step executors.
     pub fn exec_steps_rows(&mut self, steps: &[ParallelStep], rows: &LineSet) -> Result<bool> {
+        self.unclamp_stuck();
+        let out = self.exec_steps_rows_driven(steps, rows);
+        self.clamp_stuck();
+        out
+    }
+
+    fn exec_steps_rows_driven(&mut self, steps: &[ParallelStep], rows: &LineSet) -> Result<bool> {
         let n = self.geom.n();
         if !self.supports_fused_rows() {
             return Ok(false);
@@ -1704,6 +1797,17 @@ impl ProtectedMemory {
         rows: std::ops::Range<usize>,
         threads: usize,
     ) {
+        self.unclamp_stuck();
+        self.exec_fused_rows_driven(prog, rows, threads);
+        self.clamp_stuck();
+    }
+
+    fn exec_fused_rows_driven(
+        &mut self,
+        prog: &FusedProgram,
+        rows: std::ops::Range<usize>,
+        threads: usize,
+    ) {
         let FusedKind::Rows {
             plan,
             colmask,
@@ -1811,6 +1915,12 @@ impl ProtectedMemory {
     /// out of bounds, or if the machine configuration no longer matches the
     /// compiled plan.
     pub fn exec_fused_cols(&mut self, prog: &FusedProgram, cols: std::ops::Range<usize>) {
+        self.unclamp_stuck();
+        self.exec_fused_cols_driven(prog, cols);
+        self.clamp_stuck();
+    }
+
+    fn exec_fused_cols_driven(&mut self, prog: &FusedProgram, cols: std::ops::Range<usize>) {
         let FusedKind::Cols { plan } = &prog.kind else {
             panic!("row-parallel program passed to exec_fused_cols");
         };
@@ -2028,6 +2138,17 @@ impl ProtectedMemory {
         lines: &[usize],
         loads: &[Vec<(usize, bool)>],
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.write_rows_cells_batched_driven(lines, loads);
+        self.clamp_stuck();
+        out
+    }
+
+    fn write_rows_cells_batched_driven(
+        &mut self,
+        lines: &[usize],
+        loads: &[Vec<(usize, bool)>],
+    ) -> Result<()> {
         self.validate_batched(LineAxis::Row, lines, loads)?;
         if !self.supports_fused_rows() {
             for &r in lines {
@@ -2103,6 +2224,17 @@ impl ProtectedMemory {
     /// Panics if `loads` is shorter than `lines` requires (`loads` is
     /// indexed by line number).
     pub fn write_cols_cells_batched(
+        &mut self,
+        lines: &[usize],
+        loads: &[Vec<(usize, bool)>],
+    ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.write_cols_cells_batched_driven(lines, loads);
+        self.clamp_stuck();
+        out
+    }
+
+    fn write_cols_cells_batched_driven(
         &mut self,
         lines: &[usize],
         loads: &[Vec<(usize, bool)>],
@@ -2222,6 +2354,18 @@ impl ProtectedMemory {
         masks: &mut [u64],
         vals: &mut [u64],
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.write_rows_words_batched_driven(lines, masks, vals);
+        self.clamp_stuck();
+        out
+    }
+
+    fn write_rows_words_batched_driven(
+        &mut self,
+        lines: &[usize],
+        masks: &mut [u64],
+        vals: &mut [u64],
+    ) -> Result<()> {
         assert!(
             self.supports_fused_rows(),
             "word-plane writes require the fused word path"
@@ -2312,6 +2456,18 @@ impl ProtectedMemory {
         masks: &mut [u64],
         vals: &mut [u64],
     ) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.write_cols_words_batched_driven(lines, masks, vals);
+        self.clamp_stuck();
+        out
+    }
+
+    fn write_cols_words_batched_driven(
+        &mut self,
+        lines: &[usize],
+        masks: &mut [u64],
+        vals: &mut [u64],
+    ) -> Result<()> {
         assert!(
             self.supports_fused_rows(),
             "word-plane writes require the fused word path"
@@ -2392,6 +2548,13 @@ impl ProtectedMemory {
     /// [`CoreError::OutOfBounds`] on bad block indices; MAGIC errors are
     /// impossible for an init.
     pub fn reset_block(&mut self, block_row: usize, block_col: usize) -> Result<()> {
+        self.unclamp_stuck();
+        let out = self.reset_block_driven(block_row, block_col);
+        self.clamp_stuck();
+        out
+    }
+
+    fn reset_block_driven(&mut self, block_row: usize, block_col: usize) -> Result<()> {
         let bps = self.geom.blocks_per_side();
         if block_row >= bps || block_col >= bps {
             return Err(CoreError::OutOfBounds {
@@ -2419,9 +2582,122 @@ impl ProtectedMemory {
     }
 
     /// Flips a data memristor without the controller noticing — a soft
-    /// error.
+    /// error. A cell pinned by [`ProtectedMemory::set_stuck`] cannot be
+    /// flipped; the strike is absorbed by the wedged state.
     pub fn inject_fault(&mut self, r: usize, c: usize) {
+        if self.is_stuck(r, c) {
+            return;
+        }
         self.mem.flip_bit(r, c);
+    }
+
+    /// Pins cell `(r, c)` of the MEM at `value` — a permanent stuck-at
+    /// fault from endurance wear-out. From this point on, every driven
+    /// operation behaves as if the write succeeded (the check-bits keep
+    /// encoding the intended data), but the stored bit stays wedged: any
+    /// check of the block re-detects the mismatch whenever the intended
+    /// value differs, and the correction write-back is refused (read-back
+    /// disagrees), reclassifying the verdict as uncorrectable. Scrubbing
+    /// never re-bases a block holding a pinned cell, so the evidence
+    /// persists until a layer above retires the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn set_stuck(&mut self, r: usize, c: usize, value: bool) {
+        let n = self.geom.n();
+        assert!(r < n && c < n, "stuck cell ({r},{c}) outside {n}x{n}");
+        match self.stuck.binary_search_by_key(&(r, c), |s| (s.row, s.col)) {
+            Ok(i) => self.stuck[i].value = value,
+            Err(i) => {
+                let intended = self.mem.bit(r, c);
+                self.stuck.insert(
+                    i,
+                    StuckCell {
+                        row: r,
+                        col: c,
+                        value,
+                        intended,
+                    },
+                );
+            }
+        }
+        self.mem.force_bit(r, c, value);
+    }
+
+    /// The stuck-at fault plane, sorted by `(row, col)`.
+    pub fn stuck_cells(&self) -> &[StuckCell] {
+        &self.stuck
+    }
+
+    /// Whether any cell is pinned.
+    pub fn has_stuck_cells(&self) -> bool {
+        !self.stuck.is_empty()
+    }
+
+    /// Whether block-row `block_row` holds a pinned cell — the gate for a
+    /// targeted post-execution check (in this model, only the fault plane
+    /// can make freshly driven data disagree with its check-bits).
+    pub fn block_row_has_stuck(&self, block_row: usize) -> bool {
+        let m = self.geom.m();
+        self.stuck.iter().any(|s| s.row / m == block_row)
+    }
+
+    /// Column transpose of [`ProtectedMemory::block_row_has_stuck`].
+    pub fn block_col_has_stuck(&self, block_col: usize) -> bool {
+        let m = self.geom.m();
+        self.stuck.iter().any(|s| s.col / m == block_col)
+    }
+
+    fn is_stuck(&self, r: usize, c: usize) -> bool {
+        !self.stuck.is_empty()
+            && self
+                .stuck
+                .binary_search_by_key(&(r, c), |s| (s.row, s.col))
+                .is_ok()
+    }
+
+    fn block_has_stuck(&self, br: usize, bc: usize) -> bool {
+        let m = self.geom.m();
+        self.stuck
+            .iter()
+            .any(|s| s.row / m == br && s.col / m == bc)
+    }
+
+    /// Restores the controller's intended values into the grid for the
+    /// duration of one driven operation: the diff-maintained check-bits
+    /// must see the driven old state, and gate dynamics compute on driven
+    /// values. No-op while the plane is already lifted (re-entrant callers)
+    /// or empty.
+    fn unclamp_stuck(&mut self) {
+        if self.stuck.is_empty() || !self.stuck_clamped {
+            return;
+        }
+        self.stuck_clamped = false;
+        for i in 0..self.stuck.len() {
+            let s = self.stuck[i];
+            self.mem.force_bit(s.row, s.col, s.intended);
+        }
+    }
+
+    /// Re-asserts the fault plane after a driven operation: records what
+    /// the operation drove into each pinned cell (the new intended value
+    /// the check-bits now encode) and wedges the stored bit back at the
+    /// stuck value.
+    fn clamp_stuck(&mut self) {
+        if self.stuck.is_empty() || self.stuck_clamped {
+            return;
+        }
+        self.stuck_clamped = true;
+        for i in 0..self.stuck.len() {
+            let (r, c) = (self.stuck[i].row, self.stuck[i].col);
+            let driven = self.mem.bit(r, c);
+            self.stuck[i].intended = driven;
+            if driven != self.stuck[i].value {
+                let v = self.stuck[i].value;
+                self.mem.force_bit(r, c, v);
+            }
+        }
     }
 
     /// Flips a check-bit memristor — a soft error striking the CMEM.
@@ -2464,7 +2740,7 @@ impl ProtectedMemory {
         let mut counter = self
             .cmem
             .block_checks(Family::Counter, block_row, block_col);
-        let loc = self.code.correct(&mut block, &mut lead, &mut counter);
+        let mut loc = self.code.correct(&mut block, &mut lead, &mut counter);
         self.stats.blocks_checked += 1;
         match loc {
             ErrorLocation::None => {}
@@ -2475,9 +2751,17 @@ impl ProtectedMemory {
             } => {
                 // Drive the corrected value back into the MEM.
                 let (r, c) = (block_row * m + local_row, block_col * m + local_col);
-                self.mem.write_bit(r, c, block.get(local_row, local_col));
                 self.stats.mem_cycles += 1;
-                self.stats.errors_corrected += 1;
+                if self.is_stuck(r, c) {
+                    // The write-back pulse cannot switch a wedged cell —
+                    // read-back disagrees, so the block is beyond this
+                    // code's repair.
+                    self.stats.errors_uncorrectable += 1;
+                    loc = ErrorLocation::Uncorrectable;
+                } else {
+                    self.mem.write_bit(r, c, block.get(local_row, local_col));
+                    self.stats.errors_corrected += 1;
+                }
             }
             ErrorLocation::LeadingCheck { .. } | ErrorLocation::CounterCheck { .. } => {
                 self.cmem
@@ -2512,9 +2796,15 @@ impl ProtectedMemory {
                     syn_counter.trailing_zeros() as usize,
                 );
                 let (r, c) = (block_row * m + local_row, block_col * m + local_col);
+                self.stats.mem_cycles += 1;
+                if self.is_stuck(r, c) {
+                    // Write-back refused by the wedged cell (see the
+                    // scalar checker): reclassify as uncorrectable.
+                    self.stats.errors_uncorrectable += 1;
+                    return ErrorLocation::Uncorrectable;
+                }
                 let corrected = !self.mem.bit(r, c);
                 self.mem.write_bit(r, c, corrected);
-                self.stats.mem_cycles += 1;
                 self.stats.errors_corrected += 1;
                 ErrorLocation::Data {
                     local_row,
@@ -2807,11 +3097,17 @@ impl ProtectedMemory {
                     syn_counter.trailing_zeros() as usize,
                 );
                 let (r, c) = (block_row * m + local_row, block_col * m + local_col);
-                let corrected = !self.mem.bit(r, c);
-                self.mem.write_bit(r, c, corrected);
                 self.stats.mem_cycles += 1;
-                self.stats.errors_corrected += 1;
-                report.corrected += 1;
+                if self.is_stuck(r, c) {
+                    // Write-back refused by the wedged cell: uncorrectable.
+                    self.stats.errors_uncorrectable += 1;
+                    report.uncorrectable += 1;
+                } else {
+                    let corrected = !self.mem.bit(r, c);
+                    self.mem.write_bit(r, c, corrected);
+                    self.stats.errors_corrected += 1;
+                    report.corrected += 1;
+                }
             }
             (1, 0) => {
                 let diagonal = syn_lead.trailing_zeros() as usize;
@@ -2985,7 +3281,11 @@ impl ProtectedMemory {
         let bps = self.geom.blocks_per_side();
         for br in 0..bps {
             for bc in 0..bps {
-                if !self.covered[self.block_index(br, bc)] {
+                // A block holding a pinned cell is never re-based: the
+                // stored data there is not what the controller drove, and
+                // absorbing the wedged value would blind every later check
+                // to the hard fault.
+                if !self.covered[self.block_index(br, bc)] || self.block_has_stuck(br, bc) {
                     continue;
                 }
                 self.reencode_block(br, bc);
@@ -2994,6 +3294,40 @@ impl ProtectedMemory {
         // Cost: every row is read and re-encoded once.
         self.stats.mem_cycles += self.geom.n() as u64;
         self.stats.transfer_cycles += self.geom.n() as u64;
+    }
+
+    /// Re-encodes one block row's check-bits from current data — the
+    /// targeted scrub a device runs right after an uncorrectable verdict,
+    /// so multi-bit transient residue cannot later masquerade as a single
+    /// correctable error and be "corrected" into consistent garbage.
+    /// Blocks holding pinned cells are skipped, as in
+    /// [`ProtectedMemory::scrub`].
+    pub fn scrub_block_row(&mut self, block_row: usize) {
+        let bps = self.geom.blocks_per_side();
+        for bc in 0..bps {
+            if !self.covered[self.block_index(block_row, bc)] || self.block_has_stuck(block_row, bc)
+            {
+                continue;
+            }
+            self.reencode_block(block_row, bc);
+        }
+        // Cost: the block row's m MEM rows are read and re-encoded once.
+        self.stats.mem_cycles += self.geom.m() as u64;
+        self.stats.transfer_cycles += self.geom.m() as u64;
+    }
+
+    /// Column transpose of [`ProtectedMemory::scrub_block_row`].
+    pub fn scrub_block_col(&mut self, block_col: usize) {
+        let bps = self.geom.blocks_per_side();
+        for br in 0..bps {
+            if !self.covered[self.block_index(br, block_col)] || self.block_has_stuck(br, block_col)
+            {
+                continue;
+            }
+            self.reencode_block(br, block_col);
+        }
+        self.stats.mem_cycles += self.geom.m() as u64;
+        self.stats.transfer_cycles += self.geom.m() as u64;
     }
 
     /// Test oracle: recomputes every covered block's parity from the data
@@ -3009,7 +3343,10 @@ impl ProtectedMemory {
             let mut rows = vec![0u64; m];
             for br in 0..bps {
                 for bc in 0..bps {
-                    if !self.covered[self.block_index(br, bc)] {
+                    // Blocks holding pinned cells are legitimately
+                    // inconsistent: the oracle cannot demand agreement from
+                    // a cell physics wedged.
+                    if !self.covered[self.block_index(br, bc)] || self.block_has_stuck(br, bc) {
                         continue;
                     }
                     for (lr, w) in rows.iter_mut().enumerate() {
@@ -3028,7 +3365,7 @@ impl ProtectedMemory {
         }
         for br in 0..bps {
             for bc in 0..bps {
-                if !self.covered[self.block_index(br, bc)] {
+                if !self.covered[self.block_index(br, bc)] || self.block_has_stuck(br, bc) {
                     continue;
                 }
                 let block = self.extract_block(br, bc);
@@ -3870,5 +4207,149 @@ mod tests {
         let report = pm.check_all().unwrap();
         assert_eq!(report.corrected, 1);
         assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn stuck_cell_refuses_correction_and_stays_detected() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 11));
+        let intended = pm.bit(2, 2);
+        pm.set_stuck(2, 2, !intended);
+        assert_eq!(pm.bit(2, 2), !intended, "cell reads the wedged value");
+        // Every check re-detects the fault, refuses the write-back, and
+        // classifies it uncorrectable — no silent "repair" into the wedge.
+        for pass in 0..3 {
+            let report = pm.check_all().unwrap();
+            assert_eq!(report.corrected, 0, "pass {pass}");
+            assert_eq!(report.uncorrectable, 1, "pass {pass}");
+            assert_eq!(pm.bit(2, 2), !intended, "pass {pass}");
+        }
+        assert_eq!(pm.stats().errors_uncorrectable, 3);
+        assert_eq!(pm.stats().errors_corrected, 0);
+    }
+
+    #[test]
+    fn writes_cannot_overwrite_a_stuck_cell() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 13));
+        pm.set_stuck(4, 7, true);
+        pm.write_row_cells(4, &[(7, false), (8, true)]).unwrap();
+        assert!(pm.bit(4, 7), "plane re-asserts the wedged value");
+        assert!(pm.bit(4, 8), "healthy neighbour takes the write");
+        // The check-bits track the *driven* value, so the mismatch is
+        // visible as an uncorrectable error, not absorbed.
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.uncorrectable, 1);
+    }
+
+    #[test]
+    fn stuck_cell_matching_the_driven_value_is_benign_until_contradicted() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 17));
+        let value = pm.bit(5, 1);
+        pm.set_stuck(5, 1, value);
+        let report = pm.check_all().unwrap();
+        assert_eq!((report.corrected, report.uncorrectable), (0, 0));
+        pm.write_row_cells(5, &[(1, !value)]).unwrap();
+        assert_eq!(pm.bit(5, 1), value, "write bounced off the wedge");
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.uncorrectable, 1);
+    }
+
+    #[test]
+    fn scrub_repairs_transients_but_never_absorbs_stuck_faults() {
+        let mut pm = machine(15, 5);
+        pm.load_grid(&random_grid(15, 19));
+        let intended = pm.bit(2, 3);
+        pm.set_stuck(2, 3, !intended); // block (0,0)
+        pm.inject_fault(8, 8); // transient in block (1,1)
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 1, "transient repaired");
+        assert_eq!(report.uncorrectable, 1, "hard fault refused");
+        pm.scrub();
+        // The scrub must not re-base the stuck block: the fault is still
+        // detected (and still refused) on the next pass.
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 0);
+        assert_eq!(report.uncorrectable, 1);
+    }
+
+    #[test]
+    fn inject_fault_cannot_flip_a_wedged_cell() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 23));
+        pm.set_stuck(1, 1, true);
+        pm.inject_fault(1, 1);
+        assert!(pm.bit(1, 1), "a soft error cannot move a wedged cell");
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.corrected, 0);
+    }
+
+    #[test]
+    fn scrub_block_line_clears_multibit_transient_residue() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 27));
+        pm.inject_fault(0, 0);
+        pm.inject_fault(1, 2); // same block (0,0): uncorrectable pattern
+        let report = pm.check_all().unwrap();
+        assert_eq!(report.uncorrectable, 1);
+        // After the layer above suppresses the affected outputs, a targeted
+        // re-encode re-bases the block so the residue cannot later be
+        // "corrected" into consistent garbage by a single-error decode.
+        pm.scrub_block_row(0);
+        let report = pm.check_all().unwrap();
+        assert_eq!((report.corrected, report.uncorrectable), (0, 0));
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn scrub_block_col_rebases_like_scrub_block_row() {
+        let mut pm = machine(9, 3);
+        pm.load_grid(&random_grid(9, 33));
+        pm.inject_fault(3, 4);
+        pm.inject_fault(5, 5); // same block (1,1)
+        assert_eq!(pm.check_all().unwrap().uncorrectable, 1);
+        pm.scrub_block_col(1);
+        let report = pm.check_all().unwrap();
+        assert_eq!((report.corrected, report.uncorrectable), (0, 0));
+        assert!(pm.verify_consistency().is_ok());
+    }
+
+    fn stuck_scenario(n: usize, m: usize, engine: SimEngine) -> (ProtectedMemory, CheckReport) {
+        let mut pm = machine(n, m);
+        pm.set_engine(engine);
+        pm.load_grid(&random_grid(n, 37));
+        pm.set_stuck(1, 2, true);
+        pm.set_stuck(n - 1, n - 2, false);
+        for step in 0..4 {
+            let col = (m + step) % n;
+            pm.exec_init_rows(&[col], &LineSet::All).unwrap();
+            pm.exec_nor_rows(&[(col + 1) % n, (col + 2) % n], col, &LineSet::All)
+                .unwrap();
+            let row = (2 * m + step) % n;
+            pm.exec_init_cols(&[row], &LineSet::Range(0..n)).unwrap();
+            pm.exec_nor_cols(&[(row + 3) % n, (row + 5) % n], row, &LineSet::Range(0..n))
+                .unwrap();
+        }
+        pm.write_row_cells(1, &[(2, false), (n - 1, true)]).unwrap();
+        pm.inject_fault(0, n - 1);
+        let report = pm.check_all().unwrap();
+        (pm, report)
+    }
+
+    #[test]
+    fn engines_are_bit_identical_under_stuck_faults() {
+        for (n, m) in [(9usize, 3usize), (15, 5), (70, 7)] {
+            let (word, wr) = stuck_scenario(n, m, SimEngine::WordParallel);
+            let (scalar, sr) = stuck_scenario(n, m, SimEngine::ScalarReference);
+            assert_eq!(
+                word.mem().grid().diff(scalar.mem().grid()),
+                vec![],
+                "{n}/{m}"
+            );
+            assert_eq!(word.stats(), scalar.stats(), "{n}/{m}");
+            assert_eq!(wr, sr, "{n}/{m}");
+            assert_eq!(word.stuck_cells(), scalar.stuck_cells(), "{n}/{m}");
+        }
     }
 }

@@ -227,6 +227,14 @@ impl Crossbar {
         self.bits.flip(r, c)
     }
 
+    /// Sets cell `(r, c)` without consuming a cycle and without changing
+    /// arming — the permanent-fault primitive. Like a soft error, physical
+    /// wear is invisible to the controller's gate protocol; only the stored
+    /// value differs from what was driven.
+    pub fn force_bit(&mut self, r: usize, c: usize, value: bool) {
+        self.bits.set(r, c, value);
+    }
+
     /// Zero-cycle whole-row view.
     pub fn row(&self, r: usize) -> Vec<bool> {
         self.bits.row(r)

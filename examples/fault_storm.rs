@@ -1,11 +1,11 @@
 //! Fault-storm campaign against the **async cluster service**: a 4-shard
-//! pool serves adder8 traffic while one shard is bombarded with injected
-//! soft errors on every batch load. The health loop must notice (error
-//! budget exceeded → quarantine), reroute traffic to the surviving
-//! shards, keep every output bit-correct, and — once the storm passes —
-//! scrub the shard clean and restore it to the pool.
+//! pool serves adder8 traffic while shards are bombarded with injected
+//! faults on every batch load. The health loop must notice, contain the
+//! damage (quarantine for transient storms, line retirement for permanent
+//! ones), keep every *resolved* output bit-correct, and surface anything
+//! it cannot verify as an explicit dead letter — never as garbage.
 //!
-//! Four phases:
+//! Five phases:
 //!
 //! 1. **fault-free** — baseline throughput with the storm off;
 //! 2. **storm** — the fault hook flips bits in three distinct ECC blocks
@@ -14,14 +14,23 @@
 //! 3. **recovery** — storm off; background scrubs earn the shard back
 //!    (consecutive clean scrubs lift the quarantine);
 //! 4. **post** — the restored pool serves one more round, all shards
-//!    healthy, nothing uncorrectable anywhere in the run.
+//!    healthy, nothing uncorrectable anywhere in the run so far;
+//! 5. **stuck-at** — permanent stuck-at cells are wedged into four ECC
+//!    blocks of shard 2: recurring uncorrectable evidence must *retire*
+//!    the struck block-lines (capacity shrinks and the health ledger
+//!    shows it), suspect tickets are retried onto healthy lines, the
+//!    pool holds ≥ 0.6× the baseline throughput, and not one ticket
+//!    resolves with outputs that differ from the software reference —
+//!    the escalation ladder's no-silently-wrong-answers contract.
 //!
 //! Run with: `cargo run --release --example fault_storm`
 //!
-//! Writes the campaign record to `BENCH_fault.json`.
+//! Writes the campaign record to `BENCH_fault.json`; CI asserts the
+//! recorded `silently_wrong_outputs` is zero.
 
 use pimecc::netlist::generators::ripple_adder;
 use pimecc::prelude::*;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,14 +40,34 @@ const N: usize = 90;
 const M: usize = 3;
 /// Requests per measured phase.
 const REQUESTS: usize = 12_000;
-/// The shard the storm hammers.
+/// The shard the transient storm hammers.
 const STORM_SHARD: usize = 1;
+/// The shard the stuck-at phase wedges.
+const STUCK_SHARD: usize = 2;
 
 const FLUSH_AFTER: Duration = Duration::from_micros(500);
 const FLUSH_AT: usize = 512;
 const SCRUB_PERIOD: Duration = Duration::from_millis(1);
 const ERROR_BUDGET: u64 = 8;
 const RECOVERY_SCRUBS: u32 = 2;
+/// Uncorrectable verdicts that retire a block-line.
+const RETIRE_AFTER: u32 = 2;
+/// Re-dispatch budget for suppressed tickets.
+const MAX_RETRIES: u32 = 2;
+
+/// Cells wedged in phase 5: two per ECC block across four blocks of
+/// shard 2, so mismatching data produces uncorrectable (double-error)
+/// verdicts that drive the retirement ledger.
+const STUCK_CELLS: [(usize, usize); 8] = [
+    (0, 0),
+    (1, 1),
+    (4, 3),
+    (5, 4),
+    (30, 30),
+    (31, 31),
+    (60, 60),
+    (61, 61),
+];
 
 fn add_request(i: usize) -> Vec<bool> {
     let x = (i * 73) as u32 & 0xFFFF;
@@ -50,10 +79,14 @@ struct PhaseReport {
     seconds: f64,
     requests_per_sec: f64,
     waves: usize,
+    resolved: usize,
+    dead_letters: usize,
 }
 
-/// Submits `REQUESTS` adder8 requests, drains them, verifies every
-/// output against the software reference and returns the wall timing.
+/// Submits `REQUESTS` adder8 requests, drains them, and verifies the
+/// no-silently-wrong-answers contract: every resolved ticket bit-exact
+/// against the software reference, every unresolved ticket present in the
+/// outcome's dead-letter list — nothing vanishes, nothing lies.
 fn run_phase(
     handle: &ClusterHandle,
     program: &CompiledProgram,
@@ -67,23 +100,43 @@ fn run_phase(
     }
     let outcome = handle.drain()?;
     let seconds = started.elapsed().as_secs_f64();
-    assert_eq!(outcome.requests(), REQUESTS, "{label}: every ticket served");
+    let failed: HashSet<u64> = outcome.failed.iter().map(|f| f.ticket.id()).collect();
+    let mut resolved = 0;
     for (i, t) in tickets.iter().enumerate() {
-        let got = outcome.outputs_for(t.key()).expect("served");
-        assert_eq!(got, adder.eval(&add_request(i)), "{label}: ticket #{i}");
+        match outcome.outputs_for(t.key()) {
+            Some(got) => {
+                resolved += 1;
+                assert_eq!(
+                    got,
+                    adder.eval(&add_request(i)),
+                    "{label}: ticket #{i} resolved with corrupt outputs"
+                );
+            }
+            None => assert!(
+                failed.contains(&t.id()),
+                "{label}: ticket #{i} vanished without an explicit error"
+            ),
+        }
     }
+    assert_eq!(
+        resolved + failed.len(),
+        REQUESTS,
+        "{label}: every ticket accounted for exactly once"
+    );
     Ok(PhaseReport {
         label,
         seconds,
-        requests_per_sec: REQUESTS as f64 / seconds,
+        requests_per_sec: resolved as f64 / seconds,
         waves: outcome.waves,
+        resolved,
+        dead_letters: failed.len(),
     })
 }
 
 fn print_phase(r: &PhaseReport, snap: &HealthSnapshot) {
     println!(
         "{:>10}: {:>9.0} req/s  ({:.3} s, {} waves, {} quarantined, \
-         corrected {}, scrub waves {})",
+         corrected {}, scrub waves {}, retries {}, dead letters {})",
         r.label,
         r.requests_per_sec,
         r.seconds,
@@ -91,6 +144,8 @@ fn print_phase(r: &PhaseReport, snap: &HealthSnapshot) {
         snap.quarantined(),
         snap.corrected(),
         snap.scrub_waves,
+        snap.retries,
+        snap.dead_letters,
     );
 }
 
@@ -100,12 +155,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let storm = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&storm);
+    let wedge = Arc::new(AtomicBool::new(false));
+    let wedge_flag = Arc::clone(&wedge);
     let handle = PimClusterBuilder::new(SHARDS, N, M)
         .flush_after(FLUSH_AFTER)
         .auto_flush_at(FLUSH_AT)
         .scrub_period(SCRUB_PERIOD)
         .error_budget(ERROR_BUDGET)
         .recovery_scrubs(RECOVERY_SCRUBS)
+        .retire_after(RETIRE_AFTER)
+        .max_retries(MAX_RETRIES)
         // Three flips in three distinct ECC blocks per batch load: every
         // one is single-error-correctable (outputs stay exact), but the
         // error budget drains fast.
@@ -116,6 +175,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 pm.inject_fault(2 * N / 3, 2 * N / 3);
             }
         })
+        // Permanent damage: once armed, these cells stay wedged at 1 for
+        // the rest of the run (`set_stuck` is idempotent) — the evidence
+        // that drives line retirement.
+        .shard_fault_hook(STUCK_SHARD, move |pm| {
+            if wedge_flag.load(Ordering::Relaxed) {
+                for &(r, c) in &STUCK_CELLS {
+                    pm.set_stuck(r, c, true);
+                }
+            }
+        })
         .spawn()?;
     let program = handle.compile_packed(&nor)?;
 
@@ -123,12 +192,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fault storm on a {SHARDS}-shard {N}x{N}/{M} service, \
          {REQUESTS} adder8 requests per phase\n\
          storm: 3 injected flips per batch load on shard {STORM_SHARD}, \
-         error budget {ERROR_BUDGET}, {RECOVERY_SCRUBS} clean scrubs to recover\n"
+         error budget {ERROR_BUDGET}, {RECOVERY_SCRUBS} clean scrubs to recover\n\
+         stuck-at: {} wedged cells on shard {STUCK_SHARD}, retire after \
+         {RETIRE_AFTER} strikes, {MAX_RETRIES} retries per ticket\n",
+        STUCK_CELLS.len()
     );
 
     // Phase 1: fault-free baseline.
     let fault_free = run_phase(&handle, &program, &adder, "fault-free")?;
     print_phase(&fault_free, &handle.metrics());
+    assert_eq!(fault_free.dead_letters, 0, "fault-free serves everything");
 
     // Phase 2: the storm. The hook fires on every batch load of the
     // storm shard until the health loop quarantines it away.
@@ -140,6 +213,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         mid.shards[STORM_SHARD].quarantines >= 1,
         "the storm must trip the error budget at least once"
+    );
+    assert_eq!(
+        stormed.dead_letters, 0,
+        "correctable flips never dead-letter"
     );
 
     // Phase 3: recovery. The worker is idle, so the scrub rotation runs
@@ -170,28 +247,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let post = run_phase(&handle, &program, &adder, "post")?;
     let fin = handle.metrics();
     print_phase(&post, &fin);
-    handle.close()?;
-
-    assert_eq!(fin.quarantined(), 0, "the pool ends fully healthy");
+    assert_eq!(fin.quarantined(), 0, "the pool ends phase 4 fully healthy");
     assert_eq!(
         fin.uncorrectable(),
         0,
-        "every injected flip was single-error"
+        "every injected flip so far was single-error"
     );
     assert!(
         fin.shards[STORM_SHARD].recoveries >= 1,
         "≥ 1 recovery cycle"
     );
-    let ratio = stormed.requests_per_sec / fault_free.requests_per_sec;
+    let storm_ratio = stormed.requests_per_sec / fault_free.requests_per_sec;
     println!(
-        "\nstorm throughput: {ratio:.2}x fault-free \
+        "\nstorm throughput: {storm_ratio:.2}x fault-free \
          (floor 0.70x — one quarantined shard of {SHARDS} leaves {:.2}x \
          of the pool)",
         (SHARDS - 1) as f64 / SHARDS as f64
     );
     assert!(
-        ratio >= 0.7,
-        "storm throughput must hold >= 0.7x fault-free, got {ratio:.2}x"
+        storm_ratio >= 0.7,
+        "storm throughput must hold >= 0.7x fault-free, got {storm_ratio:.2}x"
+    );
+
+    // Phase 5: permanent damage. The wedged cells produce recurring
+    // uncorrectable verdicts; the device retires the struck block-lines,
+    // the scheduler packs around them and re-dispatches the suppressed
+    // tickets, and the run stays bit-exact throughout.
+    wedge.store(true, Ordering::Relaxed);
+    let stuck = run_phase(&handle, &program, &adder, "stuck-at")?;
+    let end = handle.metrics();
+    print_phase(&stuck, &end);
+    handle.close()?;
+
+    let retired = end.shards[STUCK_SHARD].retired_lines;
+    assert!(
+        retired >= M as u64,
+        "recurring stuck-at evidence must retire at least one block-line \
+         ({M} physical lines), ledger shows {retired}"
+    );
+    assert!(
+        end.retries >= 1,
+        "suspect tickets must be re-dispatched, not resolved"
+    );
+    for (i, shard) in end.shards.iter().enumerate() {
+        if i != STUCK_SHARD {
+            assert_eq!(
+                shard.retired_lines, 0,
+                "retirement stays confined to the wedged shard"
+            );
+        }
+    }
+    let stuck_ratio = stuck.requests_per_sec / fault_free.requests_per_sec;
+    println!(
+        "stuck-at throughput: {stuck_ratio:.2}x fault-free (floor 0.60x), \
+         shard {STUCK_SHARD} retired {retired} physical lines, \
+         {} retries, {} dead letters, 0 silently-wrong outputs",
+        end.retries, end.dead_letters,
+    );
+    assert!(
+        stuck_ratio >= 0.6,
+        "stuck-at throughput must hold >= 0.6x fault-free, got {stuck_ratio:.2}x"
     );
 
     let sh = &fin.shards[STORM_SHARD];
@@ -201,18 +316,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  \"geometry\": {{\"n\": {}, \"m\": {}, \"shards\": {}}},\n",
             "  \"requests_per_phase\": {},\n",
             "  \"storm_shard\": {},\n",
+            "  \"stuck_shard\": {},\n",
             "  \"error_budget\": {},\n",
             "  \"recovery_scrubs\": {},\n",
+            "  \"retire_after\": {},\n",
+            "  \"max_retries\": {},\n",
             "  \"scrub_period_us\": {},\n",
             "  \"fault_free_rps\": {:.1},\n",
             "  \"storm_rps\": {:.1},\n",
             "  \"post_rps\": {:.1},\n",
+            "  \"stuck_rps\": {:.1},\n",
             "  \"storm_over_fault_free\": {:.3},\n",
+            "  \"stuck_over_fault_free\": {:.3},\n",
             "  \"quarantines\": {},\n",
             "  \"recoveries\": {},\n",
             "  \"scrub_waves\": {},\n",
             "  \"corrected\": {},\n",
             "  \"uncorrectable\": {},\n",
+            "  \"retired_lines\": {},\n",
+            "  \"retries\": {},\n",
+            "  \"dead_letters\": {},\n",
+            "  \"stuck_resolved\": {},\n",
+            "  \"silently_wrong_outputs\": 0,\n",
             "  \"queue_latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}},\n",
             "  \"execute_latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}}}\n",
             "}}\n"
@@ -222,24 +347,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SHARDS,
         REQUESTS,
         STORM_SHARD,
+        STUCK_SHARD,
         ERROR_BUDGET,
         RECOVERY_SCRUBS,
+        RETIRE_AFTER,
+        MAX_RETRIES,
         SCRUB_PERIOD.as_micros(),
         fault_free.requests_per_sec,
         stormed.requests_per_sec,
         post.requests_per_sec,
-        ratio,
+        stuck.requests_per_sec,
+        storm_ratio,
+        stuck_ratio,
         sh.quarantines,
         sh.recoveries,
-        fin.scrub_waves,
-        fin.corrected(),
-        fin.uncorrectable(),
-        fin.queue_latency.p50.as_secs_f64() * 1e6,
-        fin.queue_latency.p95.as_secs_f64() * 1e6,
-        fin.queue_latency.p99.as_secs_f64() * 1e6,
-        fin.execute_latency.p50.as_secs_f64() * 1e6,
-        fin.execute_latency.p95.as_secs_f64() * 1e6,
-        fin.execute_latency.p99.as_secs_f64() * 1e6,
+        end.scrub_waves,
+        end.corrected(),
+        end.uncorrectable(),
+        retired,
+        end.retries,
+        end.dead_letters,
+        stuck.resolved,
+        end.queue_latency.p50.as_secs_f64() * 1e6,
+        end.queue_latency.p95.as_secs_f64() * 1e6,
+        end.queue_latency.p99.as_secs_f64() * 1e6,
+        end.execute_latency.p50.as_secs_f64() * 1e6,
+        end.execute_latency.p95.as_secs_f64() * 1e6,
+        end.execute_latency.p99.as_secs_f64() * 1e6,
     );
     std::fs::write("BENCH_fault.json", &json)?;
     println!("wrote BENCH_fault.json");

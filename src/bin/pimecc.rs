@@ -7,15 +7,23 @@
 //! pimecc convert <circuit.(blif|aag)> <blif|aag>   convert between formats (stdout)
 //! pimecc bench <name>                              generate a built-in benchmark as BLIF (stdout)
 //! pimecc area [n m k]                              device-count table (paper Table II)
+//! pimecc health [--shards S] [--requests R] [--seed X] [--stuck K]
+//!               [--retire-after K] [--max-retries R]
+//!                                                  fault-escalation demo + health report
 //! ```
 //!
-//! Exit code 0 on success, 1 on bad usage, 2 on processing errors.
+//! Exit code 0 on success, 1 on bad usage, 2 on processing errors. The
+//! `health` command additionally exits 2 if any resolved ticket's outputs
+//! differ from the fault-free reference — the escalation ladder's
+//! no-silently-wrong-answers invariant, checked end to end.
 
 use pimecc::core::AreaModel;
+use pimecc::core::{CampaignConfig, FaultCampaign};
 use pimecc::netlist::aiger::{parse_aag, write_aag};
 use pimecc::netlist::blif::{parse_blif, write_blif};
 use pimecc::netlist::generators::Benchmark;
-use pimecc::netlist::Netlist;
+use pimecc::netlist::{Netlist, NetlistBuilder};
+use pimecc::prelude::*;
 use pimecc::simpler::{
     map_auto, min_processing_crossbars, schedule_with_ecc, write_listing, EccConfig,
 };
@@ -23,7 +31,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pimecc map <circuit.(blif|aag)> [--row N]\n  pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]\n  pimecc convert <circuit.(blif|aag)> <blif|aag>\n  pimecc bench <name>\n  pimecc area [n m k]"
+        "usage:\n  pimecc map <circuit.(blif|aag)> [--row N]\n  pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]\n  pimecc convert <circuit.(blif|aag)> <blif|aag>\n  pimecc bench <name>\n  pimecc area [n m k]\n  pimecc health [--shards S] [--requests R] [--seed X] [--stuck K] [--retire-after K] [--max-retries R]"
     );
     ExitCode::from(1)
 }
@@ -135,6 +143,120 @@ fn cmd_area(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the fault-domain escalation ladder end to end on a live cluster —
+/// a seeded stuck-at storm hammers shard 0 while full-adder traffic flows
+/// through every shard — then prints the health ledger: per-shard ECC and
+/// retirement counters, cluster retry/dead-letter totals, and the latency
+/// percentiles (cumulative across retry attempts).
+///
+/// Every resolved ticket is compared bit-for-bit against the fault-free
+/// reference; a single mismatch fails the command. Dead-lettered tickets
+/// are *supposed* to appear under sustained faults — they are the explicit
+/// alternative to a wrong answer.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let shards = flag_value(args, "--shards").unwrap_or(4);
+    let requests = flag_value(args, "--requests").unwrap_or(256);
+    let seed = flag_value(args, "--seed").unwrap_or(0xDAC2021) as u64;
+    let max_stuck = flag_value(args, "--stuck").unwrap_or(24);
+    let retire_after = flag_value(args, "--retire-after").unwrap_or(2) as u32;
+    let max_retries = flag_value(args, "--max-retries").unwrap_or(2) as u32;
+
+    // The workload: a full adder, verified against `Netlist::eval`.
+    let mut b = NetlistBuilder::new();
+    let ins = b.inputs(3);
+    let s1 = b.xor(ins[0], ins[1]);
+    let sum = b.xor(s1, ins[2]);
+    let carry = b.maj(ins[0], ins[1], ins[2]);
+    b.output(sum);
+    b.output(carry);
+    let netlist = b.finish();
+
+    // The storm: every batch loaded on shard 0 takes one seeded strike —
+    // transient flips the scrubber absorbs, plus up to `max_stuck`
+    // permanent stuck-at cells that drive retirement.
+    let mut campaign = FaultCampaign::new(
+        seed,
+        CampaignConfig {
+            transient_rate: 0.25,
+            burst_rate: 0.0,
+            burst_len: 0,
+            stuck_rate: 0.6,
+            max_stuck,
+        },
+    );
+    let mut cluster = PimClusterBuilder::new(shards, 30, 3)
+        .retire_after(retire_after)
+        .max_retries(max_retries)
+        .shard_fault_hook(0, move |pm| campaign.strike(pm))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let program = cluster
+        .compile(&netlist.to_nor())
+        .map_err(|e| e.to_string())?;
+
+    let (mut resolved, mut wrong, mut failed, mut retries) = (0usize, 0usize, 0usize, 0u64);
+    let mut pending: Vec<(Ticket, usize)> = Vec::new();
+    for v in 0..requests {
+        let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+        pending.push((
+            cluster
+                .submit(&program, inputs)
+                .map_err(|e| e.to_string())?,
+            v,
+        ));
+        // Flush in small waves so the storm strikes many batches and the
+        // escalation ladder (scrub -> retry -> retire) has rounds to act.
+        if pending.len() == 32 || v + 1 == requests {
+            let outcome = cluster.flush().map_err(|e| e.to_string())?;
+            retries += outcome.retries;
+            failed += outcome.failed.len();
+            for (ticket, v) in pending.drain(..) {
+                let inputs: Vec<bool> = (0..3).map(|i| v >> i & 1 != 0).collect();
+                if let Some(outputs) = outcome.outputs_for(ticket) {
+                    resolved += 1;
+                    if outputs != netlist.eval(&inputs).as_slice() {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let snap = cluster.health();
+    println!(
+        "traffic:        {requests} submitted, {resolved} resolved, {failed} dead-lettered, {retries} retries"
+    );
+    println!("wrong outputs:  {wrong}");
+    println!(
+        "cluster:        {} flushes, {} scrub waves, retries {} / dead letters {}",
+        snap.flushes, snap.scrub_waves, snap.retries, snap.dead_letters
+    );
+    println!("shard  state        checked  corrected  uncorrect  scrubs  retired-lines");
+    for (i, s) in snap.shards.iter().enumerate() {
+        println!(
+            "{i:>5}  {:<11}  {:>7}  {:>9}  {:>9}  {:>6}  {:>13}",
+            format!("{:?}", s.state).to_lowercase(),
+            s.checked,
+            s.corrected,
+            s.uncorrectable,
+            s.scrubs,
+            s.retired_lines
+        );
+    }
+    let q = snap.queue_latency;
+    let x = snap.execute_latency;
+    println!(
+        "latency:        queue p50 {:?} p99 {:?} | execute p50 {:?} p99 {:?} (cumulative over attempts)",
+        q.p50, q.p99, x.p50, x.p99
+    );
+    if wrong > 0 {
+        return Err(format!(
+            "{wrong} resolved ticket(s) differ from the fault-free reference"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -147,6 +269,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(rest),
         "bench" => cmd_bench(rest),
         "area" => cmd_area(rest),
+        "health" => cmd_health(rest),
         _ => return usage(),
     };
     match result {

@@ -60,6 +60,20 @@ pub enum ClusterError {
         /// Sequence number of the unserved ticket.
         ticket: u64,
     },
+    /// A request was dead-lettered: every allowed attempt executed on
+    /// lines with uncorrectable ECC verdicts, so no verified-correct
+    /// output exists. The request itself is well-formed — resubmitting it
+    /// is safe and, after the struck lines retire, usually succeeds.
+    RequestFailed {
+        /// Sequence number of the failed ticket.
+        ticket: u64,
+        /// Attempts made before giving up (`1 + max_retries`).
+        attempts: u32,
+    },
+    /// The line-retirement threshold must be at least one strike
+    /// (leave [`retire_after`](crate::cluster::PimClusterBuilder::retire_after)
+    /// unset to disable retirement instead).
+    ZeroRetireAfter,
     /// A per-shard policy override names a shard the cluster does not have.
     ShardOutOfRange {
         /// The offending shard index.
@@ -142,6 +156,17 @@ impl fmt::Display for ClusterError {
                     f,
                     "ticket#{ticket} will never be served (dropped by a failed flush or already claimed)"
                 )
+            }
+            ClusterError::RequestFailed { ticket, attempts } => {
+                write!(
+                    f,
+                    "ticket#{ticket} failed after {attempts} attempt(s): every attempt \
+                     landed on lines with uncorrectable ECC verdicts and no \
+                     verified-correct output exists (safe to resubmit)"
+                )
+            }
+            ClusterError::ZeroRetireAfter => {
+                write!(f, "retirement threshold must be at least one strike")
             }
             ClusterError::ShardOutOfRange { shard, shards } => {
                 write!(f, "shard {shard} out of range for a {shards}-shard cluster")

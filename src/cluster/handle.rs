@@ -18,7 +18,7 @@
 
 use super::error::ClusterError;
 use super::health::HealthSnapshot;
-use super::outcome::{ClusterOutcome, TicketResult};
+use super::outcome::{ClusterOutcome, FailedRequest, TicketResult};
 use super::queue::{self, Pending, PendingPartitioned};
 use super::service::{
     validate_partitioned, validate_submission, ClusterCore, FlushReport, ServiceConfig,
@@ -56,6 +56,12 @@ struct Board {
     results: BTreeMap<u64, TicketResult>,
     /// Tickets a failed flush abandoned, with that flush's error.
     dropped: HashMap<u64, ClusterError>,
+    /// Dead-lettered requests: tickets whose every dispatch attempt drew
+    /// an uncorrectable ECC verdict. Resolved (to
+    /// [`ClusterError::RequestFailed`]) exactly once across waits and
+    /// drains, like results. A `BTreeMap` so a bulk drain comes out
+    /// sorted by ticket.
+    failed: BTreeMap<u64, FailedRequest>,
     /// Aggregate accounting (stats, clocks, waves, shard reports) of
     /// every flush published since the last drain; its `results` vector
     /// stays empty — per-ticket results live in the map above so waits
@@ -82,6 +88,7 @@ impl Shared {
             state: Mutex::new(Board {
                 results: BTreeMap::new(),
                 dropped: HashMap::new(),
+                failed: BTreeMap::new(),
                 bank: ClusterOutcome::empty(shards),
                 inflight: 0,
                 resolved_below: 0,
@@ -116,12 +123,17 @@ impl Shared {
             dropped,
             error,
         } = report;
-        let resolved = outcome.results.len() + dropped.len();
+        // Dead letters resolve their tickets (to an explicit error) the
+        // same way results do; they move onto the board, not into the
+        // bank, so waits and drains claim each exactly once.
+        let failed = std::mem::take(&mut outcome.failed);
+        let resolved = outcome.results.len() + dropped.len() + failed.len();
         let resolved_below = outcome
             .results
             .iter()
             .map(|r| r.ticket.id())
             .chain(dropped.iter().map(|t| t.id()))
+            .chain(failed.iter().map(|f| f.ticket.id()))
             .max()
             .map(|max| max + 1);
         let mut board = self.lock();
@@ -130,6 +142,9 @@ impl Shared {
         }
         for result in outcome.results.drain(..) {
             board.results.insert(result.ticket.id(), result);
+        }
+        for f in failed {
+            board.failed.insert(f.ticket.id(), f);
         }
         board.bank.merge(outcome);
         if let Some(error) = error {
@@ -272,6 +287,10 @@ impl Ticket {
     ///
     /// * [`ClusterError::Shard`] — the flush that should have served this
     ///   ticket failed before dispatching it;
+    /// * [`ClusterError::RequestFailed`] — the request was dead-lettered:
+    ///   every allowed attempt executed on lines with uncorrectable ECC
+    ///   verdicts, so no verified-correct output exists (resubmitting is
+    ///   safe);
     /// * [`ClusterError::WorkerPoisoned`] — the worker thread panicked;
     /// * [`ClusterError::TicketUnserved`] — this ticket's result was
     ///   already claimed (waited twice, or collected by a
@@ -318,6 +337,9 @@ impl Ticket {
             if let Some(error) = board.dropped.remove(&self.id.id()) {
                 return Err(error);
             }
+            if let Some(f) = board.failed.remove(&self.id.id()) {
+                return Err(f.error());
+            }
             if self.id.id() < board.resolved_below {
                 // Resolved but no longer on the board: already claimed by
                 // an earlier wait or a drain.
@@ -356,6 +378,9 @@ impl Ticket {
         }
         if let Some(error) = board.dropped.remove(&self.id.id()) {
             return Err(error);
+        }
+        if let Some(f) = board.failed.remove(&self.id.id()) {
+            return Err(f.error());
         }
         if self.id.id() < board.resolved_below {
             return Err(ClusterError::TicketUnserved {
@@ -844,6 +869,9 @@ impl ClusterHandle {
         let shards = board.bank.shard_reports.len();
         let mut outcome = std::mem::replace(&mut board.bank, ClusterOutcome::empty(shards));
         outcome.results = std::mem::take(&mut board.results).into_values().collect();
+        // Unclaimed dead letters ride out with the drain (BTreeMap keeps
+        // them ticket-sorted), each exactly once like any result.
+        outcome.failed = std::mem::take(&mut board.failed).into_values().collect();
         Ok(outcome)
     }
 

@@ -92,6 +92,10 @@ pub struct ShardHealth {
     pub window_errors: u64,
     /// Blocks checked inside the rolling window.
     pub window_checked: u64,
+    /// Physical lines permanently retired on this shard (both axes
+    /// summed) — capacity the placement planner no longer offers. See
+    /// [`RetiredLines`](crate::device::RetiredLines).
+    pub retired_lines: u64,
 }
 
 impl ShardHealth {
@@ -212,6 +216,15 @@ pub struct HealthSnapshot {
     pub requests: u64,
     /// Background scrub passes run across all shards.
     pub scrub_waves: u64,
+    /// Suppressed-and-requeued dispatch attempts over the service's
+    /// lifetime: each one is a ticket whose batch drew an uncorrectable
+    /// ECC verdict on its lines and was granted a fresh placement.
+    pub retries: u64,
+    /// Requests dead-lettered as
+    /// [`ClusterError::RequestFailed`](crate::cluster::ClusterError::RequestFailed)
+    /// after exhausting their retry budget — every one an explicit error
+    /// in place of a silently wrong answer.
+    pub dead_letters: u64,
     /// The auto-flush deadline currently in force — the configured
     /// `flush_after` scaled by the adaptive controller (`None` without a
     /// deadline).
@@ -318,6 +331,8 @@ pub(crate) struct HealthMonitor {
     flushes: u64,
     requests: u64,
     scrub_waves: u64,
+    retries: u64,
+    dead_letters: u64,
     /// Round-robin cursor of the scrub scheduler.
     scrub_cursor: usize,
     /// Adaptive multiplier on the base deadline, clamped to
@@ -345,6 +360,8 @@ impl HealthMonitor {
             flushes: 0,
             requests: 0,
             scrub_waves: 0,
+            retries: 0,
+            dead_letters: 0,
             scrub_cursor: 0,
             deadline_scale: 1.0,
             flush_after,
@@ -387,6 +404,8 @@ impl HealthMonitor {
         let active = self.active_shards().len();
         self.flushes += 1;
         self.requests += outcome.results.len() as u64;
+        self.retries += outcome.retries;
+        self.dead_letters += outcome.failed.len() as u64;
         for (i, report) in outcome.shard_reports.iter().enumerate() {
             if report.batches == 0 {
                 continue;
@@ -486,6 +505,13 @@ impl HealthMonitor {
         }
     }
 
+    /// Updates one shard's retired-capacity gauge from its device-side
+    /// [`RetiredLines`](crate::device::RetiredLines) ledger — called
+    /// after every flush and scrub, where retirements happen.
+    pub(crate) fn set_retired(&mut self, shard: usize, lines: u64) {
+        self.shards[shard].health.retired_lines = lines;
+    }
+
     /// Manually quarantines (or releases) a shard — the operator override
     /// behind [`PimCluster::set_quarantined`](crate::cluster::PimCluster::set_quarantined).
     pub(crate) fn force_quarantine(&mut self, shard: usize, quarantined: bool) {
@@ -537,6 +563,8 @@ impl HealthMonitor {
             flushes: self.flushes,
             requests: self.requests,
             scrub_waves: self.scrub_waves,
+            retries: self.retries,
+            dead_letters: self.dead_letters,
             effective_flush_after: self.effective_deadline(),
         }
     }
@@ -786,8 +814,10 @@ mod tests {
                     line: i,
                     offset: 0,
                     outputs: Vec::new(),
+                    attempts: 1,
                     queue_latency: Duration::ZERO,
                     execute_latency: Duration::ZERO,
+                    attempt_latencies: vec![Duration::ZERO],
                 })
                 .collect();
             o

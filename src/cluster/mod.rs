@@ -125,7 +125,7 @@ pub use handle::ClusterHandle;
 pub use health::{
     default_scrub_period, scrub_period_for, HealthSnapshot, LatencyStats, ShardHealth, ShardState,
 };
-pub use outcome::{ClusterOutcome, ShardReport, TicketResult};
+pub use outcome::{ClusterOutcome, FailedRequest, ShardReport, TicketResult};
 pub use queue::{Ticket, TicketRange};
 pub use scheduler::AxisPolicy;
 
@@ -185,6 +185,8 @@ pub struct PimClusterBuilder {
     adaptive_deadline: bool,
     engine: SimEngine,
     threads: usize,
+    max_retries: Option<u32>,
+    retire_after: Option<u32>,
 }
 
 impl std::fmt::Debug for PimClusterBuilder {
@@ -210,6 +212,8 @@ impl std::fmt::Debug for PimClusterBuilder {
             .field("adaptive_deadline", &self.adaptive_deadline)
             .field("engine", &self.engine)
             .field("threads", &self.threads)
+            .field("max_retries", &self.max_retries)
+            .field("retire_after", &self.retire_after)
             .finish()
     }
 }
@@ -239,6 +243,8 @@ impl PimClusterBuilder {
             adaptive_deadline: false,
             engine: SimEngine::default(),
             threads: 1,
+            max_retries: None,
+            retire_after: None,
         }
     }
 
@@ -433,6 +439,34 @@ impl PimClusterBuilder {
         self
     }
 
+    /// Re-dispatches granted to a request whose batch drew an
+    /// uncorrectable ECC verdict on its lines (robustness knob, both
+    /// front-ends; default: 2). A suspect ticket's outputs are **always**
+    /// suppressed — this knob only sets how many fresh placements (next
+    /// wave, preferring a different shard) are tried before the ticket
+    /// dead-letters as [`ClusterError::RequestFailed`]. `max_retries(0)`
+    /// dead-letters on the first uncorrectable verdict; no setting ever
+    /// resolves a suspect output.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Line-retirement threshold (robustness knob, both front-ends):
+    /// a block-line accused of uncorrectable errors by `strikes` distinct
+    /// scrubs or batch checks is retired — removed from every future
+    /// placement on both axes, its capacity deducted from the shard's
+    /// utilization denominator. Unset by default (lines never retire);
+    /// `0` is rejected at build time with
+    /// [`ClusterError::ZeroRetireAfter`]. See
+    /// [`RetiredLines`](crate::device::RetiredLines) for the evidence
+    /// streams and [the health module](health) for how retirement
+    /// composes with whole-shard quarantine.
+    pub fn retire_after(mut self, strikes: u32) -> Self {
+        self.retire_after = Some(strikes);
+        self
+    }
+
     /// Enables the adaptive `flush_after` controller (service-only SLO
     /// knob): the worker scales the configured
     /// [`flush_after`](PimClusterBuilder::flush_after) deadline with
@@ -521,6 +555,9 @@ impl PimClusterBuilder {
         if self.adaptive_deadline && self.flush_after.is_none() {
             return Err(ClusterError::AdaptiveWithoutDeadline);
         }
+        if self.retire_after == Some(0) {
+            return Err(ClusterError::ZeroRetireAfter);
+        }
         if let Some(shard) = self
             .check_overrides
             .iter()
@@ -557,6 +594,9 @@ impl PimClusterBuilder {
                 .coverage(coverage)
                 .engine(self.engine)
                 .threads(self.threads);
+            if let Some(strikes) = self.retire_after {
+                builder = builder.retire_after(strikes);
+            }
             if let Some(hook) = hook {
                 builder = builder.on_batch_loaded(hook);
             }
@@ -583,6 +623,7 @@ impl PimClusterBuilder {
             batch_limit,
             pack_limit: self.pack_limit.unwrap_or(usize::MAX),
             axis_policy: self.axis_policy,
+            max_retries: self.max_retries.unwrap_or(2),
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),
@@ -780,6 +821,8 @@ impl PimCluster {
             .scrub_pass()
             .map_err(|source| ClusterError::Shard { shard, source })?;
         self.core.health.note_scrub(shard, &report.check);
+        let retired = self.core.shards[shard].retired().retired_physical_lines();
+        self.core.health.set_retired(shard, retired as u64);
         Ok(report)
     }
 
@@ -1851,6 +1894,7 @@ mod tests {
             batch_limit: 30,
             pack_limit: usize::MAX,
             axis_policy: AxisPolicy::default(),
+            max_retries: 2,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),
@@ -1886,6 +1930,7 @@ mod tests {
             batch_limit: 30,
             pack_limit: usize::MAX,
             axis_policy: AxisPolicy::default(),
+            max_retries: 2,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),

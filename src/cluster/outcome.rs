@@ -1,5 +1,6 @@
 //! Cluster outcomes: per-ticket results plus whole-cluster accounting.
 
+use super::error::ClusterError;
 use super::queue::Ticket;
 use crate::device::Axis;
 use pimecc_core::{CheckReport, MachineStats};
@@ -32,12 +33,21 @@ pub struct TicketResult {
     pub offset: usize,
     /// The program's primary outputs for this request.
     pub outputs: Vec<bool>,
-    /// Host wall-clock time the request sat in the queue: submission to
-    /// the dispatch of the wave that served it. Excluded from equality.
+    /// Execution attempts this result took: `1` for the common untouched
+    /// request, `1 + k` when `k` waves suppressed it over uncorrectable
+    /// input verdicts before a clean wave served it.
+    pub attempts: u32,
+    /// Host wall-clock time the request sat in the queue, **cumulative
+    /// across attempts**: original submission to the dispatch of the wave
+    /// that finally served it. Excluded from equality.
     pub queue_latency: Duration,
-    /// Host wall-clock time the serving batch spent executing on its
-    /// shard. Excluded from equality.
+    /// Host wall-clock execute time, **cumulative across attempts** (the
+    /// sum of `attempt_latencies`) — what the caller actually waited on
+    /// shards, not just the final clean batch. Excluded from equality.
     pub execute_latency: Duration,
+    /// Per-attempt execute latency, oldest first (`attempts` entries).
+    /// Excluded from equality.
+    pub attempt_latencies: Vec<Duration>,
 }
 
 impl PartialEq for TicketResult {
@@ -50,10 +60,37 @@ impl PartialEq for TicketResult {
             && self.line == other.line
             && self.offset == other.offset
             && self.outputs == other.outputs
+            && self.attempts == other.attempts
     }
 }
 
 impl Eq for TicketResult {}
+
+/// A request the cluster gave up on: every allowed attempt landed on
+/// lines with uncorrectable check verdicts, so no trustworthy output
+/// exists. Surfaced in [`ClusterOutcome::failed`] (sync front-end) and as
+/// [`ClusterError::RequestFailed`] from
+/// [`Ticket::wait`](crate::cluster::handle::Ticket::wait) /
+/// [`ClusterHandle::drain`](crate::cluster::handle::ClusterHandle::drain)
+/// (service front-end) — the dead-letter half of the no-silently-wrong-
+/// answers contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRequest {
+    /// The submission that failed.
+    pub ticket: Ticket,
+    /// Attempts made before giving up (`1 + max_retries`).
+    pub attempts: u32,
+}
+
+impl FailedRequest {
+    /// The explicit error this dead-letter resolves to.
+    pub fn error(&self) -> ClusterError {
+        ClusterError::RequestFailed {
+            ticket: self.ticket.id(),
+            attempts: self.attempts,
+        }
+    }
+}
 
 /// One shard's share of a flush.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,6 +181,14 @@ pub struct ClusterOutcome {
     pub waves: usize,
     /// Per-shard share of the flush, indexed by shard.
     pub shard_reports: Vec<ShardReport>,
+    /// Requests that exhausted their retry budget, sorted by ticket.
+    /// These tickets have **no** entry in `results` — they resolve to an
+    /// explicit error instead of an output.
+    pub failed: Vec<FailedRequest>,
+    /// Re-dispatches performed: suppressed suspect results that were sent
+    /// back to a later wave (each retried ticket counts once per extra
+    /// attempt).
+    pub retries: u64,
 }
 
 impl ClusterOutcome {
@@ -156,6 +201,8 @@ impl ClusterOutcome {
             wall_mem_cycles: 0,
             waves: 0,
             shard_reports: vec![ShardReport::default(); shards],
+            failed: Vec::new(),
+            retries: 0,
         }
     }
 
@@ -163,6 +210,9 @@ impl ClusterOutcome {
     /// combine auto-flushed waves with the final explicit flush.
     pub(crate) fn merge(&mut self, other: ClusterOutcome) {
         self.results.extend(other.results);
+        self.failed.extend(other.failed);
+        self.failed.sort_by_key(|f| f.ticket);
+        self.retries += other.retries;
         self.stats += other.stats;
         self.input_check += other.input_check;
         self.gate_evals += other.gate_evals;
@@ -267,8 +317,10 @@ mod tests {
             line: ticket as usize,
             offset: 0,
             outputs: vec![ticket % 2 == 0],
+            attempts: 1,
             queue_latency: Duration::ZERO,
             execute_latency: Duration::ZERO,
+            attempt_latencies: vec![Duration::ZERO],
         }
     }
 
@@ -278,10 +330,16 @@ mod tests {
         let mut b = result(3);
         b.queue_latency = Duration::from_millis(7);
         b.execute_latency = Duration::from_micros(11);
+        b.attempt_latencies = vec![Duration::from_micros(11)];
         assert_eq!(a, b, "latencies are measurements, not identity");
         let mut c = result(3);
         c.offset = 1;
         assert_ne!(a, c);
+        // Attempt counts *are* identity: a retried result is a different
+        // scheduling outcome than a first-try one.
+        let mut d = result(3);
+        d.attempts = 2;
+        assert_ne!(a, d);
     }
 
     #[test]
@@ -319,8 +377,24 @@ mod tests {
         b.shard_reports[1].cells_occupied = 30;
         b.shard_reports[1].cell_capacity = 900;
 
+        a.failed.push(FailedRequest {
+            ticket: Ticket(7),
+            attempts: 3,
+        });
+        b.retries = 2;
+        b.failed.push(FailedRequest {
+            ticket: Ticket(5),
+            attempts: 3,
+        });
+
         a.merge(b);
         assert_eq!(a.requests(), 2);
+        assert_eq!(a.retries, 2);
+        assert_eq!(
+            a.failed.iter().map(|f| f.ticket).collect::<Vec<_>>(),
+            vec![Ticket(5), Ticket(7)],
+            "dead-letters merge sorted by ticket"
+        );
         assert_eq!(a.wall_mem_cycles, 140);
         assert_eq!(a.waves, 2);
         assert_eq!(a.gate_evals, 80);

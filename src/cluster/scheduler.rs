@@ -28,9 +28,10 @@
 //! placements and results.
 
 use super::error::ClusterError;
-use super::outcome::{ClusterOutcome, TicketResult};
+use super::outcome::{ClusterOutcome, FailedRequest, TicketResult};
 use super::queue::{Group, Ticket};
 use crate::device::{Axis, BatchOutcome, CompiledProgram, DeviceError, PimDevice, PlacementPlan};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// How the cluster orients its dispatch waves on the crossbars.
@@ -86,6 +87,11 @@ pub(crate) struct PackingKnobs {
     /// rotation advances across flushes, not just inside one (per-flush
     /// wave indices restart at zero).
     pub(crate) origin_base: usize,
+    /// Re-dispatches granted to a ticket whose batch reported an
+    /// uncorrectable pre-check verdict on its lines, before the ticket is
+    /// dead-lettered as [`ClusterError::RequestFailed`]. Zero means
+    /// suspect outputs are still suppressed — they just fail immediately.
+    pub(crate) max_retries: u32,
 }
 
 impl PackingKnobs {
@@ -109,6 +115,21 @@ struct WaveJob {
     inputs: Vec<Vec<bool>>,
     /// Lines the spread pass reserved (slots at the wave's fill origin).
     lines: usize,
+    /// Retired physical lines of the shard on the wave's axis (ascending)
+    /// — the plan routes around them, and the capacity accounting
+    /// excludes them from the denominator.
+    avoid: Vec<usize>,
+}
+
+/// Per-ticket retry bookkeeping, local to one `run_waves` call: a ticket
+/// appears here only while it has at least one suppressed attempt behind
+/// it and has not yet been served or dead-lettered.
+#[derive(Default)]
+struct RetryState {
+    /// Suppressed attempts so far.
+    attempts: u32,
+    /// Execute latency of each suppressed attempt, oldest first.
+    latencies: Vec<Duration>,
 }
 
 /// Executes `groups` to completion over the `active` subset of `shards`
@@ -138,25 +159,83 @@ pub(crate) fn run_waves(
         active.windows(2).all(|w| w[0] < w[1]) && active.iter().all(|&s| s < shards.len()),
         "active shard list must be strictly ascending and in range"
     );
+    // Tickets with suppressed attempts behind them, keyed by ticket id.
+    // The table lives for one flush only: a requeued ticket is always
+    // re-dispatched (or dead-lettered) before `run_waves` returns.
+    let mut retry: HashMap<u64, RetryState> = HashMap::new();
+    // Rotation applied to the active shard list: bumped after every wave
+    // that suppressed at least one ticket, so a retried ticket's next
+    // attempt prefers a different shard (fresh lines, independent fault
+    // plane). A fault-free flush never rotates — the plans are identical
+    // to a cluster that has no retry machinery at all.
+    let mut spin = 0usize;
+    // Waves skipped because the current axis had no serviceable lines
+    // left (every active shard fully retired on that axis). One skip
+    // re-plans on the other axis; a second consecutive skip means the
+    // cluster is out of capacity on both axes and the remaining traffic
+    // is dead-lettered rather than looped on forever.
+    let mut skipped = 0usize;
     loop {
-        let jobs = plan_wave(groups, active, knobs, outcome.waves);
+        let wave = outcome.waves + skipped;
+        let jobs = plan_wave(shards, groups, active, knobs, wave, spin);
         if jobs.is_empty() {
-            break;
+            if groups.iter().map(Group::remaining).sum::<usize>() == 0 {
+                break;
+            }
+            skipped += 1;
+            if skipped >= 2 {
+                // No line anywhere can hold a request: fail the
+                // remainder explicitly instead of spinning.
+                for g in groups.iter_mut() {
+                    let n = g.remaining();
+                    let (tickets, _inputs) = g.take(n);
+                    for (ticket, _submitted_at) in tickets {
+                        let attempts = retry.remove(&ticket.id()).map_or(0, |s| s.attempts);
+                        outcome.failed.push(FailedRequest { ticket, attempts });
+                    }
+                }
+                break;
+            }
+            continue;
         }
-        dispatch_wave(shards, jobs, knobs, outcome)?;
+        skipped = 0;
+        let retries_before = outcome.retries;
+        dispatch_wave(shards, groups, jobs, knobs, outcome, &mut retry, wave)?;
+        if outcome.retries > retries_before {
+            spin += 1;
+        }
     }
     outcome.results.sort_by_key(|r| r.ticket);
+    outcome.failed.sort_by_key(|f| f.ticket);
     Ok(())
 }
 
 /// Plans one wave (see the [module docs](self) for the two passes) over
-/// the `active` shard indices.
+/// the `active` shard indices, rotated left by `spin` so retried tickets
+/// prefer a different shard, and routing around each shard's retired
+/// lines on the wave's axis.
 fn plan_wave(
+    shards: &[PimDevice],
     groups: &mut [Group],
     active: &[usize],
     knobs: PackingKnobs,
     wave: usize,
+    spin: usize,
 ) -> Vec<(WaveJob, PlacementPlan)> {
+    let axis = knobs.axis_policy.axis_for(wave);
+    let mut rotated: Vec<usize> = Vec::with_capacity(active.len());
+    if !active.is_empty() {
+        let cut = spin % active.len();
+        rotated.extend_from_slice(&active[cut..]);
+        rotated.extend_from_slice(&active[..cut]);
+    }
+    // Retired physical lines per rotated slot on this wave's axis. Each
+    // slot is planned at most once per wave, so the list is moved into
+    // its job (the empty Vec left behind is never read again).
+    let mut avoids: Vec<Vec<usize>> = rotated
+        .iter()
+        .map(|&s| shards[s].retired().avoid_lines(axis))
+        .collect();
     let mut jobs: Vec<WaveJob> = Vec::new();
     let mut slot = 0;
     // Pass 1 — spread: one-request-per-line chunks, breadth-first over the
@@ -164,18 +243,26 @@ fn plan_wave(
     // one wave; that is the sharding win for single-program traffic.
     'groups: for (gi, g) in groups.iter_mut().enumerate() {
         while g.remaining() > 0 {
-            if slot == active.len() {
+            // Shards whose every line on this axis has retired serve
+            // nothing this wave.
+            while slot < rotated.len() && avoids[slot].len() >= knobs.line_len {
+                slot += 1;
+            }
+            if slot == rotated.len() {
                 break 'groups;
             }
-            let take = g.remaining().min(knobs.batch_limit);
+            let avoid = std::mem::take(&mut avoids[slot]);
+            let avail = knobs.line_len - avoid.len();
+            let take = g.remaining().min(knobs.batch_limit).min(avail);
             let (tickets, inputs) = g.take(take);
             jobs.push(WaveJob {
-                shard: active[slot],
+                shard: rotated[slot],
                 group: gi,
                 program: g.program.clone(),
                 tickets,
                 inputs,
                 lines: take,
+                avoid,
             });
             slot += 1;
         }
@@ -197,8 +284,8 @@ fn plan_wave(
         job.tickets.extend(tickets);
         job.inputs.extend(inputs);
     }
-    let axis = knobs.axis_policy.axis_for(wave);
-    jobs.into_iter()
+    let mut planned: Vec<(WaveJob, PlacementPlan)> = jobs
+        .into_iter()
         .map(|job| {
             // The slot-offset fill origin rotates with the pool-lifetime
             // wave index (origin_base counts earlier flushes): successive
@@ -208,7 +295,7 @@ fn plan_wave(
             // function of the wave's position in the submission history,
             // so the plan — and the determinism guarantee — is unchanged
             // in kind.
-            let plan = PlacementPlan::pack_rotated(
+            let plan = PlacementPlan::pack_avoiding(
                 axis,
                 knobs.line_len,
                 job.program.footprint().max(1),
@@ -216,11 +303,17 @@ fn plan_wave(
                 knobs.pack_limit,
                 job.tickets.len(),
                 knobs.origin_base + wave,
+                &job.avoid,
             )
             .expect("planned chunks fit their packed capacity by construction");
             (job, plan)
         })
-        .collect()
+        .collect();
+    // `dispatch_wave` pairs jobs with disjoint `&mut` shards in one
+    // ascending scan; the retry rotation can hand out shards in rotated
+    // order, so restore ascending order here.
+    planned.sort_by_key(|(job, _)| job.shard);
+    planned
 }
 
 /// Runs one planned wave, each busy shard on its own scoped thread, and
@@ -228,13 +321,21 @@ fn plan_wave(
 /// contribution is the *maximum* busy time over its shards — they tick in
 /// parallel. Successful batches are folded in even when a sibling shard
 /// fails; only the first error is reported.
+///
+/// Tickets whose lines drew an uncorrectable ECC verdict never yield a
+/// [`TicketResult`] here: their outputs are suppressed and they re-enter
+/// their group (`retry` carries their attempt history) or dead-letter
+/// into [`ClusterOutcome::failed`] once `knobs.max_retries` is spent.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_wave(
     shards: &mut [PimDevice],
+    groups: &mut [Group],
     jobs: Vec<(WaveJob, PlacementPlan)>,
     knobs: PackingKnobs,
     outcome: &mut ClusterOutcome,
+    retry: &mut HashMap<u64, RetryState>,
+    wave: usize,
 ) -> Result<(), ClusterError> {
-    let wave = outcome.waves;
     let dispatched_at = Instant::now();
     type Ran = (
         WaveJob,
@@ -279,13 +380,18 @@ fn dispatch_wave(
     let mut wave_wall = 0;
     let mut first_error = None;
     for (job, plan, execute_latency, result) in ran {
+        let WaveJob {
+            shard,
+            group,
+            tickets,
+            mut inputs,
+            avoid,
+            ..
+        } = job;
         let batch = match result {
             Ok(batch) => batch,
             Err(source) => {
-                first_error.get_or_insert(ClusterError::Shard {
-                    shard: job.shard,
-                    source,
-                });
+                first_error.get_or_insert(ClusterError::Shard { shard, source });
                 continue;
             }
         };
@@ -293,29 +399,70 @@ fn dispatch_wave(
         outcome.stats += batch.stats;
         outcome.input_check += batch.input_check;
         outcome.gate_evals += batch.gate_evals;
-        let report = &mut outcome.shard_reports[job.shard];
+        let report = &mut outcome.shard_reports[shard];
         report.input_check += batch.input_check;
         report.batches += 1;
-        report.requests += job.tickets.len() as u64;
+        report.requests += tickets.len() as u64;
         report.busy_mem_cycles += batch.stats.mem_cycles;
         report.gate_evals += batch.gate_evals;
+        // Capacity counts only in-service lines: retired lines leave the
+        // denominator, so utilization reflects what the shard can still
+        // hold rather than what it shipped with.
+        let in_service = knobs.line_len - avoid.len();
         report.lines_occupied += plan.lines_occupied() as u64;
-        report.line_capacity += knobs.line_len as u64;
+        report.line_capacity += in_service as u64;
         report.cells_occupied += plan.cells_occupied() as u64;
-        report.cell_capacity += (knobs.line_len * knobs.line_len) as u64;
-        for (((ticket, submitted_at), outputs), slot) in
-            job.tickets.into_iter().zip(batch.outputs).zip(plan.slots())
+        report.cell_capacity += (in_service * knobs.line_len) as u64;
+        let unc = batch.uncorrectable_input;
+        for (i, (((ticket, submitted_at), outputs), slot)) in tickets
+            .into_iter()
+            .zip(batch.outputs)
+            .zip(plan.slots())
+            .enumerate()
         {
+            if unc.as_ref().is_some_and(|u| u.covers_line(slot.line)) {
+                // An uncorrectable verdict covers this ticket's lines:
+                // the outputs cannot be vouched for, so they are
+                // suppressed — never resolved. The ticket re-enters its
+                // group for the next wave, or dead-letters explicitly
+                // once its attempt budget is spent.
+                let state = retry.entry(ticket.id()).or_default();
+                state.attempts += 1;
+                state.latencies.push(execute_latency);
+                if state.attempts > knobs.max_retries {
+                    let state = retry.remove(&ticket.id()).expect("just updated");
+                    outcome.failed.push(FailedRequest {
+                        ticket,
+                        attempts: state.attempts,
+                    });
+                } else {
+                    outcome.retries += 1;
+                    groups[group].requests.push((
+                        ticket,
+                        submitted_at,
+                        std::mem::take(&mut inputs[i]),
+                    ));
+                }
+                continue;
+            }
+            let (attempts, mut attempt_latencies) = match retry.remove(&ticket.id()) {
+                Some(state) => (state.attempts + 1, state.latencies),
+                None => (1, Vec::new()),
+            };
+            attempt_latencies.push(execute_latency);
+            let execute_total = attempt_latencies.iter().sum();
             outcome.results.push(TicketResult {
                 ticket,
-                shard: job.shard,
+                shard,
                 wave,
                 axis: plan.axis(),
                 line: slot.line,
                 offset: slot.offset,
                 outputs,
+                attempts,
                 queue_latency: dispatched_at.saturating_duration_since(submitted_at),
-                execute_latency,
+                execute_latency: execute_total,
+                attempt_latencies,
             });
         }
     }

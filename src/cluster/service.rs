@@ -8,7 +8,7 @@
 
 use super::error::ClusterError;
 use super::health::HealthMonitor;
-use super::outcome::{ClusterOutcome, TicketResult};
+use super::outcome::{ClusterOutcome, FailedRequest, TicketResult};
 use super::queue::{group_into, group_partitioned, Group, Pending, PendingPartitioned, Ticket};
 use super::scheduler::{self, AxisPolicy, PackingKnobs};
 use crate::compiler::{PartitionedProgram, RouteSource};
@@ -117,6 +117,9 @@ pub(crate) struct ClusterCore {
     pub(crate) batch_limit: usize,
     pub(crate) pack_limit: usize,
     pub(crate) axis_policy: AxisPolicy,
+    /// Re-dispatches granted to a ticket whose batch drew an
+    /// uncorrectable ECC verdict on its lines before it dead-letters.
+    pub(crate) max_retries: u32,
     /// Cluster-wide compile cache (netlist / packed / program key
     /// domains), shared in shape with the device layer.
     pub(crate) programs: ProgramCache,
@@ -193,6 +196,7 @@ impl ClusterCore {
             pack_limit: self.pack_limit,
             axis_policy: self.axis_policy,
             origin_base: self.waves_dispatched,
+            max_retries: self.max_retries,
         };
         let active = self.health.active_shards();
         let mut ran = scheduler::run_waves(
@@ -221,9 +225,14 @@ impl ClusterCore {
         // Partitioned results land after the ordinary ones but may carry
         // earlier tickets; restore the order outputs_for binary-searches.
         outcome.results.sort_by_key(|r| r.ticket);
+        outcome.failed.sort_by_key(|f| f.ticket);
         // Waves that dispatched advance the wear rotation even when a
         // later wave of the same flush failed.
         self.waves_dispatched += outcome.waves;
+        for (i, shard) in self.shards.iter().enumerate() {
+            self.health
+                .set_retired(i, shard.retired().retired_physical_lines() as u64);
+        }
         self.health.observe_flush(&outcome);
         match ran {
             Ok(()) => FlushReport {
@@ -232,7 +241,15 @@ impl ClusterCore {
                 error: None,
             },
             Err(error) => {
-                let served: HashSet<u64> = outcome.results.iter().map(|r| r.ticket.id()).collect();
+                // Dead-lettered tickets were *resolved* (to an explicit
+                // error), not dropped — only tickets with neither a
+                // result nor a failure entry were abandoned.
+                let served: HashSet<u64> = outcome
+                    .results
+                    .iter()
+                    .map(|r| r.ticket.id())
+                    .chain(outcome.failed.iter().map(|f| f.ticket.id()))
+                    .collect();
                 let dropped = self
                     .arena
                     .submitted
@@ -278,6 +295,7 @@ impl ClusterCore {
             offset: usize,
             queue_latency: Duration,
             execute_latency: Duration,
+            attempt_latencies: Vec<Duration>,
         }
 
         let nreq = requests.len();
@@ -285,6 +303,14 @@ impl ClusterCore {
         let mut part_outputs: Vec<Vec<Vec<bool>>> =
             vec![vec![Vec::new(); nreq]; program.num_parts()];
         let mut anchors: Vec<Option<Anchor>> = (0..nreq).map(|_| None).collect();
+        // Requests with a dead-lettered sub-program: the whole request
+        // fails (a partial circuit has no meaning), later levels skip it,
+        // and the caller sees one [`FailedRequest`] on the original
+        // ticket. Holds the exhausted sub-request's attempt count.
+        let mut failed_req: Vec<Option<u32>> = vec![None; nreq];
+        // Worst retry chain over a request's sub-programs — the merged
+        // result's attempt count.
+        let mut attempts_max: Vec<u32> = vec![1; nreq];
 
         for level in 0..program.num_levels() {
             let wave_base = outcome.waves;
@@ -295,6 +321,7 @@ impl ClusterCore {
                     let requests = requests
                         .iter()
                         .enumerate()
+                        .filter(|(ri, _)| failed_req[*ri].is_none())
                         .map(|(ri, (_, submitted_at, inputs))| {
                             let local: Vec<bool> = part
                                 .inputs()
@@ -323,6 +350,7 @@ impl ClusterCore {
                 pack_limit: self.pack_limit,
                 axis_policy: self.axis_policy,
                 origin_base: self.waves_dispatched + wave_base,
+                max_retries: self.max_retries,
             };
             let mut scratch = ClusterOutcome::empty(self.shards.len());
             let ran =
@@ -333,6 +361,7 @@ impl ClusterCore {
             for r in std::mem::take(&mut scratch.results) {
                 let pi = (r.ticket.id() as usize) / nreq;
                 let ri = (r.ticket.id() as usize) % nreq;
+                attempts_max[ri] = attempts_max[ri].max(r.attempts);
                 if anchors[ri].as_ref().is_none_or(|a| pi >= a.part) {
                     anchors[ri] = Some(Anchor {
                         part: pi,
@@ -343,15 +372,31 @@ impl ClusterCore {
                         offset: r.offset,
                         queue_latency: r.queue_latency,
                         execute_latency: r.execute_latency,
+                        attempt_latencies: r.attempt_latencies,
                     });
                 }
                 part_outputs[pi][ri] = r.outputs;
+            }
+            // A dead-lettered sub-request fails its whole request — the
+            // synthetic failure is translated to the original ticket (and
+            // must never leak into the caller-visible failed list).
+            for f in std::mem::take(&mut scratch.failed) {
+                let ri = (f.ticket.id() as usize) % nreq;
+                let failed = failed_req[ri].get_or_insert(0);
+                *failed = (*failed).max(f.attempts);
             }
             outcome.merge(scratch);
             ran?;
         }
 
         for (ri, (ticket, submitted_at, inputs)) in requests.iter().enumerate() {
+            if let Some(attempts) = failed_req[ri] {
+                outcome.failed.push(FailedRequest {
+                    ticket: *ticket,
+                    attempts,
+                });
+                continue;
+            }
             let outputs: Vec<bool> = program
                 .outputs()
                 .iter()
@@ -371,6 +416,7 @@ impl ClusterCore {
                 offset: 0,
                 queue_latency: submitted_at.elapsed(),
                 execute_latency: Duration::ZERO,
+                attempt_latencies: vec![Duration::ZERO],
             });
             outcome.results.push(TicketResult {
                 ticket: *ticket,
@@ -380,8 +426,10 @@ impl ClusterCore {
                 line: anchor.line,
                 offset: anchor.offset,
                 outputs,
+                attempts: attempts_max[ri],
                 queue_latency: anchor.queue_latency,
                 execute_latency: anchor.execute_latency,
+                attempt_latencies: anchor.attempt_latencies,
             });
         }
         Ok(())
@@ -396,6 +444,7 @@ impl std::fmt::Debug for ClusterCore {
             .field("batch_limit", &self.batch_limit)
             .field("pack_limit", &self.pack_limit)
             .field("axis_policy", &self.axis_policy)
+            .field("max_retries", &self.max_retries)
             .field("pending", &self.pending.len())
             .field("pending_partitioned", &self.pending_partitioned.len())
             .field("compiled_programs", &self.programs.len())

@@ -172,6 +172,8 @@ fn scrub_one(core: &mut ClusterCore) {
     let shard = core.health.next_scrub_shard();
     if let Ok(report) = core.shards[shard].scrub_pass() {
         core.health.note_scrub(shard, &report.check);
+        let retired = core.shards[shard].retired().retired_physical_lines();
+        core.health.set_retired(shard, retired as u64);
     }
 }
 

@@ -3,6 +3,33 @@
 use super::placement::{Axis, PlacementPlan, Slot};
 use pimecc_core::{CheckReport, MachineStats};
 
+/// Detail attached to a [`BatchOutcome`] when the batch's checks reported
+/// **uncorrectable** errors on block-lines the placement touched.
+///
+/// The outputs of every request whose slot sits on one of these
+/// block-lines are *suspect* — the diagonal code detected a multi-bit (or
+/// stuck-at) pattern it refused to guess-correct, so the data the program
+/// consumed or produced there cannot be trusted. Callers that previously
+/// keyed off `input_check.is_clean()` alone can now tell *which* requests
+/// are affected ([`BatchOutcome::suspect_requests`]) instead of discarding
+/// the whole batch. The cluster scheduler uses exactly this detail to
+/// suppress and retry the affected tickets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncorrectableInput {
+    /// Block-line indices (on the plan's axis) with uncorrectable
+    /// verdicts, ascending.
+    pub lines: Vec<usize>,
+    /// Block size `m`: slot line `l` belongs to block-line `l / block`.
+    pub block: usize,
+}
+
+impl UncorrectableInput {
+    /// Whether a slot on physical line `line` is affected.
+    pub fn covers_line(&self, line: usize) -> bool {
+        self.lines.binary_search(&(line / self.block)).is_ok()
+    }
+}
+
 /// Result of one batched execution
 /// ([`PimDevice::run_batch`](crate::device::PimDevice::run_batch) /
 /// [`PimDevice::run_plan`](crate::device::PimDevice::run_plan)).
@@ -26,6 +53,10 @@ pub struct BatchOutcome {
     /// Gate evaluations performed: program gate cycles × batch size, since
     /// every gate cycle evaluates once in each occupied slot.
     pub gate_evals: u64,
+    /// `Some` when a pre- or post-execution check reported uncorrectable
+    /// errors on touched block-lines: the affected requests' outputs are
+    /// suspect and must not be trusted. See [`UncorrectableInput`].
+    pub uncorrectable_input: Option<UncorrectableInput>,
 }
 
 impl BatchOutcome {
@@ -57,6 +88,21 @@ impl BatchOutcome {
         } else {
             self.gate_evals as f64 / self.stats.mem_cycles as f64
         }
+    }
+
+    /// Indices of requests whose outputs are suspect because their slots
+    /// sit on block-lines with uncorrectable check verdicts. Empty when
+    /// the batch was clean — those outputs are verified-correct.
+    pub fn suspect_requests(&self) -> Vec<usize> {
+        let Some(unc) = &self.uncorrectable_input else {
+            return Vec::new();
+        };
+        self.placement
+            .slots()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| unc.covers_line(s.line).then_some(i))
+            .collect()
     }
 
     /// MEM cycles spent per request — the batch-amortized latency.

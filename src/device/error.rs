@@ -87,6 +87,9 @@ pub enum DeviceError {
     },
     /// A builder asked for a zero-sized worker team.
     ZeroThreads,
+    /// A builder asked for retirement after zero strikes — every line
+    /// would be dead on arrival.
+    ZeroRetireAfter,
 }
 
 impl fmt::Display for DeviceError {
@@ -156,6 +159,9 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::ZeroThreads => {
                 write!(f, "worker team must have at least one thread")
+            }
+            DeviceError::ZeroRetireAfter => {
+                write!(f, "retirement threshold must be at least one strike")
             }
         }
     }

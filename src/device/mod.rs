@@ -63,12 +63,14 @@ mod batch;
 mod error;
 pub mod placement;
 mod program;
+mod retire;
 
-pub use batch::BatchOutcome;
+pub use batch::{BatchOutcome, UncorrectableInput};
 pub use error::DeviceError;
 pub use pimecc_core::SimEngine;
 pub use placement::{Axis, PlacementPlan, Slot};
 pub use program::{netlist_fingerprint, CompiledProgram};
+pub use retire::RetiredLines;
 
 pub(crate) use program::ProgramCache;
 
@@ -91,12 +93,18 @@ const _: () = {
 
 /// Telemetry of one [`PimDevice::scrub_pass`]: what the check half found
 /// (and repaired) plus the machine activity the whole pass cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 #[must_use]
 pub struct ScrubReport {
     /// The full-memory check's findings: blocks examined, single errors
-    /// corrected, uncorrectable patterns left behind.
+    /// corrected, uncorrectable patterns left behind. Blocks retired on
+    /// **both** axes are out of service and excluded from the sweep, so a
+    /// shard whose hard faults are fully retired scrubs clean again.
     pub check: CheckReport,
+    /// Blocks `(block_row, block_col)` with uncorrectable verdicts this
+    /// pass — each one struck its row *and* column line in the device's
+    /// [`RetiredLines`] ledger.
+    pub struck_blocks: Vec<(usize, usize)>,
     /// Machine activity attributable to this pass (a delta, like a
     /// batch's).
     pub stats: MachineStats,
@@ -169,6 +177,7 @@ pub struct PimDeviceBuilder {
     engine: SimEngine,
     threads: usize,
     fault_hook: Option<BatchFaultHook>,
+    retire_after: Option<u32>,
 }
 
 impl PimDeviceBuilder {
@@ -182,7 +191,21 @@ impl PimDeviceBuilder {
             engine: SimEngine::default(),
             threads: 1,
             fault_hook: None,
+            retire_after: None,
         }
+    }
+
+    /// Retires a block-line after `strikes` uncorrectable verdicts against
+    /// it (pre-/post-execution checks or scrub findings): the packer stops
+    /// placing requests on its physical lines and capacity shrinks
+    /// accordingly — flash-style bad-block management (see
+    /// [`RetiredLines`]). Default: disabled — strikes are counted but no
+    /// line is ever taken out of service. `0` is rejected at
+    /// [`PimDeviceBuilder::build`] time with
+    /// [`DeviceError::ZeroRetireAfter`].
+    pub fn retire_after(mut self, strikes: u32) -> Self {
+        self.retire_after = Some(strikes);
+        self
     }
 
     /// Number of host worker threads a fused row-parallel replay may fan
@@ -239,6 +262,9 @@ impl PimDeviceBuilder {
         if self.threads == 0 {
             return Err(DeviceError::ZeroThreads);
         }
+        if self.retire_after == Some(0) {
+            return Err(DeviceError::ZeroRetireAfter);
+        }
         let mut memory = ProtectedMemory::new(BlockGeometry::new(self.n, self.m)?)?;
         memory.set_engine(self.engine);
         if let CoveragePolicy::Uncovered(blocks) = &self.coverage {
@@ -248,6 +274,7 @@ impl PimDeviceBuilder {
         }
         memory.set_check_on_critical(matches!(self.check_policy, CheckPolicy::Paranoid));
         Ok(PimDevice {
+            retired: RetiredLines::new(self.n, self.m, self.retire_after),
             memory,
             check_policy: self.check_policy,
             threads: self.threads,
@@ -276,6 +303,7 @@ impl std::fmt::Debug for PimDeviceBuilder {
             .field("engine", &self.engine)
             .field("threads", &self.threads)
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("retire_after", &self.retire_after)
             .finish()
     }
 }
@@ -287,6 +315,8 @@ impl std::fmt::Debug for PimDeviceBuilder {
 pub struct PimDevice {
     memory: ProtectedMemory,
     check_policy: CheckPolicy,
+    /// Strike ledger and bad-line map (see [`RetiredLines`]).
+    retired: RetiredLines,
     /// Worker-team width for fused row-parallel replays.
     threads: usize,
     fault_hook: Option<BatchFaultHook>,
@@ -352,6 +382,7 @@ impl PimDevice {
     pub fn from_memory_with_policy(mut memory: ProtectedMemory, policy: CheckPolicy) -> Self {
         memory.set_check_on_critical(matches!(policy, CheckPolicy::Paranoid));
         PimDevice {
+            retired: RetiredLines::new(memory.geometry().n(), memory.geometry().m(), None),
             memory,
             check_policy: policy,
             threads: 1,
@@ -393,6 +424,14 @@ impl PimDevice {
     /// Read access to the underlying machine (stats, consistency checks).
     pub fn memory(&self) -> &ProtectedMemory {
         &self.memory
+    }
+
+    /// The device's strike ledger and bad-line map. Lines retire
+    /// automatically from recurring uncorrectable evidence when
+    /// [`PimDeviceBuilder::retire_after`] is set; schedulers read
+    /// [`RetiredLines::avoid_lines`] to pack around them.
+    pub fn retired(&self) -> &RetiredLines {
+        &self.retired
     }
 
     /// Consumes the device, returning the machine.
@@ -451,10 +490,66 @@ impl PimDevice {
     /// Infallible in practice (mirrors [`PimDevice::check_all`]).
     pub fn scrub_pass(&mut self) -> Result<ScrubReport, DeviceError> {
         let before = *self.memory.stats();
-        let check = self.memory.check_all()?;
+        let bps = self.memory.geometry().blocks_per_side();
+        let mut check;
+        let mut struck_blocks = Vec::new();
+        let fully_healthy = self.retired.retired_count(Axis::Rows) == 0
+            && self.retired.retired_count(Axis::Cols) == 0;
+        if fully_healthy {
+            // The common case sweeps the whole memory at the amortized
+            // row-read cost; only an uncorrectable verdict pays the
+            // per-block re-walk that localizes the evidence.
+            check = self.memory.check_all()?;
+            if check.uncorrectable > 0 {
+                for br in 0..bps {
+                    for bc in 0..bps {
+                        if matches!(
+                            self.memory.check_block(br, bc)?,
+                            pimecc_core::ErrorLocation::Uncorrectable
+                        ) {
+                            struck_blocks.push((br, bc));
+                        }
+                    }
+                }
+            }
+        } else {
+            // Retired territory exists: walk per block so lines retired on
+            // both axes — fully out of service — stop generating findings,
+            // which is what lets a quarantined shard scrub clean again
+            // once its hard faults are all retired.
+            check = CheckReport::default();
+            for br in 0..bps {
+                for bc in 0..bps {
+                    if !self.memory.block_covered(br, bc)
+                        || (self.retired.is_retired(Axis::Rows, br)
+                            && self.retired.is_retired(Axis::Cols, bc))
+                    {
+                        continue;
+                    }
+                    let loc = self.memory.check_block(br, bc)?;
+                    check.checked += 1;
+                    match loc {
+                        pimecc_core::ErrorLocation::None => {}
+                        pimecc_core::ErrorLocation::Uncorrectable => {
+                            check.uncorrectable += 1;
+                            struck_blocks.push((br, bc));
+                        }
+                        _ => check.corrected += 1,
+                    }
+                }
+            }
+        }
+        // Scrub evidence localizes to a block, so it strikes both of the
+        // block's lines: a quarantined shard retires its bad lines from
+        // scrubs alone, without serving a single request.
+        for &(br, bc) in &struck_blocks {
+            self.retired.strike(Axis::Rows, br);
+            self.retired.strike(Axis::Cols, bc);
+        }
         self.memory.scrub();
         Ok(ScrubReport {
             check,
+            struck_blocks,
             stats: *self.memory.stats() - before,
         })
     }
@@ -648,10 +743,13 @@ impl PimDevice {
     ) -> Result<BatchOutcome, DeviceError> {
         let stats_before = *self.memory.stats();
         let axis = plan.axis();
+        let m = self.memory.geometry().m();
 
+        // Block-lines with uncorrectable verdicts this batch: every
+        // request placed on one of them gets suspect outputs.
+        let mut suspects: Vec<usize> = Vec::new();
         let mut input_check = CheckReport::default();
         if !matches!(self.check_policy, CheckPolicy::Skip) {
-            let m = self.memory.geometry().m();
             let bps = self.memory.geometry().blocks_per_side();
             self.block_lines.clear();
             self.block_lines
@@ -664,13 +762,28 @@ impl PimDevice {
                 // the machine can sweep reading each MEM row once instead
                 // of once per column.
                 input_check = self.memory.check_all_cols()?;
+                if input_check.uncorrectable > 0 {
+                    // The sweep doesn't say *which* column is bad; only
+                    // this (rare) verdict pays a per-column re-walk to
+                    // localize the evidence. Billed honestly to the batch.
+                    for i in 0..self.block_lines.len() {
+                        let bl = self.block_lines[i];
+                        if self.memory.check_block_col(bl)?.uncorrectable > 0 {
+                            suspects.push(bl);
+                        }
+                    }
+                }
             } else {
                 for i in 0..self.block_lines.len() {
                     let bl = self.block_lines[i];
-                    input_check += match axis {
+                    let line_check = match axis {
                         Axis::Rows => self.memory.check_block_row(bl)?,
                         Axis::Cols => self.memory.check_block_col(bl)?,
                     };
+                    if line_check.uncorrectable > 0 {
+                        suspects.push(bl);
+                    }
+                    input_check += line_check;
                 }
             }
         }
@@ -794,6 +907,53 @@ impl PimDevice {
             }
         }
 
+        // Post-execution guard, *before* readback: a stuck cell inside the
+        // batch's working set corrupts data the program wrote after the
+        // pre-check passed. Free on healthy hardware (one `Vec::is_empty`
+        // probe); on a device with wedged cells, each touched block-line
+        // holding one is re-checked so single transient output flips are
+        // corrected before extraction and anything worse marks the line
+        // suspect rather than letting garbage read back as an answer.
+        if !matches!(self.check_policy, CheckPolicy::Skip) && self.memory.has_stuck_cells() {
+            for i in 0..self.block_lines.len() {
+                let bl = self.block_lines[i];
+                let wedged = match axis {
+                    Axis::Rows => self.memory.block_row_has_stuck(bl),
+                    Axis::Cols => self.memory.block_col_has_stuck(bl),
+                };
+                if !wedged {
+                    continue;
+                }
+                let out_check = match axis {
+                    Axis::Rows => self.memory.check_block_row(bl)?,
+                    Axis::Cols => self.memory.check_block_col(bl)?,
+                };
+                if out_check.uncorrectable > 0 {
+                    suspects.push(bl);
+                }
+                input_check += out_check;
+            }
+        }
+        suspects.sort_unstable();
+        suspects.dedup();
+        // Uncorrectable residue is re-encoded away *now*, before the next
+        // batch lands on these lines: a multi-bit transient pattern left
+        // in place could later alias into a "correctable" single and be
+        // repaired into consistent garbage. Each suspect line also strikes
+        // the retirement ledger — recurring evidence takes it out of
+        // service once the threshold is crossed.
+        for &bl in &suspects {
+            match axis {
+                Axis::Rows => self.memory.scrub_block_row(bl),
+                Axis::Cols => self.memory.scrub_block_col(bl),
+            }
+            self.retired.strike(axis, bl);
+        }
+        let uncorrectable_input = (!suspects.is_empty()).then_some(UncorrectableInput {
+            lines: suspects,
+            block: m,
+        });
+
         // Output readback groups consecutive output cells into runs (most
         // programs emit contiguous result words) and pulls each run as one
         // word extraction instead of per-bit probes. Readback is free in
@@ -827,6 +987,7 @@ impl PimDevice {
             input_check,
             stats: *self.memory.stats() - stats_before,
             gate_evals: program.gate_cycles() * plan.requests() as u64,
+            uncorrectable_input,
         })
     }
 

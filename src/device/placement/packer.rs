@@ -72,6 +72,46 @@ impl PlacementPlan {
         requests: usize,
         origin: usize,
     ) -> Result<Self, DeviceError> {
+        Self::pack_avoiding(
+            axis,
+            line_len,
+            slot_width,
+            line_limit,
+            per_line_cap,
+            requests,
+            origin,
+            &[],
+        )
+    }
+
+    /// [`PlacementPlan::pack_rotated`] that additionally skips the
+    /// physical lines in `avoid` — the retired-line map of flash-style
+    /// bad-block management (see
+    /// [`RetiredLines`](crate::device::RetiredLines)).
+    ///
+    /// The offset-major fill runs over *logical* lines `0..L` exactly as
+    /// in [`PlacementPlan::pack`]; logical line `l` is then mapped to the
+    /// `l`-th non-avoided physical line, so avoided lines shrink capacity
+    /// (`BatchTooLarge` reflects only the lines still in service) without
+    /// changing the fill shape. `avoid` must be sorted ascending and
+    /// deduplicated; an empty `avoid` is exactly
+    /// [`PlacementPlan::pack_rotated`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PlacementPlan::pack`], with `BatchTooLarge::rows` counting
+    /// only non-avoided admitted lines.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pack_avoiding(
+        axis: Axis,
+        line_len: usize,
+        slot_width: usize,
+        line_limit: usize,
+        per_line_cap: usize,
+        requests: usize,
+        origin: usize,
+        avoid: &[usize],
+    ) -> Result<Self, DeviceError> {
         if slot_width == 0 {
             return Err(DeviceError::ZeroSlotWidth);
         }
@@ -85,7 +125,34 @@ impl PlacementPlan {
                 n: line_len,
             });
         }
-        let lines_avail = line_limit.min(line_len);
+        debug_assert!(
+            avoid.windows(2).all(|w| w[0] < w[1]),
+            "avoid must be sorted ascending and deduplicated"
+        );
+        // Physical lines still in service, in order: logical line `l` of
+        // the fill lands on `allowed[l]`. Empty `avoid` keeps the identity
+        // mapping without allocating.
+        let allowed: Vec<usize> = if avoid.is_empty() {
+            Vec::new()
+        } else {
+            let mut next_avoided = avoid.iter().copied().peekable();
+            (0..line_len)
+                .filter(|&l| {
+                    if next_avoided.peek() == Some(&l) {
+                        next_avoided.next();
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect()
+        };
+        let in_service = if avoid.is_empty() {
+            line_len
+        } else {
+            allowed.len()
+        };
+        let lines_avail = line_limit.min(in_service);
         // Admitted fill depth vs the line's full geometric slot capacity:
         // the former caps how many requests share a line, the latter is
         // the ring the fill origin rotates over.
@@ -100,9 +167,16 @@ impl PlacementPlan {
         let lines_used = requests.min(lines_avail);
         let origin = origin % slot_columns;
         let slots = (0..requests)
-            .map(|i| Slot {
-                line: i % lines_used,
-                offset: ((origin + i / lines_used) % slot_columns) * slot_width,
+            .map(|i| {
+                let logical = i % lines_used;
+                Slot {
+                    line: if avoid.is_empty() {
+                        logical
+                    } else {
+                        allowed[logical]
+                    },
+                    offset: ((origin + i / lines_used) % slot_columns) * slot_width,
+                }
             })
             .collect();
         PlacementPlan::new(axis, line_len, slot_width, slots)
@@ -201,6 +275,74 @@ mod tests {
                 PlacementPlan::pack_rotated(Axis::Rows, 30, 7, 30, usize::MAX, requests, 4)
                     .expect("packs");
             assert_eq!(classic, wrapped, "{requests} requests, origin 4");
+        }
+    }
+
+    #[test]
+    fn avoided_lines_are_never_occupied_on_either_axis() {
+        // Retire the first block-line band (lines 0..15) of a 30-line
+        // device; every slot must land in the surviving band.
+        let avoid: Vec<usize> = (0..15).collect();
+        for axis in [Axis::Rows, Axis::Cols] {
+            let plan = PlacementPlan::pack_avoiding(axis, 30, 7, 30, usize::MAX, 12, 0, &avoid)
+                .expect("packs");
+            for (i, slot) in plan.slots().iter().enumerate() {
+                assert!(slot.line >= 15, "request {i} on retired line {}", slot.line);
+                assert_eq!((slot.line, slot.offset), (15 + i, 0), "request {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn avoided_lines_shrink_capacity_on_either_axis() {
+        // 15 of 30 lines retired, 4 slot columns: 60 slots remain.
+        let avoid: Vec<usize> = (15..30).collect();
+        for axis in [Axis::Rows, Axis::Cols] {
+            let plan = PlacementPlan::pack_avoiding(axis, 30, 7, 30, usize::MAX, 60, 0, &avoid)
+                .expect("packs");
+            assert_eq!(plan.lines_occupied(), 15);
+            assert_eq!(plan.max_per_line(), 4);
+            assert_eq!(
+                PlacementPlan::pack_avoiding(axis, 30, 7, 30, usize::MAX, 61, 0, &avoid)
+                    .unwrap_err(),
+                DeviceError::BatchTooLarge {
+                    requests: 61,
+                    rows: 15
+                },
+                "capacity must reflect only lines in service"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_avoid_list_preserves_the_fill_shape() {
+        // Avoid every other line: logical lines 0..3 map to 1, 3, 5, 7.
+        let avoid: Vec<usize> = (0..30).step_by(2).collect();
+        let plan = PlacementPlan::pack_avoiding(Axis::Rows, 30, 7, 4, usize::MAX, 8, 0, &avoid)
+            .expect("packs");
+        let lines: Vec<usize> = plan.slots().iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 3, 5, 7, 1, 3, 5, 7]);
+        assert_eq!(plan.slots()[4].offset, 7, "second offset column");
+    }
+
+    #[test]
+    fn empty_avoid_is_exactly_pack_rotated() {
+        for (requests, origin) in [(1usize, 0usize), (12, 2), (70, 5)] {
+            let classic =
+                PlacementPlan::pack_rotated(Axis::Cols, 30, 7, 30, usize::MAX, requests, origin)
+                    .expect("packs");
+            let avoiding = PlacementPlan::pack_avoiding(
+                Axis::Cols,
+                30,
+                7,
+                30,
+                usize::MAX,
+                requests,
+                origin,
+                &[],
+            )
+            .expect("packs");
+            assert_eq!(classic, avoiding, "{requests} requests, origin {origin}");
         }
     }
 

@@ -115,12 +115,14 @@ pub use pimecc_xbar as xbar;
 /// ```
 pub mod prelude {
     pub use crate::cluster::{
-        AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, HealthSnapshot, LatencyStats,
-        PimCluster, PimClusterBuilder, ShardHealth, ShardReport, ShardState, Ticket, TicketResult,
+        AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, FailedRequest, HealthSnapshot,
+        LatencyStats, PimCluster, PimClusterBuilder, ShardHealth, ShardReport, ShardState, Ticket,
+        TicketResult,
     };
     pub use crate::compiler::{PartitionedProgram, RouteSource, SubProgram};
     pub use crate::device::{
         Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
-        PimDeviceBuilder, PlacementPlan, ScrubReport, SimEngine, Slot,
+        PimDeviceBuilder, PlacementPlan, RetiredLines, ScrubReport, SimEngine, Slot,
+        UncorrectableInput,
     };
 }

@@ -4,9 +4,11 @@
 //! quarantined shards, and scrub/deadline coexistence in the worker.
 
 use pimecc::cluster::LatencyStats;
+use pimecc::core::{CampaignConfig, FaultCampaign};
 use pimecc::netlist::{Netlist, NetlistBuilder};
 use pimecc::prelude::*;
 use proptest::prelude::*;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -195,6 +197,378 @@ fn background_scrubs_coexist_with_deadline_flushes() {
     };
     assert!(grown > before);
     handle.close().expect("closes");
+}
+
+#[test]
+fn uncorrectable_precheck_retries_to_a_verified_answer() {
+    // One double-bit strike on shard 0's block (0,0) before the first
+    // wave: the pre-execution check reports the pattern uncorrectable,
+    // the affected tickets are suppressed and re-dispatched, and every
+    // request still resolves with bit-exact outputs — retried tickets
+    // carrying their attempt accounting.
+    let (nor, nl) = xor_circuit();
+    let armed = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&armed);
+    let mut cluster = PimClusterBuilder::new(2, 30, 3)
+        .retire_after(1)
+        .shard_fault_hook(0, move |pm| {
+            if flag.swap(false, Ordering::Relaxed) {
+                pm.inject_fault(0, 0);
+                pm.inject_fault(0, 1);
+            }
+        })
+        .build()
+        .expect("builds");
+    let p = cluster.compile(&nor).expect("compiles");
+    let mut expected: HashMap<u64, Vec<bool>> = HashMap::new();
+    for v in 0..64u32 {
+        let inputs = vec![v & 1 != 0, v & 2 != 0];
+        let t = cluster.submit(&p, inputs.clone()).expect("submits");
+        expected.insert(t.id(), nl.eval(&inputs));
+    }
+    let outcome = cluster.flush().expect("flushes");
+
+    assert!(
+        outcome.failed.is_empty(),
+        "one strike must not exhaust the retry budget"
+    );
+    assert_eq!(outcome.results.len(), 64);
+    assert!(
+        outcome.retries >= 1,
+        "the uncorrectable verdict must suppress and re-dispatch"
+    );
+    let mut retried = 0u64;
+    for r in &outcome.results {
+        assert_eq!(
+            r.outputs,
+            expected[&r.ticket.id()],
+            "ticket #{} resolved with corrupt outputs",
+            r.ticket.id()
+        );
+        assert_eq!(
+            r.attempt_latencies.len(),
+            r.attempts as usize,
+            "one latency sample per attempt"
+        );
+        assert_eq!(
+            r.execute_latency,
+            r.attempt_latencies.iter().sum(),
+            "execute latency is cumulative across attempts"
+        );
+        if r.attempts > 1 {
+            retried += 1;
+        }
+    }
+    assert!(
+        retried >= 1,
+        "some ticket must have needed a second attempt"
+    );
+    assert!(outcome.retries >= retried);
+
+    // `retire_after(1)`: the single uncorrectable verdict already takes
+    // the struck block-line out of service, and the ledger surfaces it.
+    let snap = cluster.health();
+    assert!(snap.shards[0].retired_lines >= 1, "evidence must retire");
+    assert_eq!(snap.shards[1].retired_lines, 0);
+    assert_eq!(snap.retries, outcome.retries);
+    assert_eq!(snap.dead_letters, 0);
+}
+
+#[test]
+fn max_retries_zero_dead_letters_suspect_tickets() {
+    // With no retry budget, a suppressed ticket dead-letters immediately:
+    // it never resolves with outputs, surfaces as an explicit
+    // `RequestFailed`, and the untouched tickets of the same wave still
+    // verify bit-exact.
+    let (nor, nl) = xor_circuit();
+    let armed = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&armed);
+    let mut cluster = PimClusterBuilder::new(1, 30, 3)
+        .max_retries(0)
+        .shard_fault_hook(0, move |pm| {
+            if flag.swap(false, Ordering::Relaxed) {
+                pm.inject_fault(0, 0);
+                pm.inject_fault(0, 1);
+            }
+        })
+        .build()
+        .expect("builds");
+    let p = cluster.compile(&nor).expect("compiles");
+    let mut expected: HashMap<u64, Vec<bool>> = HashMap::new();
+    for v in 0..8u32 {
+        let inputs = vec![v & 1 != 0, v & 2 != 0];
+        let t = cluster.submit(&p, inputs.clone()).expect("submits");
+        expected.insert(t.id(), nl.eval(&inputs));
+    }
+    let outcome = cluster.flush().expect("flushes");
+
+    // The double fault sits in one block, so exactly one block-line (m=3
+    // physical lines, all occupied by this 8-request wave) is suspect.
+    assert_eq!(outcome.failed.len(), 3);
+    assert_eq!(outcome.results.len(), 5);
+    assert_eq!(outcome.retries, 0);
+    for f in &outcome.failed {
+        assert_eq!(f.attempts, 1, "no budget means a single attempt");
+        assert!(
+            matches!(
+                f.error(),
+                ClusterError::RequestFailed { ticket, attempts: 1 } if ticket == f.ticket.id()
+            ),
+            "dead letters surface as explicit RequestFailed"
+        );
+        assert!(
+            !outcome.results.iter().any(|r| r.ticket == f.ticket),
+            "a dead-lettered ticket must never also resolve with outputs"
+        );
+    }
+    for r in &outcome.results {
+        assert_eq!(r.outputs, expected[&r.ticket.id()]);
+        assert_eq!(r.attempts, 1);
+    }
+    assert_eq!(cluster.health().dead_letters, 3);
+}
+
+#[test]
+fn persistent_uncorrectable_lines_exhaust_retries_into_dead_letters() {
+    // A storm that re-poisons every occupied block-row after every batch
+    // load: no attempt can ever verify, so after 1 + max_retries attempts
+    // each ticket dead-letters — nothing resolves, nothing hangs, and the
+    // attempt count is exact.
+    let (nor, _) = xor_circuit();
+    let mut cluster = PimClusterBuilder::new(1, 30, 3)
+        .axis_policy(AxisPolicy::Rows)
+        .max_retries(2)
+        .shard_fault_hook(0, |pm| {
+            // Two fresh flips per covered block: rows 0/3/6 are the first
+            // row of block-rows 0..3, which an 8-request wave always
+            // occupies. The device re-encodes suspect residue away each
+            // wave, so every wave sees exactly this double-error pattern.
+            for br in 0..3 {
+                pm.inject_fault(br * 3, 0);
+                pm.inject_fault(br * 3, 1);
+            }
+        })
+        .build()
+        .expect("builds");
+    let p = cluster.compile(&nor).expect("compiles");
+    for v in 0..8u32 {
+        let _ = cluster
+            .submit(&p, vec![v & 1 != 0, v & 2 != 0])
+            .expect("submits");
+    }
+    let outcome = cluster.flush().expect("flushes");
+
+    assert!(
+        outcome.results.is_empty(),
+        "no ticket may resolve with outputs off a poisoned line"
+    );
+    assert_eq!(outcome.failed.len(), 8);
+    for f in &outcome.failed {
+        assert_eq!(f.attempts, 3, "1 + max_retries attempts before giving up");
+    }
+    assert_eq!(outcome.retries, 16, "each ticket re-dispatched twice");
+    let snap = cluster.health();
+    assert_eq!(snap.dead_letters, 8);
+    assert_eq!(snap.retries, 16);
+}
+
+#[test]
+fn service_waits_surface_dead_letters_exactly_once() {
+    // Service front-end, no retry budget: suppressed tickets come back
+    // from `wait` as `RequestFailed`, a second claim reports the result
+    // already taken, and the health snapshot counts the dead letters.
+    let (nor, nl) = xor_circuit();
+    let armed = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&armed);
+    let handle = PimClusterBuilder::new(1, 30, 3)
+        .max_retries(0)
+        .shard_fault_hook(0, move |pm| {
+            if flag.swap(false, Ordering::Relaxed) {
+                pm.inject_fault(0, 0);
+                pm.inject_fault(0, 1);
+            }
+        })
+        .spawn()
+        .expect("spawns");
+    let p = handle.compile(&nor).expect("compiles");
+    let tickets: Vec<_> = (0..8u32)
+        .map(|v| {
+            let inputs = vec![v & 1 != 0, v & 2 != 0];
+            (handle.submit(&p, inputs.clone()).expect("submits"), inputs)
+        })
+        .collect();
+    let mut dead = 0;
+    for (t, inputs) in &tickets {
+        match t.wait() {
+            Ok(r) => assert_eq!(r.outputs, nl.eval(inputs)),
+            Err(ClusterError::RequestFailed { ticket, attempts }) => {
+                assert_eq!(ticket, t.id());
+                assert_eq!(attempts, 1);
+                dead += 1;
+                // Exactly-once: the dead letter was consumed by the wait.
+                assert!(matches!(
+                    t.try_wait(),
+                    Err(ClusterError::TicketUnserved { .. })
+                ));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(dead, 3);
+    assert_eq!(handle.metrics().dead_letters, 3);
+    handle.close().expect("closes");
+}
+
+/// How many random fault campaigns the chaos proptest runs; CI raises it
+/// via `PIMECC_CHAOS_CASES` (see `.github/workflows`).
+fn chaos_cases() -> u32 {
+    std::env::var("PIMECC_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+fn chaos_campaign() -> CampaignConfig {
+    CampaignConfig {
+        transient_rate: 0.4,
+        burst_rate: 0.0,
+        burst_len: 0,
+        stuck_rate: 0.5,
+        max_stuck: 16,
+    }
+}
+
+/// SplitMix64 — derives the request mix from the campaign seed so one
+/// `u64` pins an entire chaos round.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One seeded chaos round against both front-ends: a random
+/// [`FaultCampaign`] (transient flips + permanent stuck-at cells) strikes
+/// shard 0 on every batch load while a seed-derived xor/mux mix flows
+/// through. The invariant under test is the PR's contract: **every ticket
+/// either resolves bit-exact against the fault-free reference or surfaces
+/// an explicit retry-exhausted error** — never silently wrong outputs,
+/// never a vanished ticket.
+fn chaos_round(seed: u64) {
+    let (xor_nor, xor_nl) = xor_circuit();
+    let (mux_nor, mux_nl) = mux_circuit();
+    let mut rng = SplitMix(seed);
+    let nreq = 24 + (rng.next() % 72) as usize;
+    let choices: Vec<(bool, u32)> = (0..nreq)
+        .map(|_| {
+            let r = rng.next();
+            (r & 1 == 1, (r >> 1) as u32 % 8)
+        })
+        .collect();
+    let expected = |is_mux: bool, v: u32| -> Vec<bool> {
+        if is_mux {
+            mux_nl.eval(&[v & 1 != 0, v & 2 != 0, v & 4 != 0])
+        } else {
+            xor_nl.eval(&[v & 1 != 0, v & 2 != 0])
+        }
+    };
+    let build = |seed: u64| {
+        let mut campaign = FaultCampaign::new(seed, chaos_campaign());
+        PimClusterBuilder::new(2, 30, 3)
+            .retire_after(2)
+            .max_retries(2)
+            .shard_fault_hook(0, move |pm| campaign.strike(pm))
+    };
+
+    // Sync front-end: one flush serves (or explicitly fails) everything.
+    let mut cluster = build(seed).build().expect("builds");
+    let px = cluster.compile(&xor_nor).expect("compiles");
+    let pmx = cluster.compile(&mux_nor).expect("compiles");
+    let tickets: Vec<_> = choices
+        .iter()
+        .map(|&(is_mux, v)| {
+            let (p, w) = if is_mux { (&pmx, 3) } else { (&px, 2) };
+            let inputs: Vec<bool> = (0..w).map(|b| v >> b & 1 != 0).collect();
+            (cluster.submit(p, inputs).expect("submits"), is_mux, v)
+        })
+        .collect();
+    let outcome = cluster.flush().expect("flushes");
+    let failed: std::collections::HashSet<u64> =
+        outcome.failed.iter().map(|f| f.ticket.id()).collect();
+    assert_eq!(
+        outcome.results.len() + failed.len(),
+        nreq,
+        "seed {seed:#x}: every ticket resolves exactly once — outputs or dead letter"
+    );
+    for (t, is_mux, v) in &tickets {
+        match outcome.outputs_for(*t) {
+            Some(outs) => assert_eq!(
+                outs,
+                expected(*is_mux, *v).as_slice(),
+                "seed {seed:#x}: ticket #{} resolved with corrupt outputs",
+                t.id()
+            ),
+            None => assert!(
+                failed.contains(&t.id()),
+                "seed {seed:#x}: ticket #{} vanished without an explicit error",
+                t.id()
+            ),
+        }
+    }
+
+    // Service front-end, same campaign replayed from the same seed: every
+    // wait returns a verified answer or an explicit RequestFailed.
+    let handle = build(seed).spawn().expect("spawns");
+    let px = handle.compile(&xor_nor).expect("compiles");
+    let pmx = handle.compile(&mux_nor).expect("compiles");
+    let tickets: Vec<_> = choices
+        .iter()
+        .map(|&(is_mux, v)| {
+            let (p, w) = if is_mux { (&pmx, 3) } else { (&px, 2) };
+            let inputs: Vec<bool> = (0..w).map(|b| v >> b & 1 != 0).collect();
+            (handle.submit(p, inputs).expect("submits"), is_mux, v)
+        })
+        .collect();
+    for (t, is_mux, v) in &tickets {
+        match t.wait() {
+            Ok(r) => assert_eq!(
+                r.outputs,
+                expected(*is_mux, *v),
+                "seed {seed:#x}: service ticket #{} resolved with corrupt outputs",
+                t.id()
+            ),
+            Err(ClusterError::RequestFailed { .. }) => {}
+            Err(e) => panic!("seed {seed:#x}: unexpected error: {e}"),
+        }
+    }
+    handle.close().expect("closes");
+}
+
+// Named regression pins: campaign seeds that previously exercised the
+// full escalation ladder (suppression, retry, retirement, dead letters).
+// Kept as plain tests so they run on every `cargo test`, independent of
+// the proptest's random sampling.
+#[test]
+fn chaos_regression_seed_dac21() {
+    chaos_round(0xDAC21);
+}
+
+#[test]
+fn chaos_regression_seed_0ecc() {
+    chaos_round(0x0ECC);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+    #[test]
+    fn chaos_campaign_never_yields_a_silently_wrong_answer(seed in any::<u64>()) {
+        chaos_round(seed);
+    }
 }
 
 /// Maps a 3-shard pool with shard 1 quarantined onto the equivalent
