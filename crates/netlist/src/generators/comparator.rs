@@ -1,0 +1,103 @@
+//! `comparator`: unsigned magnitude comparator at a parameterized width —
+//! two operands in, the three verdict bits (`x < y`, `x == y`, `x > y`)
+//! out. The zoo's small-footprint, wide-fan-in control shape.
+
+use super::{from_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Zoo widths with a stable benchmark name each.
+fn name_for(width: usize) -> &'static str {
+    match width {
+        2 => "cmp2",
+        3 => "cmp3",
+        4 => "cmp4",
+        8 => "cmp8",
+        16 => "cmp16",
+        32 => "cmp32",
+        _ => "cmp",
+    }
+}
+
+/// Builds a `width`-bit unsigned comparator: `2·width` inputs, 3 outputs
+/// (`lt`, `eq`, `gt` in that order).
+///
+/// # Panics
+///
+/// Panics on zero width.
+pub fn build_width(width: usize) -> Circuit {
+    assert!(width > 0, "comparator needs at least one bit");
+    let mut b = NetlistBuilder::new();
+    let x = Word::input(&mut b, width);
+    let y = Word::input(&mut b, width);
+    let lt = words::lt(&mut b, &x, &y);
+    let eq = words::eq(&mut b, &x, &y);
+    let ge = b.not(lt);
+    let ne = b.not(eq);
+    let gt = b.and(ge, ne);
+    b.output(lt);
+    b.output(eq);
+    b.output(gt);
+    Circuit {
+        name: name_for(width),
+        netlist: b.finish(),
+        reference: Box::new(move |inputs| reference(width, inputs)),
+    }
+}
+
+fn reference(width: usize, inputs: &[bool]) -> Vec<bool> {
+    let x = from_bits(&inputs[..width]);
+    let y = from_bits(&inputs[width..2 * width]);
+    vec![x < y, x == y, x > y]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build_width(8);
+        assert_eq!(c.netlist.num_inputs(), 16);
+        assert_eq!(c.netlist.num_outputs(), 3);
+        assert_eq!(c.name, "cmp8");
+    }
+
+    /// Width 3 (6 input bits): all 64 operand pairs against the host.
+    #[test]
+    fn width_3_is_exhaustively_correct() {
+        let c = build_width(3);
+        for v in 0..64u32 {
+            let inputs: Vec<bool> = (0..6).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    /// Width 4 (8 input bits, 256 pairs) exhaustively, post-NOR too.
+    #[test]
+    fn width_4_is_exhaustively_correct_after_nor_lowering() {
+        let c = build_width(4);
+        let nor = c.netlist.to_nor();
+        for v in 0..256u32 {
+            let inputs: Vec<bool> = (0..8).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(nor.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_verdict_fires() {
+        let c = build_width(4);
+        for v in 0..256u32 {
+            let inputs: Vec<bool> = (0..8).map(|i| v >> i & 1 != 0).collect();
+            let out = c.netlist.eval(&inputs);
+            assert_eq!(out.iter().filter(|&&b| b).count(), 1, "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn wider_builds_validate_on_samples() {
+        for w in [8usize, 16, 32] {
+            build_width(w).validate_sample(24, w as u64).unwrap();
+        }
+    }
+}

@@ -12,13 +12,16 @@ mod adder;
 mod arbiter;
 mod bar;
 mod cavlc;
+pub mod comparator;
 mod ctrl;
 mod dec;
 pub mod extra;
 mod int2float;
 mod max;
 mod mul;
+pub mod popcount;
 mod priority;
+pub mod shifter;
 mod sin;
 mod voter;
 
@@ -160,6 +163,41 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+/// The program zoo: a long tail of 20+ distinct small circuits for
+/// mixed-traffic experiments — shifters, comparators, popcounts and
+/// ripple adders at several widths, each with its bit-exact host
+/// reference. Deterministic: the same list in the same order every call.
+pub fn zoo() -> Vec<Circuit> {
+    let mut circuits = Vec::new();
+    for w in [4usize, 8, 16, 32] {
+        circuits.push(shifter::build_width(w));
+    }
+    for w in [2usize, 3, 4, 8, 16, 32] {
+        circuits.push(comparator::build_width(w));
+    }
+    for w in [4usize, 8, 16, 32, 64] {
+        circuits.push(popcount::build_width(w));
+    }
+    for (w, name) in [(2usize, "add2"), (4, "add4"), (8, "add8"), (16, "add16")] {
+        circuits.push(Circuit {
+            name,
+            netlist: ripple_adder(w),
+            reference: Box::new(move |inputs: &[bool]| {
+                let x = from_bits(&inputs[..w]);
+                let y = from_bits(&inputs[w..2 * w]);
+                let total = x + y;
+                let mut out = to_bits(total, w);
+                out.push(total >> w & 1 != 0);
+                out
+            }),
+        });
+    }
+    circuits.push(Benchmark::Ctrl.build());
+    circuits.push(Benchmark::Int2float.build());
+    circuits.push(Benchmark::Cavlc.build());
+    circuits
+}
+
 /// Packs the low `width` bits of `value` into a little-endian bool vector
 /// (shared helper for generator reference models and tests).
 pub fn to_bits(value: u128, width: usize) -> Vec<bool> {
@@ -226,6 +264,21 @@ mod tests {
                 let inputs: Vec<bool> = (0..c.netlist.num_inputs()).map(|_| rng.gen()).collect();
                 assert_eq!(nor.eval(&inputs), c.netlist.eval(&inputs), "{b}");
             }
+        }
+    }
+
+    #[test]
+    fn the_zoo_is_big_distinct_and_correct() {
+        let circuits = zoo();
+        assert!(circuits.len() >= 20, "long tail needs 20+ programs");
+        let mut names: Vec<_> = circuits.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), circuits.len(), "zoo names must be distinct");
+        for c in &circuits {
+            assert_eq!(c.netlist.validate(), Ok(()), "{}", c.name);
+            c.validate_sample(6, 0x5EED)
+                .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 

@@ -1,0 +1,106 @@
+//! `popcount`: population count at a parameterized width — the zoo's
+//! reduction shape. A ripple accumulator over the input bits keeps the
+//! structure narrow (small SIMPLER footprint) rather than fast.
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Zoo widths with a stable benchmark name each.
+fn name_for(width: usize) -> &'static str {
+    match width {
+        4 => "pop4",
+        8 => "pop8",
+        16 => "pop16",
+        32 => "pop32",
+        64 => "pop64",
+        _ => "pop",
+    }
+}
+
+/// Output bits needed to count up to `width` ones.
+fn count_bits(width: usize) -> usize {
+    (usize::BITS - width.leading_zeros()) as usize
+}
+
+/// Builds a `width`-bit popcount: `width` inputs,
+/// `floor(log2(width)) + 1` outputs holding the number of set bits.
+///
+/// # Panics
+///
+/// Panics on zero width.
+pub fn build_width(width: usize) -> Circuit {
+    assert!(width > 0, "popcount needs at least one bit");
+    let out_bits = count_bits(width);
+    let mut b = NetlistBuilder::new();
+    let input = Word::input(&mut b, width);
+    let zero = b.constant(false);
+    let mut acc = Word::constant(&mut b, 0, out_bits);
+    for i in 0..width {
+        let mut addend = vec![zero; out_bits];
+        addend[0] = input.bit(i);
+        let (sum, _) = words::add(&mut b, &acc, &Word::from_bits(addend));
+        acc = sum;
+    }
+    b.output_all(acc.bits().iter().copied());
+    Circuit {
+        name: name_for(width),
+        netlist: b.finish(),
+        reference: Box::new(move |inputs| reference(width, inputs)),
+    }
+}
+
+fn reference(width: usize, inputs: &[bool]) -> Vec<bool> {
+    let ones = from_bits(&inputs[..width]).count_ones();
+    to_bits(u128::from(ones), count_bits(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build_width(8);
+        assert_eq!(c.netlist.num_inputs(), 8);
+        assert_eq!(c.netlist.num_outputs(), 4, "counts 0..=8");
+        assert_eq!(c.name, "pop8");
+    }
+
+    /// Width 4: all 16 vectors against the host reference.
+    #[test]
+    fn width_4_is_exhaustively_correct() {
+        let c = build_width(4);
+        for v in 0..16u32 {
+            let inputs: Vec<bool> = (0..4).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    /// Width 8 (256 vectors) exhaustively, post-NOR too.
+    #[test]
+    fn width_8_is_exhaustively_correct_after_nor_lowering() {
+        let c = build_width(8);
+        let nor = c.netlist.to_nor();
+        for v in 0..256u32 {
+            let inputs: Vec<bool> = (0..8).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(nor.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn all_ones_counts_to_width() {
+        for w in [4usize, 8, 16, 32] {
+            let c = build_width(w);
+            let inputs = vec![true; w];
+            assert_eq!(from_bits(&c.netlist.eval(&inputs)), w as u128, "width {w}");
+        }
+    }
+
+    #[test]
+    fn wider_builds_validate_on_samples() {
+        for w in [16usize, 32, 64] {
+            build_width(w).validate_sample(24, w as u64).unwrap();
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! `shifter`: variable logical left shifter (zero-fill) at a
+//! parameterized power-of-two width — the zoo's log-stage datapath shape,
+//! distinct from `bar`'s rotate in that shifted-out bits are lost.
+
+use super::{from_bits, to_bits, Circuit};
+use crate::builder::NetlistBuilder;
+use crate::words::{self, Word};
+
+/// Zoo widths with a stable benchmark name each.
+fn name_for(width: usize) -> &'static str {
+    match width {
+        4 => "shifter4",
+        8 => "shifter8",
+        16 => "shifter16",
+        32 => "shifter32",
+        64 => "shifter64",
+        _ => "shifter",
+    }
+}
+
+/// Builds a `width`-bit logical left shifter: `width` data inputs plus
+/// `log2(width)` amount inputs, `width` outputs, log-stage mux structure.
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two of at least 2.
+pub fn build_width(width: usize) -> Circuit {
+    assert!(
+        width.is_power_of_two() && width >= 2,
+        "shifter width must be a power of two"
+    );
+    let shift_bits = width.trailing_zeros() as usize;
+    let mut b = NetlistBuilder::new();
+    let data = Word::input(&mut b, width);
+    let amount: Vec<_> = (0..shift_bits).map(|_| b.input()).collect();
+    let zero = b.constant(false);
+    let mut current = data;
+    for (stage, &sel) in amount.iter().enumerate() {
+        let shifted = current.shift_left(1 << stage, zero);
+        current = words::mux(&mut b, sel, &shifted, &current);
+    }
+    b.output_all(current.bits().iter().copied());
+    Circuit {
+        name: name_for(width),
+        netlist: b.finish(),
+        reference: Box::new(move |inputs| reference(width, inputs)),
+    }
+}
+
+fn reference(width: usize, inputs: &[bool]) -> Vec<bool> {
+    let shift_bits = width.trailing_zeros() as usize;
+    let data = from_bits(&inputs[..width]);
+    let amount = from_bits(&inputs[width..width + shift_bits]) as u32;
+    let mask = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    to_bits((data << amount) & mask, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_shape() {
+        let c = build_width(16);
+        assert_eq!(c.netlist.num_inputs(), 20);
+        assert_eq!(c.netlist.num_outputs(), 16);
+        assert_eq!(c.name, "shifter16");
+    }
+
+    /// Width 4 has 6 input bits — every one of the 64 vectors is checked
+    /// against the host reference.
+    #[test]
+    fn width_4_is_exhaustively_correct() {
+        let c = build_width(4);
+        for v in 0..64u32 {
+            let inputs: Vec<bool> = (0..6).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(c.netlist.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    /// Width 8 (11 input bits, 2048 vectors) exhaustively, post-NOR too.
+    #[test]
+    fn width_8_is_exhaustively_correct_after_nor_lowering() {
+        let c = build_width(8);
+        let nor = c.netlist.to_nor();
+        for v in 0..2048u32 {
+            let inputs: Vec<bool> = (0..11).map(|i| v >> i & 1 != 0).collect();
+            assert_eq!(nor.eval(&inputs), (c.reference)(&inputs), "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn shifted_out_bits_are_lost_not_rotated() {
+        let c = build_width(8);
+        // 0b1000_0001 << 1 = 0b0000_0010 (top bit falls off).
+        let mut inputs = to_bits(0x81, 8);
+        inputs.extend([true, false, false]);
+        assert_eq!(from_bits(&c.netlist.eval(&inputs)), 0x02);
+    }
+
+    #[test]
+    fn wider_builds_validate_on_samples() {
+        for w in [16usize, 32, 64] {
+            build_width(w).validate_sample(24, w as u64).unwrap();
+        }
+    }
+}

@@ -140,7 +140,7 @@ fn run_sync() -> Result<RunReport, Box<dyn std::error::Error>> {
                 flushes += 1;
                 waves += outcome.waves;
                 for r in outcome.results {
-                    outputs.insert(r.ticket.id(), r.outputs.clone());
+                    outputs.insert(r.ticket.id(), r.outputs.to_vec());
                     results.push(r);
                 }
                 since_flush = 0;
@@ -150,7 +150,7 @@ fn run_sync() -> Result<RunReport, Box<dyn std::error::Error>> {
         flushes += 1;
         waves += outcome.waves;
         for r in outcome.results {
-            outputs.insert(r.ticket.id(), r.outputs.clone());
+            outputs.insert(r.ticket.id(), r.outputs.to_vec());
             results.push(r);
         }
         let seconds = started.elapsed().as_secs_f64();
@@ -211,7 +211,7 @@ fn run_service() -> Result<RunReport, Box<dyn std::error::Error>> {
             outputs: outcome
                 .results
                 .into_iter()
-                .map(|r| (r.ticket.id(), r.outputs))
+                .map(|r| (r.ticket.id(), r.outputs.to_vec()))
                 .collect(),
             mean_queue_latency_us: queue_us,
             mean_execute_latency_us: execute_us,

@@ -81,7 +81,7 @@ fn run_sync(nor: &pimecc::netlist::NorNetlist) -> Result<RunReport, Box<dyn std:
             outputs: outcome
                 .results
                 .into_iter()
-                .map(|r| (r.ticket.id(), r.outputs))
+                .map(|r| (r.ticket.id(), r.outputs.to_vec()))
                 .collect(),
         };
         if best.as_ref().is_none_or(|b| report.seconds < b.seconds) {
@@ -112,7 +112,7 @@ fn run_service(nor: &pimecc::netlist::NorNetlist) -> Result<RunReport, Box<dyn s
             outputs: outcome
                 .results
                 .into_iter()
-                .map(|r| (r.ticket.id(), r.outputs))
+                .map(|r| (r.ticket.id(), r.outputs.to_vec()))
                 .collect(),
         };
         if best.as_ref().is_none_or(|b| report.seconds < b.seconds) {

@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch
             .iter()
             .zip(&outcome.outputs)
-            .all(|(req, out)| out == &netlist.eval(req)),
+            .all(|(req, out)| out == netlist.eval(req)),
     );
     Ok(())
 }

@@ -10,6 +10,9 @@
 //! pimecc health [--shards S] [--requests R] [--seed X] [--stuck K]
 //!               [--retire-after K] [--max-retries R]
 //!                                                  fault-escalation demo + health report
+//! pimecc topology [--geometries NxM,NxM,...] [--shards S] [--n N] [--m M]
+//!                 [--quarantine I] [--stuck K] [--seed X]
+//!                                                  per-shard geometry/capacity/health table
 //! ```
 //!
 //! Exit code 0 on success, 1 on bad usage, 2 on processing errors. The
@@ -31,7 +34,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pimecc map <circuit.(blif|aag)> [--row N]\n  pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]\n  pimecc convert <circuit.(blif|aag)> <blif|aag>\n  pimecc bench <name>\n  pimecc area [n m k]\n  pimecc health [--shards S] [--requests R] [--seed X] [--stuck K] [--retire-after K] [--max-retries R]"
+        "usage:\n  pimecc map <circuit.(blif|aag)> [--row N]\n  pimecc schedule <circuit.(blif|aag)> [--pcs K] [--m M] [--no-check]\n  pimecc convert <circuit.(blif|aag)> <blif|aag>\n  pimecc bench <name>\n  pimecc area [n m k]\n  pimecc health [--shards S] [--requests R] [--seed X] [--stuck K] [--retire-after K] [--max-retries R]\n  pimecc topology [--geometries NxM,NxM,...] [--shards S] [--n N] [--m M] [--quarantine I] [--stuck K] [--seed X]"
     );
     ExitCode::from(1)
 }
@@ -257,6 +260,117 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the pool topology: per-shard geometry, line capacity, retired
+/// lines and quarantine state, plus the distinct capacity tiers programs
+/// compile against. `--geometries 120x3,240x3,...` builds a mixed pool;
+/// `--quarantine I` takes a shard out of rotation; `--stuck K` runs a
+/// seeded stuck-at storm against shard 0 first, so the retired-line and
+/// state columns show a degraded pool rather than a factory-fresh one.
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let geometries: Vec<(usize, usize)> = match args
+        .iter()
+        .position(|a| a == "--geometries")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(spec) => spec
+            .split(',')
+            .map(|g| {
+                let (n, m) = g
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad geometry '{g}' (want NxM, e.g. 120x3)"))?;
+                Ok((
+                    n.parse().map_err(|_| format!("bad geometry '{g}'"))?,
+                    m.parse().map_err(|_| format!("bad geometry '{g}'"))?,
+                ))
+            })
+            .collect::<Result<_, String>>()?,
+        None => {
+            let shards = flag_value(args, "--shards").unwrap_or(4);
+            let n = flag_value(args, "--n").unwrap_or(30);
+            let m = flag_value(args, "--m").unwrap_or(3);
+            vec![(n, m); shards]
+        }
+    };
+    let (n0, m0) = *geometries.first().ok_or("topology: empty pool")?;
+    let mut builder = PimClusterBuilder::new(geometries.len(), n0, m0)
+        .shard_geometries(geometries.clone())
+        .retire_after(2);
+    let stuck = flag_value(args, "--stuck").unwrap_or(0);
+    if stuck > 0 {
+        let seed = flag_value(args, "--seed").unwrap_or(0xDAC2021) as u64;
+        let mut campaign = FaultCampaign::new(
+            seed,
+            CampaignConfig {
+                transient_rate: 0.1,
+                burst_rate: 0.0,
+                burst_len: 0,
+                stuck_rate: 0.6,
+                max_stuck: stuck,
+            },
+        );
+        builder = builder.shard_fault_hook(0, move |pm| campaign.strike(pm));
+    }
+    let mut cluster = builder.build().map_err(|e| e.to_string())?;
+    if let Some(q) = flag_value(args, "--quarantine") {
+        cluster
+            .set_quarantined(q, true)
+            .map_err(|e| e.to_string())?;
+    }
+    if stuck > 0 {
+        // Drive enough traffic through the storm for the escalation
+        // ladder to retire the struck lines it finds.
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(2);
+        let g = b.xor(ins[0], ins[1]);
+        b.output(g);
+        let nor = b.finish().to_nor();
+        let p = cluster.compile(&nor).map_err(|e| e.to_string())?;
+        for round in 0..16u32 {
+            for v in 0..32u32 {
+                let x = v + round;
+                let _ = cluster
+                    .submit(&p, vec![x & 1 != 0, x & 2 != 0])
+                    .map_err(|e| e.to_string())?;
+            }
+            let _ = cluster.flush().map_err(|e| e.to_string())?;
+        }
+    }
+
+    let snap = cluster.health();
+    let total: usize = (0..geometries.len())
+        .map(|i| cluster.shard(i).capacity())
+        .sum();
+    let mut tiers: Vec<usize> = geometries.iter().map(|&(n, _)| n).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
+    println!(
+        "pool: {} shard(s), {} lines total, compile tiers {:?}",
+        geometries.len(),
+        total,
+        tiers
+    );
+    println!("shard  geometry  capacity  in-service  retired-lines  state");
+    for (i, s) in snap.shards.iter().enumerate() {
+        let device = cluster.shard(i);
+        let g = device.geometry();
+        let n = device.capacity();
+        let in_service = device
+            .retired()
+            .lines_in_service(Axis::Rows, n)
+            .min(device.retired().lines_in_service(Axis::Cols, n));
+        println!(
+            "{i:>5}  {:>5}x{:<2}  {:>8}  {:>10}  {:>13}  {}",
+            g.n(),
+            g.m(),
+            device.capacity(),
+            in_service,
+            s.retired_lines,
+            format!("{:?}", s.state).to_lowercase()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -270,6 +384,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "area" => cmd_area(rest),
         "health" => cmd_health(rest),
+        "topology" => cmd_topology(rest),
         _ => return usage(),
     };
     match result {

@@ -74,6 +74,15 @@ pub enum ClusterError {
     /// (leave [`retire_after`](crate::cluster::PimClusterBuilder::retire_after)
     /// unset to disable retirement instead).
     ZeroRetireAfter,
+    /// [`shard_geometries`](crate::cluster::PimClusterBuilder::shard_geometries)
+    /// was given a different number of geometries than the cluster has
+    /// shards.
+    GeometryArity {
+        /// Geometries supplied.
+        geometries: usize,
+        /// Shards the cluster was configured with.
+        shards: usize,
+    },
     /// A per-shard policy override names a shard the cluster does not have.
     ShardOutOfRange {
         /// The offending shard index.
@@ -167,6 +176,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::ZeroRetireAfter => {
                 write!(f, "retirement threshold must be at least one strike")
+            }
+            ClusterError::GeometryArity { geometries, shards } => {
+                write!(
+                    f,
+                    "{geometries} shard geometries supplied for a {shards}-shard cluster"
+                )
             }
             ClusterError::ShardOutOfRange { shard, shards } => {
                 write!(f, "shard {shard} out of range for a {shards}-shard cluster")

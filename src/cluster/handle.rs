@@ -482,7 +482,13 @@ pub struct ClusterHandle {
     /// so compiles never round-trip through the worker.
     programs: Arc<Mutex<ProgramCache>>,
     shards: usize,
+    /// Line length of the tallest shard — the admission bound.
     shard_capacity: usize,
+    /// Distinct shard line lengths, ascending — the compile path tries
+    /// them smallest-first (pools may mix geometries).
+    capacities: Vec<usize>,
+    /// Total lines across shards.
+    total_lines: usize,
     queue_limit: Option<usize>,
 }
 
@@ -490,6 +496,8 @@ pub struct ClusterHandle {
 pub(crate) fn spawn(core: ClusterCore, cfg: ServiceConfig) -> ClusterHandle {
     let shards = core.shards.len();
     let shard_capacity = core.shard_capacity();
+    let capacities = core.distinct_capacities();
+    let total_lines = core.total_lines();
     let shared = Arc::new(Shared::new(shards));
     // Publish the initial health snapshot *before* the worker thread
     // exists: a `metrics()` read racing the spawn must already see the
@@ -513,6 +521,8 @@ pub(crate) fn spawn(core: ClusterCore, cfg: ServiceConfig) -> ClusterHandle {
         programs: Arc::new(Mutex::new(ProgramCache::default())),
         shards,
         shard_capacity,
+        capacities,
+        total_lines,
         queue_limit: cfg.queue_limit,
     }
 }
@@ -523,15 +533,16 @@ impl ClusterHandle {
         self.shards
     }
 
-    /// Rows of one shard — the widest batch a single dispatch can carry.
+    /// Line length of the pool's tallest shard — the widest program the
+    /// service admits. On a uniform pool this is every shard's row count.
     pub fn shard_capacity(&self) -> usize {
         self.shard_capacity
     }
 
     /// Total rows across shards — the service's requests-per-wave
-    /// ceiling.
+    /// ceiling (the sum of per-shard line counts on a mixed pool).
     pub fn capacity(&self) -> usize {
-        self.shards * self.shard_capacity
+        self.total_lines
     }
 
     /// Submissions accepted but not yet resolved (a snapshot; concurrent
@@ -564,14 +575,23 @@ impl ClusterHandle {
     }
 
     /// Maps `netlist` onto the shards' row width with SIMPLER — once per
-    /// structure, cached on the handle (clones share the cache).
+    /// structure, cached on the handle (clones share the cache). On a
+    /// mixed pool the distinct line lengths are tried smallest-first, as
+    /// [`PimCluster::compile`](crate::cluster::PimCluster::compile) does.
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Map`] when the function does not fit a shard row.
+    /// [`ClusterError::Map`] when the function fits no shard row.
     pub fn compile(&self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
         let mut cache = self.programs.lock().unwrap_or_else(|e| e.into_inner());
-        Ok(cache.compile(netlist, self.shard_capacity)?)
+        let mut last = None;
+        for &row_size in &self.capacities {
+            match cache.compile(netlist, row_size) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("a cluster has at least one shard").into())
     }
 
     /// Maps `netlist` for co-packing (see
@@ -579,11 +599,18 @@ impl ClusterHandle {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Map`] when the function does not fit a shard row
-    /// even at full width.
+    /// [`ClusterError::Map`] when the function fits no shard row even at
+    /// full width.
     pub fn compile_packed(&self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
         let mut cache = self.programs.lock().unwrap_or_else(|e| e.into_inner());
-        Ok(cache.compile_packed(netlist, self.shard_capacity)?)
+        let mut last = None;
+        for &row_size in &self.capacities {
+            match cache.compile_packed(netlist, row_size) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("a cluster has at least one shard").into())
     }
 
     /// Adopts an externally mapped [`Program`], cached by its

@@ -813,7 +813,7 @@ mod tests {
                     axis: Axis::Rows,
                     line: i,
                     offset: 0,
-                    outputs: Vec::new(),
+                    outputs: Default::default(),
                     attempts: 1,
                     queue_latency: Duration::ZERO,
                     execute_latency: Duration::ZERO,

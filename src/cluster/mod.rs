@@ -125,7 +125,7 @@ pub use handle::ClusterHandle;
 pub use health::{
     default_scrub_period, scrub_period_for, HealthSnapshot, LatencyStats, ShardHealth, ShardState,
 };
-pub use outcome::{ClusterOutcome, FailedRequest, ShardReport, TicketResult};
+pub use outcome::{ClusterOutcome, FailedRequest, OutputSlice, ShardReport, TicketResult};
 pub use queue::{Ticket, TicketRange};
 pub use scheduler::AxisPolicy;
 
@@ -146,9 +146,13 @@ use std::time::{Duration, Instant};
 /// Configures and builds a [`PimCluster`] — or spawns it as a service
 /// ([`PimClusterBuilder::spawn`]).
 ///
-/// Every shard shares one geometry (`n×n` crossbar, `m×m` ECC blocks) so a
-/// single compiled program runs on any of them; checking and coverage
-/// policies default cluster-wide and can be overridden per shard.
+/// By default every shard shares one geometry (`n×n` crossbar, `m×m` ECC
+/// blocks);
+/// [`shard_geometries`](PimClusterBuilder::shard_geometries) builds a
+/// **mixed pool** instead — per-shard crossbar sizes, with the scheduler
+/// routing each program to the smallest idle shard it fits. Checking and
+/// coverage policies default cluster-wide and can be overridden per
+/// shard.
 ///
 /// ```
 /// use pimecc::prelude::*;
@@ -187,6 +191,8 @@ pub struct PimClusterBuilder {
     threads: usize,
     max_retries: Option<u32>,
     retire_after: Option<u32>,
+    geometries: Option<Vec<(usize, usize)>>,
+    colocate: bool,
 }
 
 impl std::fmt::Debug for PimClusterBuilder {
@@ -214,6 +220,8 @@ impl std::fmt::Debug for PimClusterBuilder {
             .field("threads", &self.threads)
             .field("max_retries", &self.max_retries)
             .field("retire_after", &self.retire_after)
+            .field("geometries", &self.geometries)
+            .field("colocate", &self.colocate)
             .finish()
     }
 }
@@ -245,7 +253,52 @@ impl PimClusterBuilder {
             threads: 1,
             max_retries: None,
             retire_after: None,
+            geometries: None,
+            colocate: true,
         }
+    }
+
+    /// Gives each shard its own `(n, m)` geometry — a **mixed pool**,
+    /// replacing the builder's uniform `n×n`/`m×m` (which the constructor
+    /// arguments still set as the default). The list must name one
+    /// geometry per shard; order is shard order.
+    ///
+    /// Programs compile for the *smallest* shard line they fit
+    /// ([`PimCluster::compile`] tries the distinct line lengths ascending)
+    /// and the scheduler routes each batch to the smallest idle shard
+    /// that can hold it — wide programs claim the tall shards only when
+    /// nothing smaller fits, keeping them free for traffic that has
+    /// nowhere else to go. Capacity accounting, wear rotation, quarantine
+    /// and retired-line avoidance are all per-shard already.
+    ///
+    /// ```
+    /// use pimecc::prelude::*;
+    ///
+    /// # fn main() -> Result<(), ClusterError> {
+    /// let cluster = PimClusterBuilder::new(3, 30, 3)
+    ///     .shard_geometries(vec![(30, 3), (30, 3), (60, 3)])
+    ///     .build()?;
+    /// assert_eq!(cluster.shard_capacity(), 60, "widest admissible program");
+    /// assert_eq!(cluster.capacity(), 120, "sum over the mixed pool");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn shard_geometries(mut self, geometries: Vec<(usize, usize)>) -> Self {
+        self.geometries = Some(geometries);
+        self
+    }
+
+    /// Enables or disables the scheduler's co-location pass (default:
+    /// enabled). When enabled, leftover fingerprint groups that found no
+    /// idle shard bin-pack onto the free lines of already-claimed shards
+    /// as extra parts of a multi-program wave
+    /// ([`MultiProgramPlan`](crate::device::MultiProgramPlan)), sharing
+    /// the wave's input-load pass and block-line ECC checks. `false`
+    /// restores the fingerprint-per-wave scheduler — useful as a baseline
+    /// and for the serial-reference comparisons in the test suite.
+    pub fn colocate(mut self, enabled: bool) -> Self {
+        self.colocate = enabled;
+        self
     }
 
     /// Selects the host simulation engine of every shard (default:
@@ -571,6 +624,23 @@ impl PimClusterBuilder {
                 shards: self.shards,
             });
         }
+        let geometries = match self.geometries {
+            Some(g) => {
+                if g.len() != self.shards {
+                    return Err(ClusterError::GeometryArity {
+                        geometries: g.len(),
+                        shards: self.shards,
+                    });
+                }
+                g
+            }
+            None => vec![(self.n, self.m); self.shards],
+        };
+        let n_max = geometries
+            .iter()
+            .map(|&(n, _)| n)
+            .max()
+            .expect("at least one shard");
         let mut hooks: Vec<Option<BatchFaultHook>> = (0..self.shards).map(|_| None).collect();
         for (shard, hook) in self.fault_hooks {
             hooks[shard] = Some(hook);
@@ -589,7 +659,8 @@ impl PimClusterBuilder {
                 .rev()
                 .find(|(shard, _)| *shard == i)
                 .map_or_else(|| self.coverage.clone(), |(_, c)| c.clone());
-            let mut builder = PimDeviceBuilder::new(self.n, self.m)
+            let (n, m) = geometries[i];
+            let mut builder = PimDeviceBuilder::new(n, m)
                 .check_policy(policy)
                 .coverage(coverage)
                 .engine(self.engine)
@@ -605,7 +676,7 @@ impl PimClusterBuilder {
                 .map_err(|source| ClusterError::Shard { shard: i, source })?;
             shards.push(device);
         }
-        let batch_limit = self.batch_limit.unwrap_or(self.n).min(self.n);
+        let batch_limit = self.batch_limit.unwrap_or(n_max).min(n_max);
         let health = HealthMonitor::new(
             self.shards,
             batch_limit,
@@ -624,6 +695,7 @@ impl PimClusterBuilder {
             pack_limit: self.pack_limit.unwrap_or(usize::MAX),
             axis_policy: self.axis_policy,
             max_retries: self.max_retries.unwrap_or(2),
+            colocate: self.colocate,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),
@@ -751,14 +823,17 @@ impl PimCluster {
         self.core.shards.len()
     }
 
-    /// Rows of one shard — the widest batch a single dispatch can carry.
+    /// Line length of the pool's tallest shard — the widest program the
+    /// cluster admits. On a uniform pool this is every shard's row count.
     pub fn shard_capacity(&self) -> usize {
         self.core.shard_capacity()
     }
 
     /// Total rows across shards — the cluster's requests-per-wave ceiling.
+    /// On a mixed pool ([`PimClusterBuilder::shard_geometries`]) this is
+    /// the sum of the per-shard line counts.
     pub fn capacity(&self) -> usize {
-        self.core.shards.len() * self.core.shard_capacity()
+        self.core.total_lines()
     }
 
     /// The line limit in force (lines per dispatched batch).
@@ -858,14 +933,23 @@ impl PimCluster {
 
     /// Maps `netlist` onto the shards' row width with SIMPLER — **once**:
     /// the handle is cached by structural fingerprint and shared by every
-    /// shard the scheduler dispatches it to.
+    /// shard the scheduler dispatches it to. On a mixed pool
+    /// ([`PimClusterBuilder::shard_geometries`]) the distinct line
+    /// lengths are tried smallest-first, so the program lands in the
+    /// tightest geometry it fits and stays routable to the most shards.
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Map`] when the function does not fit a shard row.
+    /// [`ClusterError::Map`] when the function fits no shard row.
     pub fn compile(&mut self, netlist: &NorNetlist) -> Result<CompiledProgram, ClusterError> {
-        let row_size = self.core.shard_capacity();
-        Ok(self.core.programs.compile(netlist, row_size)?)
+        let mut last = None;
+        for row_size in self.core.distinct_capacities() {
+            match self.core.programs.compile(netlist, row_size) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("a cluster has at least one shard").into())
     }
 
     /// Maps `netlist` for *co-packing* — once, shared by every shard:
@@ -879,14 +963,20 @@ impl PimCluster {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Map`] when the function does not fit a shard row
-    /// even at full width.
+    /// [`ClusterError::Map`] when the function fits no shard row even at
+    /// full width.
     pub fn compile_packed(
         &mut self,
         netlist: &NorNetlist,
     ) -> Result<CompiledProgram, ClusterError> {
-        let row_size = self.core.shard_capacity();
-        Ok(self.core.programs.compile_packed(netlist, row_size)?)
+        let mut last = None;
+        for row_size in self.core.distinct_capacities() {
+            match self.core.programs.compile_packed(netlist, row_size) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("a cluster has at least one shard").into())
     }
 
     /// Compiles a netlist **too wide for one shard line** by partitioning
@@ -1175,7 +1265,6 @@ impl std::fmt::Debug for PimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceError;
     use pimecc_netlist::{Netlist, NetlistBuilder};
 
     fn xor_circuit() -> (NorNetlist, Netlist) {
@@ -1239,6 +1328,16 @@ mod tests {
             PimClusterBuilder::new(1, 10, 3).build().unwrap_err(),
             ClusterError::Shard { shard: 0, .. }
         ));
+        assert_eq!(
+            PimClusterBuilder::new(3, 30, 3)
+                .shard_geometries(vec![(30, 3), (60, 3)])
+                .build()
+                .unwrap_err(),
+            ClusterError::GeometryArity {
+                geometries: 2,
+                shards: 3
+            }
+        );
     }
 
     #[test]
@@ -1706,84 +1805,70 @@ mod tests {
     }
 
     #[test]
-    fn shard_failure_banks_completed_results_for_the_next_flush() {
+    fn a_too_narrow_shard_is_routed_around_not_crashed_into() {
         // Shard 1 is sabotaged (swapped for a crossbar too narrow for the
-        // compiled programs), so its batch fails mid-flush. The flush
-        // errors — but shard 0's completed batch is banked and delivered
-        // by the next successful flush instead of being dropped.
+        // compiled programs). The geometry-aware scheduler reads each
+        // shard's real capacity at flush time, so the 30-wide programs
+        // never route there: both groups land on shard 0 — the foreign
+        // fingerprint via pass-3 co-location — and the flush succeeds.
         let (xor_nor, xor_nl) = xor_circuit();
-        let (mux_nor, _) = mux_circuit();
+        let (mux_nor, mux_nl) = mux_circuit();
         let mut cluster = PimCluster::new(2, 30, 3).expect("cluster");
-        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let p = cluster.compile(&xor_nor).expect("compiles");
         let q = cluster.compile(&mux_nor).expect("compiles");
+        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
         let t1 = cluster
             .submit(&q, vec![true, true, false])
             .expect("submits");
-        assert!(matches!(
-            cluster.flush().unwrap_err(),
-            ClusterError::Shard {
-                shard: 1,
-                source: DeviceError::ProgramTooWide {
-                    row_size: 30,
-                    n: 9,
-                    ..
-                }
-            }
-        ));
-        let recovered = cluster.flush().expect("bank survives the error");
+        let outcome = cluster.flush().expect("the narrow shard is avoided");
         assert_eq!(
-            recovered.outputs_for(t0),
-            Some(xor_nl.eval(&[true, false]).as_slice()),
-            "shard 0's completed batch was preserved"
+            outcome.outputs_for(t0),
+            Some(xor_nl.eval(&[true, false]).as_slice())
         );
-        assert_eq!(recovered.outputs_for(t1), None, "the failed batch is gone");
-        assert_eq!(recovered.waves, 1);
+        assert_eq!(
+            outcome.outputs_for(t1),
+            Some(mux_nl.eval(&[true, true, false]).as_slice())
+        );
+        assert!(
+            outcome.results.iter().all(|r| r.shard == 0),
+            "nothing was dispatched to the 9-cell shard"
+        );
+        assert_eq!(outcome.waves, 1, "co-location keeps it to one wave");
     }
 
     #[test]
-    fn auto_flush_failure_still_returns_the_ticket_and_defers_the_error() {
+    fn auto_flush_routes_around_a_too_narrow_shard_and_banks_the_results() {
         // Shard 1 is sabotaged as in the explicit-flush test, but here the
-        // failing flush happens *inside* submit (auto_flush_at). The
-        // submission must still yield its ticket — otherwise the banked
-        // results of the wave's surviving shard answer a ticket nobody
-        // holds — and the error surfaces at the next explicit flush.
+        // wave runs *inside* submit (auto_flush_at). The submission yields
+        // its ticket, the wave avoids the 9-cell shard entirely, and both
+        // banked results are redeemable at the next explicit flush.
         let (xor_nor, xor_nl) = xor_circuit();
-        let (mux_nor, _) = mux_circuit();
+        let (mux_nor, mux_nl) = mux_circuit();
         let mut cluster = PimClusterBuilder::new(2, 30, 3)
             .auto_flush_at(2)
             .build()
             .expect("cluster");
-        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let p = cluster.compile(&xor_nor).expect("compiles");
         let q = cluster.compile(&mux_nor).expect("compiles");
+        cluster.core.shards[1] = PimDevice::new(9, 3).expect("device");
         let t0 = cluster.submit(&p, vec![true, false]).expect("submits");
         let t1 = cluster
             .submit(&q, vec![true, true, false])
-            .expect("a failing auto-flush must not swallow the ticket");
+            .expect("the auto-flush must not swallow the ticket");
         assert_eq!(cluster.pending(), 0, "the auto-flush did run");
-        assert!(
-            matches!(
-                cluster.flush().unwrap_err(),
-                ClusterError::Shard {
-                    shard: 1,
-                    source: DeviceError::ProgramTooWide {
-                        row_size: 30,
-                        n: 9,
-                        ..
-                    }
-                }
-            ),
-            "the deferred error surfaces at the next flush"
-        );
-        let recovered = cluster.flush().expect("bank survives the error");
+        let banked = cluster.flush().expect("the narrow shard is avoided");
         assert_eq!(
-            recovered.outputs_for(t0),
+            banked.outputs_for(t0),
             Some(xor_nl.eval(&[true, false]).as_slice()),
-            "shard 0's completed batch is redeemable with the returned ticket"
+            "the auto-flushed batch is redeemable with the returned ticket"
         );
-        assert_eq!(recovered.outputs_for(t1), None, "the failed batch is gone");
+        assert_eq!(
+            banked.outputs_for(t1),
+            Some(mux_nl.eval(&[true, true, false]).as_slice()),
+            "the co-located foreign fingerprint survived too"
+        );
+        assert!(banked.results.iter().all(|r| r.shard == 0));
     }
 
     #[test]
@@ -1895,6 +1980,7 @@ mod tests {
             pack_limit: usize::MAX,
             axis_policy: AxisPolicy::default(),
             max_retries: 2,
+            colocate: true,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),
@@ -1915,13 +2001,13 @@ mod tests {
     }
 
     #[test]
-    fn shard_failure_in_the_service_drops_only_the_failed_tickets() {
-        // The async analogue of the sync banking tests: shard 1 is too
-        // narrow, so its batch errors (an error, not a panic — the worker
-        // survives). The served ticket resolves normally, the dropped one
-        // waits out to the flush's error.
+    fn the_service_routes_around_a_too_narrow_shard() {
+        // The async analogue of the sync routing tests: shard 1 is too
+        // narrow for the compiled programs, so the worker's waves never
+        // dispatch there — both tickets resolve from shard 0 and the
+        // worker stays healthy.
         let (xor_nor, xor_nl) = xor_circuit();
-        let (mux_nor, _) = mux_circuit();
+        let (mux_nor, mux_nl) = mux_circuit();
         let core = ClusterCore {
             shards: vec![
                 PimDevice::new(30, 3).expect("device"),
@@ -1931,6 +2017,7 @@ mod tests {
             pack_limit: usize::MAX,
             axis_policy: AxisPolicy::default(),
             max_retries: 2,
+            colocate: true,
             programs: ProgramCache::default(),
             pending: Vec::new(),
             pending_partitioned: Vec::new(),
@@ -1939,28 +2026,120 @@ mod tests {
             arena: FlushArena::default(),
         };
         let handle = handle::spawn(core, ServiceConfig::default());
-        let p = handle.compile(&xor_nor).expect("compiles");
-        let q = handle.compile(&mux_nor).expect("compiles");
+        // Compile on a full-width device and adopt, so both programs are
+        // mapped at row 30 — too wide for the 9-cell shard — rather than
+        // smallest-fit remapped to fit it.
+        let mut donor = PimDevice::new(30, 3).expect("device");
+        let p = donor.compile(&xor_nor).expect("compiles");
+        let p = handle.adopt(p.program()).expect("fits the wide shard");
+        let q = donor.compile(&mux_nor).expect("compiles");
+        let q = handle.adopt(q.program()).expect("fits the wide shard");
         let t0 = handle.submit(&p, vec![true, false]).expect("submits");
         let t1 = handle.submit(&q, vec![true, true, false]).expect("submits");
+        let r0 = t0.wait().expect("shard 0 served it");
+        assert_eq!(r0.outputs, xor_nl.eval(&[true, false]));
+        assert_eq!(r0.shard, 0);
+        let r1 = t1.wait().expect("the narrow shard is avoided");
+        assert_eq!(r1.outputs, mux_nl.eval(&[true, true, false]));
+        assert_eq!(r1.shard, 0, "co-located onto the healthy shard");
+        handle
+            .close()
+            .expect("worker never touched the narrow shard");
+    }
+
+    #[test]
+    fn mixed_geometry_pool_routes_wide_programs_to_tall_shards() {
+        let (nor, nl) = xor_circuit();
+        let mut cluster = PimClusterBuilder::new(3, 30, 3)
+            .shard_geometries(vec![(30, 3), (30, 3), (60, 3)])
+            .build()
+            .expect("cluster");
+        assert_eq!(cluster.shard_capacity(), 60);
+        assert_eq!(cluster.capacity(), 120, "sum over the mixed pool");
+
+        // A handle mapped for the 60-cell shard is admissible now and must
+        // route only to shard 2; narrow traffic keeps the 30-cell shards.
+        let mut tall = PimDevice::new(60, 3).expect("device");
+        let wide = tall.compile(&nor).expect("compiles");
+        let wide = cluster.adopt(wide.program()).expect("fits the tall shard");
+        let narrow = cluster.compile(&nor).expect("compiles");
         assert_eq!(
-            t0.wait().expect("shard 0 served it").outputs,
-            xor_nl.eval(&[true, false])
+            narrow.program().row_size,
+            30,
+            "compile targets the smallest fitting geometry"
         );
-        assert!(
-            matches!(
-                t1.wait().unwrap_err(),
-                ClusterError::Shard {
-                    shard: 1,
-                    source: DeviceError::ProgramTooWide {
-                        row_size: 30,
-                        n: 9,
-                        ..
-                    }
+
+        let mut expect = Vec::new();
+        for v in 0..12u32 {
+            let inputs = vec![v & 1 != 0, v & 2 != 0];
+            let p = if v % 2 == 0 { &wide } else { &narrow };
+            let t = cluster.submit(p, inputs.clone()).expect("submits");
+            expect.push((t, v % 2 == 0, nl.eval(&inputs)));
+        }
+        let outcome = cluster.flush().expect("flushes");
+        assert_eq!(outcome.requests(), 12);
+        for (t, is_wide, want) in &expect {
+            assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
+            let r = outcome
+                .results
+                .iter()
+                .find(|r| r.ticket == *t)
+                .expect("served");
+            if *is_wide {
+                assert_eq!(r.shard, 2, "wide programs only fit the tall shard");
+            } else {
+                assert!(r.shard < 2, "narrow traffic keeps the short shards");
+            }
+        }
+        for shard in 0..3 {
+            assert!(cluster.shard(shard).memory().verify_consistency().is_ok());
+        }
+    }
+
+    #[test]
+    fn colocation_merges_foreign_fingerprints_into_one_wave() {
+        let (xor_nor, xor_nl) = xor_circuit();
+        let (mux_nor, mux_nl) = mux_circuit();
+        let run = |colocate: bool| {
+            let mut cluster = PimClusterBuilder::new(1, 30, 3)
+                .colocate(colocate)
+                .build()
+                .expect("cluster");
+            let xor = cluster.compile(&xor_nor).expect("compiles");
+            let mux = cluster.compile(&mux_nor).expect("compiles");
+            let mut expect = Vec::new();
+            for v in 0..8u32 {
+                if v % 2 == 0 {
+                    let inputs = vec![v & 2 != 0, v & 4 != 0];
+                    let t = cluster.submit(&xor, inputs.clone()).expect("submits");
+                    expect.push((t, xor_nl.eval(&inputs)));
+                } else {
+                    let inputs = vec![v & 2 != 0, v & 4 != 0, v & 8 != 0];
+                    let t = cluster.submit(&mux, inputs.clone()).expect("submits");
+                    expect.push((t, mux_nl.eval(&inputs)));
                 }
-            ),
-            "the dropped ticket carries its flush's error"
+            }
+            let outcome = cluster.flush().expect("flushes");
+            for (t, want) in &expect {
+                assert_eq!(outcome.outputs_for(*t), Some(want.as_slice()), "{t}");
+            }
+            outcome
+        };
+        let colocated = run(true);
+        let baseline = run(false);
+        assert_eq!(
+            colocated.waves, 1,
+            "one shard, two fingerprints: pass 3 shares the wave"
         );
-        handle.close().expect("worker survived the shard error");
+        assert_eq!(baseline.waves, 2, "without pass 3 each fingerprint waits");
+        assert_eq!(colocated.shard_reports[0].batches, 1);
+        assert!(
+            colocated.results.iter().all(|r| r.wave == 0),
+            "both programs rode wave 0"
+        );
+        // Sharing the wave shares its block-line pre-checks: the two
+        // programs meet inside one block-line at the seam, so the merged
+        // wave checks strictly fewer blocks than the two-wave baseline.
+        assert!(colocated.input_check.checked < baseline.input_check.checked);
     }
 }

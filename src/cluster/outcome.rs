@@ -4,7 +4,99 @@ use super::error::ClusterError;
 use super::queue::Ticket;
 use crate::device::Axis;
 use pimecc_core::{CheckReport, MachineStats};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// One request's output bits, sliced out of its batch's **shared**
+/// readback arena: every result of a batch points into one
+/// `Arc<[bool]>`, so resolving a million tickets costs one allocation
+/// per dispatched batch instead of one `Vec<bool>` per request.
+///
+/// Derefs to `&[bool]`, so indexing, iteration and comparisons read like
+/// the old owned vector; [`OutputSlice::as_slice`] is the explicit
+/// accessor.
+#[derive(Debug, Clone)]
+pub struct OutputSlice {
+    /// The batch's whole request-major readback buffer.
+    bits: Arc<[bool]>,
+    /// First bit of this request's window.
+    start: usize,
+    /// Bits in the window (= the program's output count).
+    len: usize,
+}
+
+impl OutputSlice {
+    pub(crate) fn new(bits: Arc<[bool]>, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= bits.len());
+        OutputSlice { bits, start, len }
+    }
+
+    /// The output bits.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits[self.start..self.start + self.len]
+    }
+}
+
+impl std::ops::Deref for OutputSlice {
+    type Target = [bool];
+
+    fn deref(&self) -> &[bool] {
+        self.as_slice()
+    }
+}
+
+impl Default for OutputSlice {
+    fn default() -> Self {
+        OutputSlice {
+            bits: Arc::from([] as [bool; 0]),
+            start: 0,
+            len: 0,
+        }
+    }
+}
+
+impl From<Vec<bool>> for OutputSlice {
+    fn from(bits: Vec<bool>) -> Self {
+        let len = bits.len();
+        OutputSlice {
+            bits: bits.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl PartialEq for OutputSlice {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OutputSlice {}
+
+impl PartialEq<[bool]> for OutputSlice {
+    fn eq(&self, other: &[bool]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[bool]> for OutputSlice {
+    fn eq(&self, other: &&[bool]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<bool>> for OutputSlice {
+    fn eq(&self, other: &Vec<bool>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<OutputSlice> for Vec<bool> {
+    fn eq(&self, other: &OutputSlice) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
 
 /// Result of one submitted request, delivered inside a [`ClusterOutcome`]
 /// (or, on the async service, by
@@ -31,8 +123,9 @@ pub struct TicketResult {
     /// First cell of the request's slot within its line (0 unless
     /// co-packed).
     pub offset: usize,
-    /// The program's primary outputs for this request.
-    pub outputs: Vec<bool>,
+    /// The program's primary outputs for this request — a window into the
+    /// batch's shared readback arena (see [`OutputSlice`]).
+    pub outputs: OutputSlice,
     /// Execution attempts this result took: `1` for the common untouched
     /// request, `1 + k` when `k` waves suppressed it over uncorrectable
     /// input verdicts before a clean wave served it.
@@ -316,7 +409,7 @@ mod tests {
             axis: Axis::Rows,
             line: ticket as usize,
             offset: 0,
-            outputs: vec![ticket % 2 == 0],
+            outputs: vec![ticket % 2 == 0].into(),
             attempts: 1,
             queue_latency: Duration::ZERO,
             execute_latency: Duration::ZERO,

@@ -2,12 +2,14 @@
 //! [`PlacementPlan`]s — one batch per shard per wave, shards in parallel on
 //! scoped threads.
 //!
-//! Each wave is planned in two passes:
+//! Each wave is planned in three passes:
 //!
 //! 1. **Spread** — walk the groups in first-submission order and carve
 //!    one-request-per-line chunks of up to `batch_limit` lines, handing
-//!    each chunk to the next idle shard. Parallel shards beat any amount
-//!    of co-packing (they add no gate replays), so breadth comes first; a
+//!    each chunk to the *smallest idle shard the program fits* (pools may
+//!    mix geometries; wide programs route to tall shards, narrow traffic
+//!    keeps the short ones busy). Parallel shards beat any amount of
+//!    co-packing (they add no gate replays), so breadth comes first; a
 //!    large group still spreads over several shards within one wave.
 //! 2. **Densify** — if traffic remains once every shard has work, deepen
 //!    the planned batches instead of queueing another wave: each job
@@ -16,22 +18,33 @@
 //!    line, capped by `pack_limit`). The extra offsets replay the gate
 //!    steps, which a follow-up wave would have paid anyway — but the
 //!    follow-up wave's input loads and block-line ECC checks are saved.
+//! 3. **Co-locate** — leftover groups of *other* fingerprints bin-pack
+//!    onto the free lines of already-claimed shards, first-fit-decreasing
+//!    by footprint (stable in submission order): each placed chunk
+//!    becomes an extra part of that shard's [`MultiProgramPlan`] wave,
+//!    sharing the wave's input-load pass and block-line ECC checks. This
+//!    is what keeps long-tail traffic (twenty programs, a handful of
+//!    requests each) from paying one near-empty wave per fingerprint.
 //!
 //! The wave's axis comes from the cluster's [`AxisPolicy`]; under
 //! [`AxisPolicy::Alternate`] even waves run on columns and odd waves on
 //! rows.
 //!
-//! Determinism: group order, chunk carving, densify order, axis choice and
-//! shard assignment are all pure functions of submission order and the
-//! cluster's knobs — no map iteration order, clock or thread-completion
-//! order ever reaches the plan, so identical submissions yield identical
-//! placements and results.
+//! Determinism: group order, chunk carving, densify order, co-location
+//! order, axis choice and shard assignment are all pure functions of
+//! submission order and the cluster's knobs — no map iteration order,
+//! clock or thread-completion order ever reaches the plan, so identical
+//! submissions yield identical placements and results.
 
 use super::error::ClusterError;
-use super::outcome::{ClusterOutcome, FailedRequest, TicketResult};
+use super::outcome::{ClusterOutcome, FailedRequest, OutputSlice, TicketResult};
 use super::queue::{Group, Ticket};
-use crate::device::{Axis, BatchOutcome, CompiledProgram, DeviceError, PimDevice, PlacementPlan};
+use crate::device::{
+    Axis, CompiledProgram, DeviceError, MultiBatchOutcome, MultiPartRequest, MultiProgramPlan,
+    PimDevice, PlacementPlan,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the cluster orients its dispatch waves on the crossbars.
@@ -72,11 +85,10 @@ impl AxisPolicy {
 }
 
 /// The planning knobs `plan_wave` works from — a pure value so the plan
-/// stays a function of (groups, knobs, wave index).
+/// stays a function of (groups, knobs, wave index). Per-shard line lengths
+/// come from the shards themselves (pools may mix geometries).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PackingKnobs {
-    /// Line length (= line count) of every shard.
-    pub(crate) line_len: usize,
     /// Max lines one dispatched batch may occupy.
     pub(crate) batch_limit: usize,
     /// Max requests co-packed per line (1 = the PR-2 row-only scheduler).
@@ -92,18 +104,38 @@ pub(crate) struct PackingKnobs {
     /// dead-lettered as [`ClusterError::RequestFailed`]. Zero means
     /// suspect outputs are still suppressed — they just fail immediately.
     pub(crate) max_retries: u32,
+    /// Whether pass 3 runs: leftover groups of other fingerprints
+    /// bin-pack onto claimed shards as extra [`MultiProgramPlan`] parts.
+    /// Off = the fingerprint-per-wave baseline.
+    pub(crate) colocate: bool,
 }
 
 impl PackingKnobs {
-    /// Requests that fit side by side in one line of `program`.
-    fn per_line(&self, program: &CompiledProgram) -> usize {
-        (self.line_len / program.footprint().max(1))
+    /// Requests that fit side by side in one `line_len`-cell line of
+    /// `program`.
+    fn per_line(&self, line_len: usize, program: &CompiledProgram) -> usize {
+        (line_len / program.footprint().max(1))
             .min(self.pack_limit)
             .max(1)
     }
 }
 
-/// One shard's work for one wave: a chunk of one group under a 2D plan.
+/// One co-located extra part of a wave job (pass 3): a chunk of a
+/// *different* group riding the same shard's wave on its own disjoint
+/// lines.
+struct ExtraPart {
+    /// Index into `groups`, for suppressed-ticket requeue.
+    group: usize,
+    program: CompiledProgram,
+    tickets: Vec<(Ticket, Instant)>,
+    inputs: Vec<Vec<bool>>,
+    /// The part's placement, line-disjoint from the job's main plan and
+    /// every earlier extra.
+    plan: PlacementPlan,
+}
+
+/// One shard's work for one wave: a chunk of one group under a 2D plan,
+/// plus any co-located extra parts pass 3 added.
 struct WaveJob {
     shard: usize,
     /// Index into `groups`, so the densify pass can pull more requests.
@@ -119,6 +151,11 @@ struct WaveJob {
     /// — the plan routes around them, and the capacity accounting
     /// excludes them from the denominator.
     avoid: Vec<usize>,
+    /// Line length (= line count) of *this job's* shard — per-job because
+    /// the pool may mix geometries.
+    line_len: usize,
+    /// Co-located parts of other groups (pass 3), in placement order.
+    extras: Vec<ExtraPart>,
 }
 
 /// Per-ticket retry bookkeeping, local to one `run_waves` call: a ticket
@@ -170,10 +207,11 @@ pub(crate) fn run_waves(
     // to a cluster that has no retry machinery at all.
     let mut spin = 0usize;
     // Waves skipped because the current axis had no serviceable lines
-    // left (every active shard fully retired on that axis). One skip
-    // re-plans on the other axis; a second consecutive skip means the
-    // cluster is out of capacity on both axes and the remaining traffic
-    // is dead-lettered rather than looped on forever.
+    // left for the remaining traffic (every fitting active shard fully
+    // retired on that axis). One skip re-plans on the other axis; a
+    // second consecutive skip means the cluster cannot place the
+    // remaining traffic on either axis and it is dead-lettered rather
+    // than looped on forever.
     let mut skipped = 0usize;
     loop {
         let wave = outcome.waves + skipped;
@@ -210,7 +248,7 @@ pub(crate) fn run_waves(
     Ok(())
 }
 
-/// Plans one wave (see the [module docs](self) for the two passes) over
+/// Plans one wave (see the [module docs](self) for the three passes) over
 /// the `active` shard indices, rotated left by `spin` so retried tickets
 /// prefer a different shard, and routing around each shard's retired
 /// lines on the wave's axis.
@@ -236,35 +274,57 @@ fn plan_wave(
         .iter()
         .map(|&s| shards[s].retired().avoid_lines(axis))
         .collect();
+    // Per-slot line length — the pool may mix geometries.
+    let caps: Vec<usize> = rotated.iter().map(|&s| shards[s].capacity()).collect();
+    let mut used = vec![false; rotated.len()];
     let mut jobs: Vec<WaveJob> = Vec::new();
-    let mut slot = 0;
     // Pass 1 — spread: one-request-per-line chunks, breadth-first over the
     // active shards. A large group spreads over *several* shards within
-    // one wave; that is the sharding win for single-program traffic.
+    // one wave; that is the sharding win for single-program traffic. Each
+    // chunk routes to the *smallest* idle shard its program fits (ties go
+    // to rotated position, which on a uniform pool reproduces the
+    // classic next-idle-shard walk exactly): wide programs claim the tall
+    // shards only when they must, keeping them free for traffic that has
+    // nowhere else to go.
     'groups: for (gi, g) in groups.iter_mut().enumerate() {
+        let row_size = g.program.program().row_size;
         while g.remaining() > 0 {
-            // Shards whose every line on this axis has retired serve
-            // nothing this wave.
-            while slot < rotated.len() && avoids[slot].len() >= knobs.line_len {
-                slot += 1;
+            let mut pick: Option<usize> = None;
+            for si in 0..rotated.len() {
+                // Shards whose every line on this axis has retired, and
+                // shards too short for this program, serve other traffic.
+                if used[si] || caps[si] < row_size || avoids[si].len() >= caps[si] {
+                    continue;
+                }
+                if pick.is_none_or(|p| caps[si] < caps[p]) {
+                    pick = Some(si);
+                }
             }
-            if slot == rotated.len() {
-                break 'groups;
-            }
-            let avoid = std::mem::take(&mut avoids[slot]);
-            let avail = knobs.line_len - avoid.len();
+            let Some(si) = pick else {
+                if used.iter().all(|&u| u) {
+                    break 'groups;
+                }
+                // Nothing idle fits *this* group; narrower groups may
+                // still fit the remaining short shards.
+                continue 'groups;
+            };
+            used[si] = true;
+            let avoid = std::mem::take(&mut avoids[si]);
+            let line_len = caps[si];
+            let avail = line_len - avoid.len();
             let take = g.remaining().min(knobs.batch_limit).min(avail);
             let (tickets, inputs) = g.take(take);
             jobs.push(WaveJob {
-                shard: rotated[slot],
+                shard: rotated[si],
                 group: gi,
                 program: g.program.clone(),
                 tickets,
                 inputs,
                 lines: take,
                 avoid,
+                line_len,
+                extras: Vec::new(),
             });
-            slot += 1;
         }
     }
     // Pass 2 — densify: with every shard busy (or every group drained),
@@ -275,7 +335,7 @@ fn plan_wave(
         if g.remaining() == 0 {
             continue;
         }
-        let depth = knobs.per_line(&job.program) - 1;
+        let depth = knobs.per_line(job.line_len, &job.program) - 1;
         let extra = g.remaining().min(job.lines * depth);
         if extra == 0 {
             continue;
@@ -297,7 +357,7 @@ fn plan_wave(
             // in kind.
             let plan = PlacementPlan::pack_avoiding(
                 axis,
-                knobs.line_len,
+                job.line_len,
                 job.program.footprint().max(1),
                 job.lines,
                 knobs.pack_limit,
@@ -309,11 +369,113 @@ fn plan_wave(
             (job, plan)
         })
         .collect();
+    // Pass 3 — co-locate: groups still undrained after spread + densify
+    // belong to fingerprints that found no idle shard. Instead of
+    // queueing them a near-empty wave each, bin-pack them onto the free
+    // lines of the claimed shards, first-fit-decreasing by footprint
+    // (stable sort, so equal footprints keep submission order): each
+    // placed chunk becomes an extra part of the shard's multi-program
+    // wave, line-disjoint from the main plan and every earlier extra.
+    if knobs.colocate {
+        let mut leftover: Vec<usize> = (0..groups.len())
+            .filter(|&gi| groups[gi].remaining() > 0)
+            .collect();
+        leftover.sort_by_key(|&gi| std::cmp::Reverse(groups[gi].program.footprint().max(1)));
+        for gi in leftover {
+            for (job, plan) in planned.iter_mut() {
+                let g = &mut groups[gi];
+                if g.remaining() == 0 {
+                    break;
+                }
+                if g.program.program().row_size > job.line_len {
+                    continue;
+                }
+                // Free lines: in-service minus what the main part and
+                // earlier extras hold, capped by the batch-line budget.
+                let committed = plan.lines_occupied()
+                    + job
+                        .extras
+                        .iter()
+                        .map(|e| e.plan.lines_occupied())
+                        .sum::<usize>();
+                let in_service = job.line_len - job.avoid.len();
+                let free = in_service
+                    .saturating_sub(committed)
+                    .min(knobs.batch_limit.saturating_sub(committed));
+                if free == 0 {
+                    continue;
+                }
+                let per_line = knobs.per_line(job.line_len, &g.program);
+                let take = g.remaining().min(free * per_line);
+                let mut avoid = job.avoid.clone();
+                avoid.extend(plan.lines());
+                for e in &job.extras {
+                    avoid.extend(e.plan.lines());
+                }
+                avoid.sort_unstable();
+                avoid.dedup();
+                let extra_plan = PlacementPlan::pack_avoiding(
+                    axis,
+                    job.line_len,
+                    g.program.footprint().max(1),
+                    free,
+                    knobs.pack_limit,
+                    take,
+                    knobs.origin_base + wave,
+                    &avoid,
+                )
+                .expect("co-located chunks fit the free lines by construction");
+                let (tickets, inputs) = g.take(take);
+                job.extras.push(ExtraPart {
+                    group: gi,
+                    program: g.program.clone(),
+                    tickets,
+                    inputs,
+                    plan: extra_plan,
+                });
+            }
+        }
+    }
     // `dispatch_wave` pairs jobs with disjoint `&mut` shards in one
     // ascending scan; the retry rotation can hand out shards in rotated
     // order, so restore ascending order here.
     planned.sort_by_key(|(job, _)| job.shard);
     planned
+}
+
+/// Runs one wave job on its shard: the plain single-program plan when the
+/// job has no extras (every pre-PR-10 flush), the multi-program wave when
+/// pass 3 co-located other groups onto the shard. Both shapes return the
+/// per-part [`MultiBatchOutcome`] so the fold below has one code path.
+fn run_job(
+    device: &mut PimDevice,
+    job: &WaveJob,
+    plan: &PlacementPlan,
+) -> Result<MultiBatchOutcome, DeviceError> {
+    if job.extras.is_empty() {
+        let batch = device.run_plan(&job.program, plan, &job.inputs)?;
+        return Ok(MultiBatchOutcome {
+            parts: vec![batch.outputs],
+            input_check: batch.input_check,
+            stats: batch.stats,
+            gate_evals: batch.gate_evals,
+            uncorrectable_input: batch.uncorrectable_input,
+        });
+    }
+    let parts: Vec<PlacementPlan> = std::iter::once(plan.clone())
+        .chain(job.extras.iter().map(|e| e.plan.clone()))
+        .collect();
+    let multi = MultiProgramPlan::new(parts)?;
+    let requests: Vec<MultiPartRequest<'_>> = std::iter::once(MultiPartRequest {
+        program: &job.program,
+        requests: &job.inputs,
+    })
+    .chain(job.extras.iter().map(|e| MultiPartRequest {
+        program: &e.program,
+        requests: &e.inputs,
+    }))
+    .collect();
+    device.run_multi(&multi, &requests)
 }
 
 /// Runs one planned wave, each busy shard on its own scoped thread, and
@@ -326,6 +488,9 @@ fn plan_wave(
 /// [`TicketResult`] here: their outputs are suppressed and they re-enter
 /// their group (`retry` carries their attempt history) or dead-letter
 /// into [`ClusterOutcome::failed`] once `knobs.max_retries` is spent.
+/// Co-located parts share their wave's verdict — a suspect block-line
+/// suppresses whichever parts' slots sit on it, each requeueing into its
+/// *own* group.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_wave(
     shards: &mut [PimDevice],
@@ -341,7 +506,7 @@ fn dispatch_wave(
         WaveJob,
         PlacementPlan,
         Duration,
-        Result<BatchOutcome, DeviceError>,
+        Result<MultiBatchOutcome, DeviceError>,
     );
     // A wave with a single busy shard runs inline: spawning (and joining)
     // a scoped thread for one job costs more than the job's glue on small
@@ -351,7 +516,7 @@ fn dispatch_wave(
         let (job, plan) = jobs.into_iter().next().expect("one job");
         let device = &mut shards[job.shard];
         let started = Instant::now();
-        let result = device.run_plan(&job.program, &plan, &job.inputs);
+        let result = run_job(device, &job, &plan);
         vec![(job, plan, started.elapsed(), result)]
     } else {
         // `plan_wave` assigns strictly increasing shard indices, so one
@@ -365,7 +530,7 @@ fn dispatch_wave(
                     let (job, plan) = jobs.next().expect("peeked");
                     handles.push(s.spawn(move || {
                         let started = Instant::now();
-                        let result = device.run_plan(&job.program, &plan, &job.inputs);
+                        let result = run_job(device, &job, &plan);
                         (job, plan, started.elapsed(), result)
                     }));
                 }
@@ -384,8 +549,10 @@ fn dispatch_wave(
             shard,
             group,
             tickets,
-            mut inputs,
+            inputs,
             avoid,
+            line_len,
+            extras,
             ..
         } = job;
         let batch = match result {
@@ -402,68 +569,87 @@ fn dispatch_wave(
         let report = &mut outcome.shard_reports[shard];
         report.input_check += batch.input_check;
         report.batches += 1;
-        report.requests += tickets.len() as u64;
         report.busy_mem_cycles += batch.stats.mem_cycles;
         report.gate_evals += batch.gate_evals;
         // Capacity counts only in-service lines: retired lines leave the
         // denominator, so utilization reflects what the shard can still
-        // hold rather than what it shipped with.
-        let in_service = knobs.line_len - avoid.len();
-        report.lines_occupied += plan.lines_occupied() as u64;
+        // hold rather than what it shipped with. One wave dispatches the
+        // shard once no matter how many parts ride it — co-location
+        // *raises* utilization against the same denominator.
+        let in_service = line_len - avoid.len();
         report.line_capacity += in_service as u64;
-        report.cells_occupied += plan.cells_occupied() as u64;
-        report.cell_capacity += (in_service * knobs.line_len) as u64;
+        report.cell_capacity += (in_service * line_len) as u64;
         let unc = batch.uncorrectable_input;
-        for (i, (((ticket, submitted_at), outputs), slot)) in tickets
-            .into_iter()
-            .zip(batch.outputs)
-            .zip(plan.slots())
-            .enumerate()
+        // The main part first, then the extras, in the same order their
+        // plans were assembled — parallel to `batch.parts`.
+        type WavePart = (usize, Vec<(Ticket, Instant)>, Vec<Vec<bool>>, PlacementPlan);
+        let parts: Vec<WavePart> = std::iter::once((group, tickets, inputs, plan))
+            .chain(
+                extras
+                    .into_iter()
+                    .map(|e| (e.group, e.tickets, e.inputs, e.plan)),
+            )
+            .collect();
+        for ((part_group, tickets, mut inputs, part_plan), arena) in
+            parts.into_iter().zip(batch.parts)
         {
-            if unc.as_ref().is_some_and(|u| u.covers_line(slot.line)) {
-                // An uncorrectable verdict covers this ticket's lines:
-                // the outputs cannot be vouched for, so they are
-                // suppressed — never resolved. The ticket re-enters its
-                // group for the next wave, or dead-letters explicitly
-                // once its attempt budget is spent.
-                let state = retry.entry(ticket.id()).or_default();
-                state.attempts += 1;
-                state.latencies.push(execute_latency);
-                if state.attempts > knobs.max_retries {
-                    let state = retry.remove(&ticket.id()).expect("just updated");
-                    outcome.failed.push(FailedRequest {
-                        ticket,
-                        attempts: state.attempts,
-                    });
-                } else {
-                    outcome.retries += 1;
-                    groups[group].requests.push((
-                        ticket,
-                        submitted_at,
-                        std::mem::take(&mut inputs[i]),
-                    ));
+            report.requests += tickets.len() as u64;
+            report.lines_occupied += part_plan.lines_occupied() as u64;
+            report.cells_occupied += part_plan.cells_occupied() as u64;
+            let width = arena.width();
+            // One `Arc` per part per batch: every ticket's result slices
+            // into it instead of owning a fresh Vec.
+            let bits: Arc<[bool]> = arena.into_bits().into();
+            for (i, ((ticket, submitted_at), slot)) in tickets
+                .into_iter()
+                .zip(part_plan.slots().iter().copied())
+                .enumerate()
+            {
+                if unc.as_ref().is_some_and(|u| u.covers_line(slot.line)) {
+                    // An uncorrectable verdict covers this ticket's lines:
+                    // the outputs cannot be vouched for, so they are
+                    // suppressed — never resolved. The ticket re-enters
+                    // its group for the next wave, or dead-letters
+                    // explicitly once its attempt budget is spent.
+                    let state = retry.entry(ticket.id()).or_default();
+                    state.attempts += 1;
+                    state.latencies.push(execute_latency);
+                    if state.attempts > knobs.max_retries {
+                        let state = retry.remove(&ticket.id()).expect("just updated");
+                        outcome.failed.push(FailedRequest {
+                            ticket,
+                            attempts: state.attempts,
+                        });
+                    } else {
+                        outcome.retries += 1;
+                        groups[part_group].requests.push((
+                            ticket,
+                            submitted_at,
+                            std::mem::take(&mut inputs[i]),
+                        ));
+                    }
+                    continue;
                 }
-                continue;
+                let (attempts, mut attempt_latencies) = match retry.remove(&ticket.id()) {
+                    Some(state) => (state.attempts + 1, state.latencies),
+                    None => (1, Vec::new()),
+                };
+                attempt_latencies.push(execute_latency);
+                let execute_total = attempt_latencies.iter().sum();
+                outcome.results.push(TicketResult {
+                    ticket,
+                    shard,
+                    wave,
+                    axis: part_plan.axis(),
+                    line: slot.line,
+                    offset: slot.offset,
+                    outputs: OutputSlice::new(Arc::clone(&bits), i * width, width),
+                    attempts,
+                    queue_latency: dispatched_at.saturating_duration_since(submitted_at),
+                    execute_latency: execute_total,
+                    attempt_latencies,
+                });
             }
-            let (attempts, mut attempt_latencies) = match retry.remove(&ticket.id()) {
-                Some(state) => (state.attempts + 1, state.latencies),
-                None => (1, Vec::new()),
-            };
-            attempt_latencies.push(execute_latency);
-            let execute_total = attempt_latencies.iter().sum();
-            outcome.results.push(TicketResult {
-                ticket,
-                shard,
-                wave,
-                axis: plan.axis(),
-                line: slot.line,
-                offset: slot.offset,
-                outputs,
-                attempts,
-                queue_latency: dispatched_at.saturating_duration_since(submitted_at),
-                execute_latency: execute_total,
-                attempt_latencies,
-            });
         }
     }
     outcome.wall_mem_cycles += wave_wall;

@@ -120,6 +120,9 @@ pub(crate) struct ClusterCore {
     /// Re-dispatches granted to a ticket whose batch drew an
     /// uncorrectable ECC verdict on its lines before it dead-letters.
     pub(crate) max_retries: u32,
+    /// Whether the scheduler's pass 3 co-locates leftover groups of other
+    /// fingerprints onto claimed shards as multi-program waves.
+    pub(crate) colocate: bool,
     /// Cluster-wide compile cache (netlist / packed / program key
     /// domains), shared in shape with the device layer.
     pub(crate) programs: ProgramCache,
@@ -145,9 +148,30 @@ pub(crate) struct ClusterCore {
 }
 
 impl ClusterCore {
-    /// Rows of one shard — the widest batch a single dispatch can carry.
+    /// Line length of the pool's *tallest* shard — the widest program the
+    /// pool can admit (the router sends wide programs to shards that fit
+    /// them; pools may mix geometries).
     pub(crate) fn shard_capacity(&self) -> usize {
-        self.shards[0].capacity()
+        self.shards
+            .iter()
+            .map(PimDevice::capacity)
+            .max()
+            .expect("a cluster has at least one shard")
+    }
+
+    /// The distinct shard line lengths, ascending — the compile path
+    /// tries them smallest-first so a program lands in the tightest
+    /// geometry it fits.
+    pub(crate) fn distinct_capacities(&self) -> Vec<usize> {
+        let mut caps: Vec<usize> = self.shards.iter().map(PimDevice::capacity).collect();
+        caps.sort_unstable();
+        caps.dedup();
+        caps
+    }
+
+    /// Total lines across every shard — the pool-wide capacity figure.
+    pub(crate) fn total_lines(&self) -> usize {
+        self.shards.iter().map(PimDevice::capacity).sum()
     }
 
     /// Requests waiting for the next flush, across both queues.
@@ -191,12 +215,12 @@ impl ClusterCore {
             &mut self.arena.request_bufs,
         );
         let knobs = PackingKnobs {
-            line_len: self.shard_capacity(),
             batch_limit: self.batch_limit,
             pack_limit: self.pack_limit,
             axis_policy: self.axis_policy,
             origin_base: self.waves_dispatched,
             max_retries: self.max_retries,
+            colocate: self.colocate,
         };
         let active = self.health.active_shards();
         let mut ran = scheduler::run_waves(
@@ -345,12 +369,12 @@ impl ClusterCore {
                 })
                 .collect();
             let knobs = PackingKnobs {
-                line_len: self.shard_capacity(),
                 batch_limit: self.batch_limit,
                 pack_limit: self.pack_limit,
                 axis_policy: self.axis_policy,
                 origin_base: self.waves_dispatched + wave_base,
                 max_retries: self.max_retries,
+                colocate: self.colocate,
             };
             let mut scratch = ClusterOutcome::empty(self.shards.len());
             let ran =
@@ -375,7 +399,7 @@ impl ClusterCore {
                         attempt_latencies: r.attempt_latencies,
                     });
                 }
-                part_outputs[pi][ri] = r.outputs;
+                part_outputs[pi][ri] = r.outputs.to_vec();
             }
             // A dead-lettered sub-request fails its whole request — the
             // synthetic failure is translated to the original ticket (and
@@ -425,7 +449,7 @@ impl ClusterCore {
                 axis: anchor.axis,
                 line: anchor.line,
                 offset: anchor.offset,
-                outputs,
+                outputs: outputs.into(),
                 attempts: attempts_max[ri],
                 queue_latency: anchor.queue_latency,
                 execute_latency: anchor.execute_latency,

@@ -30,6 +30,155 @@ impl UncorrectableInput {
     }
 }
 
+/// Arena-backed per-request outputs of one batch: every request's bits in
+/// **one contiguous allocation**, `width` bits per request, request-major.
+///
+/// The previous API allocated one `Vec<bool>` per request — at millions of
+/// requests per second the readback allocation dominated. The arena is a
+/// single buffer; [`OutputArena::get`] hands out borrowed slices, and the
+/// whole buffer can be moved behind an `Arc` once per batch
+/// ([`OutputArena::into_bits`]) so per-ticket results share it without
+/// copying.
+///
+/// Iteration yields `&[bool]` per request:
+///
+/// ```
+/// # use pimecc::device::OutputArena;
+/// # let arena = OutputArena::default();
+/// for request_bits in &arena {
+///     assert_eq!(request_bits.len(), arena.width());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[must_use]
+pub struct OutputArena {
+    /// All output bits, request-major: request `i` owns
+    /// `bits[i*width .. (i+1)*width]`.
+    pub(crate) bits: Vec<bool>,
+    /// Output bits per request.
+    pub(crate) width: usize,
+    /// Requests stored — tracked explicitly so zero-output programs still
+    /// count their requests.
+    pub(crate) requests: usize,
+}
+
+impl OutputArena {
+    pub(crate) fn with_capacity(width: usize, requests: usize) -> Self {
+        OutputArena {
+            bits: Vec::with_capacity(width * requests),
+            width,
+            requests: 0,
+        }
+    }
+
+    /// Appends one request's output bits (device-side fill).
+    ///
+    /// The slice length must equal the arena's width.
+    pub(crate) fn push_request(&mut self, bits: &[bool]) {
+        debug_assert_eq!(bits.len(), self.width);
+        self.bits.extend_from_slice(bits);
+        self.requests += 1;
+    }
+
+    /// Output bits per request.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of requests stored.
+    pub fn len(&self) -> usize {
+        self.requests
+    }
+
+    /// Whether the arena holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+
+    /// Request `i`'s output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> &[bool] {
+        assert!(i < self.requests, "request {i} of {}", self.requests);
+        &self.bits[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Borrowed per-request slices, in submission order.
+    pub fn iter(&self) -> OutputArenaIter<'_> {
+        OutputArenaIter {
+            arena: self,
+            next: 0,
+        }
+    }
+
+    /// The whole request-major bit buffer (request `i` owns
+    /// `[i*width, (i+1)*width)`).
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Consumes the arena into its flat buffer — the cluster dispatch
+    /// moves this behind one `Arc` per batch and slices it per ticket.
+    pub fn into_bits(self) -> Vec<bool> {
+        self.bits
+    }
+
+    /// The pre-arena shape: one freshly allocated `Vec<bool>` per request.
+    #[deprecated(
+        since = "0.10.0",
+        note = "allocates one Vec per request; use `get`, `iter` or `as_bits` on the arena instead"
+    )]
+    pub fn to_vecs(&self) -> Vec<Vec<bool>> {
+        self.iter().map(<[bool]>::to_vec).collect()
+    }
+}
+
+impl std::ops::Index<usize> for OutputArena {
+    type Output = [bool];
+
+    fn index(&self, i: usize) -> &[bool] {
+        self.get(i)
+    }
+}
+
+/// Iterator over an [`OutputArena`]'s per-request slices.
+#[derive(Debug, Clone)]
+pub struct OutputArenaIter<'a> {
+    arena: &'a OutputArena,
+    next: usize,
+}
+
+impl<'a> Iterator for OutputArenaIter<'a> {
+    type Item = &'a [bool];
+
+    fn next(&mut self) -> Option<&'a [bool]> {
+        if self.next >= self.arena.requests {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(&self.arena.bits[i * self.arena.width..(i + 1) * self.arena.width])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.arena.requests - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OutputArenaIter<'_> {}
+
+impl<'a> IntoIterator for &'a OutputArena {
+    type Item = &'a [bool];
+    type IntoIter = OutputArenaIter<'a>;
+
+    fn into_iter(self) -> OutputArenaIter<'a> {
+        self.iter()
+    }
+}
+
 /// Result of one batched execution
 /// ([`PimDevice::run_batch`](crate::device::PimDevice::run_batch) /
 /// [`PimDevice::run_plan`](crate::device::PimDevice::run_plan)).
@@ -40,8 +189,9 @@ impl UncorrectableInput {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[must_use]
 pub struct BatchOutcome {
-    /// Primary outputs per request, in submission order.
-    pub outputs: Vec<Vec<bool>>,
+    /// Primary outputs per request, in submission order, arena-backed
+    /// (request `i` is `outputs.get(i)`).
+    pub outputs: OutputArena,
     /// Where each request executed: the axis, and one (line, offset) slot
     /// per request (parallel to `outputs`).
     pub placement: PlacementPlan,
@@ -112,5 +262,37 @@ impl BatchOutcome {
         } else {
             self.stats.mem_cycles as f64 / self.outputs.len() as f64
         }
+    }
+}
+
+/// Result of one **multi-program** wave
+/// ([`PimDevice::run_multi`](crate::device::PimDevice::run_multi)): the
+/// per-part output arenas plus accounting shared across every co-located
+/// part — one pre-check sweep over the union of touched block-lines, one
+/// stats delta, one suspect verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct MultiBatchOutcome {
+    /// Per-part outputs, parallel to the plan's parts; part `p`, request
+    /// `i` is `parts[p].get(i)`.
+    pub parts: Vec<OutputArena>,
+    /// Aggregated pre-execution input checks over the **union** of
+    /// block-lines the parts touch — co-residency shares each check.
+    pub input_check: CheckReport,
+    /// Machine activity attributable to this wave (delta, as in
+    /// [`BatchOutcome`]).
+    pub stats: MachineStats,
+    /// Gate evaluations: `Σ part gate cycles × part batch size`.
+    pub gate_evals: u64,
+    /// Uncorrectable verdicts on touched block-lines, shared across the
+    /// parts (block-lines are physical; [`UncorrectableInput::covers_line`]
+    /// applies to any part's slot lines).
+    pub uncorrectable_input: Option<UncorrectableInput>,
+}
+
+impl MultiBatchOutcome {
+    /// Total requests served across all parts.
+    pub fn requests(&self) -> usize {
+        self.parts.iter().map(OutputArena::len).sum()
     }
 }

@@ -65,10 +65,12 @@ pub mod placement;
 mod program;
 mod retire;
 
-pub use batch::{BatchOutcome, UncorrectableInput};
+pub use batch::{
+    BatchOutcome, MultiBatchOutcome, OutputArena, OutputArenaIter, UncorrectableInput,
+};
 pub use error::DeviceError;
 pub use pimecc_core::SimEngine;
-pub use placement::{Axis, PlacementPlan, Slot};
+pub use placement::{Axis, MultiProgramPlan, PlacementPlan, Slot};
 pub use program::{netlist_fingerprint, CompiledProgram};
 pub use retire::RetiredLines;
 
@@ -116,6 +118,17 @@ impl ScrubReport {
     pub fn is_clean(&self) -> bool {
         self.check.corrected == 0 && self.check.uncorrectable == 0
     }
+}
+
+/// One program's share of a multi-program wave for
+/// [`PimDevice::run_multi`]: the compiled program and its request group,
+/// parallel to one part of a [`MultiProgramPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPartRequest<'a> {
+    /// The compiled program this part executes.
+    pub program: &'a CompiledProgram,
+    /// The part's requests, in the part plan's slot order.
+    pub requests: &'a [Vec<bool>],
 }
 
 /// When (and how aggressively) the device verifies ECC around a batch.
@@ -735,25 +748,58 @@ impl PimDevice {
     }
 
     /// [`PimDevice::execute_plan`] after validation — the shared tail of
-    /// every batch entry point, so validation runs once per batch.
+    /// every batch entry point, so validation runs once per batch. The
+    /// single-program case of [`PimDevice::execute_parts_checked`], so
+    /// one-program batches and multi-program waves cannot drift apart.
     fn execute_plan_checked(
         &mut self,
         program: &CompiledProgram,
         plan: &PlacementPlan,
     ) -> Result<BatchOutcome, DeviceError> {
+        let MultiBatchOutcome {
+            mut parts,
+            input_check,
+            stats,
+            gate_evals,
+            uncorrectable_input,
+        } = self.execute_parts_checked(&[(program, plan)])?;
+        Ok(BatchOutcome {
+            outputs: parts.pop().expect("single-part execution yields one arena"),
+            placement: plan.clone(),
+            input_check,
+            stats,
+            gate_evals,
+            uncorrectable_input,
+        })
+    }
+
+    /// The shared execution tail for one wave of one or more co-located
+    /// program parts (each `(program, plan)` pre-validated; plans pairwise
+    /// line-disjoint when more than one): **one** ECC pre-check sweep over
+    /// the union of touched block-lines, each part's steps replayed once
+    /// per occupied offset, one stuck-gated post-check, one scrub/strike
+    /// pass for the suspect lines, then per-part arena readback. Checks
+    /// scale with touched block-lines, not parts — co-residency is free at
+    /// the ECC layer.
+    fn execute_parts_checked(
+        &mut self,
+        parts: &[(&CompiledProgram, &PlacementPlan)],
+    ) -> Result<MultiBatchOutcome, DeviceError> {
         let stats_before = *self.memory.stats();
-        let axis = plan.axis();
+        let axis = parts[0].1.axis();
         let m = self.memory.geometry().m();
 
-        // Block-lines with uncorrectable verdicts this batch: every
+        // Block-lines with uncorrectable verdicts this wave: every
         // request placed on one of them gets suspect outputs.
         let mut suspects: Vec<usize> = Vec::new();
         let mut input_check = CheckReport::default();
         if !matches!(self.check_policy, CheckPolicy::Skip) {
             let bps = self.memory.geometry().blocks_per_side();
             self.block_lines.clear();
-            self.block_lines
-                .extend(plan.slots().iter().map(|s| s.line / m));
+            for (_, plan) in parts {
+                self.block_lines
+                    .extend(plan.slots().iter().map(|s| s.line / m));
+            }
             self.block_lines.sort_unstable();
             self.block_lines.dedup();
             if matches!(axis, Axis::Cols) && self.block_lines.len() == bps {
@@ -809,97 +855,102 @@ impl PimDevice {
                 scratch
             }
         }
-        // Walk the offset groups off a reused sorted-slot scratch instead
-        // of `plan.offset_groups()` — same groups in the same order, but
-        // no per-wave Vec-of-Vecs.
-        self.slot_scratch.clear();
-        self.slot_scratch.extend_from_slice(plan.slots());
-        self.slot_scratch
-            .sort_unstable_by_key(|s| (s.offset, s.line));
-        let mut gi = 0;
-        while gi < self.slot_scratch.len() {
-            let offset = self.slot_scratch[gi].offset;
-            let mut ge = gi;
-            while ge < self.slot_scratch.len() && self.slot_scratch[ge].offset == offset {
-                ge += 1;
-            }
-            let group = &self.slot_scratch[gi..ge];
-            // Contiguous groups (every full wave) select as a Range, which
-            // the simulator turns into whole-word masks instead of
-            // per-line set bits; sparse groups stay explicit.
-            let selected = if group.windows(2).all(|w| w[1].line == w[0].line + 1) {
-                LineSet::Range(group[0].line..group[0].line + group.len())
-            } else {
-                LineSet::Explicit(group.iter().map(|s| s.line).collect())
-            };
-            gi = ge;
-            // Contiguous replays on either axis go through a fused plan —
-            // the whole sequence compiled once per (program, offset, axis)
-            // and cached on the device, then replayed as one pass over the
-            // lines instead of one per step, bit- and stats-identical.
-            // Ineligible configurations (scalar engine, partial coverage,
-            // paranoid checking, sparse line sets, unfusable sequences)
-            // fall through to the per-step replay below; ineligibility is
-            // cached too, so the analysis never re-runs.
-            if let LineSet::Range(range) = &selected {
-                if self.memory.supports_fused_rows() {
-                    let key = (program.id(), offset, axis);
-                    let PimDevice {
-                        ref mut fused_plans,
-                        ref memory,
-                        ..
-                    } = *self;
-                    let entry = fused_plans.entry(key).or_insert_with(|| {
-                        let steps: Vec<ParallelStep> = program
-                            .program()
-                            .steps
-                            .iter()
-                            .map(|step| match step {
-                                Step::Init { cells } => {
-                                    ParallelStep::Init(cells.iter().map(|&c| c + offset).collect())
-                                }
-                                Step::Gate { inputs, output, .. } => ParallelStep::Nor(
-                                    inputs.iter().map(|&c| c + offset).collect(),
-                                    output + offset,
-                                ),
-                            })
-                            .collect();
-                        match axis {
-                            Axis::Rows => memory.compile_fused_rows(&steps),
-                            Axis::Cols => memory.compile_fused_cols(&steps),
-                        }
-                    });
-                    if let Some(fused) = entry.as_ref() {
-                        match axis {
-                            Axis::Rows => {
-                                self.memory
-                                    .exec_fused_rows(fused, range.clone(), self.threads)
+        // Parts execute in part order — a MAGIC cycle drives one program's
+        // voltages, so co-located programs serialize their step sequences
+        // (the loads and checks they share are where the wave wins).
+        for &(program, plan) in parts {
+            // Walk the offset groups off a reused sorted-slot scratch
+            // instead of `plan.offset_groups()` — same groups in the same
+            // order, but no per-wave Vec-of-Vecs.
+            self.slot_scratch.clear();
+            self.slot_scratch.extend_from_slice(plan.slots());
+            self.slot_scratch
+                .sort_unstable_by_key(|s| (s.offset, s.line));
+            let mut gi = 0;
+            while gi < self.slot_scratch.len() {
+                let offset = self.slot_scratch[gi].offset;
+                let mut ge = gi;
+                while ge < self.slot_scratch.len() && self.slot_scratch[ge].offset == offset {
+                    ge += 1;
+                }
+                let group = &self.slot_scratch[gi..ge];
+                // Contiguous groups (every full wave) select as a Range, which
+                // the simulator turns into whole-word masks instead of
+                // per-line set bits; sparse groups stay explicit.
+                let selected = if group.windows(2).all(|w| w[1].line == w[0].line + 1) {
+                    LineSet::Range(group[0].line..group[0].line + group.len())
+                } else {
+                    LineSet::Explicit(group.iter().map(|s| s.line).collect())
+                };
+                gi = ge;
+                // Contiguous replays on either axis go through a fused plan —
+                // the whole sequence compiled once per (program, offset, axis)
+                // and cached on the device, then replayed as one pass over the
+                // lines instead of one per step, bit- and stats-identical.
+                // Ineligible configurations (scalar engine, partial coverage,
+                // paranoid checking, sparse line sets, unfusable sequences)
+                // fall through to the per-step replay below; ineligibility is
+                // cached too, so the analysis never re-runs.
+                if let LineSet::Range(range) = &selected {
+                    if self.memory.supports_fused_rows() {
+                        let key = (program.id(), offset, axis);
+                        let PimDevice {
+                            ref mut fused_plans,
+                            ref memory,
+                            ..
+                        } = *self;
+                        let entry = fused_plans.entry(key).or_insert_with(|| {
+                            let steps: Vec<ParallelStep> = program
+                                .program()
+                                .steps
+                                .iter()
+                                .map(|step| match step {
+                                    Step::Init { cells } => ParallelStep::Init(
+                                        cells.iter().map(|&c| c + offset).collect(),
+                                    ),
+                                    Step::Gate { inputs, output, .. } => ParallelStep::Nor(
+                                        inputs.iter().map(|&c| c + offset).collect(),
+                                        output + offset,
+                                    ),
+                                })
+                                .collect();
+                            match axis {
+                                Axis::Rows => memory.compile_fused_rows(&steps),
+                                Axis::Cols => memory.compile_fused_cols(&steps),
                             }
-                            Axis::Cols => self.memory.exec_fused_cols(fused, range.clone()),
+                        });
+                        if let Some(fused) = entry.as_ref() {
+                            match axis {
+                                Axis::Rows => {
+                                    self.memory
+                                        .exec_fused_rows(fused, range.clone(), self.threads)
+                                }
+                                Axis::Cols => self.memory.exec_fused_cols(fused, range.clone()),
+                            }
+                            continue;
                         }
-                        continue;
                     }
                 }
-            }
-            for step in &program.program().steps {
-                match step {
-                    Step::Init { cells } => {
-                        let cells = shift(cells, offset, &mut shifted);
-                        match axis {
-                            Axis::Rows => self.memory.exec_init_rows(cells, &selected)?,
-                            Axis::Cols => self.memory.exec_init_cols(cells, &selected)?,
-                        }
-                    }
-                    Step::Gate { inputs, output, .. } => {
-                        let inputs = shift(inputs, offset, &mut shifted);
-                        match axis {
-                            Axis::Rows => {
-                                self.memory
-                                    .exec_nor_rows(inputs, output + offset, &selected)?
+                for step in &program.program().steps {
+                    match step {
+                        Step::Init { cells } => {
+                            let cells = shift(cells, offset, &mut shifted);
+                            match axis {
+                                Axis::Rows => self.memory.exec_init_rows(cells, &selected)?,
+                                Axis::Cols => self.memory.exec_init_cols(cells, &selected)?,
                             }
-                            Axis::Cols => {
-                                self.memory
-                                    .exec_nor_cols(inputs, output + offset, &selected)?
+                        }
+                        Step::Gate { inputs, output, .. } => {
+                            let inputs = shift(inputs, offset, &mut shifted);
+                            match axis {
+                                Axis::Rows => {
+                                    self.memory
+                                        .exec_nor_rows(inputs, output + offset, &selected)?
+                                }
+                                Axis::Cols => {
+                                    self.memory
+                                        .exec_nor_cols(inputs, output + offset, &selected)?
+                                }
                             }
                         }
                     }
@@ -956,21 +1007,26 @@ impl PimDevice {
 
         // Output readback groups consecutive output cells into runs (most
         // programs emit contiguous result words) and pulls each run as one
-        // word extraction instead of per-bit probes. Readback is free in
-        // the device model either way — this only changes host time.
-        self.readback_runs.clear();
-        for &c in &program.program().output_cells {
-            match self.readback_runs.last_mut() {
-                Some((s, l)) if *s + *l == c && *l < 64 => *l += 1,
-                _ => self.readback_runs.push((c, 1)),
+        // word extraction instead of per-bit probes, appending straight
+        // into each part's contiguous [`OutputArena`] — one allocation per
+        // part, not one per request. Readback is free in the device model
+        // either way — this only changes host time.
+        let mut out_parts: Vec<OutputArena> = Vec::with_capacity(parts.len());
+        let mut gate_evals = 0u64;
+        let mut bits: Vec<bool> = Vec::new();
+        for &(program, plan) in parts {
+            gate_evals += program.gate_cycles() * plan.requests() as u64;
+            self.readback_runs.clear();
+            for &c in &program.program().output_cells {
+                match self.readback_runs.last_mut() {
+                    Some((s, l)) if *s + *l == c && *l < 64 => *l += 1,
+                    _ => self.readback_runs.push((c, 1)),
+                }
             }
-        }
-        let grid = self.memory.mem().grid();
-        let outputs: Vec<Vec<bool>> = plan
-            .slots()
-            .iter()
-            .map(|slot| {
-                let mut bits = Vec::with_capacity(program.program().output_cells.len());
+            let grid = self.memory.mem().grid();
+            let mut arena = OutputArena::with_capacity(program.num_outputs(), plan.requests());
+            for slot in plan.slots() {
+                bits.clear();
                 for &(s, l) in &self.readback_runs {
                     let word = match axis {
                         Axis::Rows => grid.extract_bits(slot.line, slot.offset + s, l),
@@ -978,15 +1034,15 @@ impl PimDevice {
                     };
                     bits.extend((0..l).map(|i| word >> i & 1 != 0));
                 }
-                bits
-            })
-            .collect();
-        Ok(BatchOutcome {
-            outputs,
-            placement: plan.clone(),
+                arena.push_request(&bits);
+            }
+            out_parts.push(arena);
+        }
+        Ok(MultiBatchOutcome {
+            parts: out_parts,
             input_check,
             stats: *self.memory.stats() - stats_before,
-            gate_evals: program.gate_cycles() * plan.requests() as u64,
+            gate_evals,
             uncorrectable_input,
         })
     }
@@ -1114,50 +1170,139 @@ impl PimDevice {
             });
         }
         let stats_before = *self.memory.stats();
-        // Merge all requests sharing a line into one driven write — the
-        // load-amortization half of co-packing (deterministic line order).
-        // On the fused word path the requests pack straight into reusable
-        // word planes (64 bits per store, no per-cell tuples); other
-        // configurations stage sparse cell lists per line. Both machine
-        // entry points are bit- and stats-identical to per-line driven
-        // writes.
+        self.load_inputs(plan.axis(), &[(plan, requests)])?;
+        if let Some(hook) = self.fault_hook.as_mut() {
+            hook(&mut self.memory);
+        }
+        let mut outcome = self.execute_plan_checked(program, plan)?;
+        // Fold the load phase into the batch's accounting.
+        outcome.stats = *self.memory.stats() - stats_before;
+        Ok(outcome)
+    }
+
+    /// Serves one **multi-program wave**: part `p`'s requests execute
+    /// `parts[p].program` under `plan.parts()[p]`, all co-resident on this
+    /// crossbar. Every part's input loads merge into one driven write per
+    /// touched line, the ECC pre-check runs once per touched block-line of
+    /// the **union** of parts (co-residency is free at the ECC layer),
+    /// each part's steps replay once per occupied offset, and one
+    /// suspect/scrub/strike pass covers all parts —
+    /// [`UncorrectableInput::covers_line`] applies to any part's slot
+    /// lines, so retirement/retry escalation above works unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::MultiPartArity`] if `parts` and the plan disagree
+    ///   on part count;
+    /// * per part, everything [`PimDevice::run_plan`] reports.
+    pub fn run_multi(
+        &mut self,
+        plan: &MultiProgramPlan,
+        parts: &[MultiPartRequest<'_>],
+    ) -> Result<MultiBatchOutcome, DeviceError> {
+        if plan.parts().len() != parts.len() {
+            return Err(DeviceError::MultiPartArity {
+                parts: plan.parts().len(),
+                groups: parts.len(),
+            });
+        }
+        for (sub, part) in plan.parts().iter().zip(parts) {
+            self.check_plan(part.program, sub)?;
+            if sub.requests() != part.requests.len() {
+                return Err(DeviceError::PlacementArity {
+                    rows: sub.requests(),
+                    requests: part.requests.len(),
+                });
+            }
+            let want = part.program.num_inputs();
+            if let Some((i, req)) = part
+                .requests
+                .iter()
+                .enumerate()
+                .find(|(_, r)| r.len() != want)
+            {
+                return Err(DeviceError::InputArity {
+                    request: i,
+                    got: req.len(),
+                    want,
+                });
+            }
+        }
+        let stats_before = *self.memory.stats();
+        let loads: Vec<(&PlacementPlan, &[Vec<bool>])> = plan
+            .parts()
+            .iter()
+            .zip(parts)
+            .map(|(sub, part)| (sub, part.requests))
+            .collect();
+        self.load_inputs(plan.axis(), &loads)?;
+        if let Some(hook) = self.fault_hook.as_mut() {
+            hook(&mut self.memory);
+        }
+        let execs: Vec<(&CompiledProgram, &PlacementPlan)> = plan
+            .parts()
+            .iter()
+            .zip(parts)
+            .map(|(sub, part)| (part.program, sub))
+            .collect();
+        let mut outcome = self.execute_parts_checked(&execs)?;
+        outcome.stats = *self.memory.stats() - stats_before;
+        Ok(outcome)
+    }
+
+    /// Loads every part's requests into its planned slots, merging all
+    /// requests sharing a line into one driven write — the
+    /// load-amortization half of co-packing, shared across the co-located
+    /// parts of a multi-program wave (deterministic line order; parts are
+    /// line-disjoint, and slots on one line never overlap). On the fused
+    /// word path the requests pack straight into reusable word planes (64
+    /// bits per store, no per-cell tuples); other configurations stage
+    /// sparse cell lists per line. Both machine entry points are bit- and
+    /// stats-identical to per-line driven writes.
+    fn load_inputs(
+        &mut self,
+        axis: Axis,
+        parts: &[(&PlacementPlan, &[Vec<bool>])],
+    ) -> Result<(), DeviceError> {
         let written = if self.memory.supports_fused_rows() {
             let stride = self.capacity().div_ceil(64);
             self.plane_msk.resize(self.capacity() * stride, 0);
             self.plane_val.resize(self.capacity() * stride, 0);
             self.plane_touched.resize(self.capacity().div_ceil(64), 0);
             self.touched_lines.clear();
-            for (slot, req) in plan.slots().iter().zip(requests) {
-                let (tw, tb) = (slot.line / 64, 1u64 << (slot.line % 64));
-                if self.plane_touched[tw] & tb == 0 {
-                    self.plane_touched[tw] |= tb;
-                    self.touched_lines.push(slot.line);
-                }
-                // Pack the request 64 bits at a time, then lay each chunk
-                // into the line's plane words at the slot offset (slots on
-                // one line never overlap, so plain ORs suffice).
-                let base = slot.line * stride;
-                let mut i = 0;
-                while i < req.len() {
-                    let take = (req.len() - i).min(64);
-                    let mut word = 0u64;
-                    for (k, &b) in req[i..i + take].iter().enumerate() {
-                        word |= (b as u64) << k;
+            for &(plan, requests) in parts {
+                for (slot, req) in plan.slots().iter().zip(requests) {
+                    let (tw, tb) = (slot.line / 64, 1u64 << (slot.line % 64));
+                    if self.plane_touched[tw] & tb == 0 {
+                        self.plane_touched[tw] |= tb;
+                        self.touched_lines.push(slot.line);
                     }
-                    let chunk_mask = if take == 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << take) - 1
-                    };
-                    let pos = slot.offset + i;
-                    let (wi, sh) = (pos / 64, (pos % 64) as u32);
-                    self.plane_msk[base + wi] |= chunk_mask << sh;
-                    self.plane_val[base + wi] |= word << sh;
-                    if sh != 0 && sh as usize + take > 64 {
-                        self.plane_msk[base + wi + 1] |= chunk_mask >> (64 - sh);
-                        self.plane_val[base + wi + 1] |= word >> (64 - sh);
+                    // Pack the request 64 bits at a time, then lay each
+                    // chunk into the line's plane words at the slot offset
+                    // (plain ORs suffice — nothing on a line overlaps).
+                    let base = slot.line * stride;
+                    let mut i = 0;
+                    while i < req.len() {
+                        let take = (req.len() - i).min(64);
+                        let mut word = 0u64;
+                        for (k, &b) in req[i..i + take].iter().enumerate() {
+                            word |= (b as u64) << k;
+                        }
+                        let chunk_mask = if take == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << take) - 1
+                        };
+                        let pos = slot.offset + i;
+                        let (wi, sh) = (pos / 64, (pos % 64) as u32);
+                        self.plane_msk[base + wi] |= chunk_mask << sh;
+                        self.plane_val[base + wi] |= word << sh;
+                        if sh != 0 && sh as usize + take > 64 {
+                            self.plane_msk[base + wi + 1] |= chunk_mask >> (64 - sh);
+                            self.plane_val[base + wi + 1] |= word >> (64 - sh);
+                        }
+                        i += take;
                     }
-                    i += take;
                 }
             }
             self.plane_touched.fill(0);
@@ -1169,7 +1314,7 @@ impl PimDevice {
                 ref mut plane_val,
                 ..
             } = *self;
-            let written = match plan.axis() {
+            let written = match axis {
                 Axis::Rows => memory.write_rows_words_batched(touched_lines, plane_msk, plane_val),
                 Axis::Cols => memory.write_cols_words_batched(touched_lines, plane_msk, plane_val),
             };
@@ -1187,15 +1332,17 @@ impl PimDevice {
                 self.line_loads.resize_with(self.capacity(), Vec::new);
             }
             self.touched_lines.clear();
-            for (slot, req) in plan.slots().iter().zip(requests) {
-                let cells = &mut self.line_loads[slot.line];
-                if cells.is_empty() {
-                    self.touched_lines.push(slot.line);
+            for &(plan, requests) in parts {
+                for (slot, req) in plan.slots().iter().zip(requests) {
+                    let cells = &mut self.line_loads[slot.line];
+                    if cells.is_empty() {
+                        self.touched_lines.push(slot.line);
+                    }
+                    cells.extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
                 }
-                cells.extend(req.iter().enumerate().map(|(i, &b)| (slot.offset + i, b)));
             }
             self.touched_lines.sort_unstable();
-            let written = match plan.axis() {
+            let written = match axis {
                 Axis::Rows => self
                     .memory
                     .write_rows_cells_batched(&self.touched_lines, &self.line_loads),
@@ -1211,14 +1358,7 @@ impl PimDevice {
             }
             written
         };
-        written?;
-        if let Some(hook) = self.fault_hook.as_mut() {
-            hook(&mut self.memory);
-        }
-        let mut outcome = self.execute_plan_checked(program, plan)?;
-        // Fold the load phase into the batch's accounting.
-        outcome.stats = *self.memory.stats() - stats_before;
-        Ok(outcome)
+        Ok(written?)
     }
 }
 
@@ -1741,6 +1881,161 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    fn other_circuit() -> (NorNetlist, Netlist) {
+        let mut b = NetlistBuilder::new();
+        let ins = b.inputs(4);
+        let g1 = b.and(ins[0], ins[1]);
+        let g2 = b.or(ins[2], ins[3]);
+        let g3 = b.xor(g1, g2);
+        b.output(g3);
+        let nl = b.finish();
+        (nl.to_nor(), nl)
+    }
+
+    fn part_plan(line_len: usize, lines: std::ops::Range<usize>, width: usize) -> PlacementPlan {
+        let avoid: Vec<usize> = (0..line_len).filter(|l| !lines.contains(l)).collect();
+        PlacementPlan::pack_avoiding(
+            Axis::Rows,
+            line_len,
+            width,
+            lines.len(),
+            usize::MAX,
+            lines.len(),
+            0,
+            &avoid,
+        )
+        .expect("packs")
+    }
+
+    #[test]
+    fn multi_program_wave_matches_serial_reference() {
+        let (nor_a, nl_a) = small_circuit();
+        let (nor_b, nl_b) = other_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let pa = device.compile(&nor_a).expect("compiles");
+        let pb = device.compile(&nor_b).expect("compiles");
+        let reqs_a: Vec<Vec<bool>> = (0..6u32)
+            .map(|v| (0..3).map(|i| v >> i & 1 != 0).collect())
+            .collect();
+        let reqs_b: Vec<Vec<bool>> = (0..9u32)
+            .map(|v| (0..4).map(|i| (v * 5) >> i & 1 != 0).collect())
+            .collect();
+        let plan_a = part_plan(30, 0..6, pa.footprint());
+        let plan_b = part_plan(30, 6..15, pb.footprint());
+        let multi = MultiProgramPlan::new(vec![plan_a, plan_b]).expect("disjoint");
+        let outcome = device
+            .run_multi(
+                &multi,
+                &[
+                    MultiPartRequest {
+                        program: &pa,
+                        requests: &reqs_a,
+                    },
+                    MultiPartRequest {
+                        program: &pb,
+                        requests: &reqs_b,
+                    },
+                ],
+            )
+            .expect("runs");
+        assert_eq!(outcome.requests(), 15);
+        for (i, req) in reqs_a.iter().enumerate() {
+            assert_eq!(outcome.parts[0][i], nl_a.eval(req), "part A request {i}");
+        }
+        for (i, req) in reqs_b.iter().enumerate() {
+            assert_eq!(outcome.parts[1][i], nl_b.eval(req), "part B request {i}");
+        }
+        // The shared pre-check sweeps the union of touched block-lines
+        // once: lines 0..15 of a 30/3 device are block-lines 0..5 — five
+        // block-line checks of 10 blocks each, not one sweep per part.
+        assert_eq!(outcome.input_check.checked, 50);
+        assert_eq!(
+            outcome.gate_evals,
+            pa.gate_cycles() * 6 + pb.gate_cycles() * 9
+        );
+        assert!(device.memory().verify_consistency().is_ok());
+    }
+
+    #[test]
+    fn multi_part_arity_and_geometry_are_validated() {
+        let (nor, _) = small_circuit();
+        let mut device = PimDevice::new(30, 3).expect("device");
+        let p = device.compile(&nor).expect("compiles");
+        let plan = part_plan(30, 0..2, p.footprint());
+        let multi = MultiProgramPlan::new(vec![plan]).expect("one part");
+        assert_eq!(
+            device.run_multi(&multi, &[]).unwrap_err(),
+            DeviceError::MultiPartArity {
+                parts: 1,
+                groups: 0
+            }
+        );
+        let reqs = vec![vec![true, false, true]];
+        assert_eq!(
+            device
+                .run_multi(
+                    &multi,
+                    &[MultiPartRequest {
+                        program: &p,
+                        requests: &reqs,
+                    }],
+                )
+                .unwrap_err(),
+            DeviceError::PlacementArity {
+                rows: 2,
+                requests: 1
+            }
+        );
+    }
+
+    #[test]
+    fn multi_wave_fault_marks_only_the_covered_part_suspect() {
+        let (nor_a, _) = small_circuit();
+        let (nor_b, nl_b) = other_circuit();
+        // A stuck-at fault on line 1 (block-line 0): part A on lines 0..3
+        // is covered, part B on lines 6..9 is not.
+        let mut device = PimDeviceBuilder::new(30, 3)
+            .on_batch_loaded(|pm| {
+                pm.set_stuck(1, 2, true);
+                pm.set_stuck(1, 4, true);
+            })
+            .build()
+            .expect("device");
+        let pa = device.compile(&nor_a).expect("compiles");
+        let pb = device.compile(&nor_b).expect("compiles");
+        let reqs_a: Vec<Vec<bool>> = (0..3).map(|_| vec![true, false, true]).collect();
+        let reqs_b: Vec<Vec<bool>> = (0..3).map(|_| vec![true, true, false, false]).collect();
+        let multi = MultiProgramPlan::new(vec![
+            part_plan(30, 0..3, pa.footprint()),
+            part_plan(30, 6..9, pb.footprint()),
+        ])
+        .expect("disjoint");
+        let outcome = device
+            .run_multi(
+                &multi,
+                &[
+                    MultiPartRequest {
+                        program: &pa,
+                        requests: &reqs_a,
+                    },
+                    MultiPartRequest {
+                        program: &pb,
+                        requests: &reqs_b,
+                    },
+                ],
+            )
+            .expect("runs");
+        let unc = outcome
+            .uncorrectable_input
+            .as_ref()
+            .expect("two stuck cells in one block are uncorrectable");
+        assert!(unc.covers_line(1), "part A's lines are suspect");
+        assert!(!unc.covers_line(7), "part B's lines are clean");
+        for (i, req) in reqs_b.iter().enumerate() {
+            assert_eq!(outcome.parts[1][i], nl_b.eval(req), "part B request {i}");
+        }
     }
 
     #[test]

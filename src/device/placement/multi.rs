@@ -1,0 +1,160 @@
+//! Multi-program plans: several per-program sub-plans co-located on
+//! disjoint line ranges of one crossbar.
+//!
+//! One fingerprint per wave caps utilization on long-tail traffic: a wave
+//! of a 6-line program on a 30-line shard leaves 24 lines idle. A
+//! [`MultiProgramPlan`] lets one wave carry *different* programs side by
+//! side — each part is an ordinary validated [`PlacementPlan`], the parts
+//! are pairwise line-disjoint, and the executor shares the input-load
+//! pass, the per-touched-block-line ECC pre-checks and the suspect/retire
+//! escalation across all of them (checks scale with touched block-lines,
+//! not with programs — co-residency is free at the ECC layer).
+
+use super::plan::{Axis, PlacementPlan};
+use crate::device::DeviceError;
+
+/// A validated set of per-program sub-plans on one axis of one crossbar,
+/// pairwise line-disjoint — the placement of one multi-program wave for
+/// [`PimDevice::run_multi`](crate::device::PimDevice::run_multi).
+///
+/// ```
+/// use pimecc::device::placement::{Axis, MultiProgramPlan, PlacementPlan};
+///
+/// # fn main() -> Result<(), pimecc::device::DeviceError> {
+/// // Program A on lines 0..4, program B co-located on lines 4..10.
+/// let a = PlacementPlan::pack(Axis::Rows, 30, 8, 4, usize::MAX, 4)?;
+/// let b = PlacementPlan::pack_avoiding(
+///     Axis::Rows, 30, 5, 30, usize::MAX, 6, 0, &[0, 1, 2, 3])?;
+/// let multi = MultiProgramPlan::new(vec![a, b])?;
+/// assert_eq!(multi.requests(), 10);
+/// assert_eq!(multi.lines_occupied(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct MultiProgramPlan {
+    axis: Axis,
+    line_len: usize,
+    parts: Vec<PlacementPlan>,
+}
+
+impl MultiProgramPlan {
+    /// Builds a multi-program plan from per-program sub-plans.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::EmptyMultiPlan`] — no parts;
+    /// * [`DeviceError::MultiPlanGeometry`] — a part disagrees with part 0
+    ///   on axis or line length;
+    /// * [`DeviceError::MultiPlanOverlap`] — two parts occupy the same
+    ///   physical line (parts must be line-disjoint; slot-level sharing of
+    ///   a line across programs would break the per-offset replay).
+    pub fn new(parts: Vec<PlacementPlan>) -> Result<Self, DeviceError> {
+        let Some(first) = parts.first() else {
+            return Err(DeviceError::EmptyMultiPlan);
+        };
+        let (axis, line_len) = (first.axis(), first.line_len());
+        let mut lines: Vec<usize> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            if part.axis() != axis || part.line_len() != line_len {
+                return Err(DeviceError::MultiPlanGeometry { part: i });
+            }
+            lines.extend(part.lines());
+        }
+        lines.sort_unstable();
+        if let Some(w) = lines.windows(2).find(|w| w[0] == w[1]) {
+            return Err(DeviceError::MultiPlanOverlap { line: w[0] });
+        }
+        Ok(MultiProgramPlan {
+            axis,
+            line_len,
+            parts,
+        })
+    }
+
+    /// The axis every part occupies.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// Line length (= line count) the parts were built for.
+    pub fn line_len(&self) -> usize {
+        self.line_len
+    }
+
+    /// The per-program sub-plans, in part order.
+    pub fn parts(&self) -> &[PlacementPlan] {
+        &self.parts
+    }
+
+    /// Total requests placed across all parts.
+    pub fn requests(&self) -> usize {
+        self.parts.iter().map(PlacementPlan::requests).sum()
+    }
+
+    /// Distinct lines occupied across all parts (disjoint by
+    /// construction, so this is a plain sum).
+    pub fn lines_occupied(&self) -> usize {
+        self.parts.iter().map(PlacementPlan::lines_occupied).sum()
+    }
+
+    /// Cells reserved across all parts.
+    pub fn cells_occupied(&self) -> usize {
+        self.parts.iter().map(PlacementPlan::cells_occupied).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(lines: std::ops::Range<usize>, width: usize) -> PlacementPlan {
+        let avoid: Vec<usize> = (0..30).filter(|l| !lines.contains(l)).collect();
+        PlacementPlan::pack_avoiding(
+            Axis::Rows,
+            30,
+            width,
+            lines.len(),
+            usize::MAX,
+            lines.len(),
+            0,
+            &avoid,
+        )
+        .expect("packs")
+    }
+
+    #[test]
+    fn disjoint_parts_validate_and_account() {
+        let multi = MultiProgramPlan::new(vec![part(0..4, 8), part(4..10, 5)]).expect("disjoint");
+        assert_eq!(multi.requests(), 10);
+        assert_eq!(multi.lines_occupied(), 10);
+        assert_eq!(multi.cells_occupied(), 4 * 8 + 6 * 5);
+        assert_eq!(multi.axis(), Axis::Rows);
+        assert_eq!(multi.line_len(), 30);
+        assert_eq!(multi.parts().len(), 2);
+    }
+
+    #[test]
+    fn empty_geometry_and_overlap_are_rejected() {
+        assert_eq!(
+            MultiProgramPlan::new(Vec::new()).unwrap_err(),
+            DeviceError::EmptyMultiPlan
+        );
+        let rows = part(0..4, 8);
+        let cols = PlacementPlan::pack(Axis::Cols, 30, 5, 30, usize::MAX, 4).unwrap();
+        assert_eq!(
+            MultiProgramPlan::new(vec![rows.clone(), cols]).unwrap_err(),
+            DeviceError::MultiPlanGeometry { part: 1 }
+        );
+        let narrow = PlacementPlan::pack(Axis::Rows, 20, 5, 20, usize::MAX, 4).unwrap();
+        assert_eq!(
+            MultiProgramPlan::new(vec![rows.clone(), narrow]).unwrap_err(),
+            DeviceError::MultiPlanGeometry { part: 1 }
+        );
+        assert_eq!(
+            MultiProgramPlan::new(vec![rows, part(3..6, 5)]).unwrap_err(),
+            DeviceError::MultiPlanOverlap { line: 3 }
+        );
+    }
+}

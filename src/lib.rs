@@ -116,13 +116,13 @@ pub use pimecc_xbar as xbar;
 pub mod prelude {
     pub use crate::cluster::{
         AxisPolicy, ClusterError, ClusterHandle, ClusterOutcome, FailedRequest, HealthSnapshot,
-        LatencyStats, PimCluster, PimClusterBuilder, ShardHealth, ShardReport, ShardState, Ticket,
-        TicketResult,
+        LatencyStats, OutputSlice, PimCluster, PimClusterBuilder, ShardHealth, ShardReport,
+        ShardState, Ticket, TicketResult,
     };
     pub use crate::compiler::{PartitionedProgram, RouteSource, SubProgram};
     pub use crate::device::{
-        Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError, PimDevice,
-        PimDeviceBuilder, PlacementPlan, RetiredLines, ScrubReport, SimEngine, Slot,
-        UncorrectableInput,
+        Axis, BatchOutcome, CheckPolicy, CompiledProgram, CoveragePolicy, DeviceError,
+        MultiProgramPlan, OutputArena, PimDevice, PimDeviceBuilder, PlacementPlan, RetiredLines,
+        ScrubReport, SimEngine, Slot, UncorrectableInput,
     };
 }

@@ -89,7 +89,7 @@ fn concurrent_producers_are_bit_identical_to_a_serial_reference_run() {
     let xor = handle.compile(&xor_nor).expect("compiles");
     let mux = handle.compile(&mux_nor).expect("compiles");
 
-    let submitted: Vec<(u64, bool, Vec<bool>, Vec<bool>)> = std::thread::scope(|s| {
+    let submitted: Vec<(u64, bool, Vec<bool>, OutputSlice)> = std::thread::scope(|s| {
         let mut joins = Vec::new();
         for producer in 0..PRODUCERS {
             let handle = handle.clone();
@@ -112,7 +112,7 @@ fn concurrent_producers_are_bit_identical_to_a_serial_reference_run() {
                         let result = ticket.wait().expect("served");
                         log.push((ticket.id(), wide, inputs, result.outputs));
                     } else {
-                        log.push((ticket.id(), wide, inputs, Vec::new()));
+                        log.push((ticket.id(), wide, inputs, OutputSlice::default()));
                     }
                 }
                 log
@@ -134,7 +134,7 @@ fn concurrent_producers_are_bit_identical_to_a_serial_reference_run() {
 
     // Serial reference: one synchronous cluster, same geometry, fed the
     // identical stream in ticket order.
-    let mut stream: Vec<(u64, bool, Vec<bool>, Vec<bool>)> = submitted;
+    let mut stream: Vec<(u64, bool, Vec<bool>, OutputSlice)> = submitted;
     stream.sort_by_key(|&(id, _, _, _)| id);
     assert_eq!(stream.len(), PRODUCERS * PER_PRODUCER);
     for (expect_id, (id, _, _, _)) in stream.iter().enumerate() {
